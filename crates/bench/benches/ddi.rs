@@ -1,0 +1,57 @@
+//! DDI benches: memory-tier vs disk-tier operations (experiment E8).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vdap_ddi::{DdiService, DriverStyle, ObdCollector, Query, RecordKind};
+use vdap_sim::{SeedFactory, SimDuration, SimTime};
+
+fn bench_ddi(c: &mut Criterion) {
+    let seeds = SeedFactory::new(5);
+    let mut obd = ObdCollector::new(DriverStyle::Normal, seeds.stream("obd"));
+    let records = obd.trace(SimTime::ZERO, 5_000);
+
+    let mut g = c.benchmark_group("ddi");
+    g.sample_size(10);
+    g.bench_function("upload_5k_records", |b| {
+        b.iter(|| {
+            let mut ddi = DdiService::new(16_384, SimDuration::from_secs(300));
+            for r in records.clone() {
+                let at = r.at;
+                ddi.upload(r, at);
+            }
+            black_box(ddi)
+        })
+    });
+
+    let mut hot = DdiService::new(16_384, SimDuration::from_secs(1_000_000));
+    for r in records.clone() {
+        let at = r.at;
+        hot.upload(r, at);
+    }
+    let q = Query::window(
+        RecordKind::Driving,
+        SimTime::from_secs(100),
+        SimTime::from_secs(200),
+    );
+    g.bench_function("download_memory_hit", |b| {
+        b.iter(|| black_box(hot.download(black_box(&q), SimTime::from_secs(400))))
+    });
+
+    let mut cold = DdiService::new(16_384, SimDuration::from_secs(1));
+    for r in records.clone() {
+        let at = r.at;
+        cold.upload(r, at);
+    }
+    cold.sweep(SimTime::from_secs(10_000));
+    g.bench_function("download_disk_miss", |b| {
+        b.iter_batched(
+            || cold.clone(),
+            |mut ddi| black_box(ddi.download(&q, SimTime::from_secs(10_001))),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ddi);
+criterion_main!(benches);

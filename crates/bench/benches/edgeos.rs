@@ -1,0 +1,57 @@
+//! EdgeOSv benches: elastic pipeline decisions and service migration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vdap_edgeos::{
+    kidnapper_search, ElasticManager, Environment, MigrationMode, Objective, ServiceImage,
+    ServiceMigrator,
+};
+use vdap_hw::{catalog, VcuBoard};
+use vdap_net::{LinkSpec, NetTopology, Site};
+use vdap_sim::{SimDuration, SimTime};
+
+fn bench_edgeos(c: &mut Criterion) {
+    let net = NetTopology::reference();
+    let board = VcuBoard::reference_design();
+    let edge = catalog::xedge_server();
+    let cloud = catalog::cloud_server();
+    let env = Environment {
+        net: &net,
+        board: &board,
+        edge: &edge,
+        cloud: &cloud,
+        edge_load: 1.0,
+        cloud_load: 1.0,
+        now: SimTime::ZERO,
+    };
+    let mut g = c.benchmark_group("edgeos");
+    g.bench_function("elastic_decide_3_pipelines", |b| {
+        b.iter(|| {
+            let mut service = kidnapper_search(SimDuration::from_millis(800), Site::Edge);
+            let mut mgr = ElasticManager::new();
+            black_box(mgr.decide(&mut service, &env, Objective::MinLatency))
+        })
+    });
+    g.bench_function("migration_precopy_planning", |b| {
+        let image = ServiceImage::typical_container("svc");
+        let link = LinkSpec::wifi();
+        b.iter(|| {
+            let mut m = ServiceMigrator::new();
+            black_box(
+                m.migrate(
+                    &image,
+                    &link,
+                    MigrationMode::PreCopy { max_rounds: 10 },
+                    true,
+                    "rsu",
+                    SimTime::ZERO,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_edgeos);
+criterion_main!(benches);

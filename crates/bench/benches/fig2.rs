@@ -1,0 +1,44 @@
+//! Figure 2 bench: streaming a one-minute RTP/H.264 clip through the
+//! calibrated cellular channel at each drive-test operating point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vdap_net::{stream_clip, CellularChannel, Mph, Resolution, VideoStreamSpec};
+use vdap_sim::{SeedFactory, SimDuration, SimTime};
+
+fn bench_fig2(c: &mut Criterion) {
+    let channel = CellularChannel::calibrated();
+    let seeds = SeedFactory::new(2);
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    for (speed, res) in [
+        (0.0, Resolution::P720),
+        (35.0, Resolution::P720),
+        (70.0, Resolution::P1080),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("stream_60s", format!("{speed}mph_{res}")),
+            &(speed, res),
+            |b, &(speed, res)| {
+                b.iter(|| {
+                    let spec = VideoStreamSpec::paper_encoding(res);
+                    let mut loss = channel.loss_process(
+                        Mph(speed),
+                        res.bitrate_mbps(),
+                        seeds.stream("bench"),
+                    );
+                    black_box(stream_clip(
+                        &spec,
+                        &mut loss,
+                        SimTime::ZERO,
+                        SimDuration::from_secs(60),
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

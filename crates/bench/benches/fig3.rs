@@ -1,0 +1,27 @@
+//! Figure 3 bench: the heterogeneous-processor latency/energy sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vdap_hw::catalog;
+use vdap_models::zoo;
+
+fn bench_fig3(c: &mut Criterion) {
+    let inception = zoo::inception_v3();
+    let processors = catalog::fig3_processors();
+    let mut g = c.benchmark_group("fig3");
+    g.bench_function("inception_sweep_5_processors", |b| {
+        b.iter(|| {
+            for p in &processors {
+                black_box(p.service_time(black_box(&inception)));
+                black_box(p.energy_joules(black_box(&inception)));
+            }
+        })
+    });
+    g.bench_function("full_figure_regeneration", |b| {
+        b.iter(|| black_box(vdap_bench::experiments::fig3()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Model-substrate benches: training, Deep Compression, transfer
+//! learning (experiment E7).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vdap_ddi::DriverStyle;
+use vdap_models::{
+    compress, driver_dataset, population_dataset, transfer, CompressConfig, Network, SensorBias,
+    TrainConfig, TransferConfig, FEATURE_DIM,
+};
+use vdap_sim::SeedFactory;
+
+fn bench_models(c: &mut Criterion) {
+    let seeds = SeedFactory::new(4);
+    let pop = population_dataset(80, 20, &seeds);
+    let personal = driver_dataset(
+        DriverStyle::Aggressive,
+        SensorBias::none(),
+        80,
+        20,
+        seeds.stream("personal"),
+    );
+    let mut rng = seeds.stream("net");
+    let mut trained = Network::new(&[FEATURE_DIM, 32, 16, 3], &mut rng);
+    trained.train(&pop, &TrainConfig::default(), &mut rng, 0);
+
+    let mut g = c.benchmark_group("models");
+    g.sample_size(10);
+    g.bench_function("train_cbeam_10_epochs", |b| {
+        b.iter(|| {
+            let mut rng = seeds.stream("train-bench");
+            let mut net = Network::new(&[FEATURE_DIM, 32, 16, 3], &mut rng);
+            net.train(
+                &pop,
+                &TrainConfig {
+                    epochs: 10,
+                    ..TrainConfig::default()
+                },
+                &mut rng,
+                0,
+            );
+            black_box(net)
+        })
+    });
+    g.bench_function("deep_compress", |b| {
+        b.iter(|| {
+            let mut net = trained.clone();
+            let mut rng = seeds.stream("compress-bench");
+            black_box(compress(&mut net, &CompressConfig::default(), &mut rng))
+        })
+    });
+    g.bench_function("transfer_learn_pbeam", |b| {
+        b.iter(|| {
+            let mut rng = seeds.stream("transfer-bench");
+            black_box(transfer(
+                &trained,
+                &personal,
+                &TransferConfig::default(),
+                &mut rng,
+            ))
+        })
+    });
+    g.bench_function("inference_batch", |b| {
+        b.iter(|| black_box(trained.accuracy(black_box(&pop))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Offloading benches: the exhaustive placement planner and the §III
+//! strategy comparison (experiments E5/E6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use openvdap::scenario::{compare_strategies, detection_stages, ScenarioConfig};
+use openvdap::{Infrastructure, Objective, OpenVdap};
+use vdap_net::Mph;
+use vdap_offload::optimal_placement;
+use vdap_sim::{SimDuration, SimTime};
+
+fn bench_offload(c: &mut Criterion) {
+    let platform = OpenVdap::builder().seed(3).build();
+    let mut infra = Infrastructure::reference();
+    infra.apply_mobility(Mph(35.0));
+    let stages = detection_stages();
+
+    let mut g = c.benchmark_group("offload");
+    g.sample_size(10);
+    g.bench_function("planner_exhaustive_2_stages", |b| {
+        b.iter(|| {
+            let env = infra.env(platform.vcu().board(), SimTime::ZERO);
+            black_box(
+                optimal_placement("bench", &stages, &env, Objective::MinLatency, None)
+                    .expect("feasible"),
+            )
+        })
+    });
+    g.bench_function("strategy_comparison_small_fleet", |b| {
+        let cfg = ScenarioConfig {
+            vehicles: 2,
+            duration: SimDuration::from_secs(5),
+            ..ScenarioConfig::default()
+        };
+        b.iter(|| black_box(compare_strategies(black_box(&cfg))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_offload);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Table I bench: the *real* CV kernels (lane detection, Haar cascade)
+//! executing on the host, plus the calibrated simulated latencies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vdap_hw::catalog::aws_vcpu_2_4ghz;
+use vdap_models::cv::{detect_lanes, synthetic_road_frame, HaarCascade, Rect};
+use vdap_models::zoo;
+use vdap_sim::SeedFactory;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut rng = SeedFactory::new(1).stream("cv-bench");
+    let vehicles = [
+        Rect { x: 80, y: 120, w: 32, h: 20 },
+        Rect { x: 260, y: 140, w: 32, h: 20 },
+    ];
+    let frame = synthetic_road_frame(640, 360, &vehicles, &mut rng);
+    let cascade = HaarCascade::vehicle();
+
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("lane_detection_real_640x360", |b| {
+        b.iter(|| black_box(detect_lanes(black_box(&frame))))
+    });
+    g.bench_function("vehicle_detection_haar_real_640x360", |b| {
+        b.iter(|| black_box(cascade.detect(black_box(&frame))))
+    });
+    let cpu = aws_vcpu_2_4ghz();
+    g.bench_function("simulated_latency_all_rows", |b| {
+        b.iter(|| {
+            for w in zoo::table1_workloads() {
+                black_box(cpu.service_time(&w));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

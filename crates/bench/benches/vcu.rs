@@ -1,0 +1,47 @@
+//! DSF scheduling benches (experiment E9).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vdap_hw::{ComputeWorkload, TaskClass, VcuBoard};
+use vdap_sim::SimTime;
+use vdap_vcu::{
+    license_plate_pipeline, partition_data_parallel, CpuOnlyScheduler, DsfScheduler,
+    RoundRobinScheduler, SchedulePolicy, TaskGraph,
+};
+
+fn mixed_graph() -> TaskGraph {
+    let mut graph = license_plate_pipeline(None);
+    let cnn = ComputeWorkload::new("frame-cnn", TaskClass::DenseLinearAlgebra)
+        .with_gflops(20.0)
+        .with_parallel_fraction(0.97);
+    let dp = partition_data_parallel("cnn", &cnn, 8, 0.01);
+    let offset = graph.len() as u32;
+    for task in dp.tasks() {
+        graph.add_task(task.workload().clone());
+    }
+    for &(p, c) in dp.edges() {
+        graph
+            .add_dependency(vdap_vcu::TaskId(p.0 + offset), vdap_vcu::TaskId(c.0 + offset))
+            .unwrap();
+    }
+    graph
+}
+
+fn bench_vcu(c: &mut Criterion) {
+    let board = VcuBoard::reference_design();
+    let graph = mixed_graph();
+    let mut g = c.benchmark_group("vcu");
+    for (name, policy) in [
+        ("dsf_eft", &DsfScheduler::new() as &dyn SchedulePolicy),
+        ("round_robin", &RoundRobinScheduler),
+        ("cpu_only", &CpuOnlyScheduler),
+    ] {
+        g.bench_function(format!("plan_{name}_12_tasks"), |b| {
+            b.iter(|| black_box(policy.plan(black_box(&graph), &board, SimTime::ZERO).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_vcu);
+criterion_main!(benches);

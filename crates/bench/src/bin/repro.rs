@@ -1,0 +1,69 @@
+//! Regenerates the paper's tables and figures (and the extension
+//! experiments) as aligned text tables.
+//!
+//! ```text
+//! cargo run -p vdap-bench --bin repro -- all
+//! cargo run -p vdap-bench --bin repro -- table1 fig2 fig3
+//! ```
+
+use vdap_bench::experiments;
+
+const SEED: u64 = 42;
+
+fn print_experiment(name: &str) -> bool {
+    let table = match name {
+        "table1" => experiments::table1().1,
+        "fig2" => experiments::fig2(SEED).1,
+        "fig3" => experiments::fig3().1,
+        "upload-wall" => experiments::upload_wall(),
+        "battery" => experiments::battery(),
+        "elastic" => experiments::elastic(SEED),
+        "strategies" => experiments::strategies(SEED),
+        "crossover" => experiments::crossover(SEED),
+        "pbeam" => experiments::pbeam(SEED),
+        "ddi" => experiments::ddi(SEED),
+        "dsf" => experiments::dsf(),
+        "collab" => experiments::collab(SEED),
+        "objectives" => experiments::objectives(SEED),
+        "modelcache" => experiments::modelcache(SEED),
+        "admission" => experiments::admission(),
+        "infotainment" => experiments::infotainment(SEED),
+        _ => return false,
+    };
+    println!("{}", table.render());
+    true
+}
+
+const ALL: [&str; 16] = [
+    "table1",
+    "fig2",
+    "fig3",
+    "upload-wall",
+    "battery",
+    "elastic",
+    "strategies",
+    "crossover",
+    "pbeam",
+    "ddi",
+    "dsf",
+    "collab",
+    "objectives",
+    "modelcache",
+    "admission",
+    "infotainment",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let requested: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for name in requested {
+        if !print_experiment(name) {
+            eprintln!("unknown experiment '{name}'; known: {ALL:?}");
+            std::process::exit(2);
+        }
+    }
+}

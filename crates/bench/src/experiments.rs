@@ -1,0 +1,806 @@
+//! The per-experiment reproduction runners (DESIGN.md §2).
+//!
+//! Each function regenerates one paper table/figure (or extension
+//! experiment) as structured rows plus a rendered [`TextTable`]. The
+//! `repro` binary prints them; integration tests pin their shapes;
+//! EXPERIMENTS.md records paper-vs-measured.
+
+use vdap_ddi::{DdiService, DriverStyle, ObdCollector, Query, RecordKind};
+use vdap_edgeos::Objective;
+use vdap_hw::{catalog, Battery, ComputeWorkload, TaskClass};
+use vdap_models::zoo;
+use vdap_models::{PbeamConfig, PbeamPipeline, SensorBias};
+use vdap_net::{
+    stream_clip, CellularChannel, LinkSpec, Mph, Resolution, VideoStreamSpec, FIG2_FRAME_LOSS,
+    FIG2_PACKET_LOSS,
+};
+use vdap_offload::run_strategy;
+use vdap_sim::{SeedFactory, SimDuration, SimTime};
+use vdap_vcu::{
+    license_plate_pipeline, partition_data_parallel, CpuOnlyScheduler, DsfScheduler,
+    RoundRobinScheduler, SchedulePolicy,
+};
+
+use openvdap::scenario::{
+    collaboration_experiment, compare_strategies, elastic_adaptation_timeline, CollabMode,
+    ScenarioConfig,
+};
+use openvdap::Infrastructure;
+
+use crate::table::{f2, f3, TextTable};
+
+/// Table I row: one algorithm, paper vs reproduced latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Algorithm name.
+    pub name: String,
+    /// Paper-reported latency, ms.
+    pub paper_ms: f64,
+    /// Reproduced (simulated) latency on the calibrated vCPU, ms.
+    pub measured_ms: f64,
+}
+
+/// E1 — Table I: driving-algorithm latency on the AWS 2.4 GHz vCPU.
+#[must_use]
+pub fn table1() -> (Vec<Table1Row>, TextTable) {
+    let cpu = catalog::aws_vcpu_2_4ghz();
+    let rows: Vec<Table1Row> = zoo::table1_workloads()
+        .iter()
+        .zip(zoo::TABLE1_LATENCY_MS)
+        .map(|(w, (name, paper_ms))| Table1Row {
+            name: name.to_string(),
+            paper_ms,
+            measured_ms: cpu.service_time(w).as_millis_f64(),
+        })
+        .collect();
+    let mut t = TextTable::new(
+        "Table I — autonomous-driving algorithm latency (AWS 2.4 GHz vCPU)",
+        &["algorithm", "paper (ms)", "reproduced (ms)"],
+    );
+    for r in &rows {
+        t.row(&[r.name.clone(), f2(r.paper_ms), f2(r.measured_ms)]);
+    }
+    (rows, t)
+}
+
+/// Figure 2 row: loss rates for one (speed, resolution) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2Row {
+    /// Vehicle speed, MPH.
+    pub speed_mph: f64,
+    /// Stream resolution.
+    pub resolution: Resolution,
+    /// Paper packet-loss rate.
+    pub paper_packet: f64,
+    /// Paper frame-loss rate.
+    pub paper_frame: f64,
+    /// Simulated packet-loss rate.
+    pub sim_packet: f64,
+    /// Simulated (emergent) frame-loss rate.
+    pub sim_frame: f64,
+}
+
+/// E2 — Figure 2: packet and frame loss for 5-minute RTP/H.264 uploads.
+#[must_use]
+pub fn fig2(seed: u64) -> (Vec<Fig2Row>, TextTable) {
+    let channel = CellularChannel::calibrated();
+    let seeds = SeedFactory::new(seed);
+    let mut rows = Vec::new();
+    for (i, &(speed, bitrate, paper_packet)) in FIG2_PACKET_LOSS.iter().enumerate() {
+        let resolution = if (bitrate - 3.8).abs() < 1e-9 {
+            Resolution::P720
+        } else {
+            Resolution::P1080
+        };
+        let paper_frame = FIG2_FRAME_LOSS[i].2;
+        let spec = VideoStreamSpec::paper_encoding(resolution);
+        let mut loss = channel.loss_process(
+            Mph(speed),
+            bitrate,
+            seeds.indexed_stream("fig2", i as u64),
+        );
+        let stats = stream_clip(&spec, &mut loss, SimTime::ZERO, SimDuration::from_secs(300));
+        rows.push(Fig2Row {
+            speed_mph: speed,
+            resolution,
+            paper_packet,
+            paper_frame,
+            sim_packet: stats.packet_loss_rate(),
+            sim_frame: stats.frame_loss_rate(),
+        });
+    }
+    let mut t = TextTable::new(
+        "Figure 2 — packet & frame loss vs speed and resolution (LTE uplink)",
+        &[
+            "scenario",
+            "paper pkt",
+            "sim pkt",
+            "paper frame",
+            "sim frame",
+        ],
+    );
+    for r in &rows {
+        t.row(&[
+            format!("{} MPH {}", r.speed_mph, r.resolution),
+            f3(r.paper_packet),
+            f3(r.sim_packet),
+            f3(r.paper_frame),
+            f3(r.sim_frame),
+        ]);
+    }
+    (rows, t)
+}
+
+/// Figure 3 row: Inception v3 on one processor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3Row {
+    /// Processor name.
+    pub name: String,
+    /// Paper-reported processing time, ms.
+    pub paper_ms: f64,
+    /// Reproduced time, ms.
+    pub measured_ms: f64,
+    /// Max power draw, W.
+    pub power_w: f64,
+    /// Energy per inference, J.
+    pub energy_j: f64,
+}
+
+/// E3 — Figure 3: Inception v3 across heterogeneous processors.
+#[must_use]
+pub fn fig3() -> (Vec<Fig3Row>, TextTable) {
+    let inception = zoo::inception_v3();
+    let rows: Vec<Fig3Row> = catalog::fig3_processors()
+        .iter()
+        .zip(catalog::FIG3_TIMES_MS)
+        .map(|(spec, (name, paper_ms))| Fig3Row {
+            name: name.to_string(),
+            paper_ms,
+            measured_ms: spec.service_time(&inception).as_millis_f64(),
+            power_w: spec.max_watts(),
+            energy_j: spec.energy_joules(&inception),
+        })
+        .collect();
+    let mut t = TextTable::new(
+        "Figure 3 — Inception v3 on heterogeneous processors",
+        &[
+            "processor",
+            "paper (ms)",
+            "reproduced (ms)",
+            "max power (W)",
+            "energy/inference (J)",
+        ],
+    );
+    for r in &rows {
+        t.row(&[
+            r.name.clone(),
+            f2(r.paper_ms),
+            f2(r.measured_ms),
+            f2(r.power_w),
+            f3(r.energy_j),
+        ]);
+    }
+    (rows, t)
+}
+
+/// E4 — §III-A's upload wall: hours to upload a CAV day of data.
+#[must_use]
+pub fn upload_wall() -> TextTable {
+    let volumes: [(&str, u64); 3] = [
+        ("0.4 TB (10%)", 400_000_000_000),
+        ("4 TB (paper)", 4_000_000_000_000),
+        ("11 TB (lidar-heavy)", 11_000_000_000_000),
+    ];
+    let links = [
+        ("LTE (8 Mbps up)", LinkSpec::lte()),
+        ("LTE ideal (100 Mbps)", LinkSpec::new(vdap_net::LinkKind::Lte, 100.0, 100.0, SimDuration::ZERO)),
+        ("5G (60 Mbps up)", LinkSpec::five_g()),
+    ];
+    let mut t = TextTable::new(
+        "E4 — daily data volume vs uplink (hours to upload one day)",
+        &["volume", "LTE (8 Mbps up)", "LTE ideal (100 Mbps)", "5G (60 Mbps up)"],
+    );
+    for (label, bytes) in volumes {
+        let mut cells = vec![label.to_string()];
+        for (_, link) in &links {
+            cells.push(f2(link.upload_hours(bytes)));
+        }
+        t.row(&cells);
+    }
+    t
+}
+
+/// E5 — elastic adaptation timeline for the AMBER search service.
+#[must_use]
+pub fn elastic(seed: u64) -> TextTable {
+    let cfg = ScenarioConfig {
+        seed,
+        duration: SimDuration::from_secs(40),
+        ..ScenarioConfig::default()
+    };
+    let samples = elastic_adaptation_timeline(&cfg);
+    let mut t = TextTable::new(
+        "E5 — elastic pipeline selection vs speed (AMBER search, 800 ms deadline)",
+        &["t (s)", "speed (MPH)", "pipeline", "est. latency (ms)"],
+    );
+    for s in samples.iter().step_by(2) {
+        t.row(&[
+            format!("{}", s.at.as_nanos() / 1_000_000_000),
+            f2(s.speed_mph),
+            s.pipeline.clone().unwrap_or_else(|| "(hung)".into()),
+            s.latency.map_or_else(|| "-".into(), |l| f2(l.as_millis_f64())),
+        ]);
+    }
+    t
+}
+
+/// E6 — strategy comparison across speeds.
+#[must_use]
+pub fn strategies(seed: u64) -> TextTable {
+    let mut t = TextTable::new(
+        "E6 — cloud-only vs in-vehicle vs edge-based (detection stream)",
+        &[
+            "speed",
+            "strategy",
+            "mean latency (ms)",
+            "vehicle energy/req (J)",
+            "uplink bytes/req",
+        ],
+    );
+    for speed in [0.0, 35.0, 70.0] {
+        let cfg = ScenarioConfig {
+            seed,
+            speed: Mph(speed),
+            vehicles: 2,
+            duration: SimDuration::from_secs(10),
+            ..ScenarioConfig::default()
+        };
+        for o in compare_strategies(&cfg) {
+            t.row(&[
+                format!("{speed} MPH"),
+                o.strategy.clone(),
+                f2(o.cost.mean_latency().as_millis_f64()),
+                f3(o.cost.mean_energy_j()),
+                format!("{}", o.cost.bytes_up / o.cost.requests.max(1)),
+            ]);
+        }
+    }
+    t
+}
+
+/// E7 — the pBEAM pipeline report.
+#[must_use]
+pub fn pbeam(seed: u64) -> TextTable {
+    let pipeline = PbeamPipeline::new(
+        PbeamConfig::default(),
+        SeedFactory::new(seed),
+    );
+    let (report, _) = pipeline.run(DriverStyle::Aggressive, SensorBias::none());
+    let mut t = TextTable::new(
+        "E7 — cBEAM → compressed → pBEAM (aggressive driver, driver-relative truth)",
+        &["metric", "value"],
+    );
+    t.row(&["cBEAM accuracy (population test)".into(), f3(report.cbeam_accuracy)]);
+    t.row(&[
+        "compressed accuracy (population test)".into(),
+        f3(report.compressed_accuracy),
+    ]);
+    t.row(&["compression ratio".into(), f2(report.compression.ratio())]);
+    t.row(&["sparsity".into(), f3(report.compression.sparsity())]);
+    t.row(&[
+        "personal accuracy before transfer".into(),
+        f3(report.personal_before),
+    ]);
+    t.row(&[
+        "personal accuracy after transfer (pBEAM)".into(),
+        f3(report.personal_after),
+    ]);
+    t.row(&[
+        "personalization gain".into(),
+        f3(report.personalization_gain()),
+    ]);
+    t
+}
+
+/// E8 — DDI storage-path latency.
+#[must_use]
+pub fn ddi(seed: u64) -> TextTable {
+    let seeds = SeedFactory::new(seed);
+    let mut service = DdiService::new(16_384, SimDuration::from_secs(300));
+    let mut obd = ObdCollector::new(DriverStyle::Normal, seeds.stream("obd"));
+    // One hour of 10 Hz telemetry, uploaded as it is produced.
+    for record in obd.trace(SimTime::ZERO, 36_000) {
+        let at = record.at;
+        service.upload(record, at);
+    }
+    let q = Query::window(
+        RecordKind::Driving,
+        SimTime::from_secs(3500),
+        SimTime::from_secs(3600),
+    );
+    let hot = service.download(&q, SimTime::from_secs(3600));
+    // Expire everything and write back to disk.
+    let (persisted, sweep_cost) = service.sweep(SimTime::from_secs(8000));
+    let mut cold_service = service.clone();
+    let cold = cold_service.download(&q, SimTime::from_secs(8001));
+    let recached = cold_service.download(&q, SimTime::from_secs(8002));
+    let mut t = TextTable::new(
+        "E8 — DDI two-tier storage path (1 h of 10 Hz OBD telemetry)",
+        &["step", "served from", "latency (ms)", "records"],
+    );
+    t.row(&[
+        "fresh query (memory)".into(),
+        format!("{:?}", hot.served_from),
+        f3(hot.latency.as_millis_f64()),
+        hot.records.len().to_string(),
+    ]);
+    t.row(&[
+        format!("TTL sweep ({persisted} records persisted)"),
+        "-".into(),
+        f3(sweep_cost.as_millis_f64()),
+        persisted.to_string(),
+    ]);
+    t.row(&[
+        "cold query (disk)".into(),
+        format!("{:?}", cold.served_from),
+        f3(cold.latency.as_millis_f64()),
+        cold.records.len().to_string(),
+    ]);
+    t.row(&[
+        "repeat query (re-cached)".into(),
+        format!("{:?}", recached.served_from),
+        f3(recached.latency.as_millis_f64()),
+        recached.records.len().to_string(),
+    ]);
+    t
+}
+
+/// E9 — DSF scheduling ablation on a mixed task DAG.
+#[must_use]
+pub fn dsf() -> TextTable {
+    let board = vdap_hw::VcuBoard::reference_design();
+    // A realistic mixed DAG: the plate pipeline plus a data-parallel CNN.
+    let mut graph = license_plate_pipeline(None);
+    let cnn = ComputeWorkload::new("frame-cnn", TaskClass::DenseLinearAlgebra)
+        .with_gflops(20.0)
+        .with_parallel_fraction(0.97);
+    let dp = partition_data_parallel("cnn", &cnn, 4, 0.01);
+    // Merge the data-parallel graph into the pipeline graph.
+    let offset = graph.len() as u32;
+    for task in dp.tasks() {
+        graph.add_task(task.workload().clone());
+    }
+    for &(p, c) in dp.edges() {
+        graph
+            .add_dependency(
+                vdap_vcu::TaskId(p.0 + offset),
+                vdap_vcu::TaskId(c.0 + offset),
+            )
+            .expect("merged graph stays acyclic");
+    }
+    let policies: [&dyn SchedulePolicy; 3] =
+        [&DsfScheduler::new(), &RoundRobinScheduler, &CpuOnlyScheduler];
+    let mut t = TextTable::new(
+        "E9 — DSF scheduler ablation (plate pipeline + data-parallel CNN)",
+        &["policy", "makespan (ms)", "energy (J)"],
+    );
+    for p in policies {
+        let plan = p
+            .plan(&graph, &board, SimTime::ZERO)
+            .expect("reference board runs everything");
+        t.row(&[
+            p.name().to_string(),
+            f2(plan.makespan.as_millis_f64()),
+            f3(plan.energy_joules),
+        ]);
+    }
+    t
+}
+
+/// E10 — V2V collaboration study.
+#[must_use]
+pub fn collab(seed: u64) -> TextTable {
+    let cfg = ScenarioConfig {
+        seed,
+        vehicles: 4,
+        duration: SimDuration::from_secs(120),
+        // Highway spacing: 15 s gaps at 70 MPH put ~0.29 mi between
+        // convoy members — beyond direct DSRC reach, so gossip must wait
+        // for contacts while the RSU relay keeps working.
+        speed: Mph(70.0),
+        ..ScenarioConfig::default()
+    };
+    let mut t = TextTable::new(
+        "E10 — V2V result sharing (4-vehicle convoy, AMBER tile scans)",
+        &["mode", "computations", "reused", "compute saved (ms)", "hit rate"],
+    );
+    for (label, mode) in [
+        ("no collaboration", CollabMode::Off),
+        ("DSRC gossip", CollabMode::DsrcGossip),
+        ("RSU relay", CollabMode::RsuRelay),
+    ] {
+        let out = collaboration_experiment(&cfg, mode);
+        t.row(&[
+            label.into(),
+            out.computations.to_string(),
+            out.reused.to_string(),
+            f2(out.saved.as_millis_f64()),
+            f3(out.hit_rate),
+        ]);
+    }
+    t
+}
+
+/// Extension: the §III-B power/range argument on an EV battery.
+#[must_use]
+pub fn battery() -> TextTable {
+    let battery = Battery::typical_ev();
+    let mut t = TextTable::new(
+        "E4b — compute power vs EV range (60 kWh pack, 250 Wh/mile, 60 MPH)",
+        &["compute rig", "power (W)", "range (miles)", "range lost"],
+    );
+    let rigs = [
+        ("VCU reference board (budget)", 300.0),
+        ("CPU + Tesla V100 (paper §III-B)", 310.0),
+        ("2x V100 server", 560.0),
+        ("Movidius-only perception", 10.0),
+    ];
+    for (name, watts) in rigs {
+        t.row(&[
+            name.to_string(),
+            f2(watts),
+            f2(battery.range_miles(watts, 60.0)),
+            format!("{:.1}%", battery.range_penalty(watts, 60.0) * 100.0),
+        ]);
+    }
+    t
+}
+
+/// Extension: edge-vs-cloud crossover as the edge gets loaded (where the
+/// offloading decision flips).
+#[must_use]
+pub fn crossover(seed: u64) -> TextTable {
+    let stages = openvdap::scenario::detection_stages();
+    let mut t = TextTable::new(
+        "E6b — edge-load crossover for the detection pipeline (35 MPH)",
+        &["edge load", "edge-based latency (ms)", "chosen sites"],
+    );
+    for load in [1.0, 4.0, 16.0, 64.0, 256.0] {
+        let mut infra = Infrastructure::reference();
+        infra.apply_mobility(Mph(35.0));
+        infra.edge_load = load;
+        let mut platform = openvdap::OpenVdap::builder().seed(seed).build();
+        // The board carries a standing ADAS backlog, so offloading is
+        // attractive until the shared edge itself saturates.
+        openvdap::scenario::preload_board(&mut platform, 1.0);
+        let env = infra.env(platform.vcu().board(), SimTime::ZERO);
+        let strategy = vdap_offload::EdgeBased {
+            objective: Objective::MinLatency,
+            deadline: None,
+        };
+        let cost = run_strategy(&strategy, &stages, &env, 1).expect("feasible");
+        let plan = vdap_offload::optimal_placement(
+            "detect",
+            &stages,
+            &env,
+            Objective::MinLatency,
+            None,
+        )
+        .expect("feasible");
+        let sites: Vec<String> = plan
+            .pipeline
+            .sites()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        t.row(&[
+            f2(load),
+            f2(cost.mean_latency().as_millis_f64()),
+            sites.join("→"),
+        ]);
+    }
+    t
+}
+
+/// E5b — objective ablation: latency-first vs energy-first elastic
+/// management over a 10-minute city drive, with the battery impact.
+#[must_use]
+pub fn objectives(seed: u64) -> TextTable {
+    let mut t = TextTable::new(
+        "E5b — elastic objective ablation (10 min at 35 MPH, AMBER search at 1 Hz)",
+        &[
+            "objective",
+            "mean latency (ms)",
+            "vehicle energy (J)",
+            "avg compute power (W)",
+            "EV range lost",
+        ],
+    );
+    for (label, objective) in [
+        ("min-latency", Objective::MinLatency),
+        ("min-vehicle-energy", Objective::MinVehicleEnergy),
+    ] {
+        let mut platform = openvdap::OpenVdap::builder().seed(seed).build();
+        let handle = platform.register_service(openvdap::apps::amber_alert(
+            SimDuration::from_secs(2),
+        ));
+        let mut infra = Infrastructure::reference();
+        infra.apply_mobility(Mph(35.0));
+        let mut total = vdap_offload::CostReport::default();
+        let duration_secs = 600u64;
+        for s in 0..duration_secs {
+            let now = SimTime::from_secs(s);
+            platform.adapt(handle, &infra, now, objective);
+            if let Some(cost) = platform.serve(handle, &infra, now) {
+                total.absorb(&cost);
+            }
+        }
+        let avg_watts = total.vehicle_energy_j / duration_secs as f64;
+        let battery = Battery::typical_ev();
+        t.row(&[
+            label.to_string(),
+            f2(total.mean_latency().as_millis_f64()),
+            f2(total.vehicle_energy_j),
+            f2(avg_watts),
+            format!("{:.2}%", battery.range_penalty(avg_watts, 35.0) * 100.0),
+        ]);
+    }
+    t
+}
+
+/// E11 — libvdap model cache: compressed vs dense residency on a 64 MB
+/// on-vehicle model budget.
+#[must_use]
+pub fn modelcache(seed: u64) -> TextTable {
+    use vdap_models::{ModelCache, Residency};
+    let library = vdap_models::zoo::common_model_library();
+    let mut rng = SeedFactory::new(seed).stream("model-requests");
+    // A request mix skewed toward the two vision models.
+    let weights = [4u64, 3, 1, 1, 1];
+    let mut t = TextTable::new(
+        "E11 — model cache residency, 64 MB budget, 200 skewed requests",
+        &["artifact", "warm rate", "evictions", "mean availability (ms)"],
+    );
+    for (label, compressed) in [("compressed models", true), ("dense models", false)] {
+        let mut cache = ModelCache::new(64 * 1024 * 1024, compressed);
+        let mut ssd = vdap_hw::SsdModel::automotive();
+        let mut latency_total = SimDuration::ZERO;
+        let n = 200u64;
+        for i in 0..n {
+            // Weighted pick.
+            let total_w: u64 = weights.iter().sum();
+            let mut pick = rng.below(total_w);
+            let mut idx = 0;
+            for (j, &w) in weights.iter().enumerate() {
+                if pick < w {
+                    idx = j;
+                    break;
+                }
+                pick -= w;
+            }
+            let (res, cost) =
+                cache.request(&library[idx], &mut ssd, SimTime::from_secs(i));
+            let _ = matches!(res, Residency::Warm);
+            latency_total += cost;
+        }
+        t.row(&[
+            label.to_string(),
+            f3(cache.stats().warm_rate()),
+            cache.stats().evictions.to_string(),
+            f3(latency_total.as_millis_f64() / n as f64),
+        ]);
+    }
+    t
+}
+
+/// E12 — DSF admission control: how many 8 Hz plate services the
+/// reference board sustains before the controller pushes back.
+#[must_use]
+pub fn admission() -> TextTable {
+    use vdap_vcu::{AdmissionController, ApplicationProfile};
+    let board = vdap_hw::VcuBoard::reference_design();
+    let mut ctrl = AdmissionController::default();
+    let graph = license_plate_pipeline(None);
+    let mut t = TextTable::new(
+        "E12 — DSF admission control (plate pipeline at 8 req/s per service)",
+        &["service #", "decision", "peak utilization"],
+    );
+    for i in 1..=8 {
+        let profile = ApplicationProfile::new(format!("plates-{i}")).with_arrival_rate(8.0);
+        let decision = ctrl.admit(&profile, &graph, &board);
+        t.row(&[
+            i.to_string(),
+            if decision.is_admitted() {
+                "admitted".into()
+            } else {
+                "REJECTED".into()
+            },
+            f3(decision.report().peak_utilization),
+        ]);
+        if !decision.is_admitted() {
+            break;
+        }
+    }
+    t
+}
+
+/// E13 — §II-C infotainment QoE: streaming 1080P video to a moving
+/// vehicle, without and with edge-side adaptive transcoding (the edge
+/// lowers the bitrate to what the cell can actually sustain).
+#[must_use]
+pub fn infotainment(seed: u64) -> TextTable {
+    let channel = CellularChannel::calibrated();
+    let seeds = SeedFactory::new(seed);
+    let mut t = TextTable::new(
+        "E13 — infotainment streaming QoE (5-minute clip, cellular downlink)",
+        &[
+            "speed",
+            "direct 1080P frame loss",
+            "edge-adapted bitrate (Mbps)",
+            "adapted frame loss",
+        ],
+    );
+    for (i, speed) in [0.0, 35.0, 70.0].into_iter().enumerate() {
+        let direct_spec = VideoStreamSpec::paper_encoding(Resolution::P1080);
+        let mut direct_loss = channel.loss_process(
+            Mph(speed),
+            Resolution::P1080.bitrate_mbps(),
+            seeds.indexed_stream("direct", i as u64),
+        );
+        let direct = stream_clip(
+            &direct_spec,
+            &mut direct_loss,
+            SimTime::ZERO,
+            SimDuration::from_secs(300),
+        );
+        // The edge transcodes down until the predicted loss is tolerable.
+        let mut bitrate = Resolution::P1080.bitrate_mbps();
+        while bitrate > 1.0
+            && channel.target_packet_loss(Mph(speed), bitrate) > 0.02
+        {
+            bitrate -= 0.2;
+        }
+        // Adapted stream: 720P GOP structure scaled to the chosen rate —
+        // model it by running the 720P encoding through a loss process
+        // at the adapted bitrate.
+        let adapted_spec = VideoStreamSpec::paper_encoding(Resolution::P720);
+        let mut adapted_loss = channel.loss_process(
+            Mph(speed),
+            bitrate,
+            seeds.indexed_stream("adapted", i as u64),
+        );
+        let adapted = stream_clip(
+            &adapted_spec,
+            &mut adapted_loss,
+            SimTime::ZERO,
+            SimDuration::from_secs(300),
+        );
+        t.row(&[
+            format!("{speed} MPH"),
+            f3(direct.frame_loss_rate()),
+            f2(bitrate),
+            f3(adapted.frame_loss_rate()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reproduces_paper() {
+        let (rows, t) = table1();
+        assert_eq!(rows.len(), 3);
+        assert!(!t.is_empty());
+        for r in &rows {
+            assert!(
+                (r.measured_ms - r.paper_ms).abs() / r.paper_ms < 0.001,
+                "{}: {} vs {}",
+                r.name,
+                r.measured_ms,
+                r.paper_ms
+            );
+        }
+    }
+
+    #[test]
+    fn fig2_shape_holds() {
+        let (rows, _) = fig2(42);
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert!(
+                r.sim_frame >= r.sim_packet,
+                "frame loss must amplify packet loss"
+            );
+        }
+        // Monotone in speed for each resolution.
+        for res in [Resolution::P720, Resolution::P1080] {
+            let by_speed: Vec<&Fig2Row> =
+                rows.iter().filter(|r| r.resolution == res).collect();
+            assert!(by_speed[0].sim_packet < by_speed[1].sim_packet);
+            assert!(by_speed[1].sim_packet < by_speed[2].sim_packet);
+        }
+    }
+
+    #[test]
+    fn fig3_reproduces_paper() {
+        let (rows, _) = fig3();
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!(
+                (r.measured_ms - r.paper_ms).abs() / r.paper_ms < 0.01,
+                "{}: {} vs {}",
+                r.name,
+                r.measured_ms,
+                r.paper_ms
+            );
+        }
+    }
+
+    #[test]
+    fn narrative_tables_render() {
+        assert!(!upload_wall().is_empty());
+        assert!(!battery().is_empty());
+        assert!(!dsf().is_empty());
+        assert!(!ddi(7).is_empty());
+        assert!(!collab(7).is_empty());
+        assert!(!admission().is_empty());
+        assert!(!modelcache(7).is_empty());
+    }
+
+    #[test]
+    fn objective_ablation_trades_energy_for_latency() {
+        let rendered = objectives(7).render();
+        let rows: Vec<&str> = rendered.lines().skip(3).collect();
+        assert_eq!(rows.len(), 2, "{rendered}");
+        // Crude but robust: the energy-first row must report less
+        // energy; parse the joules column.
+        let parse = |line: &str| -> Vec<f64> {
+            line.split_whitespace()
+                .filter_map(|tok| tok.parse::<f64>().ok())
+                .collect()
+        };
+        let lat_row = parse(rows[0]);
+        let eng_row = parse(rows[1]);
+        // Columns: latency, energy, power, (range% unparsable).
+        assert!(eng_row[1] < lat_row[1], "energy objective must save energy");
+        assert!(eng_row[0] >= lat_row[0], "and pay latency for it");
+    }
+
+    #[test]
+    fn infotainment_edge_adaptation_rescues_qoe_at_speed() {
+        let rendered = infotainment(7).render();
+        // At 70 MPH the direct 1080P stream is unusable while the
+        // adapted stream is watchable.
+        let line = rendered
+            .lines()
+            .find(|l| l.contains("70 MPH"))
+            .expect("70 MPH row");
+        let nums: Vec<f64> = line
+            .split_whitespace()
+            .filter_map(|tok| tok.parse::<f64>().ok())
+            .collect();
+        // nums = [70 (from "70 MPH"? no — "70" token), direct, bitrate, adapted]
+        let direct = nums[nums.len() - 3];
+        let adapted = nums[nums.len() - 1];
+        assert!(direct > 0.8, "direct 1080P at 70 MPH should fail: {direct}");
+        // At 70 MPH handoff outages dominate regardless of bitrate, so
+        // adaptation helps but cannot fully rescue the stream.
+        assert!(adapted < direct * 0.7, "adaptation must help: {adapted}");
+    }
+
+    #[test]
+    fn crossover_shifts_placement_as_edge_saturates() {
+        let t = crossover(7);
+        let rendered = t.render();
+        // With a busy board the light edge wins; as it saturates the
+        // planner must shift at least part of the pipeline elsewhere.
+        assert!(rendered.contains("edge→edge"), "{rendered}");
+        assert!(
+            rendered.contains("cloud") || rendered.contains("vehicle"),
+            "placement never shifted: {rendered}"
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! libvdap — the developer-facing API (§IV-E, Figure 8).
+//!
+//! "libvdap provides a uniform RESTful API. By calling the API,
+//! developers can access all software and hardware resources. The
+//! resources can be grouped into four categories: Personalized Driving
+//! Behavior Model (pBEAM), Common model library, VCU system resources
+//! library, and Data sharing library."
+//!
+//! [`Libvdap`] is that façade over an [`OpenVdap`] platform, grouped
+//! exactly like the figure. (The wire protocol is out of scope for the
+//! reproduction; method calls stand in for REST endpoints.)
+
+use vdap_ddi::{DriverStyle, Download, Query, Record};
+use vdap_models::zoo::{common_model_library, library_entry, ModelEntry};
+use vdap_models::{Network, PbeamConfig, PbeamPipeline, PbeamReport, SensorBias};
+use vdap_sim::{SimDuration, SimTime};
+use vdap_vcu::{AppId, RegistryError, ResourceProfile, Schedule, SchedulePolicy, TaskGraph};
+
+use crate::platform::OpenVdap;
+
+/// The libvdap façade.
+#[derive(Debug)]
+pub struct Libvdap<'a> {
+    platform: &'a mut OpenVdap,
+}
+
+impl<'a> Libvdap<'a> {
+    /// Opens the library over a platform.
+    #[must_use]
+    pub fn new(platform: &'a mut OpenVdap) -> Self {
+        Libvdap { platform }
+    }
+
+    // --- Personalized Driving Behavior Model (pBEAM) -------------------
+
+    /// Builds this vehicle's pBEAM: trains cBEAM on population data,
+    /// Deep-Compresses it, and transfer-learns on the driver's data
+    /// (Figure 9). Returns the experiment report and the ready model.
+    #[must_use]
+    pub fn build_pbeam(
+        &mut self,
+        style: DriverStyle,
+        bias: SensorBias,
+        config: PbeamConfig,
+    ) -> (PbeamReport, Network) {
+        let pipeline = PbeamPipeline::new(config, self.platform.seeds());
+        pipeline.run(style, bias)
+    }
+
+    // --- Common model library ------------------------------------------
+
+    /// Lists every model in the common model library.
+    #[must_use]
+    pub fn common_models(&self) -> Vec<ModelEntry> {
+        common_model_library()
+    }
+
+    /// Looks up one common model by name.
+    #[must_use]
+    pub fn common_model(&self, name: &str) -> Option<ModelEntry> {
+        library_entry(name)
+    }
+
+    // --- VCU system resources library -----------------------------------
+
+    /// Snapshots every VCU resource profile (the DSF collection pass).
+    #[must_use]
+    pub fn vcu_resources(&self, now: SimTime) -> Vec<ResourceProfile> {
+        self.platform.vcu().collect_profiles(now)
+    }
+
+    /// Submits a task graph to the DSF under an application id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RegistryError`] (unknown app, access denial,
+    /// infeasible schedule).
+    pub fn submit_tasks(
+        &mut self,
+        app: AppId,
+        graph: &TaskGraph,
+        policy: &dyn SchedulePolicy,
+        now: SimTime,
+    ) -> Result<Schedule, RegistryError> {
+        self.platform.vcu_mut().submit(app, graph, policy, now)
+    }
+
+    // --- Data sharing library -------------------------------------------
+
+    /// Uploads a telemetry record into the DDI; returns the request
+    /// latency.
+    pub fn record_telemetry(&mut self, record: Record, now: SimTime) -> SimDuration {
+        self.platform.ddi_mut().upload(record, now)
+    }
+
+    /// Downloads time-space data from the DDI (memory tier first).
+    pub fn driving_history(&mut self, query: &Query, now: SimTime) -> Download {
+        self.platform.ddi_mut().download(query, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdap_ddi::{DrivingSample, GeoPoint, Payload, RecordKind};
+    use vdap_vcu::{license_plate_pipeline, ApplicationProfile, DsfScheduler};
+
+    fn platform() -> OpenVdap {
+        OpenVdap::builder().seed(3).build()
+    }
+
+    #[test]
+    fn common_model_group_lists_and_looks_up() {
+        let mut p = platform();
+        let lib = Libvdap::new(&mut p);
+        let all = lib.common_models();
+        assert!(all.len() >= 5);
+        assert!(lib.common_model("inception-v3").is_some());
+        assert!(lib.common_model("bogus").is_none());
+    }
+
+    #[test]
+    fn vcu_resource_group_snapshots_profiles() {
+        let mut p = platform();
+        let lib = Libvdap::new(&mut p);
+        let profiles = lib.vcu_resources(SimTime::ZERO);
+        assert_eq!(profiles.len(), 5);
+    }
+
+    #[test]
+    fn task_submission_through_the_api() {
+        let mut p = platform();
+        let app = p
+            .vcu_mut()
+            .register_app(ApplicationProfile::new("plates"));
+        let mut lib = Libvdap::new(&mut p);
+        let schedule = lib
+            .submit_tasks(app, &license_plate_pipeline(None), &DsfScheduler::new(), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(schedule.assignments.len(), 3);
+    }
+
+    #[test]
+    fn data_sharing_group_roundtrip() {
+        let mut p = platform();
+        let mut lib = Libvdap::new(&mut p);
+        let rec = Record::new(
+            SimTime::from_secs(5),
+            GeoPoint::new(42.3, -83.0),
+            Payload::Driving(DrivingSample {
+                speed_mph: 30.0,
+                accel_mps2: 0.0,
+                yaw_rate: 0.0,
+                engine_rpm: 1500.0,
+                throttle: 0.1,
+                brake: 0.0,
+            }),
+        );
+        lib.record_telemetry(rec, SimTime::from_secs(5));
+        let out = lib.driving_history(
+            &Query::window(RecordKind::Driving, SimTime::ZERO, SimTime::from_secs(60)),
+            SimTime::from_secs(6),
+        );
+        assert_eq!(out.records.len(), 1);
+    }
+
+    #[test]
+    fn pbeam_group_builds_a_model() {
+        let mut p = platform();
+        let mut lib = Libvdap::new(&mut p);
+        let config = PbeamConfig {
+            windows_per_style: 60,
+            personal_windows: 60,
+            ..PbeamConfig::default()
+        };
+        let (report, model) =
+            lib.build_pbeam(DriverStyle::Normal, SensorBias::none(), config);
+        assert!(report.cbeam_accuracy > 0.6);
+        assert_eq!(model.classes(), 3);
+    }
+}

@@ -1,0 +1,203 @@
+//! Reference applications (§II's four service classes).
+//!
+//! The paper classifies in-vehicle services as real-time diagnostics,
+//! ADAS, in-vehicle infotainment, and third-party applications. Each
+//! constructor here returns a [`PolymorphicService`] with the pipelines
+//! that make sense for that class; the examples and experiments register
+//! them on an [`crate::OpenVdap`] platform.
+
+use vdap_edgeos::{Pipeline, PipelineStage, PolymorphicService};
+use vdap_hw::{ComputeWorkload, TaskClass};
+use vdap_net::Site;
+use vdap_sim::SimDuration;
+use vdap_vcu::Priority;
+
+fn at(site: Site, workload: ComputeWorkload) -> PipelineStage {
+    PipelineStage { workload, site }
+}
+
+/// §II-A real-time diagnostics: collects OBD + context from the DDI and
+/// runs fault prediction. Cheap enough to run anywhere; pipelines cover
+/// on-board and cloud analysis.
+#[must_use]
+pub fn real_time_diagnostics() -> PolymorphicService {
+    let features = || {
+        ComputeWorkload::new("obd-featurize", TaskClass::SignalProcessing)
+            .with_gflops(0.01)
+            .with_input_bytes(64 * 1024)
+            .with_output_bytes(4 * 1024)
+            .with_parallel_fraction(0.8)
+    };
+    let predict = || {
+        ComputeWorkload::new("fault-predict", TaskClass::DenseLinearAlgebra)
+            .with_gflops(0.05)
+            .with_input_bytes(4 * 1024)
+            .with_output_bytes(512)
+            .with_parallel_fraction(0.9)
+    };
+    PolymorphicService::new(
+        "real-time-diagnostics",
+        Priority::Normal,
+        SimDuration::from_secs(1),
+        vec![
+            Pipeline::new(
+                "onboard",
+                vec![at(Site::Vehicle, features()), at(Site::Vehicle, predict())],
+            ),
+            Pipeline::new(
+                "cloud-analysis",
+                vec![at(Site::Vehicle, features()), at(Site::Cloud, predict())],
+            ),
+        ],
+    )
+}
+
+/// §II-B ADAS pedestrian alert: safety-critical single-frame detection.
+/// The deadline is a frame budget; offloading variants exist but the
+/// split keeps perception local (the paper's safety argument).
+#[must_use]
+pub fn pedestrian_alert() -> PolymorphicService {
+    let frame = 1280 * 720 * 3 / 2;
+    let detect = || {
+        ComputeWorkload::new("pedestrian-detect", TaskClass::VisionKernel)
+            .with_gflops(1.2)
+            .with_input_bytes(frame)
+            .with_output_bytes(1024)
+            .with_parallel_fraction(0.96)
+    };
+    let classify = || {
+        ComputeWorkload::new("pedestrian-classify", TaskClass::DenseLinearAlgebra)
+            .with_gflops(2.0)
+            .with_input_bytes(256 * 1024)
+            .with_output_bytes(256)
+            .with_parallel_fraction(0.97)
+    };
+    PolymorphicService::new(
+        "pedestrian-alert",
+        Priority::SafetyCritical,
+        SimDuration::from_millis(100),
+        vec![
+            Pipeline::new(
+                "all-onboard",
+                vec![at(Site::Vehicle, detect()), at(Site::Vehicle, classify())],
+            ),
+            Pipeline::new(
+                "classify-at-edge",
+                vec![at(Site::Vehicle, detect()), at(Site::Edge, classify())],
+            ),
+        ],
+    )
+}
+
+/// §II-C in-vehicle infotainment: video is fetched from the Internet and
+/// decoded locally or at the edge (edge transcode saves cellular bytes).
+#[must_use]
+pub fn infotainment() -> PolymorphicService {
+    let chunk = 2_000_000u64; // ~2 MB of streamed video per request
+    let decode = || {
+        ComputeWorkload::new("video-decode", TaskClass::MediaCodec)
+            .with_gflops(0.6)
+            .with_input_bytes(chunk)
+            .with_output_bytes(64 * 1024)
+            .with_parallel_fraction(0.9)
+    };
+    PolymorphicService::new(
+        "infotainment",
+        Priority::Background,
+        SimDuration::from_secs(2),
+        vec![
+            Pipeline::new("decode-onboard", vec![at(Site::Vehicle, decode())]),
+            Pipeline::new("edge-transcode", vec![at(Site::Edge, decode())]),
+        ],
+    )
+}
+
+/// §II-D third-party AMBER-alert search (mobile A3): re-exported from
+/// EdgeOSv with the paper's three pipelines.
+#[must_use]
+pub fn amber_alert(deadline: SimDuration) -> PolymorphicService {
+    vdap_edgeos::kidnapper_search(deadline, Site::Edge)
+}
+
+/// A third-party traffic-information collector: aggregates DDI context
+/// and uploads summaries in the background.
+#[must_use]
+pub fn traffic_info_collector() -> PolymorphicService {
+    let summarize = || {
+        ComputeWorkload::new("traffic-summarize", TaskClass::ControlLogic)
+            .with_gflops(0.02)
+            .with_input_bytes(128 * 1024)
+            .with_output_bytes(8 * 1024)
+            .with_parallel_fraction(0.5)
+    };
+    PolymorphicService::new(
+        "traffic-info-collector",
+        Priority::Background,
+        SimDuration::from_secs(10),
+        vec![
+            Pipeline::new("summarize-onboard", vec![at(Site::Vehicle, summarize())]),
+            Pipeline::new("summarize-at-edge", vec![at(Site::Edge, summarize())]),
+        ],
+    )
+}
+
+/// The full §II service mix, ready to register on a platform.
+#[must_use]
+pub fn standard_service_mix() -> Vec<PolymorphicService> {
+    vec![
+        real_time_diagnostics(),
+        pedestrian_alert(),
+        infotainment(),
+        amber_alert(SimDuration::from_millis(800)),
+        traffic_info_collector(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_covers_the_four_paper_classes() {
+        let mix = standard_service_mix();
+        assert_eq!(mix.len(), 5);
+        let names: Vec<&str> = mix.iter().map(|s| s.name()).collect();
+        for expect in [
+            "real-time-diagnostics",
+            "pedestrian-alert",
+            "infotainment",
+            "kidnapper-search",
+            "traffic-info-collector",
+        ] {
+            assert!(names.contains(&expect), "missing {expect}");
+        }
+    }
+
+    #[test]
+    fn pedestrian_alert_is_safety_critical_and_tight() {
+        let s = pedestrian_alert();
+        assert_eq!(s.priority(), Priority::SafetyCritical);
+        assert!(s.deadline() <= SimDuration::from_millis(100));
+        // Perception never leaves the vehicle in any pipeline.
+        for p in s.pipelines() {
+            assert_eq!(p.stages[0].site, Site::Vehicle);
+        }
+    }
+
+    #[test]
+    fn every_service_has_multiple_pipelines() {
+        for s in standard_service_mix() {
+            assert!(
+                s.pipelines().len() >= 2,
+                "{} is not polymorphic",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn background_services_have_loose_deadlines() {
+        assert!(infotainment().deadline() >= SimDuration::from_secs(1));
+        assert!(traffic_info_collector().deadline() >= SimDuration::from_secs(1));
+    }
+}

@@ -1,0 +1,137 @@
+//! External infrastructure: the XEdge and cloud the vehicle talks to.
+//!
+//! The paper's two-tier architecture (Figure 1): vehicles offload to
+//! nearby XEdge servers (base stations, RSUs, traffic signals) and to a
+//! remote cloud. [`Infrastructure`] bundles the link fabric, the remote
+//! processors and their current load factors, and knows how to degrade
+//! the cellular link for a moving vehicle using the calibrated Figure 2
+//! channel model.
+
+use vdap_edgeos::Environment;
+use vdap_hw::{catalog, ProcessorSpec, VcuBoard};
+use vdap_net::{CellularChannel, LinkSpec, Mph, NetTopology};
+use vdap_sim::SimTime;
+
+/// The world outside the vehicle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Infrastructure {
+    /// The link fabric.
+    pub net: NetTopology,
+    /// The XEdge server's processor.
+    pub edge: ProcessorSpec,
+    /// The cloud server's processor.
+    pub cloud: ProcessorSpec,
+    /// Edge service-time multiplier (≥ 1; shared-tenancy queueing).
+    pub edge_load: f64,
+    /// Cloud service-time multiplier (≥ 1).
+    pub cloud_load: f64,
+}
+
+impl Infrastructure {
+    /// The reference deployment: DSRC to an RSU-class edge, LTE to a
+    /// cloud inference server, both idle.
+    #[must_use]
+    pub fn reference() -> Self {
+        Infrastructure {
+            net: NetTopology::reference(),
+            edge: catalog::xedge_server(),
+            cloud: catalog::cloud_server(),
+            edge_load: 1.0,
+            cloud_load: 1.0,
+        }
+    }
+
+    /// A 5G variant of the reference deployment.
+    #[must_use]
+    pub fn five_g() -> Self {
+        Infrastructure {
+            net: NetTopology::five_g(),
+            ..Infrastructure::reference()
+        }
+    }
+
+    /// Degrades the vehicle↔cloud link for a vehicle moving at `speed`:
+    /// effective cellular goodput scales with `(1 - loss)` from the
+    /// calibrated drive-test channel (video-rate traffic assumed).
+    pub fn apply_mobility(&mut self, speed: Mph) {
+        let channel = CellularChannel::calibrated();
+        let loss = channel.target_packet_loss(speed, 5.8);
+        let factor = (1.0 - loss).max(0.02);
+        self.net.set_vehicle_cloud(LinkSpec::lte().scaled(factor));
+        // DSRC degrades far more gently (short range, line of sight).
+        let dsrc_factor = (1.0 - loss / 4.0).max(0.1);
+        self.net.set_vehicle_edge(LinkSpec::dsrc().scaled(dsrc_factor));
+    }
+
+    /// Builds an [`Environment`] snapshot over a vehicle board at `now`.
+    #[must_use]
+    pub fn env<'a>(&'a self, board: &'a VcuBoard, now: SimTime) -> Environment<'a> {
+        Environment {
+            net: &self.net,
+            board,
+            edge: &self.edge,
+            cloud: &self.cloud,
+            edge_load: self.edge_load,
+            cloud_load: self.cloud_load,
+            now,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdap_net::{Direction, Site};
+
+    #[test]
+    fn reference_infrastructure_shape() {
+        let infra = Infrastructure::reference();
+        assert_eq!(infra.edge.name(), "xedge-server");
+        assert_eq!(infra.cloud.name(), "cloud-server");
+        assert_eq!(infra.edge_load, 1.0);
+    }
+
+    #[test]
+    fn mobility_degrades_cellular_more_than_dsrc() {
+        let mut infra = Infrastructure::reference();
+        let before_cloud = infra
+            .net
+            .link(Site::Vehicle, Site::Cloud)
+            .unwrap()
+            .bandwidth_mbps(Direction::Uplink);
+        infra.apply_mobility(Mph(70.0));
+        let after_cloud = infra
+            .net
+            .link(Site::Vehicle, Site::Cloud)
+            .unwrap()
+            .bandwidth_mbps(Direction::Uplink);
+        let after_dsrc = infra
+            .net
+            .link(Site::Vehicle, Site::Edge)
+            .unwrap()
+            .bandwidth_mbps(Direction::Uplink);
+        assert!(after_cloud < before_cloud * 0.5, "LTE should collapse at 70 MPH");
+        assert!(after_dsrc > 12.0 * 0.7, "DSRC should degrade gently");
+    }
+
+    #[test]
+    fn stationary_vehicle_keeps_nominal_links() {
+        let mut infra = Infrastructure::reference();
+        infra.apply_mobility(Mph(0.0));
+        let cloud_bw = infra
+            .net
+            .link(Site::Vehicle, Site::Cloud)
+            .unwrap()
+            .bandwidth_mbps(Direction::Uplink);
+        assert!(cloud_bw > 7.9, "static loss is negligible: {cloud_bw}");
+    }
+
+    #[test]
+    fn env_snapshot_borrows_consistently() {
+        let infra = Infrastructure::reference();
+        let board = VcuBoard::reference_design();
+        let env = infra.env(&board, SimTime::from_secs(5));
+        assert_eq!(env.now, SimTime::from_secs(5));
+        assert_eq!(env.board.slots().len(), 5);
+    }
+}

@@ -1,0 +1,327 @@
+//! The assembled OpenVDAP platform (paper Figure 4).
+//!
+//! One [`OpenVdap`] instance is everything that rides on a vehicle: the
+//! VCU (board + DSF behind a [`ResourceRegistry`]), the EdgeOSv modules
+//! (elastic management, security, privacy, data sharing), the DDI, the
+//! V2V collaboration cache, and the registered polymorphic services.
+//! Build one with [`OpenVdap::builder`].
+
+use vdap_ddi::DdiService;
+use vdap_edgeos::{
+    Decision, ElasticManager, Objective, PolymorphicService, PseudonymManager, SecurityMonitor,
+    ServiceState, SharingBus, VehicleId,
+};
+use vdap_hw::VcuBoard;
+use vdap_offload::{price, CostReport, ResultCache};
+use vdap_sim::{SeedFactory, SimDuration, SimTime};
+use vdap_vcu::{ApplicationProfile, ResourceRegistry};
+
+use crate::infra::Infrastructure;
+
+/// Handle to a service registered on a platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ServiceHandle(usize);
+
+/// Builder for [`OpenVdap`].
+#[derive(Debug)]
+pub struct OpenVdapBuilder {
+    seed: u64,
+    vehicle_id: VehicleId,
+    board: Option<VcuBoard>,
+    ddi_capacity: usize,
+    ddi_ttl: SimDuration,
+    pseudonym_period: SimDuration,
+    collab_freshness: SimDuration,
+}
+
+impl OpenVdapBuilder {
+    /// Sets the scenario seed (default 0).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the vehicle's long-term identity.
+    #[must_use]
+    pub fn vehicle_id(mut self, id: VehicleId) -> Self {
+        self.vehicle_id = id;
+        self
+    }
+
+    /// Replaces the default reference board.
+    #[must_use]
+    pub fn board(mut self, board: VcuBoard) -> Self {
+        self.board = Some(board);
+        self
+    }
+
+    /// Sets the DDI memory-tier capacity (entries) and TTL.
+    #[must_use]
+    pub fn ddi(mut self, capacity: usize, ttl: SimDuration) -> Self {
+        self.ddi_capacity = capacity;
+        self.ddi_ttl = ttl;
+        self
+    }
+
+    /// Sets the pseudonym rotation period.
+    #[must_use]
+    pub fn pseudonym_period(mut self, period: SimDuration) -> Self {
+        self.pseudonym_period = period;
+        self
+    }
+
+    /// Sets the V2V shared-result freshness bound.
+    #[must_use]
+    pub fn collab_freshness(mut self, freshness: SimDuration) -> Self {
+        self.collab_freshness = freshness;
+        self
+    }
+
+    /// Assembles the platform.
+    #[must_use]
+    pub fn build(self) -> OpenVdap {
+        let seeds = SeedFactory::new(self.seed);
+        let board = self.board.unwrap_or_else(VcuBoard::reference_design);
+        OpenVdap {
+            seeds,
+            vehicle_id: self.vehicle_id,
+            registry: ResourceRegistry::new(board),
+            elastic: ElasticManager::new(),
+            security: SecurityMonitor::new(),
+            privacy: PseudonymManager::new(
+                self.pseudonym_period,
+                seeds.stream("pseudonym-secret").next_u64(),
+            ),
+            sharing: SharingBus::new(),
+            ddi: DdiService::new(self.ddi_capacity, self.ddi_ttl),
+            collab: ResultCache::new(self.collab_freshness),
+            services: Vec::new(),
+        }
+    }
+}
+
+/// A vehicle's full OpenVDAP stack.
+#[derive(Debug)]
+pub struct OpenVdap {
+    seeds: SeedFactory,
+    vehicle_id: VehicleId,
+    registry: ResourceRegistry,
+    elastic: ElasticManager,
+    security: SecurityMonitor,
+    privacy: PseudonymManager,
+    sharing: SharingBus,
+    ddi: DdiService,
+    collab: ResultCache,
+    services: Vec<PolymorphicService>,
+}
+
+impl OpenVdap {
+    /// Starts building a platform.
+    #[must_use]
+    pub fn builder() -> OpenVdapBuilder {
+        OpenVdapBuilder {
+            seed: 0,
+            vehicle_id: VehicleId(0),
+            board: None,
+            ddi_capacity: 65_536,
+            ddi_ttl: SimDuration::from_secs(300),
+            pseudonym_period: SimDuration::from_secs(600),
+            collab_freshness: SimDuration::from_secs(120),
+        }
+    }
+
+    /// The platform's seed factory (derive per-component streams).
+    #[must_use]
+    pub fn seeds(&self) -> SeedFactory {
+        self.seeds
+    }
+
+    /// The vehicle's long-term identity.
+    #[must_use]
+    pub fn vehicle_id(&self) -> VehicleId {
+        self.vehicle_id
+    }
+
+    /// The VCU resource registry (DSF front end).
+    #[must_use]
+    pub fn vcu(&self) -> &ResourceRegistry {
+        &self.registry
+    }
+
+    /// Mutable VCU access (submit task graphs, plug resources).
+    pub fn vcu_mut(&mut self) -> &mut ResourceRegistry {
+        &mut self.registry
+    }
+
+    /// The DDI.
+    #[must_use]
+    pub fn ddi(&self) -> &DdiService {
+        &self.ddi
+    }
+
+    /// Mutable DDI access.
+    pub fn ddi_mut(&mut self) -> &mut DdiService {
+        &mut self.ddi
+    }
+
+    /// The EdgeOSv security monitor.
+    #[must_use]
+    pub fn security(&self) -> &SecurityMonitor {
+        &self.security
+    }
+
+    /// Mutable security monitor.
+    pub fn security_mut(&mut self) -> &mut SecurityMonitor {
+        &mut self.security
+    }
+
+    /// The privacy module.
+    pub fn privacy_mut(&mut self) -> &mut PseudonymManager {
+        &mut self.privacy
+    }
+
+    /// The data-sharing bus.
+    #[must_use]
+    pub fn sharing(&self) -> &SharingBus {
+        &self.sharing
+    }
+
+    /// The V2V collaboration cache.
+    #[must_use]
+    pub fn collab(&self) -> &ResultCache {
+        &self.collab
+    }
+
+    /// Mutable collaboration cache.
+    pub fn collab_mut(&mut self) -> &mut ResultCache {
+        &mut self.collab
+    }
+
+    /// The elastic manager.
+    #[must_use]
+    pub fn elastic(&self) -> &ElasticManager {
+        &self.elastic
+    }
+
+    /// Registers a polymorphic service (and an application profile with
+    /// the DSF).
+    pub fn register_service(&mut self, service: PolymorphicService) -> ServiceHandle {
+        self.registry.register_app(
+            ApplicationProfile::new(service.name())
+                .with_priority(service.priority())
+                .with_deadline(service.deadline()),
+        );
+        self.services.push(service);
+        ServiceHandle(self.services.len() - 1)
+    }
+
+    /// A registered service.
+    #[must_use]
+    pub fn service(&self, handle: ServiceHandle) -> Option<&PolymorphicService> {
+        self.services.get(handle.0)
+    }
+
+    /// All registered services.
+    #[must_use]
+    pub fn services(&self) -> &[PolymorphicService] {
+        &self.services
+    }
+
+    /// Re-evaluates one service's pipeline choice against the current
+    /// infrastructure (the elastic-management tick).
+    pub fn adapt(
+        &mut self,
+        handle: ServiceHandle,
+        infra: &Infrastructure,
+        now: SimTime,
+        objective: Objective,
+    ) -> Option<Decision> {
+        // Disjoint field borrows: services (mut), registry (shared),
+        // elastic (mut).
+        let service = self.services.get_mut(handle.0)?;
+        let env = infra.env(self.registry.board(), now);
+        Some(self.elastic.decide(service, &env, objective))
+    }
+
+    /// Serves one request on the service's selected pipeline, returning
+    /// its cost. Hung services return `None`.
+    #[must_use]
+    pub fn serve(
+        &self,
+        handle: ServiceHandle,
+        infra: &Infrastructure,
+        now: SimTime,
+    ) -> Option<CostReport> {
+        let service = self.services.get(handle.0)?;
+        if service.state() != ServiceState::Running {
+            return None;
+        }
+        let pipeline = service.selected_pipeline()?;
+        let env = infra.env(self.registry.board(), now);
+        Some(price(pipeline, &env))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdap_edgeos::kidnapper_search;
+    use vdap_net::Site;
+
+    fn infra() -> Infrastructure {
+        Infrastructure::reference()
+    }
+
+    #[test]
+    fn builder_defaults_produce_reference_platform() {
+        let p = OpenVdap::builder().seed(7).build();
+        assert_eq!(p.vcu().board().slots().len(), 5);
+        assert!(p.services().is_empty());
+        assert_eq!(p.vehicle_id(), VehicleId(0));
+    }
+
+    #[test]
+    fn adapt_then_serve_roundtrip() {
+        let mut p = OpenVdap::builder().seed(1).build();
+        let h = p.register_service(kidnapper_search(
+            SimDuration::from_secs(2),
+            Site::Edge,
+        ));
+        let infra = infra();
+        let decision = p.adapt(h, &infra, SimTime::ZERO, Objective::MinLatency);
+        assert!(decision.unwrap().selected.is_some());
+        let cost = p.serve(h, &infra, SimTime::ZERO).unwrap();
+        assert!(cost.latency > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn hung_service_serves_nothing() {
+        let mut p = OpenVdap::builder().build();
+        let h = p.register_service(kidnapper_search(
+            SimDuration::from_nanos(1), // impossible deadline
+            Site::Edge,
+        ));
+        let infra = infra();
+        p.adapt(h, &infra, SimTime::ZERO, Objective::MinLatency);
+        assert!(p.serve(h, &infra, SimTime::ZERO).is_none());
+        assert_eq!(p.service(h).unwrap().state(), ServiceState::Hung);
+    }
+
+    #[test]
+    fn unknown_handle_is_none() {
+        let p = OpenVdap::builder().build();
+        let infra = infra();
+        assert!(p.serve(ServiceHandle(9), &infra, SimTime::ZERO).is_none());
+        assert!(p.service(ServiceHandle(9)).is_none());
+    }
+
+    #[test]
+    fn seeded_platforms_have_distinct_pseudonym_secrets() {
+        let mut a = OpenVdap::builder().seed(1).vehicle_id(VehicleId(5)).build();
+        let mut b = OpenVdap::builder().seed(2).vehicle_id(VehicleId(5)).build();
+        let pa = a.privacy_mut().pseudonym_for(VehicleId(5), SimTime::ZERO);
+        let pb = b.privacy_mut().pseudonym_for(VehicleId(5), SimTime::ZERO);
+        assert_ne!(pa, pb);
+    }
+}

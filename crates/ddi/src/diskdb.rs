@@ -1,0 +1,232 @@
+//! Persistent disk store (the paper's MySQL role).
+//!
+//! §IV-D: "As the data from the collector layer is time-space related,
+//! disk database is utilized to store it ... Collected data are
+//! permanently stored in the disk database."
+//!
+//! [`DiskDb`] is an ordered store indexed by `(kind, time, seq)` with
+//! time-range and bounding-box queries, plus a device-latency model
+//! (fixed seek cost + size-proportional transfer) so the memory-vs-disk
+//! experiment (DESIGN.md E8) has a real gap to measure. Contents live in
+//! process memory; the *device* is simulated, matching the repo-wide
+//! substitution policy.
+
+use std::collections::BTreeMap;
+
+use vdap_sim::{SimDuration, SimTime};
+
+use crate::record::{GeoBox, Record, RecordKind};
+
+/// Statistics for the disk store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Records written.
+    pub writes: u64,
+    /// Read operations served.
+    pub reads: u64,
+    /// Total payload bytes written.
+    pub bytes_written: u64,
+    /// Total payload bytes read.
+    pub bytes_read: u64,
+}
+
+/// Ordered persistent record store with a simulated device.
+#[derive(Debug, Clone, Default)]
+pub struct DiskDb {
+    rows: BTreeMap<(RecordKind, SimTime, u32), Record>,
+    next_seq: u32,
+    stats: DiskStats,
+}
+
+impl DiskDb {
+    /// Fixed per-operation cost (I/O stack + device seek).
+    pub const ACCESS_LATENCY: SimDuration = SimDuration::from_millis(2);
+    /// Sustained transfer bandwidth, bytes per second.
+    pub const BYTES_PER_SEC: f64 = 200.0e6;
+
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        DiskDb::default()
+    }
+
+    /// Number of stored rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Store statistics.
+    #[must_use]
+    pub fn stats(&self) -> DiskStats {
+        self.stats
+    }
+
+    /// Cost of moving `bytes` through the device.
+    #[must_use]
+    pub fn io_cost(bytes: u64) -> SimDuration {
+        Self::ACCESS_LATENCY + SimDuration::from_secs_f64(bytes as f64 / Self::BYTES_PER_SEC)
+    }
+
+    /// Persists one record; returns the device cost.
+    pub fn insert(&mut self, record: Record) -> SimDuration {
+        let bytes = record.approx_bytes();
+        let key = (record.kind(), record.at, self.next_seq);
+        self.next_seq = self.next_seq.wrapping_add(1);
+        self.rows.insert(key, record);
+        self.stats.writes += 1;
+        self.stats.bytes_written += bytes;
+        Self::io_cost(bytes)
+    }
+
+    /// Persists a batch (one seek, shared transfer); returns the cost.
+    pub fn insert_batch(&mut self, records: Vec<Record>) -> SimDuration {
+        let mut bytes = 0;
+        for r in records {
+            bytes += r.approx_bytes();
+            let key = (r.kind(), r.at, self.next_seq);
+            self.next_seq = self.next_seq.wrapping_add(1);
+            self.stats.writes += 1;
+            self.rows.insert(key, r);
+        }
+        self.stats.bytes_written += bytes;
+        Self::io_cost(bytes)
+    }
+
+    /// Records of `kind` in `[from, to)`, optionally geo-filtered,
+    /// sorted by time, plus the device cost of reading them.
+    pub fn range(
+        &mut self,
+        kind: RecordKind,
+        from: SimTime,
+        to: SimTime,
+        geo: Option<GeoBox>,
+    ) -> (Vec<Record>, SimDuration) {
+        self.stats.reads += 1;
+        let lo = (kind, from, 0u32);
+        let hi = (kind, to, 0u32);
+        let out: Vec<Record> = self
+            .rows
+            .range(lo..hi)
+            .map(|(_, r)| r)
+            .filter(|r| geo.is_none_or(|b| b.contains(&r.location)))
+            .cloned()
+            .collect();
+        let bytes: u64 = out.iter().map(Record::approx_bytes).sum();
+        self.stats.bytes_read += bytes;
+        (out, Self::io_cost(bytes))
+    }
+
+    /// Total rows of one kind.
+    #[must_use]
+    pub fn count_kind(&self, kind: RecordKind) -> usize {
+        self.rows.range((kind, SimTime::ZERO, 0)..).take_while(|((k, _, _), _)| *k == kind).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{DrivingSample, GeoPoint, Payload};
+
+    fn rec(at_secs: u64, lat: f64) -> Record {
+        Record::new(
+            SimTime::from_secs(at_secs),
+            GeoPoint::new(lat, -83.0),
+            Payload::Driving(DrivingSample {
+                speed_mph: 30.0,
+                accel_mps2: 0.0,
+                yaw_rate: 0.0,
+                engine_rpm: 1500.0,
+                throttle: 0.2,
+                brake: 0.0,
+            }),
+        )
+    }
+
+    #[test]
+    fn insert_and_range() {
+        let mut db = DiskDb::new();
+        for t in [10, 5, 20, 15] {
+            db.insert(rec(t, 42.0));
+        }
+        let (rows, cost) = db.range(
+            RecordKind::Driving,
+            SimTime::from_secs(6),
+            SimTime::from_secs(20),
+            None,
+        );
+        let times: Vec<u64> = rows.iter().map(|r| r.at.as_nanos() / 1_000_000_000).collect();
+        assert_eq!(times, vec![10, 15]);
+        assert!(cost >= DiskDb::ACCESS_LATENCY);
+    }
+
+    #[test]
+    fn geo_filter_applies() {
+        let mut db = DiskDb::new();
+        db.insert(rec(1, 42.0));
+        db.insert(rec(2, 43.0));
+        let boxed = GeoBox::new(GeoPoint::new(41.5, -84.0), GeoPoint::new(42.5, -82.0));
+        let (rows, _) = db.range(
+            RecordKind::Driving,
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+            Some(boxed),
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].location.lat, 42.0);
+    }
+
+    #[test]
+    fn disk_slower_than_memory_path() {
+        // The architectural point of §IV-D: a memory hit must be much
+        // cheaper than a disk miss.
+        let disk = DiskDb::io_cost(64);
+        assert!(disk > crate::memdb::MemDb::ACCESS_LATENCY * 10);
+    }
+
+    #[test]
+    fn batch_cheaper_than_singles() {
+        let records: Vec<Record> = (0..100).map(|t| rec(t, 42.0)).collect();
+        let mut a = DiskDb::new();
+        let batch_cost = a.insert_batch(records.clone());
+        let mut b = DiskDb::new();
+        let single_cost: SimDuration = records.into_iter().map(|r| b.insert(r)).sum();
+        assert!(batch_cost < single_cost);
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn stats_track_traffic() {
+        let mut db = DiskDb::new();
+        db.insert(rec(1, 42.0));
+        let _ = db.range(RecordKind::Driving, SimTime::ZERO, SimTime::from_secs(10), None);
+        let s = db.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.bytes_written, s.bytes_read);
+    }
+
+    #[test]
+    fn count_kind_isolates_categories() {
+        let mut db = DiskDb::new();
+        db.insert(rec(1, 42.0));
+        db.insert(rec(2, 42.0));
+        assert_eq!(db.count_kind(RecordKind::Driving), 2);
+        assert_eq!(db.count_kind(RecordKind::Weather), 0);
+    }
+
+    #[test]
+    fn same_timestamp_rows_kept() {
+        let mut db = DiskDb::new();
+        db.insert(rec(1, 42.0));
+        db.insert(rec(1, 42.1));
+        assert_eq!(db.len(), 2);
+    }
+}

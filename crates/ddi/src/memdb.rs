@@ -1,0 +1,359 @@
+//! In-memory TTL cache (the paper's Redis role).
+//!
+//! §IV-D: "in-memory database caches the frequently used data from disk
+//! database to decrease the response latency of request. For all the data
+//! caches into the in-memory database, a survival time is set for it."
+//!
+//! [`MemDb`] is a bounded key-value store with per-entry expiry and LRU
+//! eviction, and a constant-time access-cost model so experiments can
+//! compare the memory and disk paths.
+
+use std::collections::HashMap;
+
+use vdap_sim::{SimDuration, SimTime};
+
+use crate::record::{Record, RecordKind};
+
+/// A cache key: record category plus timestamp plus a disambiguating
+/// sequence number (several records can share a timestamp).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MemKey {
+    /// Record category.
+    pub kind: RecordKind,
+    /// Record timestamp.
+    pub at: SimTime,
+    /// Disambiguator within `(kind, at)`.
+    pub seq: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    record: Record,
+    expires_at: SimTime,
+    last_used: u64,
+}
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that missed (absent or expired).
+    pub misses: u64,
+    /// Entries evicted by the LRU bound.
+    pub evictions: u64,
+    /// Entries that expired and were swept out.
+    pub expirations: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]` (0 when no lookups).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Bounded in-memory TTL store.
+///
+/// # Examples
+///
+/// ```
+/// use vdap_ddi::{MemDb, MemKey, RecordKind};
+/// use vdap_ddi::{GeoPoint, Payload, Record, WeatherSample};
+/// use vdap_sim::{SimDuration, SimTime};
+///
+/// let mut db = MemDb::new(1024, SimDuration::from_secs(60));
+/// let rec = Record::new(SimTime::ZERO, GeoPoint::default(), Payload::Weather(WeatherSample {
+///     temperature_c: 21.0, precipitation: 0.0, visibility_km: 10.0,
+/// }));
+/// let key = db.put(rec.clone(), SimTime::ZERO);
+/// assert_eq!(db.get(key, SimTime::from_secs(30)), Some(rec));
+/// assert_eq!(db.get(key, SimTime::from_secs(61)), None); // TTL expired
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemDb {
+    entries: HashMap<MemKey, Entry>,
+    capacity: usize,
+    default_ttl: SimDuration,
+    clock: u64,
+    next_seq: HashMap<(RecordKind, SimTime), u32>,
+    stats: CacheStats,
+}
+
+impl MemDb {
+    /// Per-operation access latency (an on-board Redis-class store).
+    pub const ACCESS_LATENCY: SimDuration = SimDuration::from_micros(100);
+
+    /// Creates a store holding at most `capacity` live entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize, default_ttl: SimDuration) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        MemDb {
+            entries: HashMap::new(),
+            capacity,
+            default_ttl,
+            clock: 0,
+            next_seq: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of stored (possibly expired, not yet swept) entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Cache statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The default TTL applied by [`MemDb::put`].
+    #[must_use]
+    pub fn default_ttl(&self) -> SimDuration {
+        self.default_ttl
+    }
+
+    /// Inserts with the default TTL; returns the assigned key.
+    pub fn put(&mut self, record: Record, now: SimTime) -> MemKey {
+        self.put_with_ttl(record, now, self.default_ttl)
+    }
+
+    /// Inserts with an explicit TTL; evicts the LRU entry when full.
+    pub fn put_with_ttl(&mut self, record: Record, now: SimTime, ttl: SimDuration) -> MemKey {
+        if self.entries.len() >= self.capacity {
+            self.evict_lru();
+        }
+        let kind = record.kind();
+        let at = record.at;
+        let seq = self.next_seq.entry((kind, at)).or_insert(0);
+        let key = MemKey {
+            kind,
+            at,
+            seq: *seq,
+        };
+        *seq += 1;
+        self.clock += 1;
+        self.entries.insert(
+            key,
+            Entry {
+                record,
+                expires_at: now + ttl,
+                last_used: self.clock,
+            },
+        );
+        key
+    }
+
+    /// Fetches a live entry, refreshing its LRU position. Expired entries
+    /// count as misses (and stay until swept).
+    pub fn get(&mut self, key: MemKey, now: SimTime) -> Option<Record> {
+        self.clock += 1;
+        match self.entries.get_mut(&key) {
+            Some(e) if e.expires_at > now => {
+                e.last_used = self.clock;
+                self.stats.hits += 1;
+                Some(e.record.clone())
+            }
+            _ => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// All live records of `kind` in `[from, to)`, sorted by time.
+    pub fn range(
+        &mut self,
+        kind: RecordKind,
+        from: SimTime,
+        to: SimTime,
+        now: SimTime,
+    ) -> Vec<Record> {
+        self.clock += 1;
+        let clock = self.clock;
+        let mut out: Vec<Record> = self
+            .entries
+            .iter_mut()
+            .filter(|(k, e)| {
+                k.kind == kind && k.at >= from && k.at < to && e.expires_at > now
+            })
+            .map(|(_, e)| {
+                e.last_used = clock;
+                e.record.clone()
+            })
+            .collect();
+        out.sort_by_key(|r| r.at);
+        if out.is_empty() {
+            self.stats.misses += 1;
+        } else {
+            self.stats.hits += 1;
+        }
+        out
+    }
+
+    /// Removes expired entries, returning them for disk write-back
+    /// (§IV-D: "when the survival time is up ... the data in in-memory
+    /// database would be written to disk database for data persistence").
+    pub fn sweep_expired(&mut self, now: SimTime) -> Vec<Record> {
+        let expired: Vec<MemKey> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.expires_at <= now)
+            .map(|(&k, _)| k)
+            .collect();
+        let mut out = Vec::with_capacity(expired.len());
+        for k in expired {
+            if let Some(e) = self.entries.remove(&k) {
+                self.stats.expirations += 1;
+                out.push(e.record);
+            }
+        }
+        out.sort_by_key(|r| r.at);
+        out
+    }
+
+    fn evict_lru(&mut self) {
+        if let Some(&key) = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| k)
+        {
+            self.entries.remove(&key);
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{GeoPoint, Payload, TrafficSample};
+
+    fn rec(at_secs: u64) -> Record {
+        Record::new(
+            SimTime::from_secs(at_secs),
+            GeoPoint::default(),
+            Payload::Traffic(TrafficSample {
+                congestion: 0.5,
+                flow_mph: 30.0,
+                incident: false,
+            }),
+        )
+    }
+
+    fn db() -> MemDb {
+        MemDb::new(4, SimDuration::from_secs(60))
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut db = db();
+        let k = db.put(rec(1), SimTime::ZERO);
+        assert_eq!(db.get(k, SimTime::from_secs(1)).unwrap().at, SimTime::from_secs(1));
+        assert_eq!(db.stats().hits, 1);
+    }
+
+    #[test]
+    fn ttl_expiry_counts_as_miss() {
+        let mut db = db();
+        let k = db.put(rec(1), SimTime::ZERO);
+        assert!(db.get(k, SimTime::from_secs(61)).is_none());
+        assert_eq!(db.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let mut db = db();
+        let keys: Vec<MemKey> = (0..4).map(|i| db.put(rec(i), SimTime::ZERO)).collect();
+        // Touch all but keys[1], making it LRU.
+        for &k in [keys[0], keys[2], keys[3]].iter() {
+            db.get(k, SimTime::from_secs(1));
+        }
+        db.put(rec(100), SimTime::ZERO);
+        assert!(db.get(keys[1], SimTime::from_secs(1)).is_none());
+        assert!(db.get(keys[0], SimTime::from_secs(1)).is_some());
+        assert_eq!(db.stats().evictions, 1);
+    }
+
+    #[test]
+    fn sweep_returns_expired_for_writeback() {
+        let mut db = db();
+        db.put(rec(1), SimTime::ZERO);
+        db.put_with_ttl(rec(2), SimTime::ZERO, SimDuration::from_secs(1000));
+        let swept = db.sweep_expired(SimTime::from_secs(61));
+        assert_eq!(swept.len(), 1);
+        assert_eq!(swept[0].at, SimTime::from_secs(1));
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.stats().expirations, 1);
+    }
+
+    #[test]
+    fn range_query_filters_and_sorts() {
+        let mut db = MemDb::new(16, SimDuration::from_secs(600));
+        for t in [5, 3, 9, 1] {
+            db.put(rec(t), SimTime::ZERO);
+        }
+        let out = db.range(
+            RecordKind::Traffic,
+            SimTime::from_secs(2),
+            SimTime::from_secs(9),
+            SimTime::from_secs(10),
+        );
+        let times: Vec<u64> = out.iter().map(|r| r.at.as_nanos() / 1_000_000_000).collect();
+        assert_eq!(times, vec![3, 5]);
+        // Wrong kind misses.
+        assert!(db
+            .range(
+                RecordKind::Weather,
+                SimTime::ZERO,
+                SimTime::from_secs(100),
+                SimTime::from_secs(10)
+            )
+            .is_empty());
+    }
+
+    #[test]
+    fn same_timestamp_records_get_distinct_keys() {
+        let mut db = MemDb::new(16, SimDuration::from_secs(60));
+        let a = db.put(rec(1), SimTime::ZERO);
+        let b = db.put(rec(1), SimTime::ZERO);
+        assert_ne!(a, b);
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let mut db = db();
+        let k = db.put(rec(1), SimTime::ZERO);
+        db.get(k, SimTime::from_secs(1));
+        db.get(
+            MemKey {
+                kind: RecordKind::Driving,
+                at: SimTime::ZERO,
+                seq: 0,
+            },
+            SimTime::from_secs(1),
+        );
+        assert!((db.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

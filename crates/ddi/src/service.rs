@@ -1,0 +1,330 @@
+//! The DDI service layer.
+//!
+//! §IV-D: "The service layer takes charge of requests from the upper
+//! layer like libvdap via a set of APIs. The requests include two types:
+//! download requests and upload requests. ... all the request for the
+//! data would search the in-memory database first, when it can't be found
+//! in in-memory database, it would go to the disk database."
+//!
+//! [`DdiService`] wires the collector output into the two-tier store and
+//! serves time-space queries with full latency accounting.
+
+use vdap_sim::{SimDuration, SimTime};
+
+use crate::diskdb::DiskDb;
+use crate::memdb::MemDb;
+use crate::record::{GeoBox, Record, RecordKind};
+
+/// A download request: category + time window + optional area.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Query {
+    /// Record category to fetch.
+    pub kind: RecordKind,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub to: SimTime,
+    /// Optional geographic filter.
+    pub area: Option<GeoBox>,
+}
+
+impl Query {
+    /// Creates a time-window query.
+    #[must_use]
+    pub fn window(kind: RecordKind, from: SimTime, to: SimTime) -> Self {
+        Query {
+            kind,
+            from,
+            to,
+            area: None,
+        }
+    }
+
+    /// Adds a geographic filter.
+    #[must_use]
+    pub fn in_area(mut self, area: GeoBox) -> Self {
+        self.area = Some(area);
+        self
+    }
+}
+
+/// Where a download was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedFrom {
+    /// The in-memory tier had the window.
+    Memory,
+    /// The disk tier was consulted.
+    Disk,
+}
+
+/// A served download: records plus provenance and cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Download {
+    /// Matching records, time-sorted.
+    pub records: Vec<Record>,
+    /// Which tier answered.
+    pub served_from: ServedFrom,
+    /// Total service latency (lookup + device costs).
+    pub latency: SimDuration,
+}
+
+/// Aggregate service counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Upload requests handled.
+    pub uploads: u64,
+    /// Download requests handled.
+    pub downloads: u64,
+    /// Downloads served from memory.
+    pub memory_hits: u64,
+    /// Downloads that had to touch disk.
+    pub disk_reads: u64,
+    /// Records written back to disk by TTL sweeps.
+    pub writebacks: u64,
+}
+
+/// The two-tier driving-data service.
+///
+/// # Examples
+///
+/// ```
+/// use vdap_ddi::{DdiService, Query, RecordKind};
+/// use vdap_ddi::{DrivingSample, GeoPoint, Payload, Record};
+/// use vdap_sim::{SimDuration, SimTime};
+///
+/// let mut ddi = DdiService::new(1024, SimDuration::from_secs(300));
+/// let rec = Record::new(SimTime::from_secs(10), GeoPoint::default(),
+///     Payload::Driving(DrivingSample {
+///         speed_mph: 40.0, accel_mps2: 0.1, yaw_rate: 0.0,
+///         engine_rpm: 1800.0, throttle: 0.2, brake: 0.0,
+///     }));
+/// ddi.upload(rec, SimTime::from_secs(10));
+/// let out = ddi.download(
+///     &Query::window(RecordKind::Driving, SimTime::ZERO, SimTime::from_secs(60)),
+///     SimTime::from_secs(11),
+/// );
+/// assert_eq!(out.records.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DdiService {
+    mem: MemDb,
+    disk: DiskDb,
+    stats: ServiceStats,
+}
+
+impl DdiService {
+    /// Creates a service with the given memory-tier capacity and TTL.
+    #[must_use]
+    pub fn new(mem_capacity: usize, ttl: SimDuration) -> Self {
+        DdiService {
+            mem: MemDb::new(mem_capacity, ttl),
+            disk: DiskDb::new(),
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// Service counters.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// The memory tier (for inspection).
+    #[must_use]
+    pub fn memory(&self) -> &MemDb {
+        &self.mem
+    }
+
+    /// The disk tier (for inspection).
+    #[must_use]
+    pub fn disk(&self) -> &DiskDb {
+        &self.disk
+    }
+
+    /// Handles an upload: the record lands in the memory tier first
+    /// (§IV-D), and persists on TTL expiry via [`DdiService::sweep`].
+    /// Returns the request latency.
+    pub fn upload(&mut self, record: Record, now: SimTime) -> SimDuration {
+        self.stats.uploads += 1;
+        self.mem.put(record, now);
+        MemDb::ACCESS_LATENCY
+    }
+
+    /// Handles a download: memory first, disk on miss; disk results are
+    /// re-cached in memory for subsequent hits.
+    pub fn download(&mut self, query: &Query, now: SimTime) -> Download {
+        self.stats.downloads += 1;
+        let mut latency = MemDb::ACCESS_LATENCY;
+        let from_mem = self.mem.range(query.kind, query.from, query.to, now);
+        let filtered: Vec<Record> = from_mem
+            .into_iter()
+            .filter(|r| query.area.is_none_or(|a| a.contains(&r.location)))
+            .collect();
+        if !filtered.is_empty() {
+            self.stats.memory_hits += 1;
+            return Download {
+                records: filtered,
+                served_from: ServedFrom::Memory,
+                latency,
+            };
+        }
+        // Miss: consult the disk tier.
+        self.stats.disk_reads += 1;
+        let (rows, disk_cost) = self.disk.range(query.kind, query.from, query.to, query.area);
+        latency += disk_cost;
+        // Re-cache for future queries (costing one memory access).
+        for r in &rows {
+            self.mem.put(r.clone(), now);
+        }
+        latency += MemDb::ACCESS_LATENCY;
+        Download {
+            records: rows,
+            served_from: ServedFrom::Disk,
+            latency,
+        }
+    }
+
+    /// TTL sweep: moves expired memory entries to disk in one batch.
+    /// Returns `(records_persisted, device_cost)`.
+    pub fn sweep(&mut self, now: SimTime) -> (usize, SimDuration) {
+        let expired = self.mem.sweep_expired(now);
+        let n = expired.len();
+        if n == 0 {
+            return (0, SimDuration::ZERO);
+        }
+        self.stats.writebacks += n as u64;
+        let cost = self.disk.insert_batch(expired);
+        (n, cost)
+    }
+
+    /// Writes a record straight to disk (bulk import path for historical
+    /// data); returns the device cost.
+    pub fn import_historical(&mut self, record: Record) -> SimDuration {
+        self.disk.insert(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{DrivingSample, GeoPoint, Payload};
+
+    fn rec(at_secs: u64) -> Record {
+        Record::new(
+            SimTime::from_secs(at_secs),
+            GeoPoint::new(42.3, -83.0),
+            Payload::Driving(DrivingSample {
+                speed_mph: 40.0,
+                accel_mps2: 0.1,
+                yaw_rate: 0.0,
+                engine_rpm: 1800.0,
+                throttle: 0.2,
+                brake: 0.0,
+            }),
+        )
+    }
+
+    fn service() -> DdiService {
+        DdiService::new(1024, SimDuration::from_secs(300))
+    }
+
+    fn q(from: u64, to: u64) -> Query {
+        Query::window(
+            RecordKind::Driving,
+            SimTime::from_secs(from),
+            SimTime::from_secs(to),
+        )
+    }
+
+    #[test]
+    fn fresh_upload_served_from_memory() {
+        let mut ddi = service();
+        ddi.upload(rec(10), SimTime::from_secs(10));
+        let out = ddi.download(&q(0, 60), SimTime::from_secs(11));
+        assert_eq!(out.served_from, ServedFrom::Memory);
+        assert_eq!(out.records.len(), 1);
+        assert!(out.latency < SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn expired_data_served_from_disk_after_sweep() {
+        let mut ddi = service();
+        ddi.upload(rec(10), SimTime::from_secs(10));
+        // TTL is 300 s; sweep at t = 500.
+        let (n, cost) = ddi.sweep(SimTime::from_secs(500));
+        assert_eq!(n, 1);
+        assert!(cost > SimDuration::ZERO);
+        let out = ddi.download(&q(0, 60), SimTime::from_secs(501));
+        assert_eq!(out.served_from, ServedFrom::Disk);
+        assert_eq!(out.records.len(), 1);
+        assert!(out.latency > MemDb::ACCESS_LATENCY);
+    }
+
+    #[test]
+    fn disk_results_recached_for_next_query() {
+        let mut ddi = service();
+        ddi.upload(rec(10), SimTime::from_secs(10));
+        ddi.sweep(SimTime::from_secs(500));
+        let first = ddi.download(&q(0, 60), SimTime::from_secs(501));
+        let second = ddi.download(&q(0, 60), SimTime::from_secs(502));
+        assert_eq!(first.served_from, ServedFrom::Disk);
+        assert_eq!(second.served_from, ServedFrom::Memory);
+        assert!(second.latency < first.latency);
+    }
+
+    #[test]
+    fn memory_hit_is_much_faster_than_disk() {
+        let mut ddi = service();
+        for t in 0..50 {
+            ddi.upload(rec(t), SimTime::from_secs(t));
+        }
+        let hot = ddi.download(&q(0, 100), SimTime::from_secs(50));
+        ddi.sweep(SimTime::from_secs(10_000));
+        let mut cold_ddi = ddi.clone();
+        let cold = cold_ddi.download(&q(0, 100), SimTime::from_secs(10_001));
+        assert!(cold.latency > hot.latency * 10);
+    }
+
+    #[test]
+    fn empty_result_from_both_tiers() {
+        let mut ddi = service();
+        let out = ddi.download(&q(0, 60), SimTime::ZERO);
+        assert!(out.records.is_empty());
+        assert_eq!(out.served_from, ServedFrom::Disk);
+    }
+
+    #[test]
+    fn geo_filtered_download() {
+        let mut ddi = service();
+        ddi.upload(rec(10), SimTime::from_secs(10));
+        let far = GeoBox::new(GeoPoint::new(0.0, 0.0), GeoPoint::new(1.0, 1.0));
+        let out = ddi.download(&q(0, 60).in_area(far), SimTime::from_secs(11));
+        assert!(out.records.is_empty());
+        let near = GeoBox::new(GeoPoint::new(42.0, -84.0), GeoPoint::new(43.0, -82.0));
+        let out = ddi.download(&q(0, 60).in_area(near), SimTime::from_secs(11));
+        assert_eq!(out.records.len(), 1);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut ddi = service();
+        ddi.upload(rec(1), SimTime::from_secs(1));
+        ddi.download(&q(0, 10), SimTime::from_secs(2));
+        ddi.sweep(SimTime::from_secs(1000));
+        ddi.download(&q(0, 10), SimTime::from_secs(1001));
+        let s = ddi.stats();
+        assert_eq!(s.uploads, 1);
+        assert_eq!(s.downloads, 2);
+        assert_eq!(s.memory_hits, 1);
+        assert_eq!(s.disk_reads, 1);
+        assert_eq!(s.writebacks, 1);
+    }
+
+    #[test]
+    fn import_historical_goes_straight_to_disk() {
+        let mut ddi = service();
+        ddi.import_historical(rec(5));
+        assert_eq!(ddi.disk().len(), 1);
+        assert!(ddi.memory().is_empty());
+    }
+}

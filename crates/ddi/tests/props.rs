@@ -1,0 +1,117 @@
+//! Property-based tests for the DDI storage tiers.
+
+use proptest::prelude::*;
+use vdap_ddi::{
+    DiskDb, DrivingSample, GeoPoint, MemDb, Payload, Record, RecordKind,
+};
+use vdap_sim::{SimDuration, SimTime};
+
+fn rec(at_secs: u64, lat_milli: i32) -> Record {
+    Record::new(
+        SimTime::from_secs(at_secs),
+        GeoPoint::new(42.0 + f64::from(lat_milli) / 1000.0, -83.0),
+        Payload::Driving(DrivingSample {
+            speed_mph: 30.0,
+            accel_mps2: 0.0,
+            yaw_rate: 0.0,
+            engine_rpm: 1500.0,
+            throttle: 0.1,
+            brake: 0.0,
+        }),
+    )
+}
+
+proptest! {
+    #[test]
+    fn memdb_get_within_ttl_returns_record(
+        at in 0u64..1_000,
+        ttl_secs in 1u64..1_000,
+        probe_offset in 0u64..2_000,
+    ) {
+        let mut db = MemDb::new(1024, SimDuration::from_secs(ttl_secs));
+        let now = SimTime::from_secs(at);
+        let key = db.put(rec(at, 0), now);
+        let probe = now + SimDuration::from_secs(probe_offset);
+        let got = db.get(key, probe);
+        if probe_offset < ttl_secs {
+            prop_assert!(got.is_some(), "live entry must hit");
+        } else {
+            prop_assert!(got.is_none(), "expired entry must miss");
+        }
+    }
+
+    #[test]
+    fn memdb_never_exceeds_capacity(
+        capacity in 1usize..64,
+        inserts in prop::collection::vec(0u64..1_000, 1..200),
+    ) {
+        let mut db = MemDb::new(capacity, SimDuration::from_secs(1_000_000));
+        for (i, &t) in inserts.iter().enumerate() {
+            db.put(rec(t, i as i32), SimTime::ZERO);
+            prop_assert!(db.len() <= capacity, "capacity breached: {} > {}", db.len(), capacity);
+        }
+    }
+
+    #[test]
+    fn memdb_sweep_removes_exactly_expired(
+        ttls in prop::collection::vec(1u64..100, 1..40),
+        sweep_at in 0u64..120,
+    ) {
+        let mut db = MemDb::new(1024, SimDuration::from_secs(1));
+        for (i, &ttl) in ttls.iter().enumerate() {
+            db.put_with_ttl(rec(i as u64, 0), SimTime::ZERO, SimDuration::from_secs(ttl));
+        }
+        let now = SimTime::from_secs(sweep_at);
+        let swept = db.sweep_expired(now);
+        let expected = ttls.iter().filter(|&&t| t <= sweep_at).count();
+        prop_assert_eq!(swept.len(), expected);
+        prop_assert_eq!(db.len(), ttls.len() - expected);
+    }
+
+    #[test]
+    fn diskdb_range_matches_manual_filter(
+        times in prop::collection::vec(0u64..1_000, 1..60),
+        from in 0u64..1_000,
+        span in 1u64..1_000,
+    ) {
+        let mut db = DiskDb::new();
+        for (i, &t) in times.iter().enumerate() {
+            db.insert(rec(t, i as i32));
+        }
+        let to = from.saturating_add(span);
+        let (rows, _) = db.range(
+            RecordKind::Driving,
+            SimTime::from_secs(from),
+            SimTime::from_secs(to),
+            None,
+        );
+        let expected = times.iter().filter(|&&t| t >= from && t < to).count();
+        prop_assert_eq!(rows.len(), expected);
+        prop_assert!(rows.windows(2).all(|w| w[0].at <= w[1].at), "rows sorted");
+    }
+
+    #[test]
+    fn diskdb_io_cost_grows_with_size(b1 in 0u64..10_000_000, b2 in 0u64..10_000_000) {
+        let (lo, hi) = (b1.min(b2), b1.max(b2));
+        prop_assert!(DiskDb::io_cost(lo) <= DiskDb::io_cost(hi));
+    }
+
+    #[test]
+    fn cache_stats_are_consistent(
+        ops in prop::collection::vec((any::<bool>(), 0u64..50), 1..100),
+    ) {
+        let mut db = MemDb::new(64, SimDuration::from_secs(10));
+        let mut keys = Vec::new();
+        let mut lookups = 0u64;
+        for (is_put, t) in ops {
+            if is_put {
+                keys.push(db.put(rec(t, 0), SimTime::from_secs(t)));
+            } else if let Some(&k) = keys.first() {
+                db.get(k, SimTime::from_secs(t));
+                lookups += 1;
+            }
+        }
+        let s = db.stats();
+        prop_assert_eq!(s.hits + s.misses, lookups);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for EdgeOSv.
+
+use proptest::prelude::*;
+use vdap_edgeos::{
+    kidnapper_search, ElasticManager, Environment, MigrationMode, Objective, PseudonymManager,
+    ServiceImage, ServiceMigrator, VehicleId,
+};
+use vdap_hw::{catalog, VcuBoard};
+use vdap_net::{LinkSpec, NetTopology, Site};
+use vdap_sim::{SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pipeline_latency_monotone_in_edge_load(
+        l1 in 1.0f64..100.0,
+        l2 in 1.0f64..100.0,
+    ) {
+        let net = NetTopology::reference();
+        let board = VcuBoard::reference_design();
+        let edge = catalog::xedge_server();
+        let cloud = catalog::cloud_server();
+        let service = kidnapper_search(SimDuration::from_secs(5), Site::Edge);
+        let remote = &service.pipelines()[1];
+        let mgr = ElasticManager::new();
+        let estimate_at = |load: f64| {
+            let env = Environment {
+                net: &net,
+                board: &board,
+                edge: &edge,
+                cloud: &cloud,
+                edge_load: load,
+                cloud_load: 1.0,
+                now: SimTime::ZERO,
+            };
+            mgr.estimate(remote, &env).latency
+        };
+        let (lo, hi) = (l1.min(l2), l1.max(l2));
+        prop_assert!(estimate_at(lo) <= estimate_at(hi));
+    }
+
+    #[test]
+    fn decision_always_meets_deadline_or_hangs(
+        deadline_ms in 1u64..5_000,
+        edge_load in 1.0f64..64.0,
+    ) {
+        let net = NetTopology::reference();
+        let board = VcuBoard::reference_design();
+        let edge = catalog::xedge_server();
+        let cloud = catalog::cloud_server();
+        let env = Environment {
+            net: &net,
+            board: &board,
+            edge: &edge,
+            cloud: &cloud,
+            edge_load,
+            cloud_load: 1.0,
+            now: SimTime::ZERO,
+        };
+        let mut service =
+            kidnapper_search(SimDuration::from_millis(deadline_ms), Site::Edge);
+        let mut mgr = ElasticManager::new();
+        let d = mgr.decide(&mut service, &env, Objective::MinLatency);
+        match d.selected {
+            Some(i) => prop_assert!(d.estimates[i].latency <= service.deadline()),
+            None => prop_assert!(
+                d.estimates.iter().all(|e| e.latency > service.deadline()),
+                "hung despite a feasible pipeline"
+            ),
+        }
+    }
+
+    #[test]
+    fn pseudonyms_stable_within_and_fresh_across_epochs(
+        vehicle in any::<u64>(),
+        period_secs in 1u64..100_000,
+        t in 0u64..1_000_000,
+    ) {
+        let mut m = PseudonymManager::new(SimDuration::from_secs(period_secs), 7);
+        let v = VehicleId(vehicle);
+        let now = SimTime::from_secs(t);
+        let a = m.pseudonym_for(v, now);
+        let b = m.pseudonym_for(v, now);
+        prop_assert_eq!(a, b, "same instant must be stable");
+        let next_epoch = SimTime::from_secs(t + period_secs);
+        let c = m.pseudonym_for(v, next_epoch);
+        prop_assert_ne!(a, c, "next epoch must rotate");
+        prop_assert_eq!(m.resolve(a).map(|(id, _)| id), Some(v));
+    }
+
+    #[test]
+    fn precopy_never_has_more_downtime_than_cold(
+        state_mb in 1u64..256,
+        dirty in 0.0f64..0.5,
+    ) {
+        let mut m = ServiceMigrator::new();
+        let image = ServiceImage {
+            name: "svc".into(),
+            image_bytes: 10 * 1024 * 1024,
+            state_bytes: state_mb * 1024 * 1024,
+            dirty_rate: dirty,
+            isolation: vdap_edgeos::IsolationMode::Container,
+        };
+        let link = LinkSpec::wifi();
+        let cold = m
+            .migrate(&image, &link, MigrationMode::Cold, true, "s", SimTime::ZERO)
+            .unwrap();
+        let pre = m
+            .migrate(
+                &image,
+                &link,
+                MigrationMode::PreCopy { max_rounds: 10 },
+                true,
+                "s",
+                SimTime::ZERO,
+            )
+            .unwrap();
+        prop_assert!(pre.downtime <= cold.downtime);
+        prop_assert!(pre.total >= pre.downtime);
+    }
+}

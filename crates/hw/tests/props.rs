@@ -1,0 +1,107 @@
+//! Property-based tests for the hardware models.
+
+use proptest::prelude::*;
+use vdap_hw::{
+    catalog, Battery, ComputeWorkload, PowerBudget, ProcessorUnit, SsdModel, StorageOp, TaskClass,
+};
+use vdap_sim::SimTime;
+
+fn class_strategy() -> impl Strategy<Value = TaskClass> {
+    prop::sample::select(TaskClass::ALL.to_vec())
+}
+
+proptest! {
+    #[test]
+    fn service_time_monotone_in_work(
+        g1 in 0.01f64..100.0,
+        g2 in 0.01f64..100.0,
+        class in class_strategy(),
+    ) {
+        let spec = catalog::intel_i7_6700();
+        let (lo, hi) = (g1.min(g2), g1.max(g2));
+        let wl = |g: f64| ComputeWorkload::new("w", class).with_gflops(g);
+        prop_assert!(spec.service_time(&wl(lo)) <= spec.service_time(&wl(hi)));
+    }
+
+    #[test]
+    fn split_conserves_flops(g in 0.1f64..1000.0, n in 1usize..32) {
+        let w = ComputeWorkload::new("w", TaskClass::DenseLinearAlgebra).with_gflops(g);
+        let total: f64 = w.split(n).iter().map(ComputeWorkload::flops).sum();
+        prop_assert!((total - w.flops()).abs() < 1.0);
+    }
+
+    #[test]
+    fn fifo_queue_finish_times_monotone(
+        gflops in prop::collection::vec(0.01f64..20.0, 1..20),
+    ) {
+        let mut unit = ProcessorUnit::new(catalog::jetson_tx2_max_p());
+        let mut last_finish = SimTime::ZERO;
+        for (i, g) in gflops.iter().enumerate() {
+            let w = ComputeWorkload::new(format!("w{i}"), TaskClass::DenseLinearAlgebra)
+                .with_gflops(*g);
+            let (start, finish) = unit.enqueue(SimTime::ZERO, &w);
+            prop_assert!(start >= last_finish);
+            prop_assert!(finish > start);
+            last_finish = finish;
+        }
+        prop_assert_eq!(unit.jobs_done(), gflops.len() as u64);
+    }
+
+    #[test]
+    fn power_budget_never_oversubscribed(
+        requests in prop::collection::vec((0u8..8, 0.0f64..200.0), 1..40),
+    ) {
+        let mut budget = PowerBudget::new(300.0);
+        for (label, watts) in requests {
+            let _ = budget.try_allocate(format!("dev{label}"), watts);
+            prop_assert!(budget.allocated_watts() <= budget.capacity_watts() + 1e-6);
+        }
+    }
+
+    #[test]
+    fn battery_never_negative(
+        drains in prop::collection::vec(0.0f64..1e8, 1..50),
+    ) {
+        let mut battery = Battery::typical_ev();
+        for j in drains {
+            battery.drain_joules(j);
+            prop_assert!(battery.remaining_wh() >= 0.0);
+            prop_assert!(battery.state_of_charge() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn battery_range_monotone_decreasing_in_load(
+        w1 in 0.0f64..1000.0,
+        w2 in 0.0f64..1000.0,
+    ) {
+        let battery = Battery::typical_ev();
+        let (lo, hi) = (w1.min(w2), w1.max(w2));
+        prop_assert!(battery.range_miles(lo, 60.0) >= battery.range_miles(hi, 60.0));
+    }
+
+    #[test]
+    fn ssd_transfer_time_monotone_in_bytes(
+        b1 in 1u64..1_000_000_000,
+        b2 in 1u64..1_000_000_000,
+        streams in 1u32..16,
+    ) {
+        let ssd = SsdModel::automotive();
+        let (lo, hi) = (b1.min(b2), b1.max(b2));
+        prop_assert!(
+            ssd.transfer_time(StorageOp::Read, lo, streams)
+                <= ssd.transfer_time(StorageOp::Read, hi, streams)
+        );
+    }
+
+    #[test]
+    fn energy_nonnegative_and_scales(
+        g in 0.0f64..100.0,
+        class in class_strategy(),
+    ) {
+        for spec in catalog::fig3_processors() {
+            let w = ComputeWorkload::new("w", class).with_gflops(g);
+            prop_assert!(spec.energy_joules(&w) >= 0.0);
+        }
+    }
+}

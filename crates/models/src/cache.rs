@@ -1,0 +1,279 @@
+//! On-vehicle model cache.
+//!
+//! §IV-E's open problem — "although we compressed the large-scale
+//! artificial intelligence models in the cloud, they are still too large
+//! to leverage on the XEdge" — means the vehicle cannot keep every model
+//! resident. [`ModelCache`] manages a bounded model-memory budget:
+//! models load from the VCU's SSD on first use (paying real I/O time),
+//! stay warm for subsequent inferences, and evict LRU when the budget is
+//! exceeded. Compressed models buy an order of magnitude more residency.
+
+use std::collections::HashMap;
+
+use vdap_hw::SsdModel;
+use vdap_sim::{SimDuration, SimTime};
+
+use crate::zoo::ModelEntry;
+
+/// Whether a model request hit warm memory or paid the SSD load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Residency {
+    /// Already resident; no I/O.
+    Warm,
+    /// Loaded from the SSD (includes the load latency).
+    Loaded,
+}
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModelCacheStats {
+    /// Requests served from warm memory.
+    pub warm_hits: u64,
+    /// Requests that paid an SSD load.
+    pub loads: u64,
+    /// Models evicted to make room.
+    pub evictions: u64,
+}
+
+impl ModelCacheStats {
+    /// Warm-hit ratio in `[0, 1]`.
+    #[must_use]
+    pub fn warm_rate(&self) -> f64 {
+        let total = self.warm_hits + self.loads;
+        if total == 0 {
+            0.0
+        } else {
+            self.warm_hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded in-memory model pool backed by the vehicle SSD.
+///
+/// # Examples
+///
+/// ```
+/// use vdap_hw::SsdModel;
+/// use vdap_models::{zoo, ModelCache};
+/// use vdap_sim::SimTime;
+///
+/// let mut ssd = SsdModel::automotive();
+/// let mut cache = ModelCache::new(64 * 1024 * 1024, true); // 64 MB, compressed
+/// let entry = zoo::library_entry("inception-v3").unwrap();
+/// let (first, cost1) = cache.request(&entry, &mut ssd, SimTime::ZERO);
+/// let (second, cost2) = cache.request(&entry, &mut ssd, SimTime::from_secs(1));
+/// assert_ne!(first, second); // first loads, second is warm
+/// assert!(cost2 < cost1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModelCache {
+    budget_bytes: u64,
+    use_compressed: bool,
+    resident: HashMap<String, (u64, u64)>, // name -> (bytes, last_used)
+    clock: u64,
+    stats: ModelCacheStats,
+}
+
+impl ModelCache {
+    /// Creates a cache with a memory budget; `use_compressed` selects
+    /// which artifact of each model is stored and loaded.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the budget is zero.
+    #[must_use]
+    pub fn new(budget_bytes: u64, use_compressed: bool) -> Self {
+        assert!(budget_bytes > 0, "budget must be positive");
+        ModelCache {
+            budget_bytes,
+            use_compressed,
+            resident: HashMap::new(),
+            clock: 0,
+            stats: ModelCacheStats::default(),
+        }
+    }
+
+    /// The memory budget.
+    #[must_use]
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    /// Bytes currently resident.
+    #[must_use]
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident.values().map(|&(b, _)| b).sum()
+    }
+
+    /// Names of resident models.
+    #[must_use]
+    pub fn resident_models(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.resident.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Cache statistics.
+    #[must_use]
+    pub fn stats(&self) -> ModelCacheStats {
+        self.stats
+    }
+
+    fn footprint(&self, entry: &ModelEntry) -> u64 {
+        if self.use_compressed {
+            entry.compressed_bytes
+        } else {
+            entry.dense_bytes
+        }
+    }
+
+    /// Whether the model could ever fit (footprint ≤ budget).
+    #[must_use]
+    pub fn fits(&self, entry: &ModelEntry) -> bool {
+        self.footprint(entry) <= self.budget_bytes
+    }
+
+    /// Requests a model for inference: returns its residency outcome and
+    /// the time spent making it available (zero-ish when warm, an SSD
+    /// read otherwise). Models larger than the whole budget load
+    /// *streaming* every time and are never cached.
+    pub fn request(
+        &mut self,
+        entry: &ModelEntry,
+        ssd: &mut SsdModel,
+        now: SimTime,
+    ) -> (Residency, SimDuration) {
+        self.clock += 1;
+        let bytes = self.footprint(entry);
+        if let Some(slot) = self.resident.get_mut(&entry.name) {
+            slot.1 = self.clock;
+            self.stats.warm_hits += 1;
+            return (Residency::Warm, SimDuration::from_micros(5));
+        }
+        // Pay the SSD read.
+        let done = ssd.read(now, bytes, 4);
+        let load = done.duration_since(now);
+        self.stats.loads += 1;
+        if bytes <= self.budget_bytes {
+            // Evict LRU until it fits.
+            while self.resident_bytes() + bytes > self.budget_bytes {
+                let lru = self
+                    .resident
+                    .iter()
+                    .min_by_key(|(_, &(_, used))| used)
+                    .map(|(name, _)| name.clone())
+                    .expect("non-empty when over budget");
+                self.resident.remove(&lru);
+                self.stats.evictions += 1;
+            }
+            self.resident.insert(entry.name.clone(), (bytes, self.clock));
+        }
+        (Residency::Loaded, load)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::{common_model_library, library_entry};
+
+    fn ssd() -> SsdModel {
+        SsdModel::automotive()
+    }
+
+    #[test]
+    fn second_request_is_warm() {
+        let mut cache = ModelCache::new(64 * 1024 * 1024, true);
+        let mut ssd = ssd();
+        let entry = library_entry("inception-v3").unwrap();
+        let (r1, c1) = cache.request(&entry, &mut ssd, SimTime::ZERO);
+        let (r2, c2) = cache.request(&entry, &mut ssd, SimTime::from_secs(1));
+        assert_eq!(r1, Residency::Loaded);
+        assert_eq!(r2, Residency::Warm);
+        assert!(c2 < c1 / 10, "warm {c2} vs load {c1}");
+    }
+
+    #[test]
+    fn lru_eviction_under_pressure() {
+        // 12 MB budget: inception (9.5 MB compressed) and the NLP model
+        // (6.9 MB) cannot both stay.
+        let mut cache = ModelCache::new(12 * 1024 * 1024, true);
+        let mut ssd = ssd();
+        let inception = library_entry("inception-v3").unwrap();
+        let nlp = library_entry("voice-command-nlp").unwrap();
+        cache.request(&inception, &mut ssd, SimTime::ZERO);
+        cache.request(&nlp, &mut ssd, SimTime::from_secs(1));
+        assert_eq!(cache.resident_models(), vec!["voice-command-nlp"]);
+        assert_eq!(cache.stats().evictions, 1);
+        // Re-requesting inception evicts NLP back out.
+        let (r, _) = cache.request(&inception, &mut ssd, SimTime::from_secs(2));
+        assert_eq!(r, Residency::Loaded);
+        assert_eq!(cache.resident_models(), vec!["inception-v3"]);
+    }
+
+    #[test]
+    fn compressed_mode_keeps_whole_library_resident() {
+        // The point of Deep Compression for the edge: a 64 MB budget
+        // holds every compressed model but not even one dense CNN.
+        let mut compressed = ModelCache::new(64 * 1024 * 1024, true);
+        let mut dense = ModelCache::new(64 * 1024 * 1024, false);
+        let mut ssd = ssd();
+        for entry in common_model_library() {
+            compressed.request(&entry, &mut ssd, SimTime::ZERO);
+            dense.request(&entry, &mut ssd, SimTime::ZERO);
+        }
+        assert_eq!(
+            compressed.resident_models().len(),
+            common_model_library().len(),
+            "all compressed models fit"
+        );
+        assert!(
+            dense.resident_models().len() < common_model_library().len(),
+            "dense models cannot all fit"
+        );
+        // Second pass: compressed all warm; dense keeps paying loads.
+        for entry in common_model_library() {
+            compressed.request(&entry, &mut ssd, SimTime::from_secs(10));
+            dense.request(&entry, &mut ssd, SimTime::from_secs(10));
+        }
+        assert!(compressed.stats().warm_rate() > 0.45);
+        assert!(dense.stats().warm_rate() < compressed.stats().warm_rate());
+    }
+
+    #[test]
+    fn oversized_models_stream_without_caching() {
+        let mut cache = ModelCache::new(1024 * 1024, false); // 1 MB budget
+        let mut ssd = ssd();
+        let big = library_entry("vehicle-detector-cnn").unwrap(); // 548 MB dense
+        assert!(!cache.fits(&big));
+        let (r1, _) = cache.request(&big, &mut ssd, SimTime::ZERO);
+        let (r2, _) = cache.request(&big, &mut ssd, SimTime::from_secs(1));
+        assert_eq!(r1, Residency::Loaded);
+        assert_eq!(r2, Residency::Loaded, "never cached");
+        assert!(cache.resident_models().is_empty());
+    }
+
+    #[test]
+    fn resident_bytes_never_exceed_budget() {
+        let budget = 20 * 1024 * 1024;
+        let mut cache = ModelCache::new(budget, true);
+        let mut ssd = ssd();
+        for _ in 0..3 {
+            for entry in common_model_library() {
+                cache.request(&entry, &mut ssd, SimTime::ZERO);
+                assert!(cache.resident_bytes() <= budget);
+            }
+        }
+    }
+
+    #[test]
+    fn load_time_scales_with_model_size() {
+        let mut cache = ModelCache::new(1 << 30, false);
+        let mut ssd = ssd();
+        let small = library_entry("cbeam").unwrap();
+        let large = library_entry("vehicle-detector-cnn").unwrap();
+        let (_, c_small) = cache.request(&small, &mut ssd, SimTime::ZERO);
+        let (_, c_large) = cache.request(&large, &mut ssd, SimTime::from_secs(100));
+        assert!(c_large > c_small * 10);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the model substrate.
+
+use proptest::prelude::*;
+use vdap_models::cv::{GrayImage, IntegralImage, Rect};
+use vdap_models::{prune, Matrix, Network};
+use vdap_sim::{RngStream, SeedFactory};
+
+fn matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = RngStream::from_raw_seed(seed);
+    Matrix::xavier(rows, cols, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_associates(
+        a in 1usize..6, b in 1usize..6, c in 1usize..6, d in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let x = matrix(a, b, seed);
+        let y = matrix(b, c, seed.wrapping_add(1));
+        let z = matrix(c, d, seed.wrapping_add(2));
+        let left = x.matmul(&y).matmul(&z);
+        let right = x.matmul(&y.matmul(&z));
+        for (l, r) in left.data().iter().zip(right.data()) {
+            prop_assert!((l - r).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(r in 1usize..8, c in 1usize..8, seed in any::<u64>()) {
+        let m = matrix(r, c, seed);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn softmax_outputs_are_distributions(
+        rows in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = RngStream::from_raw_seed(seed);
+        let net = Network::new(&[4, 7, 3], &mut rng);
+        let x = matrix(rows, 4, seed.wrapping_add(9));
+        let p = net.forward(&x);
+        for r in 0..rows {
+            let row = p.row(r);
+            let sum: f64 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn prune_hits_requested_sparsity(
+        sparsity in 0.0f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = RngStream::from_raw_seed(seed);
+        let mut net = Network::new(&[8, 32, 3], &mut rng);
+        prune(&mut net, sparsity);
+        let total = net.parameter_count();
+        let nz: usize = net.layers().iter().map(|l| l.weights.nonzero()).sum();
+        let achieved = 1.0 - nz as f64 / total as f64;
+        prop_assert!((achieved - sparsity).abs() < 0.08, "asked {sparsity}, got {achieved}");
+    }
+
+    #[test]
+    fn integral_image_matches_naive(
+        w in 2usize..40,
+        h in 2usize..40,
+        rx in 0usize..30,
+        ry in 0usize..30,
+        rw in 1usize..30,
+        rh in 1usize..30,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SeedFactory::new(seed).stream("img");
+        let mut img = GrayImage::new(w, h, 0);
+        for y in 0..h {
+            for x in 0..w {
+                img.set(x, y, rng.below(256) as u8);
+            }
+        }
+        let integral = IntegralImage::build(&img);
+        let rect = Rect { x: rx, y: ry, w: rw, h: rh };
+        let mut naive = 0u64;
+        for y in ry..(ry + rh).min(h) {
+            for x in rx..(rx + rw).min(w) {
+                if x < w && y < h {
+                    naive += u64::from(img.get(x, y));
+                }
+            }
+        }
+        prop_assert_eq!(integral.rect_sum(&rect), naive);
+    }
+
+    #[test]
+    fn iou_is_symmetric_and_bounded(
+        ax in 0usize..50, ay in 0usize..50, aw in 1usize..30, ah in 1usize..30,
+        bx in 0usize..50, by in 0usize..50, bw in 1usize..30, bh in 1usize..30,
+    ) {
+        let a = Rect { x: ax, y: ay, w: aw, h: ah };
+        let b = Rect { x: bx, y: by, w: bw, h: bh };
+        let ab = a.iou(&b);
+        let ba = b.iou(&a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert!((a.iou(&a) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the network substrate.
+
+use proptest::prelude::*;
+use vdap_net::{
+    CellularChannel, Direction, LinkSpec, MobilityTrace, Mph, NetTopology, Site,
+};
+use vdap_sim::{SeedFactory, SimTime};
+
+proptest! {
+    #[test]
+    fn transfer_time_monotone_in_bytes(b1 in 0u64..1_000_000_000, b2 in 0u64..1_000_000_000) {
+        let (lo, hi) = (b1.min(b2), b1.max(b2));
+        for link in [LinkSpec::lte(), LinkSpec::five_g(), LinkSpec::dsrc()] {
+            prop_assert!(
+                link.transfer_time(Direction::Uplink, lo)
+                    <= link.transfer_time(Direction::Uplink, hi)
+            );
+        }
+    }
+
+    #[test]
+    fn round_trip_decomposes(up in 0u64..10_000_000, down in 0u64..10_000_000) {
+        let net = NetTopology::reference();
+        for dst in [Site::Edge, Site::Cloud] {
+            let rt = net.round_trip(Site::Vehicle, dst, up, down);
+            let parts = net.transfer_time(Site::Vehicle, dst, up)
+                + net.transfer_time(dst, Site::Vehicle, down);
+            prop_assert_eq!(rt, parts);
+        }
+    }
+
+    #[test]
+    fn target_loss_is_a_probability(speed in 0.0f64..120.0, bitrate in 1.0f64..12.0) {
+        let ch = CellularChannel::calibrated();
+        let p = ch.target_packet_loss(Mph(speed), bitrate);
+        prop_assert!((0.0..=0.95).contains(&p), "p = {}", p);
+    }
+
+    #[test]
+    fn target_loss_monotone_in_speed(
+        v1 in 0.0f64..120.0,
+        v2 in 0.0f64..120.0,
+        bitrate in prop::sample::select(vec![3.8f64, 5.8]),
+    ) {
+        let ch = CellularChannel::calibrated();
+        let (lo, hi) = (v1.min(v2), v1.max(v2));
+        prop_assert!(
+            ch.target_packet_loss(Mph(lo), bitrate)
+                <= ch.target_packet_loss(Mph(hi), bitrate) + 1e-12
+        );
+    }
+
+    #[test]
+    fn outage_plus_residual_reconstructs_target(
+        speed in prop::sample::select(vec![0.0f64, 10.0, 35.0, 55.0, 70.0]),
+        bitrate in prop::sample::select(vec![3.8f64, 5.8]),
+    ) {
+        let ch = CellularChannel::calibrated();
+        let o = ch.outage_fraction(Mph(speed));
+        let r = ch.residual_loss(Mph(speed), bitrate);
+        let p = ch.target_packet_loss(Mph(speed), bitrate);
+        prop_assert!((o + (1.0 - o) * r - p).abs() < 0.03, "decomposition broke at {speed}");
+    }
+
+    #[test]
+    fn loss_process_deterministic(seed in any::<u64>(), speed in 0.0f64..80.0) {
+        let ch = CellularChannel::calibrated();
+        let run = |seed: u64| {
+            let mut p = ch.loss_process(Mph(speed), 3.8, SeedFactory::new(seed).stream("x"));
+            (0..200)
+                .map(|i| p.packet_lost(SimTime::from_nanos(i * 1_000_000)))
+                .collect::<Vec<bool>>()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    #[test]
+    fn mobility_position_nondecreasing(
+        speed in 0.0f64..90.0,
+        t1 in 0u64..100_000,
+        t2 in 0u64..100_000,
+    ) {
+        let trace = MobilityTrace::constant(Mph(speed));
+        let (lo, hi) = (t1.min(t2), t1.max(t2));
+        prop_assert!(
+            trace.position_at(SimTime::from_secs(lo)).0
+                <= trace.position_at(SimTime::from_secs(hi)).0 + 1e-9
+        );
+    }
+
+    #[test]
+    fn upload_hours_scale_linearly(bytes in 1u64..1_000_000_000_000) {
+        let lte = LinkSpec::lte();
+        let one = lte.upload_hours(bytes);
+        let two = lte.upload_hours(bytes * 2);
+        // Latency is constant, so doubling bytes less-than-doubles+epsilon.
+        prop_assert!(two > one);
+        prop_assert!(two <= one * 2.0 + 1e-6);
+    }
+}

@@ -1,0 +1,285 @@
+//! The pipeline placement planner.
+//!
+//! §IV-C's open problem — "how to dynamically schedule the sub-workloads
+//! to achieve the best end-to-end latency in terms of network quality and
+//! vehicle residual compute power" — solved exactly for the pipeline
+//! sizes OpenVDAP services have (a handful of stages): enumerate every
+//! `{vehicle, edge, cloud}` placement, price each with the elastic
+//! manager's estimator, and return the optimum.
+
+use vdap_edgeos::{ElasticManager, Environment, Objective, Pipeline, PipelineEstimate, PipelineStage};
+use vdap_hw::ComputeWorkload;
+use vdap_net::Site;
+use vdap_sim::SimDuration;
+
+/// Upper bound on exhaustively searchable stages (3^12 ≈ 531k plans).
+pub const MAX_EXHAUSTIVE_STAGES: usize = 12;
+
+/// The planner's result: the chosen placement and its estimate, plus how
+/// many placements were evaluated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// The winning pipeline (stages pinned to sites).
+    pub pipeline: Pipeline,
+    /// Its cost estimate.
+    pub estimate: PipelineEstimate,
+    /// Number of candidate placements evaluated.
+    pub candidates: usize,
+}
+
+/// Error from planning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// No stages were provided.
+    EmptyPipeline,
+    /// Too many stages for exhaustive search.
+    TooManyStages {
+        /// Stages requested.
+        got: usize,
+    },
+    /// No placement met the deadline.
+    NoFeasiblePlacement,
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::EmptyPipeline => write!(f, "no stages to place"),
+            PlanError::TooManyStages { got } => write!(
+                f,
+                "{got} stages exceed the exhaustive-search bound of {MAX_EXHAUSTIVE_STAGES}"
+            ),
+            PlanError::NoFeasiblePlacement => write!(f, "no placement meets the deadline"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Exhaustively finds the optimal placement of `stages` under
+/// `objective`, subject to an optional deadline.
+///
+/// # Errors
+///
+/// Returns [`PlanError`] for empty/oversized pipelines or when no
+/// placement is feasible.
+pub fn optimal_placement(
+    name: &str,
+    stages: &[ComputeWorkload],
+    env: &Environment<'_>,
+    objective: Objective,
+    deadline: Option<SimDuration>,
+) -> Result<Plan, PlanError> {
+    if stages.is_empty() {
+        return Err(PlanError::EmptyPipeline);
+    }
+    if stages.len() > MAX_EXHAUSTIVE_STAGES {
+        return Err(PlanError::TooManyStages { got: stages.len() });
+    }
+    let estimator = ElasticManager::new();
+    let sites = Site::ALL;
+    let total = 3usize.pow(stages.len() as u32);
+    let mut best: Option<(Pipeline, PipelineEstimate)> = None;
+    for code in 0..total {
+        let mut c = code;
+        let placed: Vec<PipelineStage> = stages
+            .iter()
+            .map(|w| {
+                let site = sites[c % 3];
+                c /= 3;
+                PipelineStage {
+                    workload: w.clone(),
+                    site,
+                }
+            })
+            .collect();
+        let pipeline = Pipeline::new(format!("{name}#{code}"), placed);
+        let estimate = estimator.estimate(&pipeline, env);
+        if let Some(d) = deadline {
+            if estimate.latency > d {
+                continue;
+            }
+        }
+        let better = match &best {
+            None => true,
+            Some((_, b)) => match objective {
+                Objective::MinLatency => estimate.latency < b.latency,
+                Objective::MinVehicleEnergy => estimate.vehicle_energy_j < b.vehicle_energy_j,
+            },
+        };
+        if better {
+            best = Some((pipeline, estimate));
+        }
+    }
+    let (pipeline, estimate) = best.ok_or(PlanError::NoFeasiblePlacement)?;
+    Ok(Plan {
+        pipeline,
+        estimate,
+        candidates: total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdap_hw::{catalog, TaskClass, VcuBoard};
+    use vdap_net::{LinkSpec, NetTopology};
+    use vdap_sim::SimTime;
+
+    struct Fixture {
+        net: NetTopology,
+        board: VcuBoard,
+        edge: vdap_hw::ProcessorSpec,
+        cloud: vdap_hw::ProcessorSpec,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            Fixture {
+                net: NetTopology::reference(),
+                board: VcuBoard::reference_design(),
+                edge: catalog::xedge_server(),
+                cloud: catalog::cloud_server(),
+            }
+        }
+        fn env(&self) -> Environment<'_> {
+            Environment {
+                net: &self.net,
+                board: &self.board,
+                edge: &self.edge,
+                cloud: &self.cloud,
+                edge_load: 1.0,
+                cloud_load: 1.0,
+                now: SimTime::ZERO,
+            }
+        }
+    }
+
+    fn detection_stages() -> Vec<ComputeWorkload> {
+        let frame = 1280 * 720 * 3 / 2;
+        vec![
+            ComputeWorkload::new("motion", TaskClass::VisionKernel)
+                .with_gflops(0.05)
+                .with_input_bytes(frame)
+                .with_output_bytes(frame / 8)
+                .with_parallel_fraction(0.95),
+            ComputeWorkload::new("detect", TaskClass::VisionKernel)
+                .with_gflops(0.8)
+                .with_input_bytes(frame / 8)
+                .with_output_bytes(32 * 1024)
+                .with_parallel_fraction(0.95),
+            ComputeWorkload::new("recognize", TaskClass::DenseLinearAlgebra)
+                .with_gflops(4.0)
+                .with_input_bytes(32 * 1024)
+                .with_output_bytes(256)
+                .with_parallel_fraction(0.97),
+        ]
+    }
+
+    #[test]
+    fn planner_explores_all_placements() {
+        let fx = Fixture::new();
+        let plan = optimal_placement(
+            "lpr",
+            &detection_stages(),
+            &fx.env(),
+            Objective::MinLatency,
+            None,
+        )
+        .unwrap();
+        assert_eq!(plan.candidates, 27);
+        assert!(!plan.pipeline.stages.is_empty());
+    }
+
+    #[test]
+    fn planner_beats_or_matches_fixed_pipelines() {
+        // The exhaustive optimum can never lose to any fixed placement.
+        let fx = Fixture::new();
+        let env = fx.env();
+        let stages = detection_stages();
+        let plan =
+            optimal_placement("lpr", &stages, &env, Objective::MinLatency, None).unwrap();
+        let estimator = ElasticManager::new();
+        for fixed_site in Site::ALL {
+            let fixed = Pipeline::new(
+                "fixed",
+                stages
+                    .iter()
+                    .map(|w| PipelineStage {
+                        workload: w.clone(),
+                        site: fixed_site,
+                    })
+                    .collect(),
+            );
+            let e = estimator.estimate(&fixed, &env);
+            assert!(
+                plan.estimate.latency <= e.latency,
+                "optimum {} lost to all-{fixed_site} {}",
+                plan.estimate.latency,
+                e.latency
+            );
+        }
+    }
+
+    #[test]
+    fn dead_network_keeps_everything_onboard() {
+        let mut fx = Fixture::new();
+        fx.net.set_vehicle_edge(LinkSpec::dsrc().scaled(0.0001));
+        fx.net.set_vehicle_cloud(LinkSpec::lte().scaled(0.0001));
+        let plan = optimal_placement(
+            "lpr",
+            &detection_stages(),
+            &fx.env(),
+            Objective::MinLatency,
+            None,
+        )
+        .unwrap();
+        assert!(plan.pipeline.is_fully_onboard());
+    }
+
+    #[test]
+    fn deadline_filters_placements() {
+        let mut fx = Fixture::new();
+        fx.net.set_vehicle_edge(LinkSpec::dsrc().scaled(0.0001));
+        fx.net.set_vehicle_cloud(LinkSpec::lte().scaled(0.0001));
+        // Saturate the board too: nothing can meet 1 µs.
+        let err = optimal_placement(
+            "lpr",
+            &detection_stages(),
+            &fx.env(),
+            Objective::MinLatency,
+            Some(SimDuration::from_micros(1)),
+        )
+        .unwrap_err();
+        assert_eq!(err, PlanError::NoFeasiblePlacement);
+    }
+
+    #[test]
+    fn empty_and_oversized_inputs_rejected() {
+        let fx = Fixture::new();
+        assert_eq!(
+            optimal_placement("x", &[], &fx.env(), Objective::MinLatency, None).unwrap_err(),
+            PlanError::EmptyPipeline
+        );
+        let many: Vec<ComputeWorkload> = (0..13)
+            .map(|i| {
+                ComputeWorkload::new(format!("s{i}"), TaskClass::ControlLogic).with_gflops(0.01)
+            })
+            .collect();
+        assert!(matches!(
+            optimal_placement("x", &many, &fx.env(), Objective::MinLatency, None),
+            Err(PlanError::TooManyStages { got: 13 })
+        ));
+    }
+
+    #[test]
+    fn energy_objective_changes_the_answer() {
+        let fx = Fixture::new();
+        let env = fx.env();
+        let stages = detection_stages();
+        let lat = optimal_placement("x", &stages, &env, Objective::MinLatency, None).unwrap();
+        let eng =
+            optimal_placement("x", &stages, &env, Objective::MinVehicleEnergy, None).unwrap();
+        assert!(eng.estimate.vehicle_energy_j <= lat.estimate.vehicle_energy_j);
+    }
+}

@@ -1,0 +1,285 @@
+//! The three computing architectures of §III, as offloading strategies.
+//!
+//! The paper contrasts a **cloud-based** solution (everything uploaded),
+//! an **in-vehicle** solution (everything on board), and the
+//! **edge-based** solution OpenVDAP adopts (dynamic placement across
+//! vehicle, XEdge and cloud). Each is an [`OffloadStrategy`] producing
+//! a placed pipeline; the comparison harness prices them on identical
+//! request streams (experiment E6 in DESIGN.md).
+
+use vdap_edgeos::{ElasticManager, Environment, Objective, Pipeline, PipelineStage};
+use vdap_hw::ComputeWorkload;
+use vdap_net::Site;
+use vdap_sim::SimDuration;
+
+use crate::cost::CostReport;
+use crate::planner::{optimal_placement, PlanError};
+
+/// A placement policy over a staged workload.
+pub trait OffloadStrategy: std::fmt::Debug {
+    /// Strategy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Places the stages for one request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] when the strategy cannot produce a
+    /// placement (e.g. no feasible plan under a deadline).
+    fn place(
+        &self,
+        stages: &[ComputeWorkload],
+        env: &Environment<'_>,
+    ) -> Result<Pipeline, PlanError>;
+}
+
+/// §III-A: ship raw data to the cloud, compute there.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CloudOnly;
+
+/// §III-B: everything on the vehicle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InVehicleOnly;
+
+/// §III-C / §IV: OpenVDAP's dynamic edge-based placement.
+#[derive(Debug, Clone, Copy)]
+pub struct EdgeBased {
+    /// Optimization objective.
+    pub objective: Objective,
+    /// Optional end-to-end deadline.
+    pub deadline: Option<SimDuration>,
+}
+
+impl Default for EdgeBased {
+    fn default() -> Self {
+        EdgeBased {
+            objective: Objective::MinLatency,
+            deadline: None,
+        }
+    }
+}
+
+fn pinned(stages: &[ComputeWorkload], site: Site, label: &str) -> Result<Pipeline, PlanError> {
+    if stages.is_empty() {
+        return Err(PlanError::EmptyPipeline);
+    }
+    Ok(Pipeline::new(
+        label,
+        stages
+            .iter()
+            .map(|w| PipelineStage {
+                workload: w.clone(),
+                site,
+            })
+            .collect(),
+    ))
+}
+
+impl OffloadStrategy for CloudOnly {
+    fn name(&self) -> &'static str {
+        "cloud-only"
+    }
+    fn place(
+        &self,
+        stages: &[ComputeWorkload],
+        _env: &Environment<'_>,
+    ) -> Result<Pipeline, PlanError> {
+        pinned(stages, Site::Cloud, "cloud-only")
+    }
+}
+
+impl OffloadStrategy for InVehicleOnly {
+    fn name(&self) -> &'static str {
+        "in-vehicle"
+    }
+    fn place(
+        &self,
+        stages: &[ComputeWorkload],
+        _env: &Environment<'_>,
+    ) -> Result<Pipeline, PlanError> {
+        pinned(stages, Site::Vehicle, "in-vehicle")
+    }
+}
+
+impl OffloadStrategy for EdgeBased {
+    fn name(&self) -> &'static str {
+        "edge-based"
+    }
+    fn place(
+        &self,
+        stages: &[ComputeWorkload],
+        env: &Environment<'_>,
+    ) -> Result<Pipeline, PlanError> {
+        optimal_placement("edge-based", stages, env, self.objective, self.deadline)
+            .map(|p| p.pipeline)
+    }
+}
+
+/// Prices one placed pipeline: latency and vehicle energy from the
+/// elastic estimator, wireless bytes from the stage graph.
+#[must_use]
+pub fn price(pipeline: &Pipeline, env: &Environment<'_>) -> CostReport {
+    let estimate = ElasticManager::new().estimate(pipeline, env);
+    // Wireless accounting: bytes cross the air whenever data moves
+    // between the vehicle and a remote site.
+    let mut bytes_up = 0u64;
+    let mut bytes_down = 0u64;
+    let mut data_site = Site::Vehicle;
+    for stage in &pipeline.stages {
+        if data_site == Site::Vehicle && stage.site != Site::Vehicle {
+            bytes_up += stage.workload.input_bytes();
+        }
+        if data_site != Site::Vehicle && stage.site == Site::Vehicle {
+            bytes_down += stage.workload.input_bytes();
+        }
+        data_site = stage.site;
+    }
+    if let Some(last) = pipeline.stages.last() {
+        if data_site != Site::Vehicle {
+            bytes_down += last.workload.output_bytes();
+        }
+    }
+    CostReport::single(estimate.latency, estimate.vehicle_energy_j, bytes_up, bytes_down)
+}
+
+/// Runs a strategy over a request stream and accumulates costs.
+///
+/// # Errors
+///
+/// Propagates the strategy's [`PlanError`].
+pub fn run_strategy(
+    strategy: &dyn OffloadStrategy,
+    stages: &[ComputeWorkload],
+    env: &Environment<'_>,
+    requests: u64,
+) -> Result<CostReport, PlanError> {
+    let pipeline = strategy.place(stages, env)?;
+    let per_request = price(&pipeline, env);
+    let mut total = CostReport::default();
+    for _ in 0..requests {
+        total.absorb(&per_request);
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdap_hw::{catalog, TaskClass, VcuBoard};
+    use vdap_net::NetTopology;
+    use vdap_sim::SimTime;
+
+    struct Fixture {
+        net: NetTopology,
+        board: VcuBoard,
+        edge: vdap_hw::ProcessorSpec,
+        cloud: vdap_hw::ProcessorSpec,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            Fixture {
+                net: NetTopology::reference(),
+                board: VcuBoard::reference_design(),
+                edge: catalog::xedge_server(),
+                cloud: catalog::cloud_server(),
+            }
+        }
+        fn env(&self) -> Environment<'_> {
+            Environment {
+                net: &self.net,
+                board: &self.board,
+                edge: &self.edge,
+                cloud: &self.cloud,
+                edge_load: 1.0,
+                cloud_load: 1.0,
+                now: SimTime::ZERO,
+            }
+        }
+    }
+
+    fn heavy_stages() -> Vec<ComputeWorkload> {
+        let frame = 1280 * 720 * 3 / 2;
+        vec![
+            ComputeWorkload::new("motion", TaskClass::VisionKernel)
+                .with_gflops(0.05)
+                .with_input_bytes(frame)
+                .with_output_bytes(frame / 8)
+                .with_parallel_fraction(0.95),
+            ComputeWorkload::new("cnn", TaskClass::DenseLinearAlgebra)
+                .with_gflops(25.0)
+                .with_input_bytes(frame / 8)
+                .with_output_bytes(2048)
+                .with_parallel_fraction(0.97),
+        ]
+    }
+
+    #[test]
+    fn edge_based_never_loses_on_latency() {
+        let fx = Fixture::new();
+        let env = fx.env();
+        let stages = heavy_stages();
+        let edge = run_strategy(&EdgeBased::default(), &stages, &env, 1).unwrap();
+        let cloud = run_strategy(&CloudOnly, &stages, &env, 1).unwrap();
+        let vehicle = run_strategy(&InVehicleOnly, &stages, &env, 1).unwrap();
+        assert!(edge.latency <= cloud.latency);
+        assert!(edge.latency <= vehicle.latency);
+    }
+
+    #[test]
+    fn cloud_only_pays_the_uplink() {
+        let fx = Fixture::new();
+        let env = fx.env();
+        let stages = heavy_stages();
+        let cloud = run_strategy(&CloudOnly, &stages, &env, 1).unwrap();
+        let vehicle = run_strategy(&InVehicleOnly, &stages, &env, 1).unwrap();
+        // A full 720P frame crosses the LTE uplink.
+        assert_eq!(cloud.bytes_up, 1280 * 720 * 3 / 2);
+        assert_eq!(vehicle.total_bytes(), 0);
+        // The paper's §III-A story: transmission dominates, the cloud is
+        // slower end-to-end despite infinite compute.
+        assert!(cloud.latency > vehicle.latency);
+    }
+
+    #[test]
+    fn in_vehicle_pays_energy() {
+        let fx = Fixture::new();
+        let env = fx.env();
+        let stages = heavy_stages();
+        let vehicle = run_strategy(&InVehicleOnly, &stages, &env, 1).unwrap();
+        let cloud = run_strategy(&CloudOnly, &stages, &env, 1).unwrap();
+        assert!(vehicle.vehicle_energy_j > cloud.vehicle_energy_j);
+    }
+
+    #[test]
+    fn request_stream_accumulates() {
+        let fx = Fixture::new();
+        let env = fx.env();
+        let stages = heavy_stages();
+        let one = run_strategy(&InVehicleOnly, &stages, &env, 1).unwrap();
+        let many = run_strategy(&InVehicleOnly, &stages, &env, 30).unwrap();
+        assert_eq!(many.requests, 30);
+        assert_eq!(many.mean_latency(), one.latency);
+        assert!((many.vehicle_energy_j - one.vehicle_energy_j * 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strategies_have_distinct_names() {
+        let names = [
+            CloudOnly.name(),
+            InVehicleOnly.name(),
+            EdgeBased::default().name(),
+        ];
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn empty_stages_rejected_by_all() {
+        let fx = Fixture::new();
+        let env = fx.env();
+        assert!(CloudOnly.place(&[], &env).is_err());
+        assert!(InVehicleOnly.place(&[], &env).is_err());
+        assert!(EdgeBased::default().place(&[], &env).is_err());
+    }
+}

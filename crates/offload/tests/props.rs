@@ -1,0 +1,127 @@
+//! Property-based tests for offloading: the planner's optimality and the
+//! collaboration cache's consistency.
+
+use proptest::prelude::*;
+use vdap_edgeos::{ElasticManager, Environment, Objective, Pipeline, PipelineStage};
+use vdap_hw::{catalog, ComputeWorkload, TaskClass, VcuBoard};
+use vdap_net::{NetTopology, Site};
+use vdap_offload::{optimal_placement, ResultCache, ResultKey, SharedResult, Tile};
+use vdap_sim::{SimDuration, SimTime};
+
+fn class_of(i: usize) -> TaskClass {
+    TaskClass::ALL[i % TaskClass::ALL.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn planner_optimum_dominates_random_placements(
+        gflops in prop::collection::vec(0.01f64..10.0, 1..4),
+        bytes in prop::collection::vec(0u64..2_000_000, 4),
+        placement_code in 0usize..81,
+    ) {
+        let net = NetTopology::reference();
+        let board = VcuBoard::reference_design();
+        let edge = catalog::xedge_server();
+        let cloud = catalog::cloud_server();
+        let env = Environment {
+            net: &net,
+            board: &board,
+            edge: &edge,
+            cloud: &cloud,
+            edge_load: 1.0,
+            cloud_load: 1.0,
+            now: SimTime::ZERO,
+        };
+        let stages: Vec<ComputeWorkload> = gflops
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| {
+                ComputeWorkload::new(format!("s{i}"), class_of(i))
+                    .with_gflops(g)
+                    .with_input_bytes(bytes.get(i).copied().unwrap_or(0))
+                    .with_output_bytes(bytes.get(i + 1).copied().unwrap_or(0) / 8)
+            })
+            .collect();
+        let plan = optimal_placement("p", &stages, &env, Objective::MinLatency, None).unwrap();
+        // An arbitrary placement can never beat the exhaustive optimum.
+        let sites = Site::ALL;
+        let mut code = placement_code;
+        let random = Pipeline::new(
+            "random",
+            stages
+                .iter()
+                .map(|w| {
+                    let site = sites[code % 3];
+                    code /= 3;
+                    PipelineStage { workload: w.clone(), site }
+                })
+                .collect(),
+        );
+        let estimate = ElasticManager::new().estimate(&random, &env);
+        prop_assert!(
+            plan.estimate.latency <= estimate.latency,
+            "optimum {} beaten by random {}",
+            plan.estimate.latency,
+            estimate.latency
+        );
+    }
+
+    #[test]
+    fn cache_publish_then_fresh_lookup_hits(
+        tile in -1000i64..1000,
+        produced in 0u64..10_000,
+        probe_offset in 0u64..200,
+        freshness in 1u64..200,
+    ) {
+        let mut cache = ResultCache::new(SimDuration::from_secs(freshness));
+        let key = ResultKey { task: "scan".into(), tile: Tile(tile) };
+        cache.publish(key.clone(), SharedResult {
+            producer: 1,
+            produced_at: SimTime::from_secs(produced),
+            payload: vec![],
+        });
+        let probe = SimTime::from_secs(produced + probe_offset);
+        let hit = cache.lookup(&key, probe);
+        if probe_offset <= freshness {
+            prop_assert!(hit.is_some());
+        } else {
+            prop_assert!(hit.is_none());
+        }
+    }
+
+    #[test]
+    fn cache_stats_balance(
+        ops in prop::collection::vec((any::<bool>(), -20i64..20, 0u64..100), 1..80),
+    ) {
+        let mut cache = ResultCache::new(SimDuration::from_secs(30));
+        let mut lookups = 0u64;
+        let mut publishes = 0u64;
+        for (is_publish, tile, t) in ops {
+            let key = ResultKey { task: "scan".into(), tile: Tile(tile) };
+            if is_publish {
+                publishes += 1;
+                cache.publish(key, SharedResult {
+                    producer: 0,
+                    produced_at: SimTime::from_secs(t),
+                    payload: vec![],
+                });
+            } else {
+                lookups += 1;
+                cache.lookup(&key, SimTime::from_secs(t));
+            }
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.hits + s.misses, lookups);
+        prop_assert_eq!(s.published, publishes);
+    }
+
+    #[test]
+    fn tiles_partition_the_line(miles in -10_000.0f64..10_000.0) {
+        let tile = Tile::containing(miles);
+        let lo = tile.0 as f64 * Tile::SIZE_MILES;
+        prop_assert!(miles >= lo - 1e-9);
+        prop_assert!(miles < lo + Tile::SIZE_MILES + 1e-9);
+    }
+}

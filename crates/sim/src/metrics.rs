@@ -1,0 +1,577 @@
+//! Measurement primitives shared by every experiment harness.
+//!
+//! [`Histogram`] is a log-bucketed latency histogram (HDR-style, base-10
+//! decades split into 90 linear sub-buckets) good enough for the quantile
+//! shapes the paper reports. [`Summary`] is an exact small-sample summary
+//! used when the full sample set fits in memory. [`Counter`] and
+//! [`TimeSeries`] support rate and trend reporting.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use vdap_sim::Counter;
+///
+/// let mut packets = Counter::new("packets_sent");
+/// packets.add(3);
+/// packets.incr();
+/// assert_eq!(packets.value(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter {
+    name: String,
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter with a diagnostic name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Counter {
+            name: name.into(),
+            value: 0,
+        }
+    }
+
+    /// Adds `n` to the counter, saturating.
+    pub fn add(&mut self, n: u64) {
+        self.value = self.value.saturating_add(n);
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.add(1);
+    }
+
+    /// Current count.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Diagnostic name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// This counter as a fraction of `total` (0 when `total` is 0).
+    #[must_use]
+    pub fn rate_of(&self, total: u64) -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            self.value as f64 / total as f64
+        }
+    }
+}
+
+/// Exact summary statistics over an in-memory sample set.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    #[must_use]
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    /// Records one sample. Non-finite samples are ignored.
+    pub fn record(&mut self, sample: f64) {
+        if sample.is_finite() {
+            self.samples.push(sample);
+            self.sorted = false;
+        }
+    }
+
+    /// Records a duration sample in milliseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_millis_f64());
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Sample standard deviation, or 0 with fewer than two samples.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .samples
+            .iter()
+            .map(|x| (x - mean).powi(2))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Minimum sample, or 0 when empty.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        let m = self.samples.iter().copied().fold(f64::INFINITY, f64::min);
+        if m.is_finite() {
+            m
+        } else {
+            0.0
+        }
+    }
+
+    /// Maximum sample, or 0 when empty.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        let m = self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if m.is_finite() {
+            m
+        } else {
+            0.0
+        }
+    }
+
+    /// Exact quantile by nearest-rank (q clamped to `[0, 1]`); 0 when empty.
+    #[must_use]
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.sorted = true;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.samples.len() as f64 - 1.0) * q).round() as usize;
+        self.samples[idx]
+    }
+
+    /// Median (p50).
+    #[must_use]
+    pub fn median(&mut self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// 95th percentile.
+    #[must_use]
+    pub fn p95(&mut self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    #[must_use]
+    pub fn p99(&mut self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Borrow the raw samples.
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for s in iter {
+            self.record(s);
+        }
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Summary::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Log-bucketed histogram for unbounded latency-like values.
+///
+/// Values are bucketed into base-10 decades, each split into 90 linear
+/// sub-buckets, giving a worst-case quantile error of ~1.1% — comparable
+/// to HDR histograms at far less code. Values are expected non-negative;
+/// negatives clamp to bucket 0.
+///
+/// # Examples
+///
+/// ```
+/// use vdap_sim::Histogram;
+///
+/// let mut h = Histogram::new("latency_ms");
+/// for v in [1.0, 2.0, 3.0, 100.0] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// let p50 = h.quantile(0.5);
+/// assert!(p50 >= 2.0 && p50 <= 3.1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    name: String,
+    /// buckets[decade][sub] — decade d covers [10^(d-4), 10^(d-3)).
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+const SUBS: usize = 90;
+const DECADES: usize = 16; // 1e-4 .. 1e12
+const FLOOR: f64 = 1e-4;
+
+impl Histogram {
+    /// Creates an empty histogram with a diagnostic name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Histogram {
+            name: name.into(),
+            buckets: vec![0; SUBS * DECADES],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bucket_index(value: f64) -> usize {
+        if value <= FLOOR || value.is_nan() {
+            return 0;
+        }
+        let decade = value.log10().floor();
+        let d = ((decade - FLOOR.log10()) as isize).clamp(0, DECADES as isize - 1) as usize;
+        let lo = 10f64.powf(FLOOR.log10() + d as f64);
+        let frac = (value / lo - 1.0) / 9.0; // [1,10) -> [0,1)
+        let sub = ((frac * SUBS as f64) as usize).min(SUBS - 1);
+        d * SUBS + sub
+    }
+
+    fn bucket_value(index: usize) -> f64 {
+        let d = index / SUBS;
+        let sub = index % SUBS;
+        let lo = 10f64.powf(FLOOR.log10() + d as f64);
+        // Midpoint of the linear sub-bucket.
+        lo * (1.0 + 9.0 * (sub as f64 + 0.5) / SUBS as f64)
+    }
+
+    /// Records one non-negative sample (non-finite samples are ignored).
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let value = value.max(0.0);
+        let idx = Self::bucket_index(value);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records a duration in milliseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_millis_f64());
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Approximate quantile (worst-case ~1.1% relative error).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((self.count as f64 - 1.0) * q).round() as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c > target {
+                return Self::bucket_value(idx).clamp(self.min, self.max);
+            }
+            seen += c;
+        }
+        self.max
+    }
+
+    /// Diagnostic name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: n={} mean={:.3} p50={:.3} p95={:.3} p99={:.3} max={:.3}",
+            self.name,
+            self.count,
+            self.mean(),
+            self.quantile(0.5),
+            self.quantile(0.95),
+            self.quantile(0.99),
+            self.max()
+        )
+    }
+}
+
+/// A `(time, value)` series for trend plots (e.g. utilization over time).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    #[must_use]
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Appends a point. Out-of-order appends are accepted and sorted on read.
+    pub fn push(&mut self, at: SimTime, value: f64) {
+        self.points.push((at, value));
+    }
+
+    /// Number of points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the series has no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Points sorted by time.
+    #[must_use]
+    pub fn sorted_points(&self) -> Vec<(SimTime, f64)> {
+        let mut pts = self.points.clone();
+        pts.sort_unstable_by_key(|&(t, _)| t);
+        pts
+    }
+
+    /// Time-weighted average over the recorded span (simple trapezoid-free
+    /// step integration: each value holds until the next point).
+    #[must_use]
+    pub fn time_weighted_mean(&self) -> f64 {
+        let pts = self.sorted_points();
+        if pts.len() < 2 {
+            return pts.first().map_or(0.0, |&(_, v)| v);
+        }
+        let mut weighted = 0.0;
+        let mut total = 0.0;
+        for w in pts.windows(2) {
+            let dt = (w[1].0 - w[0].0).as_secs_f64();
+            weighted += w[0].1 * dt;
+            total += dt;
+        }
+        if total == 0.0 {
+            pts[0].1
+        } else {
+            weighted / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_rates() {
+        let mut c = Counter::new("x");
+        c.add(10);
+        c.incr();
+        assert_eq!(c.value(), 11);
+        assert!((c.rate_of(22) - 0.5).abs() < 1e-12);
+        assert_eq!(c.rate_of(0), 0.0);
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = Counter::new("x");
+        c.add(u64::MAX);
+        c.incr();
+        assert_eq!(c.value(), u64::MAX);
+    }
+
+    #[test]
+    fn summary_statistics_exact() {
+        let mut s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.138).abs() < 0.01);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        // Nearest-rank on 8 samples: index round(3.5) = 4 -> value 5.0.
+        assert_eq!(s.median(), 5.0);
+    }
+
+    #[test]
+    fn summary_ignores_non_finite() {
+        let mut s = Summary::new();
+        s.record(f64::NAN);
+        s.record(f64::INFINITY);
+        s.record(1.0);
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn summary_empty_is_zeroes() {
+        let mut s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_within_error() {
+        let mut h = Histogram::new("lat");
+        for i in 1..=10_000 {
+            h.record(i as f64 / 10.0); // 0.1 .. 1000.0
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!((p50 - 500.0).abs() / 500.0 < 0.02, "p50={p50}");
+        assert!((p99 - 990.0).abs() / 990.0 < 0.02, "p99={p99}");
+        assert_eq!(h.count(), 10_000);
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let mut h = Histogram::new("x");
+        h.record(0.0);
+        h.record(-5.0); // clamps to 0
+        h.record(1e15); // clamps to top decade
+        h.record(f64::NAN); // ignored
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 1e15);
+    }
+
+    #[test]
+    fn histogram_merge_combines() {
+        let mut a = Histogram::new("a");
+        let mut b = Histogram::new("b");
+        a.record(1.0);
+        b.record(100.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 100.0);
+        assert_eq!(a.min(), 1.0);
+    }
+
+    #[test]
+    fn time_series_weighted_mean() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_secs(0), 1.0);
+        ts.push(SimTime::from_secs(10), 3.0);
+        ts.push(SimTime::from_secs(20), 3.0);
+        // value 1.0 for 10s, then 3.0 for 10s => mean 2.0
+        assert!((ts.time_weighted_mean() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_series_single_point() {
+        let mut ts = TimeSeries::new();
+        assert_eq!(ts.time_weighted_mean(), 0.0);
+        ts.push(SimTime::ZERO, 7.0);
+        assert_eq!(ts.time_weighted_mean(), 7.0);
+    }
+
+    #[test]
+    fn histogram_display_nonempty() {
+        let mut h = Histogram::new("d");
+        h.record(5.0);
+        let s = h.to_string();
+        assert!(s.contains("n=1"));
+    }
+}

@@ -1,0 +1,287 @@
+//! Deterministic random-number streams.
+//!
+//! Every stochastic component in the reproduction (channel loss, workload
+//! jitter, synthetic telemetry, ...) draws from a [`RngStream`] derived
+//! from a single scenario seed plus a component label. Streams derived
+//! from the same `(seed, label)` pair always produce the same sequence, so
+//! entire experiments are reproducible bit-for-bit while remaining
+//! statistically independent across components.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A factory that derives independent, reproducible RNG streams from one
+/// master seed.
+///
+/// # Examples
+///
+/// ```
+/// use vdap_sim::SeedFactory;
+///
+/// let factory = SeedFactory::new(42);
+/// let mut a1 = factory.stream("channel");
+/// let mut a2 = factory.stream("channel");
+/// let mut b = factory.stream("telemetry");
+///
+/// // Same label => identical stream; different label => different stream.
+/// assert_eq!(a1.next_u64(), a2.next_u64());
+/// assert_ne!(factory.stream("channel").next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SeedFactory {
+    master: u64,
+}
+
+impl SeedFactory {
+    /// Creates a factory from a master scenario seed.
+    #[must_use]
+    pub fn new(master: u64) -> Self {
+        SeedFactory { master }
+    }
+
+    /// The master seed this factory derives from.
+    #[must_use]
+    pub fn master_seed(&self) -> u64 {
+        self.master
+    }
+
+    /// Derives a stream for a named component.
+    #[must_use]
+    pub fn stream(&self, label: &str) -> RngStream {
+        RngStream::from_seed_label(self.master, label)
+    }
+
+    /// Derives a stream for a named component plus an index, for per-entity
+    /// streams such as one per vehicle.
+    #[must_use]
+    pub fn indexed_stream(&self, label: &str, index: u64) -> RngStream {
+        let mixed = splitmix64(self.master ^ fnv1a(label.as_bytes()) ^ splitmix64(index));
+        RngStream::from_raw_seed(mixed)
+    }
+}
+
+/// A deterministic random stream (thin wrapper over a seeded [`StdRng`]).
+#[derive(Debug, Clone)]
+pub struct RngStream {
+    inner: StdRng,
+}
+
+impl RngStream {
+    /// Creates a stream directly from a raw 64-bit seed.
+    #[must_use]
+    pub fn from_raw_seed(seed: u64) -> Self {
+        RngStream {
+            inner: StdRng::seed_from_u64(splitmix64(seed)),
+        }
+    }
+
+    /// Creates a stream from a master seed and component label.
+    #[must_use]
+    pub fn from_seed_label(master: u64, label: &str) -> Self {
+        Self::from_raw_seed(master ^ fnv1a(label.as_bytes()))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// Uniform value in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo >= hi` or either bound is non-finite.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid range");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.uniform() < p
+        }
+    }
+
+    /// Standard-normal sample via Box–Muller.
+    pub fn std_normal(&mut self) -> f64 {
+        // Box–Muller needs u1 in (0, 1]; guard against a zero draw.
+        let mut u1 = self.uniform();
+        if u1 <= f64::MIN_POSITIVE {
+            u1 = f64::MIN_POSITIVE;
+        }
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.std_normal()
+    }
+
+    /// Exponentially distributed sample with the given mean (`1/λ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `mean` is not positive.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        let mut u = self.uniform();
+        if u <= f64::MIN_POSITIVE {
+            u = f64::MIN_POSITIVE;
+        }
+        -mean * u.ln()
+    }
+
+    /// Picks a uniformly random element of `items`, or `None` when empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            let idx = self.below(items.len() as u64) as usize;
+            Some(&items[idx])
+        }
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+/// SplitMix64 finalizer: cheap, high-quality seed mixing.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a hash for label-to-seed derivation.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let f = SeedFactory::new(7);
+        let xs: Vec<u64> = {
+            let mut s = f.stream("x");
+            (0..32).map(|_| s.next_u64()).collect()
+        };
+        let ys: Vec<u64> = {
+            let mut s = f.stream("x");
+            (0..32).map(|_| s.next_u64()).collect()
+        };
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn different_labels_diverge() {
+        let f = SeedFactory::new(7);
+        assert_ne!(f.stream("a").next_u64(), f.stream("b").next_u64());
+    }
+
+    #[test]
+    fn indexed_streams_diverge() {
+        let f = SeedFactory::new(7);
+        let mut a = f.indexed_stream("vehicle", 0);
+        let mut b = f.indexed_stream("vehicle", 1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn uniform_stays_in_unit_interval() {
+        let mut s = RngStream::from_raw_seed(3);
+        for _ in 0..10_000 {
+            let u = s.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn chance_extremes_are_deterministic() {
+        let mut s = RngStream::from_raw_seed(3);
+        assert!(!s.chance(0.0));
+        assert!(s.chance(1.0));
+        assert!(!s.chance(-0.5));
+        assert!(s.chance(1.5));
+    }
+
+    #[test]
+    fn normal_sample_statistics() {
+        let mut s = RngStream::from_raw_seed(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| s.normal(5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean was {mean}");
+        assert!((var - 4.0).abs() < 0.25, "variance was {var}");
+    }
+
+    #[test]
+    fn exponential_sample_statistics() {
+        let mut s = RngStream::from_raw_seed(13);
+        let n = 20_000;
+        let mean = (0..n).map(|_| s.exponential(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.15, "mean was {mean}");
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut s = RngStream::from_raw_seed(17);
+        for _ in 0..1_000 {
+            assert!(s.below(5) < 5);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut s = RngStream::from_raw_seed(19);
+        let mut v: Vec<u32> = (0..64).collect();
+        s.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn pick_handles_empty() {
+        let mut s = RngStream::from_raw_seed(23);
+        let empty: [u8; 0] = [];
+        assert!(s.pick(&empty).is_none());
+        assert!(s.pick(&[1, 2, 3]).is_some());
+    }
+}

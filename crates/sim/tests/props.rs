@@ -1,0 +1,100 @@
+//! Property-based tests for the simulation kernel.
+
+use proptest::prelude::*;
+use vdap_sim::{Histogram, RngStream, SimDuration, SimTime, Simulation, Summary};
+
+proptest! {
+    #[test]
+    fn duration_addition_commutes(a in 0u64..u64::MAX / 2, b in 0u64..u64::MAX / 2) {
+        let x = SimDuration::from_nanos(a);
+        let y = SimDuration::from_nanos(b);
+        prop_assert_eq!(x + y, y + x);
+    }
+
+    #[test]
+    fn duration_saturating_roundtrip(a in any::<u64>(), b in any::<u64>()) {
+        let x = SimDuration::from_nanos(a);
+        let y = SimDuration::from_nanos(b);
+        // (x + y) - y >= x only when no saturation happened; in all cases
+        // the result is never greater than x.
+        let back = (x + y) - y;
+        prop_assert!(back.as_nanos() <= a || a.checked_add(b).is_none());
+    }
+
+    #[test]
+    fn time_plus_duration_ordering(t in 0u64..u64::MAX / 2, d in 1u64..u64::MAX / 2) {
+        let at = SimTime::from_nanos(t);
+        let later = at + SimDuration::from_nanos(d);
+        prop_assert!(later > at);
+        prop_assert_eq!(later - at, SimDuration::from_nanos(d));
+    }
+
+    #[test]
+    fn conversion_floor_consistency(ms in 0u64..10_000_000) {
+        let d = SimDuration::from_millis(ms);
+        prop_assert_eq!(d.as_millis(), ms);
+        prop_assert_eq!(d.as_micros(), ms * 1000);
+        prop_assert!((d.as_millis_f64() - ms as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn histogram_quantiles_bounded_and_monotone(
+        samples in prop::collection::vec(0.0f64..1e6, 1..200),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let mut h = Histogram::new("p");
+        for &s in &samples {
+            h.record(s);
+        }
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        let v_lo = h.quantile(lo);
+        let v_hi = h.quantile(hi);
+        prop_assert!(v_lo <= v_hi, "quantiles must be monotone: {} > {}", v_lo, v_hi);
+        prop_assert!(v_lo >= h.min() && v_hi <= h.max());
+    }
+
+    #[test]
+    fn summary_mean_between_min_and_max(
+        samples in prop::collection::vec(-1e9f64..1e9, 1..200),
+    ) {
+        let s: Summary = samples.iter().copied().collect();
+        prop_assert!(s.mean() >= s.min() - 1e-6);
+        prop_assert!(s.mean() <= s.max() + 1e-6);
+    }
+
+    #[test]
+    fn events_always_fire_in_nondecreasing_time_order(
+        delays in prop::collection::vec(0u64..1_000_000, 1..100),
+    ) {
+        let mut sim = Simulation::new(Vec::<u64>::new());
+        for &d in &delays {
+            sim.schedule_in(SimDuration::from_nanos(d), "e", move |ctx| {
+                let t = ctx.now().as_nanos();
+                ctx.state_mut().push(t);
+            });
+        }
+        sim.run();
+        let fired = sim.state();
+        prop_assert_eq!(fired.len(), delays.len());
+        prop_assert!(fired.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn rng_streams_reproducible(seed in any::<u64>()) {
+        let mut a = RngStream::from_raw_seed(seed);
+        let mut b = RngStream::from_raw_seed(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn rng_uniform_in_unit_interval(seed in any::<u64>()) {
+        let mut s = RngStream::from_raw_seed(seed);
+        for _ in 0..64 {
+            let u = s.uniform();
+            prop_assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

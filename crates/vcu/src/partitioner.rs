@@ -1,0 +1,209 @@
+//! The DSF task partitioner.
+//!
+//! §IV-B, Figure 5: original applications enter the DSF as monoliths; a
+//! *Task Partitioner* breaks them into sub-tasks before scheduling. Two
+//! shapes cover the paper's examples:
+//!
+//! * **Stage pipelines** — the license-plate application of [Zhang et
+//!   al.] splits into motion detection → plate detection → plate
+//!   recognition ([`partition_pipeline`]).
+//! * **Data parallelism** — one big kernel split into shards that fan
+//!   out across processors and reduce at the end
+//!   ([`partition_data_parallel`]).
+
+use vdap_hw::{ComputeWorkload, TaskClass};
+use vdap_sim::SimDuration;
+
+use crate::task::{Priority, Task, TaskGraph, TaskId};
+
+/// One stage of an application pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stage {
+    /// The stage's compute demand.
+    pub workload: ComputeWorkload,
+    /// Stage priority.
+    pub priority: Priority,
+}
+
+impl Stage {
+    /// Creates a stage with normal priority.
+    #[must_use]
+    pub fn new(workload: ComputeWorkload) -> Self {
+        Stage {
+            workload,
+            priority: Priority::Normal,
+        }
+    }
+
+    /// Sets the priority.
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+/// Builds a linear pipeline graph from ordered stages, optionally with an
+/// end-to-end deadline attached to the final stage.
+///
+/// # Panics
+///
+/// Panics when `stages` is empty.
+#[must_use]
+pub fn partition_pipeline(
+    name: &str,
+    stages: Vec<Stage>,
+    deadline: Option<SimDuration>,
+) -> TaskGraph {
+    assert!(!stages.is_empty(), "a pipeline needs at least one stage");
+    let mut graph = TaskGraph::new(name);
+    let last_index = stages.len() - 1;
+    let mut prev: Option<TaskId> = None;
+    for (i, stage) in stages.into_iter().enumerate() {
+        let id = graph.add(|id| {
+            let mut t = Task::new(id, stage.workload).with_priority(stage.priority);
+            if i == last_index {
+                if let Some(d) = deadline {
+                    t = t.with_deadline(d);
+                }
+            }
+            t
+        });
+        if let Some(p) = prev {
+            graph
+                .add_dependency(p, id)
+                .expect("linear chains are acyclic");
+        }
+        prev = Some(id);
+    }
+    graph
+}
+
+/// Splits one workload into `shards` parallel pieces plus a reduce task
+/// (in [`TaskClass::ControlLogic`]) that joins them.
+///
+/// # Panics
+///
+/// Panics when `shards == 0`.
+#[must_use]
+pub fn partition_data_parallel(
+    name: &str,
+    workload: &ComputeWorkload,
+    shards: usize,
+    reduce_gflops: f64,
+) -> TaskGraph {
+    assert!(shards > 0, "need at least one shard");
+    let mut graph = TaskGraph::new(name);
+    let shard_ids: Vec<TaskId> = workload
+        .split(shards)
+        .into_iter()
+        .map(|shard| graph.add_task(shard))
+        .collect();
+    let reduce = graph.add_task(
+        ComputeWorkload::new(format!("{name}-reduce"), TaskClass::ControlLogic)
+            .with_gflops(reduce_gflops)
+            .with_output_bytes(workload.output_bytes()),
+    );
+    for shard in shard_ids {
+        graph
+            .add_dependency(shard, reduce)
+            .expect("fan-in is acyclic");
+    }
+    graph
+}
+
+/// The paper's license-plate recognition example (mobile A3): motion
+/// detection, plate detection, plate recognition, as a ready-made
+/// pipeline for tests and the elastic-management experiments.
+#[must_use]
+pub fn license_plate_pipeline(deadline: Option<SimDuration>) -> TaskGraph {
+    let frame_bytes = 1280 * 720 * 3 / 2; // YUV420 720P frame
+    partition_pipeline(
+        "license-plate",
+        vec![
+            Stage::new(
+                ComputeWorkload::new("motion-detect", TaskClass::VisionKernel)
+                    .with_gflops(0.05)
+                    .with_input_bytes(frame_bytes)
+                    .with_output_bytes(frame_bytes / 4)
+                    .with_parallel_fraction(0.95),
+            ),
+            Stage::new(
+                ComputeWorkload::new("plate-detect", TaskClass::VisionKernel)
+                    .with_gflops(0.8)
+                    .with_input_bytes(frame_bytes / 4)
+                    .with_output_bytes(32 * 1024)
+                    .with_parallel_fraction(0.95),
+            ),
+            Stage::new(
+                ComputeWorkload::new("plate-recognize", TaskClass::DenseLinearAlgebra)
+                    .with_gflops(4.0)
+                    .with_input_bytes(32 * 1024)
+                    .with_output_bytes(256)
+                    .with_parallel_fraction(0.97),
+            )
+            .with_priority(Priority::High),
+        ],
+        deadline,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_is_a_chain() {
+        let g = license_plate_pipeline(Some(SimDuration::from_millis(500)));
+        assert_eq!(g.len(), 3);
+        let order = g.topo_order().unwrap();
+        for w in order.windows(2) {
+            assert_eq!(g.successors(w[0]), vec![w[1]]);
+        }
+        // Deadline sits on the final stage only.
+        assert!(g.task(order[2]).unwrap().deadline().is_some());
+        assert!(g.task(order[0]).unwrap().deadline().is_none());
+    }
+
+    #[test]
+    fn data_parallel_preserves_work_and_fans_in() {
+        let w = ComputeWorkload::new("big", TaskClass::DenseLinearAlgebra).with_gflops(16.0);
+        let g = partition_data_parallel("dp", &w, 4, 0.01);
+        assert_eq!(g.len(), 5);
+        let reduce = TaskId(4);
+        assert_eq!(g.predecessors(reduce).len(), 4);
+        let shard_flops: f64 = (0..4)
+            .map(|i| g.task(TaskId(i)).unwrap().workload().flops())
+            .sum();
+        assert!((shard_flops - 16.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_pipeline_panics() {
+        let _ = partition_pipeline("x", vec![], None);
+    }
+
+    #[test]
+    fn single_shard_degenerates_gracefully() {
+        let w = ComputeWorkload::new("w", TaskClass::VisionKernel).with_gflops(2.0);
+        let g = partition_data_parallel("dp1", &w, 1, 0.0);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.topo_order().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn plate_pipeline_stage_classes() {
+        let g = license_plate_pipeline(None);
+        let classes: Vec<TaskClass> =
+            g.tasks().iter().map(|t| t.workload().class()).collect();
+        assert_eq!(
+            classes,
+            vec![
+                TaskClass::VisionKernel,
+                TaskClass::VisionKernel,
+                TaskClass::DenseLinearAlgebra
+            ]
+        );
+    }
+}

@@ -1,0 +1,344 @@
+//! Dynamic resource management and control knobs.
+//!
+//! §IV-B: "DSF allows computing resources to join and exit dynamically"
+//! (plug-and-play 2ndHEP), "resources accessed by applications are
+//! tightly controlled by DSF, which will achieve resources isolation",
+//! and "DSF also provides the access interfaces of all computing
+//! resources, which we called control knob."
+//!
+//! [`ResourceRegistry`] owns the board, tracks registered applications,
+//! and mediates every scheduling request through per-application grants.
+
+use std::collections::{HashMap, HashSet};
+
+use vdap_hw::{HepLevel, ProcessorSpec, SlotId, VcuBoard};
+use vdap_sim::{SimTime, TraceLevel, TraceLog};
+
+use crate::profile::{capture_all, ApplicationProfile, ResourceProfile};
+use crate::scheduler::{Schedule, ScheduleError, SchedulePolicy};
+use crate::task::TaskGraph;
+
+/// Identifier of a registered application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AppId(pub u32);
+
+impl std::fmt::Display for AppId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "app{}", self.0)
+    }
+}
+
+/// Error from a registry operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegistryError {
+    /// The application id is not registered.
+    UnknownApp(AppId),
+    /// The application is not granted access to a slot its plan needs.
+    AccessDenied {
+        /// The requesting application.
+        app: AppId,
+        /// The slot the plan wanted.
+        slot: SlotId,
+    },
+    /// Underlying scheduling failure.
+    Schedule(ScheduleError),
+    /// Attaching the resource failed (power budget).
+    Attach(vdap_hw::AttachError),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::UnknownApp(id) => write!(f, "unknown application {id}"),
+            RegistryError::AccessDenied { app, slot } => {
+                write!(f, "{app} has no grant for {slot}")
+            }
+            RegistryError::Schedule(e) => write!(f, "scheduling failed: {e}"),
+            RegistryError::Attach(e) => write!(f, "attach failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<ScheduleError> for RegistryError {
+    fn from(e: ScheduleError) -> Self {
+        RegistryError::Schedule(e)
+    }
+}
+
+/// The DSF's resource-management front end.
+#[derive(Debug)]
+pub struct ResourceRegistry {
+    board: VcuBoard,
+    apps: HashMap<AppId, ApplicationProfile>,
+    /// Per-app slot grants (the "control knob"). Empty set = all slots.
+    grants: HashMap<AppId, HashSet<SlotId>>,
+    next_app: u32,
+    trace: TraceLog,
+}
+
+impl ResourceRegistry {
+    /// Wraps a board.
+    #[must_use]
+    pub fn new(board: VcuBoard) -> Self {
+        ResourceRegistry {
+            board,
+            apps: HashMap::new(),
+            grants: HashMap::new(),
+            next_app: 0,
+            trace: TraceLog::new(),
+        }
+    }
+
+    /// The underlying board (read-only).
+    #[must_use]
+    pub fn board(&self) -> &VcuBoard {
+        &self.board
+    }
+
+    /// Mutable board access (for external occupancy, e.g. embedded
+    /// services that bypass the DSF).
+    pub fn board_mut(&mut self) -> &mut VcuBoard {
+        &mut self.board
+    }
+
+    /// Registers an application; returns its id. All slots are granted by
+    /// default; use [`ResourceRegistry::restrict`] to narrow access.
+    pub fn register_app(&mut self, profile: ApplicationProfile) -> AppId {
+        let id = AppId(self.next_app);
+        self.next_app += 1;
+        self.trace.record(
+            SimTime::ZERO,
+            TraceLevel::Info,
+            "vcu.registry",
+            format!("registered {} as {id}", profile.name),
+        );
+        self.apps.insert(id, profile);
+        id
+    }
+
+    /// Removes an application and its grants.
+    pub fn deregister_app(&mut self, app: AppId) {
+        self.apps.remove(&app);
+        self.grants.remove(&app);
+    }
+
+    /// Restricts `app` to exactly the given slots (resource isolation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::UnknownApp`] for unregistered apps.
+    pub fn restrict(&mut self, app: AppId, slots: HashSet<SlotId>) -> Result<(), RegistryError> {
+        if !self.apps.contains_key(&app) {
+            return Err(RegistryError::UnknownApp(app));
+        }
+        self.grants.insert(app, slots);
+        Ok(())
+    }
+
+    /// Whether `app` may use `slot`.
+    #[must_use]
+    pub fn may_use(&self, app: AppId, slot: SlotId) -> bool {
+        match self.grants.get(&app) {
+            Some(set) => set.contains(&slot),
+            None => true,
+        }
+    }
+
+    /// A resource joins dynamically (2ndHEP plug-in).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::Attach`] when the power budget refuses.
+    pub fn join(
+        &mut self,
+        spec: ProcessorSpec,
+        level: HepLevel,
+        now: SimTime,
+    ) -> Result<SlotId, RegistryError> {
+        let name = spec.name().to_string();
+        let id = self
+            .board
+            .attach(spec, level)
+            .map_err(RegistryError::Attach)?;
+        self.trace.record(
+            now,
+            TraceLevel::Info,
+            "vcu.registry",
+            format!("{name} joined as {id}"),
+        );
+        Ok(id)
+    }
+
+    /// A resource exits dynamically (2ndHEP unplug). Grants pointing at
+    /// it are revoked.
+    pub fn exit(&mut self, slot: SlotId, now: SimTime) {
+        if self.board.detach(slot).is_some() {
+            for set in self.grants.values_mut() {
+                set.remove(&slot);
+            }
+            self.trace.record(
+                now,
+                TraceLevel::Warn,
+                "vcu.registry",
+                format!("{slot} exited"),
+            );
+        }
+    }
+
+    /// The periodic resource-collection pass: profiles for every slot.
+    #[must_use]
+    pub fn collect_profiles(&self, now: SimTime) -> Vec<ResourceProfile> {
+        capture_all(&self.board, now)
+    }
+
+    /// Plans and commits a graph for `app` through a policy, enforcing
+    /// the app's slot grants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError`] when the app is unknown, the plan uses
+    /// an ungranted slot, or scheduling fails.
+    pub fn submit(
+        &mut self,
+        app: AppId,
+        graph: &TaskGraph,
+        policy: &dyn SchedulePolicy,
+        now: SimTime,
+    ) -> Result<Schedule, RegistryError> {
+        if !self.apps.contains_key(&app) {
+            return Err(RegistryError::UnknownApp(app));
+        }
+        let plan = policy.plan(graph, &self.board, now)?;
+        for a in &plan.assignments {
+            if !self.may_use(app, a.slot) {
+                self.trace.record(
+                    now,
+                    TraceLevel::Error,
+                    "vcu.registry",
+                    format!("{app} denied on {}", a.slot),
+                );
+                return Err(RegistryError::AccessDenied { app, slot: a.slot });
+            }
+        }
+        crate::scheduler::commit(&plan, graph, &mut self.board);
+        self.trace.record(
+            now,
+            TraceLevel::Info,
+            "vcu.registry",
+            format!(
+                "{} scheduled {} tasks, makespan {}",
+                app,
+                plan.assignments.len(),
+                plan.makespan
+            ),
+        );
+        Ok(plan)
+    }
+
+    /// The registry's trace log.
+    #[must_use]
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioner::license_plate_pipeline;
+    use crate::scheduler::DsfScheduler;
+    use vdap_hw::catalog;
+
+    fn registry() -> ResourceRegistry {
+        ResourceRegistry::new(VcuBoard::reference_design())
+    }
+
+    #[test]
+    fn register_submit_roundtrip() {
+        let mut reg = registry();
+        let app = reg.register_app(ApplicationProfile::new("plates"));
+        let g = license_plate_pipeline(None);
+        let plan = reg
+            .submit(app, &g, &DsfScheduler::new(), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(plan.assignments.len(), 3);
+        let jobs: u64 = reg.board().slots().iter().map(|s| s.unit.jobs_done()).sum();
+        assert_eq!(jobs, 3);
+    }
+
+    #[test]
+    fn unknown_app_rejected() {
+        let mut reg = registry();
+        let g = license_plate_pipeline(None);
+        let err = reg
+            .submit(AppId(42), &g, &DsfScheduler::new(), SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(err, RegistryError::UnknownApp(AppId(42)));
+    }
+
+    #[test]
+    fn grants_isolate_applications() {
+        let mut reg = registry();
+        let app = reg.register_app(ApplicationProfile::new("third-party"));
+        // Grant only the weak on-board controller slot.
+        let controller = reg
+            .board()
+            .slots()
+            .iter()
+            .find(|s| s.unit.spec().name() == "onboard-controller")
+            .unwrap()
+            .id;
+        reg.restrict(app, HashSet::from([controller])).unwrap();
+        let g = license_plate_pipeline(None);
+        // The DSF plan wants accelerators, which this app may not touch.
+        let err = reg
+            .submit(app, &g, &DsfScheduler::new(), SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::AccessDenied { .. }));
+    }
+
+    #[test]
+    fn restrict_unknown_app_fails() {
+        let mut reg = registry();
+        assert!(reg.restrict(AppId(7), HashSet::new()).is_err());
+    }
+
+    #[test]
+    fn join_and_exit_cycle() {
+        let mut reg = registry();
+        let before = reg.board().slots().len();
+        let slot = reg
+            .join(catalog::passenger_phone(), HepLevel::Second, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(reg.board().slots().len(), before + 1);
+        reg.exit(slot, SimTime::from_secs(10));
+        assert_eq!(reg.board().slots().len(), before);
+        assert!(reg
+            .trace()
+            .iter()
+            .any(|e| e.message.contains("joined")));
+        assert!(reg.trace().iter().any(|e| e.message.contains("exited")));
+    }
+
+    #[test]
+    fn exit_revokes_grants() {
+        let mut reg = registry();
+        let app = reg.register_app(ApplicationProfile::new("a"));
+        let slot = reg
+            .join(catalog::passenger_phone(), HepLevel::Second, SimTime::ZERO)
+            .unwrap();
+        reg.restrict(app, HashSet::from([slot])).unwrap();
+        assert!(reg.may_use(app, slot));
+        reg.exit(slot, SimTime::ZERO);
+        assert!(!reg.may_use(app, slot));
+    }
+
+    #[test]
+    fn profiles_cover_all_slots() {
+        let reg = registry();
+        let profiles = reg.collect_profiles(SimTime::ZERO);
+        assert_eq!(profiles.len(), reg.board().slots().len());
+    }
+}

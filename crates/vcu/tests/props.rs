@@ -1,0 +1,155 @@
+//! Property-based tests for the DSF scheduler.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use vdap_hw::{ComputeWorkload, TaskClass, VcuBoard};
+use vdap_sim::SimTime;
+use vdap_vcu::{
+    CpuOnlyScheduler, DsfScheduler, RoundRobinScheduler, Schedule, SchedulePolicy, TaskGraph,
+    TaskId,
+};
+
+fn class_of(i: usize) -> TaskClass {
+    TaskClass::ALL[i % TaskClass::ALL.len()]
+}
+
+/// Builds a random layered DAG: `layers` of `width` tasks, each task
+/// depending on a subset of the previous layer.
+fn random_dag(layer_sizes: &[usize], edge_mask: &[bool], gflops: &[f64]) -> TaskGraph {
+    let mut graph = TaskGraph::new("prop");
+    let mut layers: Vec<Vec<TaskId>> = Vec::new();
+    let mut gi = 0;
+    for (li, &width) in layer_sizes.iter().enumerate() {
+        let mut layer = Vec::new();
+        for w in 0..width {
+            let g = gflops.get(gi).copied().unwrap_or(1.0);
+            gi += 1;
+            let id = graph.add_task(
+                ComputeWorkload::new(format!("t{li}-{w}"), class_of(gi)).with_gflops(g),
+            );
+            layer.push(id);
+        }
+        layers.push(layer);
+    }
+    let mut mi = 0;
+    for pair in layers.windows(2) {
+        for &p in &pair[0] {
+            for &c in &pair[1] {
+                if edge_mask.get(mi).copied().unwrap_or(false) {
+                    graph.add_dependency(p, c).expect("layered DAGs are acyclic");
+                }
+                mi += 1;
+            }
+        }
+    }
+    graph
+}
+
+fn check_schedule_invariants(schedule: &Schedule, graph: &TaskGraph) -> Result<(), TestCaseError> {
+    // Every task placed exactly once.
+    prop_assert_eq!(schedule.assignments.len(), graph.len());
+    let by_task: HashMap<TaskId, _> = schedule
+        .assignments
+        .iter()
+        .map(|a| (a.task, a))
+        .collect();
+    prop_assert_eq!(by_task.len(), graph.len(), "duplicate placements");
+    // Dependencies respected.
+    for &(p, c) in graph.edges() {
+        prop_assert!(
+            by_task[&c].start >= by_task[&p].finish,
+            "{} started before {} finished",
+            c,
+            p
+        );
+    }
+    // No slot runs two tasks at once.
+    let mut per_slot: HashMap<_, Vec<_>> = HashMap::new();
+    for a in &schedule.assignments {
+        per_slot.entry(a.slot).or_default().push((a.start, a.finish));
+    }
+    for (slot, mut windows) in per_slot {
+        windows.sort();
+        for w in windows.windows(2) {
+            prop_assert!(
+                w[1].0 >= w[0].1,
+                "slot {} double-booked: {:?} overlaps {:?}",
+                slot,
+                w[0],
+                w[1]
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_policies_produce_valid_schedules(
+        layer_sizes in prop::collection::vec(1usize..4, 1..4),
+        edge_mask in prop::collection::vec(any::<bool>(), 0..40),
+        gflops in prop::collection::vec(0.01f64..20.0, 12),
+    ) {
+        let graph = random_dag(&layer_sizes, &edge_mask, &gflops);
+        let board = VcuBoard::reference_design();
+        for policy in [
+            &DsfScheduler::new() as &dyn SchedulePolicy,
+            &RoundRobinScheduler,
+            &CpuOnlyScheduler,
+        ] {
+            let schedule = policy.plan(&graph, &board, SimTime::ZERO).unwrap();
+            check_schedule_invariants(&schedule, &graph)?;
+        }
+    }
+
+    #[test]
+    fn dsf_never_loses_to_cpu_only_on_independent_tasks(
+        gflops in prop::collection::vec(0.01f64..20.0, 1..10),
+    ) {
+        // With no dependencies and no transfer costs, greedy EFT
+        // dominates the single-CPU schedule.
+        let mut graph = TaskGraph::new("flat");
+        for (i, &g) in gflops.iter().enumerate() {
+            graph.add_task(ComputeWorkload::new(format!("t{i}"), class_of(i)).with_gflops(g));
+        }
+        let board = VcuBoard::reference_design();
+        let dsf = DsfScheduler::new().plan(&graph, &board, SimTime::ZERO).unwrap();
+        let cpu = CpuOnlyScheduler.plan(&graph, &board, SimTime::ZERO).unwrap();
+        prop_assert!(dsf.makespan <= cpu.makespan);
+    }
+
+    #[test]
+    fn makespan_at_least_critical_path_floor(
+        gflops in prop::collection::vec(0.1f64..10.0, 1..6),
+    ) {
+        // A chain's makespan is at least the sum of each task's fastest
+        // possible service time.
+        let mut graph = TaskGraph::new("chain");
+        let mut prev: Option<TaskId> = None;
+        for (i, &g) in gflops.iter().enumerate() {
+            let id = graph.add_task(
+                ComputeWorkload::new(format!("t{i}"), class_of(i)).with_gflops(g),
+            );
+            if let Some(p) = prev {
+                graph.add_dependency(p, id).unwrap();
+            }
+            prev = Some(id);
+        }
+        let board = VcuBoard::reference_design();
+        let plan = DsfScheduler::new().plan(&graph, &board, SimTime::ZERO).unwrap();
+        let floor: f64 = graph
+            .tasks()
+            .iter()
+            .map(|t| {
+                board
+                    .slots()
+                    .iter()
+                    .map(|s| s.unit.spec().service_time(t.workload()).as_secs_f64())
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum();
+        prop_assert!(plan.makespan.as_secs_f64() >= floor - 1e-9);
+    }
+}

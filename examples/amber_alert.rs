@@ -1,0 +1,98 @@
+//! The paper's §IV-C running example end to end: the mobile-A3 AMBER
+//! alert ("kidnapper search") service adapting its execution pipeline as
+//! the vehicle drives — parked, city, highway, parked — including the
+//! hang/recover behaviour when nothing meets the deadline.
+//!
+//! ```text
+//! cargo run --example amber_alert
+//! ```
+
+use openvdap::{apps, Infrastructure, Mph, Objective, OpenVdap, ServiceState};
+use vdap_hw::{ComputeWorkload, TaskClass};
+use vdap_sim::{SimDuration, SimTime};
+
+/// Keeps the ADAS perception stack busy while driving, so the AMBER
+/// service experiences real on-board contention (the paper's §I story).
+/// Perception owns every capable processor; only the legacy on-board
+/// controller stays free for third-party work.
+fn load_board(vehicle: &mut OpenVdap, now: SimTime, speed: Mph) {
+    if speed.0 <= 0.0 {
+        return;
+    }
+    let horizon = now + SimDuration::from_secs_f64(2.0 * speed.0 / 35.0);
+    let ids: Vec<_> = vehicle
+        .vcu()
+        .board()
+        .slots()
+        .iter()
+        .filter(|s| s.unit.spec().name() != "onboard-controller")
+        .map(|s| s.id)
+        .collect();
+    for id in ids {
+        let board = vehicle.vcu_mut().board_mut();
+        let unit = board.unit_mut(id).expect("listed slot");
+        if unit.busy_until() < horizon {
+            let gap = horizon - unit.busy_until().max(now);
+            let rate = unit.spec().throughput_gflops(TaskClass::VisionKernel);
+            let filler = ComputeWorkload::new("adas-perception", TaskClass::VisionKernel)
+                .with_gflops(rate * gap.as_secs_f64())
+                .with_parallel_fraction(1.0);
+            unit.enqueue(now, &filler);
+        }
+    }
+}
+
+fn main() {
+    let mut vehicle = OpenVdap::builder().seed(11).build();
+    let amber = vehicle.register_service(apps::amber_alert(SimDuration::from_millis(400)));
+
+    println!("{:>4}  {:>6}  {:<14} {:>12}  state", "t(s)", "speed", "pipeline", "est.latency");
+    println!("{}", "-".repeat(58));
+    for second in 0..48u64 {
+        let speed = match second / 12 {
+            0 => Mph(0.0),
+            1 => Mph(35.0),
+            2 => Mph(70.0),
+            _ => Mph(0.0),
+        };
+        let now = SimTime::from_secs(second);
+        load_board(&mut vehicle, now, speed);
+        let mut infra = Infrastructure::reference();
+        infra.apply_mobility(speed);
+        // Highway at rush hour: the shared edge is also loaded.
+        if speed.0 >= 70.0 {
+            infra.edge_load = 20.0;
+        }
+        let decision = vehicle
+            .adapt(amber, &infra, now, Objective::MinLatency)
+            .expect("registered");
+        if second % 3 != 0 {
+            continue;
+        }
+        let service = vehicle.service(amber).expect("registered");
+        let (pipeline, state) = match service.state() {
+            ServiceState::Running => (
+                service
+                    .selected_pipeline()
+                    .map(|p| p.label.clone())
+                    .unwrap_or_default(),
+                "running",
+            ),
+            ServiceState::Hung => ("-".into(), "HUNG (waiting for conditions)"),
+            ServiceState::Compromised => ("-".into(), "compromised"),
+        };
+        let latency = decision
+            .selected_estimate()
+            .map(|e| e.latency.to_string())
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:>4}  {:>4.0}mph  {:<14} {:>12}  {}",
+            second, speed.0, pipeline, latency, state
+        );
+    }
+
+    let (decisions, hangs, switches) = vehicle.elastic().counters();
+    println!(
+        "\nelastic manager: {decisions} decisions, {switches} pipeline switches, {hangs} hangs"
+    );
+}

@@ -1,0 +1,82 @@
+//! Building a personalized driving-behaviour model (pBEAM) through the
+//! libvdap API (§IV-E, Figure 9): telemetry flows into the DDI, cBEAM is
+//! trained on population data, Deep-Compressed for the edge, and
+//! transfer-learned on this driver's own data.
+//!
+//! ```text
+//! cargo run --release --example driver_profile
+//! ```
+
+use openvdap::{Libvdap, OpenVdap};
+use vdap_ddi::{DriverStyle, ObdCollector, Query, RecordKind};
+use vdap_models::{PbeamConfig, SensorBias};
+use vdap_sim::SimTime;
+
+fn main() {
+    let mut vehicle = OpenVdap::builder().seed(2024).build();
+
+    // 1. A month of commutes condensed: stream this driver's telemetry
+    //    into the DDI through the data-sharing group of libvdap.
+    let mut obd = ObdCollector::new(DriverStyle::Aggressive, vehicle.seeds().stream("driver"));
+    let trace = obd.trace(SimTime::ZERO, 2_000);
+    {
+        let mut lib = Libvdap::new(&mut vehicle);
+        for record in trace {
+            let at = record.at;
+            lib.record_telemetry(record, at);
+        }
+        let recent = lib.driving_history(
+            &Query::window(RecordKind::Driving, SimTime::ZERO, SimTime::from_secs(60)),
+            SimTime::from_secs(60),
+        );
+        println!(
+            "DDI holds {} recent driving records (served from {:?})",
+            recent.records.len(),
+            recent.served_from
+        );
+    }
+
+    // 2. Build the pBEAM: cloud training, compression, on-vehicle
+    //    transfer learning. Personal ground truth is driver-relative.
+    let mut lib = Libvdap::new(&mut vehicle);
+    let (report, pbeam) = lib.build_pbeam(
+        DriverStyle::Aggressive,
+        SensorBias::none(),
+        PbeamConfig::default(),
+    );
+
+    println!("\ncBEAM -> pBEAM pipeline:");
+    println!("  cBEAM accuracy (population):        {:.3}", report.cbeam_accuracy);
+    println!(
+        "  after Deep Compression:             {:.3} ({}x smaller, {:.0}% sparse)",
+        report.compressed_accuracy,
+        report.compression.ratio() as u64,
+        report.compression.sparsity() * 100.0
+    );
+    println!(
+        "  on personal data, before transfer:  {:.3}",
+        report.personal_before
+    );
+    println!(
+        "  pBEAM after transfer learning:      {:.3}  (gain +{:.3})",
+        report.personal_after,
+        report.personalization_gain()
+    );
+    println!(
+        "\nmodel footprint: {} -> {} bytes",
+        report.compression.dense_bytes, report.compression.compressed_bytes
+    );
+    println!("pBEAM layers: {:?}", pbeam.layer_sizes());
+
+    // 3. The common model library is available alongside.
+    println!("\ncommon model library:");
+    for entry in lib.common_models() {
+        println!(
+            "  {:<22} {:>8.1} MB -> {:>6.2} MB ({}x)",
+            entry.name,
+            entry.dense_bytes as f64 / 1e6,
+            entry.compressed_bytes as f64 / 1e6,
+            entry.compression_ratio() as u64
+        );
+    }
+}

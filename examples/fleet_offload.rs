@@ -1,0 +1,75 @@
+//! Fleet-scale offloading study: the three §III computing architectures
+//! priced on the same detection stream at three speeds, plus the V2V
+//! collaboration saving (§III-C).
+//!
+//! ```text
+//! cargo run --release --example fleet_offload
+//! ```
+
+use openvdap::scenario::{
+    collaboration_experiment, compare_strategies, sweep, CollabMode, ScenarioConfig,
+};
+use openvdap::Mph;
+use vdap_sim::SimDuration;
+
+fn main() {
+    let speeds = [0.0, 35.0, 70.0];
+    // The crossbeam-backed sweep evaluates each speed point in parallel.
+    let results = sweep(speeds.to_vec(), |speed| {
+        let cfg = ScenarioConfig {
+            seed: 42,
+            vehicles: 4,
+            speed: Mph(speed),
+            duration: SimDuration::from_secs(30),
+            request_period: SimDuration::from_millis(500),
+            edge_load: 1.0,
+            board_busy_secs: 1.0,
+        };
+        (speed, compare_strategies(&cfg))
+    });
+
+    println!(
+        "{:>6}  {:<12} {:>16} {:>18} {:>16}",
+        "speed", "strategy", "mean latency", "energy/req (J)", "uplink B/req"
+    );
+    println!("{}", "-".repeat(74));
+    for (speed, outcomes) in results {
+        for o in outcomes {
+            println!(
+                "{:>4.0}mph  {:<12} {:>16} {:>18.3} {:>16}",
+                speed,
+                o.strategy,
+                o.cost.mean_latency().to_string(),
+                o.cost.mean_energy_j(),
+                o.cost.bytes_up / o.cost.requests.max(1),
+            );
+        }
+        println!();
+    }
+
+    // Collaboration: a convoy scanning the same corridor.
+    let cfg = ScenarioConfig {
+        vehicles: 4,
+        speed: Mph(35.0),
+        duration: SimDuration::from_secs(120),
+        ..ScenarioConfig::default()
+    };
+    let off = collaboration_experiment(&cfg, CollabMode::Off);
+    let gossip = collaboration_experiment(&cfg, CollabMode::DsrcGossip);
+    let rsu = collaboration_experiment(&cfg, CollabMode::RsuRelay);
+    println!("V2V collaboration over a 4-vehicle convoy:");
+    println!("  no sharing:   {} scans computed", off.computations);
+    println!(
+        "  DSRC gossip:  {} computed, {} reused (hit rate {:.0}%)",
+        gossip.computations,
+        gossip.reused,
+        gossip.hit_rate * 100.0
+    );
+    println!(
+        "  RSU relay:    {} computed, {} reused (hit rate {:.0}%), {} of compute saved",
+        rsu.computations,
+        rsu.reused,
+        rsu.hit_rate * 100.0,
+        rsu.saved
+    );
+}

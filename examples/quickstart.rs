@@ -1,0 +1,82 @@
+//! Quickstart: assemble an OpenVDAP vehicle, register a service, let the
+//! elastic manager pick a pipeline, and serve a request.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use openvdap::{apps, Infrastructure, Mph, Objective, OpenVdap};
+use vdap_ddi::{Query, RecordKind};
+use vdap_sim::{SimDuration, SimTime};
+
+fn main() {
+    // 1. A vehicle with the reference VCU board (CPU + TX2-class GPU +
+    //    FPGA + vision ASIC + legacy controller).
+    let mut vehicle = OpenVdap::builder().seed(7).build();
+    println!("VCU slots:");
+    for slot in vehicle.vcu().board().slots() {
+        println!(
+            "  {} — {} ({})",
+            slot.id,
+            slot.unit.spec().name(),
+            slot.unit.spec().kind()
+        );
+    }
+
+    // 2. Register the paper's AMBER-alert search service (three
+    //    execution pipelines: on-board / remote / split).
+    let amber = vehicle.register_service(apps::amber_alert(SimDuration::from_millis(800)));
+
+    // 3. The world outside: DSRC to an RSU edge, LTE to the cloud,
+    //    degraded for a vehicle moving at 35 MPH.
+    let mut infra = Infrastructure::reference();
+    infra.apply_mobility(Mph(35.0));
+
+    // 4. Elastic management picks the best pipeline for the conditions.
+    let decision = vehicle
+        .adapt(amber, &infra, SimTime::ZERO, Objective::MinLatency)
+        .expect("service registered");
+    println!("\npipeline estimates:");
+    for e in &decision.estimates {
+        println!(
+            "  {:<12} {:>10}  feasible={}",
+            e.label,
+            e.latency.to_string(),
+            e.feasible
+        );
+    }
+    let selected = vehicle
+        .service(amber)
+        .and_then(|s| s.selected_pipeline())
+        .expect("a pipeline was selected");
+    println!("selected: {}", selected.label);
+
+    // 5. Serve one request and report its cost.
+    let cost = vehicle
+        .serve(amber, &infra, SimTime::ZERO)
+        .expect("service running");
+    println!(
+        "\nserved one request: latency {}, vehicle energy {:.3} J, uplink {} bytes",
+        cost.latency, cost.vehicle_energy_j, cost.bytes_up
+    );
+
+    // 6. The DDI is live too: store a telemetry trace, query it back.
+    let mut obd = vdap_ddi::ObdCollector::new(
+        vdap_ddi::DriverStyle::Normal,
+        vehicle.seeds().stream("obd"),
+    );
+    for record in obd.trace(SimTime::ZERO, 100) {
+        let at = record.at;
+        vehicle.ddi_mut().upload(record, at);
+    }
+    let history = vehicle.ddi_mut().download(
+        &Query::window(RecordKind::Driving, SimTime::ZERO, SimTime::from_secs(10)),
+        SimTime::from_secs(10),
+    );
+    println!(
+        "DDI: {} driving records served from {:?} in {}",
+        history.records.len(),
+        history.served_from,
+        history.latency
+    );
+}

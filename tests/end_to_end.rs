@@ -1,0 +1,146 @@
+//! End-to-end scenario tests: whole experiments run to completion with
+//! the shapes the paper predicts.
+
+use openvdap::scenario::{
+    collaboration_experiment, compare_strategies, elastic_adaptation_timeline, sweep,
+    CollabMode, ScenarioConfig,
+};
+use openvdap::{Libvdap, Mph, OpenVdap};
+use vdap_ddi::DriverStyle;
+use vdap_models::{PbeamConfig, SensorBias};
+use vdap_sim::SimDuration;
+
+fn cfg(speed: f64) -> ScenarioConfig {
+    ScenarioConfig {
+        seed: 42,
+        vehicles: 2,
+        speed: Mph(speed),
+        duration: SimDuration::from_secs(15),
+        request_period: SimDuration::from_millis(500),
+        edge_load: 1.0,
+        board_busy_secs: 1.0,
+    }
+}
+
+#[test]
+fn e6_strategy_comparison_full_sweep() {
+    // Across all three speeds, the edge-based strategy never loses on
+    // latency; the cloud-only latency degrades with speed.
+    let results = sweep(vec![0.0, 35.0, 70.0], |speed| {
+        (speed, compare_strategies(&cfg(speed)))
+    });
+    let mut cloud_latencies = Vec::new();
+    for (speed, outcomes) in &results {
+        let get = |name: &str| {
+            &outcomes
+                .iter()
+                .find(|o| o.strategy == name)
+                .unwrap()
+                .cost
+        };
+        let cloud = get("cloud-only");
+        let vehicle = get("in-vehicle");
+        let edge = get("edge-based");
+        assert!(
+            edge.mean_latency() <= cloud.mean_latency()
+                && edge.mean_latency() <= vehicle.mean_latency(),
+            "edge must win at {speed} MPH"
+        );
+        cloud_latencies.push(cloud.mean_latency());
+    }
+    assert!(
+        cloud_latencies[2] > cloud_latencies[0],
+        "cloud-only must degrade with speed: {cloud_latencies:?}"
+    );
+}
+
+#[test]
+fn e5_adaptation_covers_running_and_distinct_pipelines() {
+    let samples = elastic_adaptation_timeline(&ScenarioConfig {
+        duration: SimDuration::from_secs(40),
+        ..cfg(35.0)
+    });
+    assert_eq!(samples.len(), 40);
+    let running = samples.iter().filter(|s| s.pipeline.is_some()).count();
+    assert!(running > 10, "service should mostly run: {running}/40");
+    let distinct: std::collections::HashSet<_> =
+        samples.iter().filter_map(|s| s.pipeline.clone()).collect();
+    assert!(distinct.len() >= 2, "selection should vary: {distinct:?}");
+}
+
+#[test]
+fn e10_collaboration_scales_with_fleet_size() {
+    let base = ScenarioConfig {
+        duration: SimDuration::from_secs(120),
+        ..cfg(35.0)
+    };
+    let mut previous_rate = -1.0;
+    for vehicles in [2usize, 4, 8] {
+        let out = collaboration_experiment(
+            &ScenarioConfig {
+                vehicles,
+                ..base.clone()
+            },
+            CollabMode::RsuRelay,
+        );
+        assert!(
+            out.hit_rate > previous_rate,
+            "bigger convoys reuse more: {vehicles} -> {}",
+            out.hit_rate
+        );
+        previous_rate = out.hit_rate;
+    }
+}
+
+#[test]
+fn e7_pbeam_through_the_public_api() {
+    let mut vehicle = OpenVdap::builder().seed(99).build();
+    let mut lib = Libvdap::new(&mut vehicle);
+    let (report, _) = lib.build_pbeam(
+        DriverStyle::Aggressive,
+        SensorBias::none(),
+        PbeamConfig {
+            windows_per_style: 120,
+            personal_windows: 150,
+            ..PbeamConfig::default()
+        },
+    );
+    assert!(report.cbeam_accuracy > 0.8);
+    assert!(report.compression.ratio() > 4.0);
+    assert!(report.personalization_gain() > 0.0);
+}
+
+#[test]
+fn deterministic_replay_end_to_end() {
+    // The whole E6 experiment is bit-for-bit reproducible from the seed.
+    let a = compare_strategies(&cfg(35.0));
+    let b = compare_strategies(&cfg(35.0));
+    assert_eq!(a, b);
+    let t1 = elastic_adaptation_timeline(&cfg(35.0));
+    let t2 = elastic_adaptation_timeline(&cfg(35.0));
+    assert_eq!(t1, t2);
+}
+
+#[test]
+fn different_seeds_diverge_somewhere() {
+    // Strategy costs are deterministic given the board, but pBEAM runs
+    // differ by seed.
+    let mut va = OpenVdap::builder().seed(1).build();
+    let mut vb = OpenVdap::builder().seed(2).build();
+    let quick = PbeamConfig {
+        windows_per_style: 60,
+        personal_windows: 60,
+        ..PbeamConfig::default()
+    };
+    let (ra, _) = Libvdap::new(&mut va).build_pbeam(
+        DriverStyle::Normal,
+        SensorBias::none(),
+        quick.clone(),
+    );
+    let (rb, _) = Libvdap::new(&mut vb).build_pbeam(
+        DriverStyle::Normal,
+        SensorBias::none(),
+        quick,
+    );
+    assert_ne!(ra, rb, "different seeds must not collide");
+}

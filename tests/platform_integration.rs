@@ -1,0 +1,257 @@
+//! Cross-crate integration: the assembled platform exercising VCU + DSF,
+//! EdgeOSv security/privacy/sharing, DDI and libvdap together.
+
+use openvdap::{apps, Infrastructure, Libvdap, Mph, Objective, OpenVdap, ServiceState};
+use vdap_ddi::{DriverStyle, ObdCollector, Query, RecordKind};
+use vdap_edgeos::{GuardState, IsolationMode, VehicleId};
+use vdap_hw::{catalog, HepLevel};
+use vdap_sim::{SimDuration, SimTime};
+use vdap_vcu::{license_plate_pipeline, ApplicationProfile, DsfScheduler};
+
+#[test]
+fn dsf_schedules_through_the_platform() {
+    let mut vehicle = OpenVdap::builder().seed(1).build();
+    let app = vehicle
+        .vcu_mut()
+        .register_app(ApplicationProfile::new("plate-app"));
+    let graph = license_plate_pipeline(Some(SimDuration::from_secs(1)));
+    let schedule = vehicle
+        .vcu_mut()
+        .submit(app, &graph, &DsfScheduler::new(), SimTime::ZERO)
+        .expect("reference board schedules the plate pipeline");
+    assert_eq!(schedule.assignments.len(), 3);
+    assert!(schedule.meets_deadlines(&graph, SimTime::ZERO));
+    // The board now carries the booked work.
+    let jobs: u64 = vehicle
+        .vcu()
+        .board()
+        .slots()
+        .iter()
+        .map(|s| s.unit.jobs_done())
+        .sum();
+    assert_eq!(jobs, 3);
+}
+
+#[test]
+fn second_hep_join_improves_makespan_under_load() {
+    let mut vehicle = OpenVdap::builder().seed(2).build();
+    let app = vehicle
+        .vcu_mut()
+        .register_app(ApplicationProfile::new("burst"));
+    // A wide burst of dense work.
+    let mut graph = vdap_vcu::TaskGraph::new("burst");
+    for i in 0..12 {
+        graph.add_task(
+            vdap_hw::ComputeWorkload::new(
+                format!("infer{i}"),
+                vdap_hw::TaskClass::DenseLinearAlgebra,
+            )
+            .with_gflops(30.0)
+            .with_parallel_fraction(1.0),
+        );
+    }
+    let before = vehicle
+        .vcu_mut()
+        .submit(app, &graph, &DsfScheduler::new(), SimTime::ZERO)
+        .unwrap()
+        .makespan;
+
+    // A passenger's phone joins as 2ndHEP; replanning the same burst on
+    // a fresh platform with the extra resource must not be slower.
+    let mut vehicle2 = OpenVdap::builder().seed(2).build();
+    let app2 = vehicle2
+        .vcu_mut()
+        .register_app(ApplicationProfile::new("burst"));
+    vehicle2
+        .vcu_mut()
+        .join(catalog::passenger_phone(), HepLevel::Second, SimTime::ZERO)
+        .unwrap();
+    let after = vehicle2
+        .vcu_mut()
+        .submit(app2, &graph, &DsfScheduler::new(), SimTime::ZERO)
+        .unwrap()
+        .makespan;
+    assert!(after <= before, "extra 2ndHEP resource must not hurt: {after} vs {before}");
+}
+
+#[test]
+fn security_lifecycle_on_platform_services() {
+    let mut vehicle = OpenVdap::builder().seed(3).build();
+    vehicle
+        .security_mut()
+        .launch("pedestrian-alert", IsolationMode::Tee, SimTime::ZERO);
+    vehicle
+        .security_mut()
+        .launch("third-party-game", IsolationMode::Container, SimTime::ZERO);
+
+    // Attest the safety-critical TEE service.
+    let quote = vehicle
+        .security()
+        .attest("pedestrian-alert", SimTime::ZERO)
+        .expect("TEE service attests");
+    assert_eq!(quote.service, "pedestrian-alert");
+
+    // A third-party app gets compromised; the monitor contains and
+    // reinstalls it (§IV-C reliability).
+    let contained = vehicle
+        .security_mut()
+        .report_intrusion("third-party-game", SimTime::from_secs(5))
+        .unwrap();
+    assert!(contained, "container isolation contains internal attacks");
+    assert_eq!(
+        vehicle.security().state("third-party-game"),
+        Some(GuardState::Compromised)
+    );
+    vehicle
+        .security_mut()
+        .reinstall("third-party-game", SimTime::from_secs(6))
+        .unwrap();
+    assert_eq!(
+        vehicle.security().state("third-party-game"),
+        Some(GuardState::Healthy)
+    );
+    // TEE overhead applies to its workloads.
+    let t = vehicle
+        .security()
+        .apply_overhead("pedestrian-alert", SimDuration::from_millis(100))
+        .unwrap();
+    assert_eq!(t.as_millis(), 125);
+}
+
+#[test]
+fn privacy_pseudonyms_rotate_on_platform() {
+    let mut vehicle = OpenVdap::builder()
+        .seed(4)
+        .vehicle_id(VehicleId(99))
+        .pseudonym_period(SimDuration::from_secs(300))
+        .build();
+    let early = vehicle
+        .privacy_mut()
+        .pseudonym_for(VehicleId(99), SimTime::from_secs(10));
+    let same_epoch = vehicle
+        .privacy_mut()
+        .pseudonym_for(VehicleId(99), SimTime::from_secs(200));
+    let later = vehicle
+        .privacy_mut()
+        .pseudonym_for(VehicleId(99), SimTime::from_secs(400));
+    assert_eq!(early, same_epoch);
+    assert_ne!(early, later);
+}
+
+#[test]
+fn sharing_bus_connects_services_with_acl() {
+    let vehicle = OpenVdap::builder().seed(5).build();
+    let bus = vehicle.sharing();
+    let camera = bus.register("camera-driver");
+    let amber = bus.register("kidnapper-search");
+    bus.grant_read("kidnapper-search", "camera");
+    bus.publish(camera, "camera", vec![1, 2, 3], SimTime::ZERO)
+        .unwrap();
+    assert_eq!(bus.read(amber, "camera", SimTime::ZERO).unwrap().len(), 1);
+    // An unregistered topic read is denied and audited.
+    assert!(bus.read(amber, "gps-trace", SimTime::ZERO).is_err());
+    assert!(bus.audit_log().iter().any(|e| e.action == "denied"));
+}
+
+#[test]
+fn libvdap_groups_work_against_one_platform() {
+    let mut vehicle = OpenVdap::builder().seed(6).build();
+    // Telemetry in.
+    let mut obd = ObdCollector::new(DriverStyle::Calm, vehicle.seeds().stream("obd"));
+    let trace = obd.trace(SimTime::ZERO, 300);
+    {
+        let mut lib = Libvdap::new(&mut vehicle);
+        for r in trace {
+            let at = r.at;
+            lib.record_telemetry(r, at);
+        }
+        // Query back through the data-sharing group.
+        let out = lib.driving_history(
+            &Query::window(RecordKind::Driving, SimTime::ZERO, SimTime::from_secs(30)),
+            SimTime::from_secs(30),
+        );
+        assert_eq!(out.records.len(), 300);
+        // Model library group.
+        assert!(lib.common_model("inception-v3").is_some());
+        // VCU resources group.
+        assert_eq!(lib.vcu_resources(SimTime::ZERO).len(), 5);
+    }
+    // The DDI underneath really holds the data.
+    assert_eq!(vehicle.ddi().stats().uploads, 300);
+}
+
+#[test]
+fn elastic_management_degrades_and_recovers() {
+    let mut vehicle = OpenVdap::builder().seed(7).build();
+    let amber = vehicle.register_service(apps::amber_alert(SimDuration::from_millis(800)));
+    // Good conditions: runs.
+    let infra = Infrastructure::reference();
+    vehicle.adapt(amber, &infra, SimTime::ZERO, Objective::MinLatency);
+    assert_eq!(vehicle.service(amber).unwrap().state(), ServiceState::Running);
+
+    // Catastrophic conditions: saturate the board and kill the links.
+    let mut bad = Infrastructure::reference();
+    bad.apply_mobility(Mph(70.0));
+    bad.net
+        .set_vehicle_edge(vdap_net::LinkSpec::dsrc().scaled(0.0001));
+    bad.net
+        .set_vehicle_cloud(vdap_net::LinkSpec::lte().scaled(0.0001));
+    let ids: Vec<_> = vehicle.vcu().board().slots().iter().map(|s| s.id).collect();
+    for id in ids {
+        let rate = vehicle
+            .vcu()
+            .board()
+            .slot(id)
+            .unwrap()
+            .unit
+            .spec()
+            .throughput_gflops(vdap_hw::TaskClass::VisionKernel);
+        let filler = vdap_hw::ComputeWorkload::new("hog", vdap_hw::TaskClass::VisionKernel)
+            .with_gflops(rate * 100.0)
+            .with_parallel_fraction(1.0);
+        vehicle
+            .vcu_mut()
+            .board_mut()
+            .unit_mut(id)
+            .unwrap()
+            .enqueue(SimTime::ZERO, &filler);
+    }
+    vehicle.adapt(amber, &bad, SimTime::from_secs(1), Objective::MinLatency);
+    assert_eq!(vehicle.service(amber).unwrap().state(), ServiceState::Hung);
+    assert!(vehicle.serve(amber, &bad, SimTime::from_secs(1)).is_none());
+
+    // Conditions recover (parked near an idle RSU much later, after the
+    // perception backlog drains).
+    let recovered = Infrastructure::reference();
+    vehicle.adapt(
+        amber,
+        &recovered,
+        SimTime::from_secs(200),
+        Objective::MinLatency,
+    );
+    assert_eq!(vehicle.service(amber).unwrap().state(), ServiceState::Running);
+}
+
+#[test]
+fn standard_service_mix_registers_and_adapts() {
+    let mut vehicle = OpenVdap::builder().seed(8).build();
+    let handles: Vec<_> = apps::standard_service_mix()
+        .into_iter()
+        .map(|s| vehicle.register_service(s))
+        .collect();
+    let infra = Infrastructure::reference();
+    for &h in &handles {
+        let d = vehicle
+            .adapt(h, &infra, SimTime::ZERO, Objective::MinLatency)
+            .unwrap();
+        assert!(
+            d.selected.is_some(),
+            "{} found no pipeline in good conditions",
+            vehicle.service(h).unwrap().name()
+        );
+    }
+    // Every service serves under good conditions.
+    for &h in &handles {
+        assert!(vehicle.serve(h, &infra, SimTime::ZERO).is_some());
+    }
+}

@@ -22,11 +22,8 @@ fn bench_fig2(c: &mut Criterion) {
             |b, &(speed, res)| {
                 b.iter(|| {
                     let spec = VideoStreamSpec::paper_encoding(res);
-                    let mut loss = channel.loss_process(
-                        Mph(speed),
-                        res.bitrate_mbps(),
-                        seeds.stream("bench"),
-                    );
+                    let mut loss =
+                        channel.loss_process(Mph(speed), res.bitrate_mbps(), seeds.stream("bench"));
                     black_box(stream_clip(
                         &spec,
                         &mut loss,

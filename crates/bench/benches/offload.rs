@@ -2,9 +2,9 @@
 //! strategy comparison (experiments E5/E6).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use openvdap::scenario::{compare_strategies, detection_stages, ScenarioConfig};
 use openvdap::{Infrastructure, Objective, OpenVdap};
+use std::hint::black_box;
 use vdap_net::Mph;
 use vdap_offload::optimal_placement;
 use vdap_sim::{SimDuration, SimTime};

@@ -11,8 +11,18 @@ use vdap_sim::SeedFactory;
 fn bench_table1(c: &mut Criterion) {
     let mut rng = SeedFactory::new(1).stream("cv-bench");
     let vehicles = [
-        Rect { x: 80, y: 120, w: 32, h: 20 },
-        Rect { x: 260, y: 140, w: 32, h: 20 },
+        Rect {
+            x: 80,
+            y: 120,
+            w: 32,
+            h: 20,
+        },
+        Rect {
+            x: 260,
+            y: 140,
+            w: 32,
+            h: 20,
+        },
     ];
     let frame = synthetic_road_frame(640, 360, &vehicles, &mut rng);
     let cascade = HaarCascade::vehicle();

@@ -21,7 +21,10 @@ fn mixed_graph() -> TaskGraph {
     }
     for &(p, c) in dp.edges() {
         graph
-            .add_dependency(vdap_vcu::TaskId(p.0 + offset), vdap_vcu::TaskId(c.0 + offset))
+            .add_dependency(
+                vdap_vcu::TaskId(p.0 + offset),
+                vdap_vcu::TaskId(c.0 + offset),
+            )
             .unwrap();
     }
     graph
@@ -37,7 +40,13 @@ fn bench_vcu(c: &mut Criterion) {
         ("cpu_only", &CpuOnlyScheduler),
     ] {
         g.bench_function(format!("plan_{name}_12_tasks"), |b| {
-            b.iter(|| black_box(policy.plan(black_box(&graph), &board, SimTime::ZERO).unwrap()))
+            b.iter(|| {
+                black_box(
+                    policy
+                        .plan(black_box(&graph), &board, SimTime::ZERO)
+                        .unwrap(),
+                )
+            })
         });
     }
     g.finish();

@@ -10,7 +10,7 @@
 //! exactly like the figure. (The wire protocol is out of scope for the
 //! reproduction; method calls stand in for REST endpoints.)
 
-use vdap_ddi::{DriverStyle, Download, Query, Record};
+use vdap_ddi::{Download, DriverStyle, Query, Record};
 use vdap_models::zoo::{common_model_library, library_entry, ModelEntry};
 use vdap_models::{Network, PbeamConfig, PbeamPipeline, PbeamReport, SensorBias};
 use vdap_sim::{SimDuration, SimTime};
@@ -130,12 +130,15 @@ mod tests {
     #[test]
     fn task_submission_through_the_api() {
         let mut p = platform();
-        let app = p
-            .vcu_mut()
-            .register_app(ApplicationProfile::new("plates"));
+        let app = p.vcu_mut().register_app(ApplicationProfile::new("plates"));
         let mut lib = Libvdap::new(&mut p);
         let schedule = lib
-            .submit_tasks(app, &license_plate_pipeline(None), &DsfScheduler::new(), SimTime::ZERO)
+            .submit_tasks(
+                app,
+                &license_plate_pipeline(None),
+                &DsfScheduler::new(),
+                SimTime::ZERO,
+            )
             .unwrap();
         assert_eq!(schedule.assignments.len(), 3);
     }
@@ -173,8 +176,7 @@ mod tests {
             personal_windows: 60,
             ..PbeamConfig::default()
         };
-        let (report, model) =
-            lib.build_pbeam(DriverStyle::Normal, SensorBias::none(), config);
+        let (report, model) = lib.build_pbeam(DriverStyle::Normal, SensorBias::none(), config);
         assert!(report.cbeam_accuracy > 0.6);
         assert_eq!(model.classes(), 3);
     }

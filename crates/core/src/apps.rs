@@ -187,11 +187,7 @@ mod tests {
     #[test]
     fn every_service_has_multiple_pipelines() {
         for s in standard_service_mix() {
-            assert!(
-                s.pipelines().len() >= 2,
-                "{} is not polymorphic",
-                s.name()
-            );
+            assert!(s.pipelines().len() >= 2, "{} is not polymorphic", s.name());
         }
     }
 

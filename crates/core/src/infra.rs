@@ -60,7 +60,8 @@ impl Infrastructure {
         self.net.set_vehicle_cloud(LinkSpec::lte().scaled(factor));
         // DSRC degrades far more gently (short range, line of sight).
         let dsrc_factor = (1.0 - loss / 4.0).max(0.1);
-        self.net.set_vehicle_edge(LinkSpec::dsrc().scaled(dsrc_factor));
+        self.net
+            .set_vehicle_edge(LinkSpec::dsrc().scaled(dsrc_factor));
     }
 
     /// Builds an [`Environment`] snapshot over a vehicle board at `now`.
@@ -110,7 +111,10 @@ mod tests {
             .link(Site::Vehicle, Site::Edge)
             .unwrap()
             .bandwidth_mbps(Direction::Uplink);
-        assert!(after_cloud < before_cloud * 0.5, "LTE should collapse at 70 MPH");
+        assert!(
+            after_cloud < before_cloud * 0.5,
+            "LTE should collapse at 70 MPH"
+        );
         assert!(after_dsrc > 12.0 * 0.7, "DSRC should degrade gently");
     }
 

@@ -36,6 +36,7 @@
 
 mod api;
 pub mod apps;
+pub mod chaos;
 mod infra;
 mod platform;
 pub mod scenario;

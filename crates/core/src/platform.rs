@@ -284,10 +284,7 @@ mod tests {
     #[test]
     fn adapt_then_serve_roundtrip() {
         let mut p = OpenVdap::builder().seed(1).build();
-        let h = p.register_service(kidnapper_search(
-            SimDuration::from_secs(2),
-            Site::Edge,
-        ));
+        let h = p.register_service(kidnapper_search(SimDuration::from_secs(2), Site::Edge));
         let infra = infra();
         let decision = p.adapt(h, &infra, SimTime::ZERO, Objective::MinLatency);
         assert!(decision.unwrap().selected.is_some());

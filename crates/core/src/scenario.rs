@@ -3,7 +3,7 @@
 //! Assembles vehicles, infrastructure and workloads into reproducible
 //! experiments: the §III strategy comparison (E6), the §IV-C elastic
 //! adaptation timeline (E5), and the §III-C V2V collaboration study
-//! (E10). A crossbeam-powered [`sweep`] runs parameter points in
+//! (E10). A scoped-thread [`sweep`] runs parameter points in
 //! parallel for the benches.
 
 use serde::{Deserialize, Serialize};
@@ -203,8 +203,7 @@ pub fn elastic_adaptation_timeline(config: &ScenarioConfig) -> Vec<AdaptSample> 
             // with. Only the legacy on-board controller stays free for
             // third-party work.
             if speed.0 > 0.0 {
-                let horizon =
-                    now + SimDuration::from_secs_f64(2.0 * speed.0 / 35.0);
+                let horizon = now + SimDuration::from_secs_f64(2.0 * speed.0 / 35.0);
                 let slots: Vec<_> = world
                     .platform
                     .vcu()
@@ -240,9 +239,7 @@ pub fn elastic_adaptation_timeline(config: &ScenarioConfig) -> Vec<AdaptSample> 
                 .expect("registered service");
             let service = world.platform.service(world.handle).expect("registered");
             let pipeline = match service.state() {
-                ServiceState::Running => service
-                    .selected_pipeline()
-                    .map(|p| p.label.clone()),
+                ServiceState::Running => service.selected_pipeline().map(|p| p.label.clone()),
                 _ => None,
             };
             world.samples.push(AdaptSample {
@@ -314,8 +311,7 @@ pub fn collaboration_experiment(config: &ScenarioConfig, mode: CollabMode) -> Co
     let radio = DsrcRadio::default();
     let speed = config.speed.0.max(1.0);
     let entry_gap = 15u64; // seconds between convoy members
-    let total_secs = config.duration.as_secs()
-        + entry_gap * n as u64;
+    let total_secs = config.duration.as_secs() + entry_gap * n as u64;
     let mut computations = 0u64;
     let mut reused = 0u64;
     let mut lookups = 0u64;
@@ -409,16 +405,17 @@ where
     F: Fn(P) -> T + Sync,
 {
     let mut out: Vec<Option<T>> = points.iter().map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, point) in out.iter_mut().zip(points) {
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some(f(point));
             });
         }
-    })
-    .expect("sweep worker panicked");
-    out.into_iter().map(|t| t.expect("worker filled slot")).collect()
+    });
+    out.into_iter()
+        .map(|t| t.expect("worker filled slot"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -437,13 +434,7 @@ mod tests {
     fn strategy_comparison_shapes() {
         let outcomes = compare_strategies(&quick());
         assert_eq!(outcomes.len(), 3);
-        let get = |name: &str| {
-            outcomes
-                .iter()
-                .find(|o| o.strategy == name)
-                .unwrap()
-                .cost
-        };
+        let get = |name: &str| outcomes.iter().find(|o| o.strategy == name).unwrap().cost;
         let cloud = get("cloud-only");
         let vehicle = get("in-vehicle");
         let edge = get("edge-based");

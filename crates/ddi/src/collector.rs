@@ -142,7 +142,11 @@ impl ObdCollector {
         } else {
             0.0
         };
-        let brake = if accel < 0.0 { (-accel / 8.0).min(1.0) } else { 0.0 };
+        let brake = if accel < 0.0 {
+            (-accel / 8.0).min(1.0)
+        } else {
+            0.0
+        };
         Record::new(
             now,
             self.position,
@@ -222,8 +226,7 @@ impl TrafficCollector {
     pub fn sample(&mut self, now: SimTime, location: GeoPoint) -> Record {
         let hours = now.as_secs_f64() / 3600.0 % 24.0;
         // Two rush-hour peaks around 8:00 and 17:30.
-        let rush = (-((hours - 8.0) / 1.5).powi(2)).exp()
-            + (-((hours - 17.5) / 1.5).powi(2)).exp();
+        let rush = (-((hours - 8.0) / 1.5).powi(2)).exp() + (-((hours - 17.5) / 1.5).powi(2)).exp();
         let congestion = (0.15 + 0.7 * rush + self.rng.normal(0.0, 0.05)).clamp(0.0, 1.0);
         let incident = self.rng.chance(0.01 + congestion * 0.03);
         Record::new(
@@ -375,6 +378,10 @@ mod tests {
             .filter_map(|i| s.poll(SimTime::from_secs(i), GeoPoint::default()))
             .collect();
         assert!(!events.is_empty());
-        assert!(events.len() < 200, "events should be rare: {}", events.len());
+        assert!(
+            events.len() < 200,
+            "events should be rare: {}",
+            events.len()
+        );
     }
 }

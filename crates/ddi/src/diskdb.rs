@@ -126,7 +126,10 @@ impl DiskDb {
     /// Total rows of one kind.
     #[must_use]
     pub fn count_kind(&self, kind: RecordKind) -> usize {
-        self.rows.range((kind, SimTime::ZERO, 0)..).take_while(|((k, _, _), _)| *k == kind).count()
+        self.rows
+            .range((kind, SimTime::ZERO, 0)..)
+            .take_while(|((k, _, _), _)| *k == kind)
+            .count()
     }
 }
 
@@ -162,7 +165,10 @@ mod tests {
             SimTime::from_secs(20),
             None,
         );
-        let times: Vec<u64> = rows.iter().map(|r| r.at.as_nanos() / 1_000_000_000).collect();
+        let times: Vec<u64> = rows
+            .iter()
+            .map(|r| r.at.as_nanos() / 1_000_000_000)
+            .collect();
         assert_eq!(times, vec![10, 15]);
         assert!(cost >= DiskDb::ACCESS_LATENCY);
     }
@@ -206,7 +212,12 @@ mod tests {
     fn stats_track_traffic() {
         let mut db = DiskDb::new();
         db.insert(rec(1, 42.0));
-        let _ = db.range(RecordKind::Driving, SimTime::ZERO, SimTime::from_secs(10), None);
+        let _ = db.range(
+            RecordKind::Driving,
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+            None,
+        );
         let s = db.stats();
         assert_eq!(s.writes, 1);
         assert_eq!(s.reads, 1);

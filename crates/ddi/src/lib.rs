@@ -41,4 +41,4 @@ pub use record::{
     DrivingSample, GeoBox, GeoPoint, Payload, Record, RecordKind, SocialEvent, TrafficSample,
     WeatherSample,
 };
-pub use service::{DdiService, Download, Query, ServedFrom, ServiceStats};
+pub use service::{DdiError, DdiService, Download, Query, ServedFrom, ServiceStats};

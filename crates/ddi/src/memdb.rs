@@ -193,9 +193,7 @@ impl MemDb {
         let mut out: Vec<Record> = self
             .entries
             .iter_mut()
-            .filter(|(k, e)| {
-                k.kind == kind && k.at >= from && k.at < to && e.expires_at > now
-            })
+            .filter(|(k, e)| k.kind == kind && k.at >= from && k.at < to && e.expires_at > now)
             .map(|(_, e)| {
                 e.last_used = clock;
                 e.record.clone()
@@ -269,7 +267,10 @@ mod tests {
     fn put_get_roundtrip() {
         let mut db = db();
         let k = db.put(rec(1), SimTime::ZERO);
-        assert_eq!(db.get(k, SimTime::from_secs(1)).unwrap().at, SimTime::from_secs(1));
+        assert_eq!(
+            db.get(k, SimTime::from_secs(1)).unwrap().at,
+            SimTime::from_secs(1)
+        );
         assert_eq!(db.stats().hits, 1);
     }
 
@@ -319,7 +320,10 @@ mod tests {
             SimTime::from_secs(9),
             SimTime::from_secs(10),
         );
-        let times: Vec<u64> = out.iter().map(|r| r.at.as_nanos() / 1_000_000_000).collect();
+        let times: Vec<u64> = out
+            .iter()
+            .map(|r| r.at.as_nanos() / 1_000_000_000)
+            .collect();
         assert_eq!(times, vec![3, 5]);
         // Wrong kind misses.
         assert!(db

@@ -55,7 +55,9 @@ impl GeoBox {
     /// Whether the box contains a point.
     #[must_use]
     pub fn contains(&self, p: &GeoPoint) -> bool {
-        p.lat >= self.min.lat && p.lat <= self.max.lat && p.lon >= self.min.lon
+        p.lat >= self.min.lat
+            && p.lat <= self.max.lat
+            && p.lon >= self.min.lon
             && p.lon <= self.max.lon
     }
 }

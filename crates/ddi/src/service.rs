@@ -9,11 +9,46 @@
 //! [`DdiService`] wires the collector output into the two-tier store and
 //! serves time-space queries with full latency accounting.
 
-use vdap_sim::{SimDuration, SimTime};
+use vdap_fault::{
+    retry_until_deadline, AttemptOutcome, FaultInjector, FaultKind, RetryError, RetryPolicy,
+    RetryReport,
+};
+use vdap_sim::{RngStream, SimDuration, SimTime};
 
 use crate::diskdb::DiskDb;
 use crate::memdb::MemDb;
 use crate::record::{GeoBox, Record, RecordKind};
+
+/// Errors surfaced by the fault-aware upload paths.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DdiError {
+    /// The storage tier sits inside an active
+    /// [`FaultKind::StorageWriteError`] window and the write bounced.
+    StorageUnavailable {
+        /// Fault-plan label of the store.
+        target: String,
+        /// When the write was attempted.
+        at: SimTime,
+    },
+    /// A retried upload ran out of attempts or deadline budget.
+    UploadFailed {
+        /// Terminal retry failure.
+        retry: RetryError,
+    },
+}
+
+impl std::fmt::Display for DdiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DdiError::StorageUnavailable { target, at } => {
+                write!(f, "storage '{target}' rejected write at {at}")
+            }
+            DdiError::UploadFailed { retry } => write!(f, "upload failed: {retry}"),
+        }
+    }
+}
+
+impl std::error::Error for DdiError {}
 
 /// A download request: category + time window + optional area.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -81,6 +116,10 @@ pub struct ServiceStats {
     pub disk_reads: u64,
     /// Records written back to disk by TTL sweeps.
     pub writebacks: u64,
+    /// Writes bounced by storage fault windows (per attempt).
+    pub write_errors: u64,
+    /// Uploads abandoned after exhausting their retry budget.
+    pub failed_uploads: u64,
 }
 
 /// The two-tier driving-data service.
@@ -150,6 +189,91 @@ impl DdiService {
         MemDb::ACCESS_LATENCY
     }
 
+    /// Cost of a write attempt that bounces off a faulted store.
+    const WRITE_PROBE_COST: SimDuration = SimDuration::from_millis(1);
+
+    /// Whether `faults` has an active storage-write-error window on
+    /// `target` at `now`.
+    #[must_use]
+    pub fn storage_faulted(faults: &FaultInjector, target: &str, now: SimTime) -> bool {
+        faults
+            .active_at(now)
+            .any(|w| w.target == target && matches!(w.kind, FaultKind::StorageWriteError))
+    }
+
+    /// Fault-gated upload: like [`DdiService::upload`], but bounces with
+    /// [`DdiError::StorageUnavailable`] when `faults` holds an active
+    /// [`FaultKind::StorageWriteError`] window for `target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdiError::StorageUnavailable`] inside a fault window;
+    /// the record is not stored and the attempt still costs
+    /// [`MemDb::ACCESS_LATENCY`].
+    pub fn try_upload(
+        &mut self,
+        record: Record,
+        now: SimTime,
+        faults: &FaultInjector,
+        target: &str,
+    ) -> Result<SimDuration, DdiError> {
+        if Self::storage_faulted(faults, target, now) {
+            self.stats.write_errors += 1;
+            return Err(DdiError::StorageUnavailable {
+                target: target.to_string(),
+                at: now,
+            });
+        }
+        Ok(self.upload(record, now))
+    }
+
+    /// Uploads through the platform's shared [`RetryPolicy`]: write
+    /// attempts that land inside a storage fault window fail after a
+    /// short probe and are retried with exponential backoff and jitter,
+    /// never past `start + budget`. On success the record is stored at
+    /// the *final* attempt's instant, so TTL accounting matches the
+    /// retry timeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdiError::UploadFailed`] when the budget or attempts
+    /// run out; the record is dropped (the caller decides whether to
+    /// re-queue it).
+    #[allow(clippy::too_many_arguments)] // mirrors retry_until_deadline + fault context
+    pub fn upload_with_retry(
+        &mut self,
+        record: Record,
+        start: SimTime,
+        budget: SimDuration,
+        policy: &RetryPolicy,
+        rng: &mut RngStream,
+        faults: &FaultInjector,
+        target: &str,
+    ) -> Result<RetryReport, DdiError> {
+        let mut bounced = 0u64;
+        let rr = retry_until_deadline(policy, start, budget, rng, |_, at| {
+            if Self::storage_faulted(faults, target, at) {
+                bounced += 1;
+                AttemptOutcome::Failure(Self::WRITE_PROBE_COST)
+            } else {
+                AttemptOutcome::Success(MemDb::ACCESS_LATENCY)
+            }
+        });
+        self.stats.write_errors += bounced;
+        match rr.error {
+            None => {
+                // Store at the instant the successful attempt began.
+                let landed = rr.finished_at - MemDb::ACCESS_LATENCY;
+                self.upload(record, landed);
+                Ok(rr)
+            }
+            Some(retry) => {
+                self.stats.failed_uploads += 1;
+                Err(DdiError::UploadFailed { retry })
+            }
+        }
+    }
+
     /// Handles a download: memory first, disk on miss; disk results are
     /// re-cached in memory for subsequent hits.
     pub fn download(&mut self, query: &Query, now: SimTime) -> Download {
@@ -170,7 +294,9 @@ impl DdiService {
         }
         // Miss: consult the disk tier.
         self.stats.disk_reads += 1;
-        let (rows, disk_cost) = self.disk.range(query.kind, query.from, query.to, query.area);
+        let (rows, disk_cost) = self
+            .disk
+            .range(query.kind, query.from, query.to, query.area);
         latency += disk_cost;
         // Re-cache for future queries (costing one memory access).
         for r in &rows {
@@ -318,6 +444,88 @@ mod tests {
         assert_eq!(s.memory_hits, 1);
         assert_eq!(s.disk_reads, 1);
         assert_eq!(s.writebacks, 1);
+    }
+
+    fn faults_blocking(from: u64, to: u64) -> vdap_fault::FaultInjector {
+        use vdap_fault::{FaultKind, FaultPlan, FaultSpec};
+        FaultPlan::new(SimDuration::from_secs(3600))
+            .with_fault(FaultSpec::new(
+                FaultKind::StorageWriteError,
+                "ddi",
+                SimTime::from_secs(from),
+                SimDuration::from_secs(to - from),
+            ))
+            .compile()
+    }
+
+    #[test]
+    fn try_upload_bounces_inside_fault_window() {
+        let mut ddi = service();
+        let faults = faults_blocking(100, 130);
+        let err = ddi
+            .try_upload(rec(110), SimTime::from_secs(110), &faults, "ddi")
+            .unwrap_err();
+        assert!(matches!(err, DdiError::StorageUnavailable { .. }));
+        assert!(ddi.memory().is_empty(), "bounced record must not be stored");
+        assert_eq!(ddi.stats().write_errors, 1);
+        // Outside the window the same upload lands.
+        ddi.try_upload(rec(140), SimTime::from_secs(140), &faults, "ddi")
+            .unwrap();
+        assert_eq!(ddi.stats().uploads, 1);
+    }
+
+    #[test]
+    fn try_upload_ignores_other_targets() {
+        let mut ddi = service();
+        let faults = faults_blocking(100, 130);
+        ddi.try_upload(rec(110), SimTime::from_secs(110), &faults, "other-store")
+            .unwrap();
+        assert_eq!(ddi.stats().write_errors, 0);
+    }
+
+    #[test]
+    fn upload_with_retry_rides_out_the_window() {
+        let mut ddi = service();
+        // 2 s window; retries (500 ms base, doubling) clear it.
+        let faults = faults_blocking(100, 102);
+        let mut rng = vdap_sim::SeedFactory::new(11).stream("ddi-retry");
+        let policy = vdap_fault::RetryPolicy {
+            max_attempts: 8,
+            ..vdap_fault::RetryPolicy::transfer_default()
+        };
+        let start = SimTime::from_secs(100);
+        let budget = SimDuration::from_secs(60);
+        let rr = ddi
+            .upload_with_retry(rec(100), start, budget, &policy, &mut rng, &faults, "ddi")
+            .unwrap();
+        assert!(rr.succeeded());
+        assert!(rr.attempts > 1);
+        assert!(rr.finished_at.duration_since(start) <= budget);
+        assert_eq!(ddi.stats().uploads, 1);
+        assert_eq!(ddi.stats().write_errors, u64::from(rr.attempts) - 1);
+    }
+
+    #[test]
+    fn upload_with_retry_gives_up_when_window_outlasts_budget() {
+        let mut ddi = service();
+        let faults = faults_blocking(100, 700);
+        let mut rng = vdap_sim::SeedFactory::new(11).stream("ddi-retry");
+        let policy = vdap_fault::RetryPolicy::transfer_default();
+        let err = ddi
+            .upload_with_retry(
+                rec(100),
+                SimTime::from_secs(100),
+                SimDuration::from_secs(30),
+                &policy,
+                &mut rng,
+                &faults,
+                "ddi",
+            )
+            .unwrap_err();
+        assert!(matches!(err, DdiError::UploadFailed { .. }));
+        assert_eq!(ddi.stats().failed_uploads, 1);
+        assert_eq!(ddi.stats().uploads, 0);
+        assert!(ddi.memory().is_empty());
     }
 
     #[test]

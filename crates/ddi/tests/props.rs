@@ -1,9 +1,7 @@
 //! Property-based tests for the DDI storage tiers.
 
 use proptest::prelude::*;
-use vdap_ddi::{
-    DiskDb, DrivingSample, GeoPoint, MemDb, Payload, Record, RecordKind,
-};
+use vdap_ddi::{DiskDb, DrivingSample, GeoPoint, MemDb, Payload, Record, RecordKind};
 use vdap_sim::{SimDuration, SimTime};
 
 fn rec(at_secs: u64, lat_milli: i32) -> Record {

@@ -302,8 +302,8 @@ mod tests {
     fn busy_board_pushes_work_to_the_edge() {
         let mut fx = Fixture::new();
         fx.saturate_board(10.0); // queues for the next 10 s
-        // Deadline generous enough for the DSRC frame upload (~0.9 s)
-        // but far below the 10 s on-board queue.
+                                 // Deadline generous enough for the DSRC frame upload (~0.9 s)
+                                 // but far below the 10 s on-board queue.
         let mut service = kidnapper_search(SimDuration::from_secs(2), Site::Edge);
         let mut mgr = ElasticManager::new();
         let d = mgr.decide(&mut service, &fx.env(), Objective::MinLatency);

@@ -38,16 +38,14 @@ mod privacy;
 mod security;
 mod service;
 mod sharing;
+mod supervisor;
 
 pub use elastic::{Decision, ElasticManager, Environment, Objective, PipelineEstimate};
 pub use migration::{
     MigrationError, MigrationMode, MigrationReport, ServiceImage, ServiceMigrator,
 };
 pub use privacy::{Pseudonym, PseudonymManager, VehicleId};
-pub use security::{
-    Attestation, GuardState, IsolationMode, SecurityError, SecurityMonitor,
-};
-pub use service::{
-    kidnapper_search, Pipeline, PipelineStage, PolymorphicService, ServiceState,
-};
+pub use security::{Attestation, GuardState, IsolationMode, SecurityError, SecurityMonitor};
+pub use service::{kidnapper_search, Pipeline, PipelineStage, PolymorphicService, ServiceState};
 pub use sharing::{AuditEntry, SharedItem, SharingBus, SharingError, Token};
+pub use supervisor::{ServiceSupervisor, SupervisorDecision};

@@ -14,8 +14,9 @@
 //! trust concern made concrete.
 
 use serde::{Deserialize, Serialize};
-use vdap_net::{LinkSpec, Direction};
-use vdap_sim::{SimDuration, SimTime, TraceLevel, TraceLog};
+use vdap_fault::{retry_until_deadline, AttemptOutcome, RetryError, RetryPolicy, RetryReport};
+use vdap_net::{Direction, LinkSpec};
+use vdap_sim::{RngStream, SimDuration, SimTime, TraceLevel, TraceLog};
 
 use crate::security::IsolationMode;
 
@@ -89,6 +90,14 @@ pub enum MigrationError {
         /// The claimed source.
         source: String,
     },
+    /// The transfer could not complete under the retry policy's deadline
+    /// budget (link outage outlasted every retry).
+    TransferFailed {
+        /// The service being moved.
+        service: String,
+        /// Terminal retry failure.
+        retry: RetryError,
+    },
 }
 
 impl std::fmt::Display for MigrationError {
@@ -99,6 +108,9 @@ impl std::fmt::Display for MigrationError {
             }
             MigrationError::UntrustedSource { service, source } => {
                 write!(f, "refusing '{service}' from unattested source '{source}'")
+            }
+            MigrationError::TransferFailed { service, retry } => {
+                write!(f, "transfer of '{service}' failed: {retry}")
             }
         }
     }
@@ -153,6 +165,29 @@ impl ServiceMigrator {
         source: &str,
         now: SimTime,
     ) -> Result<MigrationReport, MigrationError> {
+        self.validate(image, source_attested, source, now)?;
+        let report = Self::price_transfer(image, link, mode);
+        self.completed += 1;
+        self.trace.record(
+            now,
+            TraceLevel::Info,
+            "edgeos.migration",
+            format!(
+                "migrated '{}' ({:?}): downtime {}, {} bytes",
+                image.name, mode, report.downtime, report.bytes_transferred
+            ),
+        );
+        Ok(report)
+    }
+
+    /// Trust and isolation policy shared by both migration paths.
+    fn validate(
+        &mut self,
+        image: &ServiceImage,
+        source_attested: bool,
+        source: &str,
+        now: SimTime,
+    ) -> Result<(), MigrationError> {
         if image.isolation == IsolationMode::Bare {
             self.rejected += 1;
             return Err(MigrationError::NotIsolated(image.name.clone()));
@@ -170,8 +205,17 @@ impl ServiceMigrator {
                 source: source.to_string(),
             });
         }
+        Ok(())
+    }
+
+    /// Deterministic cost model for one transfer attempt.
+    fn price_transfer(
+        image: &ServiceImage,
+        link: &LinkSpec,
+        mode: MigrationMode,
+    ) -> MigrationReport {
         let xfer = |bytes: u64| link.transfer_time(Direction::Uplink, bytes);
-        let report = match mode {
+        match mode {
             MigrationMode::Cold => {
                 let bytes = image.image_bytes + image.state_bytes;
                 let transfer = xfer(bytes);
@@ -217,18 +261,75 @@ impl ServiceMigrator {
                     rounds,
                 }
             }
-        };
-        self.completed += 1;
-        self.trace.record(
-            now,
-            TraceLevel::Info,
-            "edgeos.migration",
-            format!(
-                "migrated '{}' ({:?}): downtime {}, {} bytes",
-                image.name, mode, report.downtime, report.bytes_transferred
-            ),
-        );
-        Ok(report)
+        }
+    }
+
+    /// Time burned probing a link that turns out to be in outage.
+    const OUTAGE_PROBE_COST: SimDuration = SimDuration::from_millis(200);
+
+    /// Migrates like [`ServiceMigrator::migrate`], but drives the
+    /// transfer through the platform's shared [`RetryPolicy`]: attempts
+    /// that hit a link outage (per `link_up_at`) fail after a short probe
+    /// and are retried with exponential backoff and jitter, never past
+    /// `start + budget`. Returns the migration report plus the retry
+    /// trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns the non-retryable [`MigrationError`]s immediately and
+    /// [`MigrationError::TransferFailed`] when the budget or attempts run
+    /// out.
+    #[allow(clippy::too_many_arguments)]
+    pub fn migrate_with_retry(
+        &mut self,
+        image: &ServiceImage,
+        link: &LinkSpec,
+        mode: MigrationMode,
+        source_attested: bool,
+        source: &str,
+        start: SimTime,
+        budget: SimDuration,
+        policy: &RetryPolicy,
+        rng: &mut RngStream,
+        link_up_at: impl Fn(SimTime) -> bool,
+    ) -> Result<(MigrationReport, RetryReport), MigrationError> {
+        self.validate(image, source_attested, source, start)?;
+        let report = Self::price_transfer(image, link, mode);
+        let rr = retry_until_deadline(policy, start, budget, rng, |_, at| {
+            if link_up_at(at) {
+                AttemptOutcome::Success(report.total)
+            } else {
+                AttemptOutcome::Failure(Self::OUTAGE_PROBE_COST)
+            }
+        });
+        match rr.error {
+            None => {
+                self.completed += 1;
+                self.trace.record(
+                    rr.finished_at,
+                    TraceLevel::Info,
+                    "edgeos.migration",
+                    format!(
+                        "migrated '{}' after {} attempt(s): downtime {}",
+                        image.name, rr.attempts, report.downtime
+                    ),
+                );
+                Ok((report, rr))
+            }
+            Some(retry) => {
+                self.rejected += 1;
+                self.trace.record(
+                    rr.finished_at,
+                    TraceLevel::Error,
+                    "edgeos.migration",
+                    format!("transfer of '{}' abandoned: {retry}", image.name),
+                );
+                Err(MigrationError::TransferFailed {
+                    service: image.name.clone(),
+                    retry,
+                })
+            }
+        }
     }
 }
 
@@ -249,7 +350,14 @@ mod tests {
         let mut m = migrator();
         let link = LinkSpec::wifi();
         let cold = m
-            .migrate(&image(), &link, MigrationMode::Cold, true, "rsu-12", SimTime::ZERO)
+            .migrate(
+                &image(),
+                &link,
+                MigrationMode::Cold,
+                true,
+                "rsu-12",
+                SimTime::ZERO,
+            )
             .unwrap();
         let pre = m
             .migrate(
@@ -277,7 +385,14 @@ mod tests {
         let mut m = migrator();
         let link = LinkSpec::dsrc();
         let report = m
-            .migrate(&image(), &link, MigrationMode::Cold, true, "veh-9", SimTime::ZERO)
+            .migrate(
+                &image(),
+                &link,
+                MigrationMode::Cold,
+                true,
+                "veh-9",
+                SimTime::ZERO,
+            )
             .unwrap();
         let bytes = image().image_bytes + image().state_bytes;
         let floor = link.transfer_time(Direction::Uplink, bytes);
@@ -309,7 +424,14 @@ mod tests {
         let mut img = image();
         img.isolation = IsolationMode::Bare;
         let err = m
-            .migrate(&img, &LinkSpec::wifi(), MigrationMode::Cold, true, "rsu", SimTime::ZERO)
+            .migrate(
+                &img,
+                &LinkSpec::wifi(),
+                MigrationMode::Cold,
+                true,
+                "rsu",
+                SimTime::ZERO,
+            )
             .unwrap_err();
         assert_eq!(err, MigrationError::NotIsolated("third-party-nav".into()));
     }
@@ -318,10 +440,24 @@ mod tests {
     fn faster_links_shrink_downtime() {
         let mut m = migrator();
         let slow = m
-            .migrate(&image(), &LinkSpec::dsrc(), MigrationMode::Cold, true, "a", SimTime::ZERO)
+            .migrate(
+                &image(),
+                &LinkSpec::dsrc(),
+                MigrationMode::Cold,
+                true,
+                "a",
+                SimTime::ZERO,
+            )
             .unwrap();
         let fast = m
-            .migrate(&image(), &LinkSpec::ethernet(), MigrationMode::Cold, true, "a", SimTime::ZERO)
+            .migrate(
+                &image(),
+                &LinkSpec::ethernet(),
+                MigrationMode::Cold,
+                true,
+                "a",
+                SimTime::ZERO,
+            )
             .unwrap();
         assert!(fast.downtime < slow.downtime);
     }
@@ -336,12 +472,104 @@ mod tests {
         let mut hot = image();
         hot.dirty_rate = 0.9; // dirties most state every second
         let calm_r = m
-            .migrate(&calm, &link, MigrationMode::PreCopy { max_rounds: 8 }, true, "a", SimTime::ZERO)
+            .migrate(
+                &calm,
+                &link,
+                MigrationMode::PreCopy { max_rounds: 8 },
+                true,
+                "a",
+                SimTime::ZERO,
+            )
             .unwrap();
         let hot_r = m
-            .migrate(&hot, &link, MigrationMode::PreCopy { max_rounds: 8 }, true, "a", SimTime::ZERO)
+            .migrate(
+                &hot,
+                &link,
+                MigrationMode::PreCopy { max_rounds: 8 },
+                true,
+                "a",
+                SimTime::ZERO,
+            )
             .unwrap();
         assert!(hot_r.downtime > calm_r.downtime);
+    }
+
+    fn rng() -> RngStream {
+        vdap_sim::SeedFactory::new(77).stream("migration-retry")
+    }
+
+    #[test]
+    fn retry_succeeds_first_try_on_healthy_link() {
+        let mut m = migrator();
+        let (report, rr) = m
+            .migrate_with_retry(
+                &image(),
+                &LinkSpec::wifi(),
+                MigrationMode::Cold,
+                true,
+                "rsu-12",
+                SimTime::from_secs(5),
+                SimDuration::from_secs(600),
+                &RetryPolicy::transfer_default().without_attempt_timeout(),
+                &mut rng(),
+                |_| true,
+            )
+            .unwrap();
+        assert!(rr.succeeded());
+        assert_eq!(rr.attempts, 1);
+        assert_eq!(rr.total, report.total);
+        assert_eq!(m.counters(), (1, 0));
+    }
+
+    #[test]
+    fn retry_rides_out_a_short_outage() {
+        let mut m = migrator();
+        let start = SimTime::from_secs(10);
+        let budget = SimDuration::from_secs(600);
+        // Link is down for the first 2 s after the start, then recovers.
+        let up_after = start + SimDuration::from_secs(2);
+        let (_, rr) = m
+            .migrate_with_retry(
+                &image(),
+                &LinkSpec::wifi(),
+                MigrationMode::Cold,
+                true,
+                "rsu-12",
+                start,
+                budget,
+                &RetryPolicy::transfer_default().without_attempt_timeout(),
+                &mut rng(),
+                |at| at >= up_after,
+            )
+            .unwrap();
+        assert!(rr.succeeded());
+        assert!(rr.attempts > 1, "must have retried through the outage");
+        assert!(rr.finished_at.duration_since(start) <= budget);
+        assert_eq!(m.counters(), (1, 0));
+    }
+
+    #[test]
+    fn permanent_outage_fails_within_budget() {
+        let mut m = migrator();
+        let start = SimTime::from_secs(10);
+        let budget = SimDuration::from_secs(30);
+        let err = m
+            .migrate_with_retry(
+                &image(),
+                &LinkSpec::wifi(),
+                MigrationMode::Cold,
+                true,
+                "rsu-12",
+                start,
+                budget,
+                &RetryPolicy::transfer_default(),
+                &mut rng(),
+                |_| false,
+            )
+            .unwrap_err();
+        assert!(matches!(err, MigrationError::TransferFailed { .. }));
+        assert_eq!(m.counters(), (0, 1));
+        assert!(m.trace().iter().any(|e| e.message.contains("abandoned")));
     }
 
     #[test]
@@ -350,7 +578,14 @@ mod tests {
         let mut img = image();
         img.isolation = IsolationMode::Tee;
         assert!(m
-            .migrate(&img, &LinkSpec::wifi(), MigrationMode::Cold, true, "rsu", SimTime::ZERO)
+            .migrate(
+                &img,
+                &LinkSpec::wifi(),
+                MigrationMode::Cold,
+                true,
+                "rsu",
+                SimTime::ZERO
+            )
             .is_ok());
     }
 }

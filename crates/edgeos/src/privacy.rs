@@ -46,7 +46,10 @@ impl PseudonymManager {
     /// Panics when the period is zero.
     #[must_use]
     pub fn new(rotation_period: SimDuration, secret: u64) -> Self {
-        assert!(!rotation_period.is_zero(), "rotation period must be positive");
+        assert!(
+            !rotation_period.is_zero(),
+            "rotation period must be positive"
+        );
         PseudonymManager {
             rotation_period,
             secret,

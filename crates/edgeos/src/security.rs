@@ -33,7 +33,7 @@ impl IsolationMode {
     #[must_use]
     pub fn overhead_factor(self) -> f64 {
         match self {
-            IsolationMode::Tee => 1.25,      // memory-encryption slowdown
+            IsolationMode::Tee => 1.25,       // memory-encryption slowdown
             IsolationMode::Container => 1.05, // namespace/cgroup cost
             IsolationMode::Bare => 1.0,
         }
@@ -270,9 +270,7 @@ mod tests {
     #[test]
     fn overhead_ordering() {
         assert!(IsolationMode::Tee.overhead_factor() > IsolationMode::Container.overhead_factor());
-        assert!(
-            IsolationMode::Container.overhead_factor() > IsolationMode::Bare.overhead_factor()
-        );
+        assert!(IsolationMode::Container.overhead_factor() > IsolationMode::Bare.overhead_factor());
         assert_eq!(IsolationMode::Bare.overhead_factor(), 1.0);
     }
 
@@ -305,7 +303,9 @@ mod tests {
     fn compromise_reinstall_cycle_changes_measurement() {
         let mut mon = SecurityMonitor::new();
         let m0 = mon.launch("thirdparty", IsolationMode::Container, SimTime::ZERO);
-        let contained = mon.report_intrusion("thirdparty", SimTime::from_secs(5)).unwrap();
+        let contained = mon
+            .report_intrusion("thirdparty", SimTime::from_secs(5))
+            .unwrap();
         assert!(contained);
         assert_eq!(mon.state("thirdparty"), Some(GuardState::Compromised));
         // Quarantined TEE services refuse attestation; containers aren't

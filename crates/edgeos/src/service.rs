@@ -70,6 +70,9 @@ pub enum ServiceState {
     Hung,
     /// Flagged by the security monitor; awaiting reinstall.
     Compromised,
+    /// Terminated abnormally (fault injection); awaiting a supervised
+    /// restart.
+    Crashed,
 }
 
 /// A service with multiple execution pipelines.
@@ -96,7 +99,10 @@ impl PolymorphicService {
         deadline: SimDuration,
         pipelines: Vec<Pipeline>,
     ) -> Self {
-        assert!(!pipelines.is_empty(), "a service needs at least one pipeline");
+        assert!(
+            !pipelines.is_empty(),
+            "a service needs at least one pipeline"
+        );
         PolymorphicService {
             name: name.into(),
             priority,
@@ -164,6 +170,13 @@ impl PolymorphicService {
     pub fn hang(&mut self) {
         self.selected = None;
         self.state = ServiceState::Hung;
+    }
+
+    /// Marks the service crashed (fault injection); a
+    /// [`crate::ServiceSupervisor`] decides whether to restart it.
+    pub fn crash(&mut self) {
+        self.selected = None;
+        self.state = ServiceState::Crashed;
     }
 
     /// Marks the service compromised (security monitor).

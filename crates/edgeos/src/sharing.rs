@@ -220,13 +220,24 @@ mod tests {
         bus.grant_read("mobile-a3", "camera");
         bus.grant_read("vehicle-recorder", "plate-results");
 
-        bus.publish(camera, "camera", vec![1, 2, 3], SimTime::ZERO).unwrap();
-        assert_eq!(bus.read(pedestrian, "camera", SimTime::ZERO).unwrap().len(), 1);
+        bus.publish(camera, "camera", vec![1, 2, 3], SimTime::ZERO)
+            .unwrap();
+        assert_eq!(
+            bus.read(pedestrian, "camera", SimTime::ZERO).unwrap().len(),
+            1
+        );
         assert_eq!(bus.read(a3, "camera", SimTime::ZERO).unwrap().len(), 1);
 
-        bus.publish(a3, "plate-results", b"ABC-1234".to_vec(), SimTime::from_secs(1))
+        bus.publish(
+            a3,
+            "plate-results",
+            b"ABC-1234".to_vec(),
+            SimTime::from_secs(1),
+        )
+        .unwrap();
+        let results = bus
+            .read(recorder, "plate-results", SimTime::from_secs(1))
             .unwrap();
-        let results = bus.read(recorder, "plate-results", SimTime::from_secs(1)).unwrap();
         assert_eq!(results[0].producer, "mobile-a3");
         assert_eq!(results[0].payload, b"ABC-1234");
     }
@@ -236,7 +247,8 @@ mod tests {
         let bus = SharingBus::new();
         let cam = bus.register("camera-driver");
         let nosy = bus.register("nosy-app");
-        bus.publish(cam, "camera", vec![0xFF], SimTime::ZERO).unwrap();
+        bus.publish(cam, "camera", vec![0xFF], SimTime::ZERO)
+            .unwrap();
         let err = bus.read(nosy, "camera", SimTime::ZERO).unwrap_err();
         assert!(matches!(err, SharingError::AccessDenied { .. }));
         assert!(bus

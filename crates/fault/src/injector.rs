@@ -1,0 +1,268 @@
+//! Compiled fault timelines.
+//!
+//! [`FaultInjector`] expands a [`FaultPlan`]'s recurrences over the
+//! horizon into concrete [`FaultWindow`]s and exposes the two views the
+//! platform needs: point queries (`is_down`, `throttle_factor`) for
+//! layers consulting fault state, and an ordered transition list for the
+//! simulation to schedule start/end edges as first-class events.
+
+use vdap_sim::{SimDuration, SimTime};
+
+use crate::plan::{FaultKind, FaultPlan};
+
+/// One concrete activation of a fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultWindow {
+    /// Failure mode.
+    pub kind: FaultKind,
+    /// Component label.
+    pub target: String,
+    /// Activation instant (inclusive).
+    pub start: SimTime,
+    /// Recovery instant (exclusive).
+    pub end: SimTime,
+}
+
+impl FaultWindow {
+    /// Whether the window covers `now`.
+    #[must_use]
+    pub fn active_at(&self, now: SimTime) -> bool {
+        self.start <= now && now < self.end
+    }
+}
+
+/// Which edge of a window a transition marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEdge {
+    /// The fault activates.
+    Start,
+    /// The fault clears.
+    End,
+}
+
+/// One scheduled edge in the fault timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultTransition {
+    /// When the edge fires.
+    pub at: SimTime,
+    /// Start or end.
+    pub edge: FaultEdge,
+    /// Index into [`FaultInjector::windows`].
+    pub window: usize,
+}
+
+/// A compiled, queryable fault timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultInjector {
+    windows: Vec<FaultWindow>,
+    horizon: SimDuration,
+}
+
+impl FaultInjector {
+    /// Compiles `plan`, expanding each recurring spec into every
+    /// activation whose start falls inside the horizon. Windows are
+    /// sorted by `(start, end, target)` so iteration order — and
+    /// everything derived from it — is deterministic.
+    #[must_use]
+    pub fn new(plan: &FaultPlan) -> Self {
+        let mut windows = Vec::new();
+        for spec in plan.faults() {
+            let mut start = spec.start;
+            loop {
+                if start.elapsed() >= plan.horizon() {
+                    break;
+                }
+                windows.push(FaultWindow {
+                    kind: spec.kind,
+                    target: spec.target.clone(),
+                    start,
+                    end: start + spec.duration,
+                });
+                match spec.recurrence {
+                    Some(period) => start += period,
+                    None => break,
+                }
+            }
+        }
+        windows.sort_by(|a, b| {
+            (a.start, a.end, a.target.as_str()).cmp(&(b.start, b.end, b.target.as_str()))
+        });
+        FaultInjector {
+            windows,
+            horizon: plan.horizon(),
+        }
+    }
+
+    /// All concrete fault windows, ordered by start time.
+    #[must_use]
+    pub fn windows(&self) -> &[FaultWindow] {
+        &self.windows
+    }
+
+    /// The plan horizon.
+    #[must_use]
+    pub fn horizon(&self) -> SimDuration {
+        self.horizon
+    }
+
+    /// Windows covering `now`.
+    pub fn active_at(&self, now: SimTime) -> impl Iterator<Item = &FaultWindow> {
+        self.windows.iter().filter(move |w| w.active_at(now))
+    }
+
+    /// Whether a hard fault (slot failure, link outage, storage write
+    /// error, service crash) has `target` unavailable at `now`.
+    #[must_use]
+    pub fn is_down(&self, target: &str, now: SimTime) -> bool {
+        self.active_at(now)
+            .any(|w| w.target == target && w.kind.is_hard())
+    }
+
+    /// Combined slowdown factor for `target` at `now`: the product of
+    /// all active throttle/bandwidth-collapse factors, 1.0 when none.
+    #[must_use]
+    pub fn throttle_factor(&self, target: &str, now: SimTime) -> f64 {
+        self.active_at(now)
+            .filter(|w| w.target == target)
+            .map(|w| match w.kind {
+                FaultKind::SlotThrottle { factor } | FaultKind::BandwidthCollapse { factor } => {
+                    factor
+                }
+                _ => 1.0,
+            })
+            .product()
+    }
+
+    /// When the earliest currently-active hard fault on `target` clears,
+    /// or `None` when the target is up at `now`.
+    #[must_use]
+    pub fn next_recovery(&self, target: &str, now: SimTime) -> Option<SimTime> {
+        self.active_at(now)
+            .filter(|w| w.target == target && w.kind.is_hard())
+            .map(|w| w.end)
+            .max()
+    }
+
+    /// Every start/end edge in time order (ties: ends before starts,
+    /// then window index), ready to be scheduled as simulation events.
+    #[must_use]
+    pub fn transitions(&self) -> Vec<FaultTransition> {
+        let mut edges: Vec<FaultTransition> = Vec::with_capacity(self.windows.len() * 2);
+        for (i, w) in self.windows.iter().enumerate() {
+            edges.push(FaultTransition {
+                at: w.start,
+                edge: FaultEdge::Start,
+                window: i,
+            });
+            edges.push(FaultTransition {
+                at: w.end,
+                edge: FaultEdge::End,
+                window: i,
+            });
+        }
+        edges.sort_by_key(|t| (t.at, t.edge == FaultEdge::Start, t.window));
+        edges
+    }
+
+    /// The first transition strictly after `now`, if any.
+    #[must_use]
+    pub fn next_transition_after(&self, now: SimTime) -> Option<SimTime> {
+        self.transitions()
+            .into_iter()
+            .map(|t| t.at)
+            .filter(|at| *at > now)
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultSpec;
+
+    fn one_shot() -> FaultPlan {
+        FaultPlan::new(SimDuration::from_secs(100)).with_fault(FaultSpec::new(
+            FaultKind::SlotFailure,
+            "gpu",
+            SimTime::from_secs(10),
+            SimDuration::from_secs(5),
+        ))
+    }
+
+    #[test]
+    fn window_edges_are_half_open() {
+        let inj = one_shot().compile();
+        assert!(!inj.is_down("gpu", SimTime::from_secs(9)));
+        assert!(inj.is_down("gpu", SimTime::from_secs(10)));
+        assert!(inj.is_down("gpu", SimTime::from_nanos(14_999_999_999)));
+        assert!(!inj.is_down("gpu", SimTime::from_secs(15)));
+        assert!(!inj.is_down("cpu", SimTime::from_secs(12)));
+    }
+
+    #[test]
+    fn recurrence_expands_within_horizon() {
+        let plan = FaultPlan::new(SimDuration::from_secs(100)).with_fault(
+            FaultSpec::new(
+                FaultKind::LinkOutage,
+                "lte",
+                SimTime::from_secs(10),
+                SimDuration::from_secs(2),
+            )
+            .recurring_every(SimDuration::from_secs(30)),
+        );
+        let inj = plan.compile();
+        // Starts at 10, 40, 70 (100 is outside the horizon).
+        assert_eq!(inj.windows().len(), 3);
+        assert!(inj.is_down("lte", SimTime::from_secs(41)));
+        assert!(!inj.is_down("lte", SimTime::from_secs(50)));
+    }
+
+    #[test]
+    fn throttle_factors_compose() {
+        let plan = FaultPlan::new(SimDuration::from_secs(100))
+            .with_fault(FaultSpec::new(
+                FaultKind::SlotThrottle { factor: 0.5 },
+                "gpu",
+                SimTime::from_secs(0),
+                SimDuration::from_secs(50),
+            ))
+            .with_fault(FaultSpec::new(
+                FaultKind::SlotThrottle { factor: 0.5 },
+                "gpu",
+                SimTime::from_secs(20),
+                SimDuration::from_secs(10),
+            ));
+        let inj = plan.compile();
+        assert!((inj.throttle_factor("gpu", SimTime::from_secs(10)) - 0.5).abs() < 1e-12);
+        assert!((inj.throttle_factor("gpu", SimTime::from_secs(25)) - 0.25).abs() < 1e-12);
+        assert!((inj.throttle_factor("gpu", SimTime::from_secs(60)) - 1.0).abs() < 1e-12);
+        // Throttling is soft: the slot is degraded, not down.
+        assert!(!inj.is_down("gpu", SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn transitions_are_ordered_and_paired() {
+        let inj = one_shot().compile();
+        let ts = inj.transitions();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].edge, FaultEdge::Start);
+        assert_eq!(ts[0].at, SimTime::from_secs(10));
+        assert_eq!(ts[1].edge, FaultEdge::End);
+        assert_eq!(ts[1].at, SimTime::from_secs(15));
+        assert_eq!(
+            inj.next_transition_after(SimTime::from_secs(10)),
+            Some(SimTime::from_secs(15))
+        );
+        assert_eq!(inj.next_transition_after(SimTime::from_secs(15)), None);
+    }
+
+    #[test]
+    fn next_recovery_reports_open_window_end() {
+        let inj = one_shot().compile();
+        assert_eq!(
+            inj.next_recovery("gpu", SimTime::from_secs(12)),
+            Some(SimTime::from_secs(15))
+        );
+        assert_eq!(inj.next_recovery("gpu", SimTime::from_secs(20)), None);
+    }
+}

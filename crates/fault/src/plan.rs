@@ -1,0 +1,342 @@
+//! Fault taxonomy and seeded fault plans.
+//!
+//! A [`FaultSpec`] is one fault: what breaks ([`FaultKind`]), which
+//! component (a target label each layer interprets), when it starts, how
+//! long it lasts, and optionally how often it recurs. A [`FaultPlan`]
+//! is an ordered set of specs over a horizon, either hand-built for a
+//! scripted scenario or drawn from a dedicated RNG stream via
+//! [`FaultPlan::randomized`] for chaos testing.
+
+use serde::{Deserialize, Serialize};
+use vdap_sim::{RngStream, SimDuration, SimTime};
+
+use crate::injector::FaultInjector;
+
+/// What kind of failure a fault injects. Target labels bind the fault to
+/// a component in the layer that owns it (`hw` slot names, `net` link
+/// names, `ddi` stores, `edgeos` services).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A compute slot goes hard-down (hw). Work booked on it is lost and
+    /// must fail over.
+    SlotFailure,
+    /// A compute slot thermally throttles: service times are divided by
+    /// `factor` (`0 < factor < 1` slows the slot down).
+    SlotThrottle {
+        /// Speed multiplier applied to the slot's throughput.
+        factor: f64,
+    },
+    /// A network link is in outage (net): no bytes move until recovery.
+    LinkOutage,
+    /// A network link's bandwidth collapses to `factor` of nominal (net).
+    BandwidthCollapse {
+        /// Bandwidth multiplier in `(0, 1]`.
+        factor: f64,
+    },
+    /// Storage writes fail (ddi) for the duration of the window.
+    StorageWriteError,
+    /// A service crashes (edgeos) at window start; duration models the
+    /// time the crashed instance stays unrecoverable.
+    ServiceCrash,
+}
+
+impl FaultKind {
+    /// Whether the fault makes its target completely unavailable (as
+    /// opposed to degrading it).
+    #[must_use]
+    pub fn is_hard(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::SlotFailure
+                | FaultKind::LinkOutage
+                | FaultKind::StorageWriteError
+                | FaultKind::ServiceCrash
+        )
+    }
+
+    /// Short label for traces.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::SlotFailure => "slot-failure",
+            FaultKind::SlotThrottle { .. } => "slot-throttle",
+            FaultKind::LinkOutage => "link-outage",
+            FaultKind::BandwidthCollapse { .. } => "bandwidth-collapse",
+            FaultKind::StorageWriteError => "storage-write-error",
+            FaultKind::ServiceCrash => "service-crash",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One configured fault.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Failure mode.
+    pub kind: FaultKind,
+    /// Component label the owning layer resolves.
+    pub target: String,
+    /// First activation time.
+    pub start: SimTime,
+    /// How long each activation lasts.
+    pub duration: SimDuration,
+    /// Optional period between activation starts; `None` = one-shot.
+    pub recurrence: Option<SimDuration>,
+}
+
+impl FaultSpec {
+    /// A one-shot fault.
+    #[must_use]
+    pub fn new(
+        kind: FaultKind,
+        target: impl Into<String>,
+        start: SimTime,
+        duration: SimDuration,
+    ) -> Self {
+        FaultSpec {
+            kind,
+            target: target.into(),
+            start,
+            duration,
+            recurrence: None,
+        }
+    }
+
+    /// Makes the fault recur every `period` (measured start-to-start).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `period` is zero.
+    #[must_use]
+    pub fn recurring_every(mut self, period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "recurrence period must be non-zero");
+        self.recurrence = Some(period);
+        self
+    }
+}
+
+/// Relative fault intensities for [`FaultPlan::randomized`].
+///
+/// Mean inter-fault gaps and durations are per category; categories with
+/// no targets are skipped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosProfile {
+    /// Compute-slot labels eligible for failure/throttling.
+    pub slots: Vec<String>,
+    /// Link labels eligible for outage/bandwidth collapse.
+    pub links: Vec<String>,
+    /// Storage labels eligible for write errors.
+    pub stores: Vec<String>,
+    /// Service names eligible for crashes.
+    pub services: Vec<String>,
+    /// Mean gap between fault activations (exponential).
+    pub mean_gap: SimDuration,
+    /// Mean fault duration (exponential, floored at 100 ms).
+    pub mean_duration: SimDuration,
+}
+
+impl ChaosProfile {
+    /// A profile with moderate default rates and no targets; fill in the
+    /// target lists for the components present in the scenario.
+    #[must_use]
+    pub fn new() -> Self {
+        ChaosProfile {
+            slots: Vec::new(),
+            links: Vec::new(),
+            stores: Vec::new(),
+            services: Vec::new(),
+            mean_gap: SimDuration::from_secs(60),
+            mean_duration: SimDuration::from_secs(15),
+        }
+    }
+}
+
+impl Default for ChaosProfile {
+    fn default() -> Self {
+        ChaosProfile::new()
+    }
+}
+
+/// An ordered set of faults over a scenario horizon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    horizon: SimDuration,
+    faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan over `horizon`.
+    #[must_use]
+    pub fn new(horizon: SimDuration) -> Self {
+        FaultPlan {
+            horizon,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Adds a fault.
+    #[must_use]
+    pub fn with_fault(mut self, spec: FaultSpec) -> Self {
+        self.faults.push(spec);
+        self
+    }
+
+    /// The scenario horizon recurrences expand against.
+    #[must_use]
+    pub fn horizon(&self) -> SimDuration {
+        self.horizon
+    }
+
+    /// The configured faults.
+    #[must_use]
+    pub fn faults(&self) -> &[FaultSpec] {
+        &self.faults
+    }
+
+    /// Draws a randomized plan from a dedicated RNG stream: fault start
+    /// times arrive as a Poisson process (exponential gaps at
+    /// `profile.mean_gap`), each picking a category uniformly among
+    /// those with targets, a target uniformly within the category, and
+    /// an exponential duration. Same stream state ⇒ identical plan.
+    #[must_use]
+    pub fn randomized(rng: &mut RngStream, horizon: SimDuration, profile: &ChaosProfile) -> Self {
+        let mut plan = FaultPlan::new(horizon);
+        let mut categories: Vec<u8> = Vec::new();
+        if !profile.slots.is_empty() {
+            categories.push(0);
+            categories.push(1);
+        }
+        if !profile.links.is_empty() {
+            categories.push(2);
+            categories.push(3);
+        }
+        if !profile.stores.is_empty() {
+            categories.push(4);
+        }
+        if !profile.services.is_empty() {
+            categories.push(5);
+        }
+        if categories.is_empty() {
+            return plan;
+        }
+        let mut at = SimTime::ZERO;
+        loop {
+            let gap = SimDuration::from_secs_f64(rng.exponential(profile.mean_gap.as_secs_f64()));
+            at += gap;
+            if at.elapsed() >= horizon {
+                break;
+            }
+            let duration = SimDuration::from_secs_f64(
+                rng.exponential(profile.mean_duration.as_secs_f64())
+                    .max(0.1),
+            );
+            let cat = *rng.pick(&categories).expect("non-empty categories");
+            let spec = match cat {
+                0 => FaultSpec::new(
+                    FaultKind::SlotFailure,
+                    rng.pick(&profile.slots).expect("slots").clone(),
+                    at,
+                    duration,
+                ),
+                1 => FaultSpec::new(
+                    FaultKind::SlotThrottle {
+                        factor: rng.uniform_range(0.2, 0.8),
+                    },
+                    rng.pick(&profile.slots).expect("slots").clone(),
+                    at,
+                    duration,
+                ),
+                2 => FaultSpec::new(
+                    FaultKind::LinkOutage,
+                    rng.pick(&profile.links).expect("links").clone(),
+                    at,
+                    duration,
+                ),
+                3 => FaultSpec::new(
+                    FaultKind::BandwidthCollapse {
+                        factor: rng.uniform_range(0.02, 0.3),
+                    },
+                    rng.pick(&profile.links).expect("links").clone(),
+                    at,
+                    duration,
+                ),
+                4 => FaultSpec::new(
+                    FaultKind::StorageWriteError,
+                    rng.pick(&profile.stores).expect("stores").clone(),
+                    at,
+                    duration,
+                ),
+                _ => FaultSpec::new(
+                    FaultKind::ServiceCrash,
+                    rng.pick(&profile.services).expect("services").clone(),
+                    at,
+                    duration,
+                ),
+            };
+            plan.faults.push(spec);
+        }
+        plan
+    }
+
+    /// Compiles the plan into an injector (expanding recurrences).
+    #[must_use]
+    pub fn compile(&self) -> FaultInjector {
+        FaultInjector::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdap_sim::SeedFactory;
+
+    #[test]
+    fn randomized_plans_replay_bit_identically() {
+        let profile = ChaosProfile {
+            slots: vec!["slot0".into(), "slot1".into()],
+            links: vec!["lte".into()],
+            stores: vec!["ddi".into()],
+            services: vec!["kidnapper".into()],
+            ..ChaosProfile::new()
+        };
+        let draw = |seed: u64| {
+            let mut rng = SeedFactory::new(seed).stream("faults");
+            FaultPlan::randomized(&mut rng, SimDuration::from_secs(600), &profile)
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10));
+    }
+
+    #[test]
+    fn randomized_plan_respects_horizon_and_targets() {
+        let profile = ChaosProfile {
+            slots: vec!["slot0".into()],
+            mean_gap: SimDuration::from_secs(10),
+            ..ChaosProfile::new()
+        };
+        let mut rng = SeedFactory::new(3).stream("faults");
+        let plan = FaultPlan::randomized(&mut rng, SimDuration::from_secs(600), &profile);
+        assert!(!plan.faults().is_empty(), "600 s at 10 s mean gap");
+        for f in plan.faults() {
+            assert!(f.start.elapsed() < SimDuration::from_secs(600));
+            assert_eq!(f.target, "slot0");
+            assert!(matches!(
+                f.kind,
+                FaultKind::SlotFailure | FaultKind::SlotThrottle { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn empty_profile_yields_empty_plan() {
+        let mut rng = SeedFactory::new(3).stream("faults");
+        let plan =
+            FaultPlan::randomized(&mut rng, SimDuration::from_secs(600), &ChaosProfile::new());
+        assert!(plan.faults().is_empty());
+    }
+}

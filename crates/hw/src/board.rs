@@ -220,14 +220,10 @@ impl VcuBoard {
     /// The slot that would finish `workload` earliest if it arrived at
     /// `now`, considering current queues and memory fit.
     #[must_use]
-    pub fn earliest_finish_slot(
-        &self,
-        now: SimTime,
-        workload: &ComputeWorkload,
-    ) -> Option<SlotId> {
+    pub fn earliest_finish_slot(&self, now: SimTime, workload: &ComputeWorkload) -> Option<SlotId> {
         self.slots
             .iter()
-            .filter(|s| s.unit.spec().fits(workload))
+            .filter(|s| s.unit.is_available() && s.unit.spec().fits(workload))
             .min_by_key(|s| s.unit.estimate_finish(now, workload))
             .map(|s| s.id)
     }
@@ -315,10 +311,16 @@ mod tests {
     #[test]
     fn detach_frees_power() {
         let mut board = VcuBoard::empty(SsdModel::automotive(), 70.0);
-        let id = board.attach(catalog::intel_i7_6700(), HepLevel::First).unwrap();
-        assert!(board.attach(catalog::jetson_tx2_max_p(), HepLevel::First).is_err());
+        let id = board
+            .attach(catalog::intel_i7_6700(), HepLevel::First)
+            .unwrap();
+        assert!(board
+            .attach(catalog::jetson_tx2_max_p(), HepLevel::First)
+            .is_err());
         board.detach(id);
-        assert!(board.attach(catalog::jetson_tx2_max_p(), HepLevel::First).is_ok());
+        assert!(board
+            .attach(catalog::jetson_tx2_max_p(), HepLevel::First)
+            .is_ok());
     }
 
     #[test]
@@ -365,9 +367,13 @@ mod tests {
     #[test]
     fn slot_ids_unique_across_reuse() {
         let mut board = VcuBoard::empty(SsdModel::automotive(), 1000.0);
-        let a = board.attach(catalog::passenger_phone(), HepLevel::Second).unwrap();
+        let a = board
+            .attach(catalog::passenger_phone(), HepLevel::Second)
+            .unwrap();
         board.detach(a);
-        let b = board.attach(catalog::passenger_phone(), HepLevel::Second).unwrap();
+        let b = board
+            .attach(catalog::passenger_phone(), HepLevel::Second)
+            .unwrap();
         assert_ne!(a, b, "slot ids are never reused");
     }
 

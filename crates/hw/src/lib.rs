@@ -30,6 +30,8 @@ mod workload;
 
 pub use board::{AttachError, CommModule, HepLevel, Slot, SlotId, VcuBoard};
 pub use power::{Battery, PowerBudget};
-pub use processor::{ProcessorKind, ProcessorSpec, ProcessorSpecBuilder, ProcessorUnit};
+pub use processor::{
+    ProcessorKind, ProcessorSpec, ProcessorSpecBuilder, ProcessorUnit, SlotHealth,
+};
 pub use storage::{SsdModel, StorageFull, StorageOp};
 pub use workload::{ComputeWorkload, TaskClass};

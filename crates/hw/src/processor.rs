@@ -257,6 +257,34 @@ impl ProcessorSpecBuilder {
     }
 }
 
+/// Runtime health of a compute slot, driven by fault injection.
+///
+/// Health affects *new* work: a throttled slot serves workloads slower by
+/// the given speed factor, and a down slot refuses placement entirely
+/// (schedulers must check [`ProcessorUnit::is_available`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SlotHealth {
+    /// Nominal operation.
+    Healthy,
+    /// Thermally throttled: service times are divided by the factor
+    /// (`0 < factor < 1` slows the slot down).
+    Throttled(f64),
+    /// Hard-failed: the slot accepts no work until it recovers.
+    Down,
+}
+
+impl SlotHealth {
+    /// Speed multiplier applied to the slot's throughput.
+    #[must_use]
+    pub fn speed_factor(&self) -> f64 {
+        match self {
+            SlotHealth::Healthy => 1.0,
+            SlotHealth::Throttled(f) => f.clamp(f64::MIN_POSITIVE, 1.0),
+            SlotHealth::Down => 0.0,
+        }
+    }
+}
+
 /// A processor instance with runtime occupancy and energy state.
 ///
 /// Queueing semantics are FIFO: [`ProcessorUnit::enqueue`] at time `now`
@@ -269,6 +297,7 @@ pub struct ProcessorUnit {
     busy_total: SimDuration,
     energy_joules: f64,
     jobs_done: u64,
+    health: SlotHealth,
 }
 
 impl ProcessorUnit {
@@ -281,6 +310,7 @@ impl ProcessorUnit {
             busy_total: SimDuration::ZERO,
             energy_joules: 0.0,
             jobs_done: 0,
+            health: SlotHealth::Healthy,
         }
     }
 
@@ -288,6 +318,60 @@ impl ProcessorUnit {
     #[must_use]
     pub fn spec(&self) -> &ProcessorSpec {
         &self.spec
+    }
+
+    /// Current health.
+    #[must_use]
+    pub fn health(&self) -> SlotHealth {
+        self.health
+    }
+
+    /// Sets health directly (fault-injection hook).
+    pub fn set_health(&mut self, health: SlotHealth) {
+        self.health = health;
+    }
+
+    /// Marks the slot hard-down.
+    pub fn fail(&mut self) {
+        self.health = SlotHealth::Down;
+    }
+
+    /// Applies thermal throttling with the given speed factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < factor <= 1`.
+    pub fn throttle(&mut self, factor: f64) {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "throttle factor must be in (0, 1]"
+        );
+        self.health = SlotHealth::Throttled(factor);
+    }
+
+    /// Restores nominal health.
+    pub fn recover(&mut self) {
+        self.health = SlotHealth::Healthy;
+    }
+
+    /// Whether the slot can accept new work (not hard-down).
+    #[must_use]
+    pub fn is_available(&self) -> bool {
+        !matches!(self.health, SlotHealth::Down)
+    }
+
+    /// Service time for `workload` under the current health: the spec's
+    /// nominal time divided by the health speed factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slot is down — down slots serve nothing, so
+    /// callers must check [`ProcessorUnit::is_available`] first.
+    #[must_use]
+    pub fn effective_service_time(&self, workload: &ComputeWorkload) -> SimDuration {
+        let factor = self.health.speed_factor();
+        assert!(factor > 0.0, "down slot has no service time");
+        self.spec.service_time(workload).mul_f64(1.0 / factor)
     }
 
     /// Time at which the queue drains.
@@ -339,6 +423,7 @@ impl ProcessorUnit {
 
     /// Estimated completion time for `workload` arriving at `now`
     /// *without* committing it (used by schedulers to compare choices).
+    /// Accounts for throttling; panics when the slot is down.
     #[must_use]
     pub fn estimate_finish(&self, now: SimTime, workload: &ComputeWorkload) -> SimTime {
         let start = if self.busy_until > now {
@@ -346,7 +431,7 @@ impl ProcessorUnit {
         } else {
             now
         };
-        start + self.spec.service_time(workload)
+        start + self.effective_service_time(workload)
     }
 
     /// Books a pre-planned execution window (used when an external
@@ -368,14 +453,15 @@ impl ProcessorUnit {
     }
 
     /// Commits `workload` to the FIFO queue at `now`; returns
-    /// `(start, finish)` and accrues busy time and energy.
+    /// `(start, finish)` and accrues busy time and energy. Accounts for
+    /// throttling; panics when the slot is down.
     pub fn enqueue(&mut self, now: SimTime, workload: &ComputeWorkload) -> (SimTime, SimTime) {
         let start = if self.busy_until > now {
             self.busy_until
         } else {
             now
         };
-        let service = self.spec.service_time(workload);
+        let service = self.effective_service_time(workload);
         let finish = start + service;
         self.busy_until = finish;
         self.busy_total += service;
@@ -493,10 +579,40 @@ mod tests {
     }
 
     #[test]
+    fn throttled_slot_serves_slower() {
+        let mut unit = ProcessorUnit::new(cpu());
+        let w = dense(20.0); // 1 s nominal
+        unit.throttle(0.5);
+        assert_eq!(unit.effective_service_time(&w), SimDuration::from_secs(2));
+        let (_, finish) = unit.enqueue(SimTime::ZERO, &w);
+        assert_eq!(finish, SimTime::from_secs(2));
+        unit.recover();
+        assert_eq!(unit.effective_service_time(&w), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn down_slot_refuses_placement() {
+        let mut unit = ProcessorUnit::new(cpu());
+        assert!(unit.is_available());
+        unit.fail();
+        assert!(!unit.is_available());
+        assert_eq!(unit.health(), SlotHealth::Down);
+        unit.recover();
+        assert!(unit.is_available());
+        assert_eq!(unit.health(), SlotHealth::Healthy);
+    }
+
+    #[test]
+    #[should_panic(expected = "down slot")]
+    fn down_slot_service_time_panics() {
+        let mut unit = ProcessorUnit::new(cpu());
+        unit.fail();
+        let _ = unit.effective_service_time(&dense(1.0));
+    }
+
+    #[test]
     fn efficiency_metric() {
         let spec = cpu();
-        assert!(
-            (spec.gflops_per_joule(TaskClass::DenseLinearAlgebra) - 20.0 / 50.0).abs() < 1e-12
-        );
+        assert!((spec.gflops_per_joule(TaskClass::DenseLinearAlgebra) - 20.0 / 50.0).abs() < 1e-12);
     }
 }

@@ -48,7 +48,14 @@ impl SsdModel {
     /// 400 MB/s read and 250 MB/s write per channel, 80 µs access, 1 TB.
     #[must_use]
     pub fn automotive() -> Self {
-        SsdModel::new("automotive-nvme", 8, 400.0, 250.0, SimDuration::from_micros(80), 1 << 40)
+        SsdModel::new(
+            "automotive-nvme",
+            8,
+            400.0,
+            250.0,
+            SimDuration::from_micros(80),
+            1 << 40,
+        )
     }
 
     /// Creates a device model.
@@ -150,13 +157,19 @@ impl SsdModel {
         }
         self.used_bytes += bytes;
         self.bytes_written += bytes;
-        Ok(self.occupy(now, self.transfer_time(StorageOp::Write, bytes, parallel_streams)))
+        Ok(self.occupy(
+            now,
+            self.transfer_time(StorageOp::Write, bytes, parallel_streams),
+        ))
     }
 
     /// Records a read of `bytes` at `now`; returns the completion time.
     pub fn read(&mut self, now: SimTime, bytes: u64, parallel_streams: u32) -> SimTime {
         self.bytes_read += bytes;
-        self.occupy(now, self.transfer_time(StorageOp::Read, bytes, parallel_streams))
+        self.occupy(
+            now,
+            self.transfer_time(StorageOp::Read, bytes, parallel_streams),
+        )
     }
 
     /// Frees `bytes` of stored data (clamped to the used amount).

@@ -166,7 +166,8 @@ impl ModelCache {
                 self.resident.remove(&lru);
                 self.stats.evictions += 1;
             }
-            self.resident.insert(entry.name.clone(), (bytes, self.clock));
+            self.resident
+                .insert(entry.name.clone(), (bytes, self.clock));
         }
         (Residency::Loaded, load)
     }

@@ -163,7 +163,10 @@ pub fn compress(
     config: &CompressConfig,
     rng: &mut RngStream,
 ) -> CompressionReport {
-    assert!(config.codebook_size >= 2, "codebook needs at least 2 entries");
+    assert!(
+        config.codebook_size >= 2,
+        "codebook needs at least 2 entries"
+    );
     prune(network, config.sparsity);
     quantize(network, config, rng)
 }
@@ -178,7 +181,10 @@ pub fn compress_with_retrain(
     data: &crate::nn::Dataset,
     rng: &mut RngStream,
 ) -> CompressionReport {
-    assert!(config.codebook_size >= 2, "codebook needs at least 2 entries");
+    assert!(
+        config.codebook_size >= 2,
+        "codebook needs at least 2 entries"
+    );
     prune(network, config.sparsity);
     let masks: Vec<Vec<bool>> = network
         .layers()

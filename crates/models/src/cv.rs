@@ -193,14 +193,8 @@ pub fn sobel(img: &GrayImage) -> GrayImage {
             let p = |dx: i64, dy: i64| {
                 f64::from(img.get((x as i64 + dx) as usize, (y as i64 + dy) as usize))
             };
-            let gx = -p(-1, -1) - 2.0 * p(-1, 0) - p(-1, 1)
-                + p(1, -1)
-                + 2.0 * p(1, 0)
-                + p(1, 1);
-            let gy = -p(-1, -1) - 2.0 * p(0, -1) - p(1, -1)
-                + p(-1, 1)
-                + 2.0 * p(0, 1)
-                + p(1, 1);
+            let gx = -p(-1, -1) - 2.0 * p(-1, 0) - p(-1, 1) + p(1, -1) + 2.0 * p(1, 0) + p(1, 1);
+            let gy = -p(-1, -1) - 2.0 * p(0, -1) - p(1, -1) + p(-1, 1) + 2.0 * p(0, 1) + p(1, 1);
             let mag = (gx * gx + gy * gy).sqrt();
             out.set(x, y, mag.min(255.0) as u8);
         }
@@ -424,12 +418,7 @@ impl HaarCascade {
         match kind {
             HaarKind::WindowMean => integral.rect_mean(&Rect { x, y, w, h }),
             HaarKind::BandContrast => {
-                let top = integral.rect_mean(&Rect {
-                    x,
-                    y,
-                    w,
-                    h: h / 6,
-                });
+                let top = integral.rect_mean(&Rect { x, y, w, h: h / 6 });
                 let mid = integral.rect_mean(&Rect {
                     x,
                     y: y + h / 6,
@@ -439,12 +428,7 @@ impl HaarCascade {
                 (top - mid).abs()
             }
             HaarKind::Asymmetry => {
-                let left = integral.rect_mean(&Rect {
-                    x,
-                    y,
-                    w: w / 2,
-                    h,
-                });
+                let left = integral.rect_mean(&Rect { x, y, w: w / 2, h });
                 let right = integral.rect_mean(&Rect {
                     x: x + w / 2,
                     y,
@@ -459,12 +443,10 @@ impl HaarCascade {
     /// Whether every stage accepts the window at `(x, y)`.
     #[must_use]
     pub fn accepts(&self, integral: &IntegralImage, x: usize, y: usize) -> bool {
-        self.stages
-            .iter()
-            .all(|s| {
-                let v = self.feature(integral, s.kind, x, y);
-                v >= s.min && v <= s.max
-            })
+        self.stages.iter().all(|s| {
+            let v = self.feature(integral, s.kind, x, y);
+            v >= s.min && v <= s.max
+        })
     }
 
     /// Runs the sliding-window detector with greedy non-maximum
@@ -483,15 +465,7 @@ impl HaarCascade {
             while x + ww <= frame.width() {
                 if self.accepts(&integral, x, y) {
                     let score = self.feature(&integral, HaarKind::WindowMean, x, y);
-                    hits.push((
-                        score,
-                        Rect {
-                            x,
-                            y,
-                            w: ww,
-                            h: wh,
-                        },
-                    ));
+                    hits.push((score, Rect { x, y, w: ww, h: wh }));
                 }
                 x += self.stride;
             }
@@ -609,7 +583,10 @@ mod tests {
                 "vehicle at {t:?} missed; got {detections:?}"
             );
         }
-        assert!(detections.len() <= truth.len() + 1, "too many: {detections:?}");
+        assert!(
+            detections.len() <= truth.len() + 1,
+            "too many: {detections:?}"
+        );
     }
 
     #[test]
@@ -654,7 +631,11 @@ mod tests {
         let lines = hough_lines(&img, 2, 50);
         assert!(!lines.is_empty());
         let l = lines[0];
-        assert!((l.theta.to_degrees() - 90.0).abs() < 2.0, "theta {}", l.theta);
+        assert!(
+            (l.theta.to_degrees() - 90.0).abs() < 2.0,
+            "theta {}",
+            l.theta
+        );
         assert!((l.rho - 50.0).abs() < 2.0, "rho {}", l.rho);
     }
 

@@ -64,8 +64,7 @@ pub fn label_window(window: &[Record]) -> Option<Maneuver> {
     if samples.iter().any(|s| s.accel_mps2 < -5.0) {
         return Some(Maneuver::HardBrake);
     }
-    let mean_yaw =
-        samples.iter().map(|s| s.yaw_rate.abs()).sum::<f64>() / samples.len() as f64;
+    let mean_yaw = samples.iter().map(|s| s.yaw_rate.abs()).sum::<f64>() / samples.len() as f64;
     if mean_yaw > 0.08 {
         Some(Maneuver::Turn)
     } else {
@@ -83,9 +82,8 @@ pub fn window_features(window: &[Record]) -> Option<[f64; FEATURE_DIM]> {
         return None;
     }
     let n = samples.len() as f64;
-    let mean = |f: &dyn Fn(&vdap_ddi::DrivingSample) -> f64| {
-        samples.iter().map(|s| f(s)).sum::<f64>() / n
-    };
+    let mean =
+        |f: &dyn Fn(&vdap_ddi::DrivingSample) -> f64| samples.iter().map(|s| f(s)).sum::<f64>() / n;
     let mean_speed = mean(&|s| s.speed_mph);
     let std_speed = (samples
         .iter()
@@ -183,8 +181,7 @@ pub fn personal_label(style: DriverStyle, window: &[Record]) -> Option<Maneuver>
     }
     // Turn: well beyond the driver's routine cornering.
     let turn_threshold = (2.5 * style.yaw_scale()).max(0.08);
-    let mean_yaw =
-        samples.iter().map(|s| s.yaw_rate.abs()).sum::<f64>() / samples.len() as f64;
+    let mean_yaw = samples.iter().map(|s| s.yaw_rate.abs()).sum::<f64>() / samples.len() as f64;
     if mean_yaw > turn_threshold {
         Some(Maneuver::Turn)
     } else {
@@ -282,10 +279,7 @@ pub fn population_dataset(
             labels.push(d.labels[w]);
         }
     }
-    Dataset::new(
-        Matrix::from_vec(labels.len(), FEATURE_DIM, feats),
-        labels,
-    )
+    Dataset::new(Matrix::from_vec(labels.len(), FEATURE_DIM, feats), labels)
 }
 
 #[cfg(test)]

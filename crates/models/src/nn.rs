@@ -144,7 +144,10 @@ impl Network {
     #[must_use]
     pub fn new(sizes: &[usize], rng: &mut RngStream) -> Self {
         assert!(sizes.len() >= 2, "need at least input and output sizes");
-        assert!(sizes.iter().all(|&s| s > 0), "layer widths must be positive");
+        assert!(
+            sizes.iter().all(|&s| s > 0),
+            "layer widths must be positive"
+        );
         let layers = sizes
             .windows(2)
             .map(|w| Layer::new(w[0], w[1], rng))
@@ -355,11 +358,7 @@ fn gather(data: &Dataset, indices: &[usize]) -> Dataset {
 fn softmax_rows(z: &Matrix) -> Matrix {
     let mut out = z.clone();
     for r in 0..z.rows() {
-        let row_max = z
-            .row(r)
-            .iter()
-            .copied()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let row_max = z.row(r).iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let mut sum = 0.0;
         for c in 0..z.cols() {
             let e = (z[(r, c)] - row_max).exp();
@@ -395,7 +394,10 @@ mod tests {
         let n = labels.len();
         let mut idx: Vec<usize> = (0..n).collect();
         rng.shuffle(&mut idx);
-        let data: Vec<f64> = idx.iter().flat_map(|&i| feats[2 * i..2 * i + 2].to_vec()).collect();
+        let data: Vec<f64> = idx
+            .iter()
+            .flat_map(|&i| feats[2 * i..2 * i + 2].to_vec())
+            .collect();
         let labels: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
         Dataset::new(Matrix::from_vec(n, 2, data), labels)
     }

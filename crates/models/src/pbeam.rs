@@ -95,7 +95,11 @@ impl PbeamPipeline {
     /// Runs all four stages for one personal driver and returns the
     /// report plus the finished pBEAM network.
     #[must_use]
-    pub fn run(&self, personal_style: DriverStyle, personal_bias: SensorBias) -> (PbeamReport, Network) {
+    pub fn run(
+        &self,
+        personal_style: DriverStyle,
+        personal_bias: SensorBias,
+    ) -> (PbeamReport, Network) {
         let c = &self.config;
         // Stage 1 — cloud: train cBEAM on the population.
         let population = population_dataset(c.windows_per_style, c.window_len, &self.seeds);

@@ -343,6 +343,9 @@ mod tests {
         let a = Matrix::xavier(64, 64, &mut rng);
         let std = (a.data().iter().map(|x| x * x).sum::<f64>() / a.len() as f64).sqrt();
         let expect = (2.0 / 128.0f64).sqrt();
-        assert!((std - expect).abs() / expect < 0.15, "std {std} vs {expect}");
+        assert!(
+            (std - expect).abs() / expect < 0.15,
+            "std {std} vs {expect}"
+        );
     }
 }

@@ -58,7 +58,9 @@ pub fn transfer(
 mod tests {
     use super::*;
     use crate::compress::{compress, CompressConfig};
-    use crate::features::{driver_dataset, personal_driver_dataset, population_dataset, SensorBias, FEATURE_DIM};
+    use crate::features::{
+        driver_dataset, personal_driver_dataset, population_dataset, SensorBias, FEATURE_DIM,
+    };
     use crate::nn::Network;
     use vdap_ddi::DriverStyle;
     use vdap_sim::SeedFactory;
@@ -104,7 +106,12 @@ mod tests {
 
         let before = cbeam.accuracy(&personal_test);
         let mut rng = seeds.stream("transfer");
-        let pbeam = transfer(&cbeam, &personal_train, &TransferConfig::default(), &mut rng);
+        let pbeam = transfer(
+            &cbeam,
+            &personal_train,
+            &TransferConfig::default(),
+            &mut rng,
+        );
         let after = pbeam.accuracy(&personal_test);
         assert!(
             after > before + 0.03,

@@ -228,9 +228,7 @@ mod tests {
     #[test]
     fn table1_latencies_reproduce_exactly() {
         let cpu = aws_vcpu_2_4ghz();
-        for (workload, (name, expect_ms)) in
-            table1_workloads().iter().zip(TABLE1_LATENCY_MS)
-        {
+        for (workload, (name, expect_ms)) in table1_workloads().iter().zip(TABLE1_LATENCY_MS) {
             assert_eq!(workload.name(), name);
             let got = cpu.service_time(workload).as_millis_f64();
             assert!(

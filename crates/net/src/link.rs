@@ -136,13 +136,23 @@ impl LinkSpec {
     /// RSU wired backhaul: 1 Gbps symmetric, 5 ms.
     #[must_use]
     pub fn ethernet() -> Self {
-        LinkSpec::new(LinkKind::Ethernet, 1000.0, 1000.0, SimDuration::from_millis(5))
+        LinkSpec::new(
+            LinkKind::Ethernet,
+            1000.0,
+            1000.0,
+            SimDuration::from_millis(5),
+        )
     }
 
     /// Base-station fiber to the cloud: 10 Gbps, 20 ms (wide-area).
     #[must_use]
     pub fn fiber() -> Self {
-        LinkSpec::new(LinkKind::Fiber, 10_000.0, 10_000.0, SimDuration::from_millis(20))
+        LinkSpec::new(
+            LinkKind::Fiber,
+            10_000.0,
+            10_000.0,
+            SimDuration::from_millis(20),
+        )
     }
 
     /// Link family.
@@ -222,7 +232,10 @@ mod tests {
         // The paper: even at LTE's nominal best, uploading a day of CAV
         // data takes multiple days.
         let hours = LinkSpec::lte().upload_hours(4 * TB);
-        assert!(hours > 24.0, "4 TB on LTE should take > 1 day, got {hours} h");
+        assert!(
+            hours > 24.0,
+            "4 TB on LTE should take > 1 day, got {hours} h"
+        );
         // Even a 100 Mbps ideal LTE link takes more than 3 days... the
         // paper says "a few days" at 100 Mbps:
         let ideal = LinkSpec::new(LinkKind::Lte, 100.0, 100.0, SimDuration::ZERO);

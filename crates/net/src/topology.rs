@@ -60,30 +60,39 @@ pub struct NetTopology {
     vehicle_cloud: LinkSpec,
     edge_cloud: LinkSpec,
     vehicle_vehicle: LinkSpec,
+    /// Per-link outage flags, indexed by [`NetTopology::link_index`].
+    link_up: [bool; 3],
+    /// Per-link bandwidth factors in `(0, 1]` (fault injection).
+    link_factor: [f64; 3],
 }
 
 impl NetTopology {
+    /// Transfer time reported while a link is in outage: effectively
+    /// never, but finite so sums never overflow. Any deadline-aware
+    /// consumer treats a transfer this slow as infeasible.
+    pub const OUTAGE: SimDuration = SimDuration::from_secs(86_400);
+
     /// The paper's reference fabric: DSRC to the edge, LTE to the cloud,
     /// fiber edge→cloud, DSRC vehicle→vehicle.
     #[must_use]
     pub fn reference() -> Self {
-        NetTopology {
-            vehicle_edge: LinkSpec::dsrc(),
-            vehicle_cloud: LinkSpec::lte(),
-            edge_cloud: LinkSpec::fiber(),
-            vehicle_vehicle: LinkSpec::dsrc(),
-        }
+        Self::new(
+            LinkSpec::dsrc(),
+            LinkSpec::lte(),
+            LinkSpec::fiber(),
+            LinkSpec::dsrc(),
+        )
     }
 
     /// A 5G variant: 5G to the edge and the cloud.
     #[must_use]
     pub fn five_g() -> Self {
-        NetTopology {
-            vehicle_edge: LinkSpec::five_g(),
-            vehicle_cloud: LinkSpec::five_g(),
-            edge_cloud: LinkSpec::fiber(),
-            vehicle_vehicle: LinkSpec::dsrc(),
-        }
+        Self::new(
+            LinkSpec::five_g(),
+            LinkSpec::five_g(),
+            LinkSpec::fiber(),
+            LinkSpec::dsrc(),
+        )
     }
 
     /// Builds a custom fabric.
@@ -99,6 +108,62 @@ impl NetTopology {
             vehicle_cloud,
             edge_cloud,
             vehicle_vehicle,
+            link_up: [true; 3],
+            link_factor: [1.0; 3],
+        }
+    }
+
+    /// Index of the direct link between two distinct sites.
+    fn link_index(a: Site, b: Site) -> Option<usize> {
+        match (a.min(b), a.max(b)) {
+            (Site::Vehicle, Site::Edge) => Some(0),
+            (Site::Vehicle, Site::Cloud) => Some(1),
+            (Site::Edge, Site::Cloud) => Some(2),
+            _ => None,
+        }
+    }
+
+    /// Fault-injection hook: takes a link down or brings it back. Same
+    /// or unrelated site pairs are ignored.
+    pub fn set_link_up(&mut self, a: Site, b: Site, up: bool) {
+        if let Some(i) = Self::link_index(a, b) {
+            self.link_up[i] = up;
+        }
+    }
+
+    /// Whether the direct link between two sites carries traffic
+    /// (`true` for a same-site "transfer").
+    #[must_use]
+    pub fn is_link_up(&self, a: Site, b: Site) -> bool {
+        match Self::link_index(a, b) {
+            Some(i) => self.link_up[i],
+            None => true,
+        }
+    }
+
+    /// Fault-injection hook: collapses a link's effective bandwidth to
+    /// `factor` of nominal (`1.0` restores it).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < factor <= 1`.
+    pub fn set_link_factor(&mut self, a: Site, b: Site, factor: f64) {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "bandwidth factor must be in (0, 1]"
+        );
+        if let Some(i) = Self::link_index(a, b) {
+            self.link_factor[i] = factor;
+        }
+    }
+
+    /// The current bandwidth factor of a link (1.0 when nominal or for
+    /// same-site pairs).
+    #[must_use]
+    pub fn link_factor(&self, a: Site, b: Site) -> f64 {
+        match Self::link_index(a, b) {
+            Some(i) => self.link_factor[i],
+            None => 1.0,
         }
     }
 
@@ -132,11 +197,16 @@ impl NetTopology {
     /// Time to move `bytes` from `src` to `dst` (zero when same site).
     ///
     /// Transfers away from the vehicle use the uplink direction; toward
-    /// the vehicle the downlink. Edge↔cloud is symmetric.
+    /// the vehicle the downlink. Edge↔cloud is symmetric. A link in
+    /// outage reports [`NetTopology::OUTAGE`]; a degraded link's time is
+    /// scaled by the inverse of its bandwidth factor.
     #[must_use]
     pub fn transfer_time(&self, src: Site, dst: Site, bytes: u64) -> SimDuration {
         if src == dst {
             return SimDuration::ZERO;
+        }
+        if !self.is_link_up(src, dst) {
+            return Self::OUTAGE;
         }
         let dir = if src == Site::Vehicle {
             Direction::Uplink
@@ -144,7 +214,15 @@ impl NetTopology {
             Direction::Downlink
         };
         match self.link(src, dst) {
-            Some(link) => link.transfer_time(dir, bytes),
+            Some(link) => {
+                let base = link.transfer_time(dir, bytes);
+                let factor = self.link_factor(src, dst);
+                if factor < 1.0 {
+                    base.mul_f64(1.0 / factor)
+                } else {
+                    base
+                }
+            }
             None => SimDuration::ZERO,
         }
     }
@@ -207,6 +285,40 @@ mod tests {
         assert!(
             fg.transfer_time(Site::Vehicle, Site::Cloud, bytes)
                 < lte.transfer_time(Site::Vehicle, Site::Cloud, bytes)
+        );
+    }
+
+    #[test]
+    fn outage_makes_transfers_infeasible() {
+        let mut net = NetTopology::reference();
+        net.set_link_up(Site::Vehicle, Site::Cloud, false);
+        assert!(!net.is_link_up(Site::Vehicle, Site::Cloud));
+        assert!(!net.is_link_up(Site::Cloud, Site::Vehicle), "symmetric");
+        assert_eq!(
+            net.transfer_time(Site::Vehicle, Site::Cloud, 1_000),
+            NetTopology::OUTAGE
+        );
+        // Other links keep working.
+        assert!(net.is_link_up(Site::Vehicle, Site::Edge));
+        assert!(net.transfer_time(Site::Vehicle, Site::Edge, 1_000) < SimDuration::from_secs(1));
+        net.set_link_up(Site::Cloud, Site::Vehicle, true);
+        assert!(net.is_link_up(Site::Vehicle, Site::Cloud));
+    }
+
+    #[test]
+    fn bandwidth_collapse_scales_transfer_time() {
+        let mut net = NetTopology::reference();
+        let nominal = net.transfer_time(Site::Vehicle, Site::Cloud, 10_000_000);
+        net.set_link_factor(Site::Vehicle, Site::Cloud, 0.1);
+        let collapsed = net.transfer_time(Site::Vehicle, Site::Cloud, 10_000_000);
+        assert!(
+            (collapsed.as_secs_f64() / nominal.as_secs_f64() - 10.0).abs() < 1e-6,
+            "10x slower at 0.1 factor"
+        );
+        net.set_link_factor(Site::Vehicle, Site::Cloud, 1.0);
+        assert_eq!(
+            net.transfer_time(Site::Vehicle, Site::Cloud, 10_000_000),
+            nominal
         );
     }
 

@@ -270,8 +270,8 @@ mod tests {
     fn gop_budget_conserved() {
         for res in [Resolution::P720, Resolution::P1080] {
             let spec = VideoStreamSpec::paper_encoding(res);
-            let gop_bytes = spec.keyframe_bytes()
-                + spec.delta_frame_bytes() * (spec.gop_frames() as f64 - 1.0);
+            let gop_bytes =
+                spec.keyframe_bytes() + spec.delta_frame_bytes() * (spec.gop_frames() as f64 - 1.0);
             let budget = spec.avg_frame_bytes() * spec.gop_frames() as f64;
             assert!((gop_bytes - budget).abs() < 1.0);
             assert!(spec.keyframe_bytes() > spec.delta_frame_bytes());
@@ -354,8 +354,7 @@ mod tests {
     fn zero_length_clip_is_empty() {
         let spec = VideoStreamSpec::paper_encoding(Resolution::P720);
         let ch = CellularChannel::calibrated();
-        let mut proc =
-            ch.loss_process(Mph(0.0), 3.8, SeedFactory::new(0).stream("x"));
+        let mut proc = ch.loss_process(Mph(0.0), 3.8, SeedFactory::new(0).stream("x"));
         let stats = stream_clip(&spec, &mut proc, vdap_sim::SimTime::ZERO, SimDuration::ZERO);
         assert_eq!(stats, StreamStats::default());
         assert_eq!(stats.packet_loss_rate(), 0.0);

@@ -1,9 +1,7 @@
 //! Property-based tests for the network substrate.
 
 use proptest::prelude::*;
-use vdap_net::{
-    CellularChannel, Direction, LinkSpec, MobilityTrace, Mph, NetTopology, Site,
-};
+use vdap_net::{CellularChannel, Direction, LinkSpec, MobilityTrace, Mph, NetTopology, Site};
 use vdap_sim::{SeedFactory, SimTime};
 
 proptest! {

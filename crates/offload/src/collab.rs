@@ -231,7 +231,10 @@ mod tests {
         b.publish(key(1), result(2, 150));
         b.publish(key(2), result(2, 100));
         a.merge_from(&b);
-        assert_eq!(a.lookup(&key(1), SimTime::from_secs(160)).unwrap().producer, 2);
+        assert_eq!(
+            a.lookup(&key(1), SimTime::from_secs(160)).unwrap().producer,
+            2
+        );
         assert!(a.lookup(&key(2), SimTime::from_secs(160)).is_some());
     }
 

@@ -26,7 +26,12 @@ pub struct CostReport {
 impl CostReport {
     /// A single-request report.
     #[must_use]
-    pub fn single(latency: SimDuration, vehicle_energy_j: f64, bytes_up: u64, bytes_down: u64) -> Self {
+    pub fn single(
+        latency: SimDuration,
+        vehicle_energy_j: f64,
+        bytes_up: u64,
+        bytes_down: u64,
+    ) -> Self {
         CostReport {
             latency,
             vehicle_energy_j,

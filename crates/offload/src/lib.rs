@@ -41,4 +41,7 @@ mod strategy;
 pub use collab::{CollabStats, ResultCache, ResultKey, SharedResult, Tile};
 pub use cost::CostReport;
 pub use planner::{optimal_placement, Plan, PlanError, MAX_EXHAUSTIVE_STAGES};
-pub use strategy::{price, run_strategy, CloudOnly, EdgeBased, InVehicleOnly, OffloadStrategy};
+pub use strategy::{
+    place_degradable, price, run_strategy, CloudOnly, DegradedPlacement, EdgeBased, FallbackReason,
+    InVehicleOnly, OffloadStrategy,
+};

@@ -7,7 +7,9 @@
 //! `{vehicle, edge, cloud}` placement, price each with the elastic
 //! manager's estimator, and return the optimum.
 
-use vdap_edgeos::{ElasticManager, Environment, Objective, Pipeline, PipelineEstimate, PipelineStage};
+use vdap_edgeos::{
+    ElasticManager, Environment, Objective, Pipeline, PipelineEstimate, PipelineStage,
+};
 use vdap_hw::ComputeWorkload;
 use vdap_net::Site;
 use vdap_sim::SimDuration;
@@ -197,8 +199,7 @@ mod tests {
         let fx = Fixture::new();
         let env = fx.env();
         let stages = detection_stages();
-        let plan =
-            optimal_placement("lpr", &stages, &env, Objective::MinLatency, None).unwrap();
+        let plan = optimal_placement("lpr", &stages, &env, Objective::MinLatency, None).unwrap();
         let estimator = ElasticManager::new();
         for fixed_site in Site::ALL {
             let fixed = Pipeline::new(
@@ -278,8 +279,7 @@ mod tests {
         let env = fx.env();
         let stages = detection_stages();
         let lat = optimal_placement("x", &stages, &env, Objective::MinLatency, None).unwrap();
-        let eng =
-            optimal_placement("x", &stages, &env, Objective::MinVehicleEnergy, None).unwrap();
+        let eng = optimal_placement("x", &stages, &env, Objective::MinVehicleEnergy, None).unwrap();
         assert!(eng.estimate.vehicle_energy_j <= lat.estimate.vehicle_energy_j);
     }
 }

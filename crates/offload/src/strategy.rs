@@ -115,6 +115,64 @@ impl OffloadStrategy for EdgeBased {
     }
 }
 
+/// Why a degradable placement fell back to onboard execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// A wireless link was in outage, forcing everything on the vehicle.
+    LinkOutage,
+}
+
+impl std::fmt::Display for FallbackReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FallbackReason::LinkOutage => write!(f, "wireless link in outage"),
+        }
+    }
+}
+
+/// A placement that may have gracefully degraded to onboard execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedPlacement {
+    /// The chosen pipeline.
+    pub pipeline: Pipeline,
+    /// Estimated end-to-end latency of the chosen pipeline.
+    pub latency: SimDuration,
+    /// Whether the placement fell back from the preferred distributed
+    /// plan.
+    pub degraded: bool,
+    /// Why, when `degraded`.
+    pub reason: Option<FallbackReason>,
+}
+
+/// §IV's recovery path for connectivity faults: plan like [`EdgeBased`],
+/// but when a wireless link is in outage and the optimum collapses onto
+/// the vehicle, report the graceful degradation explicitly. Deadline
+/// awareness is preserved: when not even onboard execution meets the
+/// deadline, the request is refused with
+/// [`PlanError::NoFeasiblePlacement`] so the caller can drop it with a
+/// recorded reason instead of silently blowing the budget.
+///
+/// # Errors
+///
+/// Propagates [`PlanError`] from the underlying planner.
+pub fn place_degradable(
+    stages: &[ComputeWorkload],
+    env: &Environment<'_>,
+    objective: Objective,
+    deadline: Option<SimDuration>,
+) -> Result<DegradedPlacement, PlanError> {
+    let outage = !env.net.is_link_up(Site::Vehicle, Site::Edge)
+        || !env.net.is_link_up(Site::Vehicle, Site::Cloud);
+    let plan = optimal_placement("degradable", stages, env, objective, deadline)?;
+    let degraded = outage && plan.pipeline.is_fully_onboard();
+    Ok(DegradedPlacement {
+        latency: plan.estimate.latency,
+        pipeline: plan.pipeline,
+        degraded,
+        reason: degraded.then_some(FallbackReason::LinkOutage),
+    })
+}
+
 /// Prices one placed pipeline: latency and vehicle energy from the
 /// elastic estimator, wireless bytes from the stage graph.
 #[must_use]
@@ -139,7 +197,12 @@ pub fn price(pipeline: &Pipeline, env: &Environment<'_>) -> CostReport {
             bytes_down += last.workload.output_bytes();
         }
     }
-    CostReport::single(estimate.latency, estimate.vehicle_energy_j, bytes_up, bytes_down)
+    CostReport::single(
+        estimate.latency,
+        estimate.vehicle_energy_j,
+        bytes_up,
+        bytes_down,
+    )
 }
 
 /// Runs a strategy over a request stream and accumulates costs.
@@ -261,6 +324,66 @@ mod tests {
         assert_eq!(many.requests, 30);
         assert_eq!(many.mean_latency(), one.latency);
         assert!((many.vehicle_energy_j - one.vehicle_energy_j * 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degradable_prefers_distributed_when_healthy() {
+        let fx = Fixture::new();
+        let placed =
+            place_degradable(&heavy_stages(), &fx.env(), Objective::MinLatency, None).unwrap();
+        assert!(!placed.degraded);
+        assert!(placed.reason.is_none());
+        assert!(
+            !placed.pipeline.is_fully_onboard(),
+            "heavy CNN work should leave the vehicle when links are up"
+        );
+    }
+
+    #[test]
+    fn outage_falls_back_onboard_with_reason() {
+        let mut fx = Fixture::new();
+        fx.net.set_link_up(Site::Vehicle, Site::Edge, false);
+        fx.net.set_link_up(Site::Vehicle, Site::Cloud, false);
+        let placed =
+            place_degradable(&heavy_stages(), &fx.env(), Objective::MinLatency, None).unwrap();
+        assert!(placed.degraded);
+        assert_eq!(placed.reason, Some(FallbackReason::LinkOutage));
+        assert!(placed.pipeline.is_fully_onboard());
+        assert!(placed.latency < NetTopology::OUTAGE);
+    }
+
+    #[test]
+    fn outage_with_impossible_deadline_is_refused() {
+        let mut fx = Fixture::new();
+        fx.net.set_link_up(Site::Vehicle, Site::Edge, false);
+        fx.net.set_link_up(Site::Vehicle, Site::Cloud, false);
+        // Not even onboard execution can finish in 1 µs — the request is
+        // refused rather than allowed to blow its deadline.
+        let err = place_degradable(
+            &heavy_stages(),
+            &fx.env(),
+            Objective::MinLatency,
+            Some(SimDuration::from_micros(1)),
+        )
+        .unwrap_err();
+        assert_eq!(err, PlanError::NoFeasiblePlacement);
+    }
+
+    #[test]
+    fn outage_with_generous_deadline_degrades_in_time() {
+        let mut fx = Fixture::new();
+        fx.net.set_link_up(Site::Vehicle, Site::Cloud, false);
+        fx.net.set_link_up(Site::Vehicle, Site::Edge, false);
+        let deadline = SimDuration::from_secs(10);
+        let placed = place_degradable(
+            &heavy_stages(),
+            &fx.env(),
+            Objective::MinLatency,
+            Some(deadline),
+        )
+        .unwrap();
+        assert!(placed.degraded);
+        assert!(placed.latency <= deadline);
     }
 
     #[test]

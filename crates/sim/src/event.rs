@@ -77,7 +77,8 @@ impl<'a, S> Ctx<'a, S> {
         label: &'static str,
         event: impl FnOnce(&mut Ctx<'_, S>) + 'static,
     ) {
-        self.pending.push((self.now + delay, label, Box::new(event)));
+        self.pending
+            .push((self.now + delay, label, Box::new(event)));
     }
 
     /// Schedules `event` at an absolute time.
@@ -302,7 +303,12 @@ impl<S> Simulation<S> {
             for (at, label, run) in pending {
                 let seq = self.seq;
                 self.seq += 1;
-                self.queue.push(Scheduled { at, seq, run, label });
+                self.queue.push(Scheduled {
+                    at,
+                    seq,
+                    run,
+                    label,
+                });
             }
             if stop {
                 break StopReason::Requested;
@@ -318,11 +324,8 @@ impl<S> Simulation<S> {
     /// Labels of all queued events, earliest first (diagnostics aid).
     #[must_use]
     pub fn queued_labels(&self) -> Vec<&'static str> {
-        let mut entries: Vec<(SimTime, u64, &'static str)> = self
-            .queue
-            .iter()
-            .map(|s| (s.at, s.seq, s.label))
-            .collect();
+        let mut entries: Vec<(SimTime, u64, &'static str)> =
+            self.queue.iter().map(|s| (s.at, s.seq, s.label)).collect();
         entries.sort_unstable_by_key(|&(at, seq, _)| (at, seq));
         entries.into_iter().map(|(_, _, l)| l).collect()
     }

@@ -34,12 +34,14 @@
 
 mod event;
 mod metrics;
+mod reliability;
 mod rng;
 mod time;
 mod trace;
 
 pub use event::{Ctx, EventFn, RunReport, Simulation, StopReason};
 pub use metrics::{Counter, Histogram, Summary, TimeSeries};
+pub use reliability::ReliabilityStats;
 pub use rng::{RngStream, SeedFactory};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, TraceLevel, TraceLog};

@@ -74,10 +74,20 @@ impl Counter {
 }
 
 /// Exact summary statistics over an in-memory sample set.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Quantiles sort lazily into a cached side buffer, so read-only
+/// consumers can take quantiles through `&self`; recording invalidates
+/// the cache.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Summary {
     samples: Vec<f64>,
-    sorted: bool,
+    sorted: std::sync::OnceLock<Vec<f64>>,
+}
+
+impl PartialEq for Summary {
+    fn eq(&self, other: &Self) -> bool {
+        self.samples == other.samples
+    }
 }
 
 impl Summary {
@@ -91,7 +101,7 @@ impl Summary {
     pub fn record(&mut self, sample: f64) {
         if sample.is_finite() {
             self.samples.push(sample);
-            self.sorted = false;
+            self.sorted.take();
         }
     }
 
@@ -130,12 +140,7 @@ impl Summary {
             return 0.0;
         }
         let mean = self.mean();
-        let var = self
-            .samples
-            .iter()
-            .map(|x| (x - mean).powi(2))
-            .sum::<f64>()
-            / (n - 1) as f64;
+        let var = self.samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
         var.sqrt()
     }
 
@@ -153,7 +158,11 @@ impl Summary {
     /// Maximum sample, or 0 when empty.
     #[must_use]
     pub fn max(&self) -> f64 {
-        let m = self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let m = self
+            .samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
         if m.is_finite() {
             m
         } else {
@@ -163,35 +172,35 @@ impl Summary {
 
     /// Exact quantile by nearest-rank (q clamped to `[0, 1]`); 0 when empty.
     #[must_use]
-    pub fn quantile(&mut self, q: f64) -> f64 {
+    pub fn quantile(&self, q: f64) -> f64 {
         if self.samples.is_empty() {
             return 0.0;
         }
-        if !self.sorted {
-            self.samples
-                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite samples"));
-            self.sorted = true;
-        }
+        let sorted = self.sorted.get_or_init(|| {
+            let mut v = self.samples.clone();
+            v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            v
+        });
         let q = q.clamp(0.0, 1.0);
-        let idx = ((self.samples.len() as f64 - 1.0) * q).round() as usize;
-        self.samples[idx]
+        let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        sorted[idx]
     }
 
     /// Median (p50).
     #[must_use]
-    pub fn median(&mut self) -> f64 {
+    pub fn median(&self) -> f64 {
         self.quantile(0.5)
     }
 
     /// 95th percentile.
     #[must_use]
-    pub fn p95(&mut self) -> f64 {
+    pub fn p95(&self) -> f64 {
         self.quantile(0.95)
     }
 
     /// 99th percentile.
     #[must_use]
-    pub fn p99(&mut self) -> f64 {
+    pub fn p99(&self) -> f64 {
         self.quantile(0.99)
     }
 
@@ -482,7 +491,7 @@ mod tests {
 
     #[test]
     fn summary_statistics_exact() {
-        let mut s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
             .into_iter()
             .collect();
         assert_eq!(s.count(), 8);
@@ -505,7 +514,7 @@ mod tests {
 
     #[test]
     fn summary_empty_is_zeroes() {
-        let mut s = Summary::new();
+        let s = Summary::new();
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.quantile(0.5), 0.0);
         assert_eq!(s.min(), 0.0);

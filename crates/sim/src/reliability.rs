@@ -1,0 +1,274 @@
+//! Reliability metrics: MTTR, failover latency, retries, availability.
+//!
+//! Fault injection and the recovery paths threaded through the platform
+//! report into a [`ReliabilityStats`] so a run can answer the questions
+//! the paper's drive test raises: how long were components down, how
+//! fast did the scheduler fail over, how often were transfers retried,
+//! and what availability did each component actually deliver.
+//!
+//! Components are identified by string label (`"slot1"`, `"lte-uplink"`,
+//! `"ddi-store"`, ...). All internal maps are ordered so aggregate
+//! figures are bit-identical across same-seed runs.
+
+use std::collections::BTreeMap;
+
+use crate::metrics::Summary;
+use crate::time::{SimDuration, SimTime};
+
+/// Aggregated reliability accounting for one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReliabilityStats {
+    mttr: Summary,
+    failover_latency: Summary,
+    retries: u64,
+    retry_successes: u64,
+    retry_exhausted: u64,
+    faults_injected: u64,
+    down_since: BTreeMap<String, SimTime>,
+    downtime: BTreeMap<String, SimDuration>,
+}
+
+impl ReliabilityStats {
+    /// Creates empty stats.
+    #[must_use]
+    pub fn new() -> Self {
+        ReliabilityStats::default()
+    }
+
+    /// A component went down at `at`. Re-entrant: marking an
+    /// already-down component again is a no-op (the first outage start
+    /// wins), so overlapping fault windows don't double-count downtime.
+    pub fn record_fault(&mut self, component: &str, at: SimTime) {
+        self.faults_injected += 1;
+        self.down_since.entry(component.to_string()).or_insert(at);
+    }
+
+    /// A component recovered at `at`; records one repair interval (MTTR
+    /// sample) and accrues the component's downtime. Recovery of a
+    /// component that was never marked down is ignored.
+    pub fn record_recovery(&mut self, component: &str, at: SimTime) {
+        if let Some(since) = self.down_since.remove(component) {
+            let repair = at.duration_since(since);
+            self.mttr.record_duration(repair);
+            *self
+                .downtime
+                .entry(component.to_string())
+                .or_insert(SimDuration::ZERO) += repair;
+        }
+    }
+
+    /// Whether `component` is currently marked down.
+    #[must_use]
+    pub fn is_down(&self, component: &str) -> bool {
+        self.down_since.contains_key(component)
+    }
+
+    /// Records one failover (re-planning) latency.
+    pub fn record_failover(&mut self, latency: SimDuration) {
+        self.failover_latency.record_duration(latency);
+    }
+
+    /// Records one retry attempt.
+    pub fn record_retry(&mut self) {
+        self.retries += 1;
+    }
+
+    /// Records a transfer that eventually succeeded after retrying.
+    pub fn record_retry_success(&mut self) {
+        self.retry_successes += 1;
+    }
+
+    /// Records a transfer that exhausted its retry budget.
+    pub fn record_retry_exhausted(&mut self) {
+        self.retry_exhausted += 1;
+    }
+
+    /// Mean time to repair, as a [`Summary`] over repair intervals (ms).
+    #[must_use]
+    pub fn mttr(&self) -> &Summary {
+        &self.mttr
+    }
+
+    /// Failover (re-plan) latency summary (ms).
+    #[must_use]
+    pub fn failover_latency(&self) -> &Summary {
+        &self.failover_latency
+    }
+
+    /// Total retry attempts recorded.
+    #[must_use]
+    pub fn retry_count(&self) -> u64 {
+        self.retries
+    }
+
+    /// Transfers that succeeded after at least one retry.
+    #[must_use]
+    pub fn retry_success_count(&self) -> u64 {
+        self.retry_successes
+    }
+
+    /// Transfers that gave up after exhausting their retry budget.
+    #[must_use]
+    pub fn retry_exhausted_count(&self) -> u64 {
+        self.retry_exhausted
+    }
+
+    /// Number of fault activations recorded.
+    #[must_use]
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected
+    }
+
+    /// Accrued downtime for one component up to `until` (an outage still
+    /// open at `until` counts up to that instant).
+    #[must_use]
+    pub fn downtime(&self, component: &str, until: SimTime) -> SimDuration {
+        let closed = self
+            .downtime
+            .get(component)
+            .copied()
+            .unwrap_or(SimDuration::ZERO);
+        let open = self
+            .down_since
+            .get(component)
+            .map_or(SimDuration::ZERO, |since| until.duration_since(*since));
+        closed + open
+    }
+
+    /// Availability of one component over `[SimTime::ZERO, until]` in
+    /// `[0, 1]`; 1 when the horizon is empty.
+    #[must_use]
+    pub fn availability(&self, component: &str, until: SimTime) -> f64 {
+        let horizon = until.elapsed().as_secs_f64();
+        if horizon <= 0.0 {
+            return 1.0;
+        }
+        let down = self.downtime(component, until).as_secs_f64();
+        (1.0 - down / horizon).clamp(0.0, 1.0)
+    }
+
+    /// Components that ever saw downtime (sorted by label).
+    #[must_use]
+    pub fn faulted_components(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self
+            .downtime
+            .keys()
+            .chain(self.down_since.keys())
+            .map(String::as_str)
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    /// Worst per-component availability over the horizon; 1 when no
+    /// component ever faulted.
+    #[must_use]
+    pub fn worst_availability(&self, until: SimTime) -> f64 {
+        self.faulted_components()
+            .iter()
+            .map(|c| self.availability(c, until))
+            .fold(1.0, f64::min)
+    }
+
+    /// Merges another stats object into this one (used when sub-systems
+    /// keep local stats that roll up into a run-level report). Open
+    /// outages in `other` are carried over only when this object does
+    /// not already track the component.
+    pub fn absorb(&mut self, other: &ReliabilityStats) {
+        for s in other.mttr.samples() {
+            self.mttr.record(*s);
+        }
+        for s in other.failover_latency.samples() {
+            self.failover_latency.record(*s);
+        }
+        self.retries += other.retries;
+        self.retry_successes += other.retry_successes;
+        self.retry_exhausted += other.retry_exhausted;
+        self.faults_injected += other.faults_injected;
+        for (c, d) in &other.downtime {
+            *self.downtime.entry(c.clone()).or_insert(SimDuration::ZERO) += *d;
+        }
+        for (c, since) in &other.down_since {
+            self.down_since.entry(c.clone()).or_insert(*since);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_recovery_cycle_feeds_mttr_and_downtime() {
+        let mut r = ReliabilityStats::new();
+        r.record_fault("gpu", SimTime::from_secs(10));
+        assert!(r.is_down("gpu"));
+        r.record_recovery("gpu", SimTime::from_secs(40));
+        assert!(!r.is_down("gpu"));
+        assert_eq!(r.mttr().count(), 1);
+        assert!((r.mttr().mean() - 30_000.0).abs() < 1e-6, "MTTR in ms");
+        assert_eq!(
+            r.downtime("gpu", SimTime::from_secs(100)),
+            SimDuration::from_secs(30)
+        );
+    }
+
+    #[test]
+    fn availability_counts_open_outages() {
+        let mut r = ReliabilityStats::new();
+        r.record_fault("lte", SimTime::from_secs(50));
+        let a = r.availability("lte", SimTime::from_secs(100));
+        assert!((a - 0.5).abs() < 1e-9, "open outage half the horizon: {a}");
+    }
+
+    #[test]
+    fn overlapping_faults_do_not_double_count() {
+        let mut r = ReliabilityStats::new();
+        r.record_fault("gpu", SimTime::from_secs(10));
+        r.record_fault("gpu", SimTime::from_secs(15));
+        r.record_recovery("gpu", SimTime::from_secs(20));
+        assert_eq!(
+            r.downtime("gpu", SimTime::from_secs(20)),
+            SimDuration::from_secs(10)
+        );
+        assert_eq!(r.faults_injected(), 2);
+    }
+
+    #[test]
+    fn unmatched_recovery_ignored() {
+        let mut r = ReliabilityStats::new();
+        r.record_recovery("ghost", SimTime::from_secs(5));
+        assert_eq!(r.mttr().count(), 0);
+        assert_eq!(r.availability("ghost", SimTime::from_secs(10)), 1.0);
+    }
+
+    #[test]
+    fn worst_availability_picks_most_degraded() {
+        let mut r = ReliabilityStats::new();
+        r.record_fault("a", SimTime::from_secs(0));
+        r.record_recovery("a", SimTime::from_secs(10));
+        r.record_fault("b", SimTime::from_secs(0));
+        r.record_recovery("b", SimTime::from_secs(50));
+        let worst = r.worst_availability(SimTime::from_secs(100));
+        assert!((worst - 0.5).abs() < 1e-9, "worst is b at 0.5: {worst}");
+    }
+
+    #[test]
+    fn absorb_merges_everything() {
+        let mut a = ReliabilityStats::new();
+        a.record_retry();
+        let mut b = ReliabilityStats::new();
+        b.record_fault("x", SimTime::from_secs(1));
+        b.record_recovery("x", SimTime::from_secs(2));
+        b.record_retry();
+        b.record_retry_success();
+        b.record_failover(SimDuration::from_millis(5));
+        a.absorb(&b);
+        assert_eq!(a.retry_count(), 2);
+        assert_eq!(a.retry_success_count(), 1);
+        assert_eq!(a.mttr().count(), 1);
+        assert_eq!(a.failover_latency().count(), 1);
+        assert_eq!(a.faults_injected(), 1);
+    }
+}

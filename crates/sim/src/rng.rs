@@ -7,8 +7,10 @@
 //! entire experiments are reproducible bit-for-bit while remaining
 //! statistically independent across components.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+// The generator is a self-contained xoshiro256++ (public-domain
+// algorithm by Blackman & Vigna) seeded through SplitMix64, so the
+// kernel has no external RNG dependency and sequences are stable across
+// toolchains.
 
 /// A factory that derives independent, reproducible RNG streams from one
 /// master seed.
@@ -60,19 +62,25 @@ impl SeedFactory {
     }
 }
 
-/// A deterministic random stream (thin wrapper over a seeded [`StdRng`]).
+/// A deterministic random stream (xoshiro256++ seeded via SplitMix64).
 #[derive(Debug, Clone)]
 pub struct RngStream {
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl RngStream {
     /// Creates a stream directly from a raw 64-bit seed.
     #[must_use]
     pub fn from_raw_seed(seed: u64) -> Self {
-        RngStream {
-            inner: StdRng::seed_from_u64(splitmix64(seed)),
+        // Expand the seed through SplitMix64 as the xoshiro authors
+        // recommend; a zero state is impossible this way.
+        let mut x = splitmix64(seed);
+        let mut state = [0u64; 4];
+        for s in &mut state {
+            x = splitmix64(x);
+            *s = x;
         }
+        RngStream { state }
     }
 
     /// Creates a stream from a master seed and component label.
@@ -83,12 +91,22 @@ impl RngStream {
 
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
     }
 
-    /// Uniform value in `[0, 1)`.
+    /// Uniform value in `[0, 1)` (53-bit resolution).
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform value in `[lo, hi)`.
@@ -108,7 +126,15 @@ impl RngStream {
     /// Panics when `n == 0`.
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "below(0) is meaningless");
-        self.inner.gen_range(0..n)
+        // Lemire's multiply-shift rejection method: unbiased and fast.
+        loop {
+            let x = self.next_u64();
+            let m = u128::from(x) * u128::from(n);
+            let low = m as u64;
+            if low >= n.wrapping_neg() % n {
+                return (m >> 64) as u64;
+            }
+        }
     }
 
     /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).

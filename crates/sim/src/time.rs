@@ -353,7 +353,10 @@ mod tests {
 
     #[test]
     fn duration_arithmetic_saturates() {
-        assert_eq!(SimDuration::MAX + SimDuration::from_secs(1), SimDuration::MAX);
+        assert_eq!(
+            SimDuration::MAX + SimDuration::from_secs(1),
+            SimDuration::MAX
+        );
         assert_eq!(
             SimDuration::from_secs(1) - SimDuration::from_secs(2),
             SimDuration::ZERO

@@ -200,7 +200,10 @@ mod tests {
         let mut log = TraceLog::new();
         log_n(&mut log, 5);
         let msgs: Vec<&str> = log.iter().map(|e| e.message.as_str()).collect();
-        assert_eq!(msgs, vec!["event 0", "event 1", "event 2", "event 3", "event 4"]);
+        assert_eq!(
+            msgs,
+            vec!["event 0", "event 1", "event 2", "event 3", "event 4"]
+        );
     }
 
     #[test]

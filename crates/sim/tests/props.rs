@@ -81,6 +81,31 @@ proptest! {
     }
 
     #[test]
+    fn event_order_replays_bit_identically(
+        delays in prop::collection::vec(0u64..1_000, 1..100),
+    ) {
+        // Same schedule ⇒ same firing order, including ties: events at
+        // equal timestamps fire in insertion order, so a replayed run
+        // (as the fault injector's chaos scenarios rely on) observes an
+        // identical interleaving. Coarse delays force many ties.
+        let run = || {
+            let mut sim = Simulation::new(Vec::<(u64, usize)>::new());
+            for (i, &d) in delays.iter().enumerate() {
+                sim.schedule_in(SimDuration::from_micros(d), "e", move |ctx| {
+                    let t = ctx.now().as_nanos();
+                    ctx.state_mut().push((t, i));
+                });
+            }
+            sim.run();
+            sim.into_state()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(&a, &b, "same schedule must replay identically");
+        prop_assert_eq!(a.len(), delays.len());
+    }
+
+    #[test]
     fn rng_streams_reproducible(seed in any::<u64>()) {
         let mut a = RngStream::from_raw_seed(seed);
         let mut b = RngStream::from_raw_seed(seed);

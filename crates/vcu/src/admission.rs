@@ -143,7 +143,10 @@ impl AdmissionController {
         let mut peak: f64 = 0.0;
         for (i, &(class, cap)) in capacity.iter().enumerate() {
             let demand = self.admitted_demand[i].1
-                + extra.iter().find(|&&(c, _)| c == class).map_or(0.0, |&(_, d)| d);
+                + extra
+                    .iter()
+                    .find(|&&(c, _)| c == class)
+                    .map_or(0.0, |&(_, d)| d);
             rows.push((class, demand, cap));
             if cap > 0.0 {
                 peak = peak.max(demand / cap);
@@ -258,9 +261,7 @@ mod tests {
         let mut ctrl = AdmissionController::default();
         let b = board();
         let mut graph = TaskGraph::new("vision-only");
-        graph.add_task(
-            ComputeWorkload::new("v", TaskClass::VisionKernel).with_gflops(10.0),
-        );
+        graph.add_task(ComputeWorkload::new("v", TaskClass::VisionKernel).with_gflops(10.0));
         let profile = ApplicationProfile::new("v").with_arrival_rate(2.0);
         let d = ctrl.admit(&profile, &graph, &b);
         let vision_row = d

@@ -1,0 +1,313 @@
+//! Slot-failure recovery for committed schedules.
+//!
+//! When fault injection takes a compute slot hard-down, every task booked
+//! on it that has not yet finished is lost, and every transitive
+//! dependent loses its inputs. [`fail_over`] computes that affected
+//! closure, re-plans it onto the surviving slots with the same policy
+//! that produced the original plan, and runs a re-admission check: the
+//! recovered placements must still meet the tasks' original deadlines
+//! (relative to the original submission), otherwise nothing is committed
+//! and the caller decides between offload fallback and an explicit drop.
+
+use std::collections::{HashMap, HashSet};
+
+use vdap_hw::{SlotId, VcuBoard};
+use vdap_sim::{SimDuration, SimTime};
+
+use crate::scheduler::{Assignment, Schedule, ScheduleError, SchedulePolicy};
+use crate::task::{Task, TaskGraph, TaskId};
+
+/// Error recovering from a slot failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailoverError {
+    /// The surviving slots cannot host the affected tasks at all.
+    Replan(ScheduleError),
+}
+
+impl std::fmt::Display for FailoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailoverError::Replan(e) => write!(f, "failover replan failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FailoverError {}
+
+impl From<ScheduleError> for FailoverError {
+    fn from(e: ScheduleError) -> Self {
+        FailoverError::Replan(e)
+    }
+}
+
+/// Outcome of a failover attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailoverReport {
+    /// The slot that failed.
+    pub failed_slot: SlotId,
+    /// Tasks (original ids) whose work was lost or orphaned.
+    pub affected: Vec<TaskId>,
+    /// New placements for the affected tasks (original ids); empty when
+    /// the re-admission check rejected the recovery plan.
+    pub reassigned: Vec<Assignment>,
+    /// Whether the recovery plan passed the re-admission check and was
+    /// committed to the board.
+    pub admitted: bool,
+    /// Delay from the failure instant until the first recovered task
+    /// starts on a surviving slot ([`SimDuration::ZERO`] when nothing
+    /// needed recovery or admission failed).
+    pub failover_latency: SimDuration,
+}
+
+/// Tasks invalidated by `failed_slot` going down at `now`: assignments on
+/// that slot still unfinished, plus their transitive dependents.
+#[must_use]
+pub fn affected_tasks(
+    graph: &TaskGraph,
+    schedule: &Schedule,
+    failed_slot: SlotId,
+    now: SimTime,
+) -> Vec<TaskId> {
+    let mut affected: HashSet<TaskId> = schedule
+        .assignments
+        .iter()
+        .filter(|a| a.slot == failed_slot && a.finish > now)
+        .map(|a| a.task)
+        .collect();
+    // Dependents start only after their predecessors finish, so every
+    // transitive successor of a victim is also unfinished.
+    let mut frontier: Vec<TaskId> = affected.iter().copied().collect();
+    while let Some(task) = frontier.pop() {
+        for succ in graph.successors(task) {
+            if affected.insert(succ) {
+                frontier.push(succ);
+            }
+        }
+    }
+    let mut out: Vec<TaskId> = affected.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Recovers a committed schedule from `failed_slot` going hard-down at
+/// `now`: marks the slot down on `board`, re-plans the affected closure
+/// onto the surviving slots via `policy`, re-checks deadlines against
+/// `submitted_at`, and commits the recovered placements when admitted.
+///
+/// # Errors
+///
+/// Returns [`FailoverError::Replan`] when no surviving slot can host an
+/// affected task (memory fit, empty board).
+pub fn fail_over(
+    graph: &TaskGraph,
+    schedule: &Schedule,
+    failed_slot: SlotId,
+    board: &mut VcuBoard,
+    policy: &dyn SchedulePolicy,
+    submitted_at: SimTime,
+    now: SimTime,
+) -> Result<FailoverReport, FailoverError> {
+    if let Some(unit) = board.unit_mut(failed_slot) {
+        unit.fail();
+    }
+    let affected = affected_tasks(graph, schedule, failed_slot, now);
+    if affected.is_empty() {
+        return Ok(FailoverReport {
+            failed_slot,
+            affected,
+            reassigned: Vec::new(),
+            admitted: true,
+            failover_latency: SimDuration::ZERO,
+        });
+    }
+
+    // Rebuild the affected closure as a standalone graph. Predecessors
+    // outside the closure already finished; their outputs are available,
+    // so edges to them are dropped and the subgraph is ready at `now`.
+    let mut sub = TaskGraph::new(format!("{}@failover", graph.name()));
+    let mut to_new: HashMap<TaskId, TaskId> = HashMap::new();
+    let mut to_old: HashMap<TaskId, TaskId> = HashMap::new();
+    for &old in &affected {
+        let task = graph.task(old).expect("affected task exists");
+        let new = sub.add(|id| {
+            let mut t = Task::new(id, task.workload().clone()).with_priority(task.priority());
+            if let Some(d) = task.deadline() {
+                t = t.with_deadline(d);
+            }
+            t
+        });
+        to_new.insert(old, new);
+        to_old.insert(new, old);
+    }
+    for &(p, c) in graph.edges() {
+        if let (Some(&np), Some(&nc)) = (to_new.get(&p), to_new.get(&c)) {
+            sub.add_dependency(np, nc).expect("subgraph of a DAG");
+        }
+    }
+
+    let recovery = policy.plan(&sub, board, now)?;
+
+    // Re-admission: deadlines are relative to the *original* submission,
+    // not the failure instant.
+    let admitted =
+        recovery
+            .assignments
+            .iter()
+            .all(|a| match sub.task(a.task).and_then(Task::deadline) {
+                Some(d) => a.finish.duration_since(submitted_at) <= d,
+                None => true,
+            });
+    if !admitted {
+        return Ok(FailoverReport {
+            failed_slot,
+            affected,
+            reassigned: Vec::new(),
+            admitted: false,
+            failover_latency: SimDuration::ZERO,
+        });
+    }
+
+    crate::scheduler::commit(&recovery, &sub, board);
+    let reassigned: Vec<Assignment> = recovery
+        .assignments
+        .iter()
+        .map(|a| Assignment {
+            task: to_old[&a.task],
+            ..*a
+        })
+        .collect();
+    let failover_latency = reassigned
+        .iter()
+        .map(|a| a.start)
+        .min()
+        .map_or(SimDuration::ZERO, |s| s.duration_since(now));
+    Ok(FailoverReport {
+        failed_slot,
+        affected,
+        reassigned,
+        admitted: true,
+        failover_latency,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::DsfScheduler;
+    use crate::task::Priority;
+    use vdap_hw::{ComputeWorkload, TaskClass};
+
+    fn dense(name: &str, gflops: f64) -> ComputeWorkload {
+        ComputeWorkload::new(name, TaskClass::DenseLinearAlgebra)
+            .with_gflops(gflops)
+            .with_parallel_fraction(1.0)
+    }
+
+    fn chain(deadline: Option<SimDuration>) -> TaskGraph {
+        let mut g = TaskGraph::new("chain");
+        let a = g.add(|id| {
+            let mut t = Task::new(id, dense("a", 50.0)).with_priority(Priority::High);
+            if let Some(d) = deadline {
+                t = t.with_deadline(d);
+            }
+            t
+        });
+        let b = g.add(|id| Task::new(id, dense("b", 50.0)));
+        g.add_dependency(a, b).unwrap();
+        g
+    }
+
+    fn planned(graph: &TaskGraph) -> (VcuBoard, Schedule, SlotId) {
+        let mut board = VcuBoard::reference_design();
+        let policy = DsfScheduler::new();
+        let plan = policy.plan(graph, &board, SimTime::ZERO).unwrap();
+        crate::scheduler::commit(&plan, graph, &mut board);
+        let slot = plan.assignments[0].slot;
+        (board, plan, slot)
+    }
+
+    #[test]
+    fn failure_mid_run_replans_onto_survivors() {
+        let g = chain(None);
+        let (mut board, plan, victim_slot) = planned(&g);
+        let mid = plan.assignments[0].start; // first task in flight
+        let report = fail_over(
+            &g,
+            &plan,
+            victim_slot,
+            &mut board,
+            &DsfScheduler::new(),
+            SimTime::ZERO,
+            mid,
+        )
+        .unwrap();
+        assert!(report.admitted);
+        assert_eq!(report.affected.len(), 2, "victim and its dependent");
+        assert_eq!(report.reassigned.len(), 2);
+        for a in &report.reassigned {
+            assert_ne!(a.slot, victim_slot, "reassigned onto a survivor");
+            assert!(a.start >= mid);
+        }
+        assert!(!board.slot(victim_slot).unwrap().unit.is_available());
+    }
+
+    #[test]
+    fn finished_work_is_not_replanned() {
+        let g = chain(None);
+        let (mut board, plan, victim_slot) = planned(&g);
+        let after_everything = plan.assignments.iter().map(|a| a.finish).max().unwrap();
+        let report = fail_over(
+            &g,
+            &plan,
+            victim_slot,
+            &mut board,
+            &DsfScheduler::new(),
+            SimTime::ZERO,
+            after_everything,
+        )
+        .unwrap();
+        assert!(report.affected.is_empty());
+        assert!(report.reassigned.is_empty());
+        assert!(report.admitted);
+    }
+
+    #[test]
+    fn readmission_rejects_unmeetable_deadline() {
+        // Deadline so tight only the original placement could have met it
+        // (failure at the original finish instant leaves zero slack).
+        let g = chain(Some(SimDuration::from_nanos(1)));
+        let (mut board, plan, victim_slot) = planned(&g);
+        let mid = plan.assignments[0].start;
+        let report = fail_over(
+            &g,
+            &plan,
+            victim_slot,
+            &mut board,
+            &DsfScheduler::new(),
+            SimTime::ZERO,
+            mid,
+        )
+        .unwrap();
+        assert!(!report.admitted);
+        assert!(report.reassigned.is_empty());
+    }
+
+    #[test]
+    fn failover_latency_measured_from_failure() {
+        let g = chain(None);
+        let (mut board, plan, victim_slot) = planned(&g);
+        let mid = plan.assignments[0].start;
+        let report = fail_over(
+            &g,
+            &plan,
+            victim_slot,
+            &mut board,
+            &DsfScheduler::new(),
+            SimTime::ZERO,
+            mid,
+        )
+        .unwrap();
+        let first_start = report.reassigned.iter().map(|a| a.start).min().unwrap();
+        assert_eq!(report.failover_latency, first_start.duration_since(mid));
+    }
+}

@@ -24,6 +24,7 @@
 #![warn(missing_debug_implementations)]
 
 mod admission;
+mod failover;
 mod partitioner;
 mod profile;
 mod registry;
@@ -31,9 +32,8 @@ mod scheduler;
 mod task;
 
 pub use admission::{Admission, AdmissionController, UtilizationReport};
-pub use partitioner::{
-    license_plate_pipeline, partition_data_parallel, partition_pipeline, Stage,
-};
+pub use failover::{affected_tasks, fail_over, FailoverError, FailoverReport};
+pub use partitioner::{license_plate_pipeline, partition_data_parallel, partition_pipeline, Stage};
 pub use profile::{capture_all, ApplicationProfile, ResourceProfile};
 pub use registry::{AppId, RegistryError, ResourceRegistry};
 pub use scheduler::{

@@ -195,8 +195,7 @@ mod tests {
     #[test]
     fn plate_pipeline_stage_classes() {
         let g = license_plate_pipeline(None);
-        let classes: Vec<TaskClass> =
-            g.tasks().iter().map(|t| t.workload().class()).collect();
+        let classes: Vec<TaskClass> = g.tasks().iter().map(|t| t.workload().class()).collect();
         assert_eq!(
             classes,
             vec![

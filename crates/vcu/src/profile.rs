@@ -163,7 +163,9 @@ mod tests {
     #[test]
     fn best_class_matches_specialty() {
         let mut board = VcuBoard::empty(vdap_hw::SsdModel::automotive(), 100.0);
-        let id = board.attach(catalog::vision_asic(), HepLevel::First).unwrap();
+        let id = board
+            .attach(catalog::vision_asic(), HepLevel::First)
+            .unwrap();
         let profile = ResourceProfile::capture(board.slot(id).unwrap(), SimTime::ZERO);
         assert_eq!(profile.best_class(), TaskClass::VisionKernel);
         assert!(profile.gflops_for(TaskClass::VisionKernel) > 100.0);

@@ -187,6 +187,47 @@ impl ResourceRegistry {
         }
     }
 
+    /// Fault-injection hook: a slot goes hard-down. Already-committed
+    /// work is recovered separately via [`crate::fail_over`].
+    pub fn slot_failed(&mut self, slot: SlotId, now: SimTime) {
+        if let Some(unit) = self.board.unit_mut(slot) {
+            unit.fail();
+            self.trace.record(
+                now,
+                TraceLevel::Error,
+                "vcu.registry",
+                format!("{slot} failed"),
+            );
+        }
+    }
+
+    /// Fault-injection hook: a slot thermally throttles to `factor` of
+    /// nominal speed.
+    pub fn slot_throttled(&mut self, slot: SlotId, factor: f64, now: SimTime) {
+        if let Some(unit) = self.board.unit_mut(slot) {
+            unit.throttle(factor);
+            self.trace.record(
+                now,
+                TraceLevel::Warn,
+                "vcu.registry",
+                format!("{slot} throttled to {factor:.2}x"),
+            );
+        }
+    }
+
+    /// Fault-injection hook: a slot returns to nominal health.
+    pub fn slot_recovered(&mut self, slot: SlotId, now: SimTime) {
+        if let Some(unit) = self.board.unit_mut(slot) {
+            unit.recover();
+            self.trace.record(
+                now,
+                TraceLevel::Info,
+                "vcu.registry",
+                format!("{slot} recovered"),
+            );
+        }
+    }
+
     /// The periodic resource-collection pass: profiles for every slot.
     #[must_use]
     pub fn collect_profiles(&self, now: SimTime) -> Vec<ResourceProfile> {
@@ -315,10 +356,7 @@ mod tests {
         assert_eq!(reg.board().slots().len(), before + 1);
         reg.exit(slot, SimTime::from_secs(10));
         assert_eq!(reg.board().slots().len(), before);
-        assert!(reg
-            .trace()
-            .iter()
-            .any(|e| e.message.contains("joined")));
+        assert!(reg.trace().iter().any(|e| e.message.contains("joined")));
         assert!(reg.trace().iter().any(|e| e.message.contains("exited")));
     }
 

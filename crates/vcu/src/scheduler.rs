@@ -64,12 +64,12 @@ impl Schedule {
     /// (relative to `submitted_at`).
     #[must_use]
     pub fn meets_deadlines(&self, graph: &TaskGraph, submitted_at: SimTime) -> bool {
-        self.assignments.iter().all(|a| {
-            match graph.task(a.task).and_then(|t| t.deadline()) {
+        self.assignments
+            .iter()
+            .all(|a| match graph.task(a.task).and_then(|t| t.deadline()) {
                 Some(d) => a.finish.duration_since(submitted_at) <= d,
                 None => true,
-            }
-        })
+            })
     }
 }
 
@@ -149,11 +149,8 @@ impl PlanState {
             let transfer = if pslot == slot {
                 SimDuration::ZERO
             } else {
-                let bytes = graph
-                    .task(pred)
-                    .map_or(0, |t| t.workload().output_bytes());
-                BOARD_HOP_LATENCY
-                    + SimDuration::from_secs_f64(bytes as f64 / BOARD_BYTES_PER_SEC)
+                let bytes = graph.task(pred).map_or(0, |t| t.workload().output_bytes());
+                BOARD_HOP_LATENCY + SimDuration::from_secs_f64(bytes as f64 / BOARD_BYTES_PER_SEC)
             };
             let avail = pfinish + transfer;
             if avail > ready {
@@ -176,7 +173,7 @@ impl PlanState {
         let ready = self.ready_time(graph, task, slot, now);
         let free = self.slot_free[&slot];
         let start = if free > ready { free } else { ready };
-        let finish = start + unit.spec().service_time(workload);
+        let finish = start + unit.effective_service_time(workload);
         self.slot_free.insert(slot, finish);
         self.task_finish.insert(task, (finish, slot));
         self.energy += unit.spec().energy_joules(workload);
@@ -195,8 +192,7 @@ impl PlanState {
 fn planning_order(graph: &TaskGraph) -> Result<Vec<TaskId>, ScheduleError> {
     // Validate acyclicity first.
     graph.topo_order().map_err(|_| ScheduleError::CyclicGraph)?;
-    let mut indegree: HashMap<TaskId, usize> =
-        graph.tasks().iter().map(|t| (t.id(), 0)).collect();
+    let mut indegree: HashMap<TaskId, usize> = graph.tasks().iter().map(|t| (t.id(), 0)).collect();
     for &(_, c) in graph.edges() {
         *indegree.get_mut(&c).expect("validated edge") += 1;
     }
@@ -283,19 +279,18 @@ impl SchedulePolicy for DsfScheduler {
             let workload = graph.task(task).expect("ordered task exists").workload();
             let mut best: Option<(SimTime, f64, SlotId)> = None;
             for slot in board.slots() {
-                if !slot.unit.spec().fits(workload) {
+                if !slot.unit.is_available() || !slot.unit.spec().fits(workload) {
                     continue;
                 }
                 let ready = state.ready_time(graph, task, slot.id, now);
                 let free = state.slot_free[&slot.id];
                 let start = if free > ready { free } else { ready };
-                let finish = start + slot.unit.spec().service_time(workload);
+                let finish = start + slot.unit.effective_service_time(workload);
                 let energy = slot.unit.spec().energy_joules(workload);
                 let better = match &best {
                     None => true,
                     Some((bf, be, _)) => {
-                        finish < *bf
-                            || (finish == *bf && self.energy_aware && energy < *be)
+                        finish < *bf || (finish == *bf && self.energy_aware && energy < *be)
                     }
                 };
                 if better {
@@ -328,7 +323,12 @@ impl SchedulePolicy for RoundRobinScheduler {
         let order = planning_order(graph)?;
         let mut state = PlanState::new(board, now);
         let mut assignments = Vec::with_capacity(order.len());
-        let slots: Vec<SlotId> = board.slots().iter().map(|s| s.id).collect();
+        let slots: Vec<SlotId> = board
+            .slots()
+            .iter()
+            .filter(|s| s.unit.is_available())
+            .map(|s| s.id)
+            .collect();
         if slots.is_empty() {
             return Err(ScheduleError::NoFeasibleSlot(
                 order.first().copied().unwrap_or(TaskId(0)),
@@ -379,7 +379,7 @@ impl SchedulePolicy for CpuOnlyScheduler {
         let cpu = board
             .slots()
             .iter()
-            .find(|s| s.unit.spec().kind() == ProcessorKind::Cpu)
+            .find(|s| s.unit.spec().kind() == ProcessorKind::Cpu && s.unit.is_available())
             .map(|s| s.id)
             .ok_or(ScheduleError::NoFeasibleSlot(
                 order.first().copied().unwrap_or(TaskId(0)),
@@ -436,9 +436,8 @@ mod tests {
         let mut g = TaskGraph::new("detect-pipeline");
         let pre = g.add_task(vision("preprocess", 0.5));
         let infer = g.add_task(dense("infer", 10.0));
-        let post = g.add_task(
-            ComputeWorkload::new("post", TaskClass::ControlLogic).with_gflops(0.1),
-        );
+        let post =
+            g.add_task(ComputeWorkload::new("post", TaskClass::ControlLogic).with_gflops(0.1));
         g.add_dependency(pre, infer).unwrap();
         g.add_dependency(infer, post).unwrap();
         g
@@ -451,8 +450,18 @@ mod tests {
         let dsf = DsfScheduler::new().plan(&g, &board, SimTime::ZERO).unwrap();
         let rr = RoundRobinScheduler.plan(&g, &board, SimTime::ZERO).unwrap();
         let cpu = CpuOnlyScheduler.plan(&g, &board, SimTime::ZERO).unwrap();
-        assert!(dsf.makespan <= rr.makespan, "dsf {} rr {}", dsf.makespan, rr.makespan);
-        assert!(dsf.makespan < cpu.makespan, "dsf {} cpu {}", dsf.makespan, cpu.makespan);
+        assert!(
+            dsf.makespan <= rr.makespan,
+            "dsf {} rr {}",
+            dsf.makespan,
+            rr.makespan
+        );
+        assert!(
+            dsf.makespan < cpu.makespan,
+            "dsf {} cpu {}",
+            dsf.makespan,
+            cpu.makespan
+        );
     }
 
     #[test]
@@ -473,7 +482,11 @@ mod tests {
         let board = VcuBoard::reference_design();
         let g = pipeline_graph();
         let plan = DsfScheduler::new().plan(&g, &board, SimTime::ZERO).unwrap();
-        let infer = plan.assignments.iter().find(|a| a.task == TaskId(1)).unwrap();
+        let infer = plan
+            .assignments
+            .iter()
+            .find(|a| a.task == TaskId(1))
+            .unwrap();
         let slot = board.slot(infer.slot).unwrap();
         assert_eq!(slot.unit.spec().name(), "jetson-tx2-max-p");
     }
@@ -500,10 +513,10 @@ mod tests {
         let mut g = TaskGraph::new("prio");
         // Two vision tasks with no dependencies; the safety-critical one
         // must be planned first and therefore start no later.
-        let low = g.add(|id| Task::new(id, vision("low", 50.0)).with_priority(Priority::Background));
-        let hot = g.add(|id| {
-            Task::new(id, vision("hot", 50.0)).with_priority(Priority::SafetyCritical)
-        });
+        let low =
+            g.add(|id| Task::new(id, vision("low", 50.0)).with_priority(Priority::Background));
+        let hot =
+            g.add(|id| Task::new(id, vision("hot", 50.0)).with_priority(Priority::SafetyCritical));
         let plan = DsfScheduler::new().plan(&g, &board, SimTime::ZERO).unwrap();
         let hot_a = plan.assignment(hot).unwrap();
         let low_a = plan.assignment(low).unwrap();
@@ -549,9 +562,7 @@ mod tests {
     fn deadline_checking() {
         let board = VcuBoard::reference_design();
         let mut g = TaskGraph::new("deadline");
-        g.add(|id| {
-            Task::new(id, dense("fast", 1.0)).with_deadline(SimDuration::from_secs(10))
-        });
+        g.add(|id| Task::new(id, dense("fast", 1.0)).with_deadline(SimDuration::from_secs(10)));
         let plan = DsfScheduler::new().plan(&g, &board, SimTime::ZERO).unwrap();
         assert!(plan.meets_deadlines(&g, SimTime::ZERO));
 
@@ -559,8 +570,69 @@ mod tests {
         g2.add(|id| {
             Task::new(id, dense("huge", 10_000.0)).with_deadline(SimDuration::from_millis(1))
         });
-        let plan2 = DsfScheduler::new().plan(&g2, &board, SimTime::ZERO).unwrap();
+        let plan2 = DsfScheduler::new()
+            .plan(&g2, &board, SimTime::ZERO)
+            .unwrap();
         assert!(!plan2.meets_deadlines(&g2, SimTime::ZERO));
+    }
+
+    #[test]
+    fn down_slot_is_never_planned() {
+        let mut board = VcuBoard::reference_design();
+        // Fail the accelerator the dense stage would otherwise pick.
+        let gpu = board
+            .slots()
+            .iter()
+            .find(|s| s.unit.spec().name() == "jetson-tx2-max-p")
+            .unwrap()
+            .id;
+        board.unit_mut(gpu).unwrap().fail();
+        let g = pipeline_graph();
+        for policy in [
+            &DsfScheduler::new() as &dyn SchedulePolicy,
+            &RoundRobinScheduler,
+            &CpuOnlyScheduler,
+        ] {
+            let plan = policy.plan(&g, &board, SimTime::ZERO).unwrap();
+            assert!(
+                plan.assignments.iter().all(|a| a.slot != gpu),
+                "{} planned onto a down slot",
+                policy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn all_slots_down_errors() {
+        let mut board = VcuBoard::reference_design();
+        let ids: Vec<SlotId> = board.slots().iter().map(|s| s.id).collect();
+        for id in ids {
+            board.unit_mut(id).unwrap().fail();
+        }
+        let g = pipeline_graph();
+        assert!(matches!(
+            DsfScheduler::new().plan(&g, &board, SimTime::ZERO),
+            Err(ScheduleError::NoFeasibleSlot(_))
+        ));
+    }
+
+    #[test]
+    fn throttled_slot_stretches_plan() {
+        let board = VcuBoard::reference_design();
+        let g = pipeline_graph();
+        let nominal = DsfScheduler::new().plan(&g, &board, SimTime::ZERO).unwrap();
+        let mut slow = VcuBoard::reference_design();
+        let ids: Vec<SlotId> = slow.slots().iter().map(|s| s.id).collect();
+        for id in ids {
+            slow.unit_mut(id).unwrap().throttle(0.25);
+        }
+        let throttled = DsfScheduler::new().plan(&g, &slow, SimTime::ZERO).unwrap();
+        assert!(
+            throttled.makespan > nominal.makespan,
+            "throttling must slow the plan: {} vs {}",
+            throttled.makespan,
+            nominal.makespan
+        );
     }
 
     #[test]

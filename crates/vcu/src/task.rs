@@ -255,8 +255,7 @@ impl TaskGraph {
     ///
     /// Returns [`GraphError::Cycle`] when the graph is cyclic.
     pub fn topo_order(&self) -> Result<Vec<TaskId>, GraphError> {
-        let mut indegree: HashMap<TaskId, usize> =
-            self.tasks.iter().map(|t| (t.id(), 0)).collect();
+        let mut indegree: HashMap<TaskId, usize> = self.tasks.iter().map(|t| (t.id(), 0)).collect();
         for &(_, c) in &self.edges {
             *indegree.get_mut(&c).expect("validated edge") += 1;
         }

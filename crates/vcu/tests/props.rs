@@ -24,9 +24,8 @@ fn random_dag(layer_sizes: &[usize], edge_mask: &[bool], gflops: &[f64]) -> Task
         for w in 0..width {
             let g = gflops.get(gi).copied().unwrap_or(1.0);
             gi += 1;
-            let id = graph.add_task(
-                ComputeWorkload::new(format!("t{li}-{w}"), class_of(gi)).with_gflops(g),
-            );
+            let id = graph
+                .add_task(ComputeWorkload::new(format!("t{li}-{w}"), class_of(gi)).with_gflops(g));
             layer.push(id);
         }
         layers.push(layer);
@@ -36,7 +35,9 @@ fn random_dag(layer_sizes: &[usize], edge_mask: &[bool], gflops: &[f64]) -> Task
         for &p in &pair[0] {
             for &c in &pair[1] {
                 if edge_mask.get(mi).copied().unwrap_or(false) {
-                    graph.add_dependency(p, c).expect("layered DAGs are acyclic");
+                    graph
+                        .add_dependency(p, c)
+                        .expect("layered DAGs are acyclic");
                 }
                 mi += 1;
             }
@@ -48,11 +49,7 @@ fn random_dag(layer_sizes: &[usize], edge_mask: &[bool], gflops: &[f64]) -> Task
 fn check_schedule_invariants(schedule: &Schedule, graph: &TaskGraph) -> Result<(), TestCaseError> {
     // Every task placed exactly once.
     prop_assert_eq!(schedule.assignments.len(), graph.len());
-    let by_task: HashMap<TaskId, _> = schedule
-        .assignments
-        .iter()
-        .map(|a| (a.task, a))
-        .collect();
+    let by_task: HashMap<TaskId, _> = schedule.assignments.iter().map(|a| (a.task, a)).collect();
     prop_assert_eq!(by_task.len(), graph.len(), "duplicate placements");
     // Dependencies respected.
     for &(p, c) in graph.edges() {
@@ -66,7 +63,10 @@ fn check_schedule_invariants(schedule: &Schedule, graph: &TaskGraph) -> Result<(
     // No slot runs two tasks at once.
     let mut per_slot: HashMap<_, Vec<_>> = HashMap::new();
     for a in &schedule.assignments {
-        per_slot.entry(a.slot).or_default().push((a.start, a.finish));
+        per_slot
+            .entry(a.slot)
+            .or_default()
+            .push((a.start, a.finish));
     }
     for (slot, mut windows) in per_slot {
         windows.sort();

@@ -46,7 +46,10 @@ fn main() {
     let mut vehicle = OpenVdap::builder().seed(11).build();
     let amber = vehicle.register_service(apps::amber_alert(SimDuration::from_millis(400)));
 
-    println!("{:>4}  {:>6}  {:<14} {:>12}  state", "t(s)", "speed", "pipeline", "est.latency");
+    println!(
+        "{:>4}  {:>6}  {:<14} {:>12}  state",
+        "t(s)", "speed", "pipeline", "est.latency"
+    );
     println!("{}", "-".repeat(58));
     for second in 0..48u64 {
         let speed = match second / 12 {
@@ -80,6 +83,7 @@ fn main() {
             ),
             ServiceState::Hung => ("-".into(), "HUNG (waiting for conditions)"),
             ServiceState::Compromised => ("-".into(), "compromised"),
+            ServiceState::Crashed => ("-".into(), "crashed (awaiting supervisor restart)"),
         };
         let latency = decision
             .selected_estimate()

@@ -1,0 +1,50 @@
+//! Chaos scenario: the full fault storm with per-outcome accounting.
+//!
+//! ```console
+//! $ cargo run --example chaos
+//! ```
+
+use openvdap::chaos::{run_chaos, ChaosConfig, TaskOutcome, GPU_SLOT};
+use vdap_sim::SimTime;
+
+fn main() {
+    let cfg = ChaosConfig::default();
+    let report = run_chaos(&cfg);
+    let horizon = SimTime::ZERO + cfg.duration;
+
+    println!("chaos storm over {} of simulated driving", cfg.duration);
+    println!(
+        "  submissions: {} → {} completed, {} failovers, {} offload fallbacks, {} dropped",
+        report.submissions, report.completed, report.failovers, report.fallbacks, report.dropped
+    );
+    println!(
+        "  uploads: {} attempted, {} abandoned after retries",
+        report.uploads_attempted, report.uploads_failed
+    );
+    let r = &report.reliability;
+    println!(
+        "  faults injected: {}   retries: {} ({} rescued, {} exhausted)",
+        r.faults_injected(),
+        r.retry_count(),
+        r.retry_success_count(),
+        r.retry_exhausted_count()
+    );
+    println!(
+        "  MTTR: {:.1} s over {} repairs   mean failover latency: {:.0} ms",
+        r.mttr().mean() / 1000.0,
+        r.mttr().count(),
+        r.failover_latency().mean()
+    );
+    println!(
+        "  availability: {} {:.3}   worst component {:.3}",
+        GPU_SLOT,
+        r.availability(GPU_SLOT, horizon),
+        r.worst_availability(horizon)
+    );
+
+    for (i, outcome) in report.outcomes.iter().enumerate() {
+        if let TaskOutcome::Dropped { reason } = outcome {
+            println!("  dropped #{i}: {reason}");
+        }
+    }
+}

@@ -46,7 +46,10 @@ fn main() {
     );
 
     println!("\ncBEAM -> pBEAM pipeline:");
-    println!("  cBEAM accuracy (population):        {:.3}", report.cbeam_accuracy);
+    println!(
+        "  cBEAM accuracy (population):        {:.3}",
+        report.cbeam_accuracy
+    );
     println!(
         "  after Deep Compression:             {:.3} ({}x smaller, {:.0}% sparse)",
         report.compressed_accuracy,

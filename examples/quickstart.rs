@@ -61,10 +61,8 @@ fn main() {
     );
 
     // 6. The DDI is live too: store a telemetry trace, query it back.
-    let mut obd = vdap_ddi::ObdCollector::new(
-        vdap_ddi::DriverStyle::Normal,
-        vehicle.seeds().stream("obd"),
-    );
+    let mut obd =
+        vdap_ddi::ObdCollector::new(vdap_ddi::DriverStyle::Normal, vehicle.seeds().stream("obd"));
     for record in obd.trace(SimTime::ZERO, 100) {
         let at = record.at;
         vehicle.ddi_mut().upload(record, at);

@@ -6,9 +6,7 @@
 //! cargo run --example service_migration
 //! ```
 
-use vdap_edgeos::{
-    IsolationMode, MigrationError, MigrationMode, ServiceImage, ServiceMigrator,
-};
+use vdap_edgeos::{IsolationMode, MigrationError, MigrationMode, ServiceImage, ServiceMigrator};
 use vdap_net::LinkSpec;
 use vdap_sim::SimTime;
 
@@ -16,7 +14,8 @@ fn main() {
     let mut migrator = ServiceMigrator::new();
     let image = ServiceImage::typical_container("third-party-nav");
 
-    println!("migrating '{}' (image {} MB, state {} MB):\n",
+    println!(
+        "migrating '{}' (image {} MB, state {} MB):\n",
         image.name,
         image.image_bytes / 1_048_576,
         image.state_bytes / 1_048_576,
@@ -31,7 +30,10 @@ fn main() {
         ("Wi-Fi (80 Mbps)", LinkSpec::wifi()),
         ("Ethernet (1 Gbps)", LinkSpec::ethernet()),
     ] {
-        for mode in [MigrationMode::Cold, MigrationMode::PreCopy { max_rounds: 10 }] {
+        for mode in [
+            MigrationMode::Cold,
+            MigrationMode::PreCopy { max_rounds: 10 },
+        ] {
             let report = migrator
                 .migrate(&image, &link, mode, true, "rsu-17", SimTime::ZERO)
                 .expect("attested migrations succeed");

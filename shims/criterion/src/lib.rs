@@ -1,0 +1,231 @@
+//! Offline micro-benchmark harness.
+//!
+//! Implements the slice of the criterion API the bench targets use —
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::{iter, iter_batched}`, the `criterion_group!`
+//! / `criterion_main!` macros — so `cargo bench` works in the hermetic
+//! build environment. Measurement is wall-clock mean over a fixed
+//! iteration budget; there is no statistical analysis or HTML report.
+
+use std::time::{Duration, Instant};
+
+/// Iterations used per sample when timing a routine.
+const ITERS_PER_SAMPLE: u32 = 3;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Honoured for API parity with criterion's arg parsing; no-op here.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            samples: 10,
+        }
+    }
+
+    /// Benchmarks a routine outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut group = self.benchmark_group(name.clone());
+        group.bench_function("", f_adapter(&mut f));
+        group.finish();
+        self
+    }
+}
+
+fn f_adapter<F: FnMut(&mut Bencher)>(f: &mut F) -> impl FnMut(&mut Bencher) + '_ {
+    move |b| f(b)
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function-name + parameter identifier.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Batch sizing hints for [`Bencher::iter_batched`]; ignored by the shim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: u32,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: u32) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Benchmarks a routine.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.samples,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        let label = if id.to_string().is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        bencher.report(&label);
+        self
+    }
+
+    /// Benchmarks a routine over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Closes the group (report flushing happens per-benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Times a routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: u32,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, timing each call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up pass, untimed.
+        std::hint::black_box(routine());
+        let n = self.samples * ITERS_PER_SAMPLE;
+        let start = Instant::now();
+        for _ in 0..n {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += u64::from(n);
+    }
+
+    /// Runs `routine` over fresh values from `setup`, timing only the
+    /// routine.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        let n = self.samples * ITERS_PER_SAMPLE;
+        for _ in 0..n {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+        self.iters += u64::from(n);
+    }
+
+    fn report(&self, label: &str) {
+        if self.iters == 0 {
+            println!("{label:<50} (no iterations)");
+            return;
+        }
+        let mean = self.elapsed.as_secs_f64() / self.iters as f64;
+        println!("{label:<50} {:>12.3} µs/iter", mean * 1e6);
+    }
+}
+
+/// Declares a benchmark group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        g.bench_function("iter", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("with_input", 4), &4u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8, 2], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs_routines() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+    }
+}

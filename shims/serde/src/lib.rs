@@ -1,0 +1,10 @@
+//! Offline facade for the slice of serde this workspace uses.
+//!
+//! The build environment cannot reach crates.io, and no code in the tree
+//! serializes anything yet — types carry `#[derive(Serialize, Deserialize)]`
+//! as forward-looking annotations only. This facade re-exports no-op
+//! derive macros with the same names so those annotations keep compiling.
+//! Swapping back to real serde is a one-line change in the workspace
+//! manifest.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde facade.
+//!
+//! The workspace builds in a hermetic environment with no access to
+//! crates.io, and nothing in the tree actually serializes data — the
+//! derives only exist so types stay annotated for a future wire format.
+//! These macros accept the same syntax (including `#[serde(...)]` helper
+//! attributes) and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

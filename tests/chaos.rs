@@ -1,0 +1,88 @@
+//! Acceptance test for the fault-injection subsystem: a GPU-slot
+//! failure and a 30 s LTE outage land mid-simulation, and the platform
+//! must account for every submitted task — rescheduled, offloaded or
+//! dropped with a recorded reason — with bit-identical results across
+//! two same-seed executions.
+
+use openvdap::chaos::{run_chaos, ChaosConfig, TaskOutcome, GPU_SLOT};
+use vdap_sim::{SimDuration, SimTime};
+
+#[test]
+fn chaos_storm_no_silent_loss() {
+    let cfg = ChaosConfig::default();
+    let report = run_chaos(&cfg);
+
+    // Every submission ends in exactly one recorded outcome.
+    assert_eq!(report.outcomes.len() as u64, report.submissions);
+    assert_eq!(
+        report.completed + report.failovers + report.fallbacks + report.dropped,
+        report.submissions,
+        "outcome accounting must cover every submission: {report:?}"
+    );
+
+    // All three recovery paths fired.
+    assert!(report.failovers >= 1, "GPU failure rescued no schedule");
+    assert!(report.fallbacks >= 1, "offload fallback never used");
+    assert!(report.dropped >= 1, "infeasible deadlines must drop");
+    for outcome in &report.outcomes {
+        if let TaskOutcome::Dropped { reason } = outcome {
+            assert!(!reason.is_empty(), "drop must carry a reason");
+        }
+    }
+
+    // Uploads hit the storage-fault window: some retried to success,
+    // some were abandoned — all within the deadline budget.
+    assert!(report.uploads_attempted > 0);
+    assert!(report.uploads_failed >= 1, "storage window never bit");
+    assert!(
+        report.uploads_failed < report.uploads_attempted,
+        "not every upload may fail"
+    );
+}
+
+#[test]
+fn chaos_metrics_are_nontrivial() {
+    let cfg = ChaosConfig::default();
+    let report = run_chaos(&cfg);
+    let horizon = SimTime::ZERO + cfg.duration;
+    let r = &report.reliability;
+
+    assert!(r.faults_injected() >= 4, "expected the full storm");
+    assert!(r.mttr().count() >= 1, "no repair was measured");
+    assert!(
+        r.mttr().mean() > SimDuration::ZERO.as_secs_f64(),
+        "repairs take time"
+    );
+    assert!(r.failover_latency().count() >= 1);
+    assert!(r.retry_count() > 0, "retries never happened");
+    assert!(r.retry_exhausted_count() >= 1);
+
+    let gpu = r.availability(GPU_SLOT, horizon);
+    assert!(gpu > 0.0 && gpu < 1.0, "GPU was down 45 of 120 s: {gpu}");
+    assert!((gpu - 75.0 / 120.0).abs() < 1e-9);
+    assert!(r.worst_availability(horizon) < 1.0);
+}
+
+#[test]
+fn chaos_replays_bit_identically() {
+    let cfg = ChaosConfig::default();
+    let a = run_chaos(&cfg);
+    let b = run_chaos(&cfg);
+    assert_eq!(a, b, "same seed must replay bit-identically");
+}
+
+#[test]
+fn quiet_run_has_full_availability() {
+    // Shrink the run so it ends before the first fault window: nothing
+    // fails, nothing drops except infeasible critical deadlines.
+    let cfg = ChaosConfig {
+        duration: SimDuration::from_secs(14),
+        ..ChaosConfig::default()
+    };
+    let report = run_chaos(&cfg);
+    assert_eq!(report.failovers, 0);
+    assert_eq!(report.uploads_failed, 0);
+    assert_eq!(report.reliability.faults_injected(), 0);
+    let horizon = SimTime::ZERO + cfg.duration;
+    assert_eq!(report.reliability.worst_availability(horizon), 1.0);
+}

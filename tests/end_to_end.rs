@@ -2,8 +2,8 @@
 //! the shapes the paper predicts.
 
 use openvdap::scenario::{
-    collaboration_experiment, compare_strategies, elastic_adaptation_timeline, sweep,
-    CollabMode, ScenarioConfig,
+    collaboration_experiment, compare_strategies, elastic_adaptation_timeline, sweep, CollabMode,
+    ScenarioConfig,
 };
 use openvdap::{Libvdap, Mph, OpenVdap};
 use vdap_ddi::DriverStyle;
@@ -31,13 +31,7 @@ fn e6_strategy_comparison_full_sweep() {
     });
     let mut cloud_latencies = Vec::new();
     for (speed, outcomes) in &results {
-        let get = |name: &str| {
-            &outcomes
-                .iter()
-                .find(|o| o.strategy == name)
-                .unwrap()
-                .cost
-        };
+        let get = |name: &str| &outcomes.iter().find(|o| o.strategy == name).unwrap().cost;
         let cloud = get("cloud-only");
         let vehicle = get("in-vehicle");
         let edge = get("edge-based");
@@ -132,15 +126,8 @@ fn different_seeds_diverge_somewhere() {
         personal_windows: 60,
         ..PbeamConfig::default()
     };
-    let (ra, _) = Libvdap::new(&mut va).build_pbeam(
-        DriverStyle::Normal,
-        SensorBias::none(),
-        quick.clone(),
-    );
-    let (rb, _) = Libvdap::new(&mut vb).build_pbeam(
-        DriverStyle::Normal,
-        SensorBias::none(),
-        quick,
-    );
+    let (ra, _) =
+        Libvdap::new(&mut va).build_pbeam(DriverStyle::Normal, SensorBias::none(), quick.clone());
+    let (rb, _) = Libvdap::new(&mut vb).build_pbeam(DriverStyle::Normal, SensorBias::none(), quick);
     assert_ne!(ra, rb, "different seeds must not collide");
 }

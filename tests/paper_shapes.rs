@@ -15,8 +15,7 @@ use vdap_sim::{SeedFactory, SimDuration, SimTime};
 #[test]
 fn table1_latencies_match_paper_rows() {
     let cpu = catalog::aws_vcpu_2_4ghz();
-    for (workload, (name, paper_ms)) in zoo::table1_workloads().iter().zip(zoo::TABLE1_LATENCY_MS)
-    {
+    for (workload, (name, paper_ms)) in zoo::table1_workloads().iter().zip(zoo::TABLE1_LATENCY_MS) {
         let got = cpu.service_time(workload).as_millis_f64();
         assert!(
             (got - paper_ms).abs() / paper_ms < 0.001,
@@ -52,7 +51,12 @@ fn fig2_cell(speed: f64, bitrate: f64, seed_idx: u64) -> (f64, f64) {
     // Static cells see only rare scattered losses; give them a longer
     // clip so the loss estimates are statistically stable.
     let secs = if speed == 0.0 { 1800 } else { 300 };
-    let stats = stream_clip(&spec, &mut loss, SimTime::ZERO, SimDuration::from_secs(secs));
+    let stats = stream_clip(
+        &spec,
+        &mut loss,
+        SimTime::ZERO,
+        SimDuration::from_secs(secs),
+    );
     (stats.packet_loss_rate(), stats.frame_loss_rate())
 }
 
@@ -91,7 +95,10 @@ fn fig2_monotone_in_speed_and_resolution() {
         let (p720, f720) = fig2_cell(speed, 3.8, 100 + i as u64);
         let (p1080, f1080) = fig2_cell(speed, 5.8, 200 + i as u64);
         assert!(p720 > last_720, "packet loss must grow with speed (720P)");
-        assert!(p1080 > last_1080, "packet loss must grow with speed (1080P)");
+        assert!(
+            p1080 > last_1080,
+            "packet loss must grow with speed (1080P)"
+        );
         assert!(p1080 >= p720, "1080P loses at least as much as 720P");
         assert!(f1080 >= f720, "1080P frame loss at least 720P's");
         last_720 = p720;
@@ -188,9 +195,15 @@ fn section3_power_hungry_gpu_hurts_ev_range() {
     // the mileage per discharge cycle."
     let battery = vdap_hw::Battery::typical_ev();
     let penalty = battery.range_penalty(310.0, 60.0); // CPU + V100 rig
-    assert!(penalty > 0.019, "a V100-class rig must cost >2% range, got {penalty}");
+    assert!(
+        penalty > 0.019,
+        "a V100-class rig must cost >2% range, got {penalty}"
+    );
     let light = battery.range_penalty(10.0, 60.0); // NCS-class perception
-    assert!(light < 0.002, "a DSP stick should be nearly free, got {light}");
+    assert!(
+        light < 0.002,
+        "a DSP stick should be nearly free, got {light}"
+    );
 }
 
 #[test]

@@ -71,7 +71,10 @@ fn second_hep_join_improves_makespan_under_load() {
         .submit(app2, &graph, &DsfScheduler::new(), SimTime::ZERO)
         .unwrap()
         .makespan;
-    assert!(after <= before, "extra 2ndHEP resource must not hurt: {after} vs {before}");
+    assert!(
+        after <= before,
+        "extra 2ndHEP resource must not hurt: {after} vs {before}"
+    );
 }
 
 #[test]
@@ -187,7 +190,10 @@ fn elastic_management_degrades_and_recovers() {
     // Good conditions: runs.
     let infra = Infrastructure::reference();
     vehicle.adapt(amber, &infra, SimTime::ZERO, Objective::MinLatency);
-    assert_eq!(vehicle.service(amber).unwrap().state(), ServiceState::Running);
+    assert_eq!(
+        vehicle.service(amber).unwrap().state(),
+        ServiceState::Running
+    );
 
     // Catastrophic conditions: saturate the board and kill the links.
     let mut bad = Infrastructure::reference();
@@ -229,7 +235,10 @@ fn elastic_management_degrades_and_recovers() {
         SimTime::from_secs(200),
         Objective::MinLatency,
     );
-    assert_eq!(vehicle.service(amber).unwrap().state(), ServiceState::Running);
+    assert_eq!(
+        vehicle.service(amber).unwrap().state(),
+        ServiceState::Running
+    );
 }
 
 #[test]

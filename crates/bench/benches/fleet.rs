@@ -1,0 +1,40 @@
+//! Fleet-engine throughput: events/sec at 1 shard vs multi-shard on the
+//! same seed (experiment E14). On a ≥4-core host the multi-shard run
+//! should show a clear wall-clock speedup for the same event count.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use vdap_fleet::{FleetConfig, FleetEngine, WorkerPool};
+use vdap_sim::SimDuration;
+
+/// A fleet big enough that per-epoch barrier cost is amortised but small
+/// enough for Criterion's sampling loop.
+fn bench_config(shards: u32) -> FleetConfig {
+    let mut cfg = FleetConfig::sized(512, shards);
+    cfg.duration = SimDuration::from_secs(10);
+    cfg
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    // The event count is shard-invariant, so measure it once and use it
+    // as the throughput denominator for every shard count.
+    let events = FleetEngine::new(bench_config(1)).run().events_processed;
+    let cores = WorkerPool::with_default_size().threads() as u32;
+
+    let mut g = c.benchmark_group("fleet");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(events));
+    for shards in [1, 2, 4, 8] {
+        if shards > 1 && shards > cores {
+            // More shards than cores just measures scheduler churn.
+            continue;
+        }
+        g.bench_function(format!("events_per_sec_{shards}_shards"), |b| {
+            b.iter(|| black_box(FleetEngine::new(black_box(bench_config(shards))).run()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

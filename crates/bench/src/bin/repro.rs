@@ -4,7 +4,11 @@
 //! ```text
 //! cargo run -p vdap-bench --bin repro -- all
 //! cargo run -p vdap-bench --bin repro -- table1 fig2 fig3
+//! cargo run -p vdap-bench --bin repro -- fleet
 //! ```
+//!
+//! An unknown experiment name prints the usage text with the full
+//! target list and exits non-zero.
 
 use vdap_bench::experiments;
 
@@ -28,13 +32,14 @@ fn print_experiment(name: &str) -> bool {
         "modelcache" => experiments::modelcache(SEED),
         "admission" => experiments::admission(),
         "infotainment" => experiments::infotainment(SEED),
+        "fleet" => experiments::fleet(SEED),
         _ => return false,
     };
     println!("{}", table.render());
     true
 }
 
-const ALL: [&str; 16] = [
+const ALL: [&str; 17] = [
     "table1",
     "fig2",
     "fig3",
@@ -51,19 +56,40 @@ const ALL: [&str; 16] = [
     "modelcache",
     "admission",
     "infotainment",
+    "fleet",
 ];
+
+/// Prints usage plus the list of every reproduction target.
+fn usage() {
+    eprintln!("usage: repro [all | <experiment>...]");
+    eprintln!();
+    eprintln!("experiments:");
+    for name in ALL {
+        eprintln!("  {name}");
+    }
+    eprintln!();
+    eprintln!("'all' (or no arguments) runs every experiment in order.");
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Validate everything up front so a typo in the middle of a list
+    // fails fast instead of after minutes of earlier experiments.
+    if let Some(bad) = args
+        .iter()
+        .find(|a| *a != "all" && !ALL.contains(&a.as_str()))
+    {
+        eprintln!("unknown experiment '{bad}'");
+        eprintln!();
+        usage();
+        std::process::exit(2);
+    }
     let requested: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         ALL.to_vec()
     } else {
         args.iter().map(String::as_str).collect()
     };
     for name in requested {
-        if !print_experiment(name) {
-            eprintln!("unknown experiment '{name}'; known: {ALL:?}");
-            std::process::exit(2);
-        }
+        assert!(print_experiment(name), "validated above");
     }
 }

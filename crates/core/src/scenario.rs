@@ -3,8 +3,9 @@
 //! Assembles vehicles, infrastructure and workloads into reproducible
 //! experiments: the §III strategy comparison (E6), the §IV-C elastic
 //! adaptation timeline (E5), and the §III-C V2V collaboration study
-//! (E10). A scoped-thread [`sweep`] runs parameter points in
-//! parallel for the benches.
+//! (E10). A worker-pool [`sweep`] runs parameter points in parallel for
+//! the benches, and [`ScenarioConfig::fleet`] lifts a scenario onto the
+//! sharded fleet engine (E14).
 
 use serde::{Deserialize, Serialize};
 use vdap_edgeos::{Objective, ServiceState};
@@ -68,6 +69,23 @@ impl ScenarioConfig {
         infra.edge_load = self.edge_load;
         infra.apply_mobility(self.speed);
         infra
+    }
+
+    /// Builds the fleet-scale version of this scenario: same seed,
+    /// fleet size, duration and request cadence, run on the sharded
+    /// [`vdap_fleet::FleetEngine`] instead of the per-vehicle loop.
+    /// `edge_load > 1` carries over as a slower base XEdge service time
+    /// (standing shared-tenancy load). The shard count only picks the
+    /// thread layout — fleet metrics are shard-count invariant.
+    #[must_use]
+    pub fn fleet(&self, shards: u32) -> vdap_fleet::FleetConfig {
+        let vehicles = self.vehicles.max(1) as u32;
+        let mut cfg = vdap_fleet::FleetConfig::sized(vehicles, shards.clamp(1, vehicles));
+        cfg.seed = self.seed;
+        cfg.duration = self.duration;
+        cfg.request_period = self.request_period;
+        cfg.edge_service = cfg.edge_service.mul_f64(self.edge_load.max(1.0));
+        cfg
     }
 }
 
@@ -398,24 +416,17 @@ pub fn collaboration_experiment(config: &ScenarioConfig, mode: CollabMode) -> Co
 }
 
 /// Runs `f` over parameter points in parallel (order-preserving).
+///
+/// Concurrency is capped at `std::thread::available_parallelism()` by
+/// routing through the fleet worker pool — a 500-point sweep no longer
+/// spawns 500 OS threads.
 pub fn sweep<P, T, F>(points: Vec<P>, f: F) -> Vec<T>
 where
     P: Send,
     T: Send,
     F: Fn(P) -> T + Sync,
 {
-    let mut out: Vec<Option<T>> = points.iter().map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for (slot, point) in out.iter_mut().zip(points) {
-            let f = &f;
-            scope.spawn(move || {
-                *slot = Some(f(point));
-            });
-        }
-    });
-    out.into_iter()
-        .map(|t| t.expect("worker filled slot"))
-        .collect()
+    vdap_fleet::WorkerPool::with_default_size().map(points, f)
 }
 
 #[cfg(test)]
@@ -497,6 +508,48 @@ mod tests {
     fn sweep_preserves_order() {
         let out = sweep(vec![1u64, 2, 3, 4], |x| x * 10);
         assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn sweep_handles_more_points_than_cores() {
+        // 500 points used to mean 500 OS threads; the pool caps at
+        // available_parallelism and must still preserve order.
+        let points: Vec<u64> = (0..500).collect();
+        let out = sweep(points.clone(), |x| x + 1);
+        assert_eq!(out, points.iter().map(|x| x + 1).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn fleet_builder_carries_scenario_knobs() {
+        let cfg = ScenarioConfig {
+            seed: 7,
+            vehicles: 200,
+            edge_load: 2.0,
+            ..ScenarioConfig::default()
+        };
+        let fleet = cfg.fleet(4);
+        assert_eq!(fleet.seed, 7);
+        assert_eq!(fleet.vehicles, 200);
+        assert_eq!(fleet.shards, 4);
+        assert_eq!(fleet.duration, cfg.duration);
+        assert_eq!(fleet.request_period, cfg.request_period);
+        // edge_load doubles the base XEdge service time.
+        let nominal = vdap_fleet::FleetConfig::default().edge_service;
+        assert_eq!(fleet.edge_service, nominal.mul_f64(2.0));
+        // Shards never exceed the fleet size.
+        assert_eq!(cfg.fleet(1000).shards, 200);
+        let report = vdap_fleet::FleetEngine::new({
+            let mut f = ScenarioConfig {
+                vehicles: 32,
+                duration: SimDuration::from_secs(4),
+                ..ScenarioConfig::default()
+            }
+            .fleet(2);
+            f.request_period = SimDuration::from_secs(1);
+            f
+        })
+        .run();
+        assert!(report.metrics.requests > 0);
     }
 
     #[test]

@@ -39,6 +39,7 @@ mod security;
 mod service;
 mod sharing;
 mod supervisor;
+mod tenancy;
 
 pub use elastic::{Decision, ElasticManager, Environment, Objective, PipelineEstimate};
 pub use migration::{
@@ -49,3 +50,4 @@ pub use security::{Attestation, GuardState, IsolationMode, SecurityError, Securi
 pub use service::{kidnapper_search, Pipeline, PipelineStage, PolymorphicService, ServiceState};
 pub use sharing::{AuditEntry, SharedItem, SharingBus, SharingError, Token};
 pub use supervisor::{ServiceSupervisor, SupervisorDecision};
+pub use tenancy::{FairQueue, TenantAdmission, TenantId};

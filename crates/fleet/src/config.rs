@@ -1,0 +1,243 @@
+//! Fleet scenario configuration and the vehicle → shard/tenant/region
+//! partition.
+//!
+//! Every mapping here is a pure function of the vehicle id and the
+//! fleet-wide counts — never of the shard count — which is the root of
+//! the engine's shard-count invariance: re-partitioning the same fleet
+//! across a different number of worker shards reassigns *where* each
+//! vehicle's events execute, but not *what* they compute.
+
+use vdap_fault::FaultPlan;
+use vdap_sim::{SimDuration, SimTime};
+
+/// Configuration for one fleet run.
+///
+/// Defaults model the paper's setting scaled to a small city fleet:
+/// 1,000 vehicles streaming perception requests to a shared XEdge
+/// deployment over LTE for one simulated minute.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Master scenario seed; every random stream derives from it.
+    pub seed: u64,
+    /// Fleet size.
+    pub vehicles: u32,
+    /// Worker shards the fleet is partitioned into (threads used).
+    pub shards: u32,
+    /// Service tenants sharing the XEdge servers.
+    pub tenants: u32,
+    /// Geographic LTE regions (cell coverage areas).
+    pub regions: u32,
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// Conservative-synchronization epoch (barrier interval).
+    pub epoch: SimDuration,
+    /// Mean per-vehicle request period (±10% deterministic jitter).
+    pub request_period: SimDuration,
+    /// Uplink payload per request (compressed perception features).
+    pub upload_bytes: u64,
+    /// Downlink payload per response.
+    pub download_bytes: u64,
+    /// Base XEdge service time per request at an idle server.
+    pub edge_service: SimDuration,
+    /// On-board fallback compute time when a request cannot reach the
+    /// edge (regional outage or admission reject).
+    pub vehicle_service: SimDuration,
+    /// Concurrent request lanes per XEdge deployment.
+    pub edge_capacity: u32,
+    /// Per-tenant outstanding-request cap at the XEdge admission gate.
+    pub tenant_queue_cap: usize,
+    /// Deficit round-robin quantum (service cost units per visit).
+    pub drr_quantum: u64,
+    /// Service cost units charged per request in the fair queue.
+    pub work_units: u64,
+    /// Fraction of requests that are cacheable scan-type work eligible
+    /// for V2V result sharing.
+    pub cacheable_fraction: f64,
+    /// Re-planning latency a vehicle pays when failing over to on-board
+    /// compute.
+    pub failover_penalty: SimDuration,
+    /// Optional fault plan (e.g. a regional LTE outage).
+    pub chaos: Option<FaultPlan>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            seed: 42,
+            vehicles: 1000,
+            shards: 1,
+            tenants: 4,
+            regions: 8,
+            duration: SimDuration::from_secs(60),
+            epoch: SimDuration::from_millis(500),
+            request_period: SimDuration::from_secs(1),
+            upload_bytes: 20_000,
+            download_bytes: 2_000,
+            edge_service: SimDuration::from_millis(8),
+            vehicle_service: SimDuration::from_millis(45),
+            edge_capacity: 16,
+            tenant_queue_cap: 100,
+            drr_quantum: 8,
+            work_units: 8,
+            cacheable_fraction: 0.3,
+            failover_penalty: SimDuration::from_millis(10),
+            chaos: None,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// A config with the given fleet size and shard count, defaults
+    /// elsewhere.
+    #[must_use]
+    pub fn sized(vehicles: u32, shards: u32) -> Self {
+        FleetConfig {
+            vehicles,
+            shards,
+            ..FleetConfig::default()
+        }
+    }
+
+    /// Adds a one-shot LTE outage covering `region` over
+    /// `[start, start + duration)`. Vehicles in the region fail over to
+    /// on-board compute for the window.
+    #[must_use]
+    pub fn with_regional_outage(
+        mut self,
+        region: u32,
+        start: SimTime,
+        outage: SimDuration,
+    ) -> Self {
+        use vdap_fault::{FaultKind, FaultSpec};
+        let plan = self
+            .chaos
+            .unwrap_or_else(|| FaultPlan::new(self.duration))
+            .with_fault(FaultSpec::new(
+                FaultKind::LinkOutage,
+                region_label(region),
+                start,
+                outage,
+            ));
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Panics unless counts and durations are usable.
+    pub(crate) fn validate(&self) {
+        assert!(self.vehicles > 0, "fleet needs at least one vehicle");
+        assert!(self.shards > 0, "fleet needs at least one shard");
+        assert!(
+            self.shards <= self.vehicles,
+            "more shards than vehicles is meaningless"
+        );
+        assert!(self.tenants > 0, "fleet needs at least one tenant");
+        assert!(self.regions > 0, "fleet needs at least one region");
+        assert!(!self.epoch.is_zero(), "epoch must be positive");
+        assert!(!self.duration.is_zero(), "duration must be positive");
+        assert!(
+            !self.request_period.is_zero(),
+            "request period must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.cacheable_fraction),
+            "cacheable fraction must be a probability"
+        );
+    }
+
+    /// The tenant a vehicle belongs to (interleaved assignment).
+    #[must_use]
+    pub fn tenant_of(&self, vehicle: u32) -> u32 {
+        vehicle % self.tenants
+    }
+
+    /// The LTE region a vehicle drives in (contiguous blocks, so a
+    /// region aligns with whole shards whenever `shards == regions`).
+    #[must_use]
+    pub fn region_of(&self, vehicle: u32) -> u32 {
+        ((u64::from(vehicle) * u64::from(self.regions)) / u64::from(self.vehicles)) as u32
+    }
+
+    /// The id range shard `shard` owns: `[lo, hi)`, contiguous, covering
+    /// all vehicles across shards.
+    #[must_use]
+    pub fn shard_range(&self, shard: u32) -> std::ops::Range<u32> {
+        let v = u64::from(self.vehicles);
+        let s = u64::from(self.shards);
+        let lo = (v * u64::from(shard) / s) as u32;
+        let hi = (v * (u64::from(shard) + 1) / s) as u32;
+        lo..hi
+    }
+
+    /// End of simulated time for this run.
+    #[must_use]
+    pub fn horizon(&self) -> SimTime {
+        SimTime::ZERO + self.duration
+    }
+}
+
+/// The fault-plan target label for a region's LTE coverage.
+#[must_use]
+pub fn region_label(region: u32) -> String {
+    format!("region{region}/lte")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_partition_the_fleet() {
+        for shards in [1u32, 2, 3, 7, 8] {
+            let cfg = FleetConfig::sized(1000, shards);
+            let mut covered = 0u32;
+            let mut next = 0u32;
+            for s in 0..shards {
+                let r = cfg.shard_range(s);
+                assert_eq!(r.start, next, "ranges must be contiguous");
+                next = r.end;
+                covered += r.end - r.start;
+            }
+            assert_eq!(covered, 1000);
+            assert_eq!(next, 1000);
+        }
+    }
+
+    #[test]
+    fn regions_align_with_shards_when_counts_match() {
+        let cfg = FleetConfig::sized(1000, 8);
+        for s in 0..8 {
+            let r = cfg.shard_range(s);
+            let regions: std::collections::BTreeSet<u32> = r.map(|v| cfg.region_of(v)).collect();
+            assert_eq!(regions.len(), 1, "shard {s} spans one region");
+        }
+    }
+
+    #[test]
+    fn mappings_ignore_shard_count() {
+        let a = FleetConfig::sized(500, 1);
+        let b = FleetConfig::sized(500, 8);
+        for v in 0..500 {
+            assert_eq!(a.tenant_of(v), b.tenant_of(v));
+            assert_eq!(a.region_of(v), b.region_of(v));
+        }
+    }
+
+    #[test]
+    fn regional_outage_builds_a_plan() {
+        let cfg = FleetConfig::default().with_regional_outage(
+            3,
+            SimTime::from_secs(20),
+            SimDuration::from_secs(10),
+        );
+        let inj = cfg.chaos.expect("plan present").compile();
+        assert!(inj.is_down(&region_label(3), SimTime::from_secs(25)));
+        assert!(!inj.is_down(&region_label(3), SimTime::from_secs(35)));
+        assert!(!inj.is_down(&region_label(2), SimTime::from_secs(25)));
+    }
+
+    #[test]
+    #[should_panic(expected = "shards")]
+    fn more_shards_than_vehicles_rejected() {
+        FleetConfig::sized(2, 4).validate();
+    }
+}

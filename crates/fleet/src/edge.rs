@@ -1,0 +1,174 @@
+//! The shared XEdge deployment served at epoch barriers.
+//!
+//! All cross-vehicle coupling funnels through this single-threaded
+//! server: at each barrier the engine hands it the canonical-sorted
+//! global batch of requests, and the server applies per-tenant admission
+//! control, deficit round-robin fair queueing, a load-dependent service
+//! time (the [`ContentionModel`]), and per-region LTE bandwidth sharing.
+//! Because serving consumes only globally-determined data in a canonical
+//! order, its outputs are independent of how the fleet was sharded.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use vdap_edgeos::{FairQueue, TenantAdmission, TenantId};
+use vdap_net::{Direction, LinkSpec};
+use vdap_offload::ContentionModel;
+use vdap_sim::{SimDuration, SimTime};
+
+use crate::config::FleetConfig;
+use crate::vehicle::RADIO_W;
+
+/// One vehicle request bound for the shared edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct EdgeRequest {
+    pub vehicle: u32,
+    pub seq: u32,
+    pub tenant: u32,
+    pub region: u32,
+    pub arrival: SimTime,
+}
+
+/// A request the edge finished serving, with vehicle-side accounting.
+#[derive(Debug, Clone)]
+pub(crate) struct ServedRequest {
+    pub e2e: SimDuration,
+    pub energy_j: f64,
+}
+
+/// A request bounced at the admission gate (its uplink time was already
+/// spent discovering that).
+#[derive(Debug, Clone)]
+pub(crate) struct RejectedRequest {
+    pub uplink: SimDuration,
+}
+
+/// What one barrier's serving pass produced.
+#[derive(Debug, Default)]
+pub(crate) struct EpochOutcome {
+    pub served: Vec<ServedRequest>,
+    pub rejected: Vec<RejectedRequest>,
+    pub queue_depth: usize,
+}
+
+/// The shared multi-tenant XEdge deployment.
+#[derive(Debug)]
+pub(crate) struct XEdgeServer {
+    /// Per-lane next-free instants; lanes persist across epochs so
+    /// backlog carries over.
+    lanes: BinaryHeap<Reverse<SimTime>>,
+    contention: ContentionModel,
+    admission: TenantAdmission,
+    lte: LinkSpec,
+    epoch: SimDuration,
+    base_service: SimDuration,
+    drr_quantum: u64,
+    work_units: u64,
+    upload_bytes: u64,
+    download_bytes: u64,
+}
+
+impl XEdgeServer {
+    pub fn new(cfg: &FleetConfig) -> Self {
+        let mut lanes = BinaryHeap::with_capacity(cfg.edge_capacity as usize);
+        for _ in 0..cfg.edge_capacity.max(1) {
+            lanes.push(Reverse(SimTime::ZERO));
+        }
+        XEdgeServer {
+            lanes,
+            contention: ContentionModel::new(cfg.edge_capacity.max(1)),
+            admission: TenantAdmission::new(cfg.tenant_queue_cap),
+            lte: LinkSpec::lte(),
+            epoch: cfg.epoch,
+            base_service: cfg.edge_service,
+            drr_quantum: cfg.drr_quantum,
+            work_units: cfg.work_units,
+            upload_bytes: cfg.upload_bytes,
+            download_bytes: cfg.download_bytes,
+        }
+    }
+
+    /// Requests offered to the admission gate so far.
+    pub fn offered(&self) -> u64 {
+        self.admission.admitted() + self.admission.rejected()
+    }
+
+    /// Requests rejected by the admission gate so far.
+    pub fn rejected(&self) -> u64 {
+        self.admission.rejected()
+    }
+
+    /// The per-vehicle share of a region's LTE cell given the average
+    /// transfer concurrency implied by this epoch's batch.
+    fn region_link(&self, region_count: u32) -> LinkSpec {
+        let t0 = self.lte.transfer_time(Direction::Uplink, self.upload_bytes);
+        let concurrency =
+            (f64::from(region_count) * t0.as_secs_f64() / self.epoch.as_secs_f64()).ceil();
+        self.lte.shared_among(concurrency.max(1.0) as u32)
+    }
+
+    /// Serves one barrier's batch. The engine passes requests from all
+    /// shards; this method sorts them canonically, so input order (and
+    /// therefore shard count) cannot influence the outcome.
+    pub fn serve_epoch(&mut self, mut batch: Vec<EdgeRequest>) -> EpochOutcome {
+        batch.sort_unstable_by_key(|r| (r.arrival, r.vehicle, r.seq));
+
+        // Per-region LTE sharing from this batch's population.
+        let mut region_counts: BTreeMap<u32, u32> = BTreeMap::new();
+        for r in &batch {
+            *region_counts.entry(r.region).or_insert(0) += 1;
+        }
+        let region_links: BTreeMap<u32, LinkSpec> = region_counts
+            .iter()
+            .map(|(&r, &n)| (r, self.region_link(n)))
+            .collect();
+
+        // Admission (arrival order), then DRR fair queueing.
+        let mut outcome = EpochOutcome::default();
+        let mut queue: FairQueue<EdgeRequest> = FairQueue::new(self.drr_quantum);
+        let mut admitted: Vec<TenantId> = Vec::new();
+        for req in batch {
+            let tenant = TenantId::new(req.tenant);
+            if self.admission.try_admit(tenant) {
+                admitted.push(tenant);
+                queue.enqueue(tenant, self.work_units, req);
+            } else {
+                let link = &region_links[&req.region];
+                outcome.rejected.push(RejectedRequest {
+                    uplink: link.transfer_time(Direction::Uplink, self.upload_bytes),
+                });
+            }
+        }
+        outcome.queue_depth = queue.len();
+
+        // Load-dependent service time from the average in-service
+        // concurrency this batch implies.
+        let implied = (outcome.queue_depth as f64 * self.base_service.as_secs_f64()
+            / self.epoch.as_secs_f64())
+        .ceil() as u32;
+        let service = self
+            .base_service
+            .mul_f64(self.contention.service_multiplier(implied));
+
+        // Serve in DRR order on the earliest-free lane.
+        while let Some((_, req)) = queue.pop() {
+            let link = &region_links[&req.region];
+            let up = link.transfer_time(Direction::Uplink, self.upload_bytes);
+            let down = link.transfer_time(Direction::Downlink, self.download_bytes);
+            let ready = req.arrival + up;
+            let Reverse(free) = self.lanes.pop().expect("edge has at least one lane");
+            let start = if ready > free { ready } else { free };
+            let finish = start + service;
+            self.lanes.push(Reverse(finish));
+            let e2e = finish.duration_since(req.arrival) + down;
+            let energy_j = (up.as_secs_f64() + down.as_secs_f64()) * RADIO_W;
+            outcome.served.push(ServedRequest { e2e, energy_j });
+        }
+
+        // Served requests leave the admission gate before the next epoch.
+        for tenant in admitted {
+            self.admission.release(tenant);
+        }
+        outcome
+    }
+}

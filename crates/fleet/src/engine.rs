@@ -1,0 +1,263 @@
+//! The sharded fleet engine: epoch loop, barriers, and the run report.
+//!
+//! ## Why an N-shard run is bit-identical to a 1-shard run
+//!
+//! 1. **Partition is id-keyed.** Tenant, region, route cohort and RNG
+//!    stream derive from the vehicle id alone ([`crate::FleetConfig`]),
+//!    so re-sharding moves vehicles between threads without changing
+//!    any vehicle's behaviour.
+//! 2. **Epochs are conservative.** During an epoch a shard reads only
+//!    time-determined inputs (the fault timeline, the *previous*
+//!    barrier's V2V snapshot). Vehicles never observe same-epoch state
+//!    of any other vehicle — not even shard-mates.
+//! 3. **Barriers are canonical.** All cross-vehicle coupling (XEdge
+//!    admission, fair queueing, contention, snapshot union, failover
+//!    reliability samples) happens single-threaded on globally sorted
+//!    data, so shard count and buffer interleaving cannot leak in.
+//! 4. **Aggregation is order-free.** Per-shard metrics are integer
+//!    counters and [`vdap_sim::StreamingHistogram`]s whose merge is
+//!    associative and commutative bit-for-bit.
+
+use std::sync::Arc;
+
+use vdap_fault::FaultEdge;
+use vdap_offload::Tile;
+use vdap_sim::{ReliabilityStats, SeedFactory, SimDuration, SimTime};
+
+use crate::config::FleetConfig;
+use crate::edge::XEdgeServer;
+use crate::metrics::{FleetMetrics, FleetReport};
+use crate::pool::WorkerPool;
+use crate::shard::{region_label_table, CollabSnapshot, Shard};
+use crate::vehicle::{BOARD_W, RADIO_W};
+
+/// Deterministic sharded fleet simulation engine.
+///
+/// # Examples
+///
+/// ```
+/// use vdap_fleet::{FleetConfig, FleetEngine};
+/// use vdap_sim::SimDuration;
+///
+/// let mut cfg = FleetConfig::sized(64, 2);
+/// cfg.duration = SimDuration::from_secs(5);
+/// let report = FleetEngine::new(cfg).run();
+/// assert!(report.metrics.requests > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FleetEngine {
+    cfg: FleetConfig,
+}
+
+impl FleetEngine {
+    /// Creates an engine for the given scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is unusable (zero counts, more
+    /// shards than vehicles, zero durations).
+    #[must_use]
+    pub fn new(cfg: FleetConfig) -> Self {
+        cfg.validate();
+        FleetEngine { cfg }
+    }
+
+    /// The scenario this engine will run.
+    #[must_use]
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    /// Runs the fleet to its horizon and returns the merged report.
+    #[must_use]
+    pub fn run(&self) -> FleetReport {
+        let cfg = Arc::new(self.cfg.clone());
+        let seeds = SeedFactory::new(cfg.seed);
+        let injector = cfg.chaos.as_ref().map(|plan| Arc::new(plan.compile()));
+        let region_labels = Arc::new(region_label_table(cfg.regions));
+
+        let mut shards: Vec<Shard> = (0..cfg.shards)
+            .map(|i| Shard::new(i, &cfg, &seeds, injector.clone(), &region_labels))
+            .collect();
+        let pool = WorkerPool::new(cfg.shards as usize);
+        let mut edge = XEdgeServer::new(&cfg);
+        let mut engine_metrics = FleetMetrics::new();
+        let mut reliability = ReliabilityStats::new();
+
+        // The regional fault timeline is a pure function of the plan, so
+        // the fleet-wide availability ledger can be written up front in
+        // time order.
+        if let Some(inj) = injector.as_deref() {
+            let mut transitions = inj.transitions();
+            transitions.sort_by_key(|t| (t.at, t.window));
+            for tr in transitions {
+                let window = &inj.windows()[tr.window];
+                match tr.edge {
+                    FaultEdge::Start => reliability.record_fault(&window.target, tr.at),
+                    FaultEdge::End => reliability.record_recovery(&window.target, tr.at),
+                }
+            }
+        }
+
+        let horizon = cfg.horizon();
+        let mut epoch_index = 0u64;
+        loop {
+            let end_raw = SimTime::ZERO + cfg.epoch * (epoch_index + 1);
+            let end = if end_raw > horizon { horizon } else { end_raw };
+
+            // Advance every shard to the barrier in parallel.
+            pool.for_each_mut(&mut shards, |_, shard| {
+                shard.sim.run_until(end);
+            });
+
+            // ---- barrier: single-threaded, canonical-order exchange ----
+            let mut batch = Vec::new();
+            let mut publications: Vec<(Tile, u32)> = Vec::new();
+            let mut failovers: Vec<(u32, u32, f64)> = Vec::new();
+            for shard in &mut shards {
+                let st = shard.sim.state_mut();
+                batch.append(&mut st.outbox);
+                publications.append(&mut st.publications);
+                failovers.append(&mut st.failover_samples);
+            }
+
+            // Failover latencies feed an exact (order-sensitive) Summary,
+            // so sort them canonically before recording.
+            failovers.sort_unstable_by_key(|&(vehicle, seq, _)| (vehicle, seq));
+            for &(_, _, ms) in &failovers {
+                reliability.record_failover(SimDuration::from_millis_f64(ms));
+            }
+
+            let outcome = edge.serve_epoch(batch);
+            engine_metrics
+                .queue_depth
+                .record(outcome.queue_depth as f64);
+            for served in &outcome.served {
+                engine_metrics.e2e_latency_ms.record_duration(served.e2e);
+                engine_metrics.energy_per_request_j.record(served.energy_j);
+            }
+            engine_metrics.edge_served += outcome.served.len() as u64;
+            for rejected in &outcome.rejected {
+                // A bounced request falls back to on-board compute after
+                // burning its uplink and a re-planning penalty.
+                let e2e = rejected.uplink + cfg.failover_penalty + cfg.vehicle_service;
+                engine_metrics.e2e_latency_ms.record_duration(e2e);
+                engine_metrics.energy_per_request_j.record(
+                    rejected.uplink.as_secs_f64() * RADIO_W
+                        + cfg.vehicle_service.as_secs_f64() * BOARD_W,
+                );
+            }
+            engine_metrics.rejected += outcome.rejected.len() as u64;
+
+            // Union this epoch's publications into the next snapshot;
+            // ties go to the smallest vehicle id (order-independent).
+            let mut snapshot = CollabSnapshot::new();
+            for (tile, producer) in publications {
+                snapshot
+                    .entry(tile)
+                    .and_modify(|p| {
+                        if producer < *p {
+                            *p = producer;
+                        }
+                    })
+                    .or_insert(producer);
+            }
+            let snapshot = Arc::new(snapshot);
+            for shard in &mut shards {
+                shard.sim.state_mut().snapshot = Arc::clone(&snapshot);
+            }
+
+            epoch_index += 1;
+            if end >= horizon {
+                break;
+            }
+        }
+
+        // Merge shard-local metrics (associative + commutative).
+        let mut metrics = engine_metrics;
+        let mut events_processed = 0u64;
+        for shard in &shards {
+            events_processed += shard.sim.events_processed();
+            metrics.merge(&shard.sim.state().metrics);
+        }
+        let region_availability = reliability
+            .faulted_components()
+            .iter()
+            .map(|c| ((*c).to_string(), reliability.availability(c, horizon)))
+            .collect();
+
+        FleetReport {
+            metrics,
+            reliability,
+            region_availability,
+            vehicles: cfg.vehicles,
+            shards: cfg.shards,
+            duration: cfg.duration,
+            events_processed,
+            admission_offered: edge.offered(),
+            admission_rejected: edge.rejected(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(shards: u32) -> FleetConfig {
+        let mut cfg = FleetConfig::sized(96, shards);
+        cfg.duration = SimDuration::from_secs(10);
+        cfg
+    }
+
+    #[test]
+    fn shard_counts_produce_identical_summaries() {
+        let one = FleetEngine::new(small(1)).run();
+        let four = FleetEngine::new(small(4)).run();
+        assert_eq!(one.summary(), four.summary());
+        assert_eq!(one.metrics, four.metrics);
+    }
+
+    #[test]
+    fn requests_split_across_outcomes() {
+        let report = FleetEngine::new(small(2)).run();
+        let m = &report.metrics;
+        assert!(m.requests >= 96 * 9, "~1 request/vehicle/second");
+        assert_eq!(
+            m.requests,
+            m.edge_served + m.collab_hits + m.failovers + m.rejected,
+            "every request has exactly one outcome"
+        );
+        assert!(m.collab_hits > 0, "cohort-mates should share results");
+        assert_eq!(m.e2e_latency_ms.count(), m.requests);
+        assert_eq!(m.energy_per_request_j.count(), m.requests);
+    }
+
+    #[test]
+    fn regional_outage_causes_failovers_and_lowers_availability() {
+        let mut cfg =
+            small(2).with_regional_outage(0, SimTime::from_secs(2), SimDuration::from_secs(4));
+        cfg.duration = SimDuration::from_secs(10);
+        let report = FleetEngine::new(cfg).run();
+        assert!(report.metrics.failovers > 0);
+        assert_eq!(report.reliability.faults_injected(), 1);
+        assert_eq!(report.region_availability.len(), 1);
+        let (label, avail) = &report.region_availability[0];
+        assert_eq!(label, "region0/lte");
+        assert!((*avail - 0.6).abs() < 1e-9, "4 s down of 10 s: {avail}");
+        assert!(report.reliability.failover_latency().count() > 0);
+    }
+
+    #[test]
+    fn chaos_summary_is_shard_invariant_too() {
+        let build = |shards| {
+            let cfg = small(shards).with_regional_outage(
+                1,
+                SimTime::from_secs(3),
+                SimDuration::from_secs(3),
+            );
+            FleetEngine::new(cfg).run().summary()
+        };
+        assert_eq!(build(1), build(3));
+    }
+}

@@ -1,0 +1,43 @@
+//! # vdap-fleet — deterministic sharded fleet-scale simulation
+//!
+//! OpenVDAP's architecture is fleet-shaped: every vehicle streams
+//! perception work to shared XEdge servers (§III). This crate scales the
+//! reproduction from single-vehicle experiments to **thousands of
+//! vehicles** against shared multi-tenant edge infrastructure, without
+//! giving up the workspace's bit-for-bit determinism contract.
+//!
+//! Vehicles are partitioned into shards; each shard advances its own
+//! [`vdap_sim::Simulation`] event loop on a worker thread. Cross-shard
+//! interactions — XEdge admission control and per-tenant fair queueing,
+//! V2V result sharing, regional LTE outages — are exchanged at epoch
+//! barriers with conservative synchronization, so a run with N shards
+//! produces **byte-identical** aggregate metrics to a single-shard run
+//! of the same seed (see `FleetReport::summary` and `tests/props.rs`).
+//!
+//! ```
+//! use vdap_fleet::{FleetConfig, FleetEngine};
+//! use vdap_sim::SimDuration;
+//!
+//! let mut cfg = FleetConfig::sized(128, 4);
+//! cfg.duration = SimDuration::from_secs(10);
+//! let sharded = FleetEngine::new(cfg.clone()).run();
+//! cfg.shards = 1;
+//! let single = FleetEngine::new(cfg).run();
+//! assert_eq!(sharded.summary(), single.summary());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod edge;
+mod engine;
+mod metrics;
+mod pool;
+mod shard;
+mod vehicle;
+
+pub use config::{region_label, FleetConfig};
+pub use engine::FleetEngine;
+pub use metrics::{FleetMetrics, FleetReport};
+pub use pool::WorkerPool;

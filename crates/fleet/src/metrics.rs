@@ -1,0 +1,220 @@
+//! Fleet observability: mergeable per-shard metrics and the run report.
+//!
+//! Shards keep local [`FleetMetrics`]; the engine merges them with the
+//! engine-side metrics at the end of a run. Every field is either an
+//! integer counter or a [`StreamingHistogram`], so the merge is
+//! associative and commutative bit-for-bit — the property the
+//! shard-count-invariance test (`tests/props.rs`) pins down.
+
+use std::fmt::Write as _;
+
+use vdap_sim::{ReliabilityStats, SimDuration, StreamingHistogram};
+
+/// Mergeable fleet-level measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetMetrics {
+    /// End-to-end request latency (ms), all request outcomes.
+    pub e2e_latency_ms: StreamingHistogram,
+    /// Vehicle-side energy per request (J).
+    pub energy_per_request_j: StreamingHistogram,
+    /// Admitted XEdge batch size observed at each epoch barrier.
+    pub queue_depth: StreamingHistogram,
+    /// Requests issued by vehicles.
+    pub requests: u64,
+    /// Requests served by the shared XEdge deployment.
+    pub edge_served: u64,
+    /// Requests satisfied from a V2V-shared result.
+    pub collab_hits: u64,
+    /// Requests that failed over to on-board compute (regional outage).
+    pub failovers: u64,
+    /// Requests bounced by per-tenant admission control.
+    pub rejected: u64,
+}
+
+impl Default for FleetMetrics {
+    fn default() -> Self {
+        FleetMetrics::new()
+    }
+}
+
+impl FleetMetrics {
+    /// Creates empty metrics.
+    #[must_use]
+    pub fn new() -> Self {
+        FleetMetrics {
+            e2e_latency_ms: StreamingHistogram::new("e2e_latency_ms"),
+            energy_per_request_j: StreamingHistogram::new("energy_per_request_j"),
+            queue_depth: StreamingHistogram::new("xedge_queue_depth"),
+            requests: 0,
+            edge_served: 0,
+            collab_hits: 0,
+            failovers: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Merges another shard's metrics into this one (order-independent).
+    pub fn merge(&mut self, other: &FleetMetrics) {
+        self.e2e_latency_ms.merge(&other.e2e_latency_ms);
+        self.energy_per_request_j.merge(&other.energy_per_request_j);
+        self.queue_depth.merge(&other.queue_depth);
+        self.requests += other.requests;
+        self.edge_served += other.edge_served;
+        self.collab_hits += other.collab_hits;
+        self.failovers += other.failovers;
+        self.rejected += other.rejected;
+    }
+
+    /// Fraction of issued requests served from the V2V cache.
+    #[must_use]
+    pub fn collab_hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.collab_hits as f64 / self.requests as f64
+        }
+    }
+}
+
+/// The result of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Merged fleet metrics (all shards + engine).
+    pub metrics: FleetMetrics,
+    /// Fleet-level reliability accounting (regional outages, failovers).
+    pub reliability: ReliabilityStats,
+    /// Availability per faulted region label over the run horizon.
+    pub region_availability: Vec<(String, f64)>,
+    /// Vehicles simulated.
+    pub vehicles: u32,
+    /// Shards the run used (excluded from [`FleetReport::summary`]).
+    pub shards: u32,
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// Total discrete events processed across shards.
+    pub events_processed: u64,
+    /// Requests offered to the XEdge admission gate.
+    pub admission_offered: u64,
+    /// Requests rejected at the admission gate.
+    pub admission_rejected: u64,
+}
+
+impl FleetReport {
+    /// Admission reject rate over the run.
+    #[must_use]
+    pub fn reject_rate(&self) -> f64 {
+        if self.admission_offered == 0 {
+            0.0
+        } else {
+            self.admission_rejected as f64 / self.admission_offered as f64
+        }
+    }
+
+    /// A canonical multi-line text summary of the run's aggregate
+    /// metrics.
+    ///
+    /// Deliberately excludes the shard count and any wall-clock figure:
+    /// same-seed runs with different shard counts must produce
+    /// **byte-identical** summaries, which is the fleet engine's
+    /// determinism contract (and is enforced by `repro -- fleet` and the
+    /// property tests).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let m = &self.metrics;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fleet: vehicles={} duration={:.1}s events={} requests={}",
+            self.vehicles,
+            self.duration.as_secs_f64(),
+            self.events_processed,
+            m.requests
+        );
+        let _ = writeln!(
+            out,
+            "e2e_ms: p50={:.3} p95={:.3} p99={:.3} mean={:.3} max={:.3}",
+            m.e2e_latency_ms.quantile(0.5),
+            m.e2e_latency_ms.quantile(0.95),
+            m.e2e_latency_ms.quantile(0.99),
+            m.e2e_latency_ms.mean(),
+            m.e2e_latency_ms.max()
+        );
+        let _ = writeln!(
+            out,
+            "energy_j: mean={:.4} p95={:.4}",
+            m.energy_per_request_j.mean(),
+            m.energy_per_request_j.quantile(0.95)
+        );
+        let _ = writeln!(
+            out,
+            "xedge: served={} queue_depth_mean={:.2} queue_depth_max={:.0}",
+            m.edge_served,
+            m.queue_depth.mean(),
+            m.queue_depth.max()
+        );
+        let _ = writeln!(
+            out,
+            "admission: offered={} rejected={} reject_rate={:.4}",
+            self.admission_offered,
+            self.admission_rejected,
+            self.reject_rate()
+        );
+        let _ = writeln!(
+            out,
+            "collab: hits={} hit_rate={:.4}",
+            m.collab_hits,
+            m.collab_hit_rate()
+        );
+        let _ = writeln!(
+            out,
+            "reliability: faults={} failovers={} failover_ms_mean={:.3}",
+            self.reliability.faults_injected(),
+            m.failovers,
+            self.reliability.failover_latency().mean()
+        );
+        for (region, avail) in &self.region_availability {
+            let _ = writeln!(out, "availability[{region}]={avail:.6}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counters_and_samples() {
+        let mut a = FleetMetrics::new();
+        a.requests = 5;
+        a.e2e_latency_ms.record(10.0);
+        let mut b = FleetMetrics::new();
+        b.requests = 7;
+        b.collab_hits = 2;
+        b.e2e_latency_ms.record(30.0);
+        a.merge(&b);
+        assert_eq!(a.requests, 12);
+        assert_eq!(a.collab_hits, 2);
+        assert_eq!(a.e2e_latency_ms.count(), 2);
+        assert!((a.e2e_latency_ms.mean() - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn summary_is_stable_text() {
+        let report = FleetReport {
+            metrics: FleetMetrics::new(),
+            reliability: ReliabilityStats::new(),
+            region_availability: vec![("region0/lte".to_string(), 0.9)],
+            vehicles: 10,
+            shards: 2,
+            duration: SimDuration::from_secs(60),
+            events_processed: 0,
+            admission_offered: 0,
+            admission_rejected: 0,
+        };
+        let s = report.summary();
+        assert!(s.contains("fleet: vehicles=10 duration=60.0s"));
+        assert!(s.contains("availability[region0/lte]=0.900000"));
+        assert!(!s.contains("shards"), "summary must not leak shard count");
+    }
+}

@@ -1,0 +1,182 @@
+//! Bounded worker pool for shard advancement and parameter sweeps.
+//!
+//! The fleet engine needs "run these N independent chunks of work on at
+//! most K OS threads, return results in input order" — nothing more. A
+//! [`WorkerPool`] provides exactly that with scoped threads and an
+//! atomic work index, so neither the engine nor `openvdap::scenario`
+//! spawns one thread per work item (the unbounded-thread bug this pool
+//! replaces). Results are returned in input order regardless of which
+//! worker ran them, so pool size never affects determinism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// A fixed-size pool of worker threads, capped at the machine's
+/// available parallelism.
+///
+/// The pool holds no persistent threads: each [`WorkerPool::map`] /
+/// [`WorkerPool::for_each_mut`] call spawns scoped workers, which keeps
+/// the type trivially `Send + Sync` and leak-free.
+///
+/// # Examples
+///
+/// ```
+/// use vdap_fleet::WorkerPool;
+///
+/// let pool = WorkerPool::new(4);
+/// let squares = pool.map((0u64..8).collect(), |x| x * x);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkerPool {
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Creates a pool of at most `max_threads` workers, clamped to
+    /// `[1, available_parallelism]`.
+    #[must_use]
+    pub fn new(max_threads: usize) -> Self {
+        let hw = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        WorkerPool {
+            threads: max_threads.clamp(1, hw),
+        }
+    }
+
+    /// A pool sized to the machine (`available_parallelism` workers).
+    #[must_use]
+    pub fn with_default_size() -> Self {
+        WorkerPool::new(usize::MAX)
+    }
+
+    /// Number of worker threads this pool will use.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every input on the pool and returns outputs in
+    /// input order.
+    pub fn map<P, T>(&self, inputs: Vec<P>, f: impl Fn(P) -> T + Sync) -> Vec<T>
+    where
+        P: Send,
+        T: Send,
+    {
+        let n = inputs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return inputs.into_iter().map(f).collect();
+        }
+        let cells: Vec<Mutex<(Option<P>, Option<T>)>> = inputs
+            .into_iter()
+            .map(|p| Mutex::new((Some(p), None)))
+            .collect();
+        let next = AtomicUsize::new(0);
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let input = cells[i]
+                        .lock()
+                        .expect("pool cell lock")
+                        .0
+                        .take()
+                        .expect("each input is taken exactly once");
+                    let output = f(input);
+                    cells[i].lock().expect("pool cell lock").1 = Some(output);
+                });
+            }
+        });
+        cells
+            .into_iter()
+            .map(|c| {
+                c.into_inner()
+                    .expect("pool cell lock")
+                    .1
+                    .expect("every input produced an output")
+            })
+            .collect()
+    }
+
+    /// Runs `f(index, item)` for every item, mutating in place. Items
+    /// are distributed across workers; each item is visited exactly
+    /// once.
+    pub fn for_each_mut<S: Send>(&self, items: &mut [S], f: impl Fn(usize, &mut S) + Sync) {
+        let n = items.len();
+        if n == 0 {
+            return;
+        }
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            for (i, item) in items.iter_mut().enumerate() {
+                f(i, item);
+            }
+            return;
+        }
+        let cells: Vec<Mutex<&mut S>> = items.iter_mut().map(Mutex::new).collect();
+        let next = AtomicUsize::new(0);
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let mut guard = cells[i].lock().expect("pool cell lock");
+                    f(i, &mut guard);
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let pool = WorkerPool::new(3);
+        let out = pool.map((0..100u32).collect(), |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn map_handles_fewer_inputs_than_workers() {
+        let pool = WorkerPool::new(16);
+        assert_eq!(pool.map(vec![7u8], |x| x + 1), vec![8]);
+        assert_eq!(pool.map(Vec::<u8>::new(), |x| x), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_item_once() {
+        let pool = WorkerPool::new(4);
+        let mut items = vec![0u32; 50];
+        pool.for_each_mut(&mut items, |i, x| *x += i as u32 + 1);
+        for (i, x) in items.iter().enumerate() {
+            assert_eq!(*x, i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn pool_size_is_clamped() {
+        assert!(WorkerPool::new(0).threads() >= 1);
+        let hw = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        assert!(WorkerPool::new(usize::MAX).threads() <= hw);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let out = pool.map(vec![1, 2, 3], |x| x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+}

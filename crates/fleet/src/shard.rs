@@ -1,0 +1,202 @@
+//! One fleet shard: a private `vdap-sim` event loop over a contiguous
+//! block of vehicles.
+//!
+//! Shards never communicate directly. During an epoch a shard only
+//! *reads* globally-deterministic inputs (virtual time, the compiled
+//! fault timeline, the previous barrier's V2V snapshot) and *buffers*
+//! its outputs (edge requests, result publications, failover samples)
+//! for the engine to exchange at the barrier. Vehicles inside the same
+//! shard are isolated from each other exactly as strictly as vehicles
+//! in different shards — that symmetry is what makes an N-shard run
+//! reproduce a 1-shard run bit-for-bit.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use vdap_fault::FaultInjector;
+use vdap_net::{Direction, LinkSpec};
+use vdap_offload::Tile;
+use vdap_sim::{Ctx, SeedFactory, SimDuration, SimTime, Simulation};
+
+use crate::config::{region_label, FleetConfig};
+use crate::edge::EdgeRequest;
+use crate::metrics::FleetMetrics;
+use crate::vehicle::{tile_at, VehicleState, BOARD_W, DSRC_W};
+
+/// The V2V snapshot published at the previous barrier: tile → producer.
+pub(crate) type CollabSnapshot = BTreeMap<Tile, u32>;
+
+/// World state for one shard's event loop.
+pub(crate) struct ShardState {
+    /// Vehicles this shard owns, in id order.
+    vehicles: Vec<VehicleState>,
+    /// Fleet id of `vehicles[0]`.
+    base_id: u32,
+    /// Requests bound for the edge, drained at the barrier.
+    pub outbox: Vec<EdgeRequest>,
+    /// Cacheable results produced this epoch: (tile, producer).
+    pub publications: Vec<(Tile, u32)>,
+    /// Failover latency samples `(vehicle, seq, ms)`, drained at the
+    /// barrier and recorded fleet-wide in canonical order.
+    pub failover_samples: Vec<(u32, u32, f64)>,
+    /// Previous barrier's V2V snapshot (read-only during the epoch).
+    pub snapshot: Arc<CollabSnapshot>,
+    /// Compiled fault timeline (pure function of time).
+    injector: Option<Arc<FaultInjector>>,
+    /// Shard-local mergeable metrics.
+    pub metrics: FleetMetrics,
+    /// Scenario constants.
+    cfg: Arc<FleetConfig>,
+    /// Cached region labels, indexed by region id.
+    region_labels: Arc<Vec<String>>,
+}
+
+impl std::fmt::Debug for ShardState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardState")
+            .field("vehicles", &self.vehicles.len())
+            .field("base_id", &self.base_id)
+            .field("outbox", &self.outbox.len())
+            .finish()
+    }
+}
+
+/// One shard's event loop.
+#[derive(Debug)]
+pub(crate) struct Shard {
+    pub sim: Simulation<ShardState>,
+}
+
+impl Shard {
+    /// Builds shard `index` over its id range and schedules every
+    /// vehicle's first request tick.
+    pub fn new(
+        index: u32,
+        cfg: &Arc<FleetConfig>,
+        seeds: &SeedFactory,
+        injector: Option<Arc<FaultInjector>>,
+        region_labels: &Arc<Vec<String>>,
+    ) -> Self {
+        let range = cfg.shard_range(index);
+        let base_id = range.start;
+        let vehicles: Vec<VehicleState> = range
+            .clone()
+            .map(|id| VehicleState {
+                id,
+                tenant: cfg.tenant_of(id),
+                region: cfg.region_of(id),
+                rng: seeds.indexed_stream("fleet-vehicle", u64::from(id)),
+                seq: 0,
+            })
+            .collect();
+        let state = ShardState {
+            vehicles,
+            base_id,
+            outbox: Vec::new(),
+            publications: Vec::new(),
+            failover_samples: Vec::new(),
+            snapshot: Arc::new(CollabSnapshot::new()),
+            injector,
+            metrics: FleetMetrics::new(),
+            cfg: Arc::clone(cfg),
+            region_labels: Arc::clone(region_labels),
+        };
+        let mut sim = Simulation::new(state);
+        // First ticks: deterministic per-vehicle phase in [0, period).
+        let period = cfg.request_period.as_secs_f64();
+        for local in 0..sim.state().vehicles.len() {
+            let offset = sim.state_mut().vehicles[local]
+                .rng
+                .uniform_range(0.0, period);
+            sim.schedule_at(
+                SimTime::ZERO + SimDuration::from_secs_f64(offset),
+                "fleet-tick",
+                move |ctx| tick(ctx, local),
+            );
+        }
+        Shard { sim }
+    }
+}
+
+/// One vehicle request tick. All branching depends only on virtual
+/// time, the fault timeline, the previous barrier's snapshot, and the
+/// vehicle's private RNG — all shard-count-independent inputs.
+fn tick(ctx: &mut Ctx<'_, ShardState>, local: usize) {
+    let now = ctx.now();
+    let st = ctx.state_mut();
+    let cfg = Arc::clone(&st.cfg);
+    let horizon = cfg.horizon();
+
+    let (id, tenant, region, seq, cacheable, jitter) = {
+        let v = &mut st.vehicles[local];
+        let seq = v.seq;
+        v.seq += 1;
+        let cacheable = v.rng.chance(cfg.cacheable_fraction);
+        let jitter = v.rng.uniform();
+        (v.id, v.tenant, v.region, seq, cacheable, jitter)
+    };
+
+    let region_down = st
+        .injector
+        .as_deref()
+        .is_some_and(|inj| inj.is_down(&st.region_labels[region as usize], now));
+
+    st.metrics.requests += 1;
+    if region_down {
+        // Regional LTE outage: re-plan and run the pipeline on board.
+        let failover = cfg.failover_penalty.mul_f64(1.0 + 0.2 * jitter);
+        let service = cfg.vehicle_service.mul_f64(1.0 + 0.1 * jitter);
+        st.metrics
+            .e2e_latency_ms
+            .record_duration(failover + service);
+        st.metrics
+            .energy_per_request_j
+            .record(service.as_secs_f64() * BOARD_W);
+        st.metrics.failovers += 1;
+        st.failover_samples
+            .push((id, seq, failover.as_millis_f64()));
+    } else {
+        let tile = tile_at(id, now);
+        let shared_by = if cacheable {
+            st.snapshot.get(&tile).copied().filter(|p| *p != id)
+        } else {
+            None
+        };
+        if shared_by.is_some() {
+            // V2V collaboration hit: fetch the neighbour's result over
+            // DSRC instead of recomputing.
+            let dsrc = LinkSpec::dsrc();
+            let fetch = dsrc.transfer_time(Direction::Downlink, cfg.download_bytes);
+            let merge = SimDuration::from_millis_f64(2.0 + jitter);
+            let e2e = dsrc.latency() + fetch + merge;
+            st.metrics.e2e_latency_ms.record_duration(e2e);
+            st.metrics
+                .energy_per_request_j
+                .record(fetch.as_secs_f64() * DSRC_W);
+            st.metrics.collab_hits += 1;
+        } else {
+            st.outbox.push(EdgeRequest {
+                vehicle: id,
+                seq,
+                tenant,
+                region,
+                arrival: now,
+            });
+            if cacheable {
+                st.publications.push((tile, id));
+            }
+        }
+    }
+
+    // Open-loop reschedule with ±10% deterministic jitter.
+    let next_jitter = st.vehicles[local].rng.uniform();
+    let delay = cfg.request_period.mul_f64(0.9 + 0.2 * next_jitter);
+    if now + delay <= horizon {
+        ctx.schedule_in(delay, "fleet-tick", move |ctx| tick(ctx, local));
+    }
+}
+
+/// Builds the label table `region id → fault target label`.
+pub(crate) fn region_label_table(regions: u32) -> Vec<String> {
+    (0..regions).map(region_label).collect()
+}

@@ -1,0 +1,80 @@
+//! Per-vehicle state and mobility.
+//!
+//! Vehicles are open-loop request sources: each issues a perception
+//! request every `request_period` (±10% deterministic jitter from its
+//! own RNG stream) regardless of how earlier requests fared. All
+//! per-vehicle randomness comes from `SeedFactory::indexed_stream`
+//! keyed by the vehicle id — never by shard — so the same vehicle
+//! replays the same decisions no matter which worker thread hosts it.
+
+use vdap_offload::Tile;
+use vdap_sim::{RngStream, SimTime};
+
+/// Nominal fleet cruising speed used by the mobility model.
+pub(crate) const SPEED_MPH: f64 = 30.0;
+
+/// Number of route cohorts: vehicles in the same cohort drive the same
+/// route (offset only in id), so their road tiles coincide and V2V
+/// result sharing can hit.
+pub(crate) const ROUTE_COHORTS: u32 = 8;
+
+/// Vehicle radio power draw while transmitting over cellular (W).
+pub(crate) const RADIO_W: f64 = 2.5;
+
+/// Vehicle compute-board power draw while running fallback inference (W).
+pub(crate) const BOARD_W: f64 = 35.0;
+
+/// DSRC radio power draw during a V2V exchange (W).
+pub(crate) const DSRC_W: f64 = 1.0;
+
+/// One simulated vehicle.
+#[derive(Debug)]
+pub(crate) struct VehicleState {
+    /// Fleet-wide vehicle id.
+    pub id: u32,
+    /// Tenant the vehicle's services bill to.
+    pub tenant: u32,
+    /// LTE region the vehicle drives in.
+    pub region: u32,
+    /// Private random stream (seeded by vehicle id, not shard).
+    pub rng: RngStream,
+    /// Next request sequence number.
+    pub seq: u32,
+}
+
+/// The route cohort a vehicle belongs to.
+pub(crate) fn cohort_of(id: u32) -> u32 {
+    (id / 16) % ROUTE_COHORTS
+}
+
+/// The road tile a vehicle occupies at `now`. Cohorts drive parallel
+/// offsets of the same route at [`SPEED_MPH`], so two cohort-mates
+/// always share a tile while vehicles of different cohorts never do.
+pub(crate) fn tile_at(id: u32, now: SimTime) -> Tile {
+    let hours = now.elapsed().as_secs_f64() / 3600.0;
+    let miles = f64::from(cohort_of(id)) * 0.5 + SPEED_MPH * hours;
+    Tile::containing(miles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdap_sim::SimDuration;
+
+    #[test]
+    fn cohort_mates_share_tiles_strangers_do_not() {
+        let t = SimTime::from_secs(30);
+        // Vehicles 0 and 5 share cohort 0; vehicle 16 is cohort 1.
+        assert_eq!(cohort_of(0), cohort_of(5));
+        assert_ne!(cohort_of(0), cohort_of(16));
+        assert_eq!(tile_at(0, t), tile_at(5, t));
+        assert_ne!(tile_at(0, t), tile_at(16, t));
+    }
+
+    #[test]
+    fn vehicles_move_across_tiles_over_time() {
+        let start = tile_at(3, SimTime::ZERO);
+        let later = tile_at(3, SimTime::ZERO + SimDuration::from_secs(60));
+        assert_ne!(start, later, "30 mph for 60 s crosses a 0.1-mile tile");
+    }
+}

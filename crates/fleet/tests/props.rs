@@ -1,0 +1,94 @@
+//! Property tests for the fleet engine's two determinism contracts:
+//! streaming-histogram merges are associative and commutative
+//! bit-for-bit, and fleet metrics are invariant to the shard count.
+
+use proptest::prelude::*;
+use vdap_fleet::{FleetConfig, FleetEngine};
+use vdap_sim::{SeedFactory, SimDuration, SimTime, StreamingHistogram};
+
+/// Fills a histogram with `n` samples from a seeded stream.
+fn filled(seed: u64, stream: u64, n: u32) -> StreamingHistogram {
+    let mut rng = SeedFactory::new(seed).indexed_stream("hist-prop", stream);
+    let mut h = StreamingHistogram::new("lat");
+    for _ in 0..n {
+        h.record(rng.uniform_range(0.0, 500.0));
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn histogram_merge_is_commutative(seed in any::<u64>(), n in 1u32..200, m in 1u32..200) {
+        let a = filled(seed, 0, n);
+        let b = filled(seed, 1, m);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.mean().to_bits(), ba.mean().to_bits());
+        prop_assert_eq!(format!("{ab}"), format!("{ba}"));
+    }
+
+    #[test]
+    fn histogram_merge_is_associative(seed in any::<u64>(), n in 1u32..100) {
+        let (a, b, c) = (filled(seed, 0, n), filled(seed, 1, n), filled(seed, 2, n));
+        // (a + b) + c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a + (b + c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(left.mean().to_bits(), right.mean().to_bits());
+    }
+
+    #[test]
+    fn merging_empty_is_identity(seed in any::<u64>(), n in 0u32..100) {
+        let a = filled(seed, 0, n);
+        let mut merged = a.clone();
+        merged.merge(&StreamingHistogram::new("lat"));
+        prop_assert_eq!(&merged, &a);
+    }
+}
+
+/// A fleet small enough to run many times under proptest but big enough
+/// to exercise every outcome path (edge, collab, reject, failover).
+fn quick_config(seed: u64, shards: u32) -> FleetConfig {
+    let mut cfg = FleetConfig::sized(64, shards);
+    cfg.seed = seed;
+    cfg.duration = SimDuration::from_secs(8);
+    cfg.with_regional_outage(0, SimTime::from_secs(2), SimDuration::from_secs(3))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn same_seed_shard_count_invariance(seed in any::<u64>()) {
+        let summaries: Vec<String> = [1u32, 2, 8]
+            .iter()
+            .map(|&shards| FleetEngine::new(quick_config(seed, shards)).run().summary())
+            .collect();
+        prop_assert_eq!(&summaries[0], &summaries[1], "1 vs 2 shards diverged");
+        prop_assert_eq!(&summaries[0], &summaries[2], "1 vs 8 shards diverged");
+    }
+}
+
+#[test]
+fn full_scale_shard_invariance_smoke() {
+    // The acceptance-criteria configuration at reduced duration: 1,000
+    // vehicles, default tenants/regions, 1 vs 8 shards byte-identical.
+    let build = |shards| {
+        let mut cfg = FleetConfig::sized(1000, shards);
+        cfg.duration = SimDuration::from_secs(5);
+        FleetEngine::new(cfg).run()
+    };
+    let one = build(1);
+    let eight = build(8);
+    assert_eq!(one.summary(), eight.summary());
+    assert_eq!(one.metrics, eight.metrics);
+    assert_eq!(one.events_processed, eight.events_processed);
+}

@@ -208,6 +208,22 @@ impl LinkSpec {
             latency: self.latency,
         }
     }
+
+    /// Returns the per-vehicle share of this link when `n` vehicles use
+    /// it concurrently: bandwidth divides evenly, latency is unchanged.
+    /// `n = 0` is treated as a single user. Fleet-scale runs use this to
+    /// surface cell-tower / RSU contention without simulating the MAC
+    /// layer.
+    #[must_use]
+    pub fn shared_among(&self, n: u32) -> LinkSpec {
+        let n = n.max(1) as f64;
+        LinkSpec {
+            kind: self.kind,
+            uplink_mbps: self.uplink_mbps / n,
+            downlink_mbps: self.downlink_mbps / n,
+            latency: self.latency,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -262,6 +278,17 @@ mod tests {
         let l = LinkSpec::lte().scaled(0.5);
         assert_eq!(l.bandwidth_mbps(Direction::Uplink), 4.0);
         assert_eq!(l.latency(), LinkSpec::lte().latency());
+    }
+
+    #[test]
+    fn shared_among_divides_bandwidth_keeps_latency() {
+        let l = LinkSpec::lte().shared_among(4);
+        assert_eq!(l.bandwidth_mbps(Direction::Uplink), 2.0);
+        assert_eq!(l.bandwidth_mbps(Direction::Downlink), 5.0);
+        assert_eq!(l.latency(), LinkSpec::lte().latency());
+        // Zero users degrades to a single user, not a division by zero.
+        let solo = LinkSpec::lte().shared_among(0);
+        assert_eq!(solo, LinkSpec::lte());
     }
 
     #[test]

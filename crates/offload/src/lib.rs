@@ -34,11 +34,13 @@
 #![warn(missing_debug_implementations)]
 
 mod collab;
+mod contention;
 mod cost;
 mod planner;
 mod strategy;
 
 pub use collab::{CollabStats, ResultCache, ResultKey, SharedResult, Tile};
+pub use contention::ContentionModel;
 pub use cost::CostReport;
 pub use planner::{optimal_placement, Plan, PlanError, MAX_EXHAUSTIVE_STAGES};
 pub use strategy::{

@@ -40,7 +40,7 @@ mod time;
 mod trace;
 
 pub use event::{Ctx, EventFn, RunReport, Simulation, StopReason};
-pub use metrics::{Counter, Histogram, Summary, TimeSeries};
+pub use metrics::{Counter, Histogram, StreamingHistogram, Summary, TimeSeries};
 pub use reliability::ReliabilityStats;
 pub use rng::{RngStream, SeedFactory};
 pub use time::{SimDuration, SimTime};

@@ -262,6 +262,26 @@ const SUBS: usize = 90;
 const DECADES: usize = 16; // 1e-4 .. 1e12
 const FLOOR: f64 = 1e-4;
 
+fn bucket_index(value: f64) -> usize {
+    if value <= FLOOR || value.is_nan() {
+        return 0;
+    }
+    let decade = value.log10().floor();
+    let d = ((decade - FLOOR.log10()) as isize).clamp(0, DECADES as isize - 1) as usize;
+    let lo = 10f64.powf(FLOOR.log10() + d as f64);
+    let frac = (value / lo - 1.0) / 9.0; // [1,10) -> [0,1)
+    let sub = ((frac * SUBS as f64) as usize).min(SUBS - 1);
+    d * SUBS + sub
+}
+
+fn bucket_value(index: usize) -> f64 {
+    let d = index / SUBS;
+    let sub = index % SUBS;
+    let lo = 10f64.powf(FLOOR.log10() + d as f64);
+    // Midpoint of the linear sub-bucket.
+    lo * (1.0 + 9.0 * (sub as f64 + 0.5) / SUBS as f64)
+}
+
 impl Histogram {
     /// Creates an empty histogram with a diagnostic name.
     #[must_use]
@@ -276,33 +296,13 @@ impl Histogram {
         }
     }
 
-    fn bucket_index(value: f64) -> usize {
-        if value <= FLOOR || value.is_nan() {
-            return 0;
-        }
-        let decade = value.log10().floor();
-        let d = ((decade - FLOOR.log10()) as isize).clamp(0, DECADES as isize - 1) as usize;
-        let lo = 10f64.powf(FLOOR.log10() + d as f64);
-        let frac = (value / lo - 1.0) / 9.0; // [1,10) -> [0,1)
-        let sub = ((frac * SUBS as f64) as usize).min(SUBS - 1);
-        d * SUBS + sub
-    }
-
-    fn bucket_value(index: usize) -> f64 {
-        let d = index / SUBS;
-        let sub = index % SUBS;
-        let lo = 10f64.powf(FLOOR.log10() + d as f64);
-        // Midpoint of the linear sub-bucket.
-        lo * (1.0 + 9.0 * (sub as f64 + 0.5) / SUBS as f64)
-    }
-
     /// Records one non-negative sample (non-finite samples are ignored).
     pub fn record(&mut self, value: f64) {
         if !value.is_finite() {
             return;
         }
         let value = value.max(0.0);
-        let idx = Self::bucket_index(value);
+        let idx = bucket_index(value);
         self.buckets[idx] += 1;
         self.count += 1;
         self.sum += value;
@@ -365,7 +365,7 @@ impl Histogram {
                 continue;
             }
             if seen + c > target {
-                return Self::bucket_value(idx).clamp(self.min, self.max);
+                return bucket_value(idx).clamp(self.min, self.max);
             }
             seen += c;
         }
@@ -391,6 +391,175 @@ impl Histogram {
 }
 
 impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: n={} mean={:.3} p50={:.3} p95={:.3} p99={:.3} max={:.3}",
+            self.name,
+            self.count,
+            self.mean(),
+            self.quantile(0.5),
+            self.quantile(0.95),
+            self.quantile(0.99),
+            self.max()
+        )
+    }
+}
+
+/// Fixed-point quantum for [`StreamingHistogram`] sums: one microunit.
+const MICRO: f64 = 1e6;
+
+/// An order-independent, mergeable streaming histogram.
+///
+/// Same log-bucket layout as [`Histogram`], but the running sum is kept
+/// in fixed-point integer microunits instead of an `f64`. Integer
+/// addition is associative and commutative, so merging per-shard
+/// histograms in *any* order or grouping produces a bit-identical
+/// result — the property that lets a sharded fleet run report the same
+/// aggregate metrics as a single-threaded run of the same seed. (An
+/// `f64` sum would pick up grouping-dependent rounding.)
+///
+/// The price is quantization: each sample is rounded to the nearest
+/// 1e-6 before being added to the sum, so `mean()` is exact to ±0.5e-6
+/// per sample. Quantiles come from the buckets and are unaffected.
+///
+/// # Examples
+///
+/// ```
+/// use vdap_sim::StreamingHistogram;
+///
+/// let mut a = StreamingHistogram::new("latency_ms");
+/// let mut b = StreamingHistogram::new("latency_ms");
+/// a.record(2.0);
+/// b.record(4.0);
+/// let mut ab = a.clone();
+/// ab.merge(&b);
+/// let mut ba = b.clone();
+/// ba.merge(&a);
+/// assert_eq!(ab, ba); // merge is commutative, bit-for-bit
+/// assert_eq!(ab.count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamingHistogram {
+    name: String,
+    buckets: Vec<u64>,
+    count: u64,
+    /// Sum of `round(value * 1e6)` — exact integer accumulation.
+    sum_micro: u128,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingHistogram {
+    /// Creates an empty histogram with a diagnostic name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        StreamingHistogram {
+            name: name.into(),
+            buckets: vec![0; SUBS * DECADES],
+            count: 0,
+            sum_micro: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one non-negative sample (non-finite samples are ignored).
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let value = value.max(0.0);
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum_micro += (value * MICRO).round() as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records a duration in milliseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_millis_f64());
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded samples (0 when empty; quantized to 1e-6).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_micro as f64 / MICRO / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Approximate quantile (worst-case ~1.1% relative error).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((self.count as f64 - 1.0) * q).round() as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c > target {
+                return bucket_value(idx).clamp(self.min, self.max);
+            }
+            seen += c;
+        }
+        self.max
+    }
+
+    /// Diagnostic name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Merges another histogram's samples into this one. Associative and
+    /// commutative bit-for-bit (the merge-order-independence every
+    /// sharded aggregation relies on).
+    pub fn merge(&mut self, other: &StreamingHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_micro += other.sum_micro;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for StreamingHistogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
@@ -470,6 +639,75 @@ impl TimeSeries {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn streaming_histogram_tracks_quantiles_like_histogram() {
+        let mut s = StreamingHistogram::new("lat");
+        let mut h = Histogram::new("lat");
+        for i in 1..=1000 {
+            let v = i as f64 * 0.1;
+            s.record(v);
+            h.record(v);
+        }
+        assert_eq!(s.count(), 1000);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            let a = s.quantile(q);
+            let b = h.quantile(q);
+            assert!(
+                (a - b).abs() <= 1e-9,
+                "q={q}: streaming {a} vs exact-bucket {b}"
+            );
+        }
+        assert!((s.mean() - h.mean()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn streaming_histogram_merge_is_grouping_independent() {
+        // Three shards, merged in two different groupings and orders, must
+        // be bit-identical — including the fixed-point sum.
+        let mk = |lo: u32, hi: u32| {
+            let mut s = StreamingHistogram::new("lat");
+            for i in lo..hi {
+                s.record(0.1 + (i as f64) * 0.317);
+            }
+            s
+        };
+        let (a, b, c) = (mk(0, 100), mk(100, 250), mk(250, 400));
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        let mut bc = c.clone();
+        bc.merge(&b);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        assert_eq!(left, right);
+        assert_eq!(format!("{left}"), format!("{right}"));
+        assert_eq!(left.mean().to_bits(), right.mean().to_bits());
+    }
+
+    #[test]
+    fn streaming_histogram_ignores_junk_samples() {
+        let mut s = StreamingHistogram::new("lat");
+        s.record(f64::NAN);
+        s.record(f64::INFINITY);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile(0.5), 0.0);
+        s.record(-4.0); // clamped to 0
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn streaming_histogram_records_durations_in_ms() {
+        let mut s = StreamingHistogram::new("lat");
+        s.record_duration(SimDuration::from_millis(250));
+        assert!((s.mean() - 250.0).abs() < 1e-6);
+        assert_eq!(s.name(), "lat");
+    }
 
     #[test]
     fn counter_accumulates_and_rates() {

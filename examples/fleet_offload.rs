@@ -1,75 +1,82 @@
-//! Fleet-scale offloading study: the three §III computing architectures
-//! priced on the same detection stream at three speeds, plus the V2V
-//! collaboration saving (§III-C).
+//! Fleet-scale offloading study on the sharded fleet engine: 1,200
+//! vehicles stream detection work to the shared multi-tenant XEdge
+//! deployment for 90 simulated seconds, under three levels of edge
+//! load, with a regional LTE outage thrown in. Finishes by re-running
+//! the heaviest point on a single shard to demonstrate the engine's
+//! byte-identical determinism contract.
 //!
 //! ```text
 //! cargo run --release --example fleet_offload
 //! ```
 
-use openvdap::scenario::{
-    collaboration_experiment, compare_strategies, sweep, CollabMode, ScenarioConfig,
-};
-use openvdap::Mph;
-use vdap_sim::SimDuration;
+use openvdap::scenario::{sweep, ScenarioConfig};
+use vdap_fleet::{FleetEngine, WorkerPool};
+use vdap_sim::{SimDuration, SimTime};
 
 fn main() {
-    let speeds = [0.0, 35.0, 70.0];
-    // The crossbeam-backed sweep evaluates each speed point in parallel.
-    let results = sweep(speeds.to_vec(), |speed| {
+    let shards = WorkerPool::with_default_size().threads() as u32;
+    let scenario = ScenarioConfig {
+        seed: 42,
+        vehicles: 1200,
+        duration: SimDuration::from_secs(90),
+        request_period: SimDuration::from_secs(1),
+        ..ScenarioConfig::default()
+    };
+
+    // The worker-pool-backed sweep evaluates each load point in
+    // parallel (capped at the machine's core count).
+    let loads = [1.0, 2.0, 4.0];
+    let base = scenario.clone();
+    let results = sweep(loads.to_vec(), move |edge_load| {
         let cfg = ScenarioConfig {
-            seed: 42,
-            vehicles: 4,
-            speed: Mph(speed),
-            duration: SimDuration::from_secs(30),
-            request_period: SimDuration::from_millis(500),
-            edge_load: 1.0,
-            board_busy_secs: 1.0,
-        };
-        (speed, compare_strategies(&cfg))
+            edge_load,
+            ..base.clone()
+        }
+        .fleet(shards)
+        .with_regional_outage(0, SimTime::from_secs(30), SimDuration::from_secs(15));
+        (edge_load, FleetEngine::new(cfg).run())
     });
 
     println!(
-        "{:>6}  {:<12} {:>16} {:>18} {:>16}",
-        "speed", "strategy", "mean latency", "energy/req (J)", "uplink B/req"
+        "{:>9}  {:>8} {:>12} {:>12} {:>12} {:>14}",
+        "edge load", "requests", "p95 e2e (ms)", "reject rate", "collab hits", "energy/req (J)"
     );
     println!("{}", "-".repeat(74));
-    for (speed, outcomes) in results {
-        for o in outcomes {
-            println!(
-                "{:>4.0}mph  {:<12} {:>16} {:>18.3} {:>16}",
-                speed,
-                o.strategy,
-                o.cost.mean_latency().to_string(),
-                o.cost.mean_energy_j(),
-                o.cost.bytes_up / o.cost.requests.max(1),
-            );
-        }
-        println!();
+    for (edge_load, report) in &results {
+        println!(
+            "{:>8.1}x  {:>8} {:>12.1} {:>12.4} {:>12} {:>14.3}",
+            edge_load,
+            report.metrics.requests,
+            report.metrics.e2e_latency_ms.quantile(0.95),
+            report.reject_rate(),
+            report.metrics.collab_hits,
+            report.metrics.energy_per_request_j.mean(),
+        );
     }
 
-    // Collaboration: a convoy scanning the same corridor.
-    let cfg = ScenarioConfig {
-        vehicles: 4,
-        speed: Mph(35.0),
-        duration: SimDuration::from_secs(120),
-        ..ScenarioConfig::default()
-    };
-    let off = collaboration_experiment(&cfg, CollabMode::Off);
-    let gossip = collaboration_experiment(&cfg, CollabMode::DsrcGossip);
-    let rsu = collaboration_experiment(&cfg, CollabMode::RsuRelay);
-    println!("V2V collaboration over a 4-vehicle convoy:");
-    println!("  no sharing:   {} scans computed", off.computations);
-    println!(
-        "  DSRC gossip:  {} computed, {} reused (hit rate {:.0}%)",
-        gossip.computations,
-        gossip.reused,
-        gossip.hit_rate * 100.0
+    let (_, heaviest) = results.last().expect("three load points");
+    println!();
+    println!("heaviest point (shards={}):", heaviest.shards);
+    print!("{}", heaviest.summary());
+
+    // Determinism contract: the same seed on a single shard reproduces
+    // the sharded run's aggregate metrics byte for byte.
+    let single_cfg = ScenarioConfig {
+        edge_load: loads[2],
+        ..scenario
+    }
+    .fleet(1)
+    .with_regional_outage(0, SimTime::from_secs(30), SimDuration::from_secs(15));
+    let single = FleetEngine::new(single_cfg).run();
+    assert_eq!(
+        single.summary(),
+        heaviest.summary(),
+        "1-shard and {}-shard summaries must be byte-identical",
+        heaviest.shards
     );
+    println!();
     println!(
-        "  RSU relay:    {} computed, {} reused (hit rate {:.0}%), {} of compute saved",
-        rsu.computations,
-        rsu.reused,
-        rsu.hit_rate * 100.0,
-        rsu.saved
+        "determinism: 1-shard rerun matches the {}-shard summary byte for byte",
+        heaviest.shards
     );
 }

@@ -31,6 +31,7 @@ impl Criterion {
             _parent: self,
             name: name.into(),
             samples: 10,
+            throughput: None,
         }
     }
 
@@ -49,6 +50,15 @@ impl Criterion {
 
 fn f_adapter<F: FnMut(&mut Bencher)>(f: &mut F) -> impl FnMut(&mut Bencher) + '_ {
     move |b| f(b)
+}
+
+/// Per-iteration work size attached to a group; reported as a rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements (events, requests, …) processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
 }
 
 /// Identifier for a parameterised benchmark.
@@ -89,12 +99,19 @@ pub struct BenchmarkGroup<'a> {
     _parent: &'a mut Criterion,
     name: String,
     samples: u32,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
     /// Sets the number of timing samples per benchmark.
     pub fn sample_size(&mut self, n: u32) -> &mut Self {
         self.samples = n.max(1);
+        self
+    }
+
+    /// Sets the per-iteration work size; reports add a rate column.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
         self
     }
 
@@ -114,7 +131,7 @@ impl BenchmarkGroup<'_> {
         } else {
             format!("{}/{}", self.name, id)
         };
-        bencher.report(&label);
+        bencher.report(&label, self.throughput);
         self
     }
 
@@ -175,13 +192,18 @@ impl Bencher {
         self.iters += u64::from(n);
     }
 
-    fn report(&self, label: &str) {
+    fn report(&self, label: &str, throughput: Option<Throughput>) {
         if self.iters == 0 {
             println!("{label:<50} (no iterations)");
             return;
         }
         let mean = self.elapsed.as_secs_f64() / self.iters as f64;
-        println!("{label:<50} {:>12.3} µs/iter", mean * 1e6);
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => format!("  {:>14.0} elem/s", n as f64 / mean),
+            Some(Throughput::Bytes(n)) => format!("  {:>14.0} B/s", n as f64 / mean),
+            None => String::new(),
+        };
+        println!("{label:<50} {:>12.3} µs/iter{rate}", mean * 1e6);
     }
 }
 

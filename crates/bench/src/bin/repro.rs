@@ -33,13 +33,20 @@ fn print_experiment(name: &str) -> bool {
         "admission" => experiments::admission(),
         "infotainment" => experiments::infotainment(SEED),
         "fleet" => experiments::fleet(SEED),
+        "fleet-chaos" => experiments::fleet_chaos(SEED),
         _ => return false,
     };
+    // Chaos-bearing experiments derive their fault windows from the run
+    // seed; print it above the table so the exact storm can be rebuilt
+    // from the output alone.
+    if matches!(name, "fleet" | "fleet-chaos") {
+        println!("fault-plan seed: {SEED}");
+    }
     println!("{}", table.render());
     true
 }
 
-const ALL: [&str; 17] = [
+const ALL: [&str; 18] = [
     "table1",
     "fig2",
     "fig3",
@@ -57,6 +64,7 @@ const ALL: [&str; 17] = [
     "admission",
     "infotainment",
     "fleet",
+    "fleet-chaos",
 ];
 
 /// Prints usage plus the list of every reproduction target.

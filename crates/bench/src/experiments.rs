@@ -759,6 +759,86 @@ fn fleet_table(cfg: FleetConfig) -> TextTable {
     t
 }
 
+/// E15 — fleet-scale chaos: the E14 fleet under the full edge-tier
+/// storm ([`openvdap::chaos::fleet_chaos_config`]) — XEdge node 1
+/// crashes for 8 s, tenant 0's admission quota flaps to 30 % for 10 s,
+/// and region 2 rides a 6 s handoff storm. The table reports the
+/// degradation-ladder outcomes and per-component availability per shard
+/// count; the final row asserts the determinism contract holds under
+/// chaos too.
+#[must_use]
+pub fn fleet_chaos(seed: u64) -> TextTable {
+    fleet_chaos_table(openvdap::chaos::fleet_chaos_config(seed))
+}
+
+/// Runs the chaos `cfg` at 1 and 8 shards and renders the comparison.
+fn fleet_chaos_table(cfg: FleetConfig) -> TextTable {
+    let run = |shards: u32| {
+        let mut c = cfg.clone();
+        c.shards = shards;
+        FleetEngine::new(c).run()
+    };
+    let single = run(1);
+    let sharded = run(8);
+    let mut t = TextTable::new(
+        "E15 — fleet-scale chaos: node crash + quota flap + handoff storm (1 vs 8 shards)",
+        &["metric", "1 shard", "8 shards"],
+    );
+    type ReportCol = fn(&vdap_fleet::FleetReport) -> String;
+    let rows: [(&str, ReportCol); 12] = [
+        ("requests", |r| r.metrics.requests.to_string()),
+        ("edge served", |r| r.metrics.edge_served.to_string()),
+        ("rejected (load)", |r| r.metrics.rejected.to_string()),
+        ("requeued off crashed lanes", |r| {
+            r.metrics.requeued.to_string()
+        }),
+        ("rung 1: retry rescued", |r| {
+            r.metrics.retry_rescued.to_string()
+        }),
+        ("rung 1: retry attempts", |r| {
+            r.reliability.retry_count().to_string()
+        }),
+        ("rung 2: handoffs", |r| r.metrics.handoffs.to_string()),
+        ("rung 3: local fallbacks", |r| {
+            r.metrics.local_fallbacks.to_string()
+        }),
+        ("degraded-mode seconds", |r| {
+            f3(r.reliability.total_degraded_time().as_secs_f64())
+        }),
+        ("MTTR mean (ms)", |r| f3(r.reliability.mttr().mean())),
+        ("faults injected", |r| {
+            r.reliability.faults_injected().to_string()
+        }),
+        ("e2e p95 (ms)", |r| {
+            f3(r.metrics.e2e_latency_ms.quantile(0.95))
+        }),
+    ];
+    for (label, get) in rows {
+        t.row(&[label.into(), get(&single), get(&sharded)]);
+    }
+    for (i, (component, avail)) in single.region_availability.iter().enumerate() {
+        t.row(&[
+            format!("availability[{component}]"),
+            format!("{avail:.6}"),
+            format!("{:.6}", sharded.region_availability[i].1),
+        ]);
+    }
+    let identical = single.summary() == sharded.summary();
+    assert!(
+        identical,
+        "fleet chaos determinism violated: 1-shard and 8-shard \
+         summaries diverged\n--- 1 shard ---\n{}\n--- 8 shards ---\n{}",
+        single.summary(),
+        sharded.summary()
+    );
+    t.row(&[
+        "summaries byte-identical".into(),
+        "yes".into(),
+        "yes".into(),
+    ]);
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -880,6 +960,26 @@ mod tests {
         let rendered = fleet_table(cfg).render();
         assert!(rendered.contains("summaries byte-identical"), "{rendered}");
         assert!(rendered.contains("events processed"), "{rendered}");
+    }
+
+    #[test]
+    fn fleet_chaos_table_pins_ladder_and_invariance() {
+        // Scaled-down E15: all three edge-tier fault kinds on a small
+        // fleet; the table must render the ladder rows, per-component
+        // availability, and assert the byte-identical contract.
+        let mut cfg = FleetConfig::sized(96, 1);
+        cfg.duration = SimDuration::from_secs(10);
+        cfg.edge_nodes = 2;
+        let cfg = cfg
+            .with_edge_node_crash(0, SimTime::from_secs(2), SimDuration::from_secs(3))
+            .with_tenant_quota_flap(0, 0.3, SimTime::from_secs(4), SimDuration::from_secs(3))
+            .with_handoff_storm(1, SimTime::from_secs(5), SimDuration::from_secs(2));
+        let rendered = fleet_chaos_table(cfg).render();
+        assert!(rendered.contains("rung 1: retry rescued"), "{rendered}");
+        assert!(rendered.contains("rung 3: local fallbacks"), "{rendered}");
+        assert!(rendered.contains("availability[xedge/node0]"), "{rendered}");
+        assert!(rendered.contains("availability[tenant0]"), "{rendered}");
+        assert!(rendered.contains("summaries byte-identical"), "{rendered}");
     }
 
     #[test]

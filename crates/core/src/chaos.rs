@@ -417,6 +417,13 @@ fn handle_fault(ctx: &mut Ctx<'_, ChaosWorld>, edge: FaultEdge, kind: FaultKind,
                 // On GiveUp the outage stays open and availability shows it.
             }
         }
+        FaultKind::EdgeNodeCrash
+        | FaultKind::TenantQuotaFlap { .. }
+        | FaultKind::RegionHandoffStorm => {
+            // Edge-tier fleet faults have no single-vehicle analogue;
+            // the fleet engine's barrier pass handles them (see
+            // [`crate::scenario`]'s fleet-chaos sweep).
+        }
     }
 }
 
@@ -582,9 +589,72 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     }
 }
 
+/// Builds the fleet-scale chaos scenario (the repro binary's E15): a
+/// 1,000-vehicle fleet for one simulated minute whose XEdge node 1
+/// crashes mid-run, tenant 0's admission quota flaps to 30 % of
+/// nominal, and region 2's cell rides a handoff storm. Every window
+/// lives on the shared barrier clock, so any shard count replays the
+/// same storm — callers set `shards` freely.
+#[must_use]
+pub fn fleet_chaos_config(seed: u64) -> vdap_fleet::FleetConfig {
+    let mut cfg = vdap_fleet::FleetConfig::sized(1000, 1);
+    cfg.seed = seed;
+    cfg.duration = SimDuration::from_secs(60);
+    cfg.with_edge_node_crash(1, SimTime::from_secs(10), SimDuration::from_secs(8))
+        .with_tenant_quota_flap(0, 0.3, SimTime::from_secs(20), SimDuration::from_secs(10))
+        .with_handoff_storm(2, SimTime::from_secs(35), SimDuration::from_secs(6))
+}
+
+/// Runs `cfg` at every shard count in parallel (through the worker-pool
+/// [`crate::scenario::sweep`]) and returns each count's summary. The
+/// fleet determinism contract makes every returned string
+/// byte-identical; callers assert it to catch drift.
+#[must_use]
+pub fn fleet_chaos_sweep(
+    cfg: &vdap_fleet::FleetConfig,
+    shard_counts: &[u32],
+) -> Vec<(u32, String)> {
+    crate::scenario::sweep(shard_counts.to_vec(), |shards| {
+        let mut c = cfg.clone();
+        c.shards = shards;
+        (shards, vdap_fleet::FleetEngine::new(c).run().summary())
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fleet_chaos_config_carries_all_edge_tier_kinds() {
+        let cfg = fleet_chaos_config(42);
+        let plan = cfg.chaos.as_ref().expect("chaos plan present");
+        let labels: Vec<&str> = plan.faults().iter().map(|f| f.kind.label()).collect();
+        assert!(labels.contains(&"edge-node-crash"), "{labels:?}");
+        assert!(labels.contains(&"tenant-quota-flap"), "{labels:?}");
+        assert!(labels.contains(&"region-handoff-storm"), "{labels:?}");
+    }
+
+    #[test]
+    fn fleet_chaos_sweep_is_shard_invariant() {
+        // The E15 storm scaled down to test size: same three fault
+        // kinds, smaller fleet and horizon.
+        let mut cfg = vdap_fleet::FleetConfig::sized(96, 1);
+        cfg.seed = 7;
+        cfg.duration = SimDuration::from_secs(10);
+        cfg.edge_nodes = 2;
+        let cfg = cfg
+            .with_edge_node_crash(0, SimTime::from_secs(2), SimDuration::from_secs(3))
+            .with_tenant_quota_flap(0, 0.3, SimTime::from_secs(4), SimDuration::from_secs(3))
+            .with_handoff_storm(1, SimTime::from_secs(5), SimDuration::from_secs(2));
+        let results = fleet_chaos_sweep(&cfg, &[1, 2, 4]);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].0, 1);
+        for (shards, summary) in &results[1..] {
+            assert_eq!(summary, &results[0].1, "{shards} shards diverged");
+        }
+        assert!(results[0].1.contains("ladder:"), "{}", results[0].1);
+    }
 
     #[test]
     fn every_submission_gets_exactly_one_outcome() {

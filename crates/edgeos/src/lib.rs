@@ -49,5 +49,5 @@ pub use privacy::{Pseudonym, PseudonymManager, VehicleId};
 pub use security::{Attestation, GuardState, IsolationMode, SecurityError, SecurityMonitor};
 pub use service::{kidnapper_search, Pipeline, PipelineStage, PolymorphicService, ServiceState};
 pub use sharing::{AuditEntry, SharedItem, SharingBus, SharingError, Token};
-pub use supervisor::{ServiceSupervisor, SupervisorDecision};
+pub use supervisor::{CrashLoopPolicy, ServiceSupervisor, SupervisorDecision};
 pub use tenancy::{FairQueue, TenantAdmission, TenantId};

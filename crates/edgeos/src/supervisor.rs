@@ -12,6 +12,51 @@ use vdap_sim::{SimDuration, SimTime, TraceLevel, TraceLog};
 
 use crate::service::PolymorphicService;
 
+/// Windowed crash-loop detection shared by the service supervisor and
+/// the fleet's XEdge node health tracking: a component crashing more
+/// than `max_crashes` times inside a sliding `window` is declared
+/// crash-looping and should be given up on rather than restarted
+/// forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashLoopPolicy {
+    /// Sliding window for crash-loop detection.
+    pub window: SimDuration,
+    /// Crashes tolerated inside the window before giving up.
+    pub max_crashes: u32,
+}
+
+impl CrashLoopPolicy {
+    /// Creates a policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_crashes` is zero (nothing could ever restart).
+    #[must_use]
+    pub fn new(window: SimDuration, max_crashes: u32) -> Self {
+        assert!(max_crashes >= 1, "must tolerate at least one crash");
+        CrashLoopPolicy {
+            window,
+            max_crashes,
+        }
+    }
+
+    /// The supervisor's default: at most 3 crashes in a 60 s window.
+    #[must_use]
+    pub fn supervisor_default() -> Self {
+        CrashLoopPolicy::new(SimDuration::from_secs(60), 3)
+    }
+
+    /// Records a crash at `now` into `history`, prunes instants that
+    /// have slid out of the window, and returns
+    /// `(crashes_in_window, is_crash_looping)`.
+    pub fn observe(&self, history: &mut Vec<SimTime>, now: SimTime) -> (u32, bool) {
+        history.push(now);
+        history.retain(|&t| now.duration_since(t) <= self.window);
+        let in_window = history.len() as u32;
+        (in_window, in_window > self.max_crashes)
+    }
+}
+
 /// What the supervisor decided to do about a crash.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SupervisorDecision {
@@ -37,10 +82,8 @@ pub struct ServiceSupervisor {
     base_backoff: SimDuration,
     /// Backoff multiplier per additional crash in the window.
     backoff_factor: f64,
-    /// Sliding window for crash-loop detection.
-    window: SimDuration,
-    /// Crashes tolerated inside the window before giving up.
-    max_crashes: u32,
+    /// Crash-loop detection policy.
+    policy: CrashLoopPolicy,
     /// Crash instants per service (windowed on use).
     history: BTreeMap<String, Vec<SimTime>>,
     /// Services declared crash-looping.
@@ -56,8 +99,7 @@ impl ServiceSupervisor {
         ServiceSupervisor {
             base_backoff: SimDuration::from_millis(500),
             backoff_factor: 2.0,
-            window: SimDuration::from_secs(60),
-            max_crashes: 3,
+            policy: CrashLoopPolicy::supervisor_default(),
             history: BTreeMap::new(),
             given_up: BTreeMap::new(),
             trace: TraceLog::new(),
@@ -67,9 +109,7 @@ impl ServiceSupervisor {
     /// Overrides the crash-loop detection window and threshold.
     #[must_use]
     pub fn with_crash_loop_policy(mut self, window: SimDuration, max_crashes: u32) -> Self {
-        assert!(max_crashes >= 1, "must tolerate at least one crash");
-        self.window = window;
-        self.max_crashes = max_crashes;
+        self.policy = CrashLoopPolicy::new(window, max_crashes);
         self
     }
 
@@ -84,17 +124,15 @@ impl ServiceSupervisor {
         service.crash();
         let name = service.name().to_string();
         let crashes = self.history.entry(name.clone()).or_default();
-        crashes.push(now);
-        let cutoff = self.window;
-        crashes.retain(|&t| now.duration_since(t) <= cutoff);
-        let in_window = crashes.len() as u32;
-        if in_window > self.max_crashes {
+        let (in_window, looping) = self.policy.observe(crashes, now);
+        if looping {
+            let window = self.policy.window;
             self.given_up.insert(name.clone(), in_window);
             self.trace.record(
                 now,
                 TraceLevel::Error,
                 "edgeos.supervisor",
-                format!("'{name}' crash-looping ({in_window} crashes in {cutoff}); giving up"),
+                format!("'{name}' crash-looping ({in_window} crashes in {window}); giving up"),
             );
             return SupervisorDecision::GiveUp {
                 crashes_in_window: in_window,
@@ -257,6 +295,30 @@ mod tests {
             t += SimDuration::from_secs(120);
         }
         assert!(!sup.is_given_up(svc.name()));
+    }
+
+    #[test]
+    fn crash_loop_policy_windows_and_verdicts() {
+        let policy = CrashLoopPolicy::new(SimDuration::from_secs(10), 2);
+        let mut history = Vec::new();
+        assert_eq!(
+            policy.observe(&mut history, SimTime::from_secs(0)),
+            (1, false)
+        );
+        assert_eq!(
+            policy.observe(&mut history, SimTime::from_secs(1)),
+            (2, false)
+        );
+        // Third crash inside the window: looping.
+        assert_eq!(
+            policy.observe(&mut history, SimTime::from_secs(2)),
+            (3, true)
+        );
+        // A crash far enough out slides the earlier ones off.
+        assert_eq!(
+            policy.observe(&mut history, SimTime::from_secs(30)),
+            (1, false)
+        );
     }
 
     #[test]

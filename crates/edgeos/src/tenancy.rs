@@ -68,6 +68,9 @@ impl fmt::Display for TenantId {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TenantAdmission {
     queue_cap: usize,
+    /// Temporary per-tenant cap overrides (quota flaps). Absent = the
+    /// nominal `queue_cap` applies.
+    cap_overrides: BTreeMap<TenantId, usize>,
     depth: BTreeMap<TenantId, usize>,
     admitted: u64,
     rejected: u64,
@@ -86,6 +89,7 @@ impl TenantAdmission {
         assert!(queue_cap > 0, "queue cap must be positive");
         TenantAdmission {
             queue_cap,
+            cap_overrides: BTreeMap::new(),
             depth: BTreeMap::new(),
             admitted: 0,
             rejected: 0,
@@ -93,11 +97,34 @@ impl TenantAdmission {
         }
     }
 
+    /// Installs a temporary cap override for `tenant` (a quota flap).
+    /// Overrides are clamped to at least 1 so a flapped tenant is
+    /// squeezed, never wedged shut; requests already outstanding above
+    /// the new cap are not evicted — they drain naturally.
+    pub fn set_cap_override(&mut self, tenant: TenantId, cap: usize) {
+        self.cap_overrides.insert(tenant, cap.max(1));
+    }
+
+    /// Removes a tenant's cap override; the nominal cap applies again.
+    pub fn clear_cap_override(&mut self, tenant: TenantId) {
+        self.cap_overrides.remove(&tenant);
+    }
+
+    /// The cap currently enforced for `tenant`.
+    #[must_use]
+    pub fn effective_cap(&self, tenant: TenantId) -> usize {
+        self.cap_overrides
+            .get(&tenant)
+            .copied()
+            .unwrap_or(self.queue_cap)
+    }
+
     /// Attempts to admit one request for `tenant`. Returns `false` (and
     /// counts a reject) when the tenant's queue is full.
     pub fn try_admit(&mut self, tenant: TenantId) -> bool {
+        let cap = self.effective_cap(tenant);
         let depth = self.depth.entry(tenant).or_insert(0);
-        if *depth >= self.queue_cap {
+        if *depth >= cap {
             self.rejected += 1;
             *self.rejected_by_tenant.entry(tenant).or_insert(0) += 1;
             false
@@ -300,6 +327,54 @@ mod tests {
         assert_eq!(adm.rejected_for(a), 1);
         assert_eq!(adm.rejected_for(b), 0);
         assert!((adm.reject_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cap_override_shrinks_and_restores_quota() {
+        let mut adm = TenantAdmission::new(4);
+        let t = TenantId::new(0);
+        assert_eq!(adm.effective_cap(t), 4);
+        adm.set_cap_override(t, 2);
+        assert_eq!(adm.effective_cap(t), 2);
+        assert!(adm.try_admit(t));
+        assert!(adm.try_admit(t));
+        assert!(!adm.try_admit(t), "shrunken cap enforced");
+        adm.clear_cap_override(t);
+        assert_eq!(adm.effective_cap(t), 4);
+        assert!(adm.try_admit(t), "nominal cap restored");
+        // Other tenants are untouched by the override.
+        let u = TenantId::new(1);
+        adm.set_cap_override(t, 1);
+        for _ in 0..4 {
+            assert!(adm.try_admit(u));
+        }
+    }
+
+    #[test]
+    fn cap_override_is_clamped_to_one() {
+        let mut adm = TenantAdmission::new(8);
+        let t = TenantId::new(3);
+        adm.set_cap_override(t, 0);
+        assert_eq!(adm.effective_cap(t), 1, "flap squeezes, never wedges");
+        assert!(adm.try_admit(t));
+        assert!(!adm.try_admit(t));
+    }
+
+    #[test]
+    fn outstanding_above_shrunken_cap_drains_naturally() {
+        let mut adm = TenantAdmission::new(3);
+        let t = TenantId::new(0);
+        for _ in 0..3 {
+            assert!(adm.try_admit(t));
+        }
+        adm.set_cap_override(t, 1);
+        assert_eq!(adm.depth(t), 3, "no eviction on shrink");
+        assert!(!adm.try_admit(t));
+        adm.release(t);
+        adm.release(t);
+        assert!(!adm.try_admit(t), "still at the shrunken cap");
+        adm.release(t);
+        assert!(adm.try_admit(t));
     }
 
     #[test]

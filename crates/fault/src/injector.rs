@@ -133,6 +133,29 @@ impl FaultInjector {
             .product()
     }
 
+    /// Effective admission-quota multiplier for a tenant label at `now`:
+    /// the product of all active [`FaultKind::TenantQuotaFlap`] factors
+    /// on `target`, 1.0 when no flap is active.
+    #[must_use]
+    pub fn quota_factor(&self, target: &str, now: SimTime) -> f64 {
+        self.active_at(now)
+            .filter(|w| w.target == target)
+            .map(|w| match w.kind {
+                FaultKind::TenantQuotaFlap { factor } => factor,
+                _ => 1.0,
+            })
+            .product()
+    }
+
+    /// Whether a [`FaultKind::RegionHandoffStorm`] covers `target` at
+    /// `now`. Storms are soft — coverage exists but every request pays
+    /// the mobility handoff cost — so they never show up in `is_down`.
+    #[must_use]
+    pub fn handoff_storm(&self, target: &str, now: SimTime) -> bool {
+        self.active_at(now)
+            .any(|w| w.target == target && matches!(w.kind, FaultKind::RegionHandoffStorm))
+    }
+
     /// When the earliest currently-active hard fault on `target` clears,
     /// or `None` when the target is up at `now`.
     #[must_use]
@@ -254,6 +277,62 @@ mod tests {
             Some(SimTime::from_secs(15))
         );
         assert_eq!(inj.next_transition_after(SimTime::from_secs(15)), None);
+    }
+
+    #[test]
+    fn quota_factors_compose_and_default_to_one() {
+        let plan = FaultPlan::new(SimDuration::from_secs(100))
+            .with_fault(FaultSpec::new(
+                FaultKind::TenantQuotaFlap { factor: 0.5 },
+                "tenant0",
+                SimTime::from_secs(0),
+                SimDuration::from_secs(50),
+            ))
+            .with_fault(FaultSpec::new(
+                FaultKind::TenantQuotaFlap { factor: 0.4 },
+                "tenant0",
+                SimTime::from_secs(20),
+                SimDuration::from_secs(10),
+            ));
+        let inj = plan.compile();
+        assert!((inj.quota_factor("tenant0", SimTime::from_secs(10)) - 0.5).abs() < 1e-12);
+        assert!((inj.quota_factor("tenant0", SimTime::from_secs(25)) - 0.2).abs() < 1e-12);
+        assert!((inj.quota_factor("tenant0", SimTime::from_secs(60)) - 1.0).abs() < 1e-12);
+        assert!((inj.quota_factor("tenant1", SimTime::from_secs(25)) - 1.0).abs() < 1e-12);
+        // A quota flap degrades admission; the tenant is not down.
+        assert!(!inj.is_down("tenant0", SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn handoff_storms_are_soft_faults() {
+        let plan = FaultPlan::new(SimDuration::from_secs(100)).with_fault(FaultSpec::new(
+            FaultKind::RegionHandoffStorm,
+            "region2/handoff",
+            SimTime::from_secs(10),
+            SimDuration::from_secs(5),
+        ));
+        let inj = plan.compile();
+        assert!(inj.handoff_storm("region2/handoff", SimTime::from_secs(12)));
+        assert!(!inj.handoff_storm("region2/handoff", SimTime::from_secs(15)));
+        assert!(!inj.handoff_storm("region3/handoff", SimTime::from_secs(12)));
+        assert!(!inj.is_down("region2/handoff", SimTime::from_secs(12)));
+    }
+
+    #[test]
+    fn edge_node_crash_is_hard() {
+        let plan = FaultPlan::new(SimDuration::from_secs(100)).with_fault(FaultSpec::new(
+            FaultKind::EdgeNodeCrash,
+            "xedge/node1",
+            SimTime::from_secs(10),
+            SimDuration::from_secs(5),
+        ));
+        let inj = plan.compile();
+        assert!(inj.is_down("xedge/node1", SimTime::from_secs(10)));
+        assert!(!inj.is_down("xedge/node1", SimTime::from_secs(15)));
+        assert_eq!(
+            inj.next_recovery("xedge/node1", SimTime::from_secs(12)),
+            Some(SimTime::from_secs(15))
+        );
     }
 
     #[test]

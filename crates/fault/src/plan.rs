@@ -38,6 +38,20 @@ pub enum FaultKind {
     /// A service crashes (edgeos) at window start; duration models the
     /// time the crashed instance stays unrecoverable.
     ServiceCrash,
+    /// An XEdge node goes hard-down (fleet): its lane pool vanishes and
+    /// in-flight requests on its lanes must be re-queued or bounced.
+    EdgeNodeCrash,
+    /// A tenant's admission quota shrinks to `factor` of nominal
+    /// (fleet/edgeos): requests past the shrunken cap are bounced into
+    /// the degradation ladder until the flap clears.
+    TenantQuotaFlap {
+        /// Quota multiplier in `(0, 1]`.
+        factor: f64,
+    },
+    /// A region's cellular coverage is in a handoff storm (net/fleet):
+    /// vehicles must re-register through a neighbor region's cell,
+    /// paying the mobility handoff cost on every request.
+    RegionHandoffStorm,
 }
 
 impl FaultKind {
@@ -51,6 +65,7 @@ impl FaultKind {
                 | FaultKind::LinkOutage
                 | FaultKind::StorageWriteError
                 | FaultKind::ServiceCrash
+                | FaultKind::EdgeNodeCrash
         )
     }
 
@@ -64,6 +79,9 @@ impl FaultKind {
             FaultKind::BandwidthCollapse { .. } => "bandwidth-collapse",
             FaultKind::StorageWriteError => "storage-write-error",
             FaultKind::ServiceCrash => "service-crash",
+            FaultKind::EdgeNodeCrash => "edge-node-crash",
+            FaultKind::TenantQuotaFlap { .. } => "tenant-quota-flap",
+            FaultKind::RegionHandoffStorm => "region-handoff-storm",
         }
     }
 }
@@ -134,6 +152,12 @@ pub struct ChaosProfile {
     pub stores: Vec<String>,
     /// Service names eligible for crashes.
     pub services: Vec<String>,
+    /// XEdge node labels eligible for node crashes.
+    pub edge_nodes: Vec<String>,
+    /// Tenant labels eligible for quota flaps.
+    pub tenants: Vec<String>,
+    /// Region labels eligible for handoff storms.
+    pub regions: Vec<String>,
     /// Mean gap between fault activations (exponential).
     pub mean_gap: SimDuration,
     /// Mean fault duration (exponential, floored at 100 ms).
@@ -150,6 +174,9 @@ impl ChaosProfile {
             links: Vec::new(),
             stores: Vec::new(),
             services: Vec::new(),
+            edge_nodes: Vec::new(),
+            tenants: Vec::new(),
+            regions: Vec::new(),
             mean_gap: SimDuration::from_secs(60),
             mean_duration: SimDuration::from_secs(15),
         }
@@ -200,28 +227,25 @@ impl FaultPlan {
 
     /// Draws a randomized plan from a dedicated RNG stream: fault start
     /// times arrive as a Poisson process (exponential gaps at
-    /// `profile.mean_gap`), each picking a category uniformly among
-    /// those with targets, a target uniformly within the category, and
-    /// an exponential duration. Same stream state ⇒ identical plan.
+    /// `profile.mean_gap`), each picking a fault kind uniformly among
+    /// *all* kind slots, a target uniformly within that kind's class,
+    /// and an exponential duration. An arrival whose drawn class has no
+    /// targets is skipped outright — it does not redistribute its
+    /// probability to the populated classes, so each class's fault rate
+    /// is independent of which other classes are empty. Same stream
+    /// state ⇒ identical plan.
     #[must_use]
     pub fn randomized(rng: &mut RngStream, horizon: SimDuration, profile: &ChaosProfile) -> Self {
+        const KIND_SLOTS: u64 = 9;
         let mut plan = FaultPlan::new(horizon);
-        let mut categories: Vec<u8> = Vec::new();
-        if !profile.slots.is_empty() {
-            categories.push(0);
-            categories.push(1);
-        }
-        if !profile.links.is_empty() {
-            categories.push(2);
-            categories.push(3);
-        }
-        if !profile.stores.is_empty() {
-            categories.push(4);
-        }
-        if !profile.services.is_empty() {
-            categories.push(5);
-        }
-        if categories.is_empty() {
+        let any_targets = !(profile.slots.is_empty()
+            && profile.links.is_empty()
+            && profile.stores.is_empty()
+            && profile.services.is_empty()
+            && profile.edge_nodes.is_empty()
+            && profile.tenants.is_empty()
+            && profile.regions.is_empty());
+        if !any_targets {
             return plan;
         }
         let mut at = SimTime::ZERO;
@@ -235,50 +259,59 @@ impl FaultPlan {
                 rng.exponential(profile.mean_duration.as_secs_f64())
                     .max(0.1),
             );
-            let cat = *rng.pick(&categories).expect("non-empty categories");
-            let spec = match cat {
-                0 => FaultSpec::new(
-                    FaultKind::SlotFailure,
-                    rng.pick(&profile.slots).expect("slots").clone(),
-                    at,
-                    duration,
-                ),
-                1 => FaultSpec::new(
-                    FaultKind::SlotThrottle {
-                        factor: rng.uniform_range(0.2, 0.8),
-                    },
-                    rng.pick(&profile.slots).expect("slots").clone(),
-                    at,
-                    duration,
-                ),
-                2 => FaultSpec::new(
-                    FaultKind::LinkOutage,
-                    rng.pick(&profile.links).expect("links").clone(),
-                    at,
-                    duration,
-                ),
-                3 => FaultSpec::new(
-                    FaultKind::BandwidthCollapse {
-                        factor: rng.uniform_range(0.02, 0.3),
-                    },
-                    rng.pick(&profile.links).expect("links").clone(),
-                    at,
-                    duration,
-                ),
-                4 => FaultSpec::new(
-                    FaultKind::StorageWriteError,
-                    rng.pick(&profile.stores).expect("stores").clone(),
-                    at,
-                    duration,
-                ),
-                _ => FaultSpec::new(
-                    FaultKind::ServiceCrash,
-                    rng.pick(&profile.services).expect("services").clone(),
-                    at,
-                    duration,
-                ),
+            let spec = match rng.below(KIND_SLOTS) {
+                0 => rng
+                    .pick(&profile.slots)
+                    .cloned()
+                    .map(|target| FaultSpec::new(FaultKind::SlotFailure, target, at, duration)),
+                1 => {
+                    // Draw the factor before picking so the stream
+                    // consumption per slot id is fixed even when the
+                    // class is empty and the arrival is skipped.
+                    let factor = rng.uniform_range(0.2, 0.8);
+                    rng.pick(&profile.slots).cloned().map(|target| {
+                        FaultSpec::new(FaultKind::SlotThrottle { factor }, target, at, duration)
+                    })
+                }
+                2 => rng
+                    .pick(&profile.links)
+                    .cloned()
+                    .map(|target| FaultSpec::new(FaultKind::LinkOutage, target, at, duration)),
+                3 => {
+                    let factor = rng.uniform_range(0.02, 0.3);
+                    rng.pick(&profile.links).cloned().map(|target| {
+                        FaultSpec::new(
+                            FaultKind::BandwidthCollapse { factor },
+                            target,
+                            at,
+                            duration,
+                        )
+                    })
+                }
+                4 => rng.pick(&profile.stores).cloned().map(|target| {
+                    FaultSpec::new(FaultKind::StorageWriteError, target, at, duration)
+                }),
+                5 => rng
+                    .pick(&profile.services)
+                    .cloned()
+                    .map(|target| FaultSpec::new(FaultKind::ServiceCrash, target, at, duration)),
+                6 => rng
+                    .pick(&profile.edge_nodes)
+                    .cloned()
+                    .map(|target| FaultSpec::new(FaultKind::EdgeNodeCrash, target, at, duration)),
+                7 => {
+                    let factor = rng.uniform_range(0.1, 0.5);
+                    rng.pick(&profile.tenants).cloned().map(|target| {
+                        FaultSpec::new(FaultKind::TenantQuotaFlap { factor }, target, at, duration)
+                    })
+                }
+                _ => rng.pick(&profile.regions).cloned().map(|target| {
+                    FaultSpec::new(FaultKind::RegionHandoffStorm, target, at, duration)
+                }),
             };
-            plan.faults.push(spec);
+            if let Some(spec) = spec {
+                plan.faults.push(spec);
+            }
         }
         plan
     }
@@ -338,5 +371,67 @@ mod tests {
         let plan =
             FaultPlan::randomized(&mut rng, SimDuration::from_secs(600), &ChaosProfile::new());
         assert!(plan.faults().is_empty());
+    }
+
+    /// Regression: an arrival whose class has no targets must be
+    /// dropped, not redistributed. With only the slot class populated,
+    /// slot faults claim their own 2 of 9 kind slots — the plan emits
+    /// roughly 2/9 of the Poisson arrivals instead of all of them.
+    #[test]
+    fn empty_classes_skip_arrivals_instead_of_biasing() {
+        let profile = ChaosProfile {
+            slots: vec!["slot0".into()],
+            mean_gap: SimDuration::from_secs(10),
+            ..ChaosProfile::new()
+        };
+        let mut rng = SeedFactory::new(17).stream("faults");
+        let plan = FaultPlan::randomized(&mut rng, SimDuration::from_secs(9_000), &profile);
+        // ~900 arrivals at a 10 s mean gap; unbiased draw keeps ~200.
+        let n = plan.faults().len();
+        assert!(
+            (100..=320).contains(&n),
+            "expected ~2/9 of ~900 arrivals, got {n}"
+        );
+        for f in plan.faults() {
+            assert!(matches!(
+                f.kind,
+                FaultKind::SlotFailure | FaultKind::SlotThrottle { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn edge_tier_kinds_are_drawn_with_sane_factors() {
+        let profile = ChaosProfile {
+            edge_nodes: vec!["xedge/node0".into(), "xedge/node1".into()],
+            tenants: vec!["tenant0".into()],
+            regions: vec!["region0/handoff".into()],
+            mean_gap: SimDuration::from_secs(5),
+            ..ChaosProfile::new()
+        };
+        let mut rng = SeedFactory::new(7).stream("faults");
+        let plan = FaultPlan::randomized(&mut rng, SimDuration::from_secs(3_000), &profile);
+        let mut crashes = 0;
+        let mut flaps = 0;
+        let mut storms = 0;
+        for f in plan.faults() {
+            match f.kind {
+                FaultKind::EdgeNodeCrash => {
+                    assert!(f.target.starts_with("xedge/node"));
+                    crashes += 1;
+                }
+                FaultKind::TenantQuotaFlap { factor } => {
+                    assert!((0.1..=0.5).contains(&factor), "factor {factor}");
+                    assert_eq!(f.target, "tenant0");
+                    flaps += 1;
+                }
+                FaultKind::RegionHandoffStorm => {
+                    assert_eq!(f.target, "region0/handoff");
+                    storms += 1;
+                }
+                other => panic!("unexpected kind {other}"),
+            }
+        }
+        assert!(crashes > 0 && flaps > 0 && storms > 0);
     }
 }

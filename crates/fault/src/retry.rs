@@ -375,4 +375,102 @@ mod tests {
         assert_eq!(pol.backoff_delay(3, &mut r), SimDuration::from_secs(2));
         assert_eq!(pol.backoff_delay(4, &mut r), SimDuration::from_secs(4));
     }
+
+    /// Boundary: an attempt that takes *exactly* the remaining budget is
+    /// a success landing precisely on the deadline, not a cutoff.
+    #[test]
+    fn success_landing_exactly_on_deadline_counts() {
+        let report = retry_until_deadline(
+            &policy(),
+            SimTime::from_secs(10),
+            SimDuration::from_secs(5),
+            &mut rng(),
+            |_, _| AttemptOutcome::Success(SimDuration::from_secs(5)),
+        );
+        assert!(report.succeeded());
+        assert_eq!(report.attempts, 1);
+        assert_eq!(report.finished_at, SimTime::from_secs(15));
+        assert_eq!(report.total, SimDuration::from_secs(5));
+    }
+
+    /// Boundary: a retry whose backoff sleep ends exactly at the instant
+    /// a zero-length final attempt succeeds still lands on the deadline.
+    #[test]
+    fn retry_landing_exactly_on_deadline_counts() {
+        // Attempt 1 fails after 2 s, backoff is 1 s, attempt 2 succeeds
+        // after exactly the 2 s that remain of the 5 s budget.
+        let report = retry_until_deadline(
+            &policy(),
+            SimTime::ZERO,
+            SimDuration::from_secs(5),
+            &mut rng(),
+            |attempt, _| {
+                if attempt == 1 {
+                    AttemptOutcome::Failure(SimDuration::from_secs(2))
+                } else {
+                    AttemptOutcome::Success(SimDuration::from_secs(2))
+                }
+            },
+        );
+        assert!(report.succeeded());
+        assert_eq!(report.attempts, 2);
+        assert_eq!(report.finished_at, SimTime::from_secs(5));
+    }
+
+    /// Boundary: a zero budget admits only zero-length work — anything
+    /// longer is cut off at the start instant with no time passing.
+    #[test]
+    fn zero_budget_deadline() {
+        let start = SimTime::from_secs(42);
+        let report =
+            retry_until_deadline(&policy(), start, SimDuration::ZERO, &mut rng(), |_, _| {
+                AttemptOutcome::Failure(SimDuration::from_secs(1))
+            });
+        assert!(!report.succeeded());
+        assert_eq!(
+            report.error,
+            Some(RetryError::DeadlineExceeded { attempts: 1 })
+        );
+        assert_eq!(report.finished_at, start);
+        assert_eq!(report.total, SimDuration::ZERO);
+
+        // An instantaneous success fits inside a zero budget.
+        let report =
+            retry_until_deadline(&policy(), start, SimDuration::ZERO, &mut rng(), |_, _| {
+                AttemptOutcome::Success(SimDuration::ZERO)
+            });
+        assert!(report.succeeded());
+        assert_eq!(report.finished_at, start);
+    }
+
+    /// Boundary: backoff arithmetic near `SimDuration::MAX` saturates
+    /// instead of overflowing, and the deadline cap still holds.
+    #[test]
+    fn backoff_overflow_near_duration_max_saturates() {
+        let pol = RetryPolicy {
+            max_attempts: 3,
+            base_delay: SimDuration::MAX,
+            backoff_factor: 1e18,
+            jitter: 0.0,
+            attempt_timeout: None,
+        };
+        // The nominal delay overflows any finite representation; the
+        // policy must saturate rather than wrap or panic.
+        let mut r = rng();
+        assert_eq!(pol.backoff_delay(2, &mut r), SimDuration::MAX);
+        assert_eq!(pol.backoff_delay(3, &mut r), SimDuration::MAX);
+
+        // Inside the loop a saturated delay always exceeds the remaining
+        // budget, so the retry gives up at the failed attempt.
+        let budget = SimDuration::from_secs(30);
+        let report = retry_until_deadline(&pol, SimTime::ZERO, budget, &mut rng(), |_, _| {
+            AttemptOutcome::Failure(SimDuration::from_secs(1))
+        });
+        assert!(!report.succeeded());
+        assert_eq!(
+            report.error,
+            Some(RetryError::DeadlineExceeded { attempts: 1 })
+        );
+        assert!(report.finished_at <= SimTime::ZERO + budget);
+    }
 }

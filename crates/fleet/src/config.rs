@@ -44,6 +44,11 @@ pub struct FleetConfig {
     pub vehicle_service: SimDuration,
     /// Concurrent request lanes per XEdge deployment.
     pub edge_capacity: u32,
+    /// Physical XEdge nodes the lane pool is partitioned across; lane
+    /// `i` belongs to node `i % edge_nodes` and region `r` is homed on
+    /// node `r % edge_nodes`. An [`vdap_fault::FaultKind::EdgeNodeCrash`]
+    /// takes down one node's whole lane share.
+    pub edge_nodes: u32,
     /// Per-tenant outstanding-request cap at the XEdge admission gate.
     pub tenant_queue_cap: usize,
     /// Deficit round-robin quantum (service cost units per visit).
@@ -56,6 +61,13 @@ pub struct FleetConfig {
     /// Re-planning latency a vehicle pays when failing over to on-board
     /// compute.
     pub failover_penalty: SimDuration,
+    /// End-to-end deadline budget per request: the degradation ladder's
+    /// rung-1 retry may probe a crashed node only this long past the
+    /// request's arrival before falling through to the next rung.
+    pub request_deadline: SimDuration,
+    /// Service-time multiplier for rung-3 local degraded execution —
+    /// the cheaper, lower-accuracy on-VCU pipeline.
+    pub degraded_service_factor: f64,
     /// Optional fault plan (e.g. a regional LTE outage).
     pub chaos: Option<FaultPlan>,
 }
@@ -76,11 +88,14 @@ impl Default for FleetConfig {
             edge_service: SimDuration::from_millis(8),
             vehicle_service: SimDuration::from_millis(45),
             edge_capacity: 16,
+            edge_nodes: 4,
             tenant_queue_cap: 100,
             drr_quantum: 8,
             work_units: 8,
             cacheable_fraction: 0.3,
             failover_penalty: SimDuration::from_millis(10),
+            request_deadline: SimDuration::from_secs(3),
+            degraded_service_factor: 0.6,
             chaos: None,
         }
     }
@@ -122,6 +137,68 @@ impl FleetConfig {
         self
     }
 
+    /// Adds a one-shot XEdge node crash over `[start, start + outage)`.
+    /// Regions homed on the node walk the degradation ladder for the
+    /// window.
+    #[must_use]
+    pub fn with_edge_node_crash(mut self, node: u32, start: SimTime, outage: SimDuration) -> Self {
+        use vdap_fault::{FaultKind, FaultSpec};
+        let plan = self
+            .chaos
+            .unwrap_or_else(|| FaultPlan::new(self.duration))
+            .with_fault(FaultSpec::new(
+                FaultKind::EdgeNodeCrash,
+                edge_node_label(node),
+                start,
+                outage,
+            ));
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Adds a one-shot tenant quota flap: `tenant`'s admission cap
+    /// shrinks to `factor` of nominal over `[start, start + flap)`.
+    #[must_use]
+    pub fn with_tenant_quota_flap(
+        mut self,
+        tenant: u32,
+        factor: f64,
+        start: SimTime,
+        flap: SimDuration,
+    ) -> Self {
+        use vdap_fault::{FaultKind, FaultSpec};
+        let plan = self
+            .chaos
+            .unwrap_or_else(|| FaultPlan::new(self.duration))
+            .with_fault(FaultSpec::new(
+                FaultKind::TenantQuotaFlap { factor },
+                tenant_label(tenant),
+                start,
+                flap,
+            ));
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Adds a one-shot handoff storm on `region`'s coverage over
+    /// `[start, start + storm)`: its requests re-register through a
+    /// neighbor region, paying the mobility handoff cost.
+    #[must_use]
+    pub fn with_handoff_storm(mut self, region: u32, start: SimTime, storm: SimDuration) -> Self {
+        use vdap_fault::{FaultKind, FaultSpec};
+        let plan = self
+            .chaos
+            .unwrap_or_else(|| FaultPlan::new(self.duration))
+            .with_fault(FaultSpec::new(
+                FaultKind::RegionHandoffStorm,
+                handoff_label(region),
+                start,
+                storm,
+            ));
+        self.chaos = Some(plan);
+        self
+    }
+
     /// Panics unless counts and durations are usable.
     pub(crate) fn validate(&self) {
         assert!(self.vehicles > 0, "fleet needs at least one vehicle");
@@ -141,6 +218,19 @@ impl FleetConfig {
         assert!(
             (0.0..=1.0).contains(&self.cacheable_fraction),
             "cacheable fraction must be a probability"
+        );
+        assert!(self.edge_nodes > 0, "edge needs at least one node");
+        assert!(
+            self.edge_nodes <= self.edge_capacity,
+            "every XEdge node needs at least one lane"
+        );
+        assert!(
+            self.degraded_service_factor > 0.0 && self.degraded_service_factor <= 1.0,
+            "degraded service factor must be in (0, 1]"
+        );
+        assert!(
+            !self.request_deadline.is_zero(),
+            "request deadline must be positive"
         );
     }
 
@@ -179,6 +269,28 @@ impl FleetConfig {
 #[must_use]
 pub fn region_label(region: u32) -> String {
     format!("region{region}/lte")
+}
+
+/// The fault-plan target label for a physical XEdge node.
+#[must_use]
+pub fn edge_node_label(node: u32) -> String {
+    format!("xedge/node{node}")
+}
+
+/// The fault-plan target label for a tenant's admission quota. Matches
+/// [`vdap_edgeos::TenantId`]'s `Display` so flap windows and tenant
+/// reliability records share a vocabulary.
+#[must_use]
+pub fn tenant_label(tenant: u32) -> String {
+    format!("tenant{tenant}")
+}
+
+/// The fault-plan target label for a region's handoff behaviour
+/// (distinct from its LTE outage label: a storm degrades, an outage
+/// kills).
+#[must_use]
+pub fn handoff_label(region: u32) -> String {
+    format!("region{region}/handoff")
 }
 
 #[cfg(test)]

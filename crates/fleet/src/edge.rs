@@ -7,17 +7,47 @@
 //! time (the [`ContentionModel`]), and per-region LTE bandwidth sharing.
 //! Because serving consumes only globally-determined data in a canonical
 //! order, its outputs are independent of how the fleet was sharded.
+//!
+//! ## Edge-tier chaos and the degradation ladder
+//!
+//! The lane pool is partitioned across `edge_nodes` physical XEdge
+//! nodes; each region is homed on node `region % edge_nodes`. Fault
+//! state ([`vdap_fault::FaultKind::EdgeNodeCrash`],
+//! [`vdap_fault::FaultKind::TenantQuotaFlap`],
+//! [`vdap_fault::FaultKind::RegionHandoffStorm`]) is sampled only at
+//! epoch barriers — the injector is a pure function of time — so chaos
+//! lives entirely in this deterministic serving pass and the N-shard vs
+//! 1-shard invariant survives.
+//!
+//! A request hitting a fault walks a graceful-degradation ladder:
+//!
+//! 1. **Deadline-aware retry** ([`vdap_fault::retry_until_deadline`]):
+//!    probe the crashed home node once per epoch until the request's
+//!    deadline budget runs out. A rescued request is served without
+//!    occupying a lane (a modeling shortcut: the rescue completes on
+//!    the freshly recovered, momentarily idle node).
+//! 2. **Neighbor-region handoff**: re-register through the nearest
+//!    region whose home node is healthy, paying the mobility handoff
+//!    cost from [`vdap_net::CellularChannel`].
+//! 3. **Local degraded execution**: run the pipeline on the VCU at
+//!    reduced accuracy — faster and at lower board power than the full
+//!    on-board fallback, with the degraded-mode seconds charged to the
+//!    tenant.
+//!
+//! A node that crashes more than [`vdap_edgeos::CrashLoopPolicy`]
+//! allows inside its window is declared crash-looping and stays down
+//! for the rest of the run.
 
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BTreeMap;
 
-use vdap_edgeos::{FairQueue, TenantAdmission, TenantId};
-use vdap_net::{Direction, LinkSpec};
+use vdap_edgeos::{CrashLoopPolicy, FairQueue, TenantAdmission, TenantId};
+use vdap_fault::{retry_until_deadline, AttemptOutcome, FaultInjector, RetryPolicy};
+use vdap_net::{CellularChannel, Direction, LinkSpec, Mph};
 use vdap_offload::ContentionModel;
-use vdap_sim::{SimDuration, SimTime};
+use vdap_sim::{RngStream, SimDuration, SimTime};
 
-use crate::config::FleetConfig;
-use crate::vehicle::RADIO_W;
+use crate::config::{edge_node_label, handoff_label, region_label, tenant_label, FleetConfig};
+use crate::vehicle::{DEGRADED_BOARD_W, RADIO_W, SPEED_MPH};
 
 /// One vehicle request bound for the shared edge.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,6 +57,9 @@ pub(crate) struct EdgeRequest {
     pub tenant: u32,
     pub region: u32,
     pub arrival: SimTime,
+    /// Serving attempts so far (0 = never assigned a lane). Bumped when
+    /// a node crash re-queues the request.
+    pub attempts: u32,
 }
 
 /// A request the edge finished serving, with vehicle-side accounting.
@@ -36,11 +69,22 @@ pub(crate) struct ServedRequest {
     pub energy_j: f64,
 }
 
-/// A request bounced at the admission gate (its uplink time was already
-/// spent discovering that).
+/// A request bounced at the admission gate under nominal quotas (its
+/// uplink time was already spent discovering that).
 #[derive(Debug, Clone)]
 pub(crate) struct RejectedRequest {
     pub uplink: SimDuration,
+}
+
+/// A request that fell to the bottom ladder rung: local on-VCU
+/// execution at degraded accuracy.
+#[derive(Debug, Clone)]
+pub(crate) struct LocalFallback {
+    pub tenant: u32,
+    pub e2e: SimDuration,
+    pub energy_j: f64,
+    /// Degraded-mode serving time charged to the tenant.
+    pub degraded: SimDuration,
 }
 
 /// What one barrier's serving pass produced.
@@ -48,43 +92,120 @@ pub(crate) struct RejectedRequest {
 pub(crate) struct EpochOutcome {
     pub served: Vec<ServedRequest>,
     pub rejected: Vec<RejectedRequest>,
+    pub local_fallbacks: Vec<LocalFallback>,
     pub queue_depth: usize,
+    /// In-flight requests re-queued off crashed lanes this barrier.
+    pub requeued: u64,
+    /// Retry attempts spent on ladder rung 1.
+    pub retry_attempts: u64,
+    /// Requests rescued by rung-1 retry (sub-count of `served`).
+    pub retry_rescued: u64,
+    /// Rung-1 retries that exhausted their deadline budget.
+    pub retry_exhausted: u64,
+    /// Requests served through a neighbor region's node (rung 2,
+    /// sub-count of `served`).
+    pub handoffs: u64,
+}
+
+/// One lane of one physical XEdge node.
+#[derive(Debug, Clone)]
+struct Lane {
+    node: u32,
+    free: SimTime,
+}
+
+/// A request occupying a lane until `finish`.
+#[derive(Debug, Clone)]
+struct InFlight {
+    finish: SimTime,
+    node: u32,
+    served: ServedRequest,
+    req: EdgeRequest,
 }
 
 /// The shared multi-tenant XEdge deployment.
 #[derive(Debug)]
 pub(crate) struct XEdgeServer {
-    /// Per-lane next-free instants; lanes persist across epochs so
-    /// backlog carries over.
-    lanes: BinaryHeap<Reverse<SimTime>>,
+    /// Lanes persist across epochs so backlog carries over; lane `i`
+    /// belongs to node `i % edge_nodes`.
+    lanes: Vec<Lane>,
+    /// Requests currently occupying lanes, completion-pending.
+    in_flight: Vec<InFlight>,
+    /// Requests stripped off crashed lanes, awaiting the next pass.
+    requeued: Vec<EdgeRequest>,
+    /// Whether each node was down at the previous barrier.
+    node_down: Vec<bool>,
+    /// Barrier instants at which each node crashed (windowed).
+    crash_history: Vec<Vec<SimTime>>,
+    /// Nodes declared crash-looping: down for the rest of the run.
+    crash_looped: Vec<bool>,
+    crash_policy: CrashLoopPolicy,
     contention: ContentionModel,
     admission: TenantAdmission,
     lte: LinkSpec,
+    /// Per-handoff connectivity gap at fleet cruising speed.
+    handoff_cost: SimDuration,
     epoch: SimDuration,
     base_service: SimDuration,
     drr_quantum: u64,
     work_units: u64,
     upload_bytes: u64,
     download_bytes: u64,
+    edge_nodes: u32,
+    regions: u32,
+    tenants: u32,
+    nominal_cap: usize,
+    request_deadline: SimDuration,
+    failover_penalty: SimDuration,
+    vehicle_service: SimDuration,
+    degraded_service_factor: f64,
+    /// Cached fault-target labels, indexed by id.
+    node_labels: Vec<String>,
+    region_labels: Vec<String>,
+    handoff_labels: Vec<String>,
+    tenant_labels: Vec<String>,
 }
 
 impl XEdgeServer {
     pub fn new(cfg: &FleetConfig) -> Self {
-        let mut lanes = BinaryHeap::with_capacity(cfg.edge_capacity as usize);
-        for _ in 0..cfg.edge_capacity.max(1) {
-            lanes.push(Reverse(SimTime::ZERO));
-        }
+        let nodes = cfg.edge_nodes.max(1);
+        let capacity = cfg.edge_capacity.max(1);
+        let lanes = (0..capacity)
+            .map(|i| Lane {
+                node: i % nodes,
+                free: SimTime::ZERO,
+            })
+            .collect();
         XEdgeServer {
             lanes,
-            contention: ContentionModel::new(cfg.edge_capacity.max(1)),
+            in_flight: Vec::new(),
+            requeued: Vec::new(),
+            node_down: vec![false; nodes as usize],
+            crash_history: vec![Vec::new(); nodes as usize],
+            crash_looped: vec![false; nodes as usize],
+            crash_policy: CrashLoopPolicy::new(SimDuration::from_secs(30), 3),
+            contention: ContentionModel::new(capacity),
             admission: TenantAdmission::new(cfg.tenant_queue_cap),
             lte: LinkSpec::lte(),
+            handoff_cost: CellularChannel::calibrated().handoff_cost(Mph(SPEED_MPH)),
             epoch: cfg.epoch,
             base_service: cfg.edge_service,
             drr_quantum: cfg.drr_quantum,
             work_units: cfg.work_units,
             upload_bytes: cfg.upload_bytes,
             download_bytes: cfg.download_bytes,
+            edge_nodes: nodes,
+            regions: cfg.regions,
+            tenants: cfg.tenants,
+            nominal_cap: cfg.tenant_queue_cap,
+            request_deadline: cfg.request_deadline,
+            failover_penalty: cfg.failover_penalty,
+            vehicle_service: cfg.vehicle_service,
+            degraded_service_factor: cfg.degraded_service_factor,
+            node_labels: (0..nodes).map(edge_node_label).collect(),
+            region_labels: (0..cfg.regions).map(region_label).collect(),
+            handoff_labels: (0..cfg.regions).map(handoff_label).collect(),
+            tenant_labels: (0..cfg.tenants).map(tenant_label).collect(),
         }
     }
 
@@ -98,6 +219,22 @@ impl XEdgeServer {
         self.admission.rejected()
     }
 
+    /// The physical node serving `region`'s traffic.
+    fn home_node(&self, region: u32) -> u32 {
+        region % self.edge_nodes
+    }
+
+    /// Whether `node` is unusable at `barrier` (crashed or looping).
+    fn node_unavailable(
+        &self,
+        injector: Option<&FaultInjector>,
+        node: u32,
+        barrier: SimTime,
+    ) -> bool {
+        self.crash_looped[node as usize]
+            || injector.is_some_and(|inj| inj.is_down(&self.node_labels[node as usize], barrier))
+    }
+
     /// The per-vehicle share of a region's LTE cell given the average
     /// transfer concurrency implied by this epoch's batch.
     fn region_link(&self, region_count: u32) -> LinkSpec {
@@ -107,11 +244,223 @@ impl XEdgeServer {
         self.lte.shared_among(concurrency.max(1.0) as u32)
     }
 
+    /// Earliest-free lane of `node` (lowest index breaks ties).
+    fn best_lane(&self, node: u32) -> usize {
+        self.lanes
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.node == node)
+            .min_by_key(|(i, l)| (l.free, *i))
+            .map(|(i, _)| i)
+            .expect("every node owns at least one lane")
+    }
+
+    /// Refreshes node health at `barrier`: detects up→down edges,
+    /// strips in-flight work off crashed lanes into the requeue buffer,
+    /// and applies the crash-loop policy.
+    fn refresh_nodes(&mut self, injector: Option<&FaultInjector>, barrier: SimTime) -> u64 {
+        let mut requeued = 0u64;
+        for node in 0..self.edge_nodes {
+            let idx = node as usize;
+            let down = self.node_unavailable(injector, node, barrier);
+            if down && !self.node_down[idx] {
+                // Fresh crash at this barrier: in-flight work on the
+                // node's lanes is lost and must be re-queued; the lane
+                // pool restarts cold on recovery.
+                let mut kept = Vec::with_capacity(self.in_flight.len());
+                for inf in self.in_flight.drain(..) {
+                    if inf.node == node && inf.finish > barrier {
+                        let mut req = inf.req;
+                        req.attempts += 1;
+                        requeued += 1;
+                        self.requeued.push(req);
+                    } else {
+                        kept.push(inf);
+                    }
+                }
+                self.in_flight = kept;
+                for lane in self.lanes.iter_mut().filter(|l| l.node == node) {
+                    lane.free = barrier;
+                }
+                if !self.crash_looped[idx] {
+                    let (_, looping) = self
+                        .crash_policy
+                        .observe(&mut self.crash_history[idx], barrier);
+                    if looping {
+                        self.crash_looped[idx] = true;
+                    }
+                }
+            }
+            self.node_down[idx] = down;
+        }
+        requeued
+    }
+
+    /// Pops completions (`finish <= barrier`) into `outcome.served`.
+    fn emit_completions(&mut self, barrier: SimTime, outcome: &mut EpochOutcome) {
+        let mut kept = Vec::with_capacity(self.in_flight.len());
+        for inf in self.in_flight.drain(..) {
+            if inf.finish <= barrier {
+                outcome.served.push(inf.served);
+            } else {
+                kept.push(inf);
+            }
+        }
+        self.in_flight = kept;
+    }
+
+    /// Syncs per-tenant admission caps with the quota-flap state at
+    /// `barrier`: an active flap shrinks the cap to
+    /// `max(1, floor(nominal × factor))`.
+    fn refresh_quotas(&mut self, injector: Option<&FaultInjector>, barrier: SimTime) {
+        let Some(inj) = injector else { return };
+        for t in 0..self.tenants {
+            let factor = inj.quota_factor(&self.tenant_labels[t as usize], barrier);
+            let tenant = TenantId::new(t);
+            if factor < 1.0 {
+                let cap = ((self.nominal_cap as f64 * factor).floor() as usize).max(1);
+                self.admission.set_cap_override(tenant, cap);
+            } else {
+                self.admission.clear_cap_override(tenant);
+            }
+        }
+    }
+
+    /// Whether `tenant`'s quota is currently flapped below nominal.
+    fn tenant_flapped(&self, tenant: u32) -> bool {
+        self.admission.effective_cap(TenantId::new(tenant)) < self.nominal_cap
+    }
+
+    /// Rung 3: local on-VCU execution at degraded accuracy.
+    fn local_fallback(&self, req: &EdgeRequest) -> LocalFallback {
+        let service = self.vehicle_service.mul_f64(self.degraded_service_factor);
+        LocalFallback {
+            tenant: req.tenant,
+            e2e: self.failover_penalty + service,
+            energy_j: service.as_secs_f64() * DEGRADED_BOARD_W,
+            degraded: service,
+        }
+    }
+
+    /// Rung 1: probe the crashed home node once per epoch under the
+    /// request's remaining deadline budget. Returns the rescued
+    /// [`ServedRequest`] and the attempt count, or the attempts spent
+    /// when the budget ran dry.
+    #[allow(clippy::too_many_arguments)]
+    fn retry_rescue(
+        &self,
+        injector: &FaultInjector,
+        req: &EdgeRequest,
+        node: u32,
+        barrier: SimTime,
+        up: SimDuration,
+        down: SimDuration,
+        service: SimDuration,
+        rng: &mut RngStream,
+    ) -> Result<(ServedRequest, u32), u32> {
+        let elapsed = barrier.duration_since(req.arrival);
+        if elapsed >= self.request_deadline {
+            return Err(0);
+        }
+        let budget = self.request_deadline - elapsed;
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base_delay: self.epoch,
+            backoff_factor: 1.0,
+            jitter: 0.0,
+            attempt_timeout: None,
+        };
+        let label = &self.node_labels[node as usize];
+        let report = retry_until_deadline(&policy, barrier, budget, rng, |_, at| {
+            if self.crash_looped[node as usize] || injector.is_down(label, at) {
+                // The probe burns an epoch discovering the node is
+                // still gone.
+                AttemptOutcome::Failure(self.epoch)
+            } else {
+                AttemptOutcome::Success(up + service + down)
+            }
+        });
+        if report.succeeded() {
+            let e2e = report.finished_at.duration_since(req.arrival);
+            let energy_j = (up.as_secs_f64() + down.as_secs_f64()) * RADIO_W;
+            Ok((ServedRequest { e2e, energy_j }, report.attempts))
+        } else {
+            Err(report.attempts)
+        }
+    }
+
+    /// Rung 2: the nearest region whose home node is healthy and whose
+    /// cell is neither storming nor in LTE outage at `barrier`.
+    fn failover_region(
+        &self,
+        injector: Option<&FaultInjector>,
+        region: u32,
+        barrier: SimTime,
+    ) -> Option<u32> {
+        (1..self.regions)
+            .map(|d| (region + d) % self.regions)
+            .find(|&nr| {
+                let node = self.home_node(nr);
+                !self.node_unavailable(injector, node, barrier)
+                    && !injector.is_some_and(|inj| {
+                        inj.handoff_storm(&self.handoff_labels[nr as usize], barrier)
+                            || inj.is_down(&self.region_labels[nr as usize], barrier)
+                    })
+            })
+    }
+
+    /// Assigns `req` to the earliest-free lane of `node`; the request
+    /// occupies the lane until `finish` and completes at a later
+    /// barrier. `extra` is added to the end-to-end latency (handoff
+    /// cost on rung 2).
+    #[allow(clippy::too_many_arguments)]
+    fn assign_lane(
+        &mut self,
+        req: EdgeRequest,
+        node: u32,
+        up: SimDuration,
+        down: SimDuration,
+        service: SimDuration,
+        extra_latency: SimDuration,
+        extra_energy: f64,
+    ) {
+        let ready = req.arrival + up + extra_latency;
+        let lane = self.best_lane(node);
+        let free = self.lanes[lane].free;
+        let start = if ready > free { ready } else { free };
+        let finish = start + service;
+        self.lanes[lane].free = finish;
+        let e2e = finish.duration_since(req.arrival) + down;
+        let energy_j = (up.as_secs_f64() + down.as_secs_f64()) * RADIO_W + extra_energy;
+        self.in_flight.push(InFlight {
+            finish,
+            node,
+            served: ServedRequest { e2e, energy_j },
+            req,
+        });
+    }
+
     /// Serves one barrier's batch. The engine passes requests from all
     /// shards; this method sorts them canonically, so input order (and
-    /// therefore shard count) cannot influence the outcome.
-    pub fn serve_epoch(&mut self, mut batch: Vec<EdgeRequest>) -> EpochOutcome {
+    /// therefore shard count) cannot influence the outcome. `barrier`
+    /// is the global epoch-boundary instant — the only time at which
+    /// fault state is sampled — and `rng` is the engine-owned ladder
+    /// stream, consumed in canonical order.
+    pub fn serve_epoch(
+        &mut self,
+        mut batch: Vec<EdgeRequest>,
+        barrier: SimTime,
+        injector: Option<&FaultInjector>,
+        rng: &mut RngStream,
+    ) -> EpochOutcome {
         batch.sort_unstable_by_key(|r| (r.arrival, r.vehicle, r.seq));
+
+        let mut outcome = EpochOutcome {
+            requeued: self.refresh_nodes(injector, barrier),
+            ..EpochOutcome::default()
+        };
+        self.emit_completions(barrier, &mut outcome);
+        self.refresh_quotas(injector, barrier);
 
         // Per-region LTE sharing from this batch's population.
         let mut region_counts: BTreeMap<u32, u32> = BTreeMap::new();
@@ -122,20 +471,40 @@ impl XEdgeServer {
             .iter()
             .map(|(&r, &n)| (r, self.region_link(n)))
             .collect();
+        let unshared = self.lte.clone();
+        let link_for = move |region: u32| -> LinkSpec {
+            region_links
+                .get(&region)
+                .cloned()
+                .unwrap_or_else(|| unshared.clone())
+        };
 
-        // Admission (arrival order), then DRR fair queueing.
-        let mut outcome = EpochOutcome::default();
+        // Admission (arrival order), then DRR fair queueing. Requests
+        // re-queued off crashed lanes were admitted in an earlier epoch
+        // and re-enter the queue without a second admission charge.
         let mut queue: FairQueue<EdgeRequest> = FairQueue::new(self.drr_quantum);
         let mut admitted: Vec<TenantId> = Vec::new();
+        for req in std::mem::take(&mut self.requeued) {
+            if barrier.duration_since(req.arrival) >= self.request_deadline {
+                // Too stale to re-serve: straight to the bottom rung.
+                outcome.local_fallbacks.push(self.local_fallback(&req));
+            } else {
+                queue.enqueue(TenantId::new(req.tenant), self.work_units, req);
+            }
+        }
         for req in batch {
             let tenant = TenantId::new(req.tenant);
             if self.admission.try_admit(tenant) {
                 admitted.push(tenant);
                 queue.enqueue(tenant, self.work_units, req);
+            } else if self.tenant_flapped(req.tenant) {
+                // Quota flap: a fault, not load — bounced into the
+                // degradation ladder's bottom rung.
+                outcome.local_fallbacks.push(self.local_fallback(&req));
             } else {
-                let link = &region_links[&req.region];
                 outcome.rejected.push(RejectedRequest {
-                    uplink: link.transfer_time(Direction::Uplink, self.upload_bytes),
+                    uplink: link_for(req.region)
+                        .transfer_time(Direction::Uplink, self.upload_bytes),
                 });
             }
         }
@@ -150,24 +519,74 @@ impl XEdgeServer {
             .base_service
             .mul_f64(self.contention.service_multiplier(implied));
 
-        // Serve in DRR order on the earliest-free lane.
+        // Serve in DRR order on the home node's earliest-free lane,
+        // walking the degradation ladder when the home path is faulted.
         while let Some((_, req)) = queue.pop() {
-            let link = &region_links[&req.region];
+            let link = link_for(req.region);
             let up = link.transfer_time(Direction::Uplink, self.upload_bytes);
             let down = link.transfer_time(Direction::Downlink, self.download_bytes);
-            let ready = req.arrival + up;
-            let Reverse(free) = self.lanes.pop().expect("edge has at least one lane");
-            let start = if ready > free { ready } else { free };
-            let finish = start + service;
-            self.lanes.push(Reverse(finish));
-            let e2e = finish.duration_since(req.arrival) + down;
-            let energy_j = (up.as_secs_f64() + down.as_secs_f64()) * RADIO_W;
-            outcome.served.push(ServedRequest { e2e, energy_j });
+            let home = self.home_node(req.region);
+            let home_down = self.node_unavailable(injector, home, barrier);
+            let storming = injector.is_some_and(|inj| {
+                inj.handoff_storm(&self.handoff_labels[req.region as usize], barrier)
+            });
+
+            if !home_down && !storming {
+                self.assign_lane(req, home, up, down, service, SimDuration::ZERO, 0.0);
+                continue;
+            }
+
+            // Rung 1 — deadline-aware retry (crashed home node only;
+            // waiting out a handoff storm has unbounded cost).
+            if home_down {
+                if let Some(inj) = injector {
+                    match self.retry_rescue(inj, &req, home, barrier, up, down, service, rng) {
+                        Ok((served, attempts)) => {
+                            outcome.retry_attempts += u64::from(attempts);
+                            outcome.retry_rescued += 1;
+                            outcome.served.push(served);
+                            continue;
+                        }
+                        Err(attempts) => {
+                            outcome.retry_attempts += u64::from(attempts);
+                            outcome.retry_exhausted += 1;
+                        }
+                    }
+                }
+            }
+
+            // Rung 2 — hand off to the nearest healthy region's node.
+            if let Some(neighbor) = self.failover_region(injector, req.region, barrier) {
+                let node = self.home_node(neighbor);
+                let handoff = self.handoff_cost;
+                let handoff_energy = handoff.as_secs_f64() * RADIO_W;
+                self.assign_lane(req, node, up, down, service, handoff, handoff_energy);
+                outcome.handoffs += 1;
+                continue;
+            }
+
+            // Rung 3 — local degraded execution.
+            outcome.local_fallbacks.push(self.local_fallback(&req));
         }
 
         // Served requests leave the admission gate before the next epoch.
         for tenant in admitted {
             self.admission.release(tenant);
+        }
+        outcome
+    }
+
+    /// Drains everything still pending at the end of the run: in-flight
+    /// work completes past the horizon (its latency is already fixed),
+    /// and requests stranded in the requeue buffer take the local
+    /// fallback.
+    pub fn flush(&mut self) -> EpochOutcome {
+        let mut outcome = EpochOutcome::default();
+        for inf in self.in_flight.drain(..) {
+            outcome.served.push(inf.served);
+        }
+        for req in std::mem::take(&mut self.requeued) {
+            outcome.local_fallbacks.push(self.local_fallback(&req));
         }
         outcome
     }

@@ -20,12 +20,12 @@
 
 use std::sync::Arc;
 
-use vdap_fault::FaultEdge;
+use vdap_fault::{FaultEdge, FaultInjector, FaultKind};
 use vdap_offload::Tile;
 use vdap_sim::{ReliabilityStats, SeedFactory, SimDuration, SimTime};
 
-use crate::config::FleetConfig;
-use crate::edge::XEdgeServer;
+use crate::config::{tenant_label, FleetConfig};
+use crate::edge::{EpochOutcome, XEdgeServer};
 use crate::metrics::{FleetMetrics, FleetReport};
 use crate::pool::WorkerPool;
 use crate::shard::{region_label_table, CollabSnapshot, Shard};
@@ -84,22 +84,33 @@ impl FleetEngine {
         let mut engine_metrics = FleetMetrics::new();
         let mut reliability = ReliabilityStats::new();
 
-        // The regional fault timeline is a pure function of the plan, so
-        // the fleet-wide availability ledger can be written up front in
-        // time order.
+        // The fault timeline is a pure function of the plan, so the
+        // fleet-wide availability ledger can be written up front in
+        // time order. Tenant-quota flaps are folded into the per-tenant
+        // ledger below instead of the generic one, so a tenant's MTTR
+        // reflects both its own flaps and fleet-wide node crashes
+        // without double-counting the same label.
+        let horizon = cfg.horizon();
         if let Some(inj) = injector.as_deref() {
             let mut transitions = inj.transitions();
             transitions.sort_by_key(|t| (t.at, t.window));
             for tr in transitions {
                 let window = &inj.windows()[tr.window];
+                if matches!(window.kind, FaultKind::TenantQuotaFlap { .. }) {
+                    continue;
+                }
                 match tr.edge {
                     FaultEdge::Start => reliability.record_fault(&window.target, tr.at),
                     FaultEdge::End => reliability.record_recovery(&window.target, tr.at),
                 }
             }
+            record_tenant_ledger(&mut reliability, inj, &cfg, horizon);
         }
 
-        let horizon = cfg.horizon();
+        // Ladder randomness is engine-owned and consumed in canonical
+        // batch order at barriers, so it is shard-count invariant.
+        let mut ladder_rng = seeds.stream("fleet-ladder");
+        let tenant_labels: Vec<String> = (0..cfg.tenants).map(tenant_label).collect();
         let mut epoch_index = 0u64;
         loop {
             let end_raw = SimTime::ZERO + cfg.epoch * (epoch_index + 1);
@@ -128,26 +139,17 @@ impl FleetEngine {
                 reliability.record_failover(SimDuration::from_millis_f64(ms));
             }
 
-            let outcome = edge.serve_epoch(batch);
+            let outcome = edge.serve_epoch(batch, end, injector.as_deref(), &mut ladder_rng);
             engine_metrics
                 .queue_depth
                 .record(outcome.queue_depth as f64);
-            for served in &outcome.served {
-                engine_metrics.e2e_latency_ms.record_duration(served.e2e);
-                engine_metrics.energy_per_request_j.record(served.energy_j);
-            }
-            engine_metrics.edge_served += outcome.served.len() as u64;
-            for rejected in &outcome.rejected {
-                // A bounced request falls back to on-board compute after
-                // burning its uplink and a re-planning penalty.
-                let e2e = rejected.uplink + cfg.failover_penalty + cfg.vehicle_service;
-                engine_metrics.e2e_latency_ms.record_duration(e2e);
-                engine_metrics.energy_per_request_j.record(
-                    rejected.uplink.as_secs_f64() * RADIO_W
-                        + cfg.vehicle_service.as_secs_f64() * BOARD_W,
-                );
-            }
-            engine_metrics.rejected += outcome.rejected.len() as u64;
+            record_outcome(
+                &mut engine_metrics,
+                &mut reliability,
+                &outcome,
+                &cfg,
+                &tenant_labels,
+            );
 
             // Union this epoch's publications into the next snapshot;
             // ties go to the smallest vehicle id (order-independent).
@@ -173,6 +175,18 @@ impl FleetEngine {
             }
         }
 
+        // Drain work still pending at the horizon: in-flight lanes
+        // complete (their latency is fixed), stranded requeues take the
+        // local fallback.
+        let tail = edge.flush();
+        record_outcome(
+            &mut engine_metrics,
+            &mut reliability,
+            &tail,
+            &cfg,
+            &tenant_labels,
+        );
+
         // Merge shard-local metrics (associative + commutative).
         let mut metrics = engine_metrics;
         let mut events_processed = 0u64;
@@ -196,6 +210,111 @@ impl FleetEngine {
             events_processed,
             admission_offered: edge.offered(),
             admission_rejected: edge.rejected(),
+        }
+    }
+}
+
+/// Folds one barrier's serving outcome into the engine metrics and the
+/// reliability ledger. Rejected requests keep the legacy accounting: the
+/// vehicle pays the uplink it wasted discovering the bounce, then the
+/// full on-board fallback.
+fn record_outcome(
+    metrics: &mut FleetMetrics,
+    reliability: &mut ReliabilityStats,
+    outcome: &EpochOutcome,
+    cfg: &FleetConfig,
+    tenant_labels: &[String],
+) {
+    for served in &outcome.served {
+        metrics.e2e_latency_ms.record_duration(served.e2e);
+        metrics.energy_per_request_j.record(served.energy_j);
+        metrics.edge_served += 1;
+    }
+    for rejected in &outcome.rejected {
+        let e2e = rejected.uplink + cfg.failover_penalty + cfg.vehicle_service;
+        metrics.e2e_latency_ms.record_duration(e2e);
+        metrics.energy_per_request_j.record(
+            rejected.uplink.as_secs_f64() * RADIO_W + cfg.vehicle_service.as_secs_f64() * BOARD_W,
+        );
+        metrics.rejected += 1;
+    }
+    for fallback in &outcome.local_fallbacks {
+        metrics.e2e_latency_ms.record_duration(fallback.e2e);
+        metrics.energy_per_request_j.record(fallback.energy_j);
+        metrics.local_fallbacks += 1;
+        reliability.record_degraded(&tenant_labels[fallback.tenant as usize], fallback.degraded);
+    }
+    metrics.requeued += outcome.requeued;
+    metrics.retry_rescued += outcome.retry_rescued;
+    metrics.handoffs += outcome.handoffs;
+    for _ in 0..outcome.retry_attempts {
+        reliability.record_retry();
+    }
+    for _ in 0..outcome.retry_rescued {
+        reliability.record_retry_success();
+    }
+    for _ in 0..outcome.retry_exhausted {
+        reliability.record_retry_exhausted();
+    }
+}
+
+/// Writes the per-tenant availability ledger. A tenant is "down" while
+/// its own quota is flapped or while any XEdge node-crash window is
+/// active (every tenant's traffic shares the node pool). Crash windows
+/// are quantized up to the barrier grid the serving pass actually
+/// samples, so per-tenant MTTR matches what requests experienced.
+fn record_tenant_ledger(
+    reliability: &mut ReliabilityStats,
+    inj: &FaultInjector,
+    cfg: &FleetConfig,
+    horizon: SimTime,
+) {
+    let quantize = |t: SimTime| -> SimTime {
+        let k = t.elapsed().as_nanos().div_ceil(cfg.epoch.as_nanos());
+        let q = SimTime::ZERO + cfg.epoch * k;
+        if q > horizon {
+            horizon
+        } else {
+            q
+        }
+    };
+    let crash_windows: Vec<(SimTime, SimTime)> = inj
+        .windows()
+        .iter()
+        .filter(|w| matches!(w.kind, FaultKind::EdgeNodeCrash))
+        .map(|w| (quantize(w.start), quantize(w.end)))
+        .filter(|(s, e)| e > s)
+        .collect();
+    for t in 0..cfg.tenants {
+        let label = tenant_label(t);
+        let mut windows = crash_windows.clone();
+        for w in inj.windows() {
+            if matches!(w.kind, FaultKind::TenantQuotaFlap { .. }) && w.target == label {
+                let end = if w.end > horizon { horizon } else { w.end };
+                if end > w.start {
+                    windows.push((w.start, end));
+                }
+            }
+        }
+        if windows.is_empty() {
+            continue;
+        }
+        windows.sort_unstable();
+        // Coalesce overlaps so a tenant's downtime is not double-counted.
+        let mut merged: Vec<(SimTime, SimTime)> = Vec::with_capacity(windows.len());
+        for (s, e) in windows {
+            match merged.last_mut() {
+                Some((_, last_end)) if s <= *last_end => {
+                    if e > *last_end {
+                        *last_end = e;
+                    }
+                }
+                _ => merged.push((s, e)),
+            }
+        }
+        for (s, e) in merged {
+            reliability.record_fault(&label, s);
+            reliability.record_recovery(&label, e);
         }
     }
 }
@@ -225,7 +344,7 @@ mod tests {
         assert!(m.requests >= 96 * 9, "~1 request/vehicle/second");
         assert_eq!(
             m.requests,
-            m.edge_served + m.collab_hits + m.failovers + m.rejected,
+            m.edge_served + m.collab_hits + m.failovers + m.rejected + m.local_fallbacks,
             "every request has exactly one outcome"
         );
         assert!(m.collab_hits > 0, "cohort-mates should share results");
@@ -246,6 +365,48 @@ mod tests {
         assert_eq!(label, "region0/lte");
         assert!((*avail - 0.6).abs() < 1e-9, "4 s down of 10 s: {avail}");
         assert!(report.reliability.failover_latency().count() > 0);
+    }
+
+    #[test]
+    fn node_crash_walks_the_degradation_ladder() {
+        let build = |shards: u32| {
+            let mut cfg = small(shards);
+            cfg.edge_nodes = 1;
+            let cfg = cfg.with_edge_node_crash(0, SimTime::from_secs(2), SimDuration::from_secs(4));
+            FleetEngine::new(cfg).run()
+        };
+        let report = build(2);
+        let m = &report.metrics;
+        assert!(
+            m.retry_rescued > 0,
+            "late arrivals should ride out the crash via rung-1 retry"
+        );
+        assert!(
+            m.local_fallbacks > 0,
+            "early arrivals exhaust their deadline and fall to rung 3"
+        );
+        assert_eq!(
+            m.requests,
+            m.edge_served + m.collab_hits + m.failovers + m.rejected + m.local_fallbacks,
+            "ladder outcomes still partition the request stream"
+        );
+        // Every tenant shares the single node: availability dips over
+        // the barrier-quantized crash window [2 s, 6 s), then recovers.
+        let horizon = SimTime::from_secs(10);
+        for t in 0..4u32 {
+            let label = tenant_label(t);
+            let down = report.reliability.downtime(&label, horizon);
+            assert_eq!(down, SimDuration::from_secs(4), "tenant {t}: {down:?}");
+            let avail = report.reliability.availability(&label, horizon);
+            assert!((avail - 0.6).abs() < 1e-9, "tenant {t}: {avail}");
+        }
+        assert!(report.reliability.mttr().count() >= 4, "per-tenant MTTR");
+        assert!(report.reliability.mttr().mean() > 0.0);
+        assert!(report.reliability.retry_count() > 0);
+        assert!(report.reliability.total_degraded_time() > SimDuration::ZERO);
+        // The whole chaos story is still byte-identical across shard
+        // counts.
+        assert_eq!(build(1).summary(), build(4).summary());
     }
 
     #[test]

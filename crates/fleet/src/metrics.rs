@@ -27,8 +27,19 @@ pub struct FleetMetrics {
     pub collab_hits: u64,
     /// Requests that failed over to on-board compute (regional outage).
     pub failovers: u64,
-    /// Requests bounced by per-tenant admission control.
+    /// Requests bounced by per-tenant admission control under nominal
+    /// quotas (plain overload, not chaos).
     pub rejected: u64,
+    /// In-flight requests re-queued off crashed XEdge lanes.
+    pub requeued: u64,
+    /// Requests rescued by rung-1 deadline-aware retry (sub-count of
+    /// `edge_served`).
+    pub retry_rescued: u64,
+    /// Requests served through a neighbor region's node at a handoff
+    /// cost (rung 2, sub-count of `edge_served`).
+    pub handoffs: u64,
+    /// Requests that fell to rung-3 local degraded execution.
+    pub local_fallbacks: u64,
 }
 
 impl Default for FleetMetrics {
@@ -50,6 +61,10 @@ impl FleetMetrics {
             collab_hits: 0,
             failovers: 0,
             rejected: 0,
+            requeued: 0,
+            retry_rescued: 0,
+            handoffs: 0,
+            local_fallbacks: 0,
         }
     }
 
@@ -63,6 +78,10 @@ impl FleetMetrics {
         self.collab_hits += other.collab_hits;
         self.failovers += other.failovers;
         self.rejected += other.rejected;
+        self.requeued += other.requeued;
+        self.retry_rescued += other.retry_rescued;
+        self.handoffs += other.handoffs;
+        self.local_fallbacks += other.local_fallbacks;
     }
 
     /// Fraction of issued requests served from the V2V cache.
@@ -81,9 +100,11 @@ impl FleetMetrics {
 pub struct FleetReport {
     /// Merged fleet metrics (all shards + engine).
     pub metrics: FleetMetrics,
-    /// Fleet-level reliability accounting (regional outages, failovers).
+    /// Fleet-level reliability accounting (regional outages, node
+    /// crashes, per-tenant MTTR, failovers, degraded-mode seconds).
     pub reliability: ReliabilityStats,
-    /// Availability per faulted region label over the run horizon.
+    /// Availability per faulted component label (regions, XEdge nodes,
+    /// tenants) over the run horizon.
     pub region_availability: Vec<(String, f64)>,
     /// Vehicles simulated.
     pub vehicles: u32,
@@ -167,10 +188,21 @@ impl FleetReport {
         );
         let _ = writeln!(
             out,
-            "reliability: faults={} failovers={} failover_ms_mean={:.3}",
+            "reliability: faults={} failovers={} failover_ms_mean={:.3} mttr_ms_mean={:.3}",
             self.reliability.faults_injected(),
             m.failovers,
-            self.reliability.failover_latency().mean()
+            self.reliability.failover_latency().mean(),
+            self.reliability.mttr().mean()
+        );
+        let _ = writeln!(
+            out,
+            "ladder: requeued={} retry_rescued={} retries={} handoffs={} local_fallbacks={} degraded_s={:.3}",
+            m.requeued,
+            m.retry_rescued,
+            self.reliability.retry_count(),
+            m.handoffs,
+            m.local_fallbacks,
+            self.reliability.total_degraded_time().as_secs_f64()
         );
         for (region, avail) in &self.region_availability {
             let _ = writeln!(out, "availability[{region}]={avail:.6}");

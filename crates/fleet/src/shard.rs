@@ -181,6 +181,7 @@ fn tick(ctx: &mut Ctx<'_, ShardState>, local: usize) {
                 tenant,
                 region,
                 arrival: now,
+                attempts: 0,
             });
             if cacheable {
                 st.publications.push((tile, id));

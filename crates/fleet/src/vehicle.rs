@@ -24,6 +24,11 @@ pub(crate) const RADIO_W: f64 = 2.5;
 /// Vehicle compute-board power draw while running fallback inference (W).
 pub(crate) const BOARD_W: f64 = 35.0;
 
+/// Board power draw for rung-3 degraded local inference (W): the
+/// reduced-accuracy pipeline clocks the accelerator lower than the full
+/// on-board fallback.
+pub(crate) const DEGRADED_BOARD_W: f64 = 28.0;
+
 /// DSRC radio power draw during a V2V exchange (W).
 pub(crate) const DSRC_W: f64 = 1.0;
 

@@ -77,6 +77,39 @@ proptest! {
     }
 }
 
+/// A chaos plan exercising all three edge-tier fault kinds at once on a
+/// fleet with two XEdge nodes (so node 0's crash leaves a live failover
+/// target for rung 2).
+fn edge_chaos_config(seed: u64, shards: u32) -> FleetConfig {
+    let mut cfg = FleetConfig::sized(64, shards);
+    cfg.seed = seed;
+    cfg.duration = SimDuration::from_secs(8);
+    cfg.edge_nodes = 2;
+    cfg.with_edge_node_crash(0, SimTime::from_secs(2), SimDuration::from_secs(3))
+        .with_tenant_quota_flap(1, 0.25, SimTime::from_secs(3), SimDuration::from_secs(2))
+        .with_handoff_storm(1, SimTime::from_secs(4), SimDuration::from_secs(2))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn edge_tier_chaos_is_shard_invariant(seed in any::<u64>()) {
+        // Full degradation-ladder chaos (node crash + quota flap +
+        // handoff storm): metrics, summary, AND the reliability ledger
+        // (per-tenant MTTR, degraded seconds) must be identical at
+        // 1, 2, 4 and 8 shards.
+        let reports: Vec<_> = [1u32, 2, 4, 8]
+            .iter()
+            .map(|&shards| FleetEngine::new(edge_chaos_config(seed, shards)).run())
+            .collect();
+        for r in &reports[1..] {
+            prop_assert_eq!(&reports[0].reliability, &r.reliability);
+            prop_assert_eq!(&reports[0].metrics, &r.metrics);
+            prop_assert_eq!(reports[0].summary(), r.summary());
+        }
+    }
+}
+
 #[test]
 fn full_scale_shard_invariance_smoke() {
     // The acceptance-criteria configuration at reduced duration: 1,000

@@ -100,6 +100,15 @@ impl CellularChannel {
         }
     }
 
+    /// Connectivity gap a vehicle pays to re-register through a
+    /// different cell at `speed` — the per-handoff outage as a
+    /// [`vdap_sim::SimDuration`]. Degraded-mode serving charges this on
+    /// every request routed through a neighbor region's coverage.
+    #[must_use]
+    pub fn handoff_cost(&self, speed: Mph) -> vdap_sim::SimDuration {
+        vdap_sim::SimDuration::from_secs_f64(self.outage_secs(speed))
+    }
+
     /// Long-run fraction of airtime lost to handoff outages, in
     /// `[0, 0.95]`.
     #[must_use]
@@ -333,6 +342,22 @@ mod tests {
         for s in 0..600 {
             assert!(!proc.in_outage(SimTime::from_secs(s)));
         }
+    }
+
+    #[test]
+    fn handoff_cost_matches_outage_and_grows_with_speed() {
+        let ch = CellularChannel::calibrated();
+        assert_eq!(ch.handoff_cost(Mph(0.0)), vdap_sim::SimDuration::ZERO);
+        let c30 = ch.handoff_cost(Mph(30.0));
+        let c70 = ch.handoff_cost(Mph(70.0));
+        assert!(c30 < c70);
+        // 0.008 * exp(30 / 9.1) ≈ 0.216 s at city speed; the round trip
+        // through integer nanoseconds quantizes at 1e-9 s.
+        assert!((c30.as_secs_f64() - ch.outage_secs(Mph(30.0))).abs() < 1e-8);
+        assert!(
+            c30.as_secs_f64() > 0.1 && c30.as_secs_f64() < 0.4,
+            "{c30:?}"
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub struct ReliabilityStats {
     faults_injected: u64,
     down_since: BTreeMap<String, SimTime>,
     downtime: BTreeMap<String, SimDuration>,
+    degraded: BTreeMap<String, SimDuration>,
 }
 
 impl ReliabilityStats {
@@ -81,6 +82,40 @@ impl ReliabilityStats {
     /// Records a transfer that exhausted its retry budget.
     pub fn record_retry_exhausted(&mut self) {
         self.retry_exhausted += 1;
+    }
+
+    /// Accrues time a component spent serving in degraded mode (e.g. a
+    /// vehicle running its pipeline locally at reduced accuracy because
+    /// the edge bounced it). Degraded time is additive — unlike
+    /// downtime, overlapping reports are the caller's responsibility.
+    pub fn record_degraded(&mut self, component: &str, duration: SimDuration) {
+        *self
+            .degraded
+            .entry(component.to_string())
+            .or_insert(SimDuration::ZERO) += duration;
+    }
+
+    /// Accrued degraded-mode time for one component.
+    #[must_use]
+    pub fn degraded_time(&self, component: &str) -> SimDuration {
+        self.degraded
+            .get(component)
+            .copied()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Total degraded-mode time across all components.
+    #[must_use]
+    pub fn total_degraded_time(&self) -> SimDuration {
+        self.degraded
+            .values()
+            .fold(SimDuration::ZERO, |acc, d| acc + *d)
+    }
+
+    /// Components that ever reported degraded-mode time (sorted).
+    #[must_use]
+    pub fn degraded_components(&self) -> Vec<&str> {
+        self.degraded.keys().map(String::as_str).collect()
     }
 
     /// Mean time to repair, as a [`Summary`] over repair intervals (ms).
@@ -192,6 +227,9 @@ impl ReliabilityStats {
         for (c, since) in &other.down_since {
             self.down_since.entry(c.clone()).or_insert(*since);
         }
+        for (c, d) in &other.degraded {
+            *self.degraded.entry(c.clone()).or_insert(SimDuration::ZERO) += *d;
+        }
     }
 }
 
@@ -258,17 +296,35 @@ mod tests {
     fn absorb_merges_everything() {
         let mut a = ReliabilityStats::new();
         a.record_retry();
+        a.record_degraded("tenant0", SimDuration::from_secs(1));
         let mut b = ReliabilityStats::new();
         b.record_fault("x", SimTime::from_secs(1));
         b.record_recovery("x", SimTime::from_secs(2));
         b.record_retry();
         b.record_retry_success();
         b.record_failover(SimDuration::from_millis(5));
+        b.record_degraded("tenant0", SimDuration::from_secs(2));
+        b.record_degraded("tenant1", SimDuration::from_secs(3));
         a.absorb(&b);
         assert_eq!(a.retry_count(), 2);
         assert_eq!(a.retry_success_count(), 1);
         assert_eq!(a.mttr().count(), 1);
         assert_eq!(a.failover_latency().count(), 1);
         assert_eq!(a.faults_injected(), 1);
+        assert_eq!(a.degraded_time("tenant0"), SimDuration::from_secs(3));
+        assert_eq!(a.degraded_time("tenant1"), SimDuration::from_secs(3));
+        assert_eq!(a.total_degraded_time(), SimDuration::from_secs(6));
+    }
+
+    #[test]
+    fn degraded_time_accrues_additively() {
+        let mut r = ReliabilityStats::new();
+        assert_eq!(r.degraded_time("tenant0"), SimDuration::ZERO);
+        r.record_degraded("tenant0", SimDuration::from_millis(250));
+        r.record_degraded("tenant0", SimDuration::from_millis(750));
+        assert_eq!(r.degraded_time("tenant0"), SimDuration::from_secs(1));
+        assert_eq!(r.degraded_components(), vec!["tenant0"]);
+        // Degraded time is not downtime: availability is untouched.
+        assert_eq!(r.availability("tenant0", SimTime::from_secs(10)), 1.0);
     }
 }

@@ -34,19 +34,21 @@ fn print_experiment(name: &str) -> bool {
         "infotainment" => experiments::infotainment(SEED),
         "fleet" => experiments::fleet(SEED),
         "fleet-chaos" => experiments::fleet_chaos(SEED),
+        "fleet-elastic" => experiments::fleet_elastic(SEED),
+        "fleet-storm" => experiments::fleet_storm(SEED),
         _ => return false,
     };
     // Chaos-bearing experiments derive their fault windows from the run
     // seed; print it above the table so the exact storm can be rebuilt
     // from the output alone.
-    if matches!(name, "fleet" | "fleet-chaos") {
+    if matches!(name, "fleet" | "fleet-chaos" | "fleet-storm") {
         println!("fault-plan seed: {SEED}");
     }
     println!("{}", table.render());
     true
 }
 
-const ALL: [&str; 18] = [
+const ALL: [&str; 20] = [
     "table1",
     "fig2",
     "fig3",
@@ -65,6 +67,8 @@ const ALL: [&str; 18] = [
     "infotainment",
     "fleet",
     "fleet-chaos",
+    "fleet-elastic",
+    "fleet-storm",
 ];
 
 /// Prints usage plus the list of every reproduction target.

@@ -768,11 +768,14 @@ fn fleet_table(cfg: FleetConfig) -> TextTable {
 /// chaos too.
 #[must_use]
 pub fn fleet_chaos(seed: u64) -> TextTable {
-    fleet_chaos_table(openvdap::chaos::fleet_chaos_config(seed))
+    fleet_chaos_table(
+        "E15 — fleet-scale chaos: node crash + quota flap + handoff storm (1 vs 8 shards)",
+        openvdap::chaos::fleet_chaos_config(seed),
+    )
 }
 
 /// Runs the chaos `cfg` at 1 and 8 shards and renders the comparison.
-fn fleet_chaos_table(cfg: FleetConfig) -> TextTable {
+fn fleet_chaos_table(title: &str, cfg: FleetConfig) -> TextTable {
     let run = |shards: u32| {
         let mut c = cfg.clone();
         c.shards = shards;
@@ -780,10 +783,7 @@ fn fleet_chaos_table(cfg: FleetConfig) -> TextTable {
     };
     let single = run(1);
     let sharded = run(8);
-    let mut t = TextTable::new(
-        "E15 — fleet-scale chaos: node crash + quota flap + handoff storm (1 vs 8 shards)",
-        &["metric", "1 shard", "8 shards"],
-    );
+    let mut t = TextTable::new(title, &["metric", "1 shard", "8 shards"]);
     type ReportCol = fn(&vdap_fleet::FleetReport) -> String;
     let rows: [(&str, ReportCol); 12] = [
         ("requests", |r| r.metrics.requests.to_string()),
@@ -837,6 +837,102 @@ fn fleet_chaos_table(cfg: FleetConfig) -> TextTable {
         "yes".into(),
     ]);
     t
+}
+
+/// E16 — elastic XEdge capacity under a load sweep: the mixed-class
+/// fleet with [`FleetConfig::with_elastic_capacity`] enabled, driven at
+/// four request rates. Lane counts and tenant queue caps are decided
+/// only at epoch barriers from the previous barrier's queue depth, so
+/// the pool grows with backlog and drains back toward the floor — and
+/// because the decisions live on the barrier clock, every load level is
+/// also run at 4 shards and asserted byte-identical to 1 shard.
+#[must_use]
+pub fn fleet_elastic(seed: u64) -> TextTable {
+    fleet_elastic_table(seed, 256, SimDuration::from_secs(30))
+}
+
+/// Runs the elastic load sweep over `vehicles` for `duration` per level.
+fn fleet_elastic_table(seed: u64, vehicles: u32, duration: SimDuration) -> TextTable {
+    let mut t = TextTable::new(
+        "E16 — elastic XEdge lanes track queue depth (mixed classes, 1 vs 4 shards)",
+        &[
+            "req period (ms)",
+            "requests",
+            "queue p95",
+            "lanes mean",
+            "lanes max",
+            "scale ups",
+            "scale downs",
+            "rejected",
+            "e2e p95 (ms)",
+        ],
+    );
+    let mut lane_means = Vec::new();
+    for period_ms in [4000u64, 2000, 1000, 500] {
+        let mut cfg = FleetConfig::sized(vehicles, 1).with_elastic_capacity();
+        cfg.seed = seed;
+        cfg.duration = duration;
+        cfg.request_period = SimDuration::from_millis(period_ms);
+        let run = |shards: u32| {
+            let mut c = cfg.clone();
+            c.shards = shards;
+            FleetEngine::new(c).run()
+        };
+        let single = run(1);
+        let sharded = run(4);
+        assert!(
+            single.summary() == sharded.summary(),
+            "elastic determinism violated at period {period_ms} ms\n\
+             --- 1 shard ---\n{}\n--- 4 shards ---\n{}",
+            single.summary(),
+            sharded.summary()
+        );
+        let m = &single.metrics;
+        lane_means.push(m.elastic_lanes.mean());
+        t.row(&[
+            period_ms.to_string(),
+            m.requests.to_string(),
+            f3(m.queue_depth.quantile(0.95)),
+            f3(m.elastic_lanes.mean()),
+            format!("{:.0}", m.elastic_lanes.max()),
+            m.scale_ups.to_string(),
+            m.scale_downs.to_string(),
+            m.rejected.to_string(),
+            f3(m.e2e_latency_ms.quantile(0.95)),
+        ]);
+    }
+    // The point of the experiment: heavier offered load must hold a
+    // larger lane pool on average than the lightest level.
+    let (first, last) = (lane_means[0], lane_means[lane_means.len() - 1]);
+    assert!(
+        last > first,
+        "elastic lanes did not track load: {lane_means:?}"
+    );
+    t.row(&[
+        "lanes track load".into(),
+        "yes".into(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    t
+}
+
+/// E17 — randomized fleet storm: instead of E15's three hand-placed
+/// windows, Poisson fault arrivals drawn from the run seed target every
+/// XEdge node, tenant quota, regional LTE cell and handoff plane
+/// ([`openvdap::chaos::fleet_storm_config`]). The repro binary prints
+/// the seed above the table so the exact storm can be replayed.
+#[must_use]
+pub fn fleet_storm(seed: u64) -> TextTable {
+    fleet_chaos_table(
+        "E17 — randomized fleet storm: seeded Poisson faults over the edge tier (1 vs 8 shards)",
+        openvdap::chaos::fleet_storm_config(seed),
+    )
 }
 
 #[cfg(test)]
@@ -974,11 +1070,33 @@ mod tests {
             .with_edge_node_crash(0, SimTime::from_secs(2), SimDuration::from_secs(3))
             .with_tenant_quota_flap(0, 0.3, SimTime::from_secs(4), SimDuration::from_secs(3))
             .with_handoff_storm(1, SimTime::from_secs(5), SimDuration::from_secs(2));
-        let rendered = fleet_chaos_table(cfg).render();
+        let rendered = fleet_chaos_table("E15 (scaled)", cfg).render();
         assert!(rendered.contains("rung 1: retry rescued"), "{rendered}");
         assert!(rendered.contains("rung 3: local fallbacks"), "{rendered}");
         assert!(rendered.contains("availability[xedge/node0]"), "{rendered}");
         assert!(rendered.contains("availability[tenant0]"), "{rendered}");
+        assert!(rendered.contains("summaries byte-identical"), "{rendered}");
+    }
+
+    #[test]
+    fn fleet_elastic_table_pins_load_tracking_and_invariance() {
+        // Scaled-down E16: the sweep itself asserts both the
+        // byte-identical contract per load level and that the mean lane
+        // pool grows from the lightest to the heaviest level.
+        let rendered = fleet_elastic_table(7, 96, SimDuration::from_secs(8)).render();
+        assert!(rendered.contains("lanes track load"), "{rendered}");
+        assert!(rendered.contains("lanes max"), "{rendered}");
+    }
+
+    #[test]
+    fn fleet_storm_table_pins_randomized_invariance() {
+        // Scaled-down E17: a real randomized storm on a small fleet;
+        // the shared chaos table asserts the byte-identical contract.
+        let mut cfg = openvdap::chaos::fleet_storm_config(7);
+        cfg.vehicles = 96;
+        cfg.duration = SimDuration::from_secs(8);
+        let rendered = fleet_chaos_table("E17 (scaled)", cfg).render();
+        assert!(rendered.contains("faults injected"), "{rendered}");
         assert!(rendered.contains("summaries byte-identical"), "{rendered}");
     }
 

@@ -6,7 +6,7 @@
 //! that make sense for that class; the examples and experiments register
 //! them on an [`crate::OpenVdap`] platform.
 
-use vdap_edgeos::{Pipeline, PipelineStage, PolymorphicService};
+use vdap_edgeos::{Pipeline, PipelineStage, PolymorphicService, WorkloadClass};
 use vdap_hw::{ComputeWorkload, TaskClass};
 use vdap_net::Site;
 use vdap_sim::SimDuration;
@@ -141,6 +141,35 @@ pub fn traffic_info_collector() -> PolymorphicService {
     )
 }
 
+/// The fleet [`WorkloadClass`] a service's requests bill to on shared
+/// XEdge infrastructure — the bridge between the per-vehicle
+/// [`PolymorphicService`] catalogue and the class-priced fleet serving
+/// path ([`vdap_fleet::ClassSpec`]).
+///
+/// Training services (`pbeam`/`train` in the name, per
+/// `vdap_models::pbeam`) bill as [`WorkloadClass::PbeamTraining`];
+/// services with a media-codec stage in any pipeline bill as
+/// [`WorkloadClass::Infotainment`]; everything else — perception,
+/// diagnostics, scan-type third-party search — is request/response
+/// offload and bills as [`WorkloadClass::Detection`].
+#[must_use]
+pub fn workload_class_of(service: &PolymorphicService) -> WorkloadClass {
+    let name = service.name();
+    if name.contains("pbeam") || name.contains("train") {
+        return WorkloadClass::PbeamTraining;
+    }
+    let streams_media = service.pipelines().iter().any(|p| {
+        p.stages
+            .iter()
+            .any(|s| s.workload.class() == TaskClass::MediaCodec)
+    });
+    if streams_media {
+        WorkloadClass::Infotainment
+    } else {
+        WorkloadClass::Detection
+    }
+}
+
 /// The full §II service mix, ready to register on a platform.
 #[must_use]
 pub fn standard_service_mix() -> Vec<PolymorphicService> {
@@ -195,5 +224,45 @@ mod tests {
     fn background_services_have_loose_deadlines() {
         assert!(infotainment().deadline() >= SimDuration::from_secs(1));
         assert!(traffic_info_collector().deadline() >= SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn services_map_to_fleet_workload_classes() {
+        assert_eq!(
+            workload_class_of(&infotainment()),
+            WorkloadClass::Infotainment,
+            "media-codec pipelines bill as streaming"
+        );
+        for svc in [
+            real_time_diagnostics(),
+            pedestrian_alert(),
+            amber_alert(SimDuration::from_millis(800)),
+            traffic_info_collector(),
+        ] {
+            assert_eq!(
+                workload_class_of(&svc),
+                WorkloadClass::Detection,
+                "{} is request/response offload",
+                svc.name()
+            );
+        }
+        let trainer = PolymorphicService::new(
+            "pbeam-personalize",
+            Priority::Background,
+            SimDuration::from_secs(10),
+            vec![Pipeline::new(
+                "edge-round",
+                vec![at(
+                    Site::Edge,
+                    ComputeWorkload::new("gradient-agg", TaskClass::DenseLinearAlgebra)
+                        .with_gflops(5.0),
+                )],
+            )],
+        );
+        assert_eq!(
+            workload_class_of(&trainer),
+            WorkloadClass::PbeamTraining,
+            "training rounds bill as pBEAM"
+        );
     }
 }

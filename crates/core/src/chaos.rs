@@ -22,7 +22,8 @@ use vdap_edgeos::{
     Objective, PolymorphicService, ServiceState, ServiceSupervisor, SupervisorDecision,
 };
 use vdap_fault::{
-    FaultEdge, FaultInjector, FaultKind, FaultPlan, FaultSpec, RetryError, RetryPolicy,
+    ChaosProfile, FaultEdge, FaultInjector, FaultKind, FaultPlan, FaultSpec, RetryError,
+    RetryPolicy,
 };
 use vdap_hw::{ComputeWorkload, SlotId, TaskClass, VcuBoard};
 use vdap_net::Site;
@@ -605,6 +606,46 @@ pub fn fleet_chaos_config(seed: u64) -> vdap_fleet::FleetConfig {
         .with_handoff_storm(2, SimTime::from_secs(35), SimDuration::from_secs(6))
 }
 
+/// The [`ChaosProfile`] behind the randomized fleet storm: every XEdge
+/// node, tenant quota, regional LTE cell and handoff plane in `cfg` is
+/// an eligible target, with gaps short enough that windows overlap and
+/// the recovery rungs interact.
+#[must_use]
+pub fn fleet_storm_profile(cfg: &vdap_fleet::FleetConfig) -> ChaosProfile {
+    ChaosProfile {
+        edge_nodes: (0..cfg.edge_nodes)
+            .map(vdap_fleet::edge_node_label)
+            .collect(),
+        tenants: (0..cfg.tenants).map(vdap_fleet::tenant_label).collect(),
+        links: (0..cfg.regions).map(vdap_fleet::region_label).collect(),
+        regions: (0..cfg.regions).map(vdap_fleet::handoff_label).collect(),
+        mean_gap: SimDuration::from_secs(5),
+        mean_duration: SimDuration::from_secs(6),
+        ..ChaosProfile::new()
+    }
+}
+
+/// Builds the randomized fleet storm (the repro binary's E17
+/// `fleet-storm` target): the same 1,000-vehicle fleet as
+/// [`fleet_chaos_config`], but instead of three hand-placed windows the
+/// fault plan is drawn from `seed`'s dedicated stream — Poisson
+/// arrivals over the [`fleet_storm_profile`] targets, mixing edge-node
+/// crashes, tenant quota flaps, regional LTE outages and handoff
+/// storms. The compiled plan is a pure function of virtual time shared
+/// by every shard, so even a randomized storm replays byte-identically
+/// at any shard count; callers print the seed so a storm can be
+/// replayed exactly.
+#[must_use]
+pub fn fleet_storm_config(seed: u64) -> vdap_fleet::FleetConfig {
+    let mut cfg = vdap_fleet::FleetConfig::sized(1000, 1);
+    cfg.seed = seed;
+    cfg.duration = SimDuration::from_secs(60);
+    let profile = fleet_storm_profile(&cfg);
+    let mut rng = SeedFactory::new(seed).stream("fleet-storm-plan");
+    let plan = FaultPlan::randomized(&mut rng, cfg.duration, &profile);
+    cfg.with_fault_plan(plan)
+}
+
 /// Runs `cfg` at every shard count in parallel (through the worker-pool
 /// [`crate::scenario::sweep`]) and returns each count's summary. The
 /// fleet determinism contract makes every returned string
@@ -633,6 +674,43 @@ mod tests {
         assert!(labels.contains(&"edge-node-crash"), "{labels:?}");
         assert!(labels.contains(&"tenant-quota-flap"), "{labels:?}");
         assert!(labels.contains(&"region-handoff-storm"), "{labels:?}");
+    }
+
+    #[test]
+    fn fleet_storm_is_seeded_and_replayable() {
+        let a = fleet_storm_config(9);
+        let b = fleet_storm_config(9);
+        assert_eq!(a.chaos, b.chaos, "same seed must draw the same storm");
+        let plan = a.chaos.as_ref().expect("storm plan present");
+        assert!(!plan.faults().is_empty(), "storm drew no faults");
+        let edge_tier = plan.faults().iter().any(|f| {
+            matches!(
+                f.kind,
+                FaultKind::EdgeNodeCrash
+                    | FaultKind::TenantQuotaFlap { .. }
+                    | FaultKind::RegionHandoffStorm
+                    | FaultKind::LinkOutage
+            )
+        });
+        assert!(edge_tier, "storm has no edge-tier faults: {plan:?}");
+        assert_ne!(
+            a.chaos,
+            fleet_storm_config(10).chaos,
+            "different seeds should draw different storms"
+        );
+    }
+
+    #[test]
+    fn fleet_storm_sweep_is_shard_invariant() {
+        // The randomized storm scaled down to test size.
+        let mut cfg = fleet_storm_config(11);
+        cfg.vehicles = 96;
+        cfg.duration = SimDuration::from_secs(10);
+        let results = fleet_chaos_sweep(&cfg, &[1, 4]);
+        assert_eq!(
+            results[0].1, results[1].1,
+            "randomized storm diverged across shard counts"
+        );
     }
 
     #[test]

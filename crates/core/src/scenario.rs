@@ -84,7 +84,7 @@ impl ScenarioConfig {
         cfg.seed = self.seed;
         cfg.duration = self.duration;
         cfg.request_period = self.request_period;
-        cfg.edge_service = cfg.edge_service.mul_f64(self.edge_load.max(1.0));
+        cfg.scale_edge_service(self.edge_load);
         cfg
     }
 }
@@ -533,9 +533,15 @@ mod tests {
         assert_eq!(fleet.shards, 4);
         assert_eq!(fleet.duration, cfg.duration);
         assert_eq!(fleet.request_period, cfg.request_period);
-        // edge_load doubles the base XEdge service time.
-        let nominal = vdap_fleet::FleetConfig::default().edge_service;
-        assert_eq!(fleet.edge_service, nominal.mul_f64(2.0));
+        // edge_load doubles every class's base XEdge service time.
+        let nominal = vdap_fleet::FleetConfig::default();
+        for class in vdap_fleet::WorkloadClass::ALL {
+            assert_eq!(
+                fleet.class(class).edge_service,
+                nominal.class(class).edge_service.mul_f64(2.0),
+                "{class}"
+            );
+        }
         // Shards never exceed the fleet size.
         assert_eq!(cfg.fleet(1000).shards, 200);
         let report = vdap_fleet::FleetEngine::new({

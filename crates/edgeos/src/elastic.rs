@@ -82,6 +82,163 @@ impl Decision {
     }
 }
 
+/// Scaling rules for an elastic XEdge lane pool.
+///
+/// The Elastic Management module's fleet-tier face: where
+/// [`ElasticManager::decide`] picks a pipeline for one service,
+/// [`LaneScaler`] sizes the *serving capacity* a whole fleet shares.
+/// All thresholds are integers and all decisions are pure functions of
+/// `(current lanes, observed queue depth)`, so a scaler driven from
+/// deterministic inputs is itself deterministic — the property the
+/// fleet engine's shard-count invariance depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LanePolicy {
+    /// Floor on the pool size (never scale below).
+    pub min_lanes: u32,
+    /// Ceiling on the pool size (never scale above).
+    pub max_lanes: u32,
+    /// Queued requests per lane above which the pool grows.
+    pub scale_up_backlog: u32,
+    /// Queued requests per lane below which the pool shrinks.
+    pub scale_down_backlog: u32,
+    /// Lanes added or removed per decision.
+    pub step: u32,
+}
+
+impl LanePolicy {
+    /// A policy bracketing a nominal pool size: scales between half and
+    /// four times `nominal`, one lane per decision, growing when the
+    /// backlog exceeds 2 requests per lane and shrinking below 1.
+    #[must_use]
+    pub fn around(nominal: u32) -> Self {
+        let nominal = nominal.max(1);
+        LanePolicy {
+            min_lanes: (nominal / 2).max(1),
+            max_lanes: nominal.saturating_mul(4),
+            scale_up_backlog: 2,
+            scale_down_backlog: 1,
+            step: 1,
+        }
+    }
+
+    /// Panics unless the thresholds are usable.
+    fn validate(&self) {
+        assert!(self.min_lanes > 0, "lane floor must be positive");
+        assert!(self.max_lanes >= self.min_lanes, "lane ceiling below floor");
+        assert!(self.step > 0, "scaling step must be positive");
+        assert!(
+            self.scale_up_backlog > self.scale_down_backlog,
+            "scale-up threshold must exceed scale-down (hysteresis)"
+        );
+    }
+}
+
+/// What one elastic capacity decision did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LaneDecision {
+    /// Pool grew to the contained lane count.
+    Grow(u32),
+    /// Pool shrank to the contained lane count.
+    Shrink(u32),
+    /// Pool stayed where it was.
+    Hold(u32),
+}
+
+impl LaneDecision {
+    /// The lane count after the decision.
+    #[must_use]
+    pub fn lanes(self) -> u32 {
+        match self {
+            LaneDecision::Grow(n) | LaneDecision::Shrink(n) | LaneDecision::Hold(n) => n,
+        }
+    }
+}
+
+/// Deterministic elastic capacity controller for an XEdge lane pool.
+///
+/// # Examples
+///
+/// ```
+/// use vdap_edgeos::{LaneDecision, LanePolicy, LaneScaler};
+///
+/// let mut scaler = LaneScaler::new(LanePolicy::around(8));
+/// // 40 queued on 8 lanes = 5 per lane: grow.
+/// assert_eq!(scaler.decide(8, 40), LaneDecision::Grow(9));
+/// // 2 queued on 9 lanes: shrink back toward the floor.
+/// assert_eq!(scaler.decide(9, 2), LaneDecision::Shrink(8));
+/// // In the hysteresis band: hold.
+/// assert_eq!(scaler.decide(8, 12), LaneDecision::Hold(8));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaneScaler {
+    policy: LanePolicy,
+    scale_ups: u64,
+    scale_downs: u64,
+}
+
+impl LaneScaler {
+    /// Creates a scaler.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the policy's thresholds are unusable (zero floor or
+    /// step, ceiling below floor, no hysteresis gap).
+    #[must_use]
+    pub fn new(policy: LanePolicy) -> Self {
+        policy.validate();
+        LaneScaler {
+            policy,
+            scale_ups: 0,
+            scale_downs: 0,
+        }
+    }
+
+    /// The policy in force.
+    #[must_use]
+    pub fn policy(&self) -> &LanePolicy {
+        &self.policy
+    }
+
+    /// `(scale-ups, scale-downs)` so far.
+    #[must_use]
+    pub fn counters(&self) -> (u64, u64) {
+        (self.scale_ups, self.scale_downs)
+    }
+
+    /// Decides the pool size for the next interval from the observed
+    /// queue depth. Integer arithmetic only; clamped to
+    /// `[min_lanes, max_lanes]`.
+    pub fn decide(&mut self, lanes: u32, queue_depth: usize) -> LaneDecision {
+        let lanes = lanes.clamp(self.policy.min_lanes, self.policy.max_lanes);
+        let depth = u64::try_from(queue_depth).unwrap_or(u64::MAX);
+        let grow = depth > u64::from(lanes) * u64::from(self.policy.scale_up_backlog);
+        let shrink = depth < u64::from(lanes) * u64::from(self.policy.scale_down_backlog);
+        if grow && lanes < self.policy.max_lanes {
+            self.scale_ups += 1;
+            LaneDecision::Grow((lanes + self.policy.step).min(self.policy.max_lanes))
+        } else if shrink && lanes > self.policy.min_lanes {
+            self.scale_downs += 1;
+            LaneDecision::Shrink(
+                lanes
+                    .saturating_sub(self.policy.step)
+                    .max(self.policy.min_lanes),
+            )
+        } else {
+            LaneDecision::Hold(lanes)
+        }
+    }
+
+    /// The per-tenant admission cap matching a scaled pool: the nominal
+    /// cap grown or shrunk in proportion to the lanes, floored at 1 so
+    /// a scaled-down tenant is squeezed, never wedged shut.
+    #[must_use]
+    pub fn tenant_cap(&self, nominal_cap: usize, nominal_lanes: u32, lanes: u32) -> usize {
+        let nominal_lanes = u64::from(nominal_lanes.max(1));
+        let scaled = (nominal_cap as u64).saturating_mul(u64::from(lanes)) / nominal_lanes;
+        usize::try_from(scaled).unwrap_or(usize::MAX).max(1)
+    }
+}
+
 /// The elastic manager.
 #[derive(Debug, Default)]
 pub struct ElasticManager {
@@ -393,6 +550,50 @@ mod tests {
         assert_ne!(service.selected(), first);
         let (_, _, switches) = mgr.counters();
         assert_eq!(switches, 1);
+    }
+
+    #[test]
+    fn lane_scaler_tracks_backlog_with_hysteresis() {
+        let mut s = LaneScaler::new(LanePolicy::around(4));
+        assert_eq!(s.policy().min_lanes, 2);
+        assert_eq!(s.policy().max_lanes, 16);
+        // Sustained overload walks the pool up to the ceiling.
+        let mut lanes = 4;
+        for _ in 0..20 {
+            lanes = s.decide(lanes, 1000).lanes();
+        }
+        assert_eq!(lanes, 16);
+        // Sustained idleness walks it back to the floor.
+        for _ in 0..20 {
+            lanes = s.decide(lanes, 0).lanes();
+        }
+        assert_eq!(lanes, 2);
+        let (ups, downs) = s.counters();
+        assert_eq!(ups, 12);
+        assert_eq!(downs, 14);
+        // In-band depth holds steady (no flapping between thresholds).
+        assert_eq!(s.decide(8, 10), LaneDecision::Hold(8));
+    }
+
+    #[test]
+    fn tenant_cap_scales_with_lanes_and_floors_at_one() {
+        let s = LaneScaler::new(LanePolicy::around(8));
+        assert_eq!(s.tenant_cap(100, 16, 16), 100);
+        assert_eq!(s.tenant_cap(100, 16, 32), 200);
+        assert_eq!(s.tenant_cap(100, 16, 8), 50);
+        assert_eq!(s.tenant_cap(3, 16, 1), 1, "floored at one");
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis")]
+    fn lane_policy_requires_hysteresis_gap() {
+        let _ = LaneScaler::new(LanePolicy {
+            min_lanes: 1,
+            max_lanes: 8,
+            scale_up_backlog: 2,
+            scale_down_backlog: 2,
+            step: 1,
+        });
     }
 
     #[test]

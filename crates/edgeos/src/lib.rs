@@ -41,7 +41,10 @@ mod sharing;
 mod supervisor;
 mod tenancy;
 
-pub use elastic::{Decision, ElasticManager, Environment, Objective, PipelineEstimate};
+pub use elastic::{
+    Decision, ElasticManager, Environment, LaneDecision, LanePolicy, LaneScaler, Objective,
+    PipelineEstimate,
+};
 pub use migration::{
     MigrationError, MigrationMode, MigrationReport, ServiceImage, ServiceMigrator,
 };
@@ -50,4 +53,4 @@ pub use security::{Attestation, GuardState, IsolationMode, SecurityError, Securi
 pub use service::{kidnapper_search, Pipeline, PipelineStage, PolymorphicService, ServiceState};
 pub use sharing::{AuditEntry, SharedItem, SharingBus, SharingError, Token};
 pub use supervisor::{CrashLoopPolicy, ServiceSupervisor, SupervisorDecision};
-pub use tenancy::{FairQueue, TenantAdmission, TenantId};
+pub use tenancy::{ClassQueueKey, DrrKey, FairQueue, TenantAdmission, TenantId, WorkloadClass};

@@ -1,23 +1,96 @@
-//! Multi-tenant XEdge serving: per-tenant admission + fair queueing.
+//! Multi-tenant XEdge serving: workload classes, per-tenant admission +
+//! fair queueing.
 //!
 //! §III-B's XEdge servers are shared infrastructure — many vehicles,
 //! belonging to different service tenants (OEM analytics, city traffic,
-//! third-party apps), contend for the same accelerators. This module
-//! supplies the two policies a shared server needs: a per-tenant
-//! admission controller ([`TenantAdmission`]) that bounds each tenant's
-//! queue so one noisy tenant cannot starve the rest, and a deficit
-//! round-robin fair queue ([`FairQueue`]) that interleaves admitted
-//! requests proportionally to their cost.
+//! third-party apps), contend for the same accelerators, and §IV-B/§IV-C
+//! insist those vehicles run *heterogeneous* services: real-time
+//! detection, infotainment streaming, and personalized model training.
+//! This module supplies what a shared server needs to multiplex them: a
+//! first-class [`WorkloadClass`] vocabulary every layer of the serving
+//! path speaks, a per-tenant admission controller ([`TenantAdmission`])
+//! that bounds each tenant's queue so one noisy tenant cannot starve the
+//! rest, and a deficit round-robin fair queue ([`FairQueue`]) that
+//! interleaves admitted requests proportionally to their cost — over
+//! plain tenants or over per-tenant-per-class flows
+//! ([`ClassQueueKey`]) with per-class quanta.
 //!
-//! Both structures iterate tenants in `TenantId` order and use integer
-//! arithmetic only, so any same-input sequence of operations produces
-//! bit-identical outcomes — a requirement of the deterministic fleet
-//! engine built on top.
+//! All structures iterate keys in order and use integer arithmetic
+//! only, so any same-input sequence of operations produces bit-identical
+//! outcomes — a requirement of the deterministic fleet engine built on
+//! top.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
+
+/// The vehicular workload classes a shared XEdge deployment multiplexes
+/// (§IV-B's heterogeneous service mix reduced to its three cost shapes).
+///
+/// Each class carries a distinct cost model along the whole serving
+/// path — bytes moved, work units charged in the fair queue, deadline
+/// budget, and what "degraded" means when the deadline is missed:
+///
+/// * [`Detection`](WorkloadClass::Detection) — real-time perception
+///   offload (pedestrian alerts, scan-type detection). Small uploads,
+///   tiny downloads, tight deadlines; a miss degrades to reduced-
+///   accuracy on-VCU inference.
+/// * [`Infotainment`](WorkloadClass::Infotainment) — streaming chunks
+///   transcoded at the edge (E13). Tiny uplink, heavy downlink, loose
+///   deadline; a miss falls back to a lower-bitrate on-board decode.
+/// * [`PbeamTraining`](WorkloadClass::PbeamTraining) — personalized
+///   driving-model training rounds (`vdap_models::pbeam`): a gradient
+///   upload plus model-delta download per round, the loosest deadline;
+///   a missed round is *skipped*, not locally recomputed — training
+///   just converges a round later.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum WorkloadClass {
+    /// Real-time detection offload (scan-type perception requests).
+    #[default]
+    Detection,
+    /// Infotainment streaming via edge transcode.
+    Infotainment,
+    /// pBEAM personalized-model training rounds.
+    PbeamTraining,
+}
+
+impl WorkloadClass {
+    /// Every class, in canonical (ordinal) order.
+    pub const ALL: [WorkloadClass; 3] = [
+        WorkloadClass::Detection,
+        WorkloadClass::Infotainment,
+        WorkloadClass::PbeamTraining,
+    ];
+
+    /// Dense index of this class (`ALL[c.index()] == c`).
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            WorkloadClass::Detection => 0,
+            WorkloadClass::Infotainment => 1,
+            WorkloadClass::PbeamTraining => 2,
+        }
+    }
+
+    /// Stable lower-case label (metrics rows, fault-plan targets).
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            WorkloadClass::Detection => "detection",
+            WorkloadClass::Infotainment => "infotainment",
+            WorkloadClass::PbeamTraining => "pbeam-training",
+        }
+    }
+}
+
+impl fmt::Display for WorkloadClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// Identifies a service tenant sharing an XEdge server.
 #[derive(
@@ -110,6 +183,13 @@ impl TenantAdmission {
         self.cap_overrides.remove(&tenant);
     }
 
+    /// Replaces the nominal per-tenant cap (elastic capacity scaling).
+    /// Clamped to at least 1; active overrides are untouched and
+    /// requests outstanding above a shrunken cap drain naturally.
+    pub fn set_queue_cap(&mut self, cap: usize) {
+        self.queue_cap = cap.max(1);
+    }
+
     /// The cap currently enforced for `tenant`.
     #[must_use]
     pub fn effective_cap(&self, tenant: TenantId) -> usize {
@@ -191,15 +271,86 @@ impl TenantAdmission {
     }
 }
 
-/// A deficit round-robin (DRR) fair queue over tenants.
+/// A flow key the [`FairQueue`] can round-robin over.
 ///
-/// Each tenant owns a FIFO of `(cost, item)` pairs. [`FairQueue::pop`]
-/// visits non-empty tenants cyclically in `TenantId` order, granting
-/// each a `quantum` of deficit per visit and serving a tenant's head
-/// item once its accumulated deficit covers the item's cost. Expensive
-/// requests therefore consume proportionally more turns, giving
-/// byte-fair (not merely request-fair) scheduling — the classic DRR
-/// guarantee — while staying O(1)-ish and fully deterministic.
+/// A DRR cursor needs two things from its key space: a total order (the
+/// visiting order) and a successor function (where the cursor lands
+/// after a visit). [`TenantId`] gives the classic one-flow-per-tenant
+/// queue; [`ClassQueueKey`] gives one flow per (tenant, workload class)
+/// so classes inside a tenant are isolated from each other too.
+pub trait DrrKey: Copy + Ord {
+    /// The key immediately after `self` in visiting order (wrapping).
+    #[must_use]
+    fn successor(self) -> Self;
+}
+
+impl DrrKey for TenantId {
+    fn successor(self) -> Self {
+        TenantId::new(self.as_u32().wrapping_add(1))
+    }
+}
+
+/// One (tenant, workload class) flow in a class-aware [`FairQueue`].
+///
+/// Ordered tenant-major: a full cursor cycle visits every class of
+/// tenant 0, then every class of tenant 1, and so on — so per-visit
+/// quanta compose per tenant exactly as the fairness proof expects.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ClassQueueKey {
+    /// The tenant whose traffic this flow carries.
+    pub tenant: TenantId,
+    /// The workload class of every item in the flow.
+    pub class: WorkloadClass,
+}
+
+impl ClassQueueKey {
+    /// Builds a flow key.
+    #[must_use]
+    pub const fn new(tenant: TenantId, class: WorkloadClass) -> Self {
+        ClassQueueKey { tenant, class }
+    }
+}
+
+impl DrrKey for ClassQueueKey {
+    fn successor(self) -> Self {
+        match self.class {
+            WorkloadClass::Detection => {
+                ClassQueueKey::new(self.tenant, WorkloadClass::Infotainment)
+            }
+            WorkloadClass::Infotainment => {
+                ClassQueueKey::new(self.tenant, WorkloadClass::PbeamTraining)
+            }
+            WorkloadClass::PbeamTraining => {
+                ClassQueueKey::new(self.tenant.successor(), WorkloadClass::Detection)
+            }
+        }
+    }
+}
+
+impl fmt::Display for ClassQueueKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.tenant, self.class)
+    }
+}
+
+/// A deficit round-robin (DRR) fair queue over flows.
+///
+/// Each flow (a [`TenantId`] by default, or any [`DrrKey`] such as a
+/// per-tenant-per-class [`ClassQueueKey`]) owns a FIFO of `(cost, item)`
+/// pairs. [`FairQueue::pop`] visits non-empty flows cyclically in key
+/// order, granting each its quantum of deficit per visit and serving a
+/// flow's head item once its accumulated deficit covers the item's
+/// cost. Expensive requests therefore consume proportionally more
+/// turns, giving byte-fair (not merely request-fair) scheduling — the
+/// classic DRR guarantee — while staying O(1)-ish and fully
+/// deterministic.
+///
+/// Quanta are per flow: [`FairQueue::set_quantum`] overrides the
+/// default for one key, which is how heterogeneous workload classes get
+/// class-sized service shares (a streaming flow may drain a whole chunk
+/// per visit while a detection flow drains one frame).
 ///
 /// # Examples
 ///
@@ -217,18 +368,34 @@ impl TenantAdmission {
 /// assert_eq!(q.pop(), Some((a, "a2")));
 /// assert_eq!(q.pop(), None);
 /// ```
+///
+/// Class-aware flows with per-class quanta:
+///
+/// ```
+/// use vdap_edgeos::{ClassQueueKey, FairQueue, TenantId, WorkloadClass};
+///
+/// let mut q: FairQueue<&str, ClassQueueKey> = FairQueue::new(8);
+/// let det = ClassQueueKey::new(TenantId::new(0), WorkloadClass::Detection);
+/// let inf = ClassQueueKey::new(TenantId::new(0), WorkloadClass::Infotainment);
+/// q.set_quantum(inf, 16); // streaming drains twice the work per visit
+/// q.enqueue(det, 8, "frame");
+/// q.enqueue(inf, 16, "chunk");
+/// assert_eq!(q.pop(), Some((det, "frame")));
+/// assert_eq!(q.pop(), Some((inf, "chunk")));
+/// ```
 #[derive(Debug, Clone)]
-pub struct FairQueue<T> {
+pub struct FairQueue<T, K: DrrKey = TenantId> {
     quantum: u64,
-    queues: BTreeMap<TenantId, VecDeque<(u64, T)>>,
-    deficits: BTreeMap<TenantId, u64>,
-    /// Next tenant to visit resumes from the first id >= cursor.
-    cursor: TenantId,
+    quanta: BTreeMap<K, u64>,
+    queues: BTreeMap<K, VecDeque<(u64, T)>>,
+    deficits: BTreeMap<K, u64>,
+    /// Next flow to visit resumes from the first key >= cursor (`None`
+    /// until the first visit).
+    cursor: Option<K>,
 }
 
-impl<T> FairQueue<T> {
-    /// Creates a queue granting `quantum` deficit units per tenant
-    /// visit.
+impl<T, K: DrrKey> FairQueue<T, K> {
+    /// Creates a queue granting `quantum` deficit units per flow visit.
     ///
     /// # Panics
     ///
@@ -239,21 +406,35 @@ impl<T> FairQueue<T> {
         assert!(quantum > 0, "quantum must be positive");
         FairQueue {
             quantum,
+            quanta: BTreeMap::new(),
             queues: BTreeMap::new(),
             deficits: BTreeMap::new(),
-            cursor: TenantId::new(0),
+            cursor: None,
         }
     }
 
-    /// Appends an item with the given service cost to a tenant's FIFO.
-    pub fn enqueue(&mut self, tenant: TenantId, cost: u64, item: T) {
-        self.queues
-            .entry(tenant)
-            .or_default()
-            .push_back((cost, item));
+    /// Overrides the per-visit quantum for one flow (per-class quanta).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `quantum` is zero.
+    pub fn set_quantum(&mut self, key: K, quantum: u64) {
+        assert!(quantum > 0, "quantum must be positive");
+        self.quanta.insert(key, quantum);
     }
 
-    /// Total queued items across tenants.
+    /// The per-visit quantum this flow receives.
+    #[must_use]
+    pub fn quantum_of(&self, key: K) -> u64 {
+        self.quanta.get(&key).copied().unwrap_or(self.quantum)
+    }
+
+    /// Appends an item with the given service cost to a flow's FIFO.
+    pub fn enqueue(&mut self, key: K, cost: u64, item: T) {
+        self.queues.entry(key).or_default().push_back((cost, item));
+    }
+
+    /// Total queued items across flows.
     #[must_use]
     pub fn len(&self) -> usize {
         self.queues.values().map(VecDeque::len).sum()
@@ -266,44 +447,45 @@ impl<T> FairQueue<T> {
     }
 
     /// Removes and returns the next item under DRR scheduling.
-    pub fn pop(&mut self) -> Option<(TenantId, T)> {
+    pub fn pop(&mut self) -> Option<(K, T)> {
         if self.is_empty() {
             return None;
         }
         loop {
-            // Next non-empty tenant at or after the cursor, wrapping.
-            let next = self
-                .queues
-                .range(self.cursor..)
-                .find(|(_, q)| !q.is_empty())
-                .map(|(t, _)| *t)
-                .or_else(|| {
-                    self.queues
-                        .iter()
-                        .find(|(_, q)| !q.is_empty())
-                        .map(|(t, _)| *t)
-                });
-            let tenant = next?;
-            let deficit = self.deficits.entry(tenant).or_insert(0);
-            let queue = self.queues.get_mut(&tenant).expect("tenant just found");
+            // Next non-empty flow at or after the cursor, wrapping.
+            let from_cursor = self.cursor.and_then(|c| {
+                self.queues
+                    .range(c..)
+                    .find(|(_, q)| !q.is_empty())
+                    .map(|(k, _)| *k)
+            });
+            let next = from_cursor.or_else(|| {
+                self.queues
+                    .iter()
+                    .find(|(_, q)| !q.is_empty())
+                    .map(|(k, _)| *k)
+            });
+            let key = next?;
+            let deficit = self.deficits.entry(key).or_insert(0);
+            let queue = self.queues.get_mut(&key).expect("flow just found");
             let head_cost = queue.front().expect("non-empty queue").0;
             if *deficit >= head_cost {
                 *deficit -= head_cost;
                 let (_, item) = queue.pop_front().expect("non-empty queue");
                 if queue.is_empty() {
-                    // Idle tenants forfeit leftover deficit (standard DRR).
-                    self.deficits.remove(&tenant);
+                    // Idle flows forfeit leftover deficit (standard DRR).
+                    self.deficits.remove(&key);
                 }
-                return Some((tenant, item));
+                return Some((key, item));
             }
-            *deficit += self.quantum;
-            // Advance past this tenant for the next visit.
-            self.cursor = TenantId::new(tenant.as_u32().wrapping_add(1));
+            *deficit += self.quanta.get(&key).copied().unwrap_or(self.quantum);
+            // Advance past this flow for the next visit.
+            self.cursor = Some(key.successor());
         }
     }
 
     /// Drains the whole queue in DRR order.
-    pub fn drain(&mut self) -> Vec<(TenantId, T)> {
+    pub fn drain(&mut self) -> Vec<(K, T)> {
         let mut out = Vec::with_capacity(self.len());
         while let Some(x) = self.pop() {
             out.push(x);
@@ -441,5 +623,71 @@ mod tests {
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
         assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn class_index_round_trips() {
+        for (i, c) in WorkloadClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(WorkloadClass::ALL[c.index()], *c);
+        }
+        assert_eq!(WorkloadClass::PbeamTraining.to_string(), "pbeam-training");
+    }
+
+    #[test]
+    fn class_key_successor_walks_tenant_major() {
+        // A full successor cycle over 2 tenants visits all 6 flows in
+        // BTreeMap order, then wraps.
+        let start = ClassQueueKey::new(TenantId::new(0), WorkloadClass::Detection);
+        let mut key = start;
+        let mut seen = Vec::new();
+        for _ in 0..6 {
+            seen.push(key);
+            key = key.successor();
+        }
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        assert_eq!(seen, sorted, "successor order must match key order");
+        assert_eq!(key.tenant, TenantId::new(2), "cycle ends at next tenant");
+    }
+
+    #[test]
+    fn per_class_quanta_shape_service_shares() {
+        // One tenant, two classes: infotainment's quantum covers a whole
+        // chunk per visit while detection needs one visit per frame, so
+        // equal-cost backlogs interleave 1:1 despite a 4x cost gap.
+        let t = TenantId::new(0);
+        let det = ClassQueueKey::new(t, WorkloadClass::Detection);
+        let inf = ClassQueueKey::new(t, WorkloadClass::Infotainment);
+        let mut q: FairQueue<u32, ClassQueueKey> = FairQueue::new(4);
+        q.set_quantum(inf, 16);
+        assert_eq!(q.quantum_of(inf), 16);
+        assert_eq!(q.quantum_of(det), 4);
+        for i in 0..8 {
+            q.enqueue(det, 4, i);
+            q.enqueue(inf, 16, 100 + i);
+        }
+        let order = q.drain();
+        // Per cursor cycle each class serves exactly one item.
+        for pair in order.chunks(2) {
+            assert_eq!(pair[0].0.class, WorkloadClass::Detection);
+            assert_eq!(pair[1].0.class, WorkloadClass::Infotainment);
+        }
+    }
+
+    #[test]
+    fn class_flows_are_deterministic() {
+        let build = || {
+            let mut q: FairQueue<u32, ClassQueueKey> = FairQueue::new(6);
+            for v in 0..36u32 {
+                let key = ClassQueueKey::new(
+                    TenantId::new(v % 3),
+                    WorkloadClass::ALL[(v as usize / 3) % 3],
+                );
+                q.enqueue(key, u64::from(v % 5) + 1, v);
+            }
+            q.drain()
+        };
+        assert_eq!(build(), build());
     }
 }

@@ -6,15 +6,267 @@
 //! the engine's shard-count invariance: re-partitioning the same fleet
 //! across a different number of worker shards reassigns *where* each
 //! vehicle's events execute, but not *what* they compute.
+//!
+//! Since the workload-class refactor the cost model is per
+//! [`WorkloadClass`]: each class carries its own bytes, service times,
+//! work units, DRR quantum and deadline in a [`ClassSpec`], and the mix
+//! a vehicle draws from is a deterministic function of its private RNG
+//! stream.
 
+use std::fmt;
+
+use vdap_edgeos::{LanePolicy, WorkloadClass};
 use vdap_fault::FaultPlan;
 use vdap_sim::{SimDuration, SimTime};
+
+/// The cost/deadline model of one [`WorkloadClass`] in a fleet run.
+///
+/// Every layer of the serving path reads these numbers: the vehicle
+/// tick sizes transfers from `upload_bytes`/`download_bytes`, the XEdge
+/// fair queue charges `work_units` against a per-class `drr_quantum`,
+/// the contention model prices `edge_service` per class, and the
+/// degradation ladder budgets retries against `deadline`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassSpec {
+    /// Relative share of a vehicle's requests drawn from this class
+    /// (weights, not fractions; 0 disables the class).
+    pub weight: u32,
+    /// Uplink payload per request.
+    pub upload_bytes: u64,
+    /// Downlink payload per response.
+    pub download_bytes: u64,
+    /// Base XEdge service time per request at an idle server.
+    pub edge_service: SimDuration,
+    /// On-board compute time when the request cannot reach the edge.
+    pub vehicle_service: SimDuration,
+    /// Service cost units charged per request in the fair queue.
+    pub work_units: u64,
+    /// Deficit round-robin quantum for this class's flows.
+    pub drr_quantum: u64,
+    /// End-to-end deadline budget per request (rung-1 retry horizon).
+    pub deadline: SimDuration,
+    /// Whether results are scan-type work eligible for V2V sharing.
+    pub cacheable: bool,
+    /// Service-time multiplier for rung-3 local degraded execution.
+    pub degraded_service_factor: f64,
+}
+
+impl ClassSpec {
+    /// The default detection-offload cost model (the pre-refactor
+    /// fleet's single class): small feature uploads, tiny responses,
+    /// tight deadline, V2V-shareable results.
+    #[must_use]
+    pub fn detection() -> Self {
+        ClassSpec {
+            weight: 6,
+            upload_bytes: 20_000,
+            download_bytes: 2_000,
+            edge_service: SimDuration::from_millis(8),
+            vehicle_service: SimDuration::from_millis(45),
+            work_units: 8,
+            drr_quantum: 8,
+            deadline: SimDuration::from_secs(3),
+            cacheable: true,
+            degraded_service_factor: 0.6,
+        }
+    }
+
+    /// The default infotainment-streaming cost model (E13's
+    /// `apps::infotainment` scaled to per-request chunks): tiny
+    /// requests, heavy transcoded downlink, double-size work units and
+    /// quantum, looser deadline, nothing cacheable.
+    #[must_use]
+    pub fn infotainment() -> Self {
+        ClassSpec {
+            weight: 3,
+            upload_bytes: 1_000,
+            download_bytes: 200_000,
+            edge_service: SimDuration::from_millis(12),
+            vehicle_service: SimDuration::from_millis(30),
+            work_units: 16,
+            drr_quantum: 16,
+            deadline: SimDuration::from_secs(2),
+            cacheable: false,
+            degraded_service_factor: 0.5,
+        }
+    }
+
+    /// The default pBEAM-training cost model (`vdap_models::pbeam`
+    /// rounds): a gradient upload plus model-delta download, heavy
+    /// aggregation work at the edge, the loosest deadline. A missed
+    /// round is *skipped*, never recomputed locally — the on-board
+    /// `vehicle_service` only prices the local continuation a vehicle
+    /// pays when the edge is unreachable.
+    #[must_use]
+    pub fn pbeam_training() -> Self {
+        ClassSpec {
+            weight: 1,
+            upload_bytes: 120_000,
+            download_bytes: 40_000,
+            edge_service: SimDuration::from_millis(24),
+            vehicle_service: SimDuration::from_millis(20),
+            work_units: 32,
+            drr_quantum: 32,
+            deadline: SimDuration::from_secs(10),
+            cacheable: false,
+            degraded_service_factor: 1.0,
+        }
+    }
+
+    /// The default spec for `class`.
+    #[must_use]
+    pub fn default_for(class: WorkloadClass) -> Self {
+        match class {
+            WorkloadClass::Detection => ClassSpec::detection(),
+            WorkloadClass::Infotainment => ClassSpec::infotainment(),
+            WorkloadClass::PbeamTraining => ClassSpec::pbeam_training(),
+        }
+    }
+
+    fn validate(&self, class: WorkloadClass) -> Result<(), FleetConfigError> {
+        let reject = |what: &str| {
+            Err(FleetConfigError::BadClassSpec {
+                class,
+                what: what.to_string(),
+            })
+        };
+        if self.weight > 0 {
+            if self.edge_service.is_zero() {
+                return reject("edge service time must be positive");
+            }
+            if self.work_units == 0 {
+                return reject("work units must be positive");
+            }
+            if self.drr_quantum == 0 {
+                return reject("DRR quantum must be positive");
+            }
+            if self.deadline.is_zero() {
+                return reject("deadline must be positive");
+            }
+            if !(self.degraded_service_factor > 0.0 && self.degraded_service_factor <= 1.0) {
+                return reject("degraded service factor must be in (0, 1]");
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a [`FleetConfig`] was rejected.
+///
+/// Every variant names the offending field and the rule it broke, so a
+/// caller building configs programmatically gets a diagnosable error at
+/// the gate instead of a panic (or a hung run) deep inside the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetConfigError {
+    /// `vehicles == 0`.
+    NoVehicles,
+    /// `shards == 0`.
+    NoShards,
+    /// `shards > vehicles`: some shards would own no vehicles.
+    MoreShardsThanVehicles {
+        /// Configured shard count.
+        shards: u32,
+        /// Configured fleet size.
+        vehicles: u32,
+    },
+    /// `tenants == 0`.
+    NoTenants,
+    /// `tenants > vehicles`: some tenants would have no traffic and
+    /// the interleaved vehicle → tenant map would skip tenant ids.
+    MoreTenantsThanVehicles {
+        /// Configured tenant count.
+        tenants: u32,
+        /// Configured fleet size.
+        vehicles: u32,
+    },
+    /// `regions == 0`.
+    NoRegions,
+    /// `duration` is zero.
+    ZeroDuration,
+    /// `epoch` is zero.
+    ZeroEpoch,
+    /// `epoch > duration`: the first barrier would fall past the
+    /// horizon and the run would serve everything in one degenerate
+    /// epoch.
+    EpochExceedsDuration {
+        /// Configured barrier interval.
+        epoch: SimDuration,
+        /// Configured simulated duration.
+        duration: SimDuration,
+    },
+    /// `request_period` is zero.
+    ZeroRequestPeriod,
+    /// `cacheable_fraction` outside `[0, 1]`.
+    BadCacheableFraction(f64),
+    /// `edge_nodes == 0`.
+    NoEdgeNodes,
+    /// `edge_nodes > edge_capacity`: some node would own no lane.
+    MoreNodesThanLanes {
+        /// Configured node count.
+        nodes: u32,
+        /// Configured lane count.
+        lanes: u32,
+    },
+    /// Every class weight is zero: vehicles would have nothing to send.
+    EmptyClassMix,
+    /// A class spec carries an unusable value.
+    BadClassSpec {
+        /// The offending class.
+        class: WorkloadClass,
+        /// The rule it broke.
+        what: String,
+    },
+}
+
+impl fmt::Display for FleetConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetConfigError::NoVehicles => write!(f, "fleet needs at least one vehicle"),
+            FleetConfigError::NoShards => write!(f, "fleet needs at least one shard"),
+            FleetConfigError::MoreShardsThanVehicles { shards, vehicles } => write!(
+                f,
+                "{shards} shards over {vehicles} vehicles: more shards than vehicles is meaningless"
+            ),
+            FleetConfigError::NoTenants => write!(f, "fleet needs at least one tenant"),
+            FleetConfigError::MoreTenantsThanVehicles { tenants, vehicles } => write!(
+                f,
+                "{tenants} tenants over {vehicles} vehicles: some tenants would have no vehicles"
+            ),
+            FleetConfigError::NoRegions => write!(f, "fleet needs at least one region"),
+            FleetConfigError::ZeroDuration => write!(f, "duration must be positive"),
+            FleetConfigError::ZeroEpoch => write!(f, "epoch must be positive"),
+            FleetConfigError::EpochExceedsDuration { epoch, duration } => write!(
+                f,
+                "epoch {epoch} exceeds duration {duration}: the first barrier would fall past \
+                 the horizon"
+            ),
+            FleetConfigError::ZeroRequestPeriod => write!(f, "request period must be positive"),
+            FleetConfigError::BadCacheableFraction(p) => {
+                write!(f, "cacheable fraction {p} must be a probability in [0, 1]")
+            }
+            FleetConfigError::NoEdgeNodes => write!(f, "edge needs at least one node"),
+            FleetConfigError::MoreNodesThanLanes { nodes, lanes } => write!(
+                f,
+                "{nodes} XEdge nodes over {lanes} lanes: every node needs at least one lane"
+            ),
+            FleetConfigError::EmptyClassMix => {
+                write!(f, "every workload-class weight is zero: nothing to send")
+            }
+            FleetConfigError::BadClassSpec { class, what } => {
+                write!(f, "class '{class}': {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetConfigError {}
 
 /// Configuration for one fleet run.
 ///
 /// Defaults model the paper's setting scaled to a small city fleet:
-/// 1,000 vehicles streaming perception requests to a shared XEdge
-/// deployment over LTE for one simulated minute.
+/// 1,000 vehicles multiplexing the §IV-B service mix — detection
+/// offload, infotainment streaming and pBEAM training rounds — over a
+/// shared XEdge deployment via LTE for one simulated minute.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
     /// Master scenario seed; every random stream derives from it.
@@ -33,41 +285,29 @@ pub struct FleetConfig {
     pub epoch: SimDuration,
     /// Mean per-vehicle request period (±10% deterministic jitter).
     pub request_period: SimDuration,
-    /// Uplink payload per request (compressed perception features).
-    pub upload_bytes: u64,
-    /// Downlink payload per response.
-    pub download_bytes: u64,
-    /// Base XEdge service time per request at an idle server.
-    pub edge_service: SimDuration,
-    /// On-board fallback compute time when a request cannot reach the
-    /// edge (regional outage or admission reject).
-    pub vehicle_service: SimDuration,
-    /// Concurrent request lanes per XEdge deployment.
+    /// Per-class cost models, indexed by [`WorkloadClass::index`].
+    pub classes: [ClassSpec; 3],
+    /// Fraction of cacheable-class requests eligible for V2V result
+    /// sharing.
+    pub cacheable_fraction: f64,
+    /// Concurrent request lanes per XEdge deployment (the nominal pool
+    /// size when elastic scaling is on).
     pub edge_capacity: u32,
     /// Physical XEdge nodes the lane pool is partitioned across; lane
     /// `i` belongs to node `i % edge_nodes` and region `r` is homed on
     /// node `r % edge_nodes`. An [`vdap_fault::FaultKind::EdgeNodeCrash`]
     /// takes down one node's whole lane share.
     pub edge_nodes: u32,
-    /// Per-tenant outstanding-request cap at the XEdge admission gate.
+    /// Per-tenant outstanding-request cap at the XEdge admission gate
+    /// (the nominal cap when elastic scaling is on).
     pub tenant_queue_cap: usize,
-    /// Deficit round-robin quantum (service cost units per visit).
-    pub drr_quantum: u64,
-    /// Service cost units charged per request in the fair queue.
-    pub work_units: u64,
-    /// Fraction of requests that are cacheable scan-type work eligible
-    /// for V2V result sharing.
-    pub cacheable_fraction: f64,
+    /// Elastic XEdge capacity: when set, lane counts and tenant queue
+    /// caps scale up/down from observed queue depth at epoch barriers.
+    /// `None` keeps the pool statically sized.
+    pub elastic: Option<LanePolicy>,
     /// Re-planning latency a vehicle pays when failing over to on-board
     /// compute.
     pub failover_penalty: SimDuration,
-    /// End-to-end deadline budget per request: the degradation ladder's
-    /// rung-1 retry may probe a crashed node only this long past the
-    /// request's arrival before falling through to the next rung.
-    pub request_deadline: SimDuration,
-    /// Service-time multiplier for rung-3 local degraded execution —
-    /// the cheaper, lower-accuracy on-VCU pipeline.
-    pub degraded_service_factor: f64,
     /// Optional fault plan (e.g. a regional LTE outage).
     pub chaos: Option<FaultPlan>,
 }
@@ -83,19 +323,17 @@ impl Default for FleetConfig {
             duration: SimDuration::from_secs(60),
             epoch: SimDuration::from_millis(500),
             request_period: SimDuration::from_secs(1),
-            upload_bytes: 20_000,
-            download_bytes: 2_000,
-            edge_service: SimDuration::from_millis(8),
-            vehicle_service: SimDuration::from_millis(45),
+            classes: [
+                ClassSpec::detection(),
+                ClassSpec::infotainment(),
+                ClassSpec::pbeam_training(),
+            ],
+            cacheable_fraction: 0.3,
             edge_capacity: 16,
             edge_nodes: 4,
             tenant_queue_cap: 100,
-            drr_quantum: 8,
-            work_units: 8,
-            cacheable_fraction: 0.3,
+            elastic: None,
             failover_penalty: SimDuration::from_millis(10),
-            request_deadline: SimDuration::from_secs(3),
-            degraded_service_factor: 0.6,
             chaos: None,
         }
     }
@@ -110,6 +348,72 @@ impl FleetConfig {
             vehicles,
             shards,
             ..FleetConfig::default()
+        }
+    }
+
+    /// The cost model of one workload class.
+    #[must_use]
+    pub fn class(&self, class: WorkloadClass) -> &ClassSpec {
+        &self.classes[class.index()]
+    }
+
+    /// Mutable access to one class's cost model.
+    pub fn class_mut(&mut self, class: WorkloadClass) -> &mut ClassSpec {
+        &mut self.classes[class.index()]
+    }
+
+    /// Replaces the class-mix weights (detection, infotainment, pBEAM
+    /// training). A zero weight disables the class.
+    #[must_use]
+    pub fn with_class_weights(mut self, weights: [u32; 3]) -> Self {
+        for (spec, w) in self.classes.iter_mut().zip(weights) {
+            spec.weight = w;
+        }
+        self
+    }
+
+    /// Restricts the mix to detection only — the pre-refactor fleet's
+    /// single-class workload, still useful as a baseline.
+    #[must_use]
+    pub fn detection_only(self) -> Self {
+        self.with_class_weights([1, 0, 0])
+    }
+
+    /// Enables elastic XEdge capacity with the default policy bracketed
+    /// around the configured lane pool (see [`LanePolicy::around`]).
+    #[must_use]
+    pub fn with_elastic_capacity(mut self) -> Self {
+        self.elastic = Some(LanePolicy::around(self.edge_capacity));
+        self
+    }
+
+    /// Sum of the class-mix weights.
+    #[must_use]
+    pub fn total_class_weight(&self) -> u32 {
+        self.classes.iter().map(|s| s.weight).sum()
+    }
+
+    /// The class selected by a weighted draw in
+    /// `[0, total_class_weight())` — the vehicle tick's per-request
+    /// class pick (pure integer walk, deterministic per RNG stream).
+    #[must_use]
+    pub fn class_for_draw(&self, draw: u64) -> WorkloadClass {
+        let mut rest = draw;
+        for class in WorkloadClass::ALL {
+            let w = u64::from(self.class(class).weight);
+            if rest < w {
+                return class;
+            }
+            rest -= w;
+        }
+        WorkloadClass::Detection
+    }
+
+    /// Scales every class's base XEdge service time (standing shared-
+    /// tenancy load carried over from single-vehicle scenarios).
+    pub fn scale_edge_service(&mut self, factor: f64) {
+        for spec in &mut self.classes {
+            spec.edge_service = spec.edge_service.mul_f64(factor.max(1.0));
         }
     }
 
@@ -199,39 +503,79 @@ impl FleetConfig {
         self
     }
 
-    /// Panics unless counts and durations are usable.
-    pub(crate) fn validate(&self) {
-        assert!(self.vehicles > 0, "fleet needs at least one vehicle");
-        assert!(self.shards > 0, "fleet needs at least one shard");
-        assert!(
-            self.shards <= self.vehicles,
-            "more shards than vehicles is meaningless"
-        );
-        assert!(self.tenants > 0, "fleet needs at least one tenant");
-        assert!(self.regions > 0, "fleet needs at least one region");
-        assert!(!self.epoch.is_zero(), "epoch must be positive");
-        assert!(!self.duration.is_zero(), "duration must be positive");
-        assert!(
-            !self.request_period.is_zero(),
-            "request period must be positive"
-        );
-        assert!(
-            (0.0..=1.0).contains(&self.cacheable_fraction),
-            "cacheable fraction must be a probability"
-        );
-        assert!(self.edge_nodes > 0, "edge needs at least one node");
-        assert!(
-            self.edge_nodes <= self.edge_capacity,
-            "every XEdge node needs at least one lane"
-        );
-        assert!(
-            self.degraded_service_factor > 0.0 && self.degraded_service_factor <= 1.0,
-            "degraded service factor must be in (0, 1]"
-        );
-        assert!(
-            !self.request_deadline.is_zero(),
-            "request deadline must be positive"
-        );
+    /// Attaches a pre-built fault plan (replacing any builders' faults
+    /// accumulated so far).
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Checks every count, duration and class spec, returning the first
+    /// rule violated. [`crate::FleetEngine::try_new`] calls this at the
+    /// gate so a bad config fails with a diagnosable error instead of a
+    /// panic or a hung run downstream.
+    pub fn validate(&self) -> Result<(), FleetConfigError> {
+        if self.vehicles == 0 {
+            return Err(FleetConfigError::NoVehicles);
+        }
+        if self.shards == 0 {
+            return Err(FleetConfigError::NoShards);
+        }
+        if self.shards > self.vehicles {
+            return Err(FleetConfigError::MoreShardsThanVehicles {
+                shards: self.shards,
+                vehicles: self.vehicles,
+            });
+        }
+        if self.tenants == 0 {
+            return Err(FleetConfigError::NoTenants);
+        }
+        if self.tenants > self.vehicles {
+            return Err(FleetConfigError::MoreTenantsThanVehicles {
+                tenants: self.tenants,
+                vehicles: self.vehicles,
+            });
+        }
+        if self.regions == 0 {
+            return Err(FleetConfigError::NoRegions);
+        }
+        if self.duration.is_zero() {
+            return Err(FleetConfigError::ZeroDuration);
+        }
+        if self.epoch.is_zero() {
+            return Err(FleetConfigError::ZeroEpoch);
+        }
+        if self.epoch > self.duration {
+            return Err(FleetConfigError::EpochExceedsDuration {
+                epoch: self.epoch,
+                duration: self.duration,
+            });
+        }
+        if self.request_period.is_zero() {
+            return Err(FleetConfigError::ZeroRequestPeriod);
+        }
+        if !(0.0..=1.0).contains(&self.cacheable_fraction) {
+            return Err(FleetConfigError::BadCacheableFraction(
+                self.cacheable_fraction,
+            ));
+        }
+        if self.edge_nodes == 0 {
+            return Err(FleetConfigError::NoEdgeNodes);
+        }
+        if self.edge_nodes > self.edge_capacity {
+            return Err(FleetConfigError::MoreNodesThanLanes {
+                nodes: self.edge_nodes,
+                lanes: self.edge_capacity,
+            });
+        }
+        if self.total_class_weight() == 0 {
+            return Err(FleetConfigError::EmptyClassMix);
+        }
+        for class in WorkloadClass::ALL {
+            self.class(class).validate(class)?;
+        }
+        Ok(())
     }
 
     /// The tenant a vehicle belongs to (interleaved assignment).
@@ -348,8 +692,86 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "shards")]
-    fn more_shards_than_vehicles_rejected() {
-        FleetConfig::sized(2, 4).validate();
+    fn default_config_validates_with_the_full_mix() {
+        let cfg = FleetConfig::default();
+        assert_eq!(cfg.total_class_weight(), 10);
+        assert!(cfg.validate().is_ok());
+        assert!(cfg.detection_only().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_shards_rejected_with_reason() {
+        let cfg = FleetConfig {
+            shards: 0,
+            ..FleetConfig::default()
+        };
+        assert_eq!(cfg.validate(), Err(FleetConfigError::NoShards));
+        assert!(cfg.validate().unwrap_err().to_string().contains("shard"));
+    }
+
+    #[test]
+    fn more_shards_than_vehicles_rejected_with_reason() {
+        let err = FleetConfig::sized(2, 4).validate().unwrap_err();
+        assert_eq!(
+            err,
+            FleetConfigError::MoreShardsThanVehicles {
+                shards: 4,
+                vehicles: 2
+            }
+        );
+        assert!(err.to_string().contains("more shards than vehicles"));
+    }
+
+    #[test]
+    fn more_tenants_than_vehicles_rejected_with_reason() {
+        let mut cfg = FleetConfig::sized(8, 1);
+        cfg.tenants = 9;
+        let err = cfg.validate().unwrap_err();
+        assert_eq!(
+            err,
+            FleetConfigError::MoreTenantsThanVehicles {
+                tenants: 9,
+                vehicles: 8
+            }
+        );
+        assert!(err.to_string().contains("tenants"));
+    }
+
+    #[test]
+    fn epoch_past_duration_rejected_with_reason() {
+        let cfg = FleetConfig {
+            duration: SimDuration::from_secs(1),
+            epoch: SimDuration::from_secs(2),
+            ..FleetConfig::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(matches!(err, FleetConfigError::EpochExceedsDuration { .. }));
+        assert!(err.to_string().contains("exceeds duration"));
+    }
+
+    #[test]
+    fn empty_class_mix_rejected_with_reason() {
+        let cfg = FleetConfig::default().with_class_weights([0, 0, 0]);
+        assert_eq!(cfg.validate(), Err(FleetConfigError::EmptyClassMix));
+    }
+
+    #[test]
+    fn bad_class_spec_names_the_class() {
+        let mut cfg = FleetConfig::default();
+        cfg.class_mut(WorkloadClass::Infotainment).work_units = 0;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("infotainment"), "{err}");
+        // A disabled class may carry junk — it never serves.
+        let mut off = FleetConfig::default().with_class_weights([1, 0, 1]);
+        off.class_mut(WorkloadClass::Infotainment).work_units = 0;
+        assert!(off.validate().is_ok());
+    }
+
+    #[test]
+    fn elastic_defaults_bracket_the_nominal_pool() {
+        let cfg = FleetConfig::default().with_elastic_capacity();
+        let policy = cfg.elastic.expect("policy set");
+        assert_eq!(policy.min_lanes, 8);
+        assert_eq!(policy.max_lanes, 64);
     }
 }

@@ -3,10 +3,34 @@
 //! All cross-vehicle coupling funnels through this single-threaded
 //! server: at each barrier the engine hands it the canonical-sorted
 //! global batch of requests, and the server applies per-tenant admission
-//! control, deficit round-robin fair queueing, a load-dependent service
-//! time (the [`ContentionModel`]), and per-region LTE bandwidth sharing.
-//! Because serving consumes only globally-determined data in a canonical
-//! order, its outputs are independent of how the fleet was sharded.
+//! control, per-(tenant, class) deficit round-robin fair queueing, a
+//! load-dependent service time (the [`ContentionModel`] priced per
+//! class), and per-region LTE bandwidth sharing. Because serving
+//! consumes only globally-determined data in a canonical order, its
+//! outputs are independent of how the fleet was sharded.
+//!
+//! ## Workload classes
+//!
+//! Every request carries a [`WorkloadClass`], and every stage of the
+//! serving pass reads the class's [`ClassSpec`]: bytes on the wire,
+//! work units charged in the fair queue (against a per-class quantum),
+//! base service time (each class's queued share contributes its own
+//! fraction to the contention load), deadline budget, and what rung 3
+//! of the degradation ladder means for it.
+//!
+//! ## Elastic lane scaling
+//!
+//! When the config carries a [`vdap_edgeos::LanePolicy`], a
+//! [`LaneScaler`] resizes the lane pool and the per-tenant admission
+//! caps from the queue depth observed at the *previous* barrier —
+//! observe at barrier `k`, actuate at barrier `k + 1`. Decisions are
+//! integer functions of (lane count, queue depth), both of which are
+//! globally determined, so elasticity composes with the N-shard vs
+//! 1-shard byte-identity invariant. Grown lanes join round-robin
+//! (`node = index % edge_nodes`, preserving the homing rule); shrinks
+//! remove only *idle* tail lanes and never drop a node's last lane, so
+//! a busy pool defers its shrink to a later barrier instead of
+//! cancelling in-flight work.
 //!
 //! ## Edge-tier chaos and the degradation ladder
 //!
@@ -16,23 +40,23 @@
 //! [`vdap_fault::FaultKind::TenantQuotaFlap`],
 //! [`vdap_fault::FaultKind::RegionHandoffStorm`]) is sampled only at
 //! epoch barriers — the injector is a pure function of time — so chaos
-//! lives entirely in this deterministic serving pass and the N-shard vs
-//! 1-shard invariant survives.
+//! lives entirely in this deterministic serving pass.
 //!
 //! A request hitting a fault walks a graceful-degradation ladder:
 //!
 //! 1. **Deadline-aware retry** ([`vdap_fault::retry_until_deadline`]):
 //!    probe the crashed home node once per epoch until the request's
-//!    deadline budget runs out. A rescued request is served without
-//!    occupying a lane (a modeling shortcut: the rescue completes on
-//!    the freshly recovered, momentarily idle node).
+//!    *class* deadline budget runs out (a pBEAM round can ride out a
+//!    crash a pedestrian-alert frame cannot).
 //! 2. **Neighbor-region handoff**: re-register through the nearest
 //!    region whose home node is healthy, paying the mobility handoff
 //!    cost from [`vdap_net::CellularChannel`].
-//! 3. **Local degraded execution**: run the pipeline on the VCU at
-//!    reduced accuracy — faster and at lower board power than the full
-//!    on-board fallback, with the degraded-mode seconds charged to the
-//!    tenant.
+//! 3. **Local degraded execution, per class**: detection re-runs on the
+//!    VCU at reduced accuracy, infotainment falls back to a lower-
+//!    bitrate on-board decode (both charge degraded-mode seconds to the
+//!    tenant), and a pBEAM training round is *skipped* — the vehicle
+//!    pays only the re-planning penalty and training converges a round
+//!    later.
 //!
 //! A node that crashes more than [`vdap_edgeos::CrashLoopPolicy`]
 //! allows inside its window is declared crash-looping and stays down
@@ -40,13 +64,18 @@
 
 use std::collections::BTreeMap;
 
-use vdap_edgeos::{CrashLoopPolicy, FairQueue, TenantAdmission, TenantId};
+use vdap_edgeos::{
+    ClassQueueKey, CrashLoopPolicy, FairQueue, LaneDecision, LaneScaler, TenantAdmission, TenantId,
+    WorkloadClass,
+};
 use vdap_fault::{retry_until_deadline, AttemptOutcome, FaultInjector, RetryPolicy};
 use vdap_net::{CellularChannel, Direction, LinkSpec, Mph};
 use vdap_offload::ContentionModel;
 use vdap_sim::{RngStream, SimDuration, SimTime};
 
-use crate::config::{edge_node_label, handoff_label, region_label, tenant_label, FleetConfig};
+use crate::config::{
+    edge_node_label, handoff_label, region_label, tenant_label, ClassSpec, FleetConfig,
+};
 use crate::vehicle::{DEGRADED_BOARD_W, RADIO_W, SPEED_MPH};
 
 /// One vehicle request bound for the shared edge.
@@ -56,6 +85,7 @@ pub(crate) struct EdgeRequest {
     pub seq: u32,
     pub tenant: u32,
     pub region: u32,
+    pub class: WorkloadClass,
     pub arrival: SimTime,
     /// Serving attempts so far (0 = never assigned a lane). Bumped when
     /// a node crash re-queues the request.
@@ -65,6 +95,10 @@ pub(crate) struct EdgeRequest {
 /// A request the edge finished serving, with vehicle-side accounting.
 #[derive(Debug, Clone)]
 pub(crate) struct ServedRequest {
+    pub tenant: u32,
+    pub class: WorkloadClass,
+    /// Work units charged in the fair queue (the tenant ledger entry).
+    pub work: u64,
     pub e2e: SimDuration,
     pub energy_j: f64,
 }
@@ -73,14 +107,18 @@ pub(crate) struct ServedRequest {
 /// uplink time was already spent discovering that).
 #[derive(Debug, Clone)]
 pub(crate) struct RejectedRequest {
+    pub class: WorkloadClass,
     pub uplink: SimDuration,
 }
 
-/// A request that fell to the bottom ladder rung: local on-VCU
-/// execution at degraded accuracy.
+/// A request that fell to the bottom ladder rung. What that means is
+/// class-specific: degraded on-VCU execution for detection, a lower-
+/// bitrate local decode for infotainment, a skipped round for pBEAM
+/// training (`degraded` is zero and the round simply doesn't happen).
 #[derive(Debug, Clone)]
 pub(crate) struct LocalFallback {
     pub tenant: u32,
+    pub class: WorkloadClass,
     pub e2e: SimDuration,
     pub energy_j: f64,
     /// Degraded-mode serving time charged to the tenant.
@@ -94,6 +132,12 @@ pub(crate) struct EpochOutcome {
     pub rejected: Vec<RejectedRequest>,
     pub local_fallbacks: Vec<LocalFallback>,
     pub queue_depth: usize,
+    /// Lane-pool size after this barrier's elastic step.
+    pub lanes: u32,
+    /// Whether the elastic step grew the pool at this barrier.
+    pub scaled_up: bool,
+    /// Whether the elastic step shrank the pool at this barrier.
+    pub scaled_down: bool,
     /// In-flight requests re-queued off crashed lanes this barrier.
     pub requeued: u64,
     /// Retry attempts spent on ladder rung 1.
@@ -127,7 +171,8 @@ struct InFlight {
 #[derive(Debug)]
 pub(crate) struct XEdgeServer {
     /// Lanes persist across epochs so backlog carries over; lane `i`
-    /// belongs to node `i % edge_nodes`.
+    /// belongs to node `i % edge_nodes` (grown lanes keep the rule by
+    /// joining round-robin).
     lanes: Vec<Lane>,
     /// Requests currently occupying lanes, completion-pending.
     in_flight: Vec<InFlight>,
@@ -146,19 +191,22 @@ pub(crate) struct XEdgeServer {
     /// Per-handoff connectivity gap at fleet cruising speed.
     handoff_cost: SimDuration,
     epoch: SimDuration,
-    base_service: SimDuration,
-    drr_quantum: u64,
-    work_units: u64,
-    upload_bytes: u64,
-    download_bytes: u64,
+    /// Per-class cost models, indexed by [`WorkloadClass::index`].
+    classes: [ClassSpec; 3],
+    /// Pre-built (flow key, quantum) table applied to each epoch's
+    /// fair queue (only classes with a non-zero weight serve).
+    class_quanta: Vec<(ClassQueueKey, u64)>,
+    /// Elastic lane controller; `None` keeps the pool statically sized.
+    scaler: Option<LaneScaler>,
+    /// Queue depth observed at the previous barrier (the elastic
+    /// controller's input — observe at `k`, actuate at `k + 1`).
+    last_depth: usize,
+    nominal_lanes: u32,
     edge_nodes: u32,
     regions: u32,
     tenants: u32,
     nominal_cap: usize,
-    request_deadline: SimDuration,
     failover_penalty: SimDuration,
-    vehicle_service: SimDuration,
-    degraded_service_factor: f64,
     /// Cached fault-target labels, indexed by id.
     node_labels: Vec<String>,
     region_labels: Vec<String>,
@@ -176,6 +224,18 @@ impl XEdgeServer {
                 free: SimTime::ZERO,
             })
             .collect();
+        let mut class_quanta = Vec::new();
+        for t in 0..cfg.tenants {
+            for class in WorkloadClass::ALL {
+                let spec = cfg.class(class);
+                if spec.weight > 0 && spec.drr_quantum > 0 {
+                    class_quanta.push((
+                        ClassQueueKey::new(TenantId::new(t), class),
+                        spec.drr_quantum,
+                    ));
+                }
+            }
+        }
         XEdgeServer {
             lanes,
             in_flight: Vec::new(),
@@ -189,19 +249,16 @@ impl XEdgeServer {
             lte: LinkSpec::lte(),
             handoff_cost: CellularChannel::calibrated().handoff_cost(Mph(SPEED_MPH)),
             epoch: cfg.epoch,
-            base_service: cfg.edge_service,
-            drr_quantum: cfg.drr_quantum,
-            work_units: cfg.work_units,
-            upload_bytes: cfg.upload_bytes,
-            download_bytes: cfg.download_bytes,
+            classes: cfg.classes.clone(),
+            class_quanta,
+            scaler: cfg.elastic.map(LaneScaler::new),
+            last_depth: 0,
+            nominal_lanes: capacity,
             edge_nodes: nodes,
             regions: cfg.regions,
             tenants: cfg.tenants,
             nominal_cap: cfg.tenant_queue_cap,
-            request_deadline: cfg.request_deadline,
             failover_penalty: cfg.failover_penalty,
-            vehicle_service: cfg.vehicle_service,
-            degraded_service_factor: cfg.degraded_service_factor,
             node_labels: (0..nodes).map(edge_node_label).collect(),
             region_labels: (0..cfg.regions).map(region_label).collect(),
             handoff_labels: (0..cfg.regions).map(handoff_label).collect(),
@@ -236,11 +293,10 @@ impl XEdgeServer {
     }
 
     /// The per-vehicle share of a region's LTE cell given the average
-    /// transfer concurrency implied by this epoch's batch.
-    fn region_link(&self, region_count: u32) -> LinkSpec {
-        let t0 = self.lte.transfer_time(Direction::Uplink, self.upload_bytes);
-        let concurrency =
-            (f64::from(region_count) * t0.as_secs_f64() / self.epoch.as_secs_f64()).ceil();
+    /// uplink concurrency (in transfer-seconds) this epoch's batch
+    /// implies for the region.
+    fn region_link(&self, uplink_secs: f64) -> LinkSpec {
+        let concurrency = (uplink_secs / self.epoch.as_secs_f64()).ceil();
         self.lte.shared_among(concurrency.max(1.0) as u32)
     }
 
@@ -253,6 +309,54 @@ impl XEdgeServer {
             .min_by_key(|(i, l)| (l.free, *i))
             .map(|(i, _)| i)
             .expect("every node owns at least one lane")
+    }
+
+    /// Runs the elastic step at `barrier`: one [`LaneScaler`] decision
+    /// from the previous barrier's queue depth, applied to the lane
+    /// pool, the contention capacity, and the per-tenant admission cap.
+    /// Records what happened into `outcome`.
+    fn scale_capacity(&mut self, barrier: SimTime, outcome: &mut EpochOutcome) {
+        let Some(mut scaler) = self.scaler.take() else {
+            return;
+        };
+        let decision = scaler.decide(self.lanes.len() as u32, self.last_depth);
+        // Never drop below one lane per node: the homing rule (and
+        // `best_lane`) requires every node to keep a lane.
+        let target = decision.lanes().max(self.edge_nodes) as usize;
+        match decision {
+            LaneDecision::Grow(_) => {
+                while self.lanes.len() < target {
+                    let node = (self.lanes.len() as u32) % self.edge_nodes;
+                    self.lanes.push(Lane {
+                        node,
+                        free: barrier,
+                    });
+                }
+                outcome.scaled_up = true;
+            }
+            LaneDecision::Shrink(_) => {
+                // Remove idle tail lanes only; a busy tail defers the
+                // shrink to a later barrier rather than cancelling
+                // in-flight work.
+                let mut removed = false;
+                while self.lanes.len() > target
+                    && self.lanes.last().is_some_and(|l| l.free <= barrier)
+                {
+                    self.lanes.pop();
+                    removed = true;
+                }
+                outcome.scaled_down = removed;
+            }
+            LaneDecision::Hold(_) => {}
+        }
+        let lanes = self.lanes.len() as u32;
+        self.contention = self.contention.resized(lanes);
+        self.admission.set_queue_cap(scaler.tenant_cap(
+            self.nominal_cap,
+            self.nominal_lanes,
+            lanes,
+        ));
+        self.scaler = Some(scaler);
     }
 
     /// Refreshes node health at `barrier`: detects up→down edges,
@@ -311,14 +415,16 @@ impl XEdgeServer {
 
     /// Syncs per-tenant admission caps with the quota-flap state at
     /// `barrier`: an active flap shrinks the cap to
-    /// `max(1, floor(nominal × factor))`.
+    /// `max(1, floor(current × factor))` of the (possibly elastically
+    /// scaled) base cap.
     fn refresh_quotas(&mut self, injector: Option<&FaultInjector>, barrier: SimTime) {
         let Some(inj) = injector else { return };
+        let base_cap = self.admission.queue_cap();
         for t in 0..self.tenants {
             let factor = inj.quota_factor(&self.tenant_labels[t as usize], barrier);
             let tenant = TenantId::new(t);
             if factor < 1.0 {
-                let cap = ((self.nominal_cap as f64 * factor).floor() as usize).max(1);
+                let cap = ((base_cap as f64 * factor).floor() as usize).max(1);
                 self.admission.set_cap_override(tenant, cap);
             } else {
                 self.admission.clear_cap_override(tenant);
@@ -326,24 +432,42 @@ impl XEdgeServer {
         }
     }
 
-    /// Whether `tenant`'s quota is currently flapped below nominal.
+    /// Whether `tenant`'s quota is currently flapped (a cap override is
+    /// in force — the elastic base cap is not a flap).
     fn tenant_flapped(&self, tenant: u32) -> bool {
-        self.admission.effective_cap(TenantId::new(tenant)) < self.nominal_cap
+        let t = TenantId::new(tenant);
+        self.admission.effective_cap(t) != self.admission.queue_cap()
     }
 
-    /// Rung 3: local on-VCU execution at degraded accuracy.
+    /// Rung 3, per class: degraded on-VCU execution for detection, a
+    /// lower-bitrate local decode for infotainment, a *skipped round*
+    /// for pBEAM training (only the re-planning penalty is paid; no
+    /// degraded seconds accrue, the round just doesn't happen).
     fn local_fallback(&self, req: &EdgeRequest) -> LocalFallback {
-        let service = self.vehicle_service.mul_f64(self.degraded_service_factor);
-        LocalFallback {
-            tenant: req.tenant,
-            e2e: self.failover_penalty + service,
-            energy_j: service.as_secs_f64() * DEGRADED_BOARD_W,
-            degraded: service,
+        let spec = &self.classes[req.class.index()];
+        match req.class {
+            WorkloadClass::PbeamTraining => LocalFallback {
+                tenant: req.tenant,
+                class: req.class,
+                e2e: self.failover_penalty,
+                energy_j: 0.0,
+                degraded: SimDuration::ZERO,
+            },
+            _ => {
+                let service = spec.vehicle_service.mul_f64(spec.degraded_service_factor);
+                LocalFallback {
+                    tenant: req.tenant,
+                    class: req.class,
+                    e2e: self.failover_penalty + service,
+                    energy_j: service.as_secs_f64() * DEGRADED_BOARD_W,
+                    degraded: service,
+                }
+            }
         }
     }
 
     /// Rung 1: probe the crashed home node once per epoch under the
-    /// request's remaining deadline budget. Returns the rescued
+    /// request's remaining *class* deadline budget. Returns the rescued
     /// [`ServedRequest`] and the attempt count, or the attempts spent
     /// when the budget ran dry.
     #[allow(clippy::too_many_arguments)]
@@ -358,11 +482,12 @@ impl XEdgeServer {
         service: SimDuration,
         rng: &mut RngStream,
     ) -> Result<(ServedRequest, u32), u32> {
+        let spec = &self.classes[req.class.index()];
         let elapsed = barrier.duration_since(req.arrival);
-        if elapsed >= self.request_deadline {
+        if elapsed >= spec.deadline {
             return Err(0);
         }
-        let budget = self.request_deadline - elapsed;
+        let budget = spec.deadline - elapsed;
         let policy = RetryPolicy {
             max_attempts: 4,
             base_delay: self.epoch,
@@ -383,7 +508,16 @@ impl XEdgeServer {
         if report.succeeded() {
             let e2e = report.finished_at.duration_since(req.arrival);
             let energy_j = (up.as_secs_f64() + down.as_secs_f64()) * RADIO_W;
-            Ok((ServedRequest { e2e, energy_j }, report.attempts))
+            Ok((
+                ServedRequest {
+                    tenant: req.tenant,
+                    class: req.class,
+                    work: spec.work_units,
+                    e2e,
+                    energy_j,
+                },
+                report.attempts,
+            ))
         } else {
             Err(report.attempts)
         }
@@ -432,10 +566,17 @@ impl XEdgeServer {
         self.lanes[lane].free = finish;
         let e2e = finish.duration_since(req.arrival) + down;
         let energy_j = (up.as_secs_f64() + down.as_secs_f64()) * RADIO_W + extra_energy;
+        let work = self.classes[req.class.index()].work_units;
         self.in_flight.push(InFlight {
             finish,
             node,
-            served: ServedRequest { e2e, energy_j },
+            served: ServedRequest {
+                tenant: req.tenant,
+                class: req.class,
+                work,
+                e2e,
+                energy_j,
+            },
             req,
         });
     }
@@ -444,8 +585,8 @@ impl XEdgeServer {
     /// shards; this method sorts them canonically, so input order (and
     /// therefore shard count) cannot influence the outcome. `barrier`
     /// is the global epoch-boundary instant — the only time at which
-    /// fault state is sampled — and `rng` is the engine-owned ladder
-    /// stream, consumed in canonical order.
+    /// fault state and elastic decisions are sampled — and `rng` is the
+    /// engine-owned ladder stream, consumed in canonical order.
     pub fn serve_epoch(
         &mut self,
         mut batch: Vec<EdgeRequest>,
@@ -460,16 +601,21 @@ impl XEdgeServer {
             ..EpochOutcome::default()
         };
         self.emit_completions(barrier, &mut outcome);
+        self.scale_capacity(barrier, &mut outcome);
         self.refresh_quotas(injector, barrier);
 
-        // Per-region LTE sharing from this batch's population.
-        let mut region_counts: BTreeMap<u32, u32> = BTreeMap::new();
+        // Per-region LTE sharing from this batch's uplink demand
+        // (class-sized: a pBEAM gradient weighs more than a detection
+        // frame). Summed in canonical batch order.
+        let mut region_secs: BTreeMap<u32, f64> = BTreeMap::new();
         for r in &batch {
-            *region_counts.entry(r.region).or_insert(0) += 1;
+            let bytes = self.classes[r.class.index()].upload_bytes;
+            let t = self.lte.transfer_time(Direction::Uplink, bytes);
+            *region_secs.entry(r.region).or_insert(0.0) += t.as_secs_f64();
         }
-        let region_links: BTreeMap<u32, LinkSpec> = region_counts
+        let region_links: BTreeMap<u32, LinkSpec> = region_secs
             .iter()
-            .map(|(&r, &n)| (r, self.region_link(n)))
+            .map(|(&r, &secs)| (r, self.region_link(secs)))
             .collect();
         let unshared = self.lte.clone();
         let link_for = move |region: u32| -> LinkSpec {
@@ -479,52 +625,78 @@ impl XEdgeServer {
                 .unwrap_or_else(|| unshared.clone())
         };
 
-        // Admission (arrival order), then DRR fair queueing. Requests
-        // re-queued off crashed lanes were admitted in an earlier epoch
-        // and re-enter the queue without a second admission charge.
-        let mut queue: FairQueue<EdgeRequest> = FairQueue::new(self.drr_quantum);
+        // Admission (arrival order), then per-(tenant, class) DRR fair
+        // queueing with class-sized quanta. Requests re-queued off
+        // crashed lanes were admitted in an earlier epoch and re-enter
+        // the queue without a second admission charge.
+        let mut queue: FairQueue<EdgeRequest, ClassQueueKey> =
+            FairQueue::new(self.classes[0].drr_quantum.max(1));
+        for &(key, quantum) in &self.class_quanta {
+            queue.set_quantum(key, quantum);
+        }
+        let mut queued_by_class = [0u64; 3];
         let mut admitted: Vec<TenantId> = Vec::new();
         for req in std::mem::take(&mut self.requeued) {
-            if barrier.duration_since(req.arrival) >= self.request_deadline {
+            let spec = &self.classes[req.class.index()];
+            if barrier.duration_since(req.arrival) >= spec.deadline {
                 // Too stale to re-serve: straight to the bottom rung.
                 outcome.local_fallbacks.push(self.local_fallback(&req));
             } else {
-                queue.enqueue(TenantId::new(req.tenant), self.work_units, req);
+                let key = ClassQueueKey::new(TenantId::new(req.tenant), req.class);
+                queued_by_class[req.class.index()] += 1;
+                queue.enqueue(key, spec.work_units, req);
             }
         }
         for req in batch {
             let tenant = TenantId::new(req.tenant);
             if self.admission.try_admit(tenant) {
                 admitted.push(tenant);
-                queue.enqueue(tenant, self.work_units, req);
+                let spec = &self.classes[req.class.index()];
+                queued_by_class[req.class.index()] += 1;
+                queue.enqueue(ClassQueueKey::new(tenant, req.class), spec.work_units, req);
             } else if self.tenant_flapped(req.tenant) {
                 // Quota flap: a fault, not load — bounced into the
                 // degradation ladder's bottom rung.
                 outcome.local_fallbacks.push(self.local_fallback(&req));
             } else {
+                let bytes = self.classes[req.class.index()].upload_bytes;
                 outcome.rejected.push(RejectedRequest {
-                    uplink: link_for(req.region)
-                        .transfer_time(Direction::Uplink, self.upload_bytes),
+                    class: req.class,
+                    uplink: link_for(req.region).transfer_time(Direction::Uplink, bytes),
                 });
             }
         }
         outcome.queue_depth = queue.len();
+        self.last_depth = outcome.queue_depth;
 
-        // Load-dependent service time from the average in-service
-        // concurrency this batch implies.
-        let implied = (outcome.queue_depth as f64 * self.base_service.as_secs_f64()
-            / self.epoch.as_secs_f64())
-        .ceil() as u32;
-        let service = self
-            .base_service
-            .mul_f64(self.contention.service_multiplier(implied));
+        // Load-dependent service time: each class's queued share
+        // contributes its own fractional concurrency
+        // (`depth × service / epoch`), the shares sum into one load
+        // figure, and the resulting multiplier stretches every class's
+        // base service time.
+        let implied: f64 = WorkloadClass::ALL
+            .iter()
+            .map(|c| {
+                queued_by_class[c.index()] as f64
+                    * self.classes[c.index()].edge_service.as_secs_f64()
+            })
+            .sum::<f64>()
+            / self.epoch.as_secs_f64();
+        let multiplier = self.contention.service_multiplier_f64(implied);
+        let service_by_class: [SimDuration; 3] = [
+            self.classes[0].edge_service.mul_f64(multiplier),
+            self.classes[1].edge_service.mul_f64(multiplier),
+            self.classes[2].edge_service.mul_f64(multiplier),
+        ];
 
         // Serve in DRR order on the home node's earliest-free lane,
         // walking the degradation ladder when the home path is faulted.
         while let Some((_, req)) = queue.pop() {
+            let ci = req.class.index();
             let link = link_for(req.region);
-            let up = link.transfer_time(Direction::Uplink, self.upload_bytes);
-            let down = link.transfer_time(Direction::Downlink, self.download_bytes);
+            let up = link.transfer_time(Direction::Uplink, self.classes[ci].upload_bytes);
+            let down = link.transfer_time(Direction::Downlink, self.classes[ci].download_bytes);
+            let service = service_by_class[ci];
             let home = self.home_node(req.region);
             let home_down = self.node_unavailable(injector, home, barrier);
             let storming = injector.is_some_and(|inj| {
@@ -565,7 +737,7 @@ impl XEdgeServer {
                 continue;
             }
 
-            // Rung 3 — local degraded execution.
+            // Rung 3 — class-specific local fallback.
             outcome.local_fallbacks.push(self.local_fallback(&req));
         }
 
@@ -573,15 +745,19 @@ impl XEdgeServer {
         for tenant in admitted {
             self.admission.release(tenant);
         }
+        outcome.lanes = self.lanes.len() as u32;
         outcome
     }
 
     /// Drains everything still pending at the end of the run: in-flight
     /// work completes past the horizon (its latency is already fixed),
-    /// and requests stranded in the requeue buffer take the local
-    /// fallback.
+    /// and requests stranded in the requeue buffer take the class-
+    /// specific local fallback.
     pub fn flush(&mut self) -> EpochOutcome {
-        let mut outcome = EpochOutcome::default();
+        let mut outcome = EpochOutcome {
+            lanes: self.lanes.len() as u32,
+            ..EpochOutcome::default()
+        };
         for inf in self.in_flight.drain(..) {
             outcome.served.push(inf.served);
         }

@@ -24,7 +24,7 @@ use vdap_fault::{FaultEdge, FaultInjector, FaultKind};
 use vdap_offload::Tile;
 use vdap_sim::{ReliabilityStats, SeedFactory, SimDuration, SimTime};
 
-use crate::config::{tenant_label, FleetConfig};
+use crate::config::{tenant_label, FleetConfig, FleetConfigError};
 use crate::edge::{EpochOutcome, XEdgeServer};
 use crate::metrics::{FleetMetrics, FleetReport};
 use crate::pool::WorkerPool;
@@ -50,16 +50,28 @@ pub struct FleetEngine {
 }
 
 impl FleetEngine {
+    /// Creates an engine for the given scenario, rejecting unusable
+    /// configurations (zero counts, more shards than vehicles, an epoch
+    /// past the horizon, an empty class mix) with a descriptive
+    /// [`FleetConfigError`] instead of a downstream panic or hang.
+    pub fn try_new(cfg: FleetConfig) -> Result<Self, FleetConfigError> {
+        cfg.validate()?;
+        Ok(FleetEngine { cfg })
+    }
+
     /// Creates an engine for the given scenario.
     ///
     /// # Panics
     ///
-    /// Panics when the configuration is unusable (zero counts, more
-    /// shards than vehicles, zero durations).
+    /// Panics with the [`FleetConfigError`] message when the
+    /// configuration is unusable; use [`FleetEngine::try_new`] to
+    /// handle the rejection instead.
     #[must_use]
     pub fn new(cfg: FleetConfig) -> Self {
-        cfg.validate();
-        FleetEngine { cfg }
+        match FleetEngine::try_new(cfg) {
+            Ok(engine) => engine,
+            Err(err) => panic!("invalid fleet config: {err}"),
+        }
     }
 
     /// The scenario this engine will run.
@@ -143,6 +155,15 @@ impl FleetEngine {
             engine_metrics
                 .queue_depth
                 .record(outcome.queue_depth as f64);
+            engine_metrics
+                .elastic_lanes
+                .record(f64::from(outcome.lanes));
+            if outcome.scaled_up {
+                engine_metrics.scale_ups += 1;
+            }
+            if outcome.scaled_down {
+                engine_metrics.scale_downs += 1;
+            }
             record_outcome(
                 &mut engine_metrics,
                 &mut reliability,
@@ -215,9 +236,11 @@ impl FleetEngine {
 }
 
 /// Folds one barrier's serving outcome into the engine metrics and the
-/// reliability ledger. Rejected requests keep the legacy accounting: the
-/// vehicle pays the uplink it wasted discovering the bounce, then the
-/// full on-board fallback.
+/// reliability ledger, per class. Rejected requests keep the legacy
+/// accounting: the vehicle pays the uplink it wasted discovering the
+/// bounce, then the full on-board fallback at the class's own service
+/// time. Skipped pBEAM rounds (rung 3 for the training class) count as
+/// fallbacks but accrue no degraded-mode time.
 fn record_outcome(
     metrics: &mut FleetMetrics,
     reliability: &mut ReliabilityStats,
@@ -229,20 +252,38 @@ fn record_outcome(
         metrics.e2e_latency_ms.record_duration(served.e2e);
         metrics.energy_per_request_j.record(served.energy_j);
         metrics.edge_served += 1;
+        metrics.credit_work(served.tenant, served.work);
+        let cm = metrics.class_mut(served.class);
+        cm.edge_served += 1;
+        cm.e2e_latency_ms.record_duration(served.e2e);
     }
     for rejected in &outcome.rejected {
-        let e2e = rejected.uplink + cfg.failover_penalty + cfg.vehicle_service;
+        let spec = cfg.class(rejected.class);
+        let e2e = rejected.uplink + cfg.failover_penalty + spec.vehicle_service;
         metrics.e2e_latency_ms.record_duration(e2e);
         metrics.energy_per_request_j.record(
-            rejected.uplink.as_secs_f64() * RADIO_W + cfg.vehicle_service.as_secs_f64() * BOARD_W,
+            rejected.uplink.as_secs_f64() * RADIO_W + spec.vehicle_service.as_secs_f64() * BOARD_W,
         );
         metrics.rejected += 1;
+        let cm = metrics.class_mut(rejected.class);
+        cm.rejected += 1;
+        cm.e2e_latency_ms.record_duration(e2e);
     }
     for fallback in &outcome.local_fallbacks {
         metrics.e2e_latency_ms.record_duration(fallback.e2e);
         metrics.energy_per_request_j.record(fallback.energy_j);
         metrics.local_fallbacks += 1;
-        reliability.record_degraded(&tenant_labels[fallback.tenant as usize], fallback.degraded);
+        let cm = metrics.class_mut(fallback.class);
+        cm.local_fallbacks += 1;
+        cm.e2e_latency_ms.record_duration(fallback.e2e);
+        if fallback.class == vdap_edgeos::WorkloadClass::PbeamTraining {
+            // A skipped pBEAM round: no degraded-mode seconds accrue,
+            // training just converges a round later.
+            metrics.training_rounds_skipped += 1;
+        } else {
+            reliability
+                .record_degraded(&tenant_labels[fallback.tenant as usize], fallback.degraded);
+        }
     }
     metrics.requeued += outcome.requeued;
     metrics.retry_rescued += outcome.retry_rescued;

@@ -1,24 +1,35 @@
 //! # vdap-fleet — deterministic sharded fleet-scale simulation
 //!
 //! OpenVDAP's architecture is fleet-shaped: every vehicle streams
-//! perception work to shared XEdge servers (§III). This crate scales the
-//! reproduction from single-vehicle experiments to **thousands of
-//! vehicles** against shared multi-tenant edge infrastructure, without
-//! giving up the workspace's bit-for-bit determinism contract.
+//! heterogeneous work to shared XEdge servers (§III): real-time
+//! detection offload, infotainment streaming, and pBEAM training
+//! rounds. This crate scales the reproduction from single-vehicle
+//! experiments to **thousands of vehicles** against shared multi-tenant
+//! edge infrastructure, without giving up the workspace's bit-for-bit
+//! determinism contract.
+//!
+//! Every request carries a [`WorkloadClass`] whose [`ClassSpec`] prices
+//! it end to end — bytes, fair-queue work units, deadlines, and what
+//! "degraded" means when the deadline is missed. The XEdge tier can run
+//! with **elastic capacity** ([`FleetConfig::with_elastic_capacity`]):
+//! lane counts and tenant queue caps scale up and down from observed
+//! queue depth, with decisions sampled only at epoch barriers so
+//! elasticity composes with determinism.
 //!
 //! Vehicles are partitioned into shards; each shard advances its own
 //! [`vdap_sim::Simulation`] event loop on a worker thread. Cross-shard
-//! interactions — XEdge admission control and per-tenant fair queueing,
-//! V2V result sharing, regional LTE outages — are exchanged at epoch
-//! barriers with conservative synchronization, so a run with N shards
-//! produces **byte-identical** aggregate metrics to a single-shard run
-//! of the same seed (see `FleetReport::summary` and `tests/props.rs`).
+//! interactions — XEdge admission control and per-(tenant, class) fair
+//! queueing, V2V result sharing, regional LTE outages — are exchanged at
+//! epoch barriers with conservative synchronization, so a run with N
+//! shards produces **byte-identical** aggregate metrics to a
+//! single-shard run of the same seed (see `FleetReport::summary` and
+//! `tests/props.rs`).
 //!
 //! ```
 //! use vdap_fleet::{FleetConfig, FleetEngine};
 //! use vdap_sim::SimDuration;
 //!
-//! let mut cfg = FleetConfig::sized(128, 4);
+//! let mut cfg = FleetConfig::sized(128, 4).with_elastic_capacity();
 //! cfg.duration = SimDuration::from_secs(10);
 //! let sharded = FleetEngine::new(cfg.clone()).run();
 //! cfg.shards = 1;
@@ -37,7 +48,13 @@ mod pool;
 mod shard;
 mod vehicle;
 
-pub use config::{region_label, FleetConfig};
+pub use config::{
+    edge_node_label, handoff_label, region_label, tenant_label, ClassSpec, FleetConfig,
+    FleetConfigError,
+};
 pub use engine::FleetEngine;
-pub use metrics::{FleetMetrics, FleetReport};
+pub use metrics::{ClassMetrics, FleetMetrics, FleetReport};
 pub use pool::WorkerPool;
+// The class vocabulary lives in EdgeOSv (every layer speaks it);
+// re-exported here so fleet callers need not depend on vdap-edgeos.
+pub use vdap_edgeos::{LanePolicy, WorkloadClass};

@@ -2,13 +2,67 @@
 //!
 //! Shards keep local [`FleetMetrics`]; the engine merges them with the
 //! engine-side metrics at the end of a run. Every field is either an
-//! integer counter or a [`StreamingHistogram`], so the merge is
-//! associative and commutative bit-for-bit — the property the
-//! shard-count-invariance test (`tests/props.rs`) pins down.
+//! integer counter, a [`StreamingHistogram`], or a key-summed map, so
+//! the merge is associative and commutative bit-for-bit — the property
+//! the shard-count-invariance test (`tests/props.rs`) pins down.
+//!
+//! Since the workload-class refactor the request stream is accounted
+//! twice: fleet-wide (the legacy counters and histograms) and per
+//! [`WorkloadClass`] ([`ClassMetrics`]), so a report can show that a
+//! missed pBEAM round and a missed pedestrian-alert frame took
+//! different degradation paths. The per-tenant served work-unit ledger
+//! feeds the DRR fairness property test, and the elastic counters track
+//! the lane pool across barriers.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use vdap_edgeos::WorkloadClass;
 use vdap_sim::{ReliabilityStats, SimDuration, StreamingHistogram};
+
+/// Per-[`WorkloadClass`] outcome accounting (one lane of the fleet-wide
+/// request partition).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassMetrics {
+    /// End-to-end latency (ms) of this class's requests, all outcomes.
+    pub e2e_latency_ms: StreamingHistogram,
+    /// Requests issued.
+    pub requests: u64,
+    /// Requests served by the XEdge deployment.
+    pub edge_served: u64,
+    /// Requests satisfied from a V2V-shared result.
+    pub collab_hits: u64,
+    /// Requests that failed over to on-board compute (regional outage).
+    pub failovers: u64,
+    /// Requests bounced by admission control under nominal quotas.
+    pub rejected: u64,
+    /// Requests that fell to the class-specific bottom ladder rung.
+    pub local_fallbacks: u64,
+}
+
+impl ClassMetrics {
+    fn new(class: WorkloadClass) -> Self {
+        ClassMetrics {
+            e2e_latency_ms: StreamingHistogram::new(class.label()),
+            requests: 0,
+            edge_served: 0,
+            collab_hits: 0,
+            failovers: 0,
+            rejected: 0,
+            local_fallbacks: 0,
+        }
+    }
+
+    fn merge(&mut self, other: &ClassMetrics) {
+        self.e2e_latency_ms.merge(&other.e2e_latency_ms);
+        self.requests += other.requests;
+        self.edge_served += other.edge_served;
+        self.collab_hits += other.collab_hits;
+        self.failovers += other.failovers;
+        self.rejected += other.rejected;
+        self.local_fallbacks += other.local_fallbacks;
+    }
+}
 
 /// Mergeable fleet-level measurements.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,6 +73,13 @@ pub struct FleetMetrics {
     pub energy_per_request_j: StreamingHistogram,
     /// Admitted XEdge batch size observed at each epoch barrier.
     pub queue_depth: StreamingHistogram,
+    /// XEdge lane-pool size observed at each epoch barrier (constant
+    /// unless elastic capacity is on).
+    pub elastic_lanes: StreamingHistogram,
+    /// Per-class outcome accounting, indexed by [`WorkloadClass::index`].
+    pub by_class: [ClassMetrics; 3],
+    /// Served work units per tenant (the DRR fairness ledger).
+    pub work_units_by_tenant: BTreeMap<u32, u64>,
     /// Requests issued by vehicles.
     pub requests: u64,
     /// Requests served by the shared XEdge deployment.
@@ -40,6 +101,13 @@ pub struct FleetMetrics {
     pub handoffs: u64,
     /// Requests that fell to rung-3 local degraded execution.
     pub local_fallbacks: u64,
+    /// pBEAM training rounds skipped at rung 3 (sub-count of
+    /// `local_fallbacks` — a skipped round accrues no degraded time).
+    pub training_rounds_skipped: u64,
+    /// Elastic barriers at which the lane pool grew.
+    pub scale_ups: u64,
+    /// Elastic barriers at which the lane pool shrank.
+    pub scale_downs: u64,
 }
 
 impl Default for FleetMetrics {
@@ -56,6 +124,13 @@ impl FleetMetrics {
             e2e_latency_ms: StreamingHistogram::new("e2e_latency_ms"),
             energy_per_request_j: StreamingHistogram::new("energy_per_request_j"),
             queue_depth: StreamingHistogram::new("xedge_queue_depth"),
+            elastic_lanes: StreamingHistogram::new("xedge_lanes"),
+            by_class: [
+                ClassMetrics::new(WorkloadClass::Detection),
+                ClassMetrics::new(WorkloadClass::Infotainment),
+                ClassMetrics::new(WorkloadClass::PbeamTraining),
+            ],
+            work_units_by_tenant: BTreeMap::new(),
             requests: 0,
             edge_served: 0,
             collab_hits: 0,
@@ -65,7 +140,26 @@ impl FleetMetrics {
             retry_rescued: 0,
             handoffs: 0,
             local_fallbacks: 0,
+            training_rounds_skipped: 0,
+            scale_ups: 0,
+            scale_downs: 0,
         }
+    }
+
+    /// One class's accounting.
+    #[must_use]
+    pub fn class(&self, class: WorkloadClass) -> &ClassMetrics {
+        &self.by_class[class.index()]
+    }
+
+    /// Mutable access to one class's accounting.
+    pub(crate) fn class_mut(&mut self, class: WorkloadClass) -> &mut ClassMetrics {
+        &mut self.by_class[class.index()]
+    }
+
+    /// Credits served work units to a tenant's ledger.
+    pub(crate) fn credit_work(&mut self, tenant: u32, work: u64) {
+        *self.work_units_by_tenant.entry(tenant).or_insert(0) += work;
     }
 
     /// Merges another shard's metrics into this one (order-independent).
@@ -73,6 +167,13 @@ impl FleetMetrics {
         self.e2e_latency_ms.merge(&other.e2e_latency_ms);
         self.energy_per_request_j.merge(&other.energy_per_request_j);
         self.queue_depth.merge(&other.queue_depth);
+        self.elastic_lanes.merge(&other.elastic_lanes);
+        for (mine, theirs) in self.by_class.iter_mut().zip(other.by_class.iter()) {
+            mine.merge(theirs);
+        }
+        for (&tenant, &work) in &other.work_units_by_tenant {
+            *self.work_units_by_tenant.entry(tenant).or_insert(0) += work;
+        }
         self.requests += other.requests;
         self.edge_served += other.edge_served;
         self.collab_hits += other.collab_hits;
@@ -82,6 +183,9 @@ impl FleetMetrics {
         self.retry_rescued += other.retry_rescued;
         self.handoffs += other.handoffs;
         self.local_fallbacks += other.local_fallbacks;
+        self.training_rounds_skipped += other.training_rounds_skipped;
+        self.scale_ups += other.scale_ups;
+        self.scale_downs += other.scale_downs;
     }
 
     /// Fraction of issued requests served from the V2V cache.
@@ -175,6 +279,29 @@ impl FleetReport {
         );
         let _ = writeln!(
             out,
+            "elastic: lanes_mean={:.2} lanes_max={:.0} scale_ups={} scale_downs={}",
+            m.elastic_lanes.mean(),
+            m.elastic_lanes.max(),
+            m.scale_ups,
+            m.scale_downs
+        );
+        for class in WorkloadClass::ALL {
+            let c = m.class(class);
+            let _ = writeln!(
+                out,
+                "class[{class}]: requests={} served={} collab={} failover={} rejected={} \
+                 fallback={} e2e_p95_ms={:.3}",
+                c.requests,
+                c.edge_served,
+                c.collab_hits,
+                c.failovers,
+                c.rejected,
+                c.local_fallbacks,
+                c.e2e_latency_ms.quantile(0.95)
+            );
+        }
+        let _ = writeln!(
+            out,
             "admission: offered={} rejected={} reject_rate={:.4}",
             self.admission_offered,
             self.admission_rejected,
@@ -186,6 +313,11 @@ impl FleetReport {
             m.collab_hits,
             m.collab_hit_rate()
         );
+        let mut work = String::new();
+        for (tenant, units) in &m.work_units_by_tenant {
+            let _ = write!(work, " tenant{tenant}={units}");
+        }
+        let _ = writeln!(out, "work_units:{work}");
         let _ = writeln!(
             out,
             "reliability: faults={} failovers={} failover_ms_mean={:.3} mttr_ms_mean={:.3}",
@@ -196,12 +328,14 @@ impl FleetReport {
         );
         let _ = writeln!(
             out,
-            "ladder: requeued={} retry_rescued={} retries={} handoffs={} local_fallbacks={} degraded_s={:.3}",
+            "ladder: requeued={} retry_rescued={} retries={} handoffs={} local_fallbacks={} \
+             rounds_skipped={} degraded_s={:.3}",
             m.requeued,
             m.retry_rescued,
             self.reliability.retry_count(),
             m.handoffs,
             m.local_fallbacks,
+            m.training_rounds_skipped,
             self.reliability.total_degraded_time().as_secs_f64()
         );
         for (region, avail) in &self.region_availability {
@@ -220,15 +354,27 @@ mod tests {
         let mut a = FleetMetrics::new();
         a.requests = 5;
         a.e2e_latency_ms.record(10.0);
+        a.class_mut(WorkloadClass::Detection).requests = 4;
+        a.credit_work(0, 16);
         let mut b = FleetMetrics::new();
         b.requests = 7;
         b.collab_hits = 2;
         b.e2e_latency_ms.record(30.0);
+        b.class_mut(WorkloadClass::Detection).requests = 6;
+        b.class_mut(WorkloadClass::PbeamTraining).local_fallbacks = 1;
+        b.training_rounds_skipped = 1;
+        b.credit_work(0, 8);
+        b.credit_work(2, 32);
         a.merge(&b);
         assert_eq!(a.requests, 12);
         assert_eq!(a.collab_hits, 2);
         assert_eq!(a.e2e_latency_ms.count(), 2);
         assert!((a.e2e_latency_ms.mean() - 20.0).abs() < 1e-6);
+        assert_eq!(a.class(WorkloadClass::Detection).requests, 10);
+        assert_eq!(a.class(WorkloadClass::PbeamTraining).local_fallbacks, 1);
+        assert_eq!(a.training_rounds_skipped, 1);
+        assert_eq!(a.work_units_by_tenant.get(&0), Some(&24));
+        assert_eq!(a.work_units_by_tenant.get(&2), Some(&32));
     }
 
     #[test]
@@ -247,6 +393,11 @@ mod tests {
         let s = report.summary();
         assert!(s.contains("fleet: vehicles=10 duration=60.0s"));
         assert!(s.contains("availability[region0/lte]=0.900000"));
+        assert!(s.contains("class[detection]:"));
+        assert!(s.contains("class[infotainment]:"));
+        assert!(s.contains("class[pbeam-training]:"));
+        assert!(s.contains("elastic: lanes_mean="));
+        assert!(s.contains("rounds_skipped=0"));
         assert!(!s.contains("shards"), "summary must not leak shard count");
     }
 }

@@ -9,6 +9,13 @@
 //! shard are isolated from each other exactly as strictly as vehicles
 //! in different shards — that symmetry is what makes an N-shard run
 //! reproduce a 1-shard run bit-for-bit.
+//!
+//! Each request tick draws its [`vdap_edgeos::WorkloadClass`] from the
+//! config's
+//! weighted mix using the vehicle's private RNG stream, so the same
+//! vehicle issues the same class sequence no matter how the fleet is
+//! sharded, and every vehicle-side cost (fallback service, V2V fetch
+//! bytes) is priced by the drawn class's [`crate::ClassSpec`].
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -127,14 +134,20 @@ fn tick(ctx: &mut Ctx<'_, ShardState>, local: usize) {
     let cfg = Arc::clone(&st.cfg);
     let horizon = cfg.horizon();
 
-    let (id, tenant, region, seq, cacheable, jitter) = {
+    // Per-request draws, in a fixed order so the stream replays
+    // identically: class pick, cache eligibility, cost jitter.
+    let (id, tenant, region, seq, class, cacheable, jitter) = {
         let v = &mut st.vehicles[local];
         let seq = v.seq;
         v.seq += 1;
-        let cacheable = v.rng.chance(cfg.cacheable_fraction);
+        let pick = v.rng.below(u64::from(cfg.total_class_weight()));
+        let class = cfg.class_for_draw(pick);
+        let cache_draw = v.rng.chance(cfg.cacheable_fraction);
         let jitter = v.rng.uniform();
-        (v.id, v.tenant, v.region, seq, cacheable, jitter)
+        let cacheable = cache_draw && cfg.class(class).cacheable;
+        (v.id, v.tenant, v.region, seq, class, cacheable, jitter)
     };
+    let spec = cfg.class(class);
 
     let region_down = st
         .injector
@@ -142,17 +155,21 @@ fn tick(ctx: &mut Ctx<'_, ShardState>, local: usize) {
         .is_some_and(|inj| inj.is_down(&st.region_labels[region as usize], now));
 
     st.metrics.requests += 1;
+    st.metrics.class_mut(class).requests += 1;
     if region_down {
-        // Regional LTE outage: re-plan and run the pipeline on board.
+        // Regional LTE outage: re-plan and run the pipeline on board
+        // (a pBEAM round continues training locally at its own cost).
         let failover = cfg.failover_penalty.mul_f64(1.0 + 0.2 * jitter);
-        let service = cfg.vehicle_service.mul_f64(1.0 + 0.1 * jitter);
-        st.metrics
-            .e2e_latency_ms
-            .record_duration(failover + service);
+        let service = spec.vehicle_service.mul_f64(1.0 + 0.1 * jitter);
+        let e2e = failover + service;
+        st.metrics.e2e_latency_ms.record_duration(e2e);
         st.metrics
             .energy_per_request_j
             .record(service.as_secs_f64() * BOARD_W);
         st.metrics.failovers += 1;
+        let cm = st.metrics.class_mut(class);
+        cm.failovers += 1;
+        cm.e2e_latency_ms.record_duration(e2e);
         st.failover_samples
             .push((id, seq, failover.as_millis_f64()));
     } else {
@@ -166,7 +183,7 @@ fn tick(ctx: &mut Ctx<'_, ShardState>, local: usize) {
             // V2V collaboration hit: fetch the neighbour's result over
             // DSRC instead of recomputing.
             let dsrc = LinkSpec::dsrc();
-            let fetch = dsrc.transfer_time(Direction::Downlink, cfg.download_bytes);
+            let fetch = dsrc.transfer_time(Direction::Downlink, spec.download_bytes);
             let merge = SimDuration::from_millis_f64(2.0 + jitter);
             let e2e = dsrc.latency() + fetch + merge;
             st.metrics.e2e_latency_ms.record_duration(e2e);
@@ -174,12 +191,16 @@ fn tick(ctx: &mut Ctx<'_, ShardState>, local: usize) {
                 .energy_per_request_j
                 .record(fetch.as_secs_f64() * DSRC_W);
             st.metrics.collab_hits += 1;
+            let cm = st.metrics.class_mut(class);
+            cm.collab_hits += 1;
+            cm.e2e_latency_ms.record_duration(e2e);
         } else {
             st.outbox.push(EdgeRequest {
                 vehicle: id,
                 seq,
                 tenant,
                 region,
+                class,
                 arrival: now,
                 attempts: 0,
             });

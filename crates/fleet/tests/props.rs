@@ -3,7 +3,8 @@
 //! bit-for-bit, and fleet metrics are invariant to the shard count.
 
 use proptest::prelude::*;
-use vdap_fleet::{FleetConfig, FleetEngine};
+use vdap_edgeos::{ClassQueueKey, FairQueue, TenantId};
+use vdap_fleet::{FleetConfig, FleetEngine, WorkloadClass};
 use vdap_sim::{SeedFactory, SimDuration, SimTime, StreamingHistogram};
 
 /// Fills a histogram with `n` samples from a seeded stream.
@@ -107,6 +108,104 @@ proptest! {
             prop_assert_eq!(&reports[0].metrics, &r.metrics);
             prop_assert_eq!(reports[0].summary(), r.summary());
         }
+    }
+}
+
+/// Per-class DRR quanta for the fairness property: detection light,
+/// pBEAM heavy (mirrors the default [`vdap_fleet::ClassSpec`] mix).
+const CLASS_QUANTUM: [u64; 3] = [8, 16, 32];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn drr_work_shares_stay_within_one_quantum(
+        seed in any::<u64>(),
+        tenants in 2u32..5,
+        rounds in 10u32..40,
+    ) {
+        // Heterogeneous per-item costs: each item in class `c` costs
+        // anywhere from half to double the class quantum, so servings
+        // per visit vary and deficits genuinely carry between rounds.
+        let mut rng = SeedFactory::new(seed).stream("drr-fairness-prop");
+        let mut queue: FairQueue<u64, ClassQueueKey> = FairQueue::new(CLASS_QUANTUM[0]);
+        let mut remaining: Vec<Vec<u32>> = Vec::new();
+        let backlog = 3 * rounds + 16;
+        for t in 0..tenants {
+            let mut per_flow = Vec::new();
+            for class in WorkloadClass::ALL {
+                let key = ClassQueueKey::new(TenantId::new(t), class);
+                let q = CLASS_QUANTUM[class.index()];
+                queue.set_quantum(key, q);
+                for _ in 0..backlog {
+                    let cost = (q / 2).max(1) + rng.below(2 * q);
+                    queue.enqueue(key, cost, cost);
+                }
+                per_flow.push(backlog);
+            }
+            remaining.push(per_flow);
+        }
+
+        // Pop while every flow stays backlogged, so the interval the
+        // DRR fairness bound applies to covers every pop.
+        let mut served = vec![0u64; tenants as usize];
+        while remaining.iter().flatten().all(|r| *r > 1) {
+            let (key, cost) = queue.pop().expect("flows are backlogged");
+            served[key.tenant.as_u32() as usize] += cost;
+            remaining[key.tenant.as_u32() as usize][key.class.index()] -= 1;
+        }
+
+        // Equal quanta ⇒ equal entitlement. Over any backlogged
+        // interval each tenant's served work stays within one quantum
+        // round (the sum of its per-class quanta) plus one maximal
+        // item per flow of every other tenant's.
+        let quantum_round: u64 = CLASS_QUANTUM.iter().sum();
+        let max_item: u64 = CLASS_QUANTUM.iter().map(|q| 2 * q + q / 2).sum();
+        let tolerance = quantum_round + max_item;
+        let hi = *served.iter().max().expect("nonempty");
+        let lo = *served.iter().min().expect("nonempty");
+        prop_assert!(
+            hi - lo <= tolerance,
+            "work shares diverged beyond one quantum round: {served:?} (tolerance {tolerance})"
+        );
+    }
+}
+
+/// The acceptance-criteria configuration: the full three-class mix AND
+/// elastic lane scaling, saturating enough that the scaler really
+/// grows and shrinks the pool.
+fn elastic_mixed_config(seed: u64, shards: u32) -> FleetConfig {
+    let mut cfg = FleetConfig::sized(64, shards).with_elastic_capacity();
+    cfg.seed = seed;
+    cfg.duration = SimDuration::from_secs(8);
+    cfg.request_period = SimDuration::from_millis(400);
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn elastic_mixed_workloads_are_shard_invariant(seed in any::<u64>()) {
+        // Elastic decisions are sampled only at epoch barriers from the
+        // previous barrier's queue depth, so they must not cost any
+        // determinism: metrics (including the per-tenant work ledger
+        // inside the summary) stay byte-identical at 1, 2, 4 and
+        // 8 shards.
+        let reports: Vec<_> = [1u32, 2, 4, 8]
+            .iter()
+            .map(|&shards| FleetEngine::new(elastic_mixed_config(seed, shards)).run())
+            .collect();
+        for r in &reports[1..] {
+            prop_assert_eq!(&reports[0].metrics, &r.metrics);
+            prop_assert_eq!(reports[0].summary(), r.summary());
+        }
+        // The property is vacuous if the scaler never acts: the load
+        // level above is chosen so the pool both grows and shrinks.
+        let m = &reports[0].metrics;
+        prop_assert!(
+            m.scale_ups + m.scale_downs > 0,
+            "elastic scaler never engaged (lanes mean {})",
+            m.elastic_lanes.mean()
+        );
     }
 }
 

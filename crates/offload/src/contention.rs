@@ -75,6 +75,21 @@ impl ContentionModel {
         self.capacity
     }
 
+    /// The same curve over a resized server (elastic lane pools): the
+    /// multiplier ceiling carries over, only the capacity changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    #[must_use]
+    pub fn resized(&self, capacity: u32) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        ContentionModel {
+            capacity,
+            max_multiplier: self.max_multiplier,
+        }
+    }
+
     /// Utilization `in_flight / capacity` (may exceed 1 in overload).
     #[must_use]
     pub fn utilization(&self, in_flight: u32) -> f64 {
@@ -85,7 +100,21 @@ impl ContentionModel {
     /// Monotone non-decreasing, continuous, `>= 1`, capped.
     #[must_use]
     pub fn service_multiplier(&self, in_flight: u32) -> f64 {
-        let rho = self.utilization(in_flight);
+        self.service_multiplier_f64(f64::from(in_flight))
+    }
+
+    /// Service-time multiplier at a *fractional* in-flight load.
+    ///
+    /// Heterogeneous workload classes do not occupy the server in whole
+    /// request units: a fleet batch of mixed detection frames,
+    /// streaming chunks and training rounds implies a fractional
+    /// average concurrency per class (`depth × service_time / epoch`),
+    /// and each class's contribution is priced separately before the
+    /// shares are summed into one load figure. Negative inputs clamp to
+    /// idle.
+    #[must_use]
+    pub fn service_multiplier_f64(&self, in_flight: f64) -> f64 {
+        let rho = (in_flight.max(0.0)) / f64::from(self.capacity);
         let m = if rho <= 1.0 {
             1.0 + rho * rho
         } else {
@@ -132,5 +161,32 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         let _ = ContentionModel::new(0);
+    }
+
+    #[test]
+    fn fractional_load_matches_integer_curve_and_interpolates() {
+        let m = ContentionModel::new(8);
+        for n in 0..40u32 {
+            assert_eq!(
+                m.service_multiplier(n),
+                m.service_multiplier_f64(f64::from(n))
+            );
+        }
+        let half = m.service_multiplier_f64(4.5);
+        assert!(half > m.service_multiplier(4) && half < m.service_multiplier(5));
+        assert_eq!(
+            m.service_multiplier_f64(-3.0),
+            1.0,
+            "negative clamps to idle"
+        );
+    }
+
+    #[test]
+    fn resized_keeps_ceiling_and_reprices() {
+        let m = ContentionModel::new(4).with_max_multiplier(3.0);
+        let grown = m.resized(8);
+        assert_eq!(grown.capacity(), 8);
+        assert!(grown.service_multiplier(4) < m.service_multiplier(4));
+        assert_eq!(grown.service_multiplier(1000), 3.0, "ceiling carries over");
     }
 }

@@ -36,19 +36,23 @@ fn print_experiment(name: &str) -> bool {
         "fleet-chaos" => experiments::fleet_chaos(SEED),
         "fleet-elastic" => experiments::fleet_elastic(SEED),
         "fleet-storm" => experiments::fleet_storm(SEED),
+        "fleet-trace" => experiments::fleet_trace(SEED),
         _ => return false,
     };
     // Chaos-bearing experiments derive their fault windows from the run
     // seed; print it above the table so the exact storm can be rebuilt
     // from the output alone.
-    if matches!(name, "fleet" | "fleet-chaos" | "fleet-storm") {
+    if matches!(
+        name,
+        "fleet" | "fleet-chaos" | "fleet-storm" | "fleet-trace"
+    ) {
         println!("fault-plan seed: {SEED}");
     }
     println!("{}", table.render());
     true
 }
 
-const ALL: [&str; 20] = [
+const ALL: [&str; 21] = [
     "table1",
     "fig2",
     "fig3",
@@ -69,6 +73,7 @@ const ALL: [&str; 20] = [
     "fleet-chaos",
     "fleet-elastic",
     "fleet-storm",
+    "fleet-trace",
 ];
 
 /// Prints usage plus the list of every reproduction target.

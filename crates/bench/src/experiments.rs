@@ -7,7 +7,7 @@
 
 use vdap_ddi::{DdiService, DriverStyle, ObdCollector, Query, RecordKind};
 use vdap_edgeos::Objective;
-use vdap_fleet::{FleetConfig, FleetEngine};
+use vdap_fleet::{FleetConfig, FleetEngine, SpanOutcome};
 use vdap_hw::{catalog, Battery, ComputeWorkload, TaskClass};
 use vdap_models::zoo;
 use vdap_models::{PbeamConfig, PbeamPipeline, SensorBias};
@@ -935,6 +935,93 @@ pub fn fleet_storm(seed: u64) -> TextTable {
     )
 }
 
+/// E18 — fleet telemetry and barrier profiling: the E14 fleet (1,000
+/// vehicles, 60 s, a 12 s LTE outage in region 0) with telemetry
+/// enabled, run at 1 and 8 shards. Asserts telemetry costs no
+/// determinism (byte-identical summaries), writes a Perfetto-loadable
+/// Chrome trace (`target/fleet-trace/trace.json`) plus a JSONL span
+/// dump, and reports the per-shard wall-clock busy / barrier-idle
+/// breakdown the profiler measured.
+#[must_use]
+pub fn fleet_trace(seed: u64) -> TextTable {
+    let mut cfg = FleetConfig::sized(1000, 1).with_telemetry();
+    cfg.seed = seed;
+    cfg.duration = SimDuration::from_secs(60);
+    let cfg = cfg.with_regional_outage(0, SimTime::from_secs(20), SimDuration::from_secs(12));
+    fleet_trace_table(cfg, std::path::Path::new("target/fleet-trace"))
+}
+
+/// Runs `cfg` at 1 and 8 shards with telemetry, writes the trace
+/// artifacts into `dir`, and renders the telemetry/profile table.
+fn fleet_trace_table(cfg: FleetConfig, dir: &std::path::Path) -> TextTable {
+    let run = |shards: u32| {
+        let mut c = cfg.clone();
+        c.shards = shards;
+        FleetEngine::new(c).run()
+    };
+    let single = run(1);
+    let sharded = run(8);
+    assert_eq!(
+        single.summary(),
+        sharded.summary(),
+        "telemetry is derived data: enabling it must not perturb the run"
+    );
+    let tel = sharded.telemetry.as_ref().expect("telemetry enabled");
+    let trace = vdap_obs::chrome_trace(&tel.spans, &tel.registry);
+    std::fs::create_dir_all(dir).expect("create trace output dir");
+    let trace_path = dir.join("trace.json");
+    let encoded = serde_json::to_string(&trace).expect("trace serializes");
+    std::fs::write(&trace_path, &encoded).expect("write trace.json");
+    let spans_path = dir.join("spans.jsonl");
+    std::fs::write(&spans_path, vdap_obs::spans_jsonl(&tel.spans)).expect("write spans.jsonl");
+
+    let mut t = TextTable::new(
+        "E18 — fleet telemetry: spans, epoch series, trace export, barrier profile (8 shards)",
+        &["metric", "value"],
+    );
+    t.row(&["requests spanned".into(), tel.spans.len().to_string()]);
+    for outcome in SpanOutcome::ALL {
+        t.row(&[
+            format!("spans: {outcome}"),
+            tel.spans.outcome_count(outcome).to_string(),
+        ]);
+    }
+    t.row(&[
+        "epoch series".into(),
+        tel.registry.all_series().count().to_string(),
+    ]);
+    t.row(&[
+        "epochs sampled".into(),
+        tel.registry.series("xedge.queue_depth").len().to_string(),
+    ]);
+    let events = trace
+        .get("traceEvents")
+        .and_then(serde_json::Value::as_array)
+        .map_or(0, Vec::len);
+    t.row(&["trace events".into(), events.to_string()]);
+    t.row(&["trace.json".into(), trace_path.display().to_string()]);
+    t.row(&["spans.jsonl".into(), spans_path.display().to_string()]);
+    // The wall-clock barrier profile is nondeterministic by nature —
+    // these rows are diagnostics, never part of the summary contract.
+    let p = &sharded.profile;
+    t.row(&[
+        "barrier serial ms (wall-clock)".into(),
+        f3(p.barrier.as_secs_f64() * 1e3),
+    ]);
+    for i in 0..p.shard_busy.len() {
+        t.row(&[
+            format!("shard[{i}] busy / barrier-idle ms"),
+            format!(
+                "{} / {} (idle {})",
+                f3(p.shard_busy[i].as_secs_f64() * 1e3),
+                f3(p.shard_idle[i].as_secs_f64() * 1e3),
+                f3(p.idle_fraction(i))
+            ),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1056,6 +1143,40 @@ mod tests {
         let rendered = fleet_table(cfg).render();
         assert!(rendered.contains("summaries byte-identical"), "{rendered}");
         assert!(rendered.contains("events processed"), "{rendered}");
+    }
+
+    #[test]
+    fn fleet_trace_table_writes_parseable_artifacts() {
+        // Scaled-down E18: a small telemetry-enabled fleet must write a
+        // trace.json that parses back through the vendored serde shim
+        // and a per-line-valid spans.jsonl, and the table must render
+        // the profile rows.
+        let mut cfg = FleetConfig::sized(96, 1).with_telemetry();
+        cfg.duration = SimDuration::from_secs(6);
+        let cfg = cfg.with_regional_outage(0, SimTime::from_secs(2), SimDuration::from_secs(2));
+        let dir = std::path::Path::new("target/fleet-trace-test");
+        let rendered = fleet_trace_table(cfg, dir).render();
+        assert!(rendered.contains("requests spanned"), "{rendered}");
+        assert!(rendered.contains("barrier-idle"), "{rendered}");
+        let raw = std::fs::read_to_string(dir.join("trace.json")).expect("trace.json exists");
+        let parsed = serde_json::from_str(&raw).expect("trace.json parses");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(serde_json::Value::as_array)
+            .expect("traceEvents array");
+        assert!(!events.is_empty(), "trace must carry events");
+        let jsonl = std::fs::read_to_string(dir.join("spans.jsonl")).expect("spans.jsonl exists");
+        for line in jsonl.lines() {
+            serde_json::from_str(line).expect("every JSONL line parses");
+        }
+        assert_eq!(
+            jsonl.lines().count(),
+            events
+                .iter()
+                .filter(|e| { e.get("ph").and_then(serde_json::Value::as_str) == Some("X") })
+                .count(),
+            "one JSONL line per span event"
+        );
     }
 
     #[test]

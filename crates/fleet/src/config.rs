@@ -310,6 +310,11 @@ pub struct FleetConfig {
     pub failover_penalty: SimDuration,
     /// Optional fault plan (e.g. a regional LTE outage).
     pub chaos: Option<FaultPlan>,
+    /// Capture sim-time telemetry (one request span per request plus
+    /// per-epoch registry samples) during the run. Spans are derived
+    /// from values the deterministic serving path already computes, so
+    /// enabling this cannot perturb a run — it only costs memory.
+    pub telemetry: bool,
 }
 
 impl Default for FleetConfig {
@@ -335,6 +340,7 @@ impl Default for FleetConfig {
             elastic: None,
             failover_penalty: SimDuration::from_millis(10),
             chaos: None,
+            telemetry: false,
         }
     }
 }
@@ -384,6 +390,14 @@ impl FleetConfig {
     #[must_use]
     pub fn with_elastic_capacity(mut self) -> Self {
         self.elastic = Some(LanePolicy::around(self.edge_capacity));
+        self
+    }
+
+    /// Enables sim-time telemetry capture: request spans and per-epoch
+    /// registry samples land in `FleetReport::telemetry`.
+    #[must_use]
+    pub fn with_telemetry(mut self) -> Self {
+        self.telemetry = true;
         self
     }
 
@@ -602,6 +616,17 @@ impl FleetConfig {
         lo..hi
     }
 
+    /// The shard that owns a vehicle — the inverse of
+    /// [`FleetConfig::shard_range`]. Telemetry uses it to stamp spans
+    /// with a shard attribute without threading shard indices through
+    /// the serving path.
+    #[must_use]
+    pub fn shard_of(&self, vehicle: u32) -> u32 {
+        ((u64::from(vehicle) + 1) * u64::from(self.shards)).div_ceil(u64::from(self.vehicles))
+            as u32
+            - 1
+    }
+
     /// End of simulated time for this run.
     #[must_use]
     pub fn horizon(&self) -> SimTime {
@@ -655,6 +680,18 @@ mod tests {
             }
             assert_eq!(covered, 1000);
             assert_eq!(next, 1000);
+        }
+    }
+
+    #[test]
+    fn shard_of_inverts_shard_range() {
+        for (vehicles, shards) in [(10u32, 3u32), (1000, 8), (1000, 7), (7, 7), (5, 1)] {
+            let cfg = FleetConfig::sized(vehicles, shards);
+            for s in 0..shards {
+                for v in cfg.shard_range(s) {
+                    assert_eq!(cfg.shard_of(v), s, "vehicle {v} of {vehicles}/{shards}");
+                }
+            }
         }
     }
 

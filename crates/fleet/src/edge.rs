@@ -92,22 +92,43 @@ pub(crate) struct EdgeRequest {
     pub attempts: u32,
 }
 
-/// A request the edge finished serving, with vehicle-side accounting.
+/// A request the edge finished serving, with vehicle-side accounting
+/// and the lifecycle stamps telemetry spans are built from.
 #[derive(Debug, Clone)]
 pub(crate) struct ServedRequest {
+    pub vehicle: u32,
+    pub seq: u32,
     pub tenant: u32,
+    pub region: u32,
     pub class: WorkloadClass,
     /// Work units charged in the fair queue (the tenant ledger entry).
     pub work: u64,
+    pub arrival: SimTime,
+    /// The barrier whose serving pass placed the request (admit stamp).
+    pub admitted: SimTime,
+    /// When the request began occupying a lane (or the reconstructed
+    /// start of a successful rung-1 retry).
+    pub serve_start: SimTime,
     pub e2e: SimDuration,
     pub energy_j: f64,
+    /// Rung-1 retry probes spent before this request was served.
+    pub retries: u32,
+    /// Times the request was re-queued off a crashed lane.
+    pub requeues: u32,
+    /// Whether rung 2 served it through a neighbor region's node.
+    pub handoff: bool,
 }
 
 /// A request bounced at the admission gate under nominal quotas (its
 /// uplink time was already spent discovering that).
 #[derive(Debug, Clone)]
 pub(crate) struct RejectedRequest {
+    pub vehicle: u32,
+    pub seq: u32,
+    pub tenant: u32,
+    pub region: u32,
     pub class: WorkloadClass,
+    pub arrival: SimTime,
     pub uplink: SimDuration,
 }
 
@@ -117,12 +138,22 @@ pub(crate) struct RejectedRequest {
 /// training (`degraded` is zero and the round simply doesn't happen).
 #[derive(Debug, Clone)]
 pub(crate) struct LocalFallback {
+    pub vehicle: u32,
+    pub seq: u32,
     pub tenant: u32,
+    pub region: u32,
     pub class: WorkloadClass,
+    pub arrival: SimTime,
+    /// The barrier (or run horizon) at which the ladder resolved it.
+    pub decided: SimTime,
     pub e2e: SimDuration,
     pub energy_j: f64,
     /// Degraded-mode serving time charged to the tenant.
     pub degraded: SimDuration,
+    /// Rung-1 retry probes spent before falling through.
+    pub retries: u32,
+    /// Times the request was re-queued off a crashed lane.
+    pub requeues: u32,
 }
 
 /// What one barrier's serving pass produced.
@@ -443,26 +474,32 @@ impl XEdgeServer {
     /// lower-bitrate local decode for infotainment, a *skipped round*
     /// for pBEAM training (only the re-planning penalty is paid; no
     /// degraded seconds accrue, the round just doesn't happen).
-    fn local_fallback(&self, req: &EdgeRequest) -> LocalFallback {
+    fn local_fallback(&self, req: &EdgeRequest, decided: SimTime, retries: u32) -> LocalFallback {
         let spec = &self.classes[req.class.index()];
-        match req.class {
-            WorkloadClass::PbeamTraining => LocalFallback {
-                tenant: req.tenant,
-                class: req.class,
-                e2e: self.failover_penalty,
-                energy_j: 0.0,
-                degraded: SimDuration::ZERO,
-            },
+        let (e2e, energy_j, degraded) = match req.class {
+            WorkloadClass::PbeamTraining => (self.failover_penalty, 0.0, SimDuration::ZERO),
             _ => {
                 let service = spec.vehicle_service.mul_f64(spec.degraded_service_factor);
-                LocalFallback {
-                    tenant: req.tenant,
-                    class: req.class,
-                    e2e: self.failover_penalty + service,
-                    energy_j: service.as_secs_f64() * DEGRADED_BOARD_W,
-                    degraded: service,
-                }
+                (
+                    self.failover_penalty + service,
+                    service.as_secs_f64() * DEGRADED_BOARD_W,
+                    service,
+                )
             }
+        };
+        LocalFallback {
+            vehicle: req.vehicle,
+            seq: req.seq,
+            tenant: req.tenant,
+            region: req.region,
+            class: req.class,
+            arrival: req.arrival,
+            decided,
+            e2e,
+            energy_j,
+            degraded,
+            retries,
+            requeues: req.attempts,
         }
     }
 
@@ -510,11 +547,22 @@ impl XEdgeServer {
             let energy_j = (up.as_secs_f64() + down.as_secs_f64()) * RADIO_W;
             Ok((
                 ServedRequest {
+                    vehicle: req.vehicle,
+                    seq: req.seq,
                     tenant: req.tenant,
+                    region: req.region,
                     class: req.class,
                     work: spec.work_units,
+                    arrival: req.arrival,
+                    admitted: barrier,
+                    // The successful probe finished at `finished_at`;
+                    // service began one downlink + service time before.
+                    serve_start: report.finished_at - (service + down),
                     e2e,
                     energy_j,
+                    retries: report.attempts,
+                    requeues: req.attempts,
+                    handoff: false,
                 },
                 report.attempts,
             ))
@@ -545,8 +593,10 @@ impl XEdgeServer {
 
     /// Assigns `req` to the earliest-free lane of `node`; the request
     /// occupies the lane until `finish` and completes at a later
-    /// barrier. `extra` is added to the end-to-end latency (handoff
-    /// cost on rung 2).
+    /// barrier. `extra_latency` is added to the end-to-end latency
+    /// (handoff cost on rung 2). `barrier` stamps the span's admit
+    /// time; `retries`/`handoff` record the ladder detours taken before
+    /// the lane was found.
     #[allow(clippy::too_many_arguments)]
     fn assign_lane(
         &mut self,
@@ -557,6 +607,9 @@ impl XEdgeServer {
         service: SimDuration,
         extra_latency: SimDuration,
         extra_energy: f64,
+        barrier: SimTime,
+        retries: u32,
+        handoff: bool,
     ) {
         let ready = req.arrival + up + extra_latency;
         let lane = self.best_lane(node);
@@ -571,11 +624,20 @@ impl XEdgeServer {
             finish,
             node,
             served: ServedRequest {
+                vehicle: req.vehicle,
+                seq: req.seq,
                 tenant: req.tenant,
+                region: req.region,
                 class: req.class,
                 work,
+                arrival: req.arrival,
+                admitted: barrier,
+                serve_start: start,
                 e2e,
                 energy_j,
+                retries,
+                requeues: req.attempts,
+                handoff,
             },
             req,
         });
@@ -640,7 +702,9 @@ impl XEdgeServer {
             let spec = &self.classes[req.class.index()];
             if barrier.duration_since(req.arrival) >= spec.deadline {
                 // Too stale to re-serve: straight to the bottom rung.
-                outcome.local_fallbacks.push(self.local_fallback(&req));
+                outcome
+                    .local_fallbacks
+                    .push(self.local_fallback(&req, barrier, 0));
             } else {
                 let key = ClassQueueKey::new(TenantId::new(req.tenant), req.class);
                 queued_by_class[req.class.index()] += 1;
@@ -657,11 +721,18 @@ impl XEdgeServer {
             } else if self.tenant_flapped(req.tenant) {
                 // Quota flap: a fault, not load — bounced into the
                 // degradation ladder's bottom rung.
-                outcome.local_fallbacks.push(self.local_fallback(&req));
+                outcome
+                    .local_fallbacks
+                    .push(self.local_fallback(&req, barrier, 0));
             } else {
                 let bytes = self.classes[req.class.index()].upload_bytes;
                 outcome.rejected.push(RejectedRequest {
+                    vehicle: req.vehicle,
+                    seq: req.seq,
+                    tenant: req.tenant,
+                    region: req.region,
                     class: req.class,
+                    arrival: req.arrival,
                     uplink: link_for(req.region).transfer_time(Direction::Uplink, bytes),
                 });
             }
@@ -704,12 +775,24 @@ impl XEdgeServer {
             });
 
             if !home_down && !storming {
-                self.assign_lane(req, home, up, down, service, SimDuration::ZERO, 0.0);
+                self.assign_lane(
+                    req,
+                    home,
+                    up,
+                    down,
+                    service,
+                    SimDuration::ZERO,
+                    0.0,
+                    barrier,
+                    0,
+                    false,
+                );
                 continue;
             }
 
             // Rung 1 — deadline-aware retry (crashed home node only;
             // waiting out a handoff storm has unbounded cost).
+            let mut retries_spent = 0u32;
             if home_down {
                 if let Some(inj) = injector {
                     match self.retry_rescue(inj, &req, home, barrier, up, down, service, rng) {
@@ -722,6 +805,7 @@ impl XEdgeServer {
                         Err(attempts) => {
                             outcome.retry_attempts += u64::from(attempts);
                             outcome.retry_exhausted += 1;
+                            retries_spent = attempts;
                         }
                     }
                 }
@@ -732,13 +816,26 @@ impl XEdgeServer {
                 let node = self.home_node(neighbor);
                 let handoff = self.handoff_cost;
                 let handoff_energy = handoff.as_secs_f64() * RADIO_W;
-                self.assign_lane(req, node, up, down, service, handoff, handoff_energy);
+                self.assign_lane(
+                    req,
+                    node,
+                    up,
+                    down,
+                    service,
+                    handoff,
+                    handoff_energy,
+                    barrier,
+                    retries_spent,
+                    true,
+                );
                 outcome.handoffs += 1;
                 continue;
             }
 
             // Rung 3 — class-specific local fallback.
-            outcome.local_fallbacks.push(self.local_fallback(&req));
+            outcome
+                .local_fallbacks
+                .push(self.local_fallback(&req, barrier, retries_spent));
         }
 
         // Served requests leave the admission gate before the next epoch.
@@ -752,8 +849,8 @@ impl XEdgeServer {
     /// Drains everything still pending at the end of the run: in-flight
     /// work completes past the horizon (its latency is already fixed),
     /// and requests stranded in the requeue buffer take the class-
-    /// specific local fallback.
-    pub fn flush(&mut self) -> EpochOutcome {
+    /// specific local fallback, decided at `horizon`.
+    pub fn flush(&mut self, horizon: SimTime) -> EpochOutcome {
         let mut outcome = EpochOutcome {
             lanes: self.lanes.len() as u32,
             ..EpochOutcome::default()
@@ -762,7 +859,9 @@ impl XEdgeServer {
             outcome.served.push(inf.served);
         }
         for req in std::mem::take(&mut self.requeued) {
-            outcome.local_fallbacks.push(self.local_fallback(&req));
+            outcome
+                .local_fallbacks
+                .push(self.local_fallback(&req, horizon, 0));
         }
         outcome
     }

@@ -19,14 +19,17 @@
 //!    associative and commutative bit-for-bit.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
+use vdap_edgeos::WorkloadClass;
 use vdap_fault::{FaultEdge, FaultInjector, FaultKind};
+use vdap_obs::{BarrierProfiler, RequestSpan, SpanOutcome};
 use vdap_offload::Tile;
 use vdap_sim::{ReliabilityStats, SeedFactory, SimDuration, SimTime};
 
 use crate::config::{tenant_label, FleetConfig, FleetConfigError};
 use crate::edge::{EpochOutcome, XEdgeServer};
-use crate::metrics::{FleetMetrics, FleetReport};
+use crate::metrics::{FleetMetrics, FleetReport, FleetTelemetry};
 use crate::pool::WorkerPool;
 use crate::shard::{region_label_table, CollabSnapshot, Shard};
 use crate::vehicle::{BOARD_W, RADIO_W};
@@ -95,6 +98,8 @@ impl FleetEngine {
         let mut edge = XEdgeServer::new(&cfg);
         let mut engine_metrics = FleetMetrics::new();
         let mut reliability = ReliabilityStats::new();
+        let mut telemetry: Option<FleetTelemetry> = cfg.telemetry.then(FleetTelemetry::default);
+        let mut profiler = BarrierProfiler::new(cfg.shards as usize);
 
         // The fault timeline is a pure function of the plan, so the
         // fleet-wide availability ledger can be written up front in
@@ -128,12 +133,18 @@ impl FleetEngine {
             let end_raw = SimTime::ZERO + cfg.epoch * (epoch_index + 1);
             let end = if end_raw > horizon { horizon } else { end_raw };
 
-            // Advance every shard to the barrier in parallel.
+            // Advance every shard to the barrier in parallel, timing
+            // each shard's advance for the barrier profiler.
             pool.for_each_mut(&mut shards, |_, shard| {
+                let started = Instant::now();
                 shard.sim.run_until(end);
+                shard.busy = started.elapsed();
             });
+            let busy: Vec<Duration> = shards.iter().map(|s| s.busy).collect();
+            profiler.record_epoch(&busy);
 
             // ---- barrier: single-threaded, canonical-order exchange ----
+            let barrier_started = Instant::now();
             let mut batch = Vec::new();
             let mut publications: Vec<(Tile, u32)> = Vec::new();
             let mut failovers: Vec<(u32, u32, f64)> = Vec::new();
@@ -142,6 +153,18 @@ impl FleetEngine {
                 batch.append(&mut st.outbox);
                 publications.append(&mut st.publications);
                 failovers.append(&mut st.failover_samples);
+                if let Some(tel) = telemetry.as_mut() {
+                    for span in st.spans.drain(..) {
+                        tel.registry.inc(
+                            match span.outcome {
+                                SpanOutcome::CollabHit => "fleet.collab_hits",
+                                _ => "fleet.failovers",
+                            },
+                            1,
+                        );
+                        tel.spans.push(span);
+                    }
+                }
             }
 
             // Failover latencies feed an exact (order-sensitive) Summary,
@@ -170,7 +193,11 @@ impl FleetEngine {
                 &outcome,
                 &cfg,
                 &tenant_labels,
+                telemetry.as_mut(),
             );
+            if let Some(tel) = telemetry.as_mut() {
+                sample_epoch(tel, &outcome, epoch_index, end);
+            }
 
             // Union this epoch's publications into the next snapshot;
             // ties go to the smallest vehicle id (order-independent).
@@ -190,6 +217,7 @@ impl FleetEngine {
                 shard.sim.state_mut().snapshot = Arc::clone(&snapshot);
             }
 
+            profiler.record_barrier(barrier_started.elapsed());
             epoch_index += 1;
             if end >= horizon {
                 break;
@@ -198,14 +226,16 @@ impl FleetEngine {
 
         // Drain work still pending at the horizon: in-flight lanes
         // complete (their latency is fixed), stranded requeues take the
-        // local fallback.
-        let tail = edge.flush();
+        // local fallback. The tail belongs to no barrier, so it updates
+        // telemetry counters and spans but adds no epoch samples.
+        let tail = edge.flush(horizon);
         record_outcome(
             &mut engine_metrics,
             &mut reliability,
             &tail,
             &cfg,
             &tenant_labels,
+            telemetry.as_mut(),
         );
 
         // Merge shard-local metrics (associative + commutative).
@@ -214,6 +244,13 @@ impl FleetEngine {
         for shard in &shards {
             events_processed += shard.sim.events_processed();
             metrics.merge(&shard.sim.state().metrics);
+        }
+        if let Some(tel) = telemetry.as_mut() {
+            // Insertion order interleaves vehicle-side and edge-side
+            // resolutions arbitrarily; canonical order restores a
+            // shard-count-invariant log.
+            tel.spans.sort_canonical();
+            tel.registry.inc("fleet.requests", metrics.requests);
         }
         let region_availability = reliability
             .faulted_components()
@@ -231,8 +268,48 @@ impl FleetEngine {
             events_processed,
             admission_offered: edge.offered(),
             admission_rejected: edge.rejected(),
+            telemetry,
+            profile: profiler.finish(),
         }
     }
+}
+
+/// The interned series name for a class's per-epoch served count.
+const fn served_series(class: WorkloadClass) -> &'static str {
+    match class {
+        WorkloadClass::Detection => "fleet.served.detection",
+        WorkloadClass::Infotainment => "fleet.served.infotainment",
+        WorkloadClass::PbeamTraining => "fleet.served.pbeam-training",
+    }
+}
+
+/// The interned series name for a class's per-epoch rejected count.
+const fn rejected_series(class: WorkloadClass) -> &'static str {
+    match class {
+        WorkloadClass::Detection => "fleet.rejected.detection",
+        WorkloadClass::Infotainment => "fleet.rejected.infotainment",
+        WorkloadClass::PbeamTraining => "fleet.rejected.pbeam-training",
+    }
+}
+
+/// Samples the per-epoch time series at one barrier. Every sampled
+/// value is an output of the canonical single-threaded serving pass,
+/// so the series are shard-count invariant by construction.
+fn sample_epoch(tel: &mut FleetTelemetry, outcome: &EpochOutcome, epoch: u64, at: SimTime) {
+    tel.registry
+        .sample("xedge.queue_depth", epoch, at, outcome.queue_depth as f64);
+    tel.registry
+        .sample("xedge.lanes", epoch, at, f64::from(outcome.lanes));
+    for class in WorkloadClass::ALL {
+        let served = outcome.served.iter().filter(|s| s.class == class).count();
+        let rejected = outcome.rejected.iter().filter(|r| r.class == class).count();
+        tel.registry
+            .sample(served_series(class), epoch, at, served as f64);
+        tel.registry
+            .sample(rejected_series(class), epoch, at, rejected as f64);
+    }
+    tel.registry
+        .set_gauge("xedge.lanes", f64::from(outcome.lanes));
 }
 
 /// Folds one barrier's serving outcome into the engine metrics and the
@@ -247,36 +324,68 @@ fn record_outcome(
     outcome: &EpochOutcome,
     cfg: &FleetConfig,
     tenant_labels: &[String],
+    mut telemetry: Option<&mut FleetTelemetry>,
 ) {
     for served in &outcome.served {
-        metrics.e2e_latency_ms.record_duration(served.e2e);
-        metrics.energy_per_request_j.record(served.energy_j);
-        metrics.edge_served += 1;
-        metrics.credit_work(served.tenant, served.work);
-        let cm = metrics.class_mut(served.class);
-        cm.edge_served += 1;
-        cm.e2e_latency_ms.record_duration(served.e2e);
+        metrics.record_served(
+            served.class,
+            served.tenant,
+            served.work,
+            served.e2e,
+            served.energy_j,
+        );
+        if let Some(tel) = telemetry.as_deref_mut() {
+            tel.registry.inc("fleet.served", 1);
+            tel.spans.push(RequestSpan {
+                vehicle: served.vehicle,
+                seq: served.seq,
+                tenant: served.tenant,
+                region: served.region,
+                shard: cfg.shard_of(served.vehicle),
+                class: served.class.label(),
+                generated: served.arrival,
+                admitted: Some(served.admitted),
+                serve_start: Some(served.serve_start),
+                completed: served.arrival + served.e2e,
+                outcome: SpanOutcome::EdgeServed,
+                retries: served.retries,
+                requeues: served.requeues,
+                handoff: served.handoff,
+            });
+        }
     }
     for rejected in &outcome.rejected {
         let spec = cfg.class(rejected.class);
         let e2e = rejected.uplink + cfg.failover_penalty + spec.vehicle_service;
-        metrics.e2e_latency_ms.record_duration(e2e);
-        metrics.energy_per_request_j.record(
+        metrics.record_rejected(
+            rejected.class,
+            e2e,
             rejected.uplink.as_secs_f64() * RADIO_W + spec.vehicle_service.as_secs_f64() * BOARD_W,
         );
-        metrics.rejected += 1;
-        let cm = metrics.class_mut(rejected.class);
-        cm.rejected += 1;
-        cm.e2e_latency_ms.record_duration(e2e);
+        if let Some(tel) = telemetry.as_deref_mut() {
+            tel.registry.inc("fleet.rejected", 1);
+            tel.spans.push(RequestSpan {
+                vehicle: rejected.vehicle,
+                seq: rejected.seq,
+                tenant: rejected.tenant,
+                region: rejected.region,
+                shard: cfg.shard_of(rejected.vehicle),
+                class: rejected.class.label(),
+                generated: rejected.arrival,
+                admitted: None,
+                serve_start: None,
+                completed: rejected.arrival + e2e,
+                outcome: SpanOutcome::Rejected,
+                retries: 0,
+                requeues: 0,
+                handoff: false,
+            });
+        }
     }
     for fallback in &outcome.local_fallbacks {
-        metrics.e2e_latency_ms.record_duration(fallback.e2e);
-        metrics.energy_per_request_j.record(fallback.energy_j);
-        metrics.local_fallbacks += 1;
-        let cm = metrics.class_mut(fallback.class);
-        cm.local_fallbacks += 1;
-        cm.e2e_latency_ms.record_duration(fallback.e2e);
-        if fallback.class == vdap_edgeos::WorkloadClass::PbeamTraining {
+        metrics.record_fallback(fallback.class, fallback.e2e, fallback.energy_j);
+        let skipped = fallback.class == WorkloadClass::PbeamTraining;
+        if skipped {
             // A skipped pBEAM round: no degraded-mode seconds accrue,
             // training just converges a round later.
             metrics.training_rounds_skipped += 1;
@@ -284,10 +393,39 @@ fn record_outcome(
             reliability
                 .record_degraded(&tenant_labels[fallback.tenant as usize], fallback.degraded);
         }
+        if let Some(tel) = telemetry.as_deref_mut() {
+            tel.registry.inc("fleet.local_fallbacks", 1);
+            tel.spans.push(RequestSpan {
+                vehicle: fallback.vehicle,
+                seq: fallback.seq,
+                tenant: fallback.tenant,
+                region: fallback.region,
+                shard: cfg.shard_of(fallback.vehicle),
+                class: fallback.class.label(),
+                generated: fallback.arrival,
+                admitted: Some(fallback.decided),
+                serve_start: None,
+                completed: fallback.arrival + fallback.e2e,
+                outcome: if skipped {
+                    SpanOutcome::Skipped
+                } else {
+                    SpanOutcome::LocalFallback
+                },
+                retries: fallback.retries,
+                requeues: fallback.requeues,
+                handoff: false,
+            });
+        }
     }
     metrics.requeued += outcome.requeued;
     metrics.retry_rescued += outcome.retry_rescued;
     metrics.handoffs += outcome.handoffs;
+    if let Some(tel) = telemetry {
+        tel.registry.inc("fleet.requeued", outcome.requeued);
+        tel.registry
+            .inc("fleet.retry_rescued", outcome.retry_rescued);
+        tel.registry.inc("fleet.handoffs", outcome.handoffs);
+    }
     for _ in 0..outcome.retry_attempts {
         reliability.record_retry();
     }

@@ -53,8 +53,11 @@ pub use config::{
     FleetConfigError,
 };
 pub use engine::FleetEngine;
-pub use metrics::{ClassMetrics, FleetMetrics, FleetReport};
+pub use metrics::{ClassMetrics, FleetMetrics, FleetReport, FleetTelemetry};
 pub use pool::WorkerPool;
 // The class vocabulary lives in EdgeOSv (every layer speaks it);
 // re-exported here so fleet callers need not depend on vdap-edgeos.
 pub use vdap_edgeos::{LanePolicy, WorkloadClass};
+// The telemetry vocabulary lives in vdap-obs; re-exported so fleet
+// callers can consume spans, registries, and profiles directly.
+pub use vdap_obs::{EngineProfile, MetricsRegistry, RequestSpan, SpanLog, SpanOutcome};

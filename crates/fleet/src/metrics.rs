@@ -18,6 +18,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use vdap_edgeos::WorkloadClass;
+use vdap_obs::{EngineProfile, MetricsRegistry, SpanLog};
 use vdap_sim::{ReliabilityStats, SimDuration, StreamingHistogram};
 
 /// Per-[`WorkloadClass`] outcome accounting (one lane of the fleet-wide
@@ -162,6 +163,94 @@ impl FleetMetrics {
         *self.work_units_by_tenant.entry(tenant).or_insert(0) += work;
     }
 
+    // ---- outcome recorders -------------------------------------------
+    //
+    // Every request outcome is accounted twice — fleet-wide and per
+    // class — and both views must stay in lock-step. These helpers are
+    // the only place the double bookkeeping happens: callers (the shard
+    // tick and the engine's barrier pass) record an outcome exactly
+    // once and cannot drift the two views apart.
+
+    /// Records a request being issued.
+    pub(crate) fn record_request(&mut self, class: WorkloadClass) {
+        self.requests += 1;
+        self.class_mut(class).requests += 1;
+    }
+
+    /// Records a request served by the XEdge deployment.
+    pub(crate) fn record_served(
+        &mut self,
+        class: WorkloadClass,
+        tenant: u32,
+        work: u64,
+        e2e: SimDuration,
+        energy_j: f64,
+    ) {
+        self.e2e_latency_ms.record_duration(e2e);
+        self.energy_per_request_j.record(energy_j);
+        self.edge_served += 1;
+        self.credit_work(tenant, work);
+        let cm = self.class_mut(class);
+        cm.edge_served += 1;
+        cm.e2e_latency_ms.record_duration(e2e);
+    }
+
+    /// Records a request satisfied from a V2V-shared result.
+    pub(crate) fn record_collab(&mut self, class: WorkloadClass, e2e: SimDuration, energy_j: f64) {
+        self.e2e_latency_ms.record_duration(e2e);
+        self.energy_per_request_j.record(energy_j);
+        self.collab_hits += 1;
+        let cm = self.class_mut(class);
+        cm.collab_hits += 1;
+        cm.e2e_latency_ms.record_duration(e2e);
+    }
+
+    /// Records a regional-outage failover to on-board compute.
+    pub(crate) fn record_failover(
+        &mut self,
+        class: WorkloadClass,
+        e2e: SimDuration,
+        energy_j: f64,
+    ) {
+        self.e2e_latency_ms.record_duration(e2e);
+        self.energy_per_request_j.record(energy_j);
+        self.failovers += 1;
+        let cm = self.class_mut(class);
+        cm.failovers += 1;
+        cm.e2e_latency_ms.record_duration(e2e);
+    }
+
+    /// Records an admission-gate rejection under nominal quotas.
+    pub(crate) fn record_rejected(
+        &mut self,
+        class: WorkloadClass,
+        e2e: SimDuration,
+        energy_j: f64,
+    ) {
+        self.e2e_latency_ms.record_duration(e2e);
+        self.energy_per_request_j.record(energy_j);
+        self.rejected += 1;
+        let cm = self.class_mut(class);
+        cm.rejected += 1;
+        cm.e2e_latency_ms.record_duration(e2e);
+    }
+
+    /// Records a rung-3 local fallback (degraded execution or a skipped
+    /// pBEAM round — the caller handles the round-skip sub-counter).
+    pub(crate) fn record_fallback(
+        &mut self,
+        class: WorkloadClass,
+        e2e: SimDuration,
+        energy_j: f64,
+    ) {
+        self.e2e_latency_ms.record_duration(e2e);
+        self.energy_per_request_j.record(energy_j);
+        self.local_fallbacks += 1;
+        let cm = self.class_mut(class);
+        cm.local_fallbacks += 1;
+        cm.e2e_latency_ms.record_duration(e2e);
+    }
+
     /// Merges another shard's metrics into this one (order-independent).
     pub fn merge(&mut self, other: &FleetMetrics) {
         self.e2e_latency_ms.merge(&other.e2e_latency_ms);
@@ -199,6 +288,24 @@ impl FleetMetrics {
     }
 }
 
+/// Deterministic sim-time telemetry captured during a run (present only
+/// when [`crate::FleetConfig::with_telemetry`] was used).
+///
+/// Both halves are derived from values the deterministic serving path
+/// already computes: spans carry the canonical per-request lifecycle,
+/// the registry holds per-epoch samples taken at barriers. Modulo the
+/// explicit `shard` span attribute, the telemetry of an N-shard run is
+/// identical to a 1-shard run of the same seed (pinned by
+/// `tests/telemetry.rs`).
+#[derive(Debug, Clone, Default)]
+pub struct FleetTelemetry {
+    /// One span per request, in canonical `(generated, vehicle, seq)`
+    /// order.
+    pub spans: SpanLog,
+    /// Named counters, gauges, and per-epoch time series.
+    pub registry: MetricsRegistry,
+}
+
 /// The result of one fleet run.
 #[derive(Debug, Clone)]
 pub struct FleetReport {
@@ -222,6 +329,12 @@ pub struct FleetReport {
     pub admission_offered: u64,
     /// Requests rejected at the admission gate.
     pub admission_rejected: u64,
+    /// Sim-time telemetry (spans + registry), when enabled.
+    pub telemetry: Option<FleetTelemetry>,
+    /// Wall-clock engine profile: per-shard busy and barrier-idle time.
+    /// Always captured; reported only via [`FleetReport::diagnostics`],
+    /// never in the deterministic [`FleetReport::summary`].
+    pub profile: EngineProfile,
 }
 
 impl FleetReport {
@@ -343,6 +456,35 @@ impl FleetReport {
         }
         out
     }
+
+    /// The wall-clock diagnostics block: shard count, per-shard busy and
+    /// barrier-idle time, serial barrier time, and telemetry volume.
+    ///
+    /// This is the *nondeterministic* counterpart of
+    /// [`FleetReport::summary`] — wall-clock readings differ run to run
+    /// and shard count legitimately appears here, so nothing in this
+    /// block may ever feed a byte-identity comparison.
+    #[must_use]
+    pub fn diagnostics(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "diagnostics: shards={} (wall-clock; excluded from the deterministic summary)",
+            self.shards
+        );
+        out.push_str(&self.profile.render());
+        if let Some(tel) = &self.telemetry {
+            let series = tel.registry.all_series().count();
+            let _ = writeln!(
+                out,
+                "telemetry: spans={} series={} counters={}",
+                tel.spans.len(),
+                series,
+                tel.registry.counters().count()
+            );
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -378,6 +520,90 @@ mod tests {
     }
 
     #[test]
+    fn recorders_keep_class_and_aggregate_views_in_lockstep() {
+        let mut m = FleetMetrics::new();
+        m.record_request(WorkloadClass::Detection);
+        m.record_served(
+            WorkloadClass::Detection,
+            1,
+            8,
+            SimDuration::from_millis(12),
+            0.5,
+        );
+        m.record_request(WorkloadClass::Detection);
+        m.record_collab(WorkloadClass::Detection, SimDuration::from_millis(3), 0.01);
+        m.record_request(WorkloadClass::Infotainment);
+        m.record_rejected(
+            WorkloadClass::Infotainment,
+            SimDuration::from_millis(40),
+            1.0,
+        );
+        m.record_request(WorkloadClass::Infotainment);
+        m.record_failover(
+            WorkloadClass::Infotainment,
+            SimDuration::from_millis(50),
+            1.1,
+        );
+        m.record_request(WorkloadClass::PbeamTraining);
+        m.record_fallback(
+            WorkloadClass::PbeamTraining,
+            SimDuration::from_millis(10),
+            0.0,
+        );
+        let class_sum = |f: fn(&ClassMetrics) -> u64| -> u64 {
+            WorkloadClass::ALL.iter().map(|&c| f(m.class(c))).sum()
+        };
+        assert_eq!(m.requests, 5);
+        assert_eq!(class_sum(|c| c.requests), m.requests);
+        assert_eq!(class_sum(|c| c.edge_served), m.edge_served);
+        assert_eq!(class_sum(|c| c.collab_hits), m.collab_hits);
+        assert_eq!(class_sum(|c| c.failovers), m.failovers);
+        assert_eq!(class_sum(|c| c.rejected), m.rejected);
+        assert_eq!(class_sum(|c| c.local_fallbacks), m.local_fallbacks);
+        assert_eq!(
+            m.e2e_latency_ms.count(),
+            5,
+            "one latency sample per outcome"
+        );
+        assert_eq!(
+            class_sum(|c| c.e2e_latency_ms.count()),
+            m.e2e_latency_ms.count()
+        );
+        assert_eq!(m.work_units_by_tenant.get(&1), Some(&8));
+    }
+
+    #[test]
+    fn diagnostics_carries_profile_but_summary_does_not() {
+        let report = FleetReport {
+            metrics: FleetMetrics::new(),
+            reliability: ReliabilityStats::new(),
+            region_availability: Vec::new(),
+            vehicles: 10,
+            shards: 2,
+            duration: SimDuration::from_secs(1),
+            events_processed: 0,
+            admission_offered: 0,
+            admission_rejected: 0,
+            telemetry: Some(FleetTelemetry::default()),
+            profile: EngineProfile {
+                shard_busy: vec![std::time::Duration::from_millis(5); 2],
+                shard_idle: vec![std::time::Duration::from_millis(1); 2],
+                barrier: std::time::Duration::from_millis(2),
+                epochs: 4,
+            },
+        };
+        let d = report.diagnostics();
+        assert!(d.contains("shards=2"));
+        assert!(d.contains("shard[0]:"));
+        assert!(d.contains("barrier_idle_ms="));
+        assert!(d.contains("telemetry: spans=0"));
+        assert!(
+            !report.summary().contains("busy_ms"),
+            "wall-clock must never leak into the deterministic summary"
+        );
+    }
+
+    #[test]
     fn summary_is_stable_text() {
         let report = FleetReport {
             metrics: FleetMetrics::new(),
@@ -389,6 +615,8 @@ mod tests {
             events_processed: 0,
             admission_offered: 0,
             admission_rejected: 0,
+            telemetry: None,
+            profile: EngineProfile::default(),
         };
         let s = report.summary();
         assert!(s.contains("fleet: vehicles=10 duration=60.0s"));

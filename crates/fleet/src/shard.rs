@@ -20,8 +20,10 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use vdap_edgeos::WorkloadClass;
 use vdap_fault::FaultInjector;
 use vdap_net::{Direction, LinkSpec};
+use vdap_obs::{RequestSpan, SpanOutcome};
 use vdap_offload::Tile;
 use vdap_sim::{Ctx, SeedFactory, SimDuration, SimTime, Simulation};
 
@@ -48,6 +50,10 @@ pub(crate) struct ShardState {
     pub failover_samples: Vec<(u32, u32, f64)>,
     /// Previous barrier's V2V snapshot (read-only during the epoch).
     pub snapshot: Arc<CollabSnapshot>,
+    /// Spans for requests resolved on the vehicle side (collab hits,
+    /// regional-outage failovers), drained at the barrier. Empty unless
+    /// the config enables telemetry.
+    pub spans: Vec<RequestSpan>,
     /// Compiled fault timeline (pure function of time).
     injector: Option<Arc<FaultInjector>>,
     /// Shard-local mergeable metrics.
@@ -72,6 +78,10 @@ impl std::fmt::Debug for ShardState {
 #[derive(Debug)]
 pub(crate) struct Shard {
     pub sim: Simulation<ShardState>,
+    /// Wall-clock time this shard's last epoch advance took (written
+    /// inside the worker closure, read single-threaded at the barrier;
+    /// diagnostics only, never feeds the deterministic report).
+    pub busy: std::time::Duration,
 }
 
 impl Shard {
@@ -103,6 +113,7 @@ impl Shard {
             publications: Vec::new(),
             failover_samples: Vec::new(),
             snapshot: Arc::new(CollabSnapshot::new()),
+            spans: Vec::new(),
             injector,
             metrics: FleetMetrics::new(),
             cfg: Arc::clone(cfg),
@@ -121,7 +132,10 @@ impl Shard {
                 move |ctx| tick(ctx, local),
             );
         }
-        Shard { sim }
+        Shard {
+            sim,
+            busy: std::time::Duration::ZERO,
+        }
     }
 }
 
@@ -154,24 +168,28 @@ fn tick(ctx: &mut Ctx<'_, ShardState>, local: usize) {
         .as_deref()
         .is_some_and(|inj| inj.is_down(&st.region_labels[region as usize], now));
 
-    st.metrics.requests += 1;
-    st.metrics.class_mut(class).requests += 1;
+    st.metrics.record_request(class);
     if region_down {
         // Regional LTE outage: re-plan and run the pipeline on board
         // (a pBEAM round continues training locally at its own cost).
         let failover = cfg.failover_penalty.mul_f64(1.0 + 0.2 * jitter);
         let service = spec.vehicle_service.mul_f64(1.0 + 0.1 * jitter);
         let e2e = failover + service;
-        st.metrics.e2e_latency_ms.record_duration(e2e);
         st.metrics
-            .energy_per_request_j
-            .record(service.as_secs_f64() * BOARD_W);
-        st.metrics.failovers += 1;
-        let cm = st.metrics.class_mut(class);
-        cm.failovers += 1;
-        cm.e2e_latency_ms.record_duration(e2e);
+            .record_failover(class, e2e, service.as_secs_f64() * BOARD_W);
         st.failover_samples
             .push((id, seq, failover.as_millis_f64()));
+        if cfg.telemetry {
+            st.spans.push(vehicle_span(
+                &cfg,
+                id,
+                seq,
+                class,
+                now,
+                e2e,
+                SpanOutcome::Failover,
+            ));
+        }
     } else {
         let tile = tile_at(id, now);
         let shared_by = if cacheable {
@@ -186,14 +204,19 @@ fn tick(ctx: &mut Ctx<'_, ShardState>, local: usize) {
             let fetch = dsrc.transfer_time(Direction::Downlink, spec.download_bytes);
             let merge = SimDuration::from_millis_f64(2.0 + jitter);
             let e2e = dsrc.latency() + fetch + merge;
-            st.metrics.e2e_latency_ms.record_duration(e2e);
             st.metrics
-                .energy_per_request_j
-                .record(fetch.as_secs_f64() * DSRC_W);
-            st.metrics.collab_hits += 1;
-            let cm = st.metrics.class_mut(class);
-            cm.collab_hits += 1;
-            cm.e2e_latency_ms.record_duration(e2e);
+                .record_collab(class, e2e, fetch.as_secs_f64() * DSRC_W);
+            if cfg.telemetry {
+                st.spans.push(vehicle_span(
+                    &cfg,
+                    id,
+                    seq,
+                    class,
+                    now,
+                    e2e,
+                    SpanOutcome::CollabHit,
+                ));
+            }
         } else {
             st.outbox.push(EdgeRequest {
                 vehicle: id,
@@ -215,6 +238,36 @@ fn tick(ctx: &mut Ctx<'_, ShardState>, local: usize) {
     let delay = cfg.request_period.mul_f64(0.9 + 0.2 * next_jitter);
     if now + delay <= horizon {
         ctx.schedule_in(delay, "fleet-tick", move |ctx| tick(ctx, local));
+    }
+}
+
+/// Builds a span for a request resolved entirely on the vehicle side
+/// (collab hits and regional-outage failovers never reach the edge, so
+/// `admitted` and `serve_start` stay empty).
+fn vehicle_span(
+    cfg: &FleetConfig,
+    vehicle: u32,
+    seq: u32,
+    class: WorkloadClass,
+    generated: SimTime,
+    e2e: SimDuration,
+    outcome: SpanOutcome,
+) -> RequestSpan {
+    RequestSpan {
+        vehicle,
+        seq,
+        tenant: cfg.tenant_of(vehicle),
+        region: cfg.region_of(vehicle),
+        shard: cfg.shard_of(vehicle),
+        class: class.label(),
+        generated,
+        admitted: None,
+        serve_start: None,
+        completed: generated + e2e,
+        outcome,
+        retries: 0,
+        requeues: 0,
+        handoff: false,
     }
 }
 

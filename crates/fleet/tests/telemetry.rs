@@ -1,0 +1,152 @@
+//! Property tests for the telemetry layer's two contracts:
+//!
+//! 1. **Reconciliation** — the span log partitions the request stream
+//!    exactly the way `FleetMetrics`' outcome counters do: one closed
+//!    span per request, per-outcome span counts equal to the served /
+//!    collab / failover / rejected / fallback counters.
+//! 2. **Shard-count invariance** — with telemetry enabled, the
+//!    deterministic summary is still byte-identical across shard
+//!    counts, and the normalized span log and metrics registry are
+//!    identical too (the `shard` span attribute is the only field
+//!    re-partitioning may change).
+
+use proptest::prelude::*;
+use vdap_fleet::{FleetConfig, FleetEngine, FleetReport, SpanOutcome};
+use vdap_sim::{SimDuration, SimTime};
+
+/// A fleet small enough for proptest but chaotic enough to produce all
+/// six span outcomes: a regional outage (failovers), a node crash on a
+/// two-node deployment (retries, handoffs, fallbacks, skipped pBEAM
+/// rounds), and tight quotas under load (rejections).
+fn chaos_config(seed: u64, shards: u32) -> FleetConfig {
+    let mut cfg = FleetConfig::sized(64, shards).with_telemetry();
+    cfg.seed = seed;
+    cfg.duration = SimDuration::from_secs(8);
+    cfg.edge_nodes = 2;
+    cfg.with_regional_outage(0, SimTime::from_secs(1), SimDuration::from_secs(2))
+        .with_edge_node_crash(0, SimTime::from_secs(3), SimDuration::from_secs(3))
+        .with_tenant_quota_flap(1, 0.25, SimTime::from_secs(4), SimDuration::from_secs(2))
+}
+
+/// Asserts every span/metrics reconciliation invariant on one report.
+fn assert_reconciles(report: &FleetReport) {
+    let m = &report.metrics;
+    let tel = report.telemetry.as_ref().expect("telemetry enabled");
+    let spans = &tel.spans;
+    assert_eq!(
+        spans.len() as u64,
+        m.requests,
+        "one closed span per request"
+    );
+    assert_eq!(spans.outcome_count(SpanOutcome::EdgeServed), m.edge_served);
+    assert_eq!(spans.outcome_count(SpanOutcome::CollabHit), m.collab_hits);
+    assert_eq!(spans.outcome_count(SpanOutcome::Failover), m.failovers);
+    assert_eq!(spans.outcome_count(SpanOutcome::Rejected), m.rejected);
+    assert_eq!(
+        spans.outcome_count(SpanOutcome::LocalFallback) + spans.outcome_count(SpanOutcome::Skipped),
+        m.local_fallbacks,
+        "rung-3 spans split into degraded runs and skipped rounds"
+    );
+    assert_eq!(
+        spans.outcome_count(SpanOutcome::Skipped),
+        m.training_rounds_skipped
+    );
+    // Registry counters mirror the same partition.
+    let r = &tel.registry;
+    assert_eq!(r.counter("fleet.requests"), m.requests);
+    assert_eq!(r.counter("fleet.served"), m.edge_served);
+    assert_eq!(r.counter("fleet.collab_hits"), m.collab_hits);
+    assert_eq!(r.counter("fleet.failovers"), m.failovers);
+    assert_eq!(r.counter("fleet.rejected"), m.rejected);
+    assert_eq!(r.counter("fleet.local_fallbacks"), m.local_fallbacks);
+    assert_eq!(r.counter("fleet.handoffs"), m.handoffs);
+    // Span timestamps are internally consistent. Note `serve_start`
+    // may precede `admitted`: the serving pass runs at the barrier but
+    // models lane occupancy starting at arrival + uplink.
+    for s in spans.iter() {
+        assert!(s.completed >= s.generated, "span ends after it starts");
+        if let Some(admitted) = s.admitted {
+            assert!(admitted >= s.generated, "admission follows generation");
+        }
+        if let Some(serve_start) = s.serve_start {
+            assert!(serve_start >= s.generated, "lane starts after generation");
+            assert!(s.completed >= serve_start, "completion follows lane start");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn spans_reconcile_with_metrics_at_every_shard_count(seed in any::<u64>()) {
+        let reports: Vec<FleetReport> = [1u32, 2, 4, 8]
+            .iter()
+            .map(|&shards| FleetEngine::new(chaos_config(seed, shards)).run())
+            .collect();
+        for report in &reports {
+            assert_reconciles(report);
+        }
+
+        // Telemetry must not cost determinism: summaries byte-identical,
+        // and the telemetry itself invariant modulo the shard attribute.
+        let base = reports[0].telemetry.as_ref().expect("telemetry enabled");
+        let base_spans: Vec<_> = base.spans.iter().map(|s| s.normalized()).collect();
+        for r in &reports[1..] {
+            prop_assert_eq!(reports[0].summary(), r.summary());
+            let tel = r.telemetry.as_ref().expect("telemetry enabled");
+            let spans: Vec<_> = tel.spans.iter().map(|s| s.normalized()).collect();
+            prop_assert_eq!(&base_spans, &spans, "normalized span logs diverged");
+            prop_assert_eq!(&base.registry, &tel.registry, "registries diverged");
+        }
+    }
+}
+
+#[test]
+fn telemetry_off_means_no_spans_and_an_unchanged_summary() {
+    let with = |telemetry: bool| {
+        let mut cfg = FleetConfig::sized(64, 2);
+        cfg.telemetry = telemetry;
+        cfg.duration = SimDuration::from_secs(6);
+        FleetEngine::new(cfg).run()
+    };
+    let off = with(false);
+    let on = with(true);
+    assert!(off.telemetry.is_none());
+    assert!(on.telemetry.is_some());
+    assert_eq!(
+        off.summary(),
+        on.summary(),
+        "telemetry is derived data: enabling it cannot perturb the run"
+    );
+}
+
+#[test]
+fn epoch_series_cover_every_barrier() {
+    let mut cfg = FleetConfig::sized(64, 2).with_telemetry();
+    cfg.duration = SimDuration::from_secs(6);
+    let epochs = cfg.duration.as_nanos().div_ceil(cfg.epoch.as_nanos());
+    let report = FleetEngine::new(cfg).run();
+    let tel = report.telemetry.expect("telemetry enabled");
+    let depth = tel.registry.series("xedge.queue_depth");
+    assert_eq!(depth.len() as u64, epochs, "one sample per barrier");
+    assert_eq!(depth[0].epoch, 0);
+    assert_eq!(depth.last().expect("nonempty").epoch, epochs - 1);
+    let served: f64 = tel
+        .registry
+        .series("fleet.served.detection")
+        .iter()
+        .map(|p| p.value)
+        .sum();
+    let total_detection_served: f64 = tel
+        .registry
+        .series("fleet.served.infotainment")
+        .iter()
+        .chain(tel.registry.series("fleet.served.pbeam-training"))
+        .map(|p| p.value)
+        .sum::<f64>()
+        + served;
+    assert!(
+        total_detection_served > 0.0,
+        "per-class served series should see traffic"
+    );
+}

@@ -1,0 +1,168 @@
+//! Wall-clock barrier profiling for the sharded fleet engine.
+//!
+//! The engine's epoch loop is fork/join: shards advance in parallel,
+//! then everything joins at a single-threaded barrier. The join means
+//! every epoch costs as much wall-clock as its *slowest* shard — the
+//! other shards sit idle. [`BarrierProfiler`] measures exactly that:
+//! per-shard busy time, per-shard barrier-idle time (`max(busy) -
+//! busy_i` per epoch), and the serial barrier time itself.
+//!
+//! Wall-clock readings are inherently nondeterministic, so this module
+//! is **excluded from the deterministic summary**: the engine reports
+//! it through a separate diagnostics block that the byte-identity
+//! property tests never compare.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Accumulates per-epoch wall-clock measurements during a run.
+#[derive(Debug, Clone)]
+pub struct BarrierProfiler {
+    busy: Vec<Duration>,
+    idle: Vec<Duration>,
+    barrier: Duration,
+    epochs: u64,
+}
+
+impl BarrierProfiler {
+    /// A profiler for `shards` worker shards.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        BarrierProfiler {
+            busy: vec![Duration::ZERO; shards],
+            idle: vec![Duration::ZERO; shards],
+            barrier: Duration::ZERO,
+            epochs: 0,
+        }
+    }
+
+    /// Records one epoch's per-shard busy times. Each shard's idle time
+    /// for the epoch is the gap to the slowest shard (the join point).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `busy` does not have one entry per shard.
+    pub fn record_epoch(&mut self, busy: &[Duration]) {
+        assert_eq!(busy.len(), self.busy.len(), "one busy reading per shard");
+        let slowest = busy.iter().copied().max().unwrap_or(Duration::ZERO);
+        for (i, &b) in busy.iter().enumerate() {
+            self.busy[i] += b;
+            self.idle[i] += slowest.saturating_sub(b);
+        }
+        self.epochs += 1;
+    }
+
+    /// Adds one barrier's single-threaded serial time.
+    pub fn record_barrier(&mut self, elapsed: Duration) {
+        self.barrier += elapsed;
+    }
+
+    /// The accumulated totals.
+    #[must_use]
+    pub fn finish(self) -> EngineProfile {
+        EngineProfile {
+            shard_busy: self.busy,
+            shard_idle: self.idle,
+            barrier: self.barrier,
+            epochs: self.epochs,
+        }
+    }
+}
+
+/// Wall-clock totals for one fleet run (diagnostics only — never part
+/// of the deterministic summary).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineProfile {
+    /// Cumulative busy time per shard across all epochs.
+    pub shard_busy: Vec<Duration>,
+    /// Cumulative barrier-idle time per shard (`max(busy) - busy_i`
+    /// summed over epochs).
+    pub shard_idle: Vec<Duration>,
+    /// Cumulative single-threaded barrier time.
+    pub barrier: Duration,
+    /// Epochs profiled.
+    pub epochs: u64,
+}
+
+impl EngineProfile {
+    /// Fraction of a shard's fork/join wall-clock spent idle at the
+    /// barrier (0 when the shard never ran).
+    #[must_use]
+    pub fn idle_fraction(&self, shard: usize) -> f64 {
+        let busy = self.shard_busy[shard].as_secs_f64();
+        let idle = self.shard_idle[shard].as_secs_f64();
+        if busy + idle == 0.0 {
+            0.0
+        } else {
+            idle / (busy + idle)
+        }
+    }
+
+    /// A multi-line text block for the run's diagnostics output.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "profile: epochs={} barrier_ms={:.3}",
+            self.epochs,
+            self.barrier.as_secs_f64() * 1e3
+        );
+        for (i, (busy, idle)) in self.shard_busy.iter().zip(&self.shard_idle).enumerate() {
+            let _ = writeln!(
+                out,
+                "shard[{i}]: busy_ms={:.3} barrier_idle_ms={:.3} idle_frac={:.3}",
+                busy.as_secs_f64() * 1e3,
+                idle.as_secs_f64() * 1e3,
+                self.idle_fraction(i)
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_is_the_gap_to_the_slowest_shard() {
+        let mut p = BarrierProfiler::new(3);
+        p.record_epoch(&[
+            Duration::from_millis(10),
+            Duration::from_millis(4),
+            Duration::from_millis(7),
+        ]);
+        p.record_epoch(&[
+            Duration::from_millis(2),
+            Duration::from_millis(8),
+            Duration::from_millis(8),
+        ]);
+        p.record_barrier(Duration::from_millis(3));
+        let profile = p.finish();
+        assert_eq!(profile.epochs, 2);
+        assert_eq!(profile.shard_busy[0], Duration::from_millis(12));
+        // Epoch 1: slowest 10 → idle 0/6/3. Epoch 2: slowest 8 → 6/0/0.
+        assert_eq!(profile.shard_idle[0], Duration::from_millis(6));
+        assert_eq!(profile.shard_idle[1], Duration::from_millis(6));
+        assert_eq!(profile.shard_idle[2], Duration::from_millis(3));
+        assert_eq!(profile.barrier, Duration::from_millis(3));
+    }
+
+    #[test]
+    fn render_names_every_shard() {
+        let mut p = BarrierProfiler::new(2);
+        p.record_epoch(&[Duration::from_millis(5), Duration::from_millis(5)]);
+        let text = p.finish().render();
+        assert!(text.contains("profile: epochs=1"));
+        assert!(text.contains("shard[0]:"));
+        assert!(text.contains("shard[1]:"));
+        assert!(text.contains("barrier_idle_ms="));
+    }
+
+    #[test]
+    fn idle_fraction_handles_empty_profiles() {
+        let profile = BarrierProfiler::new(1).finish();
+        assert_eq!(profile.idle_fraction(0), 0.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! A registry of named counters, gauges, and per-epoch time series.
+//!
+//! The fleet engine samples the registry **only at epoch barriers**, on
+//! globally-determined values (queue depth after the canonical serving
+//! pass, the elastic lane count, per-class outcome counts of the
+//! barrier's batch). Names are interned `&'static str`s and the storage
+//! is `BTreeMap`, so iteration order — and any export built from it —
+//! is deterministic.
+
+use std::collections::BTreeMap;
+
+use vdap_sim::SimTime;
+
+/// One sampled point of a per-epoch time series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    /// Barrier index the sample was taken at (0-based).
+    pub epoch: u64,
+    /// The barrier instant (sim time).
+    pub at: SimTime,
+    /// Sampled value.
+    pub value: f64,
+}
+
+/// Named counters, gauges, and epoch-sampled time series.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    series: BTreeMap<&'static str, Vec<SeriesPoint>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `by` to the named monotonic counter.
+    pub fn inc(&mut self, name: &'static str, by: u64) {
+        *self.counters.entry(name).or_insert(0) += by;
+    }
+
+    /// Sets the named gauge to its latest value.
+    pub fn set_gauge(&mut self, name: &'static str, value: f64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Appends one epoch sample to the named time series.
+    pub fn sample(&mut self, name: &'static str, epoch: u64, at: SimTime, value: f64) {
+        self.series
+            .entry(name)
+            .or_default()
+            .push(SeriesPoint { epoch, at, value });
+    }
+
+    /// Current value of a counter (0 when never incremented).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Latest value of a gauge, if ever set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The sampled points of a time series (empty when never sampled).
+    #[must_use]
+    pub fn series(&self, name: &str) -> &[SeriesPoint] {
+        self.series.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All counters, in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// All gauges, in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.gauges.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// All time series, in name order.
+    pub fn all_series(&self) -> impl Iterator<Item = (&'static str, &[SeriesPoint])> + '_ {
+        self.series.iter().map(|(&k, v)| (k, v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = MetricsRegistry::new();
+        r.inc("fleet.served", 3);
+        r.inc("fleet.served", 2);
+        assert_eq!(r.counter("fleet.served"), 5);
+        assert_eq!(r.counter("never"), 0);
+    }
+
+    #[test]
+    fn gauges_keep_the_latest_value() {
+        let mut r = MetricsRegistry::new();
+        r.set_gauge("xedge.lanes", 16.0);
+        r.set_gauge("xedge.lanes", 24.0);
+        assert_eq!(r.gauge("xedge.lanes"), Some(24.0));
+        assert_eq!(r.gauge("never"), None);
+    }
+
+    #[test]
+    fn series_record_epoch_samples_in_order() {
+        let mut r = MetricsRegistry::new();
+        r.sample("xedge.queue_depth", 0, SimTime::from_secs(1), 4.0);
+        r.sample("xedge.queue_depth", 1, SimTime::from_secs(2), 7.0);
+        let pts = r.series("xedge.queue_depth");
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].epoch, 0);
+        assert_eq!(pts[1].value, 7.0);
+        assert!(r.series("never").is_empty());
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut r = MetricsRegistry::new();
+        r.inc("b", 1);
+        r.inc("a", 1);
+        let names: Vec<&str> = r.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -45,8 +45,10 @@ pub struct TraceEvent {
     pub at: SimTime,
     /// Severity.
     pub level: TraceLevel,
-    /// Emitting component, e.g. `"edgeos.elastic"`.
-    pub component: String,
+    /// Emitting component, e.g. `"edgeos.elastic"`. Interned: component
+    /// names are a small fixed vocabulary, so recording an event costs
+    /// no per-component allocation.
+    pub component: &'static str,
     /// Human-readable description.
     pub message: String,
 }
@@ -123,7 +125,7 @@ impl TraceLog {
         &mut self,
         at: SimTime,
         level: TraceLevel,
-        component: impl Into<String>,
+        component: &'static str,
         message: impl Into<String>,
     ) {
         if level < self.min_level {
@@ -136,9 +138,42 @@ impl TraceLog {
         self.events.push_back(TraceEvent {
             at,
             level,
-            component: component.into(),
+            component,
             message: message.into(),
         });
+    }
+
+    /// Merges another log's events into this one in timestamp order
+    /// (stable: on equal timestamps this log's events come first), then
+    /// re-applies this log's capacity bound, evicting oldest-first.
+    /// Dropped counts accumulate, so per-shard logs can be combined at
+    /// a barrier without losing the eviction history.
+    pub fn merge(&mut self, other: &TraceLog) {
+        self.dropped += other.dropped;
+        let mut merged: Vec<TraceEvent> =
+            Vec::with_capacity(self.events.len() + other.events.len());
+        let mut mine = std::mem::take(&mut self.events).into_iter().peekable();
+        let mut theirs = other.events.iter().cloned().peekable();
+        loop {
+            match (mine.peek(), theirs.peek()) {
+                (Some(a), Some(b)) => {
+                    if b.at < a.at {
+                        merged.push(theirs.next().expect("peeked"));
+                    } else {
+                        merged.push(mine.next().expect("peeked"));
+                    }
+                }
+                (Some(_), None) => merged.push(mine.next().expect("peeked")),
+                (None, Some(_)) => merged.push(theirs.next().expect("peeked")),
+                (None, None) => break,
+            }
+        }
+        if merged.len() > self.capacity {
+            let excess = merged.len() - self.capacity;
+            self.dropped += excess as u64;
+            merged.drain(..excess);
+        }
+        self.events = merged.into();
     }
 
     /// Number of retained events.
@@ -236,11 +271,49 @@ mod tests {
     }
 
     #[test]
+    fn merge_interleaves_by_timestamp() {
+        let mut a = TraceLog::new();
+        a.record(SimTime::from_nanos(10), TraceLevel::Info, "shard0", "x");
+        a.record(SimTime::from_nanos(30), TraceLevel::Info, "shard0", "z");
+        let mut b = TraceLog::new();
+        b.record(SimTime::from_nanos(20), TraceLevel::Info, "shard1", "y");
+        b.record(SimTime::from_nanos(30), TraceLevel::Info, "shard1", "tie");
+        a.merge(&b);
+        let order: Vec<(&str, &str)> = a
+            .iter()
+            .map(|e| (e.component, e.message.as_str()))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("shard0", "x"),
+                ("shard1", "y"),
+                ("shard0", "z"), // ties keep self's events first
+                ("shard1", "tie"),
+            ]
+        );
+    }
+
+    #[test]
+    fn merge_enforces_capacity_and_accumulates_drops() {
+        let mut a = TraceLog::with_capacity(3);
+        log_n(&mut a, 4); // retains 1..=3, dropped 1
+        let mut b = TraceLog::with_capacity(3);
+        b.record(SimTime::from_nanos(0), TraceLevel::Info, "b", "early");
+        b.record(SimTime::from_nanos(9), TraceLevel::Info, "b", "late");
+        a.merge(&b);
+        assert_eq!(a.len(), 3, "capacity bound re-applied after merge");
+        // 1 pre-merge drop + 2 evicted oldest during the merge.
+        assert_eq!(a.dropped(), 3);
+        assert_eq!(a.iter().last().unwrap().message, "late");
+    }
+
+    #[test]
     fn display_formats() {
         let e = TraceEvent {
             at: SimTime::from_secs(1),
             level: TraceLevel::Warn,
-            component: "net".into(),
+            component: "net",
             message: "handoff".into(),
         };
         let s = e.to_string();

@@ -37,6 +37,7 @@ fn print_experiment(name: &str) -> bool {
         "fleet-elastic" => experiments::fleet_elastic(SEED),
         "fleet-storm" => experiments::fleet_storm(SEED),
         "fleet-trace" => experiments::fleet_trace(SEED),
+        "fleet-ingest" => experiments::fleet_ingest(SEED),
         _ => return false,
     };
     // Chaos-bearing experiments derive their fault windows from the run
@@ -44,7 +45,7 @@ fn print_experiment(name: &str) -> bool {
     // from the output alone.
     if matches!(
         name,
-        "fleet" | "fleet-chaos" | "fleet-storm" | "fleet-trace"
+        "fleet" | "fleet-chaos" | "fleet-storm" | "fleet-trace" | "fleet-ingest"
     ) {
         println!("fault-plan seed: {SEED}");
     }
@@ -52,7 +53,7 @@ fn print_experiment(name: &str) -> bool {
     true
 }
 
-const ALL: [&str; 21] = [
+const ALL: [&str; 22] = [
     "table1",
     "fig2",
     "fig3",
@@ -74,6 +75,7 @@ const ALL: [&str; 21] = [
     "fleet-elastic",
     "fleet-storm",
     "fleet-trace",
+    "fleet-ingest",
 ];
 
 /// Prints usage plus the list of every reproduction target.

@@ -7,7 +7,7 @@
 
 use vdap_ddi::{DdiService, DriverStyle, ObdCollector, Query, RecordKind};
 use vdap_edgeos::Objective;
-use vdap_fleet::{FleetConfig, FleetEngine, SpanOutcome};
+use vdap_fleet::{FleetConfig, FleetEngine, IngestConfig, SpanOutcome};
 use vdap_hw::{catalog, Battery, ComputeWorkload, TaskClass};
 use vdap_models::zoo;
 use vdap_models::{PbeamConfig, PbeamPipeline, SensorBias};
@@ -1022,6 +1022,135 @@ fn fleet_trace_table(cfg: FleetConfig, dir: &std::path::Path) -> TextTable {
     t
 }
 
+/// E19 — fleet-scale DDI ingestion under pressure: 10,000 vehicles
+/// batch telemetry through regional DDI collectors into a shared
+/// storage tier while a collector outage and a storage brownout land
+/// mid-run. The table reports the full ingestion ledger — deadline-miss
+/// rate, the degradation ladder (retry → defer-to-cache → shed), cache
+/// churn, and storage pressure (write utilisation ρ) — and asserts the
+/// 1-shard and 8-shard runs stay byte-identical through all of it.
+#[must_use]
+pub fn fleet_ingest(seed: u64) -> TextTable {
+    fleet_ingest_table(seed, 10_000, SimDuration::from_secs(24))
+}
+
+/// Runs the ingestion-pressure scenario over `vehicles` for `duration`
+/// (needs ≥ 16 s so both fault windows land and the backlog can drain).
+fn fleet_ingest_table(seed: u64, vehicles: u32, duration: SimDuration) -> TextTable {
+    // Size the shared tiers to the fleet so the same scenario bites at
+    // 96 vehicles (unit test) and 10,000 (repro binary): nominal
+    // storage throughput is 1.25x the offered record rate, and each
+    // regional collector queue holds three epochs of its arrivals.
+    let mut ing = IngestConfig::default();
+    let mut cfg = FleetConfig::sized(vehicles, 1);
+    let offered =
+        f64::from(vehicles) * f64::from(ing.records_per_batch) / ing.upload_period.as_secs_f64();
+    ing.storage_records_per_sec = offered * 1.25;
+    let per_region_epoch = offered / f64::from(cfg.regions) * cfg.epoch.as_secs_f64();
+    ing.collector_queue_records =
+        (3.0 * per_region_epoch) as u64 + u64::from(ing.records_per_batch);
+    cfg.seed = seed;
+    cfg.duration = duration;
+    let cfg = cfg
+        .with_ingest_config(ing)
+        .with_collector_outage(0, SimTime::from_secs(4), SimDuration::from_secs(3))
+        .with_storage_brownout(0.4, SimTime::from_secs(8), SimDuration::from_secs(4));
+    let run = |shards: u32| {
+        let mut c = cfg.clone();
+        c.shards = shards;
+        FleetEngine::new(c).run()
+    };
+    let single = run(1);
+    let sharded = run(8);
+    assert!(
+        single.summary() == sharded.summary(),
+        "ingestion determinism violated: 1-shard and 8-shard \
+         summaries diverged\n--- 1 shard ---\n{}\n--- 8 shards ---\n{}",
+        single.summary(),
+        sharded.summary()
+    );
+    let m = single.ingest.as_ref().expect("ingest enabled");
+    // Non-vacuity: both fault windows must actually bite, and the
+    // ingestion ledger must partition every record sent.
+    assert!(m.outage_bounces > 0, "collector outage never bounced");
+    assert!(
+        m.storage_rho.max() > 1.0,
+        "brownout never saturated storage (rho max {})",
+        m.storage_rho.max()
+    );
+    assert_eq!(
+        m.records_sent,
+        m.records_written + m.records_shed + m.cache_evictions + m.backlog_records,
+        "ingestion ledger does not partition"
+    );
+    let mut t = TextTable::new(
+        "E19 — fleet DDI ingestion under pressure: collector outage + storage brownout (1 vs 8 shards)",
+        &["metric", "1 shard", "8 shards"],
+    );
+    type ReportCol = fn(&vdap_fleet::FleetReport) -> String;
+    let ing_of = |r: &vdap_fleet::FleetReport| r.ingest.as_ref().expect("ingest enabled").clone();
+    let rows: [(&str, ReportCol); 16] = [
+        ("batches sent", |r| {
+            r.ingest.as_ref().unwrap().batches_sent.to_string()
+        }),
+        ("records sent", |r| {
+            r.ingest.as_ref().unwrap().records_sent.to_string()
+        }),
+        ("records durable", |r| {
+            r.ingest.as_ref().unwrap().records_written.to_string()
+        }),
+        ("deadline-miss rate", |r| {
+            format!("{:.4}", r.ingest.as_ref().unwrap().deadline_miss_rate())
+        }),
+        ("collector outage bounces", |r| {
+            r.ingest.as_ref().unwrap().outage_bounces.to_string()
+        }),
+        ("collector queue bounces", |r| {
+            r.ingest.as_ref().unwrap().queue_bounces.to_string()
+        }),
+        ("rung 1: upload retries", |r| {
+            r.ingest.as_ref().unwrap().retries.to_string()
+        }),
+        ("rung 2: deferred to cache", |r| {
+            r.ingest.as_ref().unwrap().deferrals.to_string()
+        }),
+        ("rung 2: disk spills", |r| {
+            r.ingest.as_ref().unwrap().disk_spills.to_string()
+        }),
+        ("cache TTL evictions", |r| {
+            r.ingest.as_ref().unwrap().cache_evictions.to_string()
+        }),
+        ("rung 3: records shed", |r| {
+            r.ingest.as_ref().unwrap().records_shed.to_string()
+        }),
+        ("backlog at horizon", |r| {
+            r.ingest.as_ref().unwrap().backlog_records.to_string()
+        }),
+        ("storage rho mean", |r| {
+            f3(r.ingest.as_ref().unwrap().storage_rho.mean())
+        }),
+        ("storage rho max", |r| {
+            f3(r.ingest.as_ref().unwrap().storage_rho.max())
+        }),
+        ("uplink p95 (ms)", |r| {
+            f3(r.ingest.as_ref().unwrap().uplink_ms.quantile(0.95))
+        }),
+        ("ingest latency p95 (ms)", |r| {
+            f3(r.ingest.as_ref().unwrap().ingest_latency_ms.quantile(0.95))
+        }),
+    ];
+    for (label, get) in rows {
+        t.row(&[label.into(), get(&single), get(&sharded)]);
+    }
+    assert_eq!(ing_of(&single), ing_of(&sharded), "ingest metrics diverged");
+    t.row(&[
+        "summaries byte-identical".into(),
+        "yes".into(),
+        "yes".into(),
+    ]);
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1218,6 +1347,19 @@ mod tests {
         cfg.duration = SimDuration::from_secs(8);
         let rendered = fleet_chaos_table("E17 (scaled)", cfg).render();
         assert!(rendered.contains("faults injected"), "{rendered}");
+        assert!(rendered.contains("summaries byte-identical"), "{rendered}");
+    }
+
+    #[test]
+    fn fleet_ingest_table_pins_ladder_and_invariance() {
+        // Scaled-down E19: the shared-tier sizing tracks the fleet, so
+        // 96 vehicles hit the same outage + brownout pressure as the
+        // full 10,000-vehicle repro run; the table asserts byte-identity,
+        // both fault windows biting, and the ingestion ledger partition.
+        let rendered = fleet_ingest_table(7, 96, SimDuration::from_secs(16)).render();
+        assert!(rendered.contains("deadline-miss rate"), "{rendered}");
+        assert!(rendered.contains("rung 2: deferred to cache"), "{rendered}");
+        assert!(rendered.contains("storage rho max"), "{rendered}");
         assert!(rendered.contains("summaries byte-identical"), "{rendered}");
     }
 

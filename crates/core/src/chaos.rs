@@ -420,10 +420,12 @@ fn handle_fault(ctx: &mut Ctx<'_, ChaosWorld>, edge: FaultEdge, kind: FaultKind,
         }
         FaultKind::EdgeNodeCrash
         | FaultKind::TenantQuotaFlap { .. }
-        | FaultKind::RegionHandoffStorm => {
-            // Edge-tier fleet faults have no single-vehicle analogue;
-            // the fleet engine's barrier pass handles them (see
-            // [`crate::scenario`]'s fleet-chaos sweep).
+        | FaultKind::RegionHandoffStorm
+        | FaultKind::CollectorOutage
+        | FaultKind::StorageBrownout { .. } => {
+            // Edge- and ingestion-tier fleet faults have no
+            // single-vehicle analogue; the fleet engine's barrier pass
+            // handles them (see [`crate::scenario`]'s fleet-chaos sweep).
         }
     }
 }
@@ -619,6 +621,11 @@ pub fn fleet_storm_profile(cfg: &vdap_fleet::FleetConfig) -> ChaosProfile {
         tenants: (0..cfg.tenants).map(vdap_fleet::tenant_label).collect(),
         links: (0..cfg.regions).map(vdap_fleet::region_label).collect(),
         regions: (0..cfg.regions).map(vdap_fleet::handoff_label).collect(),
+        // The DDI ingestion tier: regional collectors and the shared
+        // store. When the config doesn't run ingestion these windows
+        // are harmless no-ops, so the storm vocabulary is uniform.
+        collectors: (0..cfg.regions).map(vdap_fleet::collector_label).collect(),
+        stores: vec![vdap_fleet::STORE_LABEL.to_string()],
         mean_gap: SimDuration::from_secs(5),
         mean_duration: SimDuration::from_secs(6),
         ..ChaosProfile::new()

@@ -28,6 +28,7 @@
 
 mod collector;
 mod diskdb;
+mod ingest;
 mod memdb;
 mod record;
 mod service;
@@ -36,6 +37,7 @@ pub use collector::{
     DriverStyle, ObdCollector, SocialCollector, TrafficCollector, WeatherCollector,
 };
 pub use diskdb::{DiskDb, DiskStats};
+pub use ingest::{RegionCollector, StorageTierModel, UploadBatch};
 pub use memdb::{CacheStats, MemDb, MemKey};
 pub use record::{
     DrivingSample, GeoBox, GeoPoint, Payload, Record, RecordKind, SocialEvent, TrafficSample,

@@ -13,7 +13,7 @@ use vdap_fault::{
     retry_until_deadline, AttemptOutcome, FaultInjector, FaultKind, RetryError, RetryPolicy,
     RetryReport,
 };
-use vdap_sim::{RngStream, SimDuration, SimTime};
+use vdap_sim::{ReliabilityStats, RngStream, SimDuration, SimTime};
 
 use crate::diskdb::DiskDb;
 use crate::memdb::MemDb;
@@ -323,6 +323,21 @@ impl DdiService {
         (n, cost)
     }
 
+    /// TTL sweep that reports its counts into a [`ReliabilityStats`]
+    /// ledger instead of dropping them on the floor: every expired
+    /// entry counts as one cache TTL eviction, and every record the
+    /// sweep persists counts as one disk spill.
+    pub fn sweep_reporting(
+        &mut self,
+        now: SimTime,
+        reliability: &mut ReliabilityStats,
+    ) -> (usize, SimDuration) {
+        let (n, cost) = self.sweep(now);
+        reliability.record_cache_ttl_evictions(n as u64);
+        reliability.record_disk_spills(n as u64);
+        (n, cost)
+    }
+
     /// Writes a record straight to disk (bulk import path for historical
     /// data); returns the device cost.
     pub fn import_historical(&mut self, record: Record) -> SimDuration {
@@ -526,6 +541,117 @@ mod tests {
         assert_eq!(ddi.stats().failed_uploads, 1);
         assert_eq!(ddi.stats().uploads, 0);
         assert!(ddi.memory().is_empty());
+    }
+
+    #[test]
+    fn sweep_reporting_feeds_reliability_ledger() {
+        let mut ddi = service();
+        for t in 0..5 {
+            ddi.upload(rec(t), SimTime::from_secs(t));
+        }
+        let mut rel = ReliabilityStats::new();
+        // TTL is 300 s; everything uploaded by t=4 expires by t=400.
+        let (n, cost) = ddi.sweep_reporting(SimTime::from_secs(400), &mut rel);
+        assert_eq!(n, 5);
+        assert!(cost > SimDuration::ZERO);
+        assert_eq!(rel.cache_ttl_eviction_count(), 5);
+        assert_eq!(rel.disk_spill_count(), 5);
+        // An empty sweep reports nothing new.
+        let (n, _) = ddi.sweep_reporting(SimTime::from_secs(401), &mut rel);
+        assert_eq!(n, 0);
+        assert_eq!(rel.cache_ttl_eviction_count(), 5);
+    }
+
+    /// Boundary: the retry loop gives up *exactly* at the deadline
+    /// budget when the fault window outlasts it — the final probe is cut
+    /// off mid-flight and `finished_at` lands on `start + budget`, never
+    /// past it.
+    #[test]
+    fn upload_with_retry_gives_up_exactly_at_budget() {
+        let mut ddi = service();
+        let faults = faults_blocking(100, 700);
+        let mut rng = vdap_sim::SeedFactory::new(3).stream("ddi-retry");
+        // No jitter and no attempt cap: the schedule is exact — probes at
+        // +0, +1.001 s, +3.002 s (1 ms probe + 1 s, then 2 s backoff).
+        let policy = vdap_fault::RetryPolicy {
+            max_attempts: 64,
+            base_delay: SimDuration::from_secs(1),
+            backoff_factor: 2.0,
+            jitter: 0.0,
+            attempt_timeout: None,
+        };
+        let start = SimTime::from_secs(100);
+        // The third probe starts at +3.002 s; a budget of 3.0025 s cuts
+        // it off half a millisecond in, exactly at the deadline.
+        let budget = SimDuration::from_micros(3_002_500);
+        let err = ddi
+            .upload_with_retry(rec(100), start, budget, &policy, &mut rng, &faults, "ddi")
+            .unwrap_err();
+        let DdiError::UploadFailed { retry } = err else {
+            panic!("expected UploadFailed");
+        };
+        assert_eq!(retry, RetryError::DeadlineExceeded { attempts: 3 });
+        assert!(ddi.memory().is_empty());
+        assert_eq!(ddi.stats().failed_uploads, 1);
+        // All three probes bounced off the window — including the final
+        // one the deadline cut off mid-flight.
+        assert_eq!(ddi.stats().write_errors, 3);
+    }
+
+    /// Boundary: a fault window that ends *exactly* when a retry probe
+    /// fires lets that probe through — window ends are exclusive.
+    #[test]
+    fn upload_with_retry_recovers_exactly_at_window_end() {
+        let mut ddi = service();
+        // Window [100, 103). Probes at 100 (+1 ms), backoff 1 s → 101.001,
+        // backoff 2 s → 103.002: strictly past the window end.
+        // To land an attempt exactly AT the end instant, use a window
+        // whose end matches the deterministic retry schedule: attempts at
+        // 100, 101.001, 103.002; so pick window [100, 103.002).
+        let window = SimDuration::from_millis(3002);
+        let faults = {
+            use vdap_fault::{FaultKind, FaultPlan, FaultSpec};
+            FaultPlan::new(SimDuration::from_secs(3600))
+                .with_fault(FaultSpec::new(
+                    FaultKind::StorageWriteError,
+                    "ddi",
+                    SimTime::from_secs(100),
+                    window,
+                ))
+                .compile()
+        };
+        let mut rng = vdap_sim::SeedFactory::new(3).stream("ddi-retry");
+        let policy = vdap_fault::RetryPolicy {
+            max_attempts: 8,
+            base_delay: SimDuration::from_secs(1),
+            backoff_factor: 2.0,
+            jitter: 0.0,
+            attempt_timeout: None,
+        };
+        let start = SimTime::from_secs(100);
+        let rr = ddi
+            .upload_with_retry(
+                rec(100),
+                start,
+                SimDuration::from_secs(60),
+                &policy,
+                &mut rng,
+                &faults,
+                "ddi",
+            )
+            .unwrap();
+        assert!(rr.succeeded());
+        assert_eq!(rr.attempts, 3, "third probe lands exactly at window end");
+        // The third attempt begins exactly at start + 3.002 s (1 ms probe
+        // + 1 s backoff + 1 ms probe + 2 s backoff): the window's
+        // exclusive end admits it.
+        assert_eq!(
+            rr.finished_at,
+            start + window + MemDb::ACCESS_LATENCY,
+            "write begins the instant the window clears"
+        );
+        assert_eq!(ddi.stats().write_errors, 2);
+        assert_eq!(ddi.stats().uploads, 1);
     }
 
     #[test]

@@ -147,6 +147,22 @@ impl FaultInjector {
             .product()
     }
 
+    /// Effective write-throughput multiplier for a storage label at
+    /// `now`: the product of all active [`FaultKind::StorageBrownout`]
+    /// factors on `target`, 1.0 when no brownout is active. Brownouts
+    /// are soft — the tier keeps accepting writes, it just drains them
+    /// slower — so they never show up in `is_down`.
+    #[must_use]
+    pub fn brownout_factor(&self, target: &str, now: SimTime) -> f64 {
+        self.active_at(now)
+            .filter(|w| w.target == target)
+            .map(|w| match w.kind {
+                FaultKind::StorageBrownout { factor } => factor,
+                _ => 1.0,
+            })
+            .product()
+    }
+
     /// Whether a [`FaultKind::RegionHandoffStorm`] covers `target` at
     /// `now`. Storms are soft — coverage exists but every request pays
     /// the mobility handoff cost — so they never show up in `is_down`.
@@ -331,6 +347,47 @@ mod tests {
         assert!(!inj.is_down("xedge/node1", SimTime::from_secs(15)));
         assert_eq!(
             inj.next_recovery("xedge/node1", SimTime::from_secs(12)),
+            Some(SimTime::from_secs(15))
+        );
+    }
+
+    #[test]
+    fn brownout_factors_compose_and_stay_soft() {
+        let plan = FaultPlan::new(SimDuration::from_secs(100))
+            .with_fault(FaultSpec::new(
+                FaultKind::StorageBrownout { factor: 0.5 },
+                "ddi/store",
+                SimTime::from_secs(0),
+                SimDuration::from_secs(50),
+            ))
+            .with_fault(FaultSpec::new(
+                FaultKind::StorageBrownout { factor: 0.2 },
+                "ddi/store",
+                SimTime::from_secs(20),
+                SimDuration::from_secs(10),
+            ));
+        let inj = plan.compile();
+        assert!((inj.brownout_factor("ddi/store", SimTime::from_secs(10)) - 0.5).abs() < 1e-12);
+        assert!((inj.brownout_factor("ddi/store", SimTime::from_secs(25)) - 0.1).abs() < 1e-12);
+        assert!((inj.brownout_factor("ddi/store", SimTime::from_secs(60)) - 1.0).abs() < 1e-12);
+        assert!((inj.brownout_factor("other", SimTime::from_secs(25)) - 1.0).abs() < 1e-12);
+        // A brownout slows the tier down; it is not an outage.
+        assert!(!inj.is_down("ddi/store", SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn collector_outage_is_hard() {
+        let plan = FaultPlan::new(SimDuration::from_secs(100)).with_fault(FaultSpec::new(
+            FaultKind::CollectorOutage,
+            "region3/collector",
+            SimTime::from_secs(10),
+            SimDuration::from_secs(5),
+        ));
+        let inj = plan.compile();
+        assert!(inj.is_down("region3/collector", SimTime::from_secs(10)));
+        assert!(!inj.is_down("region3/collector", SimTime::from_secs(15)));
+        assert_eq!(
+            inj.next_recovery("region3/collector", SimTime::from_secs(12)),
             Some(SimTime::from_secs(15))
         );
     }

@@ -52,6 +52,17 @@ pub enum FaultKind {
     /// vehicles must re-register through a neighbor region's cell,
     /// paying the mobility handoff cost on every request.
     RegionHandoffStorm,
+    /// A regional DDI collector goes hard-down (ddi/fleet): uploads
+    /// addressed to it bounce back into the vehicles' local caches
+    /// until the collector recovers.
+    CollectorOutage,
+    /// The shared storage tier browns out (ddi): effective write
+    /// throughput collapses to `factor` of nominal, so queueing delay
+    /// balloons while the tier stays nominally up.
+    StorageBrownout {
+        /// Write-throughput multiplier in `(0, 1]`.
+        factor: f64,
+    },
 }
 
 impl FaultKind {
@@ -66,6 +77,7 @@ impl FaultKind {
                 | FaultKind::StorageWriteError
                 | FaultKind::ServiceCrash
                 | FaultKind::EdgeNodeCrash
+                | FaultKind::CollectorOutage
         )
     }
 
@@ -82,6 +94,8 @@ impl FaultKind {
             FaultKind::EdgeNodeCrash => "edge-node-crash",
             FaultKind::TenantQuotaFlap { .. } => "tenant-quota-flap",
             FaultKind::RegionHandoffStorm => "region-handoff-storm",
+            FaultKind::CollectorOutage => "collector-outage",
+            FaultKind::StorageBrownout { .. } => "storage-brownout",
         }
     }
 }
@@ -158,6 +172,8 @@ pub struct ChaosProfile {
     pub tenants: Vec<String>,
     /// Region labels eligible for handoff storms.
     pub regions: Vec<String>,
+    /// Regional DDI collector labels eligible for outages.
+    pub collectors: Vec<String>,
     /// Mean gap between fault activations (exponential).
     pub mean_gap: SimDuration,
     /// Mean fault duration (exponential, floored at 100 ms).
@@ -177,6 +193,7 @@ impl ChaosProfile {
             edge_nodes: Vec::new(),
             tenants: Vec::new(),
             regions: Vec::new(),
+            collectors: Vec::new(),
             mean_gap: SimDuration::from_secs(60),
             mean_duration: SimDuration::from_secs(15),
         }
@@ -236,7 +253,7 @@ impl FaultPlan {
     /// state ⇒ identical plan.
     #[must_use]
     pub fn randomized(rng: &mut RngStream, horizon: SimDuration, profile: &ChaosProfile) -> Self {
-        const KIND_SLOTS: u64 = 9;
+        const KIND_SLOTS: u64 = 11;
         let mut plan = FaultPlan::new(horizon);
         let any_targets = !(profile.slots.is_empty()
             && profile.links.is_empty()
@@ -244,7 +261,8 @@ impl FaultPlan {
             && profile.services.is_empty()
             && profile.edge_nodes.is_empty()
             && profile.tenants.is_empty()
-            && profile.regions.is_empty());
+            && profile.regions.is_empty()
+            && profile.collectors.is_empty());
         if !any_targets {
             return plan;
         }
@@ -305,9 +323,19 @@ impl FaultPlan {
                         FaultSpec::new(FaultKind::TenantQuotaFlap { factor }, target, at, duration)
                     })
                 }
-                _ => rng.pick(&profile.regions).cloned().map(|target| {
+                8 => rng.pick(&profile.regions).cloned().map(|target| {
                     FaultSpec::new(FaultKind::RegionHandoffStorm, target, at, duration)
                 }),
+                9 => rng
+                    .pick(&profile.collectors)
+                    .cloned()
+                    .map(|target| FaultSpec::new(FaultKind::CollectorOutage, target, at, duration)),
+                _ => {
+                    let factor = rng.uniform_range(0.05, 0.4);
+                    rng.pick(&profile.stores).cloned().map(|target| {
+                        FaultSpec::new(FaultKind::StorageBrownout { factor }, target, at, duration)
+                    })
+                }
             };
             if let Some(spec) = spec {
                 plan.faults.push(spec);
@@ -375,8 +403,8 @@ mod tests {
 
     /// Regression: an arrival whose class has no targets must be
     /// dropped, not redistributed. With only the slot class populated,
-    /// slot faults claim their own 2 of 9 kind slots — the plan emits
-    /// roughly 2/9 of the Poisson arrivals instead of all of them.
+    /// slot faults claim their own 2 of 11 kind slots — the plan emits
+    /// roughly 2/11 of the Poisson arrivals instead of all of them.
     #[test]
     fn empty_classes_skip_arrivals_instead_of_biasing() {
         let profile = ChaosProfile {
@@ -386,11 +414,11 @@ mod tests {
         };
         let mut rng = SeedFactory::new(17).stream("faults");
         let plan = FaultPlan::randomized(&mut rng, SimDuration::from_secs(9_000), &profile);
-        // ~900 arrivals at a 10 s mean gap; unbiased draw keeps ~200.
+        // ~900 arrivals at a 10 s mean gap; unbiased draw keeps ~164.
         let n = plan.faults().len();
         assert!(
-            (100..=320).contains(&n),
-            "expected ~2/9 of ~900 arrivals, got {n}"
+            (90..=260).contains(&n),
+            "expected ~2/11 of ~900 arrivals, got {n}"
         );
         for f in plan.faults() {
             assert!(matches!(
@@ -433,5 +461,39 @@ mod tests {
             }
         }
         assert!(crashes > 0 && flaps > 0 && storms > 0);
+    }
+
+    #[test]
+    fn ddi_tier_kinds_are_drawn_with_sane_factors() {
+        let profile = ChaosProfile {
+            collectors: vec!["region0/collector".into(), "region1/collector".into()],
+            stores: vec!["ddi/store".into()],
+            mean_gap: SimDuration::from_secs(5),
+            ..ChaosProfile::new()
+        };
+        let mut rng = SeedFactory::new(11).stream("faults");
+        let plan = FaultPlan::randomized(&mut rng, SimDuration::from_secs(3_000), &profile);
+        let mut outages = 0;
+        let mut brownouts = 0;
+        let mut write_errors = 0;
+        for f in plan.faults() {
+            match f.kind {
+                FaultKind::CollectorOutage => {
+                    assert!(f.target.ends_with("/collector"));
+                    outages += 1;
+                }
+                FaultKind::StorageBrownout { factor } => {
+                    assert!((0.05..=0.4).contains(&factor), "factor {factor}");
+                    assert_eq!(f.target, "ddi/store");
+                    brownouts += 1;
+                }
+                FaultKind::StorageWriteError => {
+                    assert_eq!(f.target, "ddi/store");
+                    write_errors += 1;
+                }
+                other => panic!("unexpected kind {other}"),
+            }
+        }
+        assert!(outages > 0 && brownouts > 0 && write_errors > 0);
     }
 }

@@ -376,6 +376,42 @@ mod tests {
         assert_eq!(pol.backoff_delay(4, &mut r), SimDuration::from_secs(4));
     }
 
+    /// Regression: jittered backoff is seeded, not wall-clock random —
+    /// two streams built from the same seed replay the exact same delay
+    /// schedule, and a different seed produces a different one.
+    #[test]
+    fn jittered_backoff_schedules_replay_for_identical_seeds() {
+        let pol = RetryPolicy {
+            jitter: 0.3,
+            ..policy()
+        };
+        let schedule = |seed: u64| -> Vec<SimDuration> {
+            let mut r = SeedFactory::new(seed).stream("retry-jitter");
+            (2..=8).map(|a| pol.backoff_delay(a, &mut r)).collect()
+        };
+        assert_eq!(schedule(5), schedule(5), "same seed must replay");
+        assert_ne!(schedule(5), schedule(6), "distinct seeds must diverge");
+        // The jitter stays inside the documented ±30 % envelope.
+        for (i, d) in schedule(5).iter().enumerate() {
+            let nominal = pol.base_delay.as_secs_f64() * pol.backoff_factor.powi(i as i32);
+            let f = d.as_secs_f64() / nominal;
+            assert!((0.7..=1.3).contains(&f), "attempt {}: scale {f}", i + 2);
+        }
+        // The full retry loop inherits the property: identical seeds ⇒
+        // identical report, bit for bit.
+        let run = |seed: u64| {
+            let mut r = SeedFactory::new(seed).stream("retry-jitter");
+            retry_until_deadline(
+                &pol,
+                SimTime::ZERO,
+                SimDuration::from_secs(60),
+                &mut r,
+                |_, _| AttemptOutcome::Failure(SimDuration::from_secs(1)),
+            )
+        };
+        assert_eq!(run(5), run(5));
+    }
+
     /// Boundary: an attempt that takes *exactly* the remaining budget is
     /// a success landing precisely on the deadline, not a cutoff.
     #[test]

@@ -151,6 +151,100 @@ impl ClassSpec {
     }
 }
 
+/// Configuration of the fleet-scale DDI ingestion pipeline.
+///
+/// When attached to a [`FleetConfig`] (see [`FleetConfig::with_ingest`])
+/// every vehicle batches its telemetry records and uploads them through
+/// its region's DDI collector over the shared cellular link; collectors
+/// buffer the batches in bounded queues ahead of a shared storage tier
+/// with finite write throughput. Overflow backpressure walks the
+/// ingestion degradation ladder: seeded-backoff retry, then deferral
+/// into the vehicle's local TTL cache (mem tier first, disk spill
+/// second), then shedding lowest-priority batches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestConfig {
+    /// Mean per-vehicle upload period (±10% deterministic jitter).
+    pub upload_period: SimDuration,
+    /// Telemetry records per upload batch.
+    pub records_per_batch: u32,
+    /// Bytes per record on the wire.
+    pub record_bytes: u64,
+    /// Ingestion deadline: a batch should be durable within this budget
+    /// of being sent.
+    pub deadline: SimDuration,
+    /// Bound (in records) of each regional collector's queue.
+    pub collector_queue_records: u64,
+    /// Nominal storage-tier write throughput, records per second.
+    pub storage_records_per_sec: f64,
+    /// Per-vehicle mem-tier cache capacity (records) for deferred
+    /// batches.
+    pub cache_mem_records: u64,
+    /// Per-vehicle disk-tier spill capacity (records) beyond the mem
+    /// tier.
+    pub cache_disk_records: u64,
+    /// TTL of a deferred batch in the vehicle cache; expiry evicts it.
+    pub cache_ttl: SimDuration,
+    /// Rung-1 upload attempts per batch (including the first).
+    pub max_upload_attempts: u32,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            upload_period: SimDuration::from_secs(2),
+            records_per_batch: 24,
+            record_bytes: 512,
+            deadline: SimDuration::from_secs(5),
+            collector_queue_records: 4096,
+            storage_records_per_sec: 2_000.0,
+            cache_mem_records: 192,
+            cache_disk_records: 768,
+            cache_ttl: SimDuration::from_secs(20),
+            max_upload_attempts: 4,
+        }
+    }
+}
+
+impl IngestConfig {
+    /// Batch size on the wire.
+    #[must_use]
+    pub fn batch_bytes(&self) -> u64 {
+        u64::from(self.records_per_batch) * self.record_bytes
+    }
+
+    fn validate(&self) -> Result<(), FleetConfigError> {
+        let reject = |what: &str| Err(FleetConfigError::BadIngest(what.to_string()));
+        if self.upload_period.is_zero() {
+            return reject("upload period must be positive");
+        }
+        if self.records_per_batch == 0 {
+            return reject("records per batch must be positive");
+        }
+        if self.record_bytes == 0 {
+            return reject("record bytes must be positive");
+        }
+        if self.deadline.is_zero() {
+            return reject("ingest deadline must be positive");
+        }
+        if self.collector_queue_records < u64::from(self.records_per_batch) {
+            return reject("collector queue must hold at least one batch");
+        }
+        if self.storage_records_per_sec <= 0.0 || self.storage_records_per_sec.is_nan() {
+            return reject("storage throughput must be positive");
+        }
+        if self.cache_mem_records < u64::from(self.records_per_batch) {
+            return reject("mem-tier cache must hold at least one batch");
+        }
+        if self.cache_ttl.is_zero() {
+            return reject("cache TTL must be positive");
+        }
+        if self.max_upload_attempts == 0 {
+            return reject("upload attempts must be at least 1");
+        }
+        Ok(())
+    }
+}
+
 /// Why a [`FleetConfig`] was rejected.
 ///
 /// Every variant names the offending field and the rule it broke, so a
@@ -216,6 +310,8 @@ pub enum FleetConfigError {
         /// The rule it broke.
         what: String,
     },
+    /// The ingestion config carries an unusable value.
+    BadIngest(String),
 }
 
 impl fmt::Display for FleetConfigError {
@@ -255,6 +351,7 @@ impl fmt::Display for FleetConfigError {
             FleetConfigError::BadClassSpec { class, what } => {
                 write!(f, "class '{class}': {what}")
             }
+            FleetConfigError::BadIngest(what) => write!(f, "ingest: {what}"),
         }
     }
 }
@@ -310,6 +407,10 @@ pub struct FleetConfig {
     pub failover_penalty: SimDuration,
     /// Optional fault plan (e.g. a regional LTE outage).
     pub chaos: Option<FaultPlan>,
+    /// Fleet-scale DDI ingestion: per-vehicle batched telemetry uploads
+    /// through regional collectors into a shared storage tier. `None`
+    /// disables the ingestion pipeline entirely.
+    pub ingest: Option<IngestConfig>,
     /// Capture sim-time telemetry (one request span per request plus
     /// per-epoch registry samples) during the run. Spans are derived
     /// from values the deterministic serving path already computes, so
@@ -340,6 +441,7 @@ impl Default for FleetConfig {
             elastic: None,
             failover_penalty: SimDuration::from_millis(10),
             chaos: None,
+            ingest: None,
             telemetry: false,
         }
     }
@@ -517,6 +619,85 @@ impl FleetConfig {
         self
     }
 
+    /// Enables the DDI ingestion pipeline with default parameters.
+    #[must_use]
+    pub fn with_ingest(self) -> Self {
+        self.with_ingest_config(IngestConfig::default())
+    }
+
+    /// Enables the DDI ingestion pipeline with an explicit config.
+    #[must_use]
+    pub fn with_ingest_config(mut self, ingest: IngestConfig) -> Self {
+        self.ingest = Some(ingest);
+        self
+    }
+
+    /// Adds a one-shot regional DDI-collector outage over
+    /// `[start, start + outage)`: uploads addressed to the collector
+    /// bounce and walk the ingestion ladder (retry → defer → shed).
+    #[must_use]
+    pub fn with_collector_outage(
+        mut self,
+        region: u32,
+        start: SimTime,
+        outage: SimDuration,
+    ) -> Self {
+        use vdap_fault::{FaultKind, FaultSpec};
+        let plan = self
+            .chaos
+            .unwrap_or_else(|| FaultPlan::new(self.duration))
+            .with_fault(FaultSpec::new(
+                FaultKind::CollectorOutage,
+                collector_label(region),
+                start,
+                outage,
+            ));
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Adds a one-shot storage-tier brownout: the shared DDI store's
+    /// write throughput collapses to `factor` of nominal over
+    /// `[start, start + brownout)` and collector queues back up.
+    #[must_use]
+    pub fn with_storage_brownout(
+        mut self,
+        factor: f64,
+        start: SimTime,
+        brownout: SimDuration,
+    ) -> Self {
+        use vdap_fault::{FaultKind, FaultSpec};
+        let plan = self
+            .chaos
+            .unwrap_or_else(|| FaultPlan::new(self.duration))
+            .with_fault(FaultSpec::new(
+                FaultKind::StorageBrownout { factor },
+                STORE_LABEL.to_string(),
+                start,
+                brownout,
+            ));
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Adds a one-shot hard storage-write-error window: the DDI store
+    /// accepts nothing over `[start, start + outage)`.
+    #[must_use]
+    pub fn with_storage_write_error(mut self, start: SimTime, outage: SimDuration) -> Self {
+        use vdap_fault::{FaultKind, FaultSpec};
+        let plan = self
+            .chaos
+            .unwrap_or_else(|| FaultPlan::new(self.duration))
+            .with_fault(FaultSpec::new(
+                FaultKind::StorageWriteError,
+                STORE_LABEL.to_string(),
+                start,
+                outage,
+            ));
+        self.chaos = Some(plan);
+        self
+    }
+
     /// Attaches a pre-built fault plan (replacing any builders' faults
     /// accumulated so far).
     #[must_use]
@@ -588,6 +769,9 @@ impl FleetConfig {
         }
         for class in WorkloadClass::ALL {
             self.class(class).validate(class)?;
+        }
+        if let Some(ingest) = &self.ingest {
+            ingest.validate()?;
         }
         Ok(())
     }
@@ -661,6 +845,17 @@ pub fn tenant_label(tenant: u32) -> String {
 pub fn handoff_label(region: u32) -> String {
     format!("region{region}/handoff")
 }
+
+/// The fault-plan target label for a region's DDI collector (distinct
+/// from its LTE coverage: an LTE outage kills *all* traffic, a
+/// collector outage only bounces ingestion uploads).
+#[must_use]
+pub fn collector_label(region: u32) -> String {
+    format!("region{region}/collector")
+}
+
+/// The fault-plan target label for the shared DDI storage tier.
+pub const STORE_LABEL: &str = "ddi/store";
 
 #[cfg(test)]
 mod tests {
@@ -802,6 +997,34 @@ mod tests {
         let mut off = FleetConfig::default().with_class_weights([1, 0, 1]);
         off.class_mut(WorkloadClass::Infotainment).work_units = 0;
         assert!(off.validate().is_ok());
+    }
+
+    #[test]
+    fn ingest_config_validates_and_builders_target_ddi_labels() {
+        let cfg = FleetConfig::default()
+            .with_ingest()
+            .with_collector_outage(2, SimTime::from_secs(5), SimDuration::from_secs(10))
+            .with_storage_brownout(0.2, SimTime::from_secs(20), SimDuration::from_secs(5))
+            .with_storage_write_error(SimTime::from_secs(40), SimDuration::from_secs(2));
+        assert!(cfg.validate().is_ok());
+        let inj = cfg.chaos.clone().expect("plan present").compile();
+        assert!(inj.is_down(&collector_label(2), SimTime::from_secs(6)));
+        assert!(!inj.is_down(&collector_label(1), SimTime::from_secs(6)));
+        let factor = inj.brownout_factor(STORE_LABEL, SimTime::from_secs(22));
+        assert!((factor - 0.2).abs() < 1e-12, "{factor}");
+        assert!(inj.is_down(STORE_LABEL, SimTime::from_secs(41)));
+    }
+
+    #[test]
+    fn bad_ingest_rejected_with_reason() {
+        let mut cfg = FleetConfig::default().with_ingest();
+        cfg.ingest.as_mut().unwrap().collector_queue_records = 1;
+        let err = cfg.validate().unwrap_err();
+        assert!(matches!(err, FleetConfigError::BadIngest(_)));
+        assert!(err.to_string().contains("collector queue"), "{err}");
+        let mut cfg = FleetConfig::default().with_ingest();
+        cfg.ingest.as_mut().unwrap().storage_records_per_sec = 0.0;
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

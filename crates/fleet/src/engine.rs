@@ -29,6 +29,7 @@ use vdap_sim::{ReliabilityStats, SeedFactory, SimDuration, SimTime};
 
 use crate::config::{tenant_label, FleetConfig, FleetConfigError};
 use crate::edge::{EpochOutcome, XEdgeServer};
+use crate::ingest::IngestPass;
 use crate::metrics::{FleetMetrics, FleetReport, FleetTelemetry};
 use crate::pool::WorkerPool;
 use crate::shard::{region_label_table, CollabSnapshot, Shard};
@@ -100,6 +101,8 @@ impl FleetEngine {
         let mut reliability = ReliabilityStats::new();
         let mut telemetry: Option<FleetTelemetry> = cfg.telemetry.then(FleetTelemetry::default);
         let mut profiler = BarrierProfiler::new(cfg.shards as usize);
+        let mut ingest: Option<IngestPass> =
+            cfg.ingest.as_ref().map(|_| IngestPass::new(&cfg, &seeds));
 
         // The fault timeline is a pure function of the plan, so the
         // fleet-wide availability ledger can be written up front in
@@ -146,11 +149,13 @@ impl FleetEngine {
             // ---- barrier: single-threaded, canonical-order exchange ----
             let barrier_started = Instant::now();
             let mut batch = Vec::new();
+            let mut ingest_batches = Vec::new();
             let mut publications: Vec<(Tile, u32)> = Vec::new();
             let mut failovers: Vec<(u32, u32, f64)> = Vec::new();
             for shard in &mut shards {
                 let st = shard.sim.state_mut();
                 batch.append(&mut st.outbox);
+                ingest_batches.append(&mut st.ingest_outbox);
                 publications.append(&mut st.publications);
                 failovers.append(&mut st.failover_samples);
                 if let Some(tel) = telemetry.as_mut() {
@@ -197,6 +202,22 @@ impl FleetEngine {
             );
             if let Some(tel) = telemetry.as_mut() {
                 sample_epoch(tel, &outcome, epoch_index, end);
+            }
+
+            // The DDI ingestion pass: collector admission, the ingest
+            // degradation ladder, and the storage drain — all sampled
+            // at this barrier only, on canonically sorted batches.
+            if let Some(ing) = ingest.as_mut() {
+                let epoch_start = SimTime::ZERO + cfg.epoch * epoch_index;
+                ing.barrier(
+                    std::mem::take(&mut ingest_batches),
+                    end - epoch_start,
+                    end,
+                    epoch_index,
+                    injector.as_deref(),
+                    &mut reliability,
+                    telemetry.as_mut(),
+                );
             }
 
             // Union this epoch's publications into the next snapshot;
@@ -268,6 +289,7 @@ impl FleetEngine {
             events_processed,
             admission_offered: edge.offered(),
             admission_rejected: edge.rejected(),
+            ingest: ingest.as_mut().map(IngestPass::finish),
             telemetry,
             profile: profiler.finish(),
         }
@@ -585,6 +607,61 @@ mod tests {
         assert!(report.reliability.total_degraded_time() > SimDuration::ZERO);
         // The whole chaos story is still byte-identical across shard
         // counts.
+        assert_eq!(build(1).summary(), build(4).summary());
+    }
+
+    #[test]
+    fn ingest_runs_healthy_and_stays_shard_invariant() {
+        let build = |shards: u32| {
+            let mut cfg = small(shards).with_ingest();
+            cfg.duration = SimDuration::from_secs(10);
+            FleetEngine::new(cfg).run()
+        };
+        let report = build(2);
+        let ing = report.ingest.as_ref().expect("ingest ledger present");
+        assert!(ing.batches_sent > 0, "vehicles uploaded batches");
+        assert_eq!(
+            ing.records_sent,
+            ing.records_written + ing.records_shed + ing.cache_evictions + ing.backlog_records,
+            "every record is written, shed, evicted, or backlog"
+        );
+        assert_eq!(ing.deadline_misses, 0, "healthy run misses nothing");
+        let one = build(1);
+        let four = build(4);
+        assert_eq!(one.summary(), four.summary());
+        assert_eq!(one.ingest, four.ingest);
+    }
+
+    #[test]
+    fn storage_chaos_degrades_ingest_through_the_ladder() {
+        let build = |shards: u32| {
+            let mut cfg = small(shards)
+                .with_ingest()
+                .with_collector_outage(0, SimTime::from_secs(1), SimDuration::from_secs(6))
+                .with_storage_brownout(0.02, SimTime::from_secs(2), SimDuration::from_secs(6));
+            cfg.duration = SimDuration::from_secs(10);
+            cfg.ingest.as_mut().unwrap().storage_records_per_sec = 400.0;
+            FleetEngine::new(cfg).run()
+        };
+        let report = build(2);
+        let ing = report.ingest.as_ref().expect("ingest ledger present");
+        assert!(ing.outage_bounces > 0, "collector outage bounced uploads");
+        assert!(ing.retries > 0, "rung 1 retried with seeded backoff");
+        assert!(ing.deferrals > 0, "rung 2 deferred into vehicle caches");
+        assert!(
+            ing.deadline_misses > 0,
+            "a brownout this deep must miss deadlines"
+        );
+        assert!(
+            ing.storage_rho.max() > 1.0,
+            "the browned-out tier saturates: {}",
+            ing.storage_rho.max()
+        );
+        assert_eq!(
+            ing.records_sent,
+            ing.records_written + ing.records_shed + ing.cache_evictions + ing.backlog_records,
+            "the ledger still partitions under chaos"
+        );
         assert_eq!(build(1).summary(), build(4).summary());
     }
 

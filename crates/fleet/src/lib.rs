@@ -16,6 +16,17 @@
 //! queue depth, with decisions sampled only at epoch barriers so
 //! elasticity composes with determinism.
 //!
+//! The **DDI ingestion pipeline** ([`FleetConfig::with_ingest`]) runs
+//! alongside request serving: every vehicle batches telemetry records
+//! and uploads them through its region's DDI collector over the shared
+//! cellular link. Collector queues are bounded; overflow backpressure
+//! walks an ingestion degradation ladder (seeded-backoff retry →
+//! defer into the vehicle's local TTL cache → shed lowest-priority),
+//! and a shared storage tier with finite write throughput drains the
+//! queues — all of it sampled only at epoch barriers, and all of it
+//! chaos-aware (collector outages, storage brownouts, hard write-error
+//! windows).
+//!
 //! Vehicles are partitioned into shards; each shard advances its own
 //! [`vdap_sim::Simulation`] event loop on a worker thread. Cross-shard
 //! interactions — XEdge admission control and per-(tenant, class) fair
@@ -43,16 +54,18 @@
 mod config;
 mod edge;
 mod engine;
+mod ingest;
 mod metrics;
 mod pool;
 mod shard;
 mod vehicle;
 
 pub use config::{
-    edge_node_label, handoff_label, region_label, tenant_label, ClassSpec, FleetConfig,
-    FleetConfigError,
+    collector_label, edge_node_label, handoff_label, region_label, tenant_label, ClassSpec,
+    FleetConfig, FleetConfigError, IngestConfig, STORE_LABEL,
 };
 pub use engine::FleetEngine;
+pub use ingest::IngestMetrics;
 pub use metrics::{ClassMetrics, FleetMetrics, FleetReport, FleetTelemetry};
 pub use pool::WorkerPool;
 // The class vocabulary lives in EdgeOSv (every layer speaks it);

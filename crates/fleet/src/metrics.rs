@@ -21,6 +21,8 @@ use vdap_edgeos::WorkloadClass;
 use vdap_obs::{EngineProfile, MetricsRegistry, SpanLog};
 use vdap_sim::{ReliabilityStats, SimDuration, StreamingHistogram};
 
+use crate::ingest::IngestMetrics;
+
 /// Per-[`WorkloadClass`] outcome accounting (one lane of the fleet-wide
 /// request partition).
 #[derive(Debug, Clone, PartialEq)]
@@ -329,6 +331,8 @@ pub struct FleetReport {
     pub admission_offered: u64,
     /// Requests rejected at the admission gate.
     pub admission_rejected: u64,
+    /// DDI ingestion accounting, when the ingestion pipeline ran.
+    pub ingest: Option<IngestMetrics>,
     /// Sim-time telemetry (spans + registry), when enabled.
     pub telemetry: Option<FleetTelemetry>,
     /// Wall-clock engine profile: per-shard busy and barrier-idle time.
@@ -451,6 +455,41 @@ impl FleetReport {
             m.training_rounds_skipped,
             self.reliability.total_degraded_time().as_secs_f64()
         );
+        if let Some(ing) = &self.ingest {
+            let _ = writeln!(
+                out,
+                "ingest: batches={} records={} written_batches={} written_records={} \
+                 miss_rate={:.4} backlog={}",
+                ing.batches_sent,
+                ing.records_sent,
+                ing.batches_written,
+                ing.records_written,
+                ing.deadline_miss_rate(),
+                ing.backlog_records
+            );
+            let _ = writeln!(
+                out,
+                "ingest_ladder: outage_bounces={} queue_bounces={} retries={} deferrals={} \
+                 disk_spills={} cache_evictions={} shed_records={}",
+                ing.outage_bounces,
+                ing.queue_bounces,
+                ing.retries,
+                ing.deferrals,
+                ing.disk_spills,
+                ing.cache_evictions,
+                ing.records_shed
+            );
+            let _ = writeln!(
+                out,
+                "ingest_storage: rho_mean={:.3} rho_max={:.3} uplink_ms_p95={:.3} \
+                 latency_ms_mean={:.3} latency_ms_p95={:.3}",
+                ing.storage_rho.mean(),
+                ing.storage_rho.max(),
+                ing.uplink_ms.quantile(0.95),
+                ing.ingest_latency_ms.mean(),
+                ing.ingest_latency_ms.quantile(0.95)
+            );
+        }
         for (region, avail) in &self.region_availability {
             let _ = writeln!(out, "availability[{region}]={avail:.6}");
         }
@@ -584,6 +623,7 @@ mod tests {
             events_processed: 0,
             admission_offered: 0,
             admission_rejected: 0,
+            ingest: None,
             telemetry: Some(FleetTelemetry::default()),
             profile: EngineProfile {
                 shard_busy: vec![std::time::Duration::from_millis(5); 2],
@@ -615,6 +655,7 @@ mod tests {
             events_processed: 0,
             admission_offered: 0,
             admission_rejected: 0,
+            ingest: None,
             telemetry: None,
             profile: EngineProfile::default(),
         };
@@ -627,5 +668,19 @@ mod tests {
         assert!(s.contains("elastic: lanes_mean="));
         assert!(s.contains("rounds_skipped=0"));
         assert!(!s.contains("shards"), "summary must not leak shard count");
+        assert!(
+            !s.contains("ingest:"),
+            "no ingest lines unless the pipeline ran"
+        );
+        let mut with_ingest = report.clone();
+        let mut ing = IngestMetrics::new();
+        ing.batches_sent = 4;
+        ing.deadline_misses = 1;
+        with_ingest.ingest = Some(ing);
+        let s = with_ingest.summary();
+        assert!(s.contains("ingest: batches=4"));
+        assert!(s.contains("miss_rate=0.2500"));
+        assert!(s.contains("ingest_ladder: outage_bounces=0"));
+        assert!(s.contains("ingest_storage: rho_mean="));
     }
 }

@@ -20,12 +20,13 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use vdap_ddi::UploadBatch;
 use vdap_edgeos::WorkloadClass;
 use vdap_fault::FaultInjector;
 use vdap_net::{Direction, LinkSpec};
 use vdap_obs::{RequestSpan, SpanOutcome};
 use vdap_offload::Tile;
-use vdap_sim::{Ctx, SeedFactory, SimDuration, SimTime, Simulation};
+use vdap_sim::{Ctx, RngStream, SeedFactory, SimDuration, SimTime, Simulation};
 
 use crate::config::{region_label, FleetConfig};
 use crate::edge::EdgeRequest;
@@ -35,14 +36,28 @@ use crate::vehicle::{tile_at, VehicleState, BOARD_W, DSRC_W};
 /// The V2V snapshot published at the previous barrier: tile → producer.
 pub(crate) type CollabSnapshot = BTreeMap<Tile, u32>;
 
+/// One vehicle's DDI uplink state: a private RNG stream (separate from
+/// the request stream, so enabling ingestion cannot perturb the
+/// request timeline) and a batch sequence counter.
+struct DdiUplink {
+    rng: RngStream,
+    seq: u32,
+}
+
 /// World state for one shard's event loop.
 pub(crate) struct ShardState {
     /// Vehicles this shard owns, in id order.
     vehicles: Vec<VehicleState>,
+    /// Per-vehicle DDI uplink state, parallel to `vehicles` (empty when
+    /// ingestion is disabled).
+    ddi: Vec<DdiUplink>,
     /// Fleet id of `vehicles[0]`.
     base_id: u32,
     /// Requests bound for the edge, drained at the barrier.
     pub outbox: Vec<EdgeRequest>,
+    /// Telemetry upload batches bound for the regional DDI collectors,
+    /// drained at the barrier.
+    pub ingest_outbox: Vec<UploadBatch>,
     /// Cacheable results produced this epoch: (tile, producer).
     pub publications: Vec<(Tile, u32)>,
     /// Failover latency samples `(vehicle, seq, ms)`, drained at the
@@ -106,10 +121,22 @@ impl Shard {
                 seq: 0,
             })
             .collect();
+        let ddi: Vec<DdiUplink> = if cfg.ingest.is_some() {
+            range
+                .map(|id| DdiUplink {
+                    rng: seeds.indexed_stream("fleet-ddi", u64::from(id)),
+                    seq: 0,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         let state = ShardState {
             vehicles,
+            ddi,
             base_id,
             outbox: Vec::new(),
+            ingest_outbox: Vec::new(),
             publications: Vec::new(),
             failover_samples: Vec::new(),
             snapshot: Arc::new(CollabSnapshot::new()),
@@ -131,6 +158,19 @@ impl Shard {
                 "fleet-tick",
                 move |ctx| tick(ctx, local),
             );
+        }
+        // First ingest uploads: deterministic per-vehicle phase in
+        // [0, upload_period), drawn from the separate DDI stream.
+        if let Some(ingest) = &cfg.ingest {
+            let period = ingest.upload_period.as_secs_f64();
+            for local in 0..sim.state().ddi.len() {
+                let offset = sim.state_mut().ddi[local].rng.uniform_range(0.0, period);
+                sim.schedule_at(
+                    SimTime::ZERO + SimDuration::from_secs_f64(offset),
+                    "ddi-upload",
+                    move |ctx| ingest_tick(ctx, local),
+                );
+            }
         }
         Shard {
             sim,
@@ -238,6 +278,47 @@ fn tick(ctx: &mut Ctx<'_, ShardState>, local: usize) {
     let delay = cfg.request_period.mul_f64(0.9 + 0.2 * next_jitter);
     if now + delay <= horizon {
         ctx.schedule_in(delay, "fleet-tick", move |ctx| tick(ctx, local));
+    }
+}
+
+/// One vehicle telemetry-upload tick: batch the records accumulated
+/// since the last upload and address them to the region's collector.
+/// The batch is only *buffered* here — pricing, collector admission and
+/// the storage drain all happen in the engine's barrier ingest pass, so
+/// everything a shard does is a pure function of the vehicle's private
+/// DDI stream.
+fn ingest_tick(ctx: &mut Ctx<'_, ShardState>, local: usize) {
+    let now = ctx.now();
+    let st = ctx.state_mut();
+    let cfg = Arc::clone(&st.cfg);
+    let ingest = cfg.ingest.as_ref().expect("ingest ticks imply config");
+    let horizon = cfg.horizon();
+
+    let (id, region) = {
+        let v = &st.vehicles[local];
+        (v.id, v.region)
+    };
+    // Fixed draw order on the DDI stream: priority, then reschedule
+    // jitter — the stream replays identically at any shard count.
+    let d = &mut st.ddi[local];
+    let seq = d.seq;
+    d.seq += 1;
+    let priority = d.rng.below(4) as u8;
+    let next_jitter = d.rng.uniform();
+    st.ingest_outbox.push(UploadBatch {
+        vehicle: u64::from(id),
+        region,
+        seq,
+        records: ingest.records_per_batch,
+        bytes: ingest.batch_bytes(),
+        sent_at: now,
+        deadline: now + ingest.deadline,
+        priority,
+    });
+
+    let delay = ingest.upload_period.mul_f64(0.9 + 0.2 * next_jitter);
+    if now + delay <= horizon {
+        ctx.schedule_in(delay, "ddi-upload", move |ctx| ingest_tick(ctx, local));
     }
 }
 

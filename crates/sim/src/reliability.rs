@@ -27,6 +27,8 @@ pub struct ReliabilityStats {
     down_since: BTreeMap<String, SimTime>,
     downtime: BTreeMap<String, SimDuration>,
     degraded: BTreeMap<String, SimDuration>,
+    cache_ttl_evictions: u64,
+    disk_spills: u64,
 }
 
 impl ReliabilityStats {
@@ -82,6 +84,29 @@ impl ReliabilityStats {
     /// Records a transfer that exhausted its retry budget.
     pub fn record_retry_exhausted(&mut self) {
         self.retry_exhausted += 1;
+    }
+
+    /// Records `n` cache entries evicted by TTL expiry (a storage
+    /// tier's sweep aging data out of its fast tier).
+    pub fn record_cache_ttl_evictions(&mut self, n: u64) {
+        self.cache_ttl_evictions += n;
+    }
+
+    /// Records `n` records spilled (persisted) to the disk tier.
+    pub fn record_disk_spills(&mut self, n: u64) {
+        self.disk_spills += n;
+    }
+
+    /// Total cache entries evicted by TTL expiry.
+    #[must_use]
+    pub fn cache_ttl_eviction_count(&self) -> u64 {
+        self.cache_ttl_evictions
+    }
+
+    /// Total records spilled to the disk tier.
+    #[must_use]
+    pub fn disk_spill_count(&self) -> u64 {
+        self.disk_spills
     }
 
     /// Accrues time a component spent serving in degraded mode (e.g. a
@@ -221,6 +246,8 @@ impl ReliabilityStats {
         self.retry_successes += other.retry_successes;
         self.retry_exhausted += other.retry_exhausted;
         self.faults_injected += other.faults_injected;
+        self.cache_ttl_evictions += other.cache_ttl_evictions;
+        self.disk_spills += other.disk_spills;
         for (c, d) in &other.downtime {
             *self.downtime.entry(c.clone()).or_insert(SimDuration::ZERO) += *d;
         }
@@ -305,7 +332,11 @@ mod tests {
         b.record_failover(SimDuration::from_millis(5));
         b.record_degraded("tenant0", SimDuration::from_secs(2));
         b.record_degraded("tenant1", SimDuration::from_secs(3));
+        b.record_cache_ttl_evictions(4);
+        b.record_disk_spills(3);
         a.absorb(&b);
+        assert_eq!(a.cache_ttl_eviction_count(), 4);
+        assert_eq!(a.disk_spill_count(), 3);
         assert_eq!(a.retry_count(), 2);
         assert_eq!(a.retry_success_count(), 1);
         assert_eq!(a.mttr().count(), 1);

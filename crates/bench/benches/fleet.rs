@@ -36,5 +36,29 @@ fn bench_fleet(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fleet);
+/// Migration-path overhead: the E14 configuration with geo-mobility off
+/// vs on, at the shard count where crossings force real evict/adopt
+/// moves between worker shards. The delta between the two cases prices
+/// the whole mobility pass — route advancement, handoff accounting,
+/// admission re-registration, and physical vehicle migration.
+fn bench_fleet_mobility(c: &mut Criterion) {
+    let events = FleetEngine::new(bench_config(1)).run().events_processed;
+    let cores = WorkerPool::with_default_size().threads() as u32;
+    let shards = if cores >= 4 { 4 } else { 1 };
+
+    let mut g = c.benchmark_group("fleet_mobility");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(events));
+    g.bench_function(format!("baseline_{shards}_shards"), |b| {
+        b.iter(|| black_box(FleetEngine::new(black_box(bench_config(shards))).run()))
+    });
+    g.bench_function(format!("migration_path_{shards}_shards"), |b| {
+        b.iter(|| {
+            black_box(FleetEngine::new(black_box(bench_config(shards).with_mobility())).run())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fleet, bench_fleet_mobility);
 criterion_main!(benches);

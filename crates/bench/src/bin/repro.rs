@@ -38,6 +38,7 @@ fn print_experiment(name: &str) -> bool {
         "fleet-storm" => experiments::fleet_storm(SEED),
         "fleet-trace" => experiments::fleet_trace(SEED),
         "fleet-ingest" => experiments::fleet_ingest(SEED),
+        "fleet-mobility" => experiments::fleet_mobility(SEED),
         _ => return false,
     };
     // Chaos-bearing experiments derive their fault windows from the run
@@ -45,7 +46,7 @@ fn print_experiment(name: &str) -> bool {
     // from the output alone.
     if matches!(
         name,
-        "fleet" | "fleet-chaos" | "fleet-storm" | "fleet-trace" | "fleet-ingest"
+        "fleet" | "fleet-chaos" | "fleet-storm" | "fleet-trace" | "fleet-ingest" | "fleet-mobility"
     ) {
         println!("fault-plan seed: {SEED}");
     }
@@ -53,7 +54,7 @@ fn print_experiment(name: &str) -> bool {
     true
 }
 
-const ALL: [&str; 22] = [
+const ALL: [&str; 23] = [
     "table1",
     "fig2",
     "fig3",
@@ -76,6 +77,7 @@ const ALL: [&str; 22] = [
     "fleet-storm",
     "fleet-trace",
     "fleet-ingest",
+    "fleet-mobility",
 ];
 
 /// Prints usage plus the list of every reproduction target.

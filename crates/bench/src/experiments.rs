@@ -7,7 +7,7 @@
 
 use vdap_ddi::{DdiService, DriverStyle, ObdCollector, Query, RecordKind};
 use vdap_edgeos::Objective;
-use vdap_fleet::{FleetConfig, FleetEngine, IngestConfig, SpanOutcome};
+use vdap_fleet::{FleetConfig, FleetEngine, IngestConfig, MobilityConfig, SpanOutcome};
 use vdap_hw::{catalog, Battery, ComputeWorkload, TaskClass};
 use vdap_models::zoo;
 use vdap_models::{PbeamConfig, PbeamPipeline, SensorBias};
@@ -1151,6 +1151,200 @@ fn fleet_ingest_table(seed: u64, vehicles: u32, duration: SimDuration) -> TextTa
     t
 }
 
+/// E20 — geo-mobility rush hour: 10,000 vehicles follow seeded route
+/// plans over the region graph with a rush-dominated profile mix and
+/// ingestion on, with **zero injected faults**. The synchronized rush
+/// departure funnels the fleet toward the downtown regions and produces
+/// an *organic* handoff storm: crossings spike in the rush window,
+/// destination-region admission gates absorb the registration wave and
+/// reject the overflow, and in-flight ingest batches re-address to the
+/// destination collectors mid-retry. The table reports the full
+/// mobility ledger and asserts the 1-shard and 8-shard runs stay
+/// byte-identical through every crossing and migration.
+#[must_use]
+pub fn fleet_mobility(seed: u64) -> TextTable {
+    fleet_mobility_table(seed, 10_000, SimDuration::from_secs(24))
+}
+
+/// Runs the rush-hour mobility scenario over `vehicles` for `duration`
+/// (needs enough epochs that the rush window spans several barriers).
+fn fleet_mobility_table(seed: u64, vehicles: u32, duration: SimDuration) -> TextTable {
+    let mut cfg = FleetConfig::sized(vehicles, 1).with_telemetry();
+    cfg.seed = seed;
+    cfg.duration = duration;
+    let cfg = cfg
+        .with_ingest()
+        .with_mobility_config(MobilityConfig::rush_hour());
+    let run = |shards: u32| {
+        let mut c = cfg.clone();
+        c.shards = shards;
+        FleetEngine::new(c).run()
+    };
+    let single = run(1);
+    let sharded = run(8);
+    assert!(
+        single.summary() == sharded.summary(),
+        "mobility determinism violated: 1-shard and 8-shard \
+         summaries diverged\n--- 1 shard ---\n{}\n--- 8 shards ---\n{}",
+        single.summary(),
+        sharded.summary()
+    );
+    assert_eq!(
+        single.reliability.faults_injected(),
+        0,
+        "E20 is chaos-free: the handoff storm must be organic"
+    );
+    let mob = single.mobility.as_ref().expect("mobility enabled");
+    assert!(mob.crossings > 0, "nobody ever crossed a region boundary");
+    assert!(mob.migrations > 0, "no crossing changed home-node domain");
+    assert!(
+        mob.partitions(),
+        "crossings ({}) != migrations ({}) + same-domain ({})",
+        mob.crossings,
+        mob.migrations,
+        mob.same_shard_crossings
+    );
+    assert_eq!(mob.storm_crossings, 0, "no injected handoff storm");
+    // The organic storm: per-epoch crossings must spike well above the
+    // run mean when the rush window opens.
+    let epoch_stats = |r: &vdap_fleet::FleetReport| {
+        let series = r
+            .telemetry
+            .as_ref()
+            .expect("telemetry enabled")
+            .registry
+            .series("mobility.crossings");
+        let peak = series.iter().map(|p| p.value).fold(0.0, f64::max);
+        let mean = series.iter().map(|p| p.value).sum::<f64>() / series.len() as f64;
+        (peak, mean)
+    };
+    let (peak, mean) = epoch_stats(&single);
+    assert!(
+        peak > 2.0 * mean,
+        "rush hour never spiked: peak {peak} vs mean {mean}"
+    );
+    // Destination pressure: the rush destinations (the downtown region
+    // block) must end the run holding more registrations than they
+    // started with — the whole wave re-registered its tenancy there.
+    let adm = single
+        .region_admission
+        .as_ref()
+        .expect("per-region admission gates active");
+    let downtown = cfg
+        .mobility
+        .as_ref()
+        .expect("mobility enabled")
+        .downtown_regions(cfg.regions) as usize;
+    let start_per_region = u64::from(cfg.vehicles / cfg.regions);
+    let downtown_registered: u64 = adm[..downtown]
+        .iter()
+        .map(|a| u64::from(a.registered))
+        .sum();
+    assert!(
+        downtown_registered > start_per_region * downtown as u64,
+        "rush hour never concentrated downtown: {downtown_registered} registered \
+         across {downtown} downtown regions"
+    );
+    let gate_sums = |r: &vdap_fleet::FleetReport, range: std::ops::Range<usize>| {
+        let adm = r.region_admission.as_ref().expect("gates active");
+        let off: u64 = adm[range.clone()].iter().map(|a| a.offered).sum();
+        let rej: u64 = adm[range].iter().map(|a| a.rejected).sum();
+        (off, rej)
+    };
+
+    let mut t = TextTable::new(
+        "E20 — geo-mobility rush hour: organic handoff storm, zero injected faults (1 vs 8 shards)",
+        &["metric", "1 shard", "8 shards"],
+    );
+    type ReportCol = fn(&vdap_fleet::FleetReport) -> String;
+    fn mob_of(r: &vdap_fleet::FleetReport) -> &vdap_fleet::MobilityMetrics {
+        r.mobility.as_ref().expect("mobility enabled")
+    }
+    let rows: [(&str, ReportCol); 8] = [
+        ("region crossings", |r| {
+            r.mobility.as_ref().unwrap().crossings.to_string()
+        }),
+        ("domain migrations", |r| {
+            r.mobility.as_ref().unwrap().migrations.to_string()
+        }),
+        ("same-domain crossings", |r| {
+            r.mobility
+                .as_ref()
+                .unwrap()
+                .same_shard_crossings
+                .to_string()
+        }),
+        ("stale V2V lookups suppressed", |r| {
+            r.mobility.as_ref().unwrap().stale_cache_hits.to_string()
+        }),
+        ("ingest batches re-addressed", |r| {
+            r.mobility.as_ref().unwrap().readdressed_batches.to_string()
+        }),
+        ("handoff time total (s)", |r| {
+            f3(r.mobility.as_ref().unwrap().handoff_seconds)
+        }),
+        ("handoff p95 (ms)", |r| {
+            f3(r.mobility.as_ref().unwrap().handoff_ms.quantile(0.95))
+        }),
+        ("crossing speed mean (mph)", |r| {
+            f3(r.mobility.as_ref().unwrap().crossing_speed_mph.mean())
+        }),
+    ];
+    for (label, get) in rows {
+        t.row(&[label.into(), get(&single), get(&sharded)]);
+    }
+    let (speak, smean) = epoch_stats(&sharded);
+    t.row(&[
+        "peak-epoch crossings (organic storm)".into(),
+        f3(peak),
+        f3(speak),
+    ]);
+    t.row(&["mean-epoch crossings".into(), f3(mean), f3(smean)]);
+    for (label, range) in [
+        ("downtown gates offered/rejected", 0..downtown),
+        (
+            "uptown gates offered/rejected",
+            downtown..cfg.regions as usize,
+        ),
+    ] {
+        let (o1, r1) = gate_sums(&single, range.clone());
+        let (o8, r8) = gate_sums(&sharded, range);
+        t.row(&[label.into(), format!("{o1}/{r1}"), format!("{o8}/{r8}")]);
+    }
+    t.row(&[
+        "downtown registered at horizon".into(),
+        downtown_registered.to_string(),
+        sharded.region_admission.as_ref().unwrap()[..downtown]
+            .iter()
+            .map(|a| u64::from(a.registered))
+            .sum::<u64>()
+            .to_string(),
+    ]);
+    // Physical cross-shard moves are the one shard-count-dependent
+    // number here — a diagnostic, deliberately outside the summary.
+    t.row(&[
+        "physical cross-shard moves (diagnostic)".into(),
+        single.physical_migrations.to_string(),
+        sharded.physical_migrations.to_string(),
+    ]);
+    t.row(&[
+        "faults injected".into(),
+        single.reliability.faults_injected().to_string(),
+        sharded.reliability.faults_injected().to_string(),
+    ]);
+    assert_eq!(
+        mob_of(&single),
+        mob_of(&sharded),
+        "mobility ledger diverged"
+    );
+    t.row(&[
+        "summaries byte-identical".into(),
+        "yes".into(),
+        "yes".into(),
+    ]);
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1360,6 +1554,25 @@ mod tests {
         assert!(rendered.contains("deadline-miss rate"), "{rendered}");
         assert!(rendered.contains("rung 2: deferred to cache"), "{rendered}");
         assert!(rendered.contains("storage rho max"), "{rendered}");
+        assert!(rendered.contains("summaries byte-identical"), "{rendered}");
+    }
+
+    #[test]
+    fn fleet_mobility_table_pins_storm_and_invariance() {
+        // Scaled-down E20: 96 vehicles on the same rush-hour mix. The
+        // table itself asserts 1-vs-8-shard byte-identity, zero injected
+        // faults, the crossing partition invariant, the organic rush
+        // spike, and downtown registration pressure.
+        let rendered = fleet_mobility_table(7, 96, SimDuration::from_secs(16)).render();
+        assert!(rendered.contains("region crossings"), "{rendered}");
+        assert!(
+            rendered.contains("peak-epoch crossings (organic storm)"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("downtown gates offered/rejected"),
+            "{rendered}"
+        );
         assert!(rendered.contains("summaries byte-identical"), "{rendered}");
     }
 

@@ -45,6 +45,21 @@ pub struct UploadBatch {
     pub priority: u8,
 }
 
+impl UploadBatch {
+    /// Re-addresses an in-flight batch to another region's collector
+    /// (the uploading vehicle crossed a region boundary before the
+    /// batch became durable). Returns whether the region changed —
+    /// deadline, priority, and payload are untouched: moving does not
+    /// buy the batch more time.
+    pub fn readdress(&mut self, region: u32) -> bool {
+        if self.region == region {
+            return false;
+        }
+        self.region = region;
+        true
+    }
+}
+
 /// A regional collector: a bounded FIFO of upload batches waiting for
 /// the storage tier. The bound is expressed in records, not batches, so
 /// big batches exert proportionate pressure.
@@ -283,6 +298,16 @@ mod tests {
             deadline: SimTime::from_secs(5),
             priority,
         }
+    }
+
+    #[test]
+    fn readdress_moves_region_but_not_the_deadline() {
+        let mut b = batch(7, 10, 2);
+        let deadline = b.deadline;
+        assert!(b.readdress(3));
+        assert_eq!(b.region, 3);
+        assert_eq!(b.deadline, deadline, "moving buys no extra time");
+        assert!(!b.readdress(3), "same region is a no-op");
     }
 
     #[test]

@@ -148,6 +148,10 @@ pub struct TenantAdmission {
     admitted: u64,
     rejected: u64,
     rejected_by_tenant: BTreeMap<TenantId, u64>,
+    /// Vehicles currently registered with this gate, per tenant. Pure
+    /// bookkeeping for geo-mobility: a gate that fronts one region
+    /// tracks which tenants' vehicles are driving there right now.
+    registrations: BTreeMap<TenantId, u32>,
 }
 
 impl TenantAdmission {
@@ -167,7 +171,34 @@ impl TenantAdmission {
             admitted: 0,
             rejected: 0,
             rejected_by_tenant: BTreeMap::new(),
+            registrations: BTreeMap::new(),
         }
+    }
+
+    /// Registers one vehicle of `tenant` with this gate (the vehicle
+    /// now drives in the region this gate fronts).
+    pub fn register(&mut self, tenant: TenantId) {
+        *self.registrations.entry(tenant).or_insert(0) += 1;
+    }
+
+    /// Deregisters one vehicle of `tenant` (it crossed out of this
+    /// gate's region). Deregistering below zero is a no-op.
+    pub fn deregister(&mut self, tenant: TenantId) {
+        if let Some(n) = self.registrations.get_mut(&tenant) {
+            *n = n.saturating_sub(1);
+        }
+    }
+
+    /// Vehicles of `tenant` currently registered with this gate.
+    #[must_use]
+    pub fn registered(&self, tenant: TenantId) -> u32 {
+        self.registrations.get(&tenant).copied().unwrap_or(0)
+    }
+
+    /// Vehicles registered with this gate across all tenants.
+    #[must_use]
+    pub fn registered_total(&self) -> u32 {
+        self.registrations.values().sum()
     }
 
     /// Installs a temporary cap override for `tenant` (a quota flap).
@@ -509,6 +540,24 @@ mod tests {
         assert_eq!(adm.rejected_for(a), 1);
         assert_eq!(adm.rejected_for(b), 0);
         assert!((adm.reject_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn registration_tracks_per_tenant_counts_and_saturates() {
+        let mut adm = TenantAdmission::new(4);
+        let (a, b) = (TenantId::new(0), TenantId::new(1));
+        adm.register(a);
+        adm.register(a);
+        adm.register(b);
+        assert_eq!(adm.registered(a), 2);
+        assert_eq!(adm.registered(b), 1);
+        assert_eq!(adm.registered_total(), 3);
+        adm.deregister(a);
+        adm.deregister(b);
+        adm.deregister(b); // below zero: no-op
+        assert_eq!(adm.registered(a), 1);
+        assert_eq!(adm.registered(b), 0);
+        assert_eq!(adm.registered_total(), 1);
     }
 
     #[test]

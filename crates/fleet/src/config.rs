@@ -17,6 +17,7 @@ use std::fmt;
 
 use vdap_edgeos::{LanePolicy, WorkloadClass};
 use vdap_fault::FaultPlan;
+use vdap_mobility::MobilityConfig;
 use vdap_sim::{SimDuration, SimTime};
 
 /// The cost/deadline model of one [`WorkloadClass`] in a fleet run.
@@ -312,6 +313,19 @@ pub enum FleetConfigError {
     },
     /// The ingestion config carries an unusable value.
     BadIngest(String),
+    /// Mobility needs at least two regions to cross between.
+    MobilityNeedsRegions,
+    /// With mobility on, vehicles live on the shard of their *current*
+    /// region (`shard_of_region`), so every shard must own at least one
+    /// region.
+    MoreShardsThanRegions {
+        /// Configured shard count.
+        shards: u32,
+        /// Configured region count.
+        regions: u32,
+    },
+    /// The mobility config carries an unusable value.
+    BadMobility(String),
 }
 
 impl fmt::Display for FleetConfigError {
@@ -352,6 +366,15 @@ impl fmt::Display for FleetConfigError {
                 write!(f, "class '{class}': {what}")
             }
             FleetConfigError::BadIngest(what) => write!(f, "ingest: {what}"),
+            FleetConfigError::MobilityNeedsRegions => {
+                write!(f, "mobility needs at least two regions to cross between")
+            }
+            FleetConfigError::MoreShardsThanRegions { shards, regions } => write!(
+                f,
+                "{shards} shards over {regions} regions: with mobility on, vehicles are \
+                 sharded by current region, so every shard needs at least one region"
+            ),
+            FleetConfigError::BadMobility(what) => write!(f, "mobility: {what}"),
         }
     }
 }
@@ -411,6 +434,12 @@ pub struct FleetConfig {
     /// through regional collectors into a shared storage tier. `None`
     /// disables the ingestion pipeline entirely.
     pub ingest: Option<IngestConfig>,
+    /// Geo-mobility: when set, vehicles follow seeded route plans over
+    /// a region graph, pay a cellular handoff at every region-boundary
+    /// crossing, and migrate their shard-side state to the destination
+    /// region's shard at epoch barriers. `None` pins every vehicle to
+    /// its initial region (the pre-mobility fleet).
+    pub mobility: Option<MobilityConfig>,
     /// Capture sim-time telemetry (one request span per request plus
     /// per-epoch registry samples) during the run. Spans are derived
     /// from values the deterministic serving path already computes, so
@@ -442,6 +471,7 @@ impl Default for FleetConfig {
             failover_penalty: SimDuration::from_millis(10),
             chaos: None,
             ingest: None,
+            mobility: None,
             telemetry: false,
         }
     }
@@ -619,6 +649,21 @@ impl FleetConfig {
         self
     }
 
+    /// Enables geo-mobility with the default traffic mix (commute /
+    /// roam / rush-hour). Vehicles cross region boundaries, pay
+    /// cellular handoffs, and migrate between shards at barriers.
+    #[must_use]
+    pub fn with_mobility(self) -> Self {
+        self.with_mobility_config(MobilityConfig::default())
+    }
+
+    /// Enables geo-mobility with an explicit traffic model.
+    #[must_use]
+    pub fn with_mobility_config(mut self, mobility: MobilityConfig) -> Self {
+        self.mobility = Some(mobility);
+        self
+    }
+
     /// Enables the DDI ingestion pipeline with default parameters.
     #[must_use]
     pub fn with_ingest(self) -> Self {
@@ -773,6 +818,9 @@ impl FleetConfig {
         if let Some(ingest) = &self.ingest {
             ingest.validate()?;
         }
+        if let Some(mobility) = &self.mobility {
+            validate_mobility(mobility, self.shards, self.regions)?;
+        }
         Ok(())
     }
 
@@ -811,11 +859,69 @@ impl FleetConfig {
             - 1
     }
 
+    /// The shard that owns a *region* when mobility is on: contiguous
+    /// region blocks, the region-space analogue of
+    /// [`FleetConfig::shard_range`]. A vehicle lives on the shard of
+    /// its current region, so a boundary crossing can physically move
+    /// its state between worker threads at the next barrier.
+    #[must_use]
+    pub fn shard_of_region(&self, region: u32) -> u32 {
+        ((u64::from(region) * u64::from(self.shards)) / u64::from(self.regions)) as u32
+    }
+
+    /// The home shard a vehicle starts on: its initial region's shard
+    /// when mobility is on, the contiguous id-range shard otherwise.
+    #[must_use]
+    pub fn initial_shard_of(&self, vehicle: u32) -> u32 {
+        if self.mobility.is_some() {
+            self.shard_of_region(self.region_of(vehicle))
+        } else {
+            self.shard_of(vehicle)
+        }
+    }
+
     /// End of simulated time for this run.
     #[must_use]
     pub fn horizon(&self) -> SimTime {
         SimTime::ZERO + self.duration
     }
+}
+
+/// Mobility-specific validation (the traffic model lives in
+/// `vdap-mobility`, the shard/region coupling it must respect lives
+/// here).
+fn validate_mobility(
+    mobility: &MobilityConfig,
+    shards: u32,
+    regions: u32,
+) -> Result<(), FleetConfigError> {
+    if regions < 2 {
+        return Err(FleetConfigError::MobilityNeedsRegions);
+    }
+    if shards > regions {
+        return Err(FleetConfigError::MoreShardsThanRegions { shards, regions });
+    }
+    let reject = |what: &str| Err(FleetConfigError::BadMobility(what.to_string()));
+    if mobility.total_weight() == 0 {
+        return reject("every route-profile weight is zero: nobody would move");
+    }
+    if mobility.dwell_mean.is_zero() {
+        return reject("dwell mean must be positive");
+    }
+    let (lo, hi) = mobility.rush_window;
+    if !(0.0..=1.0).contains(&lo) || !(0.0..=1.0).contains(&hi) || lo >= hi {
+        return reject("rush window must be a non-empty sub-range of [0, 1]");
+    }
+    if !(mobility.downtown_fraction > 0.0 && mobility.downtown_fraction <= 1.0) {
+        return reject("downtown fraction must be in (0, 1]");
+    }
+    if mobility.chord_fraction < 0.0 {
+        return reject("chord fraction must be non-negative");
+    }
+    if mobility.segment_capacity == 0 {
+        return reject("segment capacity must be positive");
+    }
+    Ok(())
 }
 
 /// The fault-plan target label for a region's LTE coverage.
@@ -1025,6 +1131,50 @@ mod tests {
         let mut cfg = FleetConfig::default().with_ingest();
         cfg.ingest.as_mut().unwrap().storage_records_per_sec = 0.0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn mobility_validation_couples_shards_to_regions() {
+        let cfg = FleetConfig::sized(256, 8).with_mobility();
+        assert!(cfg.validate().is_ok());
+        let mut wide = FleetConfig::sized(256, 16).with_mobility();
+        assert_eq!(
+            wide.validate(),
+            Err(FleetConfigError::MoreShardsThanRegions {
+                shards: 16,
+                regions: 8
+            })
+        );
+        wide.regions = 16;
+        assert!(wide.validate().is_ok());
+        let mut solo = FleetConfig::sized(64, 1).with_mobility();
+        solo.regions = 1;
+        assert_eq!(solo.validate(), Err(FleetConfigError::MobilityNeedsRegions));
+        let mut bad = FleetConfig::sized(64, 1).with_mobility();
+        bad.mobility.as_mut().unwrap().rush_window = (0.5, 0.4);
+        let err = bad.validate().unwrap_err();
+        assert!(matches!(err, FleetConfigError::BadMobility(_)));
+        assert!(err.to_string().contains("rush window"), "{err}");
+    }
+
+    #[test]
+    fn shard_of_region_partitions_regions_and_tracks_initial_shard() {
+        let cfg = FleetConfig::sized(1000, 3).with_mobility();
+        let mut last = 0;
+        for r in 0..cfg.regions {
+            let s = cfg.shard_of_region(r);
+            assert!(s >= last && s < cfg.shards, "monotone onto [0, shards)");
+            last = s;
+        }
+        assert_eq!(cfg.shard_of_region(cfg.regions - 1), cfg.shards - 1);
+        for v in [0u32, 17, 499, 999] {
+            assert_eq!(
+                cfg.initial_shard_of(v),
+                cfg.shard_of_region(cfg.region_of(v))
+            );
+        }
+        let fixed = FleetConfig::sized(1000, 3);
+        assert_eq!(fixed.initial_shard_of(999), fixed.shard_of(999));
     }
 
     #[test]

@@ -90,6 +90,10 @@ pub(crate) struct EdgeRequest {
     /// Serving attempts so far (0 = never assigned a lane). Bumped when
     /// a node crash re-queues the request.
     pub attempts: u32,
+    /// Mobility handoff debt the vehicle accrued at region crossings
+    /// since its last request, charged as extra latency and radio
+    /// energy when this request is served (zero with mobility off).
+    pub handoff: SimDuration,
 }
 
 /// A request the edge finished serving, with vehicle-side accounting
@@ -218,6 +222,13 @@ pub(crate) struct XEdgeServer {
     crash_policy: CrashLoopPolicy,
     contention: ContentionModel,
     admission: TenantAdmission,
+    /// Per-region admission gates, `Some` iff geo-mobility is on: a
+    /// request admits through its *current* region's gate and crossings
+    /// re-register the vehicle's tenant at the destination, so rush-hour
+    /// convergence on downtown regions produces organic admission
+    /// pressure with zero injected faults. `None` keeps the single
+    /// global gate and byte-identical legacy behavior.
+    region_admission: Option<Vec<TenantAdmission>>,
     lte: LinkSpec,
     /// Per-handoff connectivity gap at fleet cruising speed.
     handoff_cost: SimDuration,
@@ -277,6 +288,15 @@ impl XEdgeServer {
             crash_policy: CrashLoopPolicy::new(SimDuration::from_secs(30), 3),
             contention: ContentionModel::new(capacity),
             admission: TenantAdmission::new(cfg.tenant_queue_cap),
+            region_admission: cfg.mobility.as_ref().map(|_| {
+                let mut gates: Vec<TenantAdmission> = (0..cfg.regions)
+                    .map(|_| TenantAdmission::new(cfg.tenant_queue_cap))
+                    .collect();
+                for id in 0..cfg.vehicles {
+                    gates[cfg.region_of(id) as usize].register(TenantId::new(cfg.tenant_of(id)));
+                }
+                gates
+            }),
             lte: LinkSpec::lte(),
             handoff_cost: CellularChannel::calibrated().handoff_cost(Mph(SPEED_MPH)),
             epoch: cfg.epoch,
@@ -297,14 +317,63 @@ impl XEdgeServer {
         }
     }
 
-    /// Requests offered to the admission gate so far.
+    /// Requests offered to the admission gate(s) so far.
     pub fn offered(&self) -> u64 {
-        self.admission.admitted() + self.admission.rejected()
+        match &self.region_admission {
+            Some(gates) => gates.iter().map(|g| g.admitted() + g.rejected()).sum(),
+            None => self.admission.admitted() + self.admission.rejected(),
+        }
     }
 
-    /// Requests rejected by the admission gate so far.
+    /// Requests rejected by the admission gate(s) so far.
     pub fn rejected(&self) -> u64 {
-        self.admission.rejected()
+        match &self.region_admission {
+            Some(gates) => gates.iter().map(TenantAdmission::rejected).sum(),
+            None => self.admission.rejected(),
+        }
+    }
+
+    /// Re-registers a migrating vehicle's tenant: deregistered at the
+    /// source region's gate, registered at the destination's. No-op
+    /// with mobility off.
+    pub fn reregister(&mut self, tenant: u32, from: u32, to: u32) {
+        if let Some(gates) = &mut self.region_admission {
+            let t = TenantId::new(tenant);
+            gates[from as usize].deregister(t);
+            gates[to as usize].register(t);
+        }
+    }
+
+    /// Vehicles registered with `region`'s gate across all tenants
+    /// (`None` with mobility off).
+    pub fn region_registered(&self, region: u32) -> Option<u32> {
+        self.region_admission
+            .as_ref()
+            .map(|g| g[region as usize].registered_total())
+    }
+
+    /// Admission counters `(offered, rejected)` for one region's gate
+    /// (`None` with mobility off).
+    pub fn region_admission_stats(&self, region: u32) -> Option<(u64, u64)> {
+        self.region_admission.as_ref().map(|g| {
+            let gate = &g[region as usize];
+            (gate.admitted() + gate.rejected(), gate.rejected())
+        })
+    }
+
+    /// The per-region admission table for the run report: one
+    /// [`RegionAdmission`] per region (`None` with mobility off).
+    pub fn region_admission_table(&self) -> Option<Vec<crate::metrics::RegionAdmission>> {
+        let gates = self.region_admission.as_ref()?;
+        Some(
+            (0..gates.len() as u32)
+                .map(|r| crate::metrics::RegionAdmission {
+                    registered: self.region_registered(r).expect("gates present"),
+                    offered: self.region_admission_stats(r).expect("gates present").0,
+                    rejected: self.region_admission_stats(r).expect("gates present").1,
+                })
+                .collect(),
+        )
     }
 
     /// The physical node serving `region`'s traffic.
@@ -382,11 +451,13 @@ impl XEdgeServer {
         }
         let lanes = self.lanes.len() as u32;
         self.contention = self.contention.resized(lanes);
-        self.admission.set_queue_cap(scaler.tenant_cap(
-            self.nominal_cap,
-            self.nominal_lanes,
-            lanes,
-        ));
+        let cap = scaler.tenant_cap(self.nominal_cap, self.nominal_lanes, lanes);
+        self.admission.set_queue_cap(cap);
+        if let Some(gates) = &mut self.region_admission {
+            for gate in gates {
+                gate.set_queue_cap(cap);
+            }
+        }
         self.scaler = Some(scaler);
     }
 
@@ -454,11 +525,21 @@ impl XEdgeServer {
         for t in 0..self.tenants {
             let factor = inj.quota_factor(&self.tenant_labels[t as usize], barrier);
             let tenant = TenantId::new(t);
-            if factor < 1.0 {
-                let cap = ((base_cap as f64 * factor).floor() as usize).max(1);
-                self.admission.set_cap_override(tenant, cap);
-            } else {
-                self.admission.clear_cap_override(tenant);
+            let flap_cap =
+                (factor < 1.0).then(|| ((base_cap as f64 * factor).floor() as usize).max(1));
+            // The global gate mirrors the override even under mobility
+            // so `tenant_flapped` has one place to look.
+            match flap_cap {
+                Some(cap) => self.admission.set_cap_override(tenant, cap),
+                None => self.admission.clear_cap_override(tenant),
+            }
+            if let Some(gates) = &mut self.region_admission {
+                for gate in gates.iter_mut() {
+                    match flap_cap {
+                        Some(cap) => gate.set_cap_override(tenant, cap),
+                        None => gate.clear_cap_override(tenant),
+                    }
+                }
             }
         }
     }
@@ -495,8 +576,8 @@ impl XEdgeServer {
             class: req.class,
             arrival: req.arrival,
             decided,
-            e2e,
-            energy_j,
+            e2e: e2e + req.handoff,
+            energy_j: energy_j + req.handoff.as_secs_f64() * RADIO_W,
             degraded,
             retries,
             requeues: req.attempts,
@@ -543,8 +624,9 @@ impl XEdgeServer {
             }
         });
         if report.succeeded() {
-            let e2e = report.finished_at.duration_since(req.arrival);
-            let energy_j = (up.as_secs_f64() + down.as_secs_f64()) * RADIO_W;
+            let e2e = report.finished_at.duration_since(req.arrival) + req.handoff;
+            let energy_j =
+                (up.as_secs_f64() + down.as_secs_f64() + req.handoff.as_secs_f64()) * RADIO_W;
             Ok((
                 ServedRequest {
                     vehicle: req.vehicle,
@@ -579,13 +661,17 @@ impl XEdgeServer {
         region: u32,
         barrier: SimTime,
     ) -> Option<u32> {
+        // With mobility on, storms price crossings instead of gating
+        // the serving path (see `serve_epoch`).
+        let storms_gate_serving = self.region_admission.is_none();
         (1..self.regions)
             .map(|d| (region + d) % self.regions)
             .find(|&nr| {
                 let node = self.home_node(nr);
                 !self.node_unavailable(injector, node, barrier)
                     && !injector.is_some_and(|inj| {
-                        inj.handoff_storm(&self.handoff_labels[nr as usize], barrier)
+                        (storms_gate_serving
+                            && inj.handoff_storm(&self.handoff_labels[nr as usize], barrier))
                             || inj.is_down(&self.region_labels[nr as usize], barrier)
                     })
             })
@@ -697,7 +783,7 @@ impl XEdgeServer {
             queue.set_quantum(key, quantum);
         }
         let mut queued_by_class = [0u64; 3];
-        let mut admitted: Vec<TenantId> = Vec::new();
+        let mut admitted: Vec<(u32, TenantId)> = Vec::new();
         for req in std::mem::take(&mut self.requeued) {
             let spec = &self.classes[req.class.index()];
             if barrier.duration_since(req.arrival) >= spec.deadline {
@@ -713,8 +799,15 @@ impl XEdgeServer {
         }
         for req in batch {
             let tenant = TenantId::new(req.tenant);
-            if self.admission.try_admit(tenant) {
-                admitted.push(tenant);
+            // With mobility on, the request admits through its current
+            // region's gate — crossings concentrate vehicles, so the
+            // destination gate feels the pressure.
+            let admit = match &mut self.region_admission {
+                Some(gates) => gates[req.region as usize].try_admit(tenant),
+                None => self.admission.try_admit(tenant),
+            };
+            if admit {
+                admitted.push((req.region, tenant));
                 let spec = &self.classes[req.class.index()];
                 queued_by_class[req.class.index()] += 1;
                 queue.enqueue(ClassQueueKey::new(tenant, req.class), spec.work_units, req);
@@ -726,6 +819,7 @@ impl XEdgeServer {
                     .push(self.local_fallback(&req, barrier, 0));
             } else {
                 let bytes = self.classes[req.class.index()].upload_bytes;
+                let uplink = link_for(req.region).transfer_time(Direction::Uplink, bytes);
                 outcome.rejected.push(RejectedRequest {
                     vehicle: req.vehicle,
                     seq: req.seq,
@@ -733,7 +827,9 @@ impl XEdgeServer {
                     region: req.region,
                     class: req.class,
                     arrival: req.arrival,
-                    uplink: link_for(req.region).transfer_time(Direction::Uplink, bytes),
+                    // The vehicle paid its crossing handoff debt before
+                    // discovering the rejection.
+                    uplink: uplink + req.handoff,
                 });
             }
         }
@@ -770,19 +866,26 @@ impl XEdgeServer {
             let service = service_by_class[ci];
             let home = self.home_node(req.region);
             let home_down = self.node_unavailable(injector, home, barrier);
-            let storming = injector.is_some_and(|inj| {
-                inj.handoff_storm(&self.handoff_labels[req.region as usize], barrier)
-            });
+            // With mobility on, a handoff storm prices the vehicle's
+            // *crossings* (the engine's mobility pass multiplies the
+            // handoff cost) instead of rerouting the serving path —
+            // one accounting path, no double-counted handoff seconds.
+            let storming = self.region_admission.is_none()
+                && injector.is_some_and(|inj| {
+                    inj.handoff_storm(&self.handoff_labels[req.region as usize], barrier)
+                });
 
             if !home_down && !storming {
+                let debt = req.handoff;
+                let debt_energy = debt.as_secs_f64() * RADIO_W;
                 self.assign_lane(
                     req,
                     home,
                     up,
                     down,
                     service,
-                    SimDuration::ZERO,
-                    0.0,
+                    debt,
+                    debt_energy,
                     barrier,
                     0,
                     false,
@@ -814,7 +917,7 @@ impl XEdgeServer {
             // Rung 2 — hand off to the nearest healthy region's node.
             if let Some(neighbor) = self.failover_region(injector, req.region, barrier) {
                 let node = self.home_node(neighbor);
-                let handoff = self.handoff_cost;
+                let handoff = self.handoff_cost + req.handoff;
                 let handoff_energy = handoff.as_secs_f64() * RADIO_W;
                 self.assign_lane(
                     req,
@@ -839,8 +942,11 @@ impl XEdgeServer {
         }
 
         // Served requests leave the admission gate before the next epoch.
-        for tenant in admitted {
-            self.admission.release(tenant);
+        for (region, tenant) in admitted {
+            match &mut self.region_admission {
+                Some(gates) => gates[region as usize].release(tenant),
+                None => self.admission.release(tenant),
+            }
         }
         outcome.lanes = self.lanes.len() as u32;
         outcome

@@ -23,11 +23,13 @@ use std::time::{Duration, Instant};
 
 use vdap_edgeos::WorkloadClass;
 use vdap_fault::{FaultEdge, FaultInjector, FaultKind};
+use vdap_mobility::{Crossing, MobilityMetrics, RegionGraph, VehicleTrack};
+use vdap_net::CellularChannel;
 use vdap_obs::{BarrierProfiler, RequestSpan, SpanOutcome};
 use vdap_offload::Tile;
 use vdap_sim::{ReliabilityStats, SeedFactory, SimDuration, SimTime};
 
-use crate::config::{tenant_label, FleetConfig, FleetConfigError};
+use crate::config::{handoff_label, tenant_label, FleetConfig, FleetConfigError};
 use crate::edge::{EpochOutcome, XEdgeServer};
 use crate::ingest::IngestPass;
 use crate::metrics::{FleetMetrics, FleetReport, FleetTelemetry};
@@ -103,6 +105,10 @@ impl FleetEngine {
         let mut profiler = BarrierProfiler::new(cfg.shards as usize);
         let mut ingest: Option<IngestPass> =
             cfg.ingest.as_ref().map(|_| IngestPass::new(&cfg, &seeds));
+        let mut mobility: Option<MobilityPass> = cfg
+            .mobility
+            .as_ref()
+            .map(|mob| MobilityPass::new(mob, &cfg, &seeds));
 
         // The fault timeline is a pure function of the plan, so the
         // fleet-wide availability ledger can be written up front in
@@ -220,6 +226,27 @@ impl FleetEngine {
                 );
             }
 
+            // The geo-mobility pass: advance every seeded track across
+            // the epoch just completed, price region crossings, and
+            // migrate vehicles whose new region is homed on another
+            // shard — all single-threaded, in canonical vehicle order.
+            if let Some(mob) = mobility.as_mut() {
+                let epoch_start = SimTime::ZERO + cfg.epoch * epoch_index;
+                mob.barrier(
+                    &mut shards,
+                    &mut edge,
+                    ingest.as_mut(),
+                    injector.as_deref(),
+                    &mut reliability,
+                    telemetry.as_mut(),
+                    &cfg,
+                    epoch_start,
+                    end - epoch_start,
+                    end,
+                    epoch_index,
+                );
+            }
+
             // Union this epoch's publications into the next snapshot;
             // ties go to the smallest vehicle id (order-independent).
             let mut snapshot = CollabSnapshot::new();
@@ -260,11 +287,15 @@ impl FleetEngine {
         );
 
         // Merge shard-local metrics (associative + commutative).
+        // Orphan events — migration leftovers that popped to a no-op —
+        // are subtracted so the event ledger matches a 1-shard run,
+        // where no vehicle ever physically moves.
         let mut metrics = engine_metrics;
         let mut events_processed = 0u64;
         for shard in &shards {
-            events_processed += shard.sim.events_processed();
-            metrics.merge(&shard.sim.state().metrics);
+            let st = shard.sim.state();
+            events_processed += shard.sim.events_processed() - st.orphan_events;
+            metrics.merge(&st.metrics);
         }
         if let Some(tel) = telemetry.as_mut() {
             // Insertion order interleaves vehicle-side and edge-side
@@ -289,9 +320,210 @@ impl FleetEngine {
             events_processed,
             admission_offered: edge.offered(),
             admission_rejected: edge.rejected(),
+            mobility: mobility.as_ref().map(|m| m.metrics.clone()),
+            region_admission: edge.region_admission_table(),
+            physical_migrations: mobility.as_ref().map_or(0, |m| m.physical_migrations),
             ingest: ingest.as_mut().map(IngestPass::finish),
             telemetry,
             profile: profiler.finish(),
+        }
+    }
+}
+
+/// The engine-owned geo-mobility pass.
+///
+/// All mobility state — the seeded region graph, every vehicle's route
+/// track, and the vehicle → shard residency table — lives on the engine
+/// thread and advances only at barriers, so crossings are a pure
+/// function of `(seed, vehicle, epoch)` and never of shard count. The
+/// pass runs in canonical vehicle-id order; only the *physical* evict/
+/// adopt moves depend on how many shards this run happens to use, and
+/// those feed diagnostics, never the deterministic ledger.
+struct MobilityPass {
+    graph: RegionGraph,
+    tracks: Vec<VehicleTrack>,
+    /// Which shard currently hosts each vehicle.
+    host: Vec<u32>,
+    channel: CellularChannel,
+    handoff_labels: Vec<String>,
+    metrics: MobilityMetrics,
+    physical_migrations: u64,
+    crossings_buf: Vec<Crossing>,
+}
+
+impl MobilityPass {
+    fn new(mob: &vdap_mobility::MobilityConfig, cfg: &FleetConfig, seeds: &SeedFactory) -> Self {
+        let mut graph_rng = seeds.stream("fleet-mobility-graph");
+        let graph = RegionGraph::seeded(
+            cfg.regions,
+            mob.chords(cfg.regions),
+            mob.segment_capacity,
+            &mut graph_rng,
+        );
+        let tracks = (0..cfg.vehicles)
+            .map(|id| {
+                VehicleTrack::new(
+                    id,
+                    cfg.region_of(id),
+                    mob,
+                    &graph,
+                    cfg.duration,
+                    seeds.indexed_stream("fleet-mobility", u64::from(id)),
+                )
+            })
+            .collect();
+        MobilityPass {
+            graph,
+            tracks,
+            host: (0..cfg.vehicles)
+                .map(|id| cfg.initial_shard_of(id))
+                .collect(),
+            channel: CellularChannel::calibrated(),
+            handoff_labels: (0..cfg.regions).map(handoff_label).collect(),
+            metrics: MobilityMetrics::new(),
+            physical_migrations: 0,
+            crossings_buf: Vec::new(),
+        }
+    }
+
+    /// One barrier's mobility step, covering the epoch
+    /// `[epoch_start, end]` the shards just finished.
+    #[allow(clippy::too_many_arguments)]
+    fn barrier(
+        &mut self,
+        shards: &mut [Shard],
+        edge: &mut XEdgeServer,
+        mut ingest: Option<&mut IngestPass>,
+        injector: Option<&FaultInjector>,
+        reliability: &mut ReliabilityStats,
+        telemetry: Option<&mut FleetTelemetry>,
+        cfg: &FleetConfig,
+        epoch_start: SimTime,
+        window: SimDuration,
+        end: SimTime,
+        epoch_index: u64,
+    ) {
+        // Vehicles that crossed at the *previous* barrier spent the
+        // epoch with a cold collab cache: drain the suppressed-hit
+        // counters and clear every flag before marking this barrier's
+        // crossers.
+        for shard in shards.iter_mut() {
+            let st = shard.sim.state_mut();
+            self.metrics.stale_cache_hits += std::mem::take(&mut st.stale_hits);
+            for v in st.vehicles.values_mut() {
+                v.cache_stale = false;
+            }
+        }
+
+        // Congestion multipliers from pre-advance occupancy: every
+        // track still reports the segment it was on when the epoch
+        // began, so the load each driver sees is globally determined
+        // before anyone moves.
+        let mut occupancy = vec![0u32; self.graph.segments().len()];
+        for track in &self.tracks {
+            if let Some(edge_id) = track.driving_edge() {
+                occupancy[edge_id] += 1;
+            }
+        }
+        let congestion: Vec<f64> = self
+            .graph
+            .segments()
+            .iter()
+            .zip(&occupancy)
+            .map(|(seg, &occ)| seg.congestion_multiplier(occ))
+            .collect();
+
+        let mut epoch_crossings = 0u64;
+        let mut epoch_migrations = 0u64;
+        for id in 0..cfg.vehicles {
+            self.crossings_buf.clear();
+            self.tracks[id as usize].advance(
+                epoch_start,
+                window,
+                &self.graph,
+                &congestion,
+                &mut self.crossings_buf,
+            );
+            if self.crossings_buf.is_empty() {
+                continue;
+            }
+            let tenant = cfg.tenant_of(id);
+            let mut handoff = SimDuration::ZERO;
+            for c in &self.crossings_buf {
+                // A handoff storm at the destination cell multiplies
+                // the crossing cost — the single accounting path for
+                // handoff seconds, organic or injected.
+                let storming = injector
+                    .is_some_and(|inj| inj.handoff_storm(&self.handoff_labels[c.to as usize], end));
+                let cost = if storming {
+                    self.metrics.storm_crossings += 1;
+                    self.channel.storm_handoff_cost(c.speed)
+                } else {
+                    self.channel.handoff_cost(c.speed)
+                };
+                self.metrics.crossings += 1;
+                epoch_crossings += 1;
+                self.metrics.handoff_seconds += cost.as_secs_f64();
+                self.metrics.handoff_ms.record_duration(cost);
+                self.metrics.crossing_speed_mph.record(c.speed.0);
+                // `migrations` counts home-node *domain* changes — the
+                // canonical placement function — so the ledger is
+                // byte-identical at any shard count.
+                if c.from % cfg.edge_nodes != c.to % cfg.edge_nodes {
+                    self.metrics.migrations += 1;
+                    epoch_migrations += 1;
+                } else {
+                    self.metrics.same_shard_crossings += 1;
+                }
+                reliability.record_degraded(&self.handoff_labels[c.to as usize], cost);
+                edge.reregister(tenant, c.from, c.to);
+                handoff += cost;
+            }
+
+            // The vehicle's shard-side state: handoff debt lands on its
+            // next request, the region moves, the collab cache goes
+            // stale for one epoch.
+            let dest = self.tracks[id as usize].region();
+            let host = self.host[id as usize] as usize;
+            {
+                let st = shards[host].sim.state_mut();
+                let v = st
+                    .vehicles
+                    .get_mut(&id)
+                    .expect("host table tracks residency");
+                v.pending_handoff += handoff;
+                v.region = dest;
+                v.cache_stale = true;
+            }
+            if let Some(ing) = ingest.as_deref_mut() {
+                self.metrics.readdressed_batches += ing.readdress(u64::from(id), dest);
+            }
+
+            // Physical migration: move the whole vehicle to the shard
+            // owning its new region. Shard-count dependent, so it only
+            // feeds diagnostics.
+            let target = cfg.shard_of_region(dest);
+            if target != self.host[id as usize] {
+                let v = shards[host].evict(id).expect("resident vehicle");
+                shards[target as usize].adopt(v);
+                self.host[id as usize] = target;
+                self.physical_migrations += 1;
+            }
+        }
+
+        if let Some(tel) = telemetry {
+            tel.registry.sample(
+                "mobility.crossings",
+                epoch_index,
+                end,
+                epoch_crossings as f64,
+            );
+            tel.registry.sample(
+                "mobility.migrations",
+                epoch_index,
+                end,
+                epoch_migrations as f64,
+            );
         }
     }
 }
@@ -663,6 +895,73 @@ mod tests {
             "the ledger still partitions under chaos"
         );
         assert_eq!(build(1).summary(), build(4).summary());
+    }
+
+    #[test]
+    fn mobility_crossings_stay_shard_invariant() {
+        let build = |shards: u32| {
+            let mut cfg = small(shards).with_mobility();
+            cfg.duration = SimDuration::from_secs(10);
+            FleetEngine::new(cfg).run()
+        };
+        let one = build(1);
+        let four = build(4);
+        let mob = one.mobility.as_ref().expect("mobility ledger present");
+        assert!(mob.crossings > 0, "vehicles cross region boundaries");
+        assert!(mob.migrations > 0, "some crossings change home-node domain");
+        assert!(
+            mob.partitions(),
+            "crossings partition into migrations + same-domain moves"
+        );
+        assert_eq!(one.summary(), four.summary());
+        assert_eq!(one.mobility, four.mobility);
+        assert_eq!(one.region_admission, four.region_admission);
+    }
+
+    #[test]
+    fn handoff_storm_multiplies_crossing_cost_without_double_counting() {
+        let build = |storm: bool| {
+            let mut cfg = small(2).with_mobility();
+            if storm {
+                cfg = cfg.with_handoff_storm(1, SimTime::from_secs(2), SimDuration::from_secs(6));
+            }
+            cfg.duration = SimDuration::from_secs(10);
+            FleetEngine::new(cfg).run()
+        };
+        let calm = build(false);
+        let stormy = build(true);
+        let calm_mob = calm.mobility.as_ref().unwrap();
+        let storm_mob = stormy.mobility.as_ref().unwrap();
+        assert_eq!(calm_mob.storm_crossings, 0);
+        assert!(
+            storm_mob.storm_crossings > 0,
+            "crossings into region 1 during the storm pay the multiplier"
+        );
+        assert!(
+            storm_mob.handoff_seconds > calm_mob.handoff_seconds,
+            "the storm multiplier must show up in the mobility ledger"
+        );
+        // Single-path accounting: with mobility on, the only writer of
+        // a region's handoff-label degraded seconds is the mobility
+        // pass, so the reliability ledger and the mobility ledger must
+        // agree exactly — a storm must not double-count handoff time
+        // through the serving path.
+        for report in [&calm, &stormy] {
+            let mob = report.mobility.as_ref().unwrap();
+            let ledger: f64 = (0..8)
+                .map(|r| {
+                    report
+                        .reliability
+                        .degraded_time(&handoff_label(r))
+                        .as_secs_f64()
+                })
+                .sum();
+            assert!(
+                (ledger - mob.handoff_seconds).abs() < 1e-6,
+                "reliability ledger {ledger} vs mobility ledger {}",
+                mob.handoff_seconds
+            );
+        }
     }
 
     #[test]

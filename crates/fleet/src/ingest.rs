@@ -221,6 +221,26 @@ impl IngestPass {
         }
     }
 
+    /// Re-addresses a migrated vehicle's in-flight batches — pending
+    /// retries and TTL-cached deferrals — to its new region's
+    /// collector, returning how many batches moved. Called by the
+    /// engine's mobility pass in canonical vehicle order, so the
+    /// re-addressing is shard-count invariant.
+    pub fn readdress(&mut self, vehicle: u64, region: u32) -> u64 {
+        let mut moved = 0u64;
+        for p in self.pending.iter_mut() {
+            if p.batch.vehicle == vehicle && p.batch.readdress(region) {
+                moved += 1;
+            }
+        }
+        for c in self.cached.iter_mut() {
+            if c.batch.vehicle == vehicle && c.batch.readdress(region) {
+                moved += 1;
+            }
+        }
+        moved
+    }
+
     /// Runs one barrier's ingest pass over the freshly drained batches.
     #[allow(clippy::too_many_arguments)] // one call site, in the engine's barrier loop
     pub fn barrier(

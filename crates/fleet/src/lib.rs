@@ -27,6 +27,17 @@
 //! chaos-aware (collector outages, storage brownouts, hard write-error
 //! windows).
 //!
+//! The **geo-mobility subsystem** ([`FleetConfig::with_mobility`])
+//! drives every vehicle over a seeded region graph (commute, roam and
+//! rush-hour route profiles from `vdap-mobility`). Positions advance
+//! only at epoch barriers; a region-boundary crossing pays the cellular
+//! handoff cost on the vehicle's next request, re-registers its tenant
+//! with the destination region's admission gate, invalidates its V2V
+//! collaboration cache for one epoch, re-addresses its in-flight ingest
+//! batches, and — when the destination is homed on a different shard —
+//! migrates the vehicle's full state between worker shards, preserving
+//! byte-identity (see [`MobilityMetrics`]).
+//!
 //! Vehicles are partitioned into shards; each shard advances its own
 //! [`vdap_sim::Simulation`] event loop on a worker thread. Cross-shard
 //! interactions — XEdge admission control and per-(tenant, class) fair
@@ -71,6 +82,10 @@ pub use pool::WorkerPool;
 // The class vocabulary lives in EdgeOSv (every layer speaks it);
 // re-exported here so fleet callers need not depend on vdap-edgeos.
 pub use vdap_edgeos::{LanePolicy, WorkloadClass};
+// The geo-mobility vocabulary lives in vdap-mobility; re-exported so
+// fleet callers can configure routes and read the mobility ledger
+// without a direct dependency.
+pub use vdap_mobility::{MobilityConfig, MobilityMetrics, RegionGraph, RouteProfile};
 // The telemetry vocabulary lives in vdap-obs; re-exported so fleet
 // callers can consume spans, registries, and profiles directly.
 pub use vdap_obs::{EngineProfile, MetricsRegistry, RequestSpan, SpanLog, SpanOutcome};

@@ -18,6 +18,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use vdap_edgeos::WorkloadClass;
+use vdap_mobility::MobilityMetrics;
 use vdap_obs::{EngineProfile, MetricsRegistry, SpanLog};
 use vdap_sim::{ReliabilityStats, SimDuration, StreamingHistogram};
 
@@ -308,6 +309,20 @@ pub struct FleetTelemetry {
     pub registry: MetricsRegistry,
 }
 
+/// One region's admission-gate accounting at the end of a mobility run:
+/// how many vehicles ended the run registered there and how the gate
+/// treated the traffic routed through it. Rush-hour convergence shows
+/// up here as registration and rejection spikes at downtown regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionAdmission {
+    /// Vehicles registered with this region's gate at the horizon.
+    pub registered: u32,
+    /// Requests offered to this region's gate over the run.
+    pub offered: u64,
+    /// Requests this region's gate rejected over the run.
+    pub rejected: u64,
+}
+
 /// The result of one fleet run.
 #[derive(Debug, Clone)]
 pub struct FleetReport {
@@ -331,6 +346,17 @@ pub struct FleetReport {
     pub admission_offered: u64,
     /// Requests rejected at the admission gate.
     pub admission_rejected: u64,
+    /// Geo-mobility ledger, when the run used
+    /// [`crate::FleetConfig::with_mobility`]. Every field is
+    /// shard-count invariant (see [`MobilityMetrics`]).
+    pub mobility: Option<MobilityMetrics>,
+    /// Per-region admission accounting, present only under mobility
+    /// (indexed by region id).
+    pub region_admission: Option<Vec<RegionAdmission>>,
+    /// Vehicles physically moved between worker shards at barriers.
+    /// Depends on the shard count, so it appears only in
+    /// [`FleetReport::diagnostics`], never in the summary.
+    pub physical_migrations: u64,
     /// DDI ingestion accounting, when the ingestion pipeline ran.
     pub ingest: Option<IngestMetrics>,
     /// Sim-time telemetry (spans + registry), when enabled.
@@ -455,6 +481,40 @@ impl FleetReport {
             m.training_rounds_skipped,
             self.reliability.total_degraded_time().as_secs_f64()
         );
+        // Mobility lines print only for mobility-enabled runs so the
+        // pinned outputs of every earlier experiment stay byte-stable.
+        if let Some(mob) = &self.mobility {
+            let _ = writeln!(
+                out,
+                "mobility: crossings={} migrations={} same_domain={} storm_crossings={} \
+                 stale_cache_hits={} readdressed={}",
+                mob.crossings,
+                mob.migrations,
+                mob.same_shard_crossings,
+                mob.storm_crossings,
+                mob.stale_cache_hits,
+                mob.readdressed_batches
+            );
+            let _ = writeln!(
+                out,
+                "mobility_handoff: total_s={:.3} ms_mean={:.3} ms_p95={:.3} speed_mph_mean={:.1}",
+                mob.handoff_seconds,
+                mob.handoff_ms.mean(),
+                mob.handoff_ms.quantile(0.95),
+                mob.crossing_speed_mph.mean()
+            );
+            if let Some(regions) = &self.region_admission {
+                let mut line = String::new();
+                for (r, a) in regions.iter().enumerate() {
+                    let _ = write!(
+                        line,
+                        " region{r}={}/{}/{}",
+                        a.registered, a.offered, a.rejected
+                    );
+                }
+                let _ = writeln!(out, "mobility_admission(reg/off/rej):{line}");
+            }
+        }
         if let Some(ing) = &self.ingest {
             let _ = writeln!(
                 out,
@@ -512,6 +572,13 @@ impl FleetReport {
             self.shards
         );
         out.push_str(&self.profile.render());
+        if self.mobility.is_some() {
+            let _ = writeln!(
+                out,
+                "mobility_physical: cross_shard_moves={} (depends on shard count)",
+                self.physical_migrations
+            );
+        }
         if let Some(tel) = &self.telemetry {
             let series = tel.registry.all_series().count();
             let _ = writeln!(
@@ -623,6 +690,9 @@ mod tests {
             events_processed: 0,
             admission_offered: 0,
             admission_rejected: 0,
+            mobility: None,
+            region_admission: None,
+            physical_migrations: 0,
             ingest: None,
             telemetry: Some(FleetTelemetry::default()),
             profile: EngineProfile {
@@ -655,6 +725,9 @@ mod tests {
             events_processed: 0,
             admission_offered: 0,
             admission_rejected: 0,
+            mobility: None,
+            region_admission: None,
+            physical_migrations: 0,
             ingest: None,
             telemetry: None,
             profile: EngineProfile::default(),

@@ -1,5 +1,5 @@
-//! One fleet shard: a private `vdap-sim` event loop over a contiguous
-//! block of vehicles.
+//! One fleet shard: a private `vdap-sim` event loop over a set of
+//! vehicles.
 //!
 //! Shards never communicate directly. During an epoch a shard only
 //! *reads* globally-deterministic inputs (virtual time, the compiled
@@ -10,11 +10,21 @@
 //! in different shards — that symmetry is what makes an N-shard run
 //! reproduce a 1-shard run bit-for-bit.
 //!
+//! Without mobility a shard owns a contiguous id block for the whole
+//! run. With mobility ([`crate::FleetConfig::with_mobility`]) vehicles
+//! are keyed by id and the engine *migrates* them between shards at
+//! epoch barriers as they cross region boundaries: the whole
+//! [`VehicleState`] (RNG streams, sequence counters, DDI uplink,
+//! pending handoff debt) moves, and the stored next-event times let the
+//! destination shard reschedule the vehicle's ticks. Events left behind
+//! in the source shard's queue find a missing (or regenerated) vehicle
+//! and count as orphans, which the engine subtracts so the processed-
+//! event ledger stays shard-count invariant.
+//!
 //! Each request tick draws its [`vdap_edgeos::WorkloadClass`] from the
-//! config's
-//! weighted mix using the vehicle's private RNG stream, so the same
-//! vehicle issues the same class sequence no matter how the fleet is
-//! sharded, and every vehicle-side cost (fallback service, V2V fetch
+//! config's weighted mix using the vehicle's private RNG stream, so the
+//! same vehicle issues the same class sequence no matter how the fleet
+//! is sharded, and every vehicle-side cost (fallback service, V2V fetch
 //! bytes) is priced by the drawn class's [`crate::ClassSpec`].
 
 use std::collections::BTreeMap;
@@ -26,33 +36,20 @@ use vdap_fault::FaultInjector;
 use vdap_net::{Direction, LinkSpec};
 use vdap_obs::{RequestSpan, SpanOutcome};
 use vdap_offload::Tile;
-use vdap_sim::{Ctx, RngStream, SeedFactory, SimDuration, SimTime, Simulation};
+use vdap_sim::{Ctx, SeedFactory, SimDuration, SimTime, Simulation};
 
 use crate::config::{region_label, FleetConfig};
 use crate::edge::EdgeRequest;
 use crate::metrics::FleetMetrics;
-use crate::vehicle::{tile_at, VehicleState, BOARD_W, DSRC_W};
+use crate::vehicle::{tile_at, DdiUplink, VehicleState, BOARD_W, DSRC_W};
 
 /// The V2V snapshot published at the previous barrier: tile → producer.
 pub(crate) type CollabSnapshot = BTreeMap<Tile, u32>;
 
-/// One vehicle's DDI uplink state: a private RNG stream (separate from
-/// the request stream, so enabling ingestion cannot perturb the
-/// request timeline) and a batch sequence counter.
-struct DdiUplink {
-    rng: RngStream,
-    seq: u32,
-}
-
 /// World state for one shard's event loop.
 pub(crate) struct ShardState {
-    /// Vehicles this shard owns, in id order.
-    vehicles: Vec<VehicleState>,
-    /// Per-vehicle DDI uplink state, parallel to `vehicles` (empty when
-    /// ingestion is disabled).
-    ddi: Vec<DdiUplink>,
-    /// Fleet id of `vehicles[0]`.
-    base_id: u32,
+    /// Vehicles this shard currently hosts, keyed by fleet id.
+    pub vehicles: BTreeMap<u32, VehicleState>,
     /// Requests bound for the edge, drained at the barrier.
     pub outbox: Vec<EdgeRequest>,
     /// Telemetry upload batches bound for the regional DDI collectors,
@@ -69,6 +66,15 @@ pub(crate) struct ShardState {
     /// regional-outage failovers), drained at the barrier. Empty unless
     /// the config enables telemetry.
     pub spans: Vec<RequestSpan>,
+    /// Events that fired for a vehicle this shard no longer hosts (or a
+    /// pre-migration generation of one). The engine subtracts these
+    /// from the sim's processed-event count so migrations don't perturb
+    /// the deterministic event ledger.
+    pub orphan_events: u64,
+    /// V2V lookups that *would* have hit but were suppressed because
+    /// the vehicle's collab cache went stale at its last crossing,
+    /// drained into `MobilityMetrics` at the barrier.
+    pub stale_hits: u64,
     /// Compiled fault timeline (pure function of time).
     injector: Option<Arc<FaultInjector>>,
     /// Shard-local mergeable metrics.
@@ -83,8 +89,8 @@ impl std::fmt::Debug for ShardState {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardState")
             .field("vehicles", &self.vehicles.len())
-            .field("base_id", &self.base_id)
             .field("outbox", &self.outbox.len())
+            .field("orphan_events", &self.orphan_events)
             .finish()
     }
 }
@@ -100,8 +106,8 @@ pub(crate) struct Shard {
 }
 
 impl Shard {
-    /// Builds shard `index` over its id range and schedules every
-    /// vehicle's first request tick.
+    /// Builds shard `index` over the vehicles it initially hosts and
+    /// schedules every vehicle's first request tick.
     pub fn new(
         index: u32,
         cfg: &Arc<FleetConfig>,
@@ -109,38 +115,44 @@ impl Shard {
         injector: Option<Arc<FaultInjector>>,
         region_labels: &Arc<Vec<String>>,
     ) -> Self {
-        let range = cfg.shard_range(index);
-        let base_id = range.start;
-        let vehicles: Vec<VehicleState> = range
-            .clone()
-            .map(|id| VehicleState {
-                id,
-                tenant: cfg.tenant_of(id),
-                region: cfg.region_of(id),
-                rng: seeds.indexed_stream("fleet-vehicle", u64::from(id)),
-                seq: 0,
-            })
+        // Without mobility the initial assignment is the contiguous id
+        // range; with mobility it is the contiguous *region* block, so
+        // a vehicle starts on the shard that owns its starting region.
+        let ids: Vec<u32> = (0..cfg.vehicles)
+            .filter(|&id| cfg.initial_shard_of(id) == index)
             .collect();
-        let ddi: Vec<DdiUplink> = if cfg.ingest.is_some() {
-            range
-                .map(|id| DdiUplink {
-                    rng: seeds.indexed_stream("fleet-ddi", u64::from(id)),
+        let mut vehicles = BTreeMap::new();
+        for &id in &ids {
+            vehicles.insert(
+                id,
+                VehicleState {
+                    id,
+                    tenant: cfg.tenant_of(id),
+                    region: cfg.region_of(id),
+                    rng: seeds.indexed_stream("fleet-vehicle", u64::from(id)),
                     seq: 0,
-                })
-                .collect()
-        } else {
-            Vec::new()
-        };
+                    ddi: cfg.ingest.is_some().then(|| DdiUplink {
+                        rng: seeds.indexed_stream("fleet-ddi", u64::from(id)),
+                        seq: 0,
+                    }),
+                    generation: 0,
+                    next_tick: None,
+                    next_ingest: None,
+                    pending_handoff: SimDuration::ZERO,
+                    cache_stale: false,
+                },
+            );
+        }
         let state = ShardState {
             vehicles,
-            ddi,
-            base_id,
             outbox: Vec::new(),
             ingest_outbox: Vec::new(),
             publications: Vec::new(),
             failover_samples: Vec::new(),
             snapshot: Arc::new(CollabSnapshot::new()),
             spans: Vec::new(),
+            orphan_events: 0,
+            stale_hits: 0,
             injector,
             metrics: FleetMetrics::new(),
             cfg: Arc::clone(cfg),
@@ -149,27 +161,41 @@ impl Shard {
         let mut sim = Simulation::new(state);
         // First ticks: deterministic per-vehicle phase in [0, period).
         let period = cfg.request_period.as_secs_f64();
-        for local in 0..sim.state().vehicles.len() {
-            let offset = sim.state_mut().vehicles[local]
-                .rng
-                .uniform_range(0.0, period);
-            sim.schedule_at(
-                SimTime::ZERO + SimDuration::from_secs_f64(offset),
-                "fleet-tick",
-                move |ctx| tick(ctx, local),
-            );
-        }
-        // First ingest uploads: deterministic per-vehicle phase in
-        // [0, upload_period), drawn from the separate DDI stream.
-        if let Some(ingest) = &cfg.ingest {
-            let period = ingest.upload_period.as_secs_f64();
-            for local in 0..sim.state().ddi.len() {
-                let offset = sim.state_mut().ddi[local].rng.uniform_range(0.0, period);
-                sim.schedule_at(
-                    SimTime::ZERO + SimDuration::from_secs_f64(offset),
-                    "ddi-upload",
-                    move |ctx| ingest_tick(ctx, local),
-                );
+        let upload_period = cfg.ingest.as_ref().map(|i| i.upload_period.as_secs_f64());
+        for id in ids {
+            let offset = {
+                let v = sim
+                    .state_mut()
+                    .vehicles
+                    .get_mut(&id)
+                    .expect("just inserted");
+                v.rng.uniform_range(0.0, period)
+            };
+            let first = SimTime::ZERO + SimDuration::from_secs_f64(offset);
+            sim.state_mut()
+                .vehicles
+                .get_mut(&id)
+                .expect("present")
+                .next_tick = Some(first);
+            sim.schedule_at(first, "fleet-tick", move |ctx| tick(ctx, id, 0));
+            // First ingest upload: a deterministic phase in
+            // [0, upload_period), drawn from the separate DDI stream.
+            if let Some(period) = upload_period {
+                let offset = {
+                    let v = sim.state_mut().vehicles.get_mut(&id).expect("present");
+                    v.ddi
+                        .as_mut()
+                        .expect("ingest on")
+                        .rng
+                        .uniform_range(0.0, period)
+                };
+                let first = SimTime::ZERO + SimDuration::from_secs_f64(offset);
+                sim.state_mut()
+                    .vehicles
+                    .get_mut(&id)
+                    .expect("present")
+                    .next_ingest = Some(first);
+                sim.schedule_at(first, "ddi-upload", move |ctx| ingest_tick(ctx, id, 0));
             }
         }
         Shard {
@@ -177,12 +203,48 @@ impl Shard {
             busy: std::time::Duration::ZERO,
         }
     }
+
+    /// Removes a vehicle for migration, bumping its generation so any
+    /// events still queued here (or in an earlier residence) orphan
+    /// instead of double-firing after re-adoption.
+    pub fn evict(&mut self, id: u32) -> Option<VehicleState> {
+        self.sim.state_mut().vehicles.remove(&id).map(|mut v| {
+            v.generation = v.generation.wrapping_add(1);
+            v
+        })
+    }
+
+    /// Adopts a migrated vehicle: inserts its state and reschedules its
+    /// stored next-event times in this shard's event loop under the new
+    /// generation.
+    pub fn adopt(&mut self, v: VehicleState) {
+        let id = v.id;
+        let generation = v.generation;
+        let next_tick = v.next_tick;
+        let next_ingest = v.next_ingest;
+        self.sim.state_mut().vehicles.insert(id, v);
+        if let Some(at) = next_tick {
+            self.sim
+                .schedule_at(at, "fleet-tick", move |ctx| tick(ctx, id, generation));
+        }
+        if let Some(at) = next_ingest {
+            self.sim.schedule_at(at, "ddi-upload", move |ctx| {
+                ingest_tick(ctx, id, generation)
+            });
+        }
+    }
 }
 
 /// One vehicle request tick. All branching depends only on virtual
 /// time, the fault timeline, the previous barrier's snapshot, and the
 /// vehicle's private RNG — all shard-count-independent inputs.
-fn tick(ctx: &mut Ctx<'_, ShardState>, local: usize) {
+///
+/// `generation` is the migration generation the event was scheduled
+/// under: a stale generation (or a vehicle this shard no longer hosts)
+/// means the vehicle migrated after the event was queued, and the event
+/// is an orphan — counted and otherwise ignored, since the destination
+/// shard carries a rescheduled copy.
+fn tick(ctx: &mut Ctx<'_, ShardState>, id: u32, generation: u32) {
     let now = ctx.now();
     let st = ctx.state_mut();
     let cfg = Arc::clone(&st.cfg);
@@ -190,8 +252,15 @@ fn tick(ctx: &mut Ctx<'_, ShardState>, local: usize) {
 
     // Per-request draws, in a fixed order so the stream replays
     // identically: class pick, cache eligibility, cost jitter.
-    let (id, tenant, region, seq, class, cacheable, jitter) = {
-        let v = &mut st.vehicles[local];
+    let (tenant, region, seq, class, cacheable, jitter, handoff, stale) = {
+        let Some(v) = st.vehicles.get_mut(&id) else {
+            st.orphan_events += 1;
+            return;
+        };
+        if v.generation != generation {
+            st.orphan_events += 1;
+            return;
+        }
         let seq = v.seq;
         v.seq += 1;
         let pick = v.rng.below(u64::from(cfg.total_class_weight()));
@@ -199,7 +268,17 @@ fn tick(ctx: &mut Ctx<'_, ShardState>, local: usize) {
         let cache_draw = v.rng.chance(cfg.cacheable_fraction);
         let jitter = v.rng.uniform();
         let cacheable = cache_draw && cfg.class(class).cacheable;
-        (v.id, v.tenant, v.region, seq, class, cacheable, jitter)
+        let handoff = std::mem::take(&mut v.pending_handoff);
+        (
+            v.tenant,
+            v.region,
+            seq,
+            class,
+            cacheable,
+            jitter,
+            handoff,
+            v.cache_stale,
+        )
     };
     let spec = cfg.class(class);
 
@@ -214,7 +293,7 @@ fn tick(ctx: &mut Ctx<'_, ShardState>, local: usize) {
         // (a pBEAM round continues training locally at its own cost).
         let failover = cfg.failover_penalty.mul_f64(1.0 + 0.2 * jitter);
         let service = spec.vehicle_service.mul_f64(1.0 + 0.1 * jitter);
-        let e2e = failover + service;
+        let e2e = handoff + failover + service;
         st.metrics
             .record_failover(class, e2e, service.as_secs_f64() * BOARD_W);
         st.failover_samples
@@ -232,10 +311,20 @@ fn tick(ctx: &mut Ctx<'_, ShardState>, local: usize) {
         }
     } else {
         let tile = tile_at(id, now);
-        let shared_by = if cacheable {
+        let lookup = if cacheable {
             st.snapshot.get(&tile).copied().filter(|p| *p != id)
         } else {
             None
+        };
+        // A vehicle that just crossed a region boundary cannot trust
+        // its collab cache: the would-be hit is counted, then dropped.
+        let shared_by = if stale {
+            if lookup.is_some() {
+                st.stale_hits += 1;
+            }
+            None
+        } else {
+            lookup
         };
         if shared_by.is_some() {
             // V2V collaboration hit: fetch the neighbour's result over
@@ -243,7 +332,7 @@ fn tick(ctx: &mut Ctx<'_, ShardState>, local: usize) {
             let dsrc = LinkSpec::dsrc();
             let fetch = dsrc.transfer_time(Direction::Downlink, spec.download_bytes);
             let merge = SimDuration::from_millis_f64(2.0 + jitter);
-            let e2e = dsrc.latency() + fetch + merge;
+            let e2e = handoff + dsrc.latency() + fetch + merge;
             st.metrics
                 .record_collab(class, e2e, fetch.as_secs_f64() * DSRC_W);
             if cfg.telemetry {
@@ -266,6 +355,7 @@ fn tick(ctx: &mut Ctx<'_, ShardState>, local: usize) {
                 class,
                 arrival: now,
                 attempts: 0,
+                handoff,
             });
             if cacheable {
                 st.publications.push((tile, id));
@@ -274,10 +364,14 @@ fn tick(ctx: &mut Ctx<'_, ShardState>, local: usize) {
     }
 
     // Open-loop reschedule with ±10% deterministic jitter.
-    let next_jitter = st.vehicles[local].rng.uniform();
+    let v = st.vehicles.get_mut(&id).expect("vehicle present mid-tick");
+    let next_jitter = v.rng.uniform();
     let delay = cfg.request_period.mul_f64(0.9 + 0.2 * next_jitter);
     if now + delay <= horizon {
-        ctx.schedule_in(delay, "fleet-tick", move |ctx| tick(ctx, local));
+        v.next_tick = Some(now + delay);
+        ctx.schedule_in(delay, "fleet-tick", move |ctx| tick(ctx, id, generation));
+    } else {
+        v.next_tick = None;
     }
 }
 
@@ -287,24 +381,35 @@ fn tick(ctx: &mut Ctx<'_, ShardState>, local: usize) {
 /// the storage drain all happen in the engine's barrier ingest pass, so
 /// everything a shard does is a pure function of the vehicle's private
 /// DDI stream.
-fn ingest_tick(ctx: &mut Ctx<'_, ShardState>, local: usize) {
+fn ingest_tick(ctx: &mut Ctx<'_, ShardState>, id: u32, generation: u32) {
     let now = ctx.now();
     let st = ctx.state_mut();
     let cfg = Arc::clone(&st.cfg);
     let ingest = cfg.ingest.as_ref().expect("ingest ticks imply config");
     let horizon = cfg.horizon();
 
-    let (id, region) = {
-        let v = &st.vehicles[local];
-        (v.id, v.region)
+    let Some(v) = st.vehicles.get_mut(&id) else {
+        st.orphan_events += 1;
+        return;
     };
+    if v.generation != generation {
+        st.orphan_events += 1;
+        return;
+    }
+    let region = v.region;
     // Fixed draw order on the DDI stream: priority, then reschedule
     // jitter — the stream replays identically at any shard count.
-    let d = &mut st.ddi[local];
+    let d = v.ddi.as_mut().expect("ingest ticks imply uplink state");
     let seq = d.seq;
     d.seq += 1;
     let priority = d.rng.below(4) as u8;
     let next_jitter = d.rng.uniform();
+    let delay = ingest.upload_period.mul_f64(0.9 + 0.2 * next_jitter);
+    v.next_ingest = if now + delay <= horizon {
+        Some(now + delay)
+    } else {
+        None
+    };
     st.ingest_outbox.push(UploadBatch {
         vehicle: u64::from(id),
         region,
@@ -316,9 +421,10 @@ fn ingest_tick(ctx: &mut Ctx<'_, ShardState>, local: usize) {
         priority,
     });
 
-    let delay = ingest.upload_period.mul_f64(0.9 + 0.2 * next_jitter);
     if now + delay <= horizon {
-        ctx.schedule_in(delay, "ddi-upload", move |ctx| ingest_tick(ctx, local));
+        ctx.schedule_in(delay, "ddi-upload", move |ctx| {
+            ingest_tick(ctx, id, generation)
+        });
     }
 }
 

@@ -8,7 +8,7 @@
 //! replays the same decisions no matter which worker thread hosts it.
 
 use vdap_offload::Tile;
-use vdap_sim::{RngStream, SimTime};
+use vdap_sim::{RngStream, SimDuration, SimTime};
 
 /// Nominal fleet cruising speed used by the mobility model.
 pub(crate) const SPEED_MPH: f64 = 30.0;
@@ -32,19 +32,58 @@ pub(crate) const DEGRADED_BOARD_W: f64 = 28.0;
 /// DSRC radio power draw during a V2V exchange (W).
 pub(crate) const DSRC_W: f64 = 1.0;
 
+/// One vehicle's DDI uplink state: a private RNG stream (separate from
+/// the request stream, so enabling ingestion cannot perturb the
+/// request timeline) and a batch sequence counter.
+#[derive(Debug)]
+pub(crate) struct DdiUplink {
+    /// Private DDI random stream.
+    pub rng: RngStream,
+    /// Next upload-batch sequence number.
+    pub seq: u32,
+}
+
 /// One simulated vehicle.
+///
+/// With mobility enabled this struct is the *complete* migratable unit:
+/// when a vehicle's region crossing moves it to another shard, the
+/// engine evicts this value from the source shard's map and adopts it
+/// into the destination's at the barrier — RNG streams, sequence
+/// counters, DDI uplink state and the stored next-event times all move
+/// together, so the vehicle's decision streams replay identically no
+/// matter how often it migrates.
 #[derive(Debug)]
 pub(crate) struct VehicleState {
     /// Fleet-wide vehicle id.
     pub id: u32,
     /// Tenant the vehicle's services bill to.
     pub tenant: u32,
-    /// LTE region the vehicle drives in.
+    /// LTE region the vehicle currently drives in (fixed for the run
+    /// unless mobility is on).
     pub region: u32,
     /// Private random stream (seeded by vehicle id, not shard).
     pub rng: RngStream,
     /// Next request sequence number.
     pub seq: u32,
+    /// DDI uplink state (`Some` iff ingestion is enabled).
+    pub ddi: Option<DdiUplink>,
+    /// Migration generation: bumped every time the vehicle is evicted
+    /// from a shard, so scheduled events from a previous residence are
+    /// recognized as orphans instead of double-firing.
+    pub generation: u32,
+    /// When the next request tick is due (`None` once past the
+    /// horizon); lets the engine reschedule the tick after a migration.
+    pub next_tick: Option<SimTime>,
+    /// When the next ingest upload is due (`None` when ingestion is off
+    /// or past the horizon).
+    pub next_ingest: Option<SimTime>,
+    /// Cellular handoff cost accrued at barrier crossings, charged as
+    /// extra latency on the vehicle's next request.
+    pub pending_handoff: SimDuration,
+    /// Set at a region crossing: the vehicle's V2V collaboration cache
+    /// is stale for the following epoch (lookups suppressed, would-be
+    /// hits counted).
+    pub cache_stale: bool,
 }
 
 /// The route cohort a vehicle belongs to.

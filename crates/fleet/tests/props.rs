@@ -285,6 +285,58 @@ proptest! {
     }
 }
 
+/// Geo-mobility on top of ingestion plus a seeded handoff storm: the
+/// full interaction surface — crossings re-addressing in-flight ingest
+/// batches, storm-multiplied handoff costs, per-region admission
+/// re-registration, and physical vehicle migration between shards.
+fn mobility_config(seed: u64, shards: u32) -> FleetConfig {
+    let mut cfg = FleetConfig::sized(64, shards)
+        .with_ingest()
+        .with_mobility()
+        .with_handoff_storm(1, SimTime::from_secs(3), SimDuration::from_secs(3));
+    cfg.seed = seed;
+    cfg.duration = SimDuration::from_secs(8);
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn mobility_with_ingest_and_storm_is_shard_invariant(seed in any::<u64>()) {
+        // Mobility state lives on the engine thread and advances only
+        // at barriers in canonical vehicle order, so the full mobility
+        // ledger — crossings, domain migrations, storm crossings, stale
+        // cache hits, re-addressed batches, handoff histograms — must
+        // replay byte-for-byte at 1, 2, 4 and 8 shards, even though the
+        // *physical* evict/adopt moves differ per shard count.
+        let reports: Vec<_> = [1u32, 2, 4, 8]
+            .iter()
+            .map(|&shards| FleetEngine::new(mobility_config(seed, shards)).run())
+            .collect();
+        for r in &reports[1..] {
+            prop_assert_eq!(&reports[0].metrics, &r.metrics);
+            prop_assert_eq!(&reports[0].mobility, &r.mobility);
+            prop_assert_eq!(&reports[0].region_admission, &r.region_admission);
+            prop_assert_eq!(&reports[0].ingest, &r.ingest);
+            prop_assert_eq!(&reports[0].reliability, &r.reliability);
+            prop_assert_eq!(reports[0].summary(), r.summary());
+        }
+        // The property is vacuous if nobody moves: the ledger must show
+        // real crossings that partition into domain migrations and
+        // same-domain moves.
+        let mob = reports[0].mobility.as_ref().expect("mobility ledger present");
+        prop_assert!(mob.crossings > 0, "no vehicle ever crossed a region");
+        prop_assert!(mob.migrations > 0, "no crossing changed home-node domain");
+        prop_assert!(
+            mob.partitions(),
+            "crossings ({}) != migrations ({}) + same-domain ({})",
+            mob.crossings,
+            mob.migrations,
+            mob.same_shard_crossings
+        );
+    }
+}
+
 #[test]
 fn full_scale_shard_invariance_smoke() {
     // The acceptance-criteria configuration at reduced duration: 1,000

@@ -1,0 +1,257 @@
+//! The seeded region graph: regions as nodes, road segments as edges.
+
+use vdap_net::Mph;
+use vdap_sim::{RngStream, SimDuration};
+
+/// One undirected road segment between two regions.
+///
+/// Traversal time is expressed directly on the simulation clock
+/// (`base_travel`) so short fleet runs still see realistic *numbers* of
+/// crossings; `speed` is the segment's nominal speed, used to price the
+/// cellular handoff a vehicle pays when it exits the segment into a new
+/// region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoadSegment {
+    /// One endpoint region.
+    pub a: u32,
+    /// The other endpoint region.
+    pub b: u32,
+    /// Uncongested traversal time.
+    pub base_travel: SimDuration,
+    /// Nominal segment speed (prices the handoff at the far end).
+    pub speed: Mph,
+    /// Vehicles the segment absorbs before congestion bites.
+    pub capacity: u32,
+}
+
+impl RoadSegment {
+    /// The endpoint opposite `region` (`region` must be an endpoint).
+    #[must_use]
+    pub fn other(&self, region: u32) -> u32 {
+        if region == self.a {
+            self.b
+        } else {
+            debug_assert_eq!(region, self.b, "region must be an endpoint");
+            self.a
+        }
+    }
+
+    /// Deterministic congestion multiplier at an observed occupancy:
+    /// free-flow at or under capacity, then quadratic slowdown capped at
+    /// 4x so a jammed segment still drains.
+    #[must_use]
+    pub fn congestion_multiplier(&self, occupancy: u32) -> f64 {
+        let cap = f64::from(self.capacity.max(1));
+        let over = (f64::from(occupancy) / cap - 1.0).max(0.0);
+        (1.0 + over * over).min(4.0)
+    }
+}
+
+/// A seeded ring-plus-chords road network over the fleet's regions.
+///
+/// The ring guarantees connectivity; chords (drawn from the seeded
+/// stream) give rush-hour traffic shortcuts into downtown so crossings
+/// concentrate instead of diffusing around the ring.
+#[derive(Debug, Clone)]
+pub struct RegionGraph {
+    regions: u32,
+    segments: Vec<RoadSegment>,
+    /// Per-region indices into `segments`, ascending.
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl RegionGraph {
+    /// Builds the seeded graph: a ring over `regions` plus
+    /// `chords` extra random segments, all with seeded speeds and
+    /// travel times and a shared per-segment `capacity`.
+    #[must_use]
+    pub fn seeded(regions: u32, chords: u32, capacity: u32, rng: &mut RngStream) -> Self {
+        let mut segments = Vec::new();
+        if regions >= 2 {
+            for r in 0..regions {
+                let next = (r + 1) % regions;
+                // A 2-region ring would duplicate the single edge.
+                if regions == 2 && r == 1 {
+                    break;
+                }
+                segments.push(seeded_segment(r, next, capacity, rng));
+            }
+            for _ in 0..chords {
+                let a = rng.below(u64::from(regions)) as u32;
+                let b = rng.below(u64::from(regions)) as u32;
+                if a == b {
+                    continue;
+                }
+                let (a, b) = (a.min(b), a.max(b));
+                if segments.iter().any(|s| s.a == a && s.b == b) {
+                    continue;
+                }
+                segments.push(seeded_segment(a, b, capacity, rng));
+            }
+        }
+        let mut adjacency = vec![Vec::new(); regions as usize];
+        for (i, s) in segments.iter().enumerate() {
+            adjacency[s.a as usize].push(i);
+            adjacency[s.b as usize].push(i);
+        }
+        RegionGraph {
+            regions,
+            segments,
+            adjacency,
+        }
+    }
+
+    /// Number of regions (nodes).
+    #[must_use]
+    pub fn regions(&self) -> u32 {
+        self.regions
+    }
+
+    /// All road segments.
+    #[must_use]
+    pub fn segments(&self) -> &[RoadSegment] {
+        &self.segments
+    }
+
+    /// Indices of the segments touching `region`, ascending.
+    #[must_use]
+    pub fn adjacent(&self, region: u32) -> &[usize] {
+        &self.adjacency[region as usize]
+    }
+
+    /// The lowest-index segment connecting two adjacent regions.
+    #[must_use]
+    pub fn edge_between(&self, a: u32, b: u32) -> Option<usize> {
+        self.adjacent(a)
+            .iter()
+            .copied()
+            .find(|&i| self.segments[i].other(a) == b)
+    }
+
+    /// Deterministic BFS shortest path (fewest hops; ties broken by
+    /// ascending segment index). Returns the regions *after* `from`, so
+    /// the last element is `to`; empty when `from == to` or `to` is
+    /// unreachable.
+    #[must_use]
+    pub fn shortest_path(&self, from: u32, to: u32) -> Vec<u32> {
+        if from == to || self.regions == 0 {
+            return Vec::new();
+        }
+        let n = self.regions as usize;
+        let mut prev: Vec<Option<u32>> = vec![None; n];
+        let mut seen = vec![false; n];
+        let mut frontier = std::collections::VecDeque::new();
+        seen[from as usize] = true;
+        frontier.push_back(from);
+        while let Some(r) = frontier.pop_front() {
+            for &i in self.adjacent(r) {
+                let next = self.segments[i].other(r);
+                if !seen[next as usize] {
+                    seen[next as usize] = true;
+                    prev[next as usize] = Some(r);
+                    if next == to {
+                        frontier.clear();
+                        break;
+                    }
+                    frontier.push_back(next);
+                }
+            }
+        }
+        if !seen[to as usize] {
+            return Vec::new();
+        }
+        let mut path = vec![to];
+        let mut at = to;
+        while let Some(p) = prev[at as usize] {
+            if p == from {
+                break;
+            }
+            path.push(p);
+            at = p;
+        }
+        path.reverse();
+        path
+    }
+}
+
+fn seeded_segment(a: u32, b: u32, capacity: u32, rng: &mut RngStream) -> RoadSegment {
+    let speed = Mph(rng.uniform_range(25.0, 55.0));
+    let travel = SimDuration::from_secs_f64(rng.uniform_range(1.5, 4.0));
+    RoadSegment {
+        a,
+        b,
+        base_travel: travel,
+        speed,
+        capacity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdap_sim::SeedFactory;
+
+    fn graph(regions: u32, chords: u32) -> RegionGraph {
+        let mut rng = SeedFactory::new(7).stream("graph");
+        RegionGraph::seeded(regions, chords, 8, &mut rng)
+    }
+
+    #[test]
+    fn ring_connects_every_region() {
+        let g = graph(8, 0);
+        assert_eq!(g.segments().len(), 8);
+        for r in 0..8 {
+            assert!(!g.adjacent(r).is_empty());
+            for other in 0..8 {
+                if r != other {
+                    let path = g.shortest_path(r, other);
+                    assert_eq!(*path.last().unwrap(), other);
+                    assert!(path.len() <= 4, "ring diameter is regions/2");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_region_ring_has_one_segment() {
+        let g = graph(2, 0);
+        assert_eq!(g.segments().len(), 1);
+        assert_eq!(g.shortest_path(0, 1), vec![1]);
+    }
+
+    #[test]
+    fn chords_shorten_paths() {
+        let ring = graph(16, 0);
+        let chorded = graph(16, 12);
+        assert!(chorded.segments().len() > ring.segments().len());
+        let ring_hops: usize = (0..16).map(|r| ring.shortest_path(r, 8).len()).sum();
+        let chord_hops: usize = (0..16).map(|r| chorded.shortest_path(r, 8).len()).sum();
+        assert!(chord_hops <= ring_hops);
+    }
+
+    #[test]
+    fn seeded_build_is_deterministic() {
+        let a = graph(12, 6);
+        let b = graph(12, 6);
+        assert_eq!(a.segments(), b.segments());
+    }
+
+    #[test]
+    fn congestion_is_free_flow_under_capacity_and_capped() {
+        let g = graph(4, 0);
+        let s = &g.segments()[0];
+        assert_eq!(s.congestion_multiplier(0), 1.0);
+        assert_eq!(s.congestion_multiplier(s.capacity), 1.0);
+        let jammed = s.congestion_multiplier(s.capacity * 10);
+        assert!(jammed > 1.0 && jammed <= 4.0);
+    }
+
+    #[test]
+    fn path_excludes_start_includes_end() {
+        let g = graph(6, 0);
+        let p = g.shortest_path(2, 4);
+        assert!(!p.contains(&2));
+        assert_eq!(*p.last().unwrap(), 4);
+        assert!(g.shortest_path(3, 3).is_empty());
+    }
+}

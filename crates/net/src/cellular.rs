@@ -45,6 +45,12 @@ pub const FIG2_FRAME_LOSS: [(f64, f64, f64); 6] = [
     (70.0, 5.8, 0.980),
 ];
 
+/// How much a handoff storm stretches the per-crossing connectivity
+/// gap: a storming cell's signalling plane serializes re-registrations,
+/// so each arriving vehicle pays a few back-to-back registration
+/// attempts instead of one.
+pub const STORM_HANDOFF_MULTIPLIER: f64 = 3.0;
+
 /// Parameters of the cellular loss model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CellularChannel {
@@ -107,6 +113,15 @@ impl CellularChannel {
     #[must_use]
     pub fn handoff_cost(&self, speed: Mph) -> vdap_sim::SimDuration {
         vdap_sim::SimDuration::from_secs_f64(self.outage_secs(speed))
+    }
+
+    /// [`CellularChannel::handoff_cost`] while the destination cell is
+    /// in a signalling storm: re-registration contends with every other
+    /// arriving vehicle, stretching the outage by
+    /// [`STORM_HANDOFF_MULTIPLIER`].
+    #[must_use]
+    pub fn storm_handoff_cost(&self, speed: Mph) -> vdap_sim::SimDuration {
+        self.handoff_cost(speed).mul_f64(STORM_HANDOFF_MULTIPLIER)
     }
 
     /// Long-run fraction of airtime lost to handoff outages, in
@@ -271,6 +286,20 @@ mod tests {
             }
         }
         lost as f64 / n as f64
+    }
+
+    #[test]
+    fn storm_handoff_is_a_fixed_multiple_of_the_calm_cost() {
+        let ch = CellularChannel::calibrated();
+        for speed in [15.0, 30.0, 55.0] {
+            let calm = ch.handoff_cost(Mph(speed));
+            let storm = ch.storm_handoff_cost(Mph(speed));
+            let ratio = storm.as_secs_f64() / calm.as_secs_f64();
+            assert!(
+                (ratio - STORM_HANDOFF_MULTIPLIER).abs() < 1e-9,
+                "speed={speed}: ratio={ratio}"
+            );
+        }
     }
 
     #[test]

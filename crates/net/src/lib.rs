@@ -33,7 +33,9 @@ mod mobility;
 mod topology;
 mod video;
 
-pub use cellular::{CellularChannel, LossProcess, FIG2_FRAME_LOSS, FIG2_PACKET_LOSS};
+pub use cellular::{
+    CellularChannel, LossProcess, FIG2_FRAME_LOSS, FIG2_PACKET_LOSS, STORM_HANDOFF_MULTIPLIER,
+};
 pub use contact::{ContactTracker, ContactWindow, DsrcRadio};
 pub use link::{Direction, LinkKind, LinkSpec};
 pub use mobility::{Miles, MobilityTrace, Mph, Segment};

@@ -4,89 +4,85 @@
 //! ```text
 //! cargo run -p vdap-bench --bin repro -- all
 //! cargo run -p vdap-bench --bin repro -- table1 fig2 fig3
-//! cargo run -p vdap-bench --bin repro -- fleet
+//! cargo run -p vdap-bench --bin repro -- fleet-resume
 //! ```
 //!
 //! An unknown experiment name prints the usage text with the full
 //! target list and exits non-zero.
 
 use vdap_bench::experiments;
+use vdap_bench::table::TextTable;
 
 const SEED: u64 = 42;
 
-fn print_experiment(name: &str) -> bool {
-    let table = match name {
-        "table1" => experiments::table1().1,
-        "fig2" => experiments::fig2(SEED).1,
-        "fig3" => experiments::fig3().1,
-        "upload-wall" => experiments::upload_wall(),
-        "battery" => experiments::battery(),
-        "elastic" => experiments::elastic(SEED),
-        "strategies" => experiments::strategies(SEED),
-        "crossover" => experiments::crossover(SEED),
-        "pbeam" => experiments::pbeam(SEED),
-        "ddi" => experiments::ddi(SEED),
-        "dsf" => experiments::dsf(),
-        "collab" => experiments::collab(SEED),
-        "objectives" => experiments::objectives(SEED),
-        "modelcache" => experiments::modelcache(SEED),
-        "admission" => experiments::admission(),
-        "infotainment" => experiments::infotainment(SEED),
-        "fleet" => experiments::fleet(SEED),
-        "fleet-chaos" => experiments::fleet_chaos(SEED),
-        "fleet-elastic" => experiments::fleet_elastic(SEED),
-        "fleet-storm" => experiments::fleet_storm(SEED),
-        "fleet-trace" => experiments::fleet_trace(SEED),
-        "fleet-ingest" => experiments::fleet_ingest(SEED),
-        "fleet-mobility" => experiments::fleet_mobility(SEED),
-        _ => return false,
-    };
-    // Chaos-bearing experiments derive their fault windows from the run
-    // seed; print it above the table so the exact storm can be rebuilt
-    // from the output alone.
-    if matches!(
-        name,
-        "fleet" | "fleet-chaos" | "fleet-storm" | "fleet-trace" | "fleet-ingest" | "fleet-mobility"
-    ) {
-        println!("fault-plan seed: {SEED}");
-    }
-    println!("{}", table.render());
-    true
+/// One reproduction target: its CLI name, whether its fault windows
+/// are derived from the run seed (printed above the table so the exact
+/// storm can be rebuilt from the output alone), and the runner.
+struct Target {
+    name: &'static str,
+    seeded_chaos: bool,
+    run: fn(u64) -> TextTable,
 }
 
-const ALL: [&str; 23] = [
-    "table1",
-    "fig2",
-    "fig3",
-    "upload-wall",
-    "battery",
-    "elastic",
-    "strategies",
-    "crossover",
-    "pbeam",
-    "ddi",
-    "dsf",
-    "collab",
-    "objectives",
-    "modelcache",
-    "admission",
-    "infotainment",
-    "fleet",
-    "fleet-chaos",
-    "fleet-elastic",
-    "fleet-storm",
-    "fleet-trace",
-    "fleet-ingest",
-    "fleet-mobility",
+impl Target {
+    const fn plain(name: &'static str, run: fn(u64) -> TextTable) -> Self {
+        Target {
+            name,
+            seeded_chaos: false,
+            run,
+        }
+    }
+
+    const fn chaos(name: &'static str, run: fn(u64) -> TextTable) -> Self {
+        Target {
+            name,
+            seeded_chaos: true,
+            run,
+        }
+    }
+}
+
+/// Every reproduction target, in `all` execution order. This is the
+/// single source of truth: the dispatch, the usage listing, and the
+/// chaos-seed banner all read from it.
+const TARGETS: &[Target] = &[
+    Target::plain("table1", |_| experiments::table1().1),
+    Target::plain("fig2", |s| experiments::fig2(s).1),
+    Target::plain("fig3", |_| experiments::fig3().1),
+    Target::plain("upload-wall", |_| experiments::upload_wall()),
+    Target::plain("battery", |_| experiments::battery()),
+    Target::plain("elastic", experiments::elastic),
+    Target::plain("strategies", experiments::strategies),
+    Target::plain("crossover", experiments::crossover),
+    Target::plain("pbeam", experiments::pbeam),
+    Target::plain("ddi", experiments::ddi),
+    Target::plain("dsf", |_| experiments::dsf()),
+    Target::plain("collab", experiments::collab),
+    Target::plain("objectives", experiments::objectives),
+    Target::plain("modelcache", experiments::modelcache),
+    Target::plain("admission", |_| experiments::admission()),
+    Target::plain("infotainment", experiments::infotainment),
+    Target::chaos("fleet", experiments::fleet),
+    Target::chaos("fleet-chaos", experiments::fleet_chaos),
+    Target::plain("fleet-elastic", experiments::fleet_elastic),
+    Target::chaos("fleet-storm", experiments::fleet_storm),
+    Target::chaos("fleet-trace", experiments::fleet_trace),
+    Target::chaos("fleet-ingest", experiments::fleet_ingest),
+    Target::chaos("fleet-mobility", experiments::fleet_mobility),
+    Target::chaos("fleet-resume", experiments::fleet_resume),
 ];
+
+fn target_of(name: &str) -> Option<&'static Target> {
+    TARGETS.iter().find(|t| t.name == name)
+}
 
 /// Prints usage plus the list of every reproduction target.
 fn usage() {
     eprintln!("usage: repro [all | <experiment>...]");
     eprintln!();
     eprintln!("experiments:");
-    for name in ALL {
-        eprintln!("  {name}");
+    for t in TARGETS {
+        eprintln!("  {}", t.name);
     }
     eprintln!();
     eprintln!("'all' (or no arguments) runs every experiment in order.");
@@ -96,21 +92,23 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Validate everything up front so a typo in the middle of a list
     // fails fast instead of after minutes of earlier experiments.
-    if let Some(bad) = args
-        .iter()
-        .find(|a| *a != "all" && !ALL.contains(&a.as_str()))
-    {
+    if let Some(bad) = args.iter().find(|a| *a != "all" && target_of(a).is_none()) {
         eprintln!("unknown experiment '{bad}'");
         eprintln!();
         usage();
         std::process::exit(2);
     }
-    let requested: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        ALL.to_vec()
+    let requested: Vec<&Target> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        TARGETS.iter().collect()
     } else {
-        args.iter().map(String::as_str).collect()
+        args.iter()
+            .map(|a| target_of(a).expect("validated above"))
+            .collect()
     };
-    for name in requested {
-        assert!(print_experiment(name), "validated above");
+    for t in requested {
+        if t.seeded_chaos {
+            println!("fault-plan seed: {SEED}");
+        }
+        println!("{}", (t.run)(SEED).render());
     }
 }

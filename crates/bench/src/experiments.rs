@@ -7,7 +7,10 @@
 
 use vdap_ddi::{DdiService, DriverStyle, ObdCollector, Query, RecordKind};
 use vdap_edgeos::Objective;
-use vdap_fleet::{FleetConfig, FleetEngine, IngestConfig, MobilityConfig, SpanOutcome};
+use vdap_fleet::{
+    FleetConfig, FleetEngine, IngestConfig, MobilityConfig, SnapshotStore, SpanOutcome,
+    CKPT_STORE_LABEL, ENGINE_LABEL,
+};
 use vdap_hw::{catalog, Battery, ComputeWorkload, TaskClass};
 use vdap_models::zoo;
 use vdap_models::{PbeamConfig, PbeamPipeline, SensorBias};
@@ -1337,6 +1340,120 @@ fn fleet_mobility_table(seed: u64, vehicles: u32, duration: SimDuration) -> Text
         mob_of(&sharded),
         "mobility ledger diverged"
     );
+    t.row(&[
+        "summaries byte-identical".into(),
+        "yes".into(),
+        "yes".into(),
+    ]);
+    t
+}
+
+/// E21 — durable barrier checkpoint/restore under snapshot-store
+/// chaos: a 256-vehicle, 4-shard full-stack run (ingest + mobility +
+/// telemetry) checkpoints every 8 epochs with keep-last-3 retention. A
+/// torn write lands on the epoch-16 snapshot and the engine crashes at
+/// epoch 20, so the supervisor must reject generation 16 by checksum,
+/// fall back to generation 8, and finish the run — byte-identical to
+/// an uninterrupted run of the same fault plan, with the resume window
+/// visible in MTTR and engine availability.
+#[must_use]
+pub fn fleet_resume(seed: u64) -> TextTable {
+    let mut cfg = FleetConfig::sized(256, 4).with_telemetry();
+    cfg.seed = seed;
+    cfg.duration = SimDuration::from_secs(30);
+    let cfg = cfg
+        .with_ingest()
+        .with_mobility()
+        .with_checkpoint(8, 3)
+        // Checkpoints land at epochs 8/16/24/… (sim t = 4 s/8 s/12 s/…
+        // at the 500 ms default epoch). The torn-write window covers
+        // the epoch-16 write, so the crash at epoch 20 has only the
+        // epoch-8 generation to fall back to.
+        .with_snapshot_torn_write(SimTime::from_secs(8), SimDuration::from_millis(100))
+        .with_engine_crash(20, SimDuration::from_millis(750));
+    let horizon = cfg.horizon();
+
+    // run() preambles the same fault plan but never touches the store,
+    // so it is the uninterrupted baseline the resumed run must match.
+    let straight = FleetEngine::new(cfg.clone()).run();
+    let dir = "target/fleet-resume";
+    let _ = std::fs::remove_dir_all(dir);
+    let mut store = SnapshotStore::in_dir(dir).expect("create snapshot dir");
+    let resumed = FleetEngine::new(cfg).run_supervised(&mut store);
+
+    let snaps = &resumed.snapshots;
+    assert_eq!(snaps.resumes, 1, "expected exactly one crash-resume cycle");
+    assert_eq!(
+        snaps.rejected_generations,
+        vec![16],
+        "the torn epoch-16 snapshot must be rejected at resume time"
+    );
+    assert!(
+        snaps
+            .writes
+            .iter()
+            .any(|w| w.generation == 16 && w.chaos == Some("torn-write")),
+        "torn-write chaos must land on the epoch-16 write"
+    );
+    assert!(
+        straight.summary() == resumed.summary(),
+        "resume determinism contract violated: straight and crash-resumed \
+         summaries diverged\n--- straight ---\n{}\n--- resumed ---\n{}",
+        straight.summary(),
+        resumed.summary()
+    );
+
+    let mut t = TextTable::new(
+        "E21 — durable checkpoint/restore: crash at epoch 20, torn epoch-16 snapshot (straight vs resumed)",
+        &["metric", "straight run", "crash + resume"],
+    );
+    type ReportCol = fn(&vdap_fleet::FleetReport) -> String;
+    let rows: [(&str, ReportCol); 6] = [
+        ("requests", |r| r.metrics.requests.to_string()),
+        ("edge served", |r| r.metrics.edge_served.to_string()),
+        ("events processed", |r| r.events_processed.to_string()),
+        ("e2e p95 (ms)", |r| {
+            f3(r.metrics.e2e_latency_ms.quantile(0.95))
+        }),
+        ("faults injected", |r| {
+            r.reliability.faults_injected().to_string()
+        }),
+        ("MTTR mean (ms)", |r| f3(r.reliability.mttr().mean())),
+    ];
+    for (label, get) in rows {
+        t.row(&[label.into(), get(&straight), get(&resumed)]);
+    }
+    for label in [ENGINE_LABEL, CKPT_STORE_LABEL] {
+        t.row(&[
+            format!("availability[{label}]"),
+            f3(straight.reliability.availability(label, horizon)),
+            f3(resumed.reliability.availability(label, horizon)),
+        ]);
+    }
+    // Wall-clock durability accounting is a diagnostic — deliberately
+    // outside the summary (it varies run to run).
+    let torn = snaps.writes.iter().filter(|w| w.chaos.is_some()).count();
+    t.row(&[
+        "snapshots written (torn)".into(),
+        "0".into(),
+        format!("{} ({torn})", snaps.writes.len()),
+    ]);
+    t.row(&[
+        "rejected generations".into(),
+        "-".into(),
+        snaps
+            .rejected_generations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(","),
+    ]);
+    t.row(&["resumed from generation".into(), "-".into(), "8".into()]);
+    t.row(&[
+        "restore decode (ms)".into(),
+        "-".into(),
+        snaps.load_ms.map_or_else(|| "-".into(), f3),
+    ]);
     t.row(&[
         "summaries byte-identical".into(),
         "yes".into(),

@@ -427,6 +427,13 @@ fn handle_fault(ctx: &mut Ctx<'_, ChaosWorld>, edge: FaultEdge, kind: FaultKind,
             // single-vehicle analogue; the fleet engine's barrier pass
             // handles them (see [`crate::scenario`]'s fleet-chaos sweep).
         }
+        FaultKind::EngineCrash { .. }
+        | FaultKind::SnapshotTornWrite
+        | FaultKind::SnapshotCorruption => {
+            // Checkpoint-harness faults: the fleet engine's supervised
+            // run loop and snapshot store interpret these; a
+            // single-vehicle chaos world has no snapshots to break.
+        }
     }
 }
 

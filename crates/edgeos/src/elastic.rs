@@ -205,6 +205,23 @@ impl LaneScaler {
         (self.scale_ups, self.scale_downs)
     }
 
+    /// Rebuilds a scaler mid-run from its policy and decision counters
+    /// (checkpoint restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the policy's thresholds are unusable, exactly like
+    /// [`LaneScaler::new`].
+    #[must_use]
+    pub fn from_counters(policy: LanePolicy, scale_ups: u64, scale_downs: u64) -> Self {
+        policy.validate();
+        LaneScaler {
+            policy,
+            scale_ups,
+            scale_downs,
+        }
+    }
+
     /// Decides the pool size for the next interval from the observed
     /// queue depth. Integer arithmetic only; clamped to
     /// `[min_lanes, max_lanes]`.

@@ -53,4 +53,6 @@ pub use security::{Attestation, GuardState, IsolationMode, SecurityError, Securi
 pub use service::{kidnapper_search, Pipeline, PipelineStage, PolymorphicService, ServiceState};
 pub use sharing::{AuditEntry, SharedItem, SharingBus, SharingError, Token};
 pub use supervisor::{CrashLoopPolicy, ServiceSupervisor, SupervisorDecision};
-pub use tenancy::{ClassQueueKey, DrrKey, FairQueue, TenantAdmission, TenantId, WorkloadClass};
+pub use tenancy::{
+    AdmissionState, ClassQueueKey, DrrKey, FairQueue, TenantAdmission, TenantId, WorkloadClass,
+};

@@ -300,6 +300,90 @@ impl TenantAdmission {
             self.rejected as f64 / offered as f64
         }
     }
+
+    /// Captures the full internal state for checkpointing: nominal cap,
+    /// every override, outstanding depth, reject ledger, and the
+    /// per-tenant registration counts. Entries are sorted by tenant.
+    #[must_use]
+    pub fn state(&self) -> AdmissionState {
+        AdmissionState {
+            queue_cap: self.queue_cap,
+            cap_overrides: self
+                .cap_overrides
+                .iter()
+                .map(|(t, c)| (t.as_u32(), *c))
+                .collect(),
+            depth: self.depth.iter().map(|(t, d)| (t.as_u32(), *d)).collect(),
+            admitted: self.admitted,
+            rejected: self.rejected,
+            rejected_by_tenant: self
+                .rejected_by_tenant
+                .iter()
+                .map(|(t, n)| (t.as_u32(), *n))
+                .collect(),
+            registrations: self
+                .registrations
+                .iter()
+                .map(|(t, n)| (t.as_u32(), *n))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a controller from captured state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the captured `queue_cap` is zero (never produced by
+    /// [`TenantAdmission::state`]).
+    #[must_use]
+    pub fn from_state(state: AdmissionState) -> Self {
+        assert!(state.queue_cap > 0, "queue cap must be positive");
+        TenantAdmission {
+            queue_cap: state.queue_cap,
+            cap_overrides: state
+                .cap_overrides
+                .into_iter()
+                .map(|(t, c)| (TenantId::new(t), c))
+                .collect(),
+            depth: state
+                .depth
+                .into_iter()
+                .map(|(t, d)| (TenantId::new(t), d))
+                .collect(),
+            admitted: state.admitted,
+            rejected: state.rejected,
+            rejected_by_tenant: state
+                .rejected_by_tenant
+                .into_iter()
+                .map(|(t, n)| (TenantId::new(t), n))
+                .collect(),
+            registrations: state
+                .registrations
+                .into_iter()
+                .map(|(t, n)| (TenantId::new(t), n))
+                .collect(),
+        }
+    }
+}
+
+/// The complete internal state of a [`TenantAdmission`] gate, exposed
+/// for checkpoint/restore. Tenants are raw `u32` ids, sorted ascending.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AdmissionState {
+    /// Nominal per-tenant queue cap.
+    pub queue_cap: usize,
+    /// Active quota-flap overrides.
+    pub cap_overrides: Vec<(u32, usize)>,
+    /// Outstanding depth per tenant.
+    pub depth: Vec<(u32, usize)>,
+    /// Requests admitted so far.
+    pub admitted: u64,
+    /// Requests rejected so far.
+    pub rejected: u64,
+    /// Rejects per tenant.
+    pub rejected_by_tenant: Vec<(u32, u64)>,
+    /// Registered vehicles per tenant.
+    pub registrations: Vec<(u32, u32)>,
 }
 
 /// A flow key the [`FairQueue`] can round-robin over.

@@ -172,6 +172,41 @@ impl FaultInjector {
             .any(|w| w.target == target && matches!(w.kind, FaultKind::RegionHandoffStorm))
     }
 
+    /// Scripted [`FaultKind::EngineCrash`] epochs on `target`, ascending
+    /// and deduplicated. The supervised fleet engine kills the run at
+    /// the first checkpoint barrier whose index reaches each epoch.
+    #[must_use]
+    pub fn engine_crashes(&self, target: &str) -> Vec<u64> {
+        let mut epochs: Vec<u64> = self
+            .windows
+            .iter()
+            .filter(|w| w.target == target)
+            .filter_map(|w| match w.kind {
+                FaultKind::EngineCrash { epoch } => Some(epoch),
+                _ => None,
+            })
+            .collect();
+        epochs.sort_unstable();
+        epochs.dedup();
+        epochs
+    }
+
+    /// Whether a [`FaultKind::SnapshotTornWrite`] covers `target` at
+    /// `now` — the snapshot bytes written at that instant get truncated.
+    #[must_use]
+    pub fn snapshot_torn(&self, target: &str, now: SimTime) -> bool {
+        self.active_at(now)
+            .any(|w| w.target == target && matches!(w.kind, FaultKind::SnapshotTornWrite))
+    }
+
+    /// Whether a [`FaultKind::SnapshotCorruption`] covers `target` at
+    /// `now` — one byte of the snapshot written at that instant flips.
+    #[must_use]
+    pub fn snapshot_corrupt(&self, target: &str, now: SimTime) -> bool {
+        self.active_at(now)
+            .any(|w| w.target == target && matches!(w.kind, FaultKind::SnapshotCorruption))
+    }
+
     /// When the earliest currently-active hard fault on `target` clears,
     /// or `None` when the target is up at `now`.
     #[must_use]
@@ -390,6 +425,39 @@ mod tests {
             inj.next_recovery("region3/collector", SimTime::from_secs(12)),
             Some(SimTime::from_secs(15))
         );
+    }
+
+    #[test]
+    fn checkpoint_chaos_kinds_stay_soft_and_queryable() {
+        let plan = FaultPlan::new(SimDuration::from_secs(100))
+            .with_fault(FaultSpec::new(
+                FaultKind::EngineCrash { epoch: 20 },
+                "engine",
+                SimTime::from_secs(10),
+                SimDuration::from_millis(500),
+            ))
+            .with_fault(FaultSpec::new(
+                FaultKind::SnapshotTornWrite,
+                "ckpt/store",
+                SimTime::from_secs(7),
+                SimDuration::from_secs(2),
+            ))
+            .with_fault(FaultSpec::new(
+                FaultKind::SnapshotCorruption,
+                "ckpt/store",
+                SimTime::from_secs(30),
+                SimDuration::from_secs(1),
+            ));
+        let inj = plan.compile();
+        assert_eq!(inj.engine_crashes("engine"), vec![20]);
+        assert!(inj.engine_crashes("other").is_empty());
+        assert!(inj.snapshot_torn("ckpt/store", SimTime::from_secs(8)));
+        assert!(!inj.snapshot_torn("ckpt/store", SimTime::from_secs(9)));
+        assert!(inj.snapshot_corrupt("ckpt/store", SimTime::from_nanos(30_500_000_000)));
+        assert!(!inj.snapshot_corrupt("ckpt/store", SimTime::from_secs(8)));
+        // None of the checkpoint chaos kinds take a component down.
+        assert!(!inj.is_down("engine", SimTime::from_secs(10)));
+        assert!(!inj.is_down("ckpt/store", SimTime::from_secs(8)));
     }
 
     #[test]

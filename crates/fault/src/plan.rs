@@ -63,6 +63,23 @@ pub enum FaultKind {
         /// Write-throughput multiplier in `(0, 1]`.
         factor: f64,
     },
+    /// The fleet engine process dies at the first checkpoint barrier at
+    /// or after `epoch` (fleet). Scripted-only: the supervisor loop
+    /// resumes the run from the newest valid snapshot. Not drawn by
+    /// [`FaultPlan::randomized`] — a process kill is a harness event,
+    /// not an in-run component fault.
+    EngineCrash {
+        /// Barrier index (0-based) the crash fires at.
+        epoch: u64,
+    },
+    /// A snapshot write is torn (ckpt): the bytes persisted for any
+    /// snapshot generation written inside the window are truncated, so
+    /// decode fails its checksum and restore falls back a generation.
+    /// Scripted-only.
+    SnapshotTornWrite,
+    /// A snapshot suffers bit rot (ckpt): one byte of any generation
+    /// written inside the window is flipped. Scripted-only.
+    SnapshotCorruption,
 }
 
 impl FaultKind {
@@ -96,6 +113,9 @@ impl FaultKind {
             FaultKind::RegionHandoffStorm => "region-handoff-storm",
             FaultKind::CollectorOutage => "collector-outage",
             FaultKind::StorageBrownout { .. } => "storage-brownout",
+            FaultKind::EngineCrash { .. } => "engine-crash",
+            FaultKind::SnapshotTornWrite => "snapshot-torn-write",
+            FaultKind::SnapshotCorruption => "snapshot-corruption",
         }
     }
 }

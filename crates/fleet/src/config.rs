@@ -246,6 +246,33 @@ impl IngestConfig {
     }
 }
 
+/// Durable barrier checkpointing for a fleet run.
+///
+/// When attached to a [`FleetConfig`] (see
+/// [`FleetConfig::with_checkpoint`]) the engine serializes its complete
+/// deterministic state — vehicle RNG streams, edge lane pools, ingest
+/// queues, mobility tracks, every ledger — into a versioned, checksummed
+/// snapshot every `interval_epochs` barriers, keeping the last `retain`
+/// generations. `FleetEngine::restore` resumes a run from any surviving
+/// snapshot, byte-identically and even into a different shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Barriers between snapshots: a snapshot is written at every epoch
+    /// whose index is a positive multiple of this interval.
+    pub interval_epochs: u64,
+    /// Snapshot generations kept on the store (keep-last-K retention).
+    pub retain: usize,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        CheckpointConfig {
+            interval_epochs: 8,
+            retain: 3,
+        }
+    }
+}
+
 /// Why a [`FleetConfig`] was rejected.
 ///
 /// Every variant names the offending field and the rule it broke, so a
@@ -326,6 +353,20 @@ pub enum FleetConfigError {
     },
     /// The mobility config carries an unusable value.
     BadMobility(String),
+    /// `checkpoint.interval_epochs == 0`: a snapshot at every zeroth
+    /// barrier is meaningless.
+    ZeroCheckpointInterval,
+    /// `checkpoint.interval_epochs` is at least the run's total epoch
+    /// count: no barrier would ever write a snapshot.
+    CheckpointIntervalExceedsRun {
+        /// Configured barriers-between-snapshots.
+        interval_epochs: u64,
+        /// Epochs the run actually executes.
+        total_epochs: u64,
+    },
+    /// `checkpoint.retain == 0`: every snapshot would be deleted the
+    /// moment it was written.
+    ZeroCheckpointRetention,
 }
 
 impl fmt::Display for FleetConfigError {
@@ -375,6 +416,20 @@ impl fmt::Display for FleetConfigError {
                  sharded by current region, so every shard needs at least one region"
             ),
             FleetConfigError::BadMobility(what) => write!(f, "mobility: {what}"),
+            FleetConfigError::ZeroCheckpointInterval => {
+                write!(f, "checkpoint interval must be at least one epoch")
+            }
+            FleetConfigError::CheckpointIntervalExceedsRun {
+                interval_epochs,
+                total_epochs,
+            } => write!(
+                f,
+                "checkpoint interval of {interval_epochs} epochs over a {total_epochs}-epoch \
+                 run: no barrier would ever write a snapshot"
+            ),
+            FleetConfigError::ZeroCheckpointRetention => {
+                write!(f, "checkpoint retention must keep at least one generation")
+            }
         }
     }
 }
@@ -445,6 +500,12 @@ pub struct FleetConfig {
     /// from values the deterministic serving path already computes, so
     /// enabling this cannot perturb a run — it only costs memory.
     pub telemetry: bool,
+    /// Durable barrier checkpointing: when set, the engine snapshots
+    /// its complete deterministic state every `interval_epochs`
+    /// barriers with keep-last-`retain` retention, and
+    /// `FleetEngine::run_supervised` can resume a crashed run from the
+    /// newest valid generation. `None` disables checkpointing.
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl Default for FleetConfig {
@@ -473,6 +534,7 @@ impl Default for FleetConfig {
             ingest: None,
             mobility: None,
             telemetry: false,
+            checkpoint: None,
         }
     }
 }
@@ -743,6 +805,79 @@ impl FleetConfig {
         self
     }
 
+    /// Enables durable barrier checkpointing: a complete-state snapshot
+    /// every `interval_epochs` barriers, keeping the newest `retain`
+    /// generations on the store.
+    #[must_use]
+    pub fn with_checkpoint(mut self, interval_epochs: u64, retain: usize) -> Self {
+        self.checkpoint = Some(CheckpointConfig {
+            interval_epochs,
+            retain,
+        });
+        self
+    }
+
+    /// Adds a scripted engine crash: a supervised run
+    /// (`FleetEngine::run_supervised`) dies at the barrier that closes
+    /// epoch `epoch` and resumes from the newest valid snapshot,
+    /// charging `downtime` of engine unavailability to the MTTR ledger.
+    /// Plain `FleetEngine::run` ignores the crash — which is what makes
+    /// straight and crash–resume runs comparable.
+    #[must_use]
+    pub fn with_engine_crash(mut self, epoch: u64, downtime: SimDuration) -> Self {
+        use vdap_fault::{FaultKind, FaultSpec};
+        let start = SimTime::ZERO + SimDuration::from_nanos(self.epoch.as_nanos() * epoch);
+        let plan = self
+            .chaos
+            .unwrap_or_else(|| FaultPlan::new(self.duration))
+            .with_fault(FaultSpec::new(
+                FaultKind::EngineCrash { epoch },
+                ENGINE_LABEL.to_string(),
+                start,
+                downtime,
+            ));
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Adds a torn-write window on the snapshot store: snapshots
+    /// written during `[start, start + window)` are truncated mid-write
+    /// and must be rejected by checksum on restore.
+    #[must_use]
+    pub fn with_snapshot_torn_write(mut self, start: SimTime, window: SimDuration) -> Self {
+        use vdap_fault::{FaultKind, FaultSpec};
+        let plan = self
+            .chaos
+            .unwrap_or_else(|| FaultPlan::new(self.duration))
+            .with_fault(FaultSpec::new(
+                FaultKind::SnapshotTornWrite,
+                CKPT_STORE_LABEL.to_string(),
+                start,
+                window,
+            ));
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Adds a corruption window on the snapshot store: snapshots
+    /// written during `[start, start + window)` suffer a bit-flip and
+    /// must be rejected by checksum on restore.
+    #[must_use]
+    pub fn with_snapshot_corruption(mut self, start: SimTime, window: SimDuration) -> Self {
+        use vdap_fault::{FaultKind, FaultSpec};
+        let plan = self
+            .chaos
+            .unwrap_or_else(|| FaultPlan::new(self.duration))
+            .with_fault(FaultSpec::new(
+                FaultKind::SnapshotCorruption,
+                CKPT_STORE_LABEL.to_string(),
+                start,
+                window,
+            ));
+        self.chaos = Some(plan);
+        self
+    }
+
     /// Attaches a pre-built fault plan (replacing any builders' faults
     /// accumulated so far).
     #[must_use]
@@ -821,7 +956,34 @@ impl FleetConfig {
         if let Some(mobility) = &self.mobility {
             validate_mobility(mobility, self.shards, self.regions)?;
         }
+        if let Some(ckpt) = &self.checkpoint {
+            if ckpt.interval_epochs == 0 {
+                return Err(FleetConfigError::ZeroCheckpointInterval);
+            }
+            // The snapshot at the final barrier is skipped (the run is
+            // already complete), so the interval must leave at least one
+            // *interior* barrier: interval < total epochs.
+            let total_epochs = self.total_epochs();
+            if ckpt.interval_epochs >= total_epochs {
+                return Err(FleetConfigError::CheckpointIntervalExceedsRun {
+                    interval_epochs: ckpt.interval_epochs,
+                    total_epochs,
+                });
+            }
+            if ckpt.retain == 0 {
+                return Err(FleetConfigError::ZeroCheckpointRetention);
+            }
+        }
         Ok(())
+    }
+
+    /// Number of epochs the run executes: `ceil(duration / epoch)` (the
+    /// final epoch may be shorter than the nominal interval).
+    #[must_use]
+    pub fn total_epochs(&self) -> u64 {
+        self.duration
+            .as_nanos()
+            .div_ceil(self.epoch.as_nanos().max(1))
     }
 
     /// The tenant a vehicle belongs to (interleaved assignment).
@@ -962,6 +1124,14 @@ pub fn collector_label(region: u32) -> String {
 
 /// The fault-plan target label for the shared DDI storage tier.
 pub const STORE_LABEL: &str = "ddi/store";
+
+/// The fault-plan target label for the fleet engine process itself
+/// (scripted [`vdap_fault::FaultKind::EngineCrash`] faults).
+pub const ENGINE_LABEL: &str = "engine";
+
+/// The fault-plan target label for the snapshot store (torn-write and
+/// corruption chaos on checkpoint persistence).
+pub const CKPT_STORE_LABEL: &str = "ckpt/store";
 
 #[cfg(test)]
 mod tests {
@@ -1175,6 +1345,62 @@ mod tests {
         }
         let fixed = FleetConfig::sized(1000, 3);
         assert_eq!(fixed.initial_shard_of(999), fixed.shard_of(999));
+    }
+
+    #[test]
+    fn checkpoint_validation_bounds_interval_and_retention() {
+        let cfg = FleetConfig::default().with_checkpoint(8, 3);
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.total_epochs(), 120);
+        let zero = FleetConfig::default().with_checkpoint(0, 3);
+        assert_eq!(
+            zero.validate(),
+            Err(FleetConfigError::ZeroCheckpointInterval)
+        );
+        // 60 s / 500 ms = 120 epochs; an interval of 120 or more never
+        // reaches an interior barrier.
+        let wide = FleetConfig::default().with_checkpoint(120, 3);
+        let err = wide.validate().unwrap_err();
+        assert_eq!(
+            err,
+            FleetConfigError::CheckpointIntervalExceedsRun {
+                interval_epochs: 120,
+                total_epochs: 120
+            }
+        );
+        assert!(err.to_string().contains("no barrier"), "{err}");
+        assert!(FleetConfig::default()
+            .with_checkpoint(119, 3)
+            .validate()
+            .is_ok());
+        let none_kept = FleetConfig::default().with_checkpoint(8, 0);
+        assert_eq!(
+            none_kept.validate(),
+            Err(FleetConfigError::ZeroCheckpointRetention)
+        );
+    }
+
+    #[test]
+    fn engine_crash_and_snapshot_chaos_builders_target_ckpt_labels() {
+        let cfg = FleetConfig::default()
+            .with_checkpoint(8, 3)
+            .with_engine_crash(20, SimDuration::from_millis(750))
+            .with_snapshot_torn_write(SimTime::from_secs(7), SimDuration::from_secs(1))
+            .with_snapshot_corruption(SimTime::from_secs(12), SimDuration::from_secs(1));
+        assert!(cfg.validate().is_ok());
+        let inj = cfg.chaos.clone().expect("plan present").compile();
+        assert_eq!(inj.engine_crashes(ENGINE_LABEL), vec![20]);
+        assert!(inj.snapshot_torn(CKPT_STORE_LABEL, SimTime::from_secs(7)));
+        assert!(!inj.snapshot_torn(CKPT_STORE_LABEL, SimTime::from_secs(9)));
+        assert!(inj.snapshot_corrupt(CKPT_STORE_LABEL, SimTime::from_secs(12)));
+        assert!(!inj.snapshot_corrupt(CKPT_STORE_LABEL, SimTime::from_secs(7)));
+        // The crash window seeds the MTTR ledger at epoch 20 * 500 ms.
+        let faults = cfg.chaos.as_ref().unwrap().faults();
+        let crash = faults
+            .iter()
+            .find(|s| s.target == ENGINE_LABEL)
+            .expect("crash fault");
+        assert_eq!(crash.start, SimTime::from_secs(10));
     }
 
     #[test]

@@ -21,21 +21,40 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use vdap_ckpt::json::Value;
+use vdap_ckpt::{
+    f64_bits, get, get_array, get_bool, get_f64_bits, get_str, get_u32, get_u64_hex, obj, u64_hex,
+    CkptError, Snapshot, SnapshotStore,
+};
 use vdap_edgeos::WorkloadClass;
 use vdap_fault::{FaultEdge, FaultInjector, FaultKind};
-use vdap_mobility::{Crossing, MobilityMetrics, RegionGraph, VehicleTrack};
+use vdap_mobility::{
+    Crossing, MobilityMetrics, RegionGraph, RouteProfile, TrackLeg, TrackMotion, TrackSnapshot,
+    VehicleTrack,
+};
 use vdap_net::CellularChannel;
-use vdap_obs::{BarrierProfiler, RequestSpan, SpanOutcome};
+use vdap_obs::{intern_name, BarrierProfiler, RequestSpan, SpanOutcome};
 use vdap_offload::Tile;
-use vdap_sim::{ReliabilityStats, SeedFactory, SimDuration, SimTime};
+use vdap_sim::{ReliabilityStats, RngStream, SeedFactory, SimDuration, SimTime};
 
-use crate::config::{handoff_label, tenant_label, FleetConfig, FleetConfigError};
+use crate::ckpt::{
+    check_fingerprint, config_fingerprint, dur_field, enc_dur, enc_hist, enc_metrics, enc_opt_time,
+    enc_reliability, enc_rng, enc_time, hist_field, metrics_field, opt_time_field,
+    reliability_field, rng_field, time_field, val_array, val_f64_bits, val_pair, val_str, val_u32,
+    val_u64_hex, SnapshotDiagnostics, SnapshotWrite,
+};
+use crate::config::{
+    handoff_label, tenant_label, CheckpointConfig, FleetConfig, FleetConfigError, CKPT_STORE_LABEL,
+    ENGINE_LABEL,
+};
 use crate::edge::{EpochOutcome, XEdgeServer};
 use crate::ingest::IngestPass;
 use crate::metrics::{FleetMetrics, FleetReport, FleetTelemetry};
 use crate::pool::WorkerPool;
-use crate::shard::{region_label_table, CollabSnapshot, Shard};
-use crate::vehicle::{BOARD_W, RADIO_W};
+use crate::shard::{
+    dec_collab, dec_vehicle, enc_collab, enc_vehicle, region_label_table, CollabSnapshot, Shard,
+};
+use crate::vehicle::{VehicleState, BOARD_W, RADIO_W};
 
 /// Deterministic sharded fleet simulation engine.
 ///
@@ -87,37 +106,168 @@ impl FleetEngine {
     }
 
     /// Runs the fleet to its horizon and returns the merged report.
+    ///
+    /// Crash faults in the chaos plan are ignored on this path — an
+    /// unsupervised run has nothing to resume from, and no snapshots
+    /// are written. Use [`FleetEngine::run_supervised`] for both.
     #[must_use]
     pub fn run(&self) -> FleetReport {
-        let cfg = Arc::new(self.cfg.clone());
+        let ctx = RunCtx::new(&self.cfg);
+        match run_core(&ctx, EngineState::fresh(&ctx), None, &[]) {
+            RunEnd::Completed(report) => *report,
+            RunEnd::Crashed { .. } => unreachable!("run() honors no crash faults"),
+        }
+    }
+
+    /// Runs the fleet under a crash supervisor backed by `store`.
+    ///
+    /// At every checkpoint barrier (see [`FleetConfig::with_checkpoint`])
+    /// the complete deterministic engine state is serialized into the
+    /// store; a seeded [`FaultKind::EngineCrash`] kills the run at its
+    /// epoch barrier, and the supervisor resumes from the newest
+    /// snapshot whose checksum still verifies — falling back a
+    /// generation past torn or corrupted writes, or restarting from
+    /// scratch when no valid snapshot survives. The returned report's
+    /// summary is byte-identical to the same scenario's straight
+    /// [`FleetEngine::run`]; only wall-clock diagnostics differ.
+    #[must_use]
+    pub fn run_supervised(&self, store: &mut SnapshotStore) -> FleetReport {
+        let ctx = RunCtx::new(&self.cfg);
+        let crashes: Vec<u64> = ctx
+            .injector
+            .as_deref()
+            .map(|inj| inj.engine_crashes(ENGINE_LABEL))
+            .unwrap_or_default();
+        // The fence rises past each crash already taken, so a restored
+        // leg replaying the same epochs does not die twice on the same
+        // fault window.
+        let mut fence = 0u64;
+        let mut state = EngineState::fresh(&ctx);
+        loop {
+            let live: Vec<u64> = crashes.iter().copied().filter(|&e| e > fence).collect();
+            match run_core(&ctx, state, Some(store), &live) {
+                RunEnd::Completed(report) => return *report,
+                RunEnd::Crashed { epoch, snapshots } => {
+                    fence = epoch;
+                    let (snap, rejected) = store.newest_valid();
+                    let mut carried = snapshots;
+                    carried.resumes += 1;
+                    carried.rejected_generations.extend(rejected);
+                    state = match snap {
+                        Some(snapshot) => {
+                            let started = Instant::now();
+                            let restored = state_from_snapshot(&ctx, &snapshot.payload)
+                                .expect("checksum-valid snapshot decodes");
+                            carried.load_ms = Some(started.elapsed().as_secs_f64() * 1e3);
+                            restored
+                        }
+                        // Every stored generation failed its checksum:
+                        // restart from scratch. Determinism makes this
+                        // indistinguishable (minus wall clock) from
+                        // never having crashed.
+                        None => EngineState::fresh(&ctx),
+                    };
+                    state.snapshots = carried;
+                }
+            }
+        }
+    }
+
+    /// Resumes a run from `snapshot` and drives it to the horizon.
+    ///
+    /// The snapshot must come from a scenario with the same fingerprint
+    /// (seed, fleet shape, subsystem toggles). The *shard count* is
+    /// deliberately not fingerprinted: a snapshot taken by an 8-shard
+    /// run restores into a 1-shard engine and vice versa, and the
+    /// resumed report's summary stays byte-identical either way.
+    pub fn restore(&self, snapshot: &Snapshot) -> Result<FleetReport, CkptError> {
+        let ctx = RunCtx::new(&self.cfg);
+        let started = Instant::now();
+        let mut state = state_from_snapshot(&ctx, &snapshot.payload)?;
+        if snapshot.generation != state.epoch_index {
+            return Err(CkptError::new(format!(
+                "snapshot generation {} disagrees with payload epoch {}",
+                snapshot.generation, state.epoch_index
+            )));
+        }
+        state.snapshots.load_ms = Some(started.elapsed().as_secs_f64() * 1e3);
+        state.snapshots.resumes = 1;
+        match run_core(&ctx, state, None, &[]) {
+            RunEnd::Completed(report) => Ok(*report),
+            RunEnd::Crashed { .. } => unreachable!("restore() honors no crash faults"),
+        }
+    }
+}
+
+/// Immutable per-run context: everything the engine loop needs that is
+/// a pure function of the scenario and therefore never serialized.
+struct RunCtx {
+    cfg: Arc<FleetConfig>,
+    seeds: SeedFactory,
+    injector: Option<Arc<FaultInjector>>,
+    region_labels: Arc<Vec<String>>,
+    tenant_labels: Vec<String>,
+    horizon: SimTime,
+}
+
+impl RunCtx {
+    fn new(cfg: &FleetConfig) -> Self {
+        let cfg = Arc::new(cfg.clone());
         let seeds = SeedFactory::new(cfg.seed);
         let injector = cfg.chaos.as_ref().map(|plan| Arc::new(plan.compile()));
         let region_labels = Arc::new(region_label_table(cfg.regions));
+        let tenant_labels = (0..cfg.tenants).map(tenant_label).collect();
+        let horizon = cfg.horizon();
+        RunCtx {
+            cfg,
+            seeds,
+            injector,
+            region_labels,
+            tenant_labels,
+            horizon,
+        }
+    }
+}
 
-        let mut shards: Vec<Shard> = (0..cfg.shards)
-            .map(|i| Shard::new(i, &cfg, &seeds, injector.clone(), &region_labels))
+/// The complete mutable engine state carried across epoch barriers —
+/// exactly the set a snapshot serializes and a restore rebuilds.
+struct EngineState {
+    shards: Vec<Shard>,
+    edge: XEdgeServer,
+    engine_metrics: FleetMetrics,
+    reliability: ReliabilityStats,
+    telemetry: Option<FleetTelemetry>,
+    ingest: Option<IngestPass>,
+    mobility: Option<MobilityPass>,
+    ladder_rng: RngStream,
+    epoch_index: u64,
+    /// Net events already accounted by pre-crash legs (0 on a fresh
+    /// run; a restore folds the writing run's shard ledgers into it).
+    events_base: u64,
+    /// Wall-clock snapshot diagnostics, carried across supervised legs.
+    snapshots: SnapshotDiagnostics,
+}
+
+impl EngineState {
+    /// Epoch-0 state for a scenario, with the availability preamble
+    /// already written.
+    fn fresh(ctx: &RunCtx) -> Self {
+        let cfg = &ctx.cfg;
+        let shards: Vec<Shard> = (0..cfg.shards)
+            .map(|i| Shard::new(i, cfg, &ctx.seeds, ctx.injector.clone(), &ctx.region_labels))
             .collect();
-        let pool = WorkerPool::new(cfg.shards as usize);
-        let mut edge = XEdgeServer::new(&cfg);
-        let mut engine_metrics = FleetMetrics::new();
         let mut reliability = ReliabilityStats::new();
-        let mut telemetry: Option<FleetTelemetry> = cfg.telemetry.then(FleetTelemetry::default);
-        let mut profiler = BarrierProfiler::new(cfg.shards as usize);
-        let mut ingest: Option<IngestPass> =
-            cfg.ingest.as_ref().map(|_| IngestPass::new(&cfg, &seeds));
-        let mut mobility: Option<MobilityPass> = cfg
-            .mobility
-            .as_ref()
-            .map(|mob| MobilityPass::new(mob, &cfg, &seeds));
 
         // The fault timeline is a pure function of the plan, so the
         // fleet-wide availability ledger can be written up front in
         // time order. Tenant-quota flaps are folded into the per-tenant
         // ledger below instead of the generic one, so a tenant's MTTR
         // reflects both its own flaps and fleet-wide node crashes
-        // without double-counting the same label.
-        let horizon = cfg.horizon();
-        if let Some(inj) = injector.as_deref() {
+        // without double-counting the same label. Engine crashes are
+        // preambled too: their downtime is fixed by the plan, so the
+        // resume window lands in MTTR whether or not this particular
+        // run path honors the crash.
+        if let Some(inj) = ctx.injector.as_deref() {
             let mut transitions = inj.transitions();
             transitions.sort_by_key(|t| (t.at, t.window));
             for tr in transitions {
@@ -130,204 +280,748 @@ impl FleetEngine {
                     FaultEdge::End => reliability.record_recovery(&window.target, tr.at),
                 }
             }
-            record_tenant_ledger(&mut reliability, inj, &cfg, horizon);
+            record_tenant_ledger(&mut reliability, inj, cfg, ctx.horizon);
         }
 
-        // Ladder randomness is engine-owned and consumed in canonical
-        // batch order at barriers, so it is shard-count invariant.
-        let mut ladder_rng = seeds.stream("fleet-ladder");
-        let tenant_labels: Vec<String> = (0..cfg.tenants).map(tenant_label).collect();
-        let mut epoch_index = 0u64;
-        loop {
-            let end_raw = SimTime::ZERO + cfg.epoch * (epoch_index + 1);
-            let end = if end_raw > horizon { horizon } else { end_raw };
-
-            // Advance every shard to the barrier in parallel, timing
-            // each shard's advance for the barrier profiler.
-            pool.for_each_mut(&mut shards, |_, shard| {
-                let started = Instant::now();
-                shard.sim.run_until(end);
-                shard.busy = started.elapsed();
-            });
-            let busy: Vec<Duration> = shards.iter().map(|s| s.busy).collect();
-            profiler.record_epoch(&busy);
-
-            // ---- barrier: single-threaded, canonical-order exchange ----
-            let barrier_started = Instant::now();
-            let mut batch = Vec::new();
-            let mut ingest_batches = Vec::new();
-            let mut publications: Vec<(Tile, u32)> = Vec::new();
-            let mut failovers: Vec<(u32, u32, f64)> = Vec::new();
-            for shard in &mut shards {
-                let st = shard.sim.state_mut();
-                batch.append(&mut st.outbox);
-                ingest_batches.append(&mut st.ingest_outbox);
-                publications.append(&mut st.publications);
-                failovers.append(&mut st.failover_samples);
-                if let Some(tel) = telemetry.as_mut() {
-                    for span in st.spans.drain(..) {
-                        tel.registry.inc(
-                            match span.outcome {
-                                SpanOutcome::CollabHit => "fleet.collab_hits",
-                                _ => "fleet.failovers",
-                            },
-                            1,
-                        );
-                        tel.spans.push(span);
-                    }
-                }
-            }
-
-            // Failover latencies feed an exact (order-sensitive) Summary,
-            // so sort them canonically before recording.
-            failovers.sort_unstable_by_key(|&(vehicle, seq, _)| (vehicle, seq));
-            for &(_, _, ms) in &failovers {
-                reliability.record_failover(SimDuration::from_millis_f64(ms));
-            }
-
-            let outcome = edge.serve_epoch(batch, end, injector.as_deref(), &mut ladder_rng);
-            engine_metrics
-                .queue_depth
-                .record(outcome.queue_depth as f64);
-            engine_metrics
-                .elastic_lanes
-                .record(f64::from(outcome.lanes));
-            if outcome.scaled_up {
-                engine_metrics.scale_ups += 1;
-            }
-            if outcome.scaled_down {
-                engine_metrics.scale_downs += 1;
-            }
-            record_outcome(
-                &mut engine_metrics,
-                &mut reliability,
-                &outcome,
-                &cfg,
-                &tenant_labels,
-                telemetry.as_mut(),
-            );
-            if let Some(tel) = telemetry.as_mut() {
-                sample_epoch(tel, &outcome, epoch_index, end);
-            }
-
-            // The DDI ingestion pass: collector admission, the ingest
-            // degradation ladder, and the storage drain — all sampled
-            // at this barrier only, on canonically sorted batches.
-            if let Some(ing) = ingest.as_mut() {
-                let epoch_start = SimTime::ZERO + cfg.epoch * epoch_index;
-                ing.barrier(
-                    std::mem::take(&mut ingest_batches),
-                    end - epoch_start,
-                    end,
-                    epoch_index,
-                    injector.as_deref(),
-                    &mut reliability,
-                    telemetry.as_mut(),
-                );
-            }
-
-            // The geo-mobility pass: advance every seeded track across
-            // the epoch just completed, price region crossings, and
-            // migrate vehicles whose new region is homed on another
-            // shard — all single-threaded, in canonical vehicle order.
-            if let Some(mob) = mobility.as_mut() {
-                let epoch_start = SimTime::ZERO + cfg.epoch * epoch_index;
-                mob.barrier(
-                    &mut shards,
-                    &mut edge,
-                    ingest.as_mut(),
-                    injector.as_deref(),
-                    &mut reliability,
-                    telemetry.as_mut(),
-                    &cfg,
-                    epoch_start,
-                    end - epoch_start,
-                    end,
-                    epoch_index,
-                );
-            }
-
-            // Union this epoch's publications into the next snapshot;
-            // ties go to the smallest vehicle id (order-independent).
-            let mut snapshot = CollabSnapshot::new();
-            for (tile, producer) in publications {
-                snapshot
-                    .entry(tile)
-                    .and_modify(|p| {
-                        if producer < *p {
-                            *p = producer;
-                        }
-                    })
-                    .or_insert(producer);
-            }
-            let snapshot = Arc::new(snapshot);
-            for shard in &mut shards {
-                shard.sim.state_mut().snapshot = Arc::clone(&snapshot);
-            }
-
-            profiler.record_barrier(barrier_started.elapsed());
-            epoch_index += 1;
-            if end >= horizon {
-                break;
-            }
-        }
-
-        // Drain work still pending at the horizon: in-flight lanes
-        // complete (their latency is fixed), stranded requeues take the
-        // local fallback. The tail belongs to no barrier, so it updates
-        // telemetry counters and spans but adds no epoch samples.
-        let tail = edge.flush(horizon);
-        record_outcome(
-            &mut engine_metrics,
-            &mut reliability,
-            &tail,
-            &cfg,
-            &tenant_labels,
-            telemetry.as_mut(),
-        );
-
-        // Merge shard-local metrics (associative + commutative).
-        // Orphan events — migration leftovers that popped to a no-op —
-        // are subtracted so the event ledger matches a 1-shard run,
-        // where no vehicle ever physically moves.
-        let mut metrics = engine_metrics;
-        let mut events_processed = 0u64;
-        for shard in &shards {
-            let st = shard.sim.state();
-            events_processed += shard.sim.events_processed() - st.orphan_events;
-            metrics.merge(&st.metrics);
-        }
-        if let Some(tel) = telemetry.as_mut() {
-            // Insertion order interleaves vehicle-side and edge-side
-            // resolutions arbitrarily; canonical order restores a
-            // shard-count-invariant log.
-            tel.spans.sort_canonical();
-            tel.registry.inc("fleet.requests", metrics.requests);
-        }
-        let region_availability = reliability
-            .faulted_components()
-            .iter()
-            .map(|c| ((*c).to_string(), reliability.availability(c, horizon)))
-            .collect();
-
-        FleetReport {
-            metrics,
+        EngineState {
+            shards,
+            edge: XEdgeServer::new(cfg),
+            engine_metrics: FleetMetrics::new(),
             reliability,
-            region_availability,
-            vehicles: cfg.vehicles,
-            shards: cfg.shards,
-            duration: cfg.duration,
-            events_processed,
-            admission_offered: edge.offered(),
-            admission_rejected: edge.rejected(),
-            mobility: mobility.as_ref().map(|m| m.metrics.clone()),
-            region_admission: edge.region_admission_table(),
-            physical_migrations: mobility.as_ref().map_or(0, |m| m.physical_migrations),
-            ingest: ingest.as_mut().map(IngestPass::finish),
-            telemetry,
-            profile: profiler.finish(),
+            telemetry: cfg.telemetry.then(FleetTelemetry::default),
+            ingest: cfg
+                .ingest
+                .as_ref()
+                .map(|_| IngestPass::new(cfg, &ctx.seeds)),
+            mobility: cfg
+                .mobility
+                .as_ref()
+                .map(|mob| MobilityPass::new(mob, cfg, &ctx.seeds)),
+            // Ladder randomness is engine-owned and consumed in
+            // canonical batch order at barriers, so it is shard-count
+            // invariant.
+            ladder_rng: ctx.seeds.stream("fleet-ladder"),
+            epoch_index: 0,
+            events_base: 0,
+            snapshots: SnapshotDiagnostics::default(),
         }
     }
+}
+
+/// How one leg of the engine loop ended.
+enum RunEnd {
+    /// Ran to the horizon: the merged report.
+    Completed(Box<FleetReport>),
+    /// A seeded engine crash fired at this epoch barrier. The write
+    /// diagnostics accumulated so far ride along to the next leg.
+    Crashed {
+        epoch: u64,
+        snapshots: SnapshotDiagnostics,
+    },
+}
+
+/// Drives `state` from its current epoch to the horizon — the single
+/// engine loop behind [`FleetEngine::run`], [`FleetEngine::run_supervised`]
+/// and [`FleetEngine::restore`].
+///
+/// With a `store` wired and a checkpoint config present, the complete
+/// state is snapshotted at every interval barrier — after the barrier's
+/// canonical exchange, when every cross-shard queue is drained and all
+/// scheduled events lie strictly beyond the barrier. `crashes` lists
+/// epoch barriers at which a supervised leg dies (empty on unsupervised
+/// paths).
+fn run_core(
+    ctx: &RunCtx,
+    mut state: EngineState,
+    mut store: Option<&mut SnapshotStore>,
+    crashes: &[u64],
+) -> RunEnd {
+    let cfg = &ctx.cfg;
+    let horizon = ctx.horizon;
+    let injector = ctx.injector.as_deref();
+    let pool = WorkerPool::new(cfg.shards as usize);
+    // The profiler measures this leg's wall clock only — diagnostics,
+    // so a resumed run legitimately reports a shorter profile.
+    let mut profiler = BarrierProfiler::new(cfg.shards as usize);
+    loop {
+        let end_raw = SimTime::ZERO + cfg.epoch * (state.epoch_index + 1);
+        let end = if end_raw > horizon { horizon } else { end_raw };
+
+        // Advance every shard to the barrier in parallel, timing
+        // each shard's advance for the barrier profiler.
+        pool.for_each_mut(&mut state.shards, |_, shard| {
+            let started = Instant::now();
+            shard.sim.run_until(end);
+            shard.busy = started.elapsed();
+        });
+        let busy: Vec<Duration> = state.shards.iter().map(|s| s.busy).collect();
+        profiler.record_epoch(&busy);
+
+        // ---- barrier: single-threaded, canonical-order exchange ----
+        let barrier_started = Instant::now();
+        let mut batch = Vec::new();
+        let mut ingest_batches = Vec::new();
+        let mut publications: Vec<(Tile, u32)> = Vec::new();
+        let mut failovers: Vec<(u32, u32, f64)> = Vec::new();
+        for shard in &mut state.shards {
+            let st = shard.sim.state_mut();
+            batch.append(&mut st.outbox);
+            ingest_batches.append(&mut st.ingest_outbox);
+            publications.append(&mut st.publications);
+            failovers.append(&mut st.failover_samples);
+            if let Some(tel) = state.telemetry.as_mut() {
+                for span in st.spans.drain(..) {
+                    tel.registry.inc(
+                        match span.outcome {
+                            SpanOutcome::CollabHit => "fleet.collab_hits",
+                            _ => "fleet.failovers",
+                        },
+                        1,
+                    );
+                    tel.spans.push(span);
+                }
+            }
+        }
+
+        // Failover latencies feed an exact (order-sensitive) Summary,
+        // so sort them canonically before recording.
+        failovers.sort_unstable_by_key(|&(vehicle, seq, _)| (vehicle, seq));
+        for &(_, _, ms) in &failovers {
+            state
+                .reliability
+                .record_failover(SimDuration::from_millis_f64(ms));
+        }
+
+        let outcome = state
+            .edge
+            .serve_epoch(batch, end, injector, &mut state.ladder_rng);
+        state
+            .engine_metrics
+            .queue_depth
+            .record(outcome.queue_depth as f64);
+        state
+            .engine_metrics
+            .elastic_lanes
+            .record(f64::from(outcome.lanes));
+        if outcome.scaled_up {
+            state.engine_metrics.scale_ups += 1;
+        }
+        if outcome.scaled_down {
+            state.engine_metrics.scale_downs += 1;
+        }
+        record_outcome(
+            &mut state.engine_metrics,
+            &mut state.reliability,
+            &outcome,
+            cfg,
+            &ctx.tenant_labels,
+            state.telemetry.as_mut(),
+        );
+        if let Some(tel) = state.telemetry.as_mut() {
+            sample_epoch(tel, &outcome, state.epoch_index, end);
+        }
+
+        // The DDI ingestion pass: collector admission, the ingest
+        // degradation ladder, and the storage drain — all sampled
+        // at this barrier only, on canonically sorted batches.
+        if let Some(ing) = state.ingest.as_mut() {
+            let epoch_start = SimTime::ZERO + cfg.epoch * state.epoch_index;
+            ing.barrier(
+                std::mem::take(&mut ingest_batches),
+                end - epoch_start,
+                end,
+                state.epoch_index,
+                injector,
+                &mut state.reliability,
+                state.telemetry.as_mut(),
+            );
+        }
+
+        // The geo-mobility pass: advance every seeded track across
+        // the epoch just completed, price region crossings, and
+        // migrate vehicles whose new region is homed on another
+        // shard — all single-threaded, in canonical vehicle order.
+        if let Some(mob) = state.mobility.as_mut() {
+            let epoch_start = SimTime::ZERO + cfg.epoch * state.epoch_index;
+            mob.barrier(
+                &mut state.shards,
+                &mut state.edge,
+                state.ingest.as_mut(),
+                injector,
+                &mut state.reliability,
+                state.telemetry.as_mut(),
+                cfg,
+                epoch_start,
+                end - epoch_start,
+                end,
+                state.epoch_index,
+            );
+        }
+
+        // Union this epoch's publications into the next snapshot;
+        // ties go to the smallest vehicle id (order-independent).
+        let mut snapshot = CollabSnapshot::new();
+        for (tile, producer) in publications {
+            snapshot
+                .entry(tile)
+                .and_modify(|p| {
+                    if producer < *p {
+                        *p = producer;
+                    }
+                })
+                .or_insert(producer);
+        }
+        let snapshot = Arc::new(snapshot);
+        for shard in &mut state.shards {
+            shard.sim.state_mut().snapshot = Arc::clone(&snapshot);
+        }
+
+        profiler.record_barrier(barrier_started.elapsed());
+        state.epoch_index += 1;
+
+        // ---- durability hooks. Snapshot first, crash second: a   ----
+        // ---- crash landing on a checkpoint epoch still leaves    ----
+        // ---- its barrier's snapshot behind, like a process dying ----
+        // ---- right after fsync.                                  ----
+        if let (Some(ck), Some(store)) = (cfg.checkpoint, store.as_deref_mut()) {
+            if state.epoch_index.is_multiple_of(ck.interval_epochs) && end < horizon {
+                write_snapshot(ctx, &mut state, store, ck, end);
+            }
+        }
+        if end < horizon && crashes.contains(&state.epoch_index) {
+            return RunEnd::Crashed {
+                epoch: state.epoch_index,
+                snapshots: state.snapshots,
+            };
+        }
+        if end >= horizon {
+            break;
+        }
+    }
+
+    // Drain work still pending at the horizon: in-flight lanes
+    // complete (their latency is fixed), stranded requeues take the
+    // local fallback. The tail belongs to no barrier, so it updates
+    // telemetry counters and spans but adds no epoch samples.
+    let tail = state.edge.flush(horizon);
+    record_outcome(
+        &mut state.engine_metrics,
+        &mut state.reliability,
+        &tail,
+        cfg,
+        &ctx.tenant_labels,
+        state.telemetry.as_mut(),
+    );
+
+    // Merge shard-local metrics (associative + commutative).
+    // Orphan events — migration leftovers that popped to a no-op —
+    // are subtracted so the event ledger matches a 1-shard run,
+    // where no vehicle ever physically moves.
+    let mut metrics = state.engine_metrics;
+    let mut events_processed = state.events_base;
+    for shard in &state.shards {
+        let st = shard.sim.state();
+        events_processed += shard.sim.events_processed() - st.orphan_events;
+        metrics.merge(&st.metrics);
+    }
+    if let Some(tel) = state.telemetry.as_mut() {
+        // Insertion order interleaves vehicle-side and edge-side
+        // resolutions arbitrarily; canonical order restores a
+        // shard-count-invariant log.
+        tel.spans.sort_canonical();
+        tel.registry.inc("fleet.requests", metrics.requests);
+    }
+    let region_availability = state
+        .reliability
+        .faulted_components()
+        .iter()
+        .map(|c| ((*c).to_string(), state.reliability.availability(c, horizon)))
+        .collect();
+
+    RunEnd::Completed(Box::new(FleetReport {
+        metrics,
+        reliability: state.reliability,
+        region_availability,
+        vehicles: cfg.vehicles,
+        shards: cfg.shards,
+        duration: cfg.duration,
+        events_processed,
+        admission_offered: state.edge.offered(),
+        admission_rejected: state.edge.rejected(),
+        mobility: state.mobility.as_ref().map(|m| m.metrics.clone()),
+        region_admission: state.edge.region_admission_table(),
+        physical_migrations: state.mobility.as_ref().map_or(0, |m| m.physical_migrations),
+        ingest: state.ingest.as_mut().map(IngestPass::finish),
+        telemetry: state.telemetry,
+        profile: profiler.finish(),
+        snapshots: state.snapshots,
+    }))
+}
+
+/// Serializes the complete engine state at a barrier and persists it,
+/// applying any seeded snapshot-store chaos *to the encoded bytes* on
+/// the way in — the store itself stays dumb, exactly like a writer
+/// dying mid-`write` (torn) or a bad sector flipping a bit (corrupt).
+fn write_snapshot(
+    ctx: &RunCtx,
+    state: &mut EngineState,
+    store: &mut SnapshotStore,
+    ck: CheckpointConfig,
+    end: SimTime,
+) {
+    let started = Instant::now();
+    let generation = state.epoch_index;
+    let mut encoded = Snapshot::new(generation, snapshot_payload(&ctx.cfg, state)).encode();
+    let mut chaos = None;
+    if let Some(inj) = ctx.injector.as_deref() {
+        if inj.snapshot_torn(CKPT_STORE_LABEL, end) {
+            // A torn write: the tail of the snapshot never hit disk.
+            encoded.truncate(encoded.len() / 2);
+            chaos = Some("torn-write");
+        } else if inj.snapshot_corrupt(CKPT_STORE_LABEL, end) {
+            // Bit rot: flip the low bit of the middle byte. The
+            // encoding is ASCII, so the result is still valid UTF-8 —
+            // only the checksum (or the JSON grammar) can catch it.
+            let mut bytes = encoded.into_bytes();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x01;
+            encoded = String::from_utf8(bytes).expect("low-bit flips keep ascii valid utf-8");
+            chaos = Some("corruption");
+        }
+    }
+    if let Err(err) = store.put(generation, &encoded) {
+        panic!("snapshot store write failed: {err}");
+    }
+    if let Err(err) = store.retain_last(ck.retain) {
+        panic!("snapshot retention failed: {err}");
+    }
+    state.snapshots.writes.push(SnapshotWrite {
+        generation,
+        bytes: encoded.len(),
+        write_ms: started.elapsed().as_secs_f64() * 1e3,
+        chaos,
+    });
+}
+
+/// The complete deterministic engine state as a canonical JSON value.
+///
+/// Shard-local metrics and event counts are folded into the engine
+/// totals before encoding and vehicles are listed in id order, so a
+/// snapshot is *canonical*: every shard count serializes the same
+/// scenario at the same barrier to the same payload — which is what
+/// lets a snapshot restore into a different shard count.
+fn snapshot_payload(cfg: &FleetConfig, state: &EngineState) -> Value {
+    let mut metrics = state.engine_metrics.clone();
+    let mut events = state.events_base;
+    for shard in &state.shards {
+        let st = shard.sim.state();
+        events += shard.sim.events_processed() - st.orphan_events;
+        metrics.merge(&st.metrics);
+    }
+    let mut vehicles: Vec<&VehicleState> = state
+        .shards
+        .iter()
+        .flat_map(|s| s.sim.state().vehicles.values())
+        .collect();
+    vehicles.sort_unstable_by_key(|v| v.id);
+    // Post-barrier, every shard holds the same collab Arc.
+    let collab: &CollabSnapshot = &state.shards[0].sim.state().snapshot;
+    obj(vec![
+        ("config", config_fingerprint(cfg)),
+        ("epoch", u64_hex(state.epoch_index)),
+        ("events_base", u64_hex(events)),
+        ("ladder_rng", enc_rng(&state.ladder_rng)),
+        ("metrics", enc_metrics(&metrics)),
+        ("reliability", enc_reliability(&state.reliability)),
+        (
+            "vehicles",
+            Value::Array(vehicles.into_iter().map(enc_vehicle).collect()),
+        ),
+        ("collab", enc_collab(collab)),
+        ("edge", state.edge.ckpt()),
+        (
+            "ingest",
+            state.ingest.as_ref().map_or(Value::Null, IngestPass::ckpt),
+        ),
+        (
+            "mobility",
+            state
+                .mobility
+                .as_ref()
+                .map_or(Value::Null, MobilityPass::ckpt),
+        ),
+        (
+            "telemetry",
+            state.telemetry.as_ref().map_or(Value::Null, enc_telemetry),
+        ),
+    ])
+}
+
+/// Rebuilds a complete [`EngineState`] from a decoded snapshot payload.
+///
+/// Everything that is a pure function of the scenario — the region
+/// graph, contention curves, retry policies, label tables, and the
+/// vehicle → shard residency map — is *recomputed*, never deserialized,
+/// which is exactly why the restoring engine's shard count is free to
+/// differ from the writing run's.
+fn state_from_snapshot(ctx: &RunCtx, payload: &Value) -> Result<EngineState, CkptError> {
+    let cfg = &ctx.cfg;
+    check_fingerprint(cfg, payload)?;
+    let epoch_index = get_u64_hex(payload, "epoch")?;
+    let t_snap = SimTime::ZERO + cfg.epoch * epoch_index;
+    if epoch_index == 0 || t_snap >= ctx.horizon {
+        return Err(CkptError::new(format!(
+            "snapshot epoch {epoch_index} outside the run's open interval"
+        )));
+    }
+    let events_base = get_u64_hex(payload, "events_base")?;
+    let ladder_rng = rng_field(payload, "ladder_rng")?;
+    let engine_metrics = metrics_field(payload, "metrics")?;
+    let reliability = reliability_field(payload, "reliability")?;
+    let collab = Arc::new(dec_collab(payload, "collab")?);
+
+    let mobility = match (get(payload, "mobility")?, cfg.mobility.is_some()) {
+        (Value::Null, false) => None,
+        (Value::Null, true) | (_, false) => {
+            return Err(CkptError::new(
+                "snapshot and config disagree on the mobility subsystem",
+            ))
+        }
+        (enc, true) => Some(MobilityPass::restore_ckpt(cfg, &ctx.seeds, enc)?),
+    };
+
+    let vehicles_enc = get_array(payload, "vehicles")?;
+    if vehicles_enc.len() != cfg.vehicles as usize {
+        return Err(CkptError::new(format!(
+            "snapshot holds {} vehicles, config expects {}",
+            vehicles_enc.len(),
+            cfg.vehicles
+        )));
+    }
+    let mut buckets: Vec<Vec<VehicleState>> = (0..cfg.shards).map(|_| Vec::new()).collect();
+    for enc in vehicles_enc {
+        let v = dec_vehicle(cfg, enc)?;
+        if v.id >= cfg.vehicles {
+            return Err(CkptError::new(format!("vehicle id {} out of range", v.id)));
+        }
+        // The host shard is an invariant of the vehicle's *current*
+        // region under THIS engine's partition, not the writer's.
+        let host = match mobility.as_ref() {
+            Some(mob) => cfg.shard_of_region(mob.tracks[v.id as usize].region()),
+            None => cfg.initial_shard_of(v.id),
+        };
+        buckets[host as usize].push(v);
+    }
+    let shards: Vec<Shard> = buckets
+        .into_iter()
+        .enumerate()
+        .map(|(i, vehicles)| {
+            Shard::restore(
+                i as u32,
+                cfg,
+                ctx.injector.clone(),
+                &ctx.region_labels,
+                t_snap,
+                vehicles,
+                Arc::clone(&collab),
+            )
+        })
+        .collect();
+
+    let edge = XEdgeServer::restore_ckpt(cfg, get(payload, "edge")?)?;
+    let ingest = match (get(payload, "ingest")?, cfg.ingest.is_some()) {
+        (Value::Null, false) => None,
+        (Value::Null, true) | (_, false) => {
+            return Err(CkptError::new(
+                "snapshot and config disagree on the ingest subsystem",
+            ))
+        }
+        (enc, true) => Some(IngestPass::restore_ckpt(cfg, &ctx.seeds, enc)?),
+    };
+    let telemetry = match (get(payload, "telemetry")?, cfg.telemetry) {
+        (Value::Null, false) => None,
+        (Value::Null, true) | (_, false) => {
+            return Err(CkptError::new("snapshot and config disagree on telemetry"))
+        }
+        (enc, true) => Some(dec_telemetry(enc)?),
+    };
+
+    Ok(EngineState {
+        shards,
+        edge,
+        engine_metrics,
+        reliability,
+        telemetry,
+        ingest,
+        mobility,
+        ladder_rng,
+        epoch_index,
+        events_base,
+        snapshots: SnapshotDiagnostics::default(),
+    })
+}
+
+// ---- telemetry codec ------------------------------------------------
+
+fn enc_span(s: &RequestSpan) -> Value {
+    obj(vec![
+        ("vehicle", Value::Number(f64::from(s.vehicle))),
+        ("seq", Value::Number(f64::from(s.seq))),
+        ("tenant", Value::Number(f64::from(s.tenant))),
+        ("region", Value::Number(f64::from(s.region))),
+        ("shard", Value::Number(f64::from(s.shard))),
+        ("class", Value::String(s.class.to_string())),
+        ("generated", enc_time(s.generated)),
+        ("admitted", enc_opt_time(s.admitted)),
+        ("serve_start", enc_opt_time(s.serve_start)),
+        ("completed", enc_time(s.completed)),
+        ("outcome", Value::String(s.outcome.label().to_string())),
+        ("retries", Value::Number(f64::from(s.retries))),
+        ("requeues", Value::Number(f64::from(s.requeues))),
+        ("handoff", Value::Bool(s.handoff)),
+    ])
+}
+
+fn dec_span(v: &Value) -> Result<RequestSpan, CkptError> {
+    let outcome_label = get_str(v, "outcome")?;
+    let outcome = SpanOutcome::from_label(outcome_label)
+        .ok_or_else(|| CkptError::new(format!("unknown span outcome {outcome_label:?}")))?;
+    Ok(RequestSpan {
+        vehicle: get_u32(v, "vehicle")?,
+        seq: get_u32(v, "seq")?,
+        tenant: get_u32(v, "tenant")?,
+        region: get_u32(v, "region")?,
+        shard: get_u32(v, "shard")?,
+        class: intern_name(get_str(v, "class")?),
+        generated: time_field(v, "generated")?,
+        admitted: opt_time_field(v, "admitted")?,
+        serve_start: opt_time_field(v, "serve_start")?,
+        completed: time_field(v, "completed")?,
+        outcome,
+        retries: get_u32(v, "retries")?,
+        requeues: get_u32(v, "requeues")?,
+        handoff: get_bool(v, "handoff")?,
+    })
+}
+
+/// Serializes the full telemetry surface: the span log in its current
+/// order (the final `sort_canonical` has unique keys, so order here is
+/// immaterial), counters, gauges, and every per-epoch series.
+fn enc_telemetry(tel: &FleetTelemetry) -> Value {
+    obj(vec![
+        (
+            "spans",
+            Value::Array(tel.spans.iter().map(enc_span).collect()),
+        ),
+        (
+            "counters",
+            Value::Array(
+                tel.registry
+                    .counters()
+                    .map(|(name, v)| {
+                        Value::Array(vec![Value::String(name.to_string()), u64_hex(v)])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "gauges",
+            Value::Array(
+                tel.registry
+                    .gauges()
+                    .map(|(name, v)| {
+                        Value::Array(vec![Value::String(name.to_string()), f64_bits(v)])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "series",
+            Value::Array(
+                tel.registry
+                    .all_series()
+                    .map(|(name, pts)| {
+                        Value::Array(vec![
+                            Value::String(name.to_string()),
+                            Value::Array(
+                                pts.iter()
+                                    .map(|p| {
+                                        Value::Array(vec![
+                                            u64_hex(p.epoch),
+                                            enc_time(p.at),
+                                            f64_bits(p.value),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn dec_telemetry(v: &Value) -> Result<FleetTelemetry, CkptError> {
+    let mut tel = FleetTelemetry::default();
+    for s in get_array(v, "spans")? {
+        tel.spans.push(dec_span(s)?);
+    }
+    for pair in get_array(v, "counters")? {
+        let (name, count) = val_pair(pair)?;
+        tel.registry
+            .inc(intern_name(val_str(name)?), val_u64_hex(count)?);
+    }
+    for pair in get_array(v, "gauges")? {
+        let (name, value) = val_pair(pair)?;
+        tel.registry
+            .set_gauge(intern_name(val_str(name)?), val_f64_bits(value)?);
+    }
+    for entry in get_array(v, "series")? {
+        let (name, points) = val_pair(entry)?;
+        let name = intern_name(val_str(name)?);
+        for p in val_array(points)? {
+            let [epoch, at, value] = val_array(p)? else {
+                return Err(CkptError::new("series point is not a triple"));
+            };
+            tel.registry.sample(
+                name,
+                val_u64_hex(epoch)?,
+                SimTime::from_nanos(val_u64_hex(at)?),
+                val_f64_bits(value)?,
+            );
+        }
+    }
+    Ok(tel)
+}
+
+// ---- mobility codec -------------------------------------------------
+
+fn enc_track(t: &TrackSnapshot) -> Value {
+    let profile = match t.profile {
+        RouteProfile::Commute => 0.0,
+        RouteProfile::Roam => 1.0,
+        RouteProfile::RushHour => 2.0,
+    };
+    let leg = match t.leg {
+        TrackLeg::BeforeOutbound => 0.0,
+        TrackLeg::AtWork => 1.0,
+        TrackLeg::Done => 2.0,
+    };
+    let motion = match &t.motion {
+        TrackMotion::Parked => obj(vec![("kind", Value::String("parked".to_string()))]),
+        TrackMotion::Dwell(until) => obj(vec![
+            ("kind", Value::String("dwell".to_string())),
+            ("until", enc_time(*until)),
+        ]),
+        TrackMotion::Drive {
+            edge,
+            remaining,
+            path,
+        } => obj(vec![
+            ("kind", Value::String("drive".to_string())),
+            ("edge", Value::Number(*edge as f64)),
+            ("remaining", enc_dur(*remaining)),
+            (
+                "path",
+                Value::Array(path.iter().map(|&r| Value::Number(f64::from(r))).collect()),
+            ),
+        ]),
+    };
+    obj(vec![
+        ("id", Value::Number(f64::from(t.id))),
+        ("profile", Value::Number(profile)),
+        ("region", Value::Number(f64::from(t.region))),
+        ("home", Value::Number(f64::from(t.home))),
+        ("work", Value::Number(f64::from(t.work))),
+        ("outbound_at", enc_time(t.outbound_at)),
+        ("return_at", enc_time(t.return_at)),
+        ("dwell_mean", enc_dur(t.dwell_mean)),
+        ("leg", Value::Number(leg)),
+        ("motion", motion),
+        (
+            "rng",
+            Value::Array(t.rng.iter().copied().map(u64_hex).collect()),
+        ),
+    ])
+}
+
+fn dec_track(v: &Value) -> Result<TrackSnapshot, CkptError> {
+    let profile = match get_u32(v, "profile")? {
+        0 => RouteProfile::Commute,
+        1 => RouteProfile::Roam,
+        2 => RouteProfile::RushHour,
+        other => return Err(CkptError::new(format!("unknown route profile {other}"))),
+    };
+    let leg = match get_u32(v, "leg")? {
+        0 => TrackLeg::BeforeOutbound,
+        1 => TrackLeg::AtWork,
+        2 => TrackLeg::Done,
+        other => return Err(CkptError::new(format!("unknown track leg {other}"))),
+    };
+    let motion_v = get(v, "motion")?;
+    let motion = match get_str(motion_v, "kind")? {
+        "parked" => TrackMotion::Parked,
+        "dwell" => TrackMotion::Dwell(time_field(motion_v, "until")?),
+        "drive" => TrackMotion::Drive {
+            edge: get_u32(motion_v, "edge")? as usize,
+            remaining: dur_field(motion_v, "remaining")?,
+            path: get_array(motion_v, "path")?
+                .iter()
+                .map(val_u32)
+                .collect::<Result<_, _>>()?,
+        },
+        other => return Err(CkptError::new(format!("unknown track motion {other:?}"))),
+    };
+    let [a, b, c, d] = get_array(v, "rng")? else {
+        return Err(CkptError::new("track rng is not four words"));
+    };
+    Ok(TrackSnapshot {
+        id: get_u32(v, "id")?,
+        profile,
+        region: get_u32(v, "region")?,
+        home: get_u32(v, "home")?,
+        work: get_u32(v, "work")?,
+        outbound_at: time_field(v, "outbound_at")?,
+        return_at: time_field(v, "return_at")?,
+        dwell_mean: dur_field(v, "dwell_mean")?,
+        leg,
+        motion,
+        rng: [
+            val_u64_hex(a)?,
+            val_u64_hex(b)?,
+            val_u64_hex(c)?,
+            val_u64_hex(d)?,
+        ],
+    })
+}
+
+fn enc_mobility_metrics(m: &MobilityMetrics) -> Value {
+    obj(vec![
+        ("crossings", u64_hex(m.crossings)),
+        ("migrations", u64_hex(m.migrations)),
+        ("same_shard_crossings", u64_hex(m.same_shard_crossings)),
+        ("storm_crossings", u64_hex(m.storm_crossings)),
+        ("stale_cache_hits", u64_hex(m.stale_cache_hits)),
+        ("readdressed_batches", u64_hex(m.readdressed_batches)),
+        ("handoff_seconds", f64_bits(m.handoff_seconds)),
+        ("handoff_ms", enc_hist(&m.handoff_ms)),
+        ("crossing_speed_mph", enc_hist(&m.crossing_speed_mph)),
+    ])
+}
+
+fn dec_mobility_metrics(v: &Value) -> Result<MobilityMetrics, CkptError> {
+    Ok(MobilityMetrics {
+        crossings: get_u64_hex(v, "crossings")?,
+        migrations: get_u64_hex(v, "migrations")?,
+        same_shard_crossings: get_u64_hex(v, "same_shard_crossings")?,
+        storm_crossings: get_u64_hex(v, "storm_crossings")?,
+        stale_cache_hits: get_u64_hex(v, "stale_cache_hits")?,
+        readdressed_batches: get_u64_hex(v, "readdressed_batches")?,
+        handoff_seconds: get_f64_bits(v, "handoff_seconds")?,
+        handoff_ms: hist_field(v, "handoff_ms")?,
+        crossing_speed_mph: hist_field(v, "crossing_speed_mph")?,
+    })
 }
 
 /// The engine-owned geo-mobility pass.
@@ -384,6 +1078,83 @@ impl MobilityPass {
             physical_migrations: 0,
             crossings_buf: Vec::new(),
         }
+    }
+
+    /// Serializes the pass: every route track (in vehicle-id order),
+    /// the mobility ledger, and the physical-migration diagnostic. The
+    /// host table is *not* stored — it is recomputable from each
+    /// track's current region, and storing it would pin the writer's
+    /// shard count.
+    fn ckpt(&self) -> Value {
+        obj(vec![
+            (
+                "tracks",
+                Value::Array(
+                    self.tracks
+                        .iter()
+                        .map(|t| enc_track(&t.snapshot()))
+                        .collect(),
+                ),
+            ),
+            ("metrics", enc_mobility_metrics(&self.metrics)),
+            ("physical_migrations", u64_hex(self.physical_migrations)),
+        ])
+    }
+
+    /// Rebuilds the pass for this engine's shard count: the region
+    /// graph and channel are re-derived from the seed, the tracks come
+    /// from the snapshot, and the host table is recomputed from each
+    /// track's current region.
+    fn restore_ckpt(
+        cfg: &FleetConfig,
+        seeds: &SeedFactory,
+        v: &Value,
+    ) -> Result<MobilityPass, CkptError> {
+        let Some(mob) = cfg.mobility.as_ref() else {
+            return Err(CkptError::new(
+                "mobility snapshot without a mobility config",
+            ));
+        };
+        let mut graph_rng = seeds.stream("fleet-mobility-graph");
+        let graph = RegionGraph::seeded(
+            cfg.regions,
+            mob.chords(cfg.regions),
+            mob.segment_capacity,
+            &mut graph_rng,
+        );
+        let tracks_enc = get_array(v, "tracks")?;
+        if tracks_enc.len() != cfg.vehicles as usize {
+            return Err(CkptError::new(format!(
+                "snapshot holds {} mobility tracks, config expects {}",
+                tracks_enc.len(),
+                cfg.vehicles
+            )));
+        }
+        let mut tracks = Vec::with_capacity(tracks_enc.len());
+        for (i, enc) in tracks_enc.iter().enumerate() {
+            let snap = dec_track(enc)?;
+            if snap.id as usize != i {
+                return Err(CkptError::new(format!(
+                    "mobility track {i} carries id {}",
+                    snap.id
+                )));
+            }
+            tracks.push(VehicleTrack::from_snapshot(snap));
+        }
+        let host = tracks
+            .iter()
+            .map(|t| cfg.shard_of_region(t.region()))
+            .collect();
+        Ok(MobilityPass {
+            graph,
+            tracks,
+            host,
+            channel: CellularChannel::calibrated(),
+            handoff_labels: (0..cfg.regions).map(handoff_label).collect(),
+            metrics: dec_mobility_metrics(get(v, "metrics")?)?,
+            physical_migrations: get_u64_hex(v, "physical_migrations")?,
+            crossings_buf: Vec::new(),
+        })
     }
 
     /// One barrier's mobility step, covering the epoch

@@ -527,6 +527,190 @@ impl IngestPass {
     }
 }
 
+// --- snapshot codec --------------------------------------------------
+
+use crate::ckpt::{
+    enc_batch, enc_hist, enc_opt_time, enc_rng, enc_time, hist_field, opt_time_field, rng_field,
+    time_field, val_array, val_pair, val_u64_hex,
+};
+use vdap_ckpt::json::Value;
+use vdap_ckpt::{get, get_array, get_bool, get_u32, get_u64_hex, obj, u64_hex, CkptError};
+
+fn enc_ingest_metrics(m: &IngestMetrics) -> Value {
+    obj(vec![
+        ("batches_sent", u64_hex(m.batches_sent)),
+        ("records_sent", u64_hex(m.records_sent)),
+        ("batches_written", u64_hex(m.batches_written)),
+        ("records_written", u64_hex(m.records_written)),
+        ("deadline_misses", u64_hex(m.deadline_misses)),
+        ("outage_bounces", u64_hex(m.outage_bounces)),
+        ("queue_bounces", u64_hex(m.queue_bounces)),
+        ("retries", u64_hex(m.retries)),
+        ("deferrals", u64_hex(m.deferrals)),
+        ("disk_spills", u64_hex(m.disk_spills)),
+        ("cache_evictions", u64_hex(m.cache_evictions)),
+        ("records_shed", u64_hex(m.records_shed)),
+        ("backlog_records", u64_hex(m.backlog_records)),
+        ("storage_rho", enc_hist(&m.storage_rho)),
+        ("uplink_ms", enc_hist(&m.uplink_ms)),
+        ("ingest_latency_ms", enc_hist(&m.ingest_latency_ms)),
+    ])
+}
+
+fn dec_ingest_metrics(v: &Value) -> Result<IngestMetrics, CkptError> {
+    Ok(IngestMetrics {
+        batches_sent: get_u64_hex(v, "batches_sent")?,
+        records_sent: get_u64_hex(v, "records_sent")?,
+        batches_written: get_u64_hex(v, "batches_written")?,
+        records_written: get_u64_hex(v, "records_written")?,
+        deadline_misses: get_u64_hex(v, "deadline_misses")?,
+        outage_bounces: get_u64_hex(v, "outage_bounces")?,
+        queue_bounces: get_u64_hex(v, "queue_bounces")?,
+        retries: get_u64_hex(v, "retries")?,
+        deferrals: get_u64_hex(v, "deferrals")?,
+        disk_spills: get_u64_hex(v, "disk_spills")?,
+        cache_evictions: get_u64_hex(v, "cache_evictions")?,
+        records_shed: get_u64_hex(v, "records_shed")?,
+        backlog_records: get_u64_hex(v, "backlog_records")?,
+        storage_rho: hist_field(v, "storage_rho")?,
+        uplink_ms: hist_field(v, "uplink_ms")?,
+        ingest_latency_ms: hist_field(v, "ingest_latency_ms")?,
+    })
+}
+
+fn enc_used(map: &BTreeMap<u64, u64>) -> Value {
+    Value::Array(
+        map.iter()
+            .map(|(&vehicle, &records)| Value::Array(vec![u64_hex(vehicle), u64_hex(records)]))
+            .collect(),
+    )
+}
+
+fn dec_used(v: &Value, key: &str) -> Result<BTreeMap<u64, u64>, CkptError> {
+    let mut map = BTreeMap::new();
+    for pair in get_array(v, key)? {
+        let (vehicle, records) = val_pair(pair)?;
+        map.insert(val_u64_hex(vehicle)?, val_u64_hex(records)?);
+    }
+    Ok(map)
+}
+
+impl IngestPass {
+    /// Serializes everything the ingest pass carries across barriers:
+    /// the ladder RNG position, rung-1 retry queue, rung-2 TTL caches
+    /// with their per-vehicle tier occupancy, the ingestion ledger, and
+    /// every collector's queued batches. The config-derived pieces
+    /// (uplink model, contention capacity, retry policy, storage tier)
+    /// are rebuilt on restore.
+    ///
+    /// Deliberately does **not** call [`IngestPass::finish`] — that
+    /// closes the backlog ledger, which only happens at the horizon.
+    pub(crate) fn ckpt(&self) -> Value {
+        obj(vec![
+            ("rng", enc_rng(&self.rng)),
+            (
+                "pending",
+                Value::Array(
+                    self.pending
+                        .iter()
+                        .map(|p| {
+                            obj(vec![
+                                ("due", enc_time(p.due)),
+                                ("attempts", Value::Number(f64::from(p.attempts))),
+                                ("expires", enc_opt_time(p.expires)),
+                                ("batch", enc_batch(&p.batch)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "cached",
+                Value::Array(
+                    self.cached
+                        .iter()
+                        .map(|c| {
+                            obj(vec![
+                                ("expires", enc_time(c.expires)),
+                                ("attempts", Value::Number(f64::from(c.attempts))),
+                                ("disk", Value::Bool(c.disk)),
+                                ("batch", enc_batch(&c.batch)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("mem_used", enc_used(&self.mem_used)),
+            ("disk_used", enc_used(&self.disk_used)),
+            ("metrics", enc_ingest_metrics(&self.metrics)),
+            (
+                "collectors",
+                Value::Array(
+                    self.collectors
+                        .iter()
+                        .map(|c| Value::Array(c.batches().map(enc_batch).collect()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Rebuilds the pass from config plus the serialized barrier state.
+    pub(crate) fn restore_ckpt(
+        cfg: &FleetConfig,
+        seeds: &SeedFactory,
+        v: &Value,
+    ) -> Result<IngestPass, CkptError> {
+        let mut pass = IngestPass::new(cfg, seeds);
+        pass.rng = rng_field(v, "rng")?;
+        pass.pending = get_array(v, "pending")?
+            .iter()
+            .map(|p| {
+                Ok(Pending {
+                    due: time_field(p, "due")?,
+                    attempts: get_u32(p, "attempts")?,
+                    expires: opt_time_field(p, "expires")?,
+                    batch: crate::ckpt::dec_batch(get(p, "batch")?)?,
+                })
+            })
+            .collect::<Result<Vec<_>, CkptError>>()?;
+        pass.cached = get_array(v, "cached")?
+            .iter()
+            .map(|c| {
+                Ok(Cached {
+                    expires: time_field(c, "expires")?,
+                    attempts: get_u32(c, "attempts")?,
+                    disk: get_bool(c, "disk")?,
+                    batch: crate::ckpt::dec_batch(get(c, "batch")?)?,
+                })
+            })
+            .collect::<Result<Vec<_>, CkptError>>()?;
+        pass.mem_used = dec_used(v, "mem_used")?;
+        pass.disk_used = dec_used(v, "disk_used")?;
+        pass.metrics = dec_ingest_metrics(get(v, "metrics")?)?;
+        let queues = get_array(v, "collectors")?;
+        if queues.len() != pass.collectors.len() {
+            return Err(CkptError::new(format!(
+                "snapshot has {} collectors, config has {}",
+                queues.len(),
+                pass.collectors.len()
+            )));
+        }
+        for (region, queue) in queues.iter().enumerate() {
+            let batches = val_array(queue)?
+                .iter()
+                .map(crate::ckpt::dec_batch)
+                .collect::<Result<Vec<_>, _>>()?;
+            pass.collectors[region] = RegionCollector::from_batches(
+                region as u32,
+                pass.ing.collector_queue_records,
+                batches,
+            );
+        }
+        Ok(pass)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

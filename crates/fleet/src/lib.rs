@@ -62,6 +62,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod ckpt;
 mod config;
 mod edge;
 mod engine;
@@ -71,9 +72,11 @@ mod pool;
 mod shard;
 mod vehicle;
 
+pub use ckpt::{SnapshotDiagnostics, SnapshotWrite};
 pub use config::{
-    collector_label, edge_node_label, handoff_label, region_label, tenant_label, ClassSpec,
-    FleetConfig, FleetConfigError, IngestConfig, STORE_LABEL,
+    collector_label, edge_node_label, handoff_label, region_label, tenant_label, CheckpointConfig,
+    ClassSpec, FleetConfig, FleetConfigError, IngestConfig, CKPT_STORE_LABEL, ENGINE_LABEL,
+    STORE_LABEL,
 };
 pub use engine::FleetEngine;
 pub use ingest::IngestMetrics;
@@ -89,3 +92,6 @@ pub use vdap_mobility::{MobilityConfig, MobilityMetrics, RegionGraph, RouteProfi
 // The telemetry vocabulary lives in vdap-obs; re-exported so fleet
 // callers can consume spans, registries, and profiles directly.
 pub use vdap_obs::{EngineProfile, MetricsRegistry, RequestSpan, SpanLog, SpanOutcome};
+// The snapshot vocabulary lives in vdap-ckpt; re-exported so fleet
+// callers can drive checkpoint/restore without a direct dependency.
+pub use vdap_ckpt::{CkptError, Snapshot, SnapshotStore};

@@ -22,6 +22,7 @@ use vdap_mobility::MobilityMetrics;
 use vdap_obs::{EngineProfile, MetricsRegistry, SpanLog};
 use vdap_sim::{ReliabilityStats, SimDuration, StreamingHistogram};
 
+use crate::ckpt::SnapshotDiagnostics;
 use crate::ingest::IngestMetrics;
 
 /// Per-[`WorkloadClass`] outcome accounting (one lane of the fleet-wide
@@ -365,6 +366,11 @@ pub struct FleetReport {
     /// Always captured; reported only via [`FleetReport::diagnostics`],
     /// never in the deterministic [`FleetReport::summary`].
     pub profile: EngineProfile,
+    /// Checkpoint/restore accounting (per-generation snapshot sizes and
+    /// write timings, restore decode time, rejected generations).
+    /// Wall-clock like the profile: reported only via
+    /// [`FleetReport::diagnostics`], never in the summary.
+    pub snapshots: SnapshotDiagnostics,
 }
 
 impl FleetReport {
@@ -589,6 +595,9 @@ impl FleetReport {
                 tel.registry.counters().count()
             );
         }
+        if !self.snapshots.is_empty() {
+            let _ = write!(out, "{}", self.snapshots);
+        }
         out
     }
 }
@@ -701,6 +710,7 @@ mod tests {
                 barrier: std::time::Duration::from_millis(2),
                 epochs: 4,
             },
+            snapshots: SnapshotDiagnostics::default(),
         };
         let d = report.diagnostics();
         assert!(d.contains("shards=2"));
@@ -708,8 +718,33 @@ mod tests {
         assert!(d.contains("barrier_idle_ms="));
         assert!(d.contains("telemetry: spans=0"));
         assert!(
+            !d.contains("snapshots:"),
+            "no snapshot lines unless checkpointing ran"
+        );
+        assert!(
             !report.summary().contains("busy_ms"),
             "wall-clock must never leak into the deterministic summary"
+        );
+        let mut with_snapshots = report.clone();
+        with_snapshots.snapshots = SnapshotDiagnostics {
+            writes: vec![crate::SnapshotWrite {
+                generation: 8,
+                bytes: 4096,
+                write_ms: 0.5,
+                chaos: Some("torn-write"),
+            }],
+            load_ms: Some(0.25),
+            rejected_generations: vec![16],
+            resumes: 1,
+        };
+        let d = with_snapshots.diagnostics();
+        assert!(d.contains("snapshots: 1 written, 1 resume(s), 1 generation(s) rejected"));
+        assert!(d.contains("write gen 8: 4096 B"));
+        assert!(d.contains("(torn-write injected)"));
+        assert!(d.contains("rejected gen 16"));
+        assert!(
+            !with_snapshots.summary().contains("snapshots"),
+            "snapshot wall-clock must never leak into the summary"
         );
     }
 
@@ -731,6 +766,7 @@ mod tests {
             ingest: None,
             telemetry: None,
             profile: EngineProfile::default(),
+            snapshots: SnapshotDiagnostics::default(),
         };
         let s = report.summary();
         assert!(s.contains("fleet: vehicles=10 duration=60.0s"));

@@ -1,0 +1,308 @@
+//! Crash–resume determinism: a supervised run that dies at an epoch
+//! barrier and resumes from a durable snapshot must reproduce the
+//! straight run's report byte-for-byte — through snapshot-store chaos
+//! (torn writes, bit rot) and even when the restoring engine uses a
+//! different shard count than the writer.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use vdap_fleet::{FleetConfig, FleetEngine, FleetReport, Snapshot, SnapshotStore};
+use vdap_sim::{SimDuration, SimTime};
+
+/// The full-stack scenario: ingest + mobility + telemetry, snapshots
+/// every 4 epochs (the 8 s run has 16), keep-last-3 retention.
+fn full_stack_config(seed: u64, shards: u32) -> FleetConfig {
+    let mut cfg = FleetConfig::sized(64, shards)
+        .with_ingest()
+        .with_mobility()
+        .with_telemetry();
+    cfg.seed = seed;
+    cfg.duration = SimDuration::from_secs(8);
+    cfg.with_checkpoint(4, 3)
+}
+
+/// Straight run vs. supervised crash-at-`epoch` run, on every report
+/// surface that must be deterministic.
+fn assert_reports_identical(straight: &FleetReport, resumed: &FleetReport) {
+    assert_eq!(straight.summary(), resumed.summary());
+    assert_eq!(straight.metrics, resumed.metrics);
+    assert_eq!(straight.reliability, resumed.reliability);
+    assert_eq!(straight.region_availability, resumed.region_availability);
+    assert_eq!(straight.events_processed, resumed.events_processed);
+    assert_eq!(straight.ingest, resumed.ingest);
+    assert_eq!(straight.mobility, resumed.mobility);
+    assert_eq!(straight.region_admission, resumed.region_admission);
+    let (s, r) = (
+        straight.telemetry.as_ref().expect("telemetry on"),
+        resumed.telemetry.as_ref().expect("telemetry on"),
+    );
+    assert_eq!(s.spans.spans(), r.spans.spans());
+    assert_eq!(
+        s.registry.counters().collect::<Vec<_>>(),
+        r.registry.counters().collect::<Vec<_>>()
+    );
+    assert_eq!(
+        s.registry.gauges().collect::<Vec<_>>(),
+        r.registry.gauges().collect::<Vec<_>>()
+    );
+    assert_eq!(
+        s.registry.all_series().collect::<Vec<_>>(),
+        r.registry.all_series().collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn supervised_crash_resume_is_byte_identical_at_every_shard_count() {
+    for shards in [1u32, 2, 4, 8] {
+        let cfg = full_stack_config(11, shards).with_engine_crash(10, SimDuration::from_secs(1));
+        // run() ignores crash faults (they are still preambled into the
+        // availability ledger), so it is the deterministic baseline.
+        let straight = FleetEngine::new(cfg.clone()).run();
+        let mut store = SnapshotStore::in_memory();
+        let resumed = FleetEngine::new(cfg).run_supervised(&mut store);
+        assert_reports_identical(&straight, &resumed);
+        // The crash really happened and really resumed …
+        assert_eq!(resumed.snapshots.resumes, 1, "at {shards} shards");
+        assert!(
+            !resumed.snapshots.writes.is_empty(),
+            "no snapshot written at {shards} shards"
+        );
+        // … and the scripted downtime is on the availability ledger of
+        // both runs (the resume window flows into MTTR either way).
+        assert!(
+            resumed
+                .region_availability
+                .iter()
+                .any(|(component, _)| component == "engine"),
+            "engine downtime missing from the ledger"
+        );
+        // The snapshot diagnostics surface in diagnostics(), not in the
+        // deterministic summary.
+        assert!(resumed.diagnostics().contains("snapshots:"));
+        assert!(!resumed.summary().contains("snapshots:"));
+    }
+}
+
+#[test]
+fn double_crash_resumes_twice() {
+    let cfg = full_stack_config(23, 4)
+        .with_engine_crash(6, SimDuration::from_millis(500))
+        .with_engine_crash(13, SimDuration::from_millis(500));
+    let straight = FleetEngine::new(cfg.clone()).run();
+    let mut store = SnapshotStore::in_memory();
+    let resumed = FleetEngine::new(cfg).run_supervised(&mut store);
+    assert_eq!(resumed.snapshots.resumes, 2);
+    assert_reports_identical(&straight, &resumed);
+}
+
+#[test]
+fn torn_write_on_newest_snapshot_falls_back_one_generation() {
+    // Writes land at epochs 4, 8, 12 (sim times 2 s, 4 s, 6 s). The
+    // torn-write window covers the epoch-8 write, so the crash at
+    // epoch 10 must fall back to generation 4.
+    let cfg = full_stack_config(5, 4)
+        .with_engine_crash(10, SimDuration::from_secs(1))
+        .with_snapshot_torn_write(SimTime::from_secs(4), SimDuration::from_millis(100));
+    let straight = FleetEngine::new(cfg.clone()).run();
+    let mut store = SnapshotStore::in_memory();
+    let resumed = FleetEngine::new(cfg).run_supervised(&mut store);
+    assert_eq!(resumed.snapshots.resumes, 1);
+    assert!(
+        resumed.snapshots.rejected_generations.contains(&8),
+        "torn generation 8 was not rejected: {:?}",
+        resumed.snapshots.rejected_generations
+    );
+    let diag = resumed.diagnostics();
+    assert!(diag.contains("torn-write injected"), "diagnostics: {diag}");
+    assert!(diag.contains("rejected gen 8"), "diagnostics: {diag}");
+    assert_reports_identical(&straight, &resumed);
+}
+
+#[test]
+fn corrupted_snapshot_is_rejected_by_checksum() {
+    let cfg = full_stack_config(7, 2)
+        .with_engine_crash(10, SimDuration::from_secs(1))
+        .with_snapshot_corruption(SimTime::from_secs(4), SimDuration::from_millis(100));
+    let straight = FleetEngine::new(cfg.clone()).run();
+    let mut store = SnapshotStore::in_memory();
+    let resumed = FleetEngine::new(cfg).run_supervised(&mut store);
+    assert!(resumed.snapshots.rejected_generations.contains(&8));
+    assert_reports_identical(&straight, &resumed);
+}
+
+#[test]
+fn all_snapshots_corrupt_restarts_from_scratch() {
+    // Corruption covers the whole run: every write is damaged, so the
+    // supervisor finds no valid generation and replays from epoch 0.
+    let cfg = full_stack_config(3, 4)
+        .with_engine_crash(10, SimDuration::from_secs(1))
+        .with_snapshot_corruption(SimTime::ZERO, SimDuration::from_secs(8));
+    let straight = FleetEngine::new(cfg.clone()).run();
+    let mut store = SnapshotStore::in_memory();
+    let resumed = FleetEngine::new(cfg).run_supervised(&mut store);
+    assert_eq!(resumed.snapshots.resumes, 1);
+    assert!(resumed.snapshots.rejected_generations.contains(&4));
+    assert!(resumed.snapshots.rejected_generations.contains(&8));
+    assert_reports_identical(&straight, &resumed);
+}
+
+#[test]
+fn supervised_without_checkpoint_config_replays_from_scratch() {
+    // No checkpoint config: the supervisor has nothing to restore from,
+    // so a crash costs a full replay — and nothing else.
+    let mut cfg = FleetConfig::sized(64, 2).with_ingest().with_telemetry();
+    cfg.duration = SimDuration::from_secs(8);
+    let cfg = cfg.with_engine_crash(10, SimDuration::from_secs(1));
+    let straight = FleetEngine::new(cfg.clone()).run();
+    let mut store = SnapshotStore::in_memory();
+    let resumed = FleetEngine::new(cfg).run_supervised(&mut store);
+    assert!(resumed.snapshots.writes.is_empty());
+    assert_eq!(resumed.snapshots.resumes, 1);
+    assert_eq!(straight.summary(), resumed.summary());
+}
+
+/// Takes the newest snapshot a supervised run of `from_shards` left
+/// behind, restores it into an engine with `to_shards`, and checks the
+/// finished report against the straight `to_shards` run.
+fn cross_shard_restore(from_shards: u32, to_shards: u32) {
+    let mut store = SnapshotStore::in_memory();
+    let writer = FleetEngine::new(full_stack_config(41, from_shards)).run_supervised(&mut store);
+    assert!(!writer.snapshots.writes.is_empty());
+    let (snap, rejected) = store.newest_valid();
+    let snap = snap.expect("a clean run leaves valid snapshots");
+    assert!(rejected.is_empty());
+
+    let straight = FleetEngine::new(full_stack_config(41, to_shards)).run();
+    let resumed = FleetEngine::new(full_stack_config(41, to_shards))
+        .restore(&snap)
+        .expect("snapshot restores across shard counts");
+    assert_eq!(straight.summary(), resumed.summary());
+    assert_eq!(straight.metrics, resumed.metrics);
+    assert_eq!(straight.reliability, resumed.reliability);
+    assert_eq!(straight.events_processed, resumed.events_processed);
+    assert_eq!(straight.ingest, resumed.ingest);
+    assert_eq!(straight.mobility, resumed.mobility);
+    assert_eq!(straight.region_admission, resumed.region_admission);
+    // Spans written before the snapshot carry the *writer's* shard
+    // attribute — the one field re-partitioning legitimately changes —
+    // so the cross-shard-count comparison normalizes it away, exactly
+    // like the shard-invariance telemetry tests do.
+    let (s, r) = (
+        straight.telemetry.as_ref().expect("telemetry on"),
+        resumed.telemetry.as_ref().expect("telemetry on"),
+    );
+    let norm = |t: &vdap_fleet::FleetTelemetry| {
+        t.spans.iter().map(|sp| sp.normalized()).collect::<Vec<_>>()
+    };
+    assert_eq!(norm(s), norm(r));
+    assert_eq!(
+        s.registry.counters().collect::<Vec<_>>(),
+        r.registry.counters().collect::<Vec<_>>()
+    );
+    assert_eq!(
+        s.registry.all_series().collect::<Vec<_>>(),
+        r.registry.all_series().collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn snapshot_written_by_8_shards_restores_into_1() {
+    cross_shard_restore(8, 1);
+}
+
+#[test]
+fn snapshot_written_by_1_shard_restores_into_8() {
+    cross_shard_restore(1, 8);
+}
+
+#[test]
+fn restore_rejects_foreign_fingerprint() {
+    let mut store = SnapshotStore::in_memory();
+    let _ = FleetEngine::new(full_stack_config(41, 2)).run_supervised(&mut store);
+    let (snap, _) = store.newest_valid();
+    let snap = snap.expect("valid snapshot");
+    // Same shape, different seed: the fingerprint must refuse it.
+    let err = FleetEngine::new(full_stack_config(42, 2))
+        .restore(&snap)
+        .expect_err("foreign seed must be rejected");
+    assert!(err.to_string().contains("config mismatch"), "got: {err}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    fn crash_resume_is_byte_identical_for_any_seed(seed in any::<u64>()) {
+        // The flagship property at 1, 2, 4 and 8 shards: kill at epoch
+        // 10, resume from the epoch-8 snapshot, finish — the summary,
+        // the ledgers and the telemetry all replay byte-for-byte.
+        for shards in [1u32, 2, 4, 8] {
+            let cfg = full_stack_config(seed, shards)
+                .with_engine_crash(10, SimDuration::from_secs(1));
+            let straight = FleetEngine::new(cfg.clone()).run();
+            let mut store = SnapshotStore::in_memory();
+            let resumed = FleetEngine::new(cfg).run_supervised(&mut store);
+            prop_assert_eq!(resumed.snapshots.resumes, 1);
+            prop_assert_eq!(straight.summary(), resumed.summary(), "{} shards diverged", shards);
+            prop_assert_eq!(&straight.metrics, &resumed.metrics);
+            prop_assert_eq!(&straight.reliability, &resumed.reliability);
+            prop_assert_eq!(&straight.ingest, &resumed.ingest);
+            prop_assert_eq!(&straight.mobility, &resumed.mobility);
+        }
+    }
+}
+
+/// One real encoded snapshot plus the summary its clean restore yields,
+/// computed once for the tamper property below.
+fn reference_snapshot() -> &'static (String, String) {
+    static REF: OnceLock<(String, String)> = OnceLock::new();
+    REF.get_or_init(|| {
+        let mut store = SnapshotStore::in_memory();
+        let _ = FleetEngine::new(full_stack_config(41, 2)).run_supervised(&mut store);
+        let generation = *store.generations().last().expect("snapshots written");
+        let encoded = store.get(generation).expect("newest generation present");
+        let snap = Snapshot::decode(&encoded).expect("clean snapshot decodes");
+        let summary = FleetEngine::new(full_stack_config(41, 2))
+            .restore(&snap)
+            .expect("clean snapshot restores")
+            .summary();
+        (encoded, summary)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn encoded_snapshot_round_trips(extra_decode in 0usize..3) {
+        // decode → encode → decode is the identity on a real snapshot.
+        let (encoded, _) = reference_snapshot();
+        let mut text = encoded.clone();
+        for _ in 0..=extra_decode {
+            let snap = Snapshot::decode(&text).expect("round trip stays valid");
+            text = snap.encode();
+        }
+        prop_assert_eq!(&text, encoded);
+    }
+
+    #[test]
+    fn corrupting_any_single_byte_never_silently_resumes_wrong(
+        pos in any::<usize>(),
+        mask in 1u8..0x80,
+    ) {
+        // Flip one byte anywhere in a real encoded snapshot (the text
+        // is ASCII, so the XOR keeps it valid UTF-8). Whatever happens
+        // next — decode failure, restore failure, or (if the damage is
+        // somehow survivable) a successful resume — the one forbidden
+        // outcome is a *silently different* resumed run.
+        let (encoded, expected_summary) = reference_snapshot();
+        let mut bytes = encoded.clone().into_bytes();
+        let at = pos % bytes.len();
+        bytes[at] ^= mask;
+        let tampered = String::from_utf8(bytes).expect("ascii stays utf-8");
+        if let Ok(snap) = Snapshot::decode(&tampered) {
+            if let Ok(report) = FleetEngine::new(full_stack_config(41, 2)).restore(&snap) {
+                prop_assert_eq!(&report.summary(), expected_summary);
+            }
+        }
+    }
+}

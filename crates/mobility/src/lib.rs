@@ -39,4 +39,6 @@ mod route;
 
 pub use graph::{RegionGraph, RoadSegment};
 pub use metrics::MobilityMetrics;
-pub use route::{Crossing, MobilityConfig, RouteProfile, VehicleTrack};
+pub use route::{
+    Crossing, MobilityConfig, RouteProfile, TrackLeg, TrackMotion, TrackSnapshot, VehicleTrack,
+};

@@ -390,6 +390,143 @@ impl VehicleTrack {
     }
 }
 
+/// Where a checkpointed track was within its plan (public mirror of the
+/// private leg state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrackLeg {
+    /// Hasn't departed for work yet.
+    BeforeOutbound,
+    /// At work, waiting for the return departure.
+    AtWork,
+    /// Plan finished; parked for good.
+    Done,
+}
+
+/// What a checkpointed track was doing (public mirror of the private
+/// track state).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrackMotion {
+    /// Parked for good.
+    Parked,
+    /// Dwelling until the contained instant.
+    Dwell(SimTime),
+    /// Traversing a segment with `remaining` travel time; `path` holds
+    /// the regions still ahead.
+    Drive {
+        /// Segment index being traversed.
+        edge: usize,
+        /// Travel time left on the segment.
+        remaining: SimDuration,
+        /// Regions still ahead (the segment's far end is `path[0]`).
+        path: Vec<u32>,
+    },
+}
+
+/// The complete state of a [`VehicleTrack`], exposed for
+/// checkpoint/restore. Restoring with [`VehicleTrack::from_snapshot`]
+/// reproduces the exact position process, including all future RNG
+/// draws, without replaying the plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrackSnapshot {
+    /// Vehicle id.
+    pub id: u32,
+    /// Profile drawn at construction.
+    pub profile: RouteProfile,
+    /// Current (or entering) region.
+    pub region: u32,
+    /// Home region.
+    pub home: u32,
+    /// Work/destination region.
+    pub work: u32,
+    /// Planned outbound departure.
+    pub outbound_at: SimTime,
+    /// Planned return departure.
+    pub return_at: SimTime,
+    /// Mean dwell between roam legs.
+    pub dwell_mean: SimDuration,
+    /// Which leg of the plan the vehicle is on.
+    pub leg: TrackLeg,
+    /// What the vehicle is doing right now.
+    pub motion: TrackMotion,
+    /// Raw state of the track's private RNG stream.
+    pub rng: [u64; 4],
+}
+
+impl VehicleTrack {
+    /// Captures the full track state for checkpointing.
+    #[must_use]
+    pub fn snapshot(&self) -> TrackSnapshot {
+        TrackSnapshot {
+            id: self.id,
+            profile: self.profile,
+            region: self.region,
+            home: self.home,
+            work: self.work,
+            outbound_at: self.outbound_at,
+            return_at: self.return_at,
+            dwell_mean: self.dwell_mean,
+            leg: match self.leg {
+                Leg::BeforeOutbound => TrackLeg::BeforeOutbound,
+                Leg::AtWork => TrackLeg::AtWork,
+                Leg::Done => TrackLeg::Done,
+            },
+            motion: match &self.state {
+                TrackState::Dwell { until: None } => TrackMotion::Parked,
+                TrackState::Dwell { until: Some(u) } => TrackMotion::Dwell(*u),
+                TrackState::Drive {
+                    edge,
+                    remaining,
+                    path,
+                } => TrackMotion::Drive {
+                    edge: *edge,
+                    remaining: *remaining,
+                    path: path.clone(),
+                },
+            },
+            rng: self.rng.state(),
+        }
+    }
+
+    /// Rebuilds a track mid-run from a captured snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an all-zero RNG state (never produced by
+    /// [`VehicleTrack::snapshot`]).
+    #[must_use]
+    pub fn from_snapshot(snap: TrackSnapshot) -> Self {
+        VehicleTrack {
+            id: snap.id,
+            profile: snap.profile,
+            region: snap.region,
+            home: snap.home,
+            work: snap.work,
+            outbound_at: snap.outbound_at,
+            return_at: snap.return_at,
+            dwell_mean: snap.dwell_mean,
+            leg: match snap.leg {
+                TrackLeg::BeforeOutbound => Leg::BeforeOutbound,
+                TrackLeg::AtWork => Leg::AtWork,
+                TrackLeg::Done => Leg::Done,
+            },
+            state: match snap.motion {
+                TrackMotion::Parked => TrackState::Dwell { until: None },
+                TrackMotion::Dwell(u) => TrackState::Dwell { until: Some(u) },
+                TrackMotion::Drive {
+                    edge,
+                    remaining,
+                    path,
+                } => TrackState::Drive {
+                    edge,
+                    remaining,
+                    path,
+                },
+            },
+            rng: RngStream::from_state(snap.rng),
+        }
+    }
+}
+
 /// Traversal time of segment `e` with its congestion multiplier locked
 /// at entry (multiplier 1.0 when the engine passes no sample).
 fn travel_time(graph: &RegionGraph, e: usize, congestion: &[f64]) -> SimDuration {
@@ -426,6 +563,41 @@ mod tests {
             t.advance(SimTime::ZERO + epoch * k, epoch, g, &none, &mut out);
         }
         out
+    }
+
+    #[test]
+    fn snapshot_resumes_identically_mid_drive() {
+        let (g, cfg) = setup(12);
+        let horizon = SimDuration::from_secs(30);
+        let epoch = SimDuration::from_millis(500);
+        let none = vec![1.0; g.segments().len()];
+        for id in 0..16u32 {
+            let mut straight = VehicleTrack::new(
+                id,
+                id % g.regions(),
+                &cfg,
+                &g,
+                horizon,
+                SeedFactory::new(42).indexed_stream("fleet-mobility", u64::from(id)),
+            );
+            let mut resumed = None;
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            for k in 0..60u64 {
+                let at = SimTime::ZERO + epoch * k;
+                straight.advance(at, epoch, &g, &none, &mut a);
+                if k == 20 {
+                    resumed = Some(VehicleTrack::from_snapshot(straight.snapshot()));
+                    b = a.clone();
+                }
+                if let Some(r) = resumed.as_mut() {
+                    if k > 20 {
+                        r.advance(at, epoch, &g, &none, &mut b);
+                    }
+                }
+            }
+            assert_eq!(a, b, "vehicle {id} diverged after snapshot/restore");
+        }
     }
 
     #[test]

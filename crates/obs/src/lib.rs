@@ -50,5 +50,5 @@ mod span;
 
 pub use chrome::{chrome_trace, span_event, span_json, spans_jsonl};
 pub use profile::{BarrierProfiler, EngineProfile};
-pub use registry::{MetricsRegistry, SeriesPoint};
+pub use registry::{intern_name, MetricsRegistry, SeriesPoint};
 pub use span::{RequestSpan, SpanLog, SpanOutcome};

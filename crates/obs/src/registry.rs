@@ -8,8 +8,29 @@
 //! is deterministic.
 
 use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
 
 use vdap_sim::SimTime;
+
+/// Interns a metric name into a `&'static str`.
+///
+/// Registry keys are `'static` by design (every in-run name is a
+/// literal), but names restored from a checkpoint arrive as owned
+/// strings. Interning leaks each *distinct* name at most once per
+/// process and returns the same pointer thereafter, so repeated
+/// restores don't accumulate memory.
+#[must_use]
+pub fn intern_name(name: &str) -> &'static str {
+    static POOL: OnceLock<Mutex<BTreeMap<String, &'static str>>> = OnceLock::new();
+    let pool = POOL.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let mut pool = pool.lock().expect("intern pool poisoned");
+    if let Some(&interned) = pool.get(name) {
+        return interned;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    pool.insert(name.to_string(), leaked);
+    leaked
+}
 
 /// One sampled point of a per-epoch time series.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -121,6 +142,17 @@ mod tests {
         assert_eq!(pts[0].epoch, 0);
         assert_eq!(pts[1].value, 7.0);
         assert!(r.series("never").is_empty());
+    }
+
+    #[test]
+    fn interning_dedupes_and_matches_literals() {
+        let a = intern_name("fleet.test.interned");
+        let b = intern_name("fleet.test.interned");
+        assert!(std::ptr::eq(a, b), "same name must intern to one pointer");
+        let mut r = MetricsRegistry::new();
+        r.inc(a, 2);
+        r.inc("fleet.test.interned", 1);
+        assert_eq!(r.counter("fleet.test.interned"), 3);
     }
 
     #[test]

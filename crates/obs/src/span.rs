@@ -60,6 +60,13 @@ impl SpanOutcome {
             SpanOutcome::Skipped => "skipped",
         }
     }
+
+    /// Parses a label produced by [`SpanOutcome::label`] (checkpoint
+    /// restore reads outcomes back from their stable text form).
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<SpanOutcome> {
+        SpanOutcome::ALL.into_iter().find(|o| o.label() == label)
+    }
 }
 
 impl std::fmt::Display for SpanOutcome {

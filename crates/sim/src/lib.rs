@@ -40,8 +40,10 @@ mod time;
 mod trace;
 
 pub use event::{Ctx, EventFn, RunReport, Simulation, StopReason};
-pub use metrics::{Counter, Histogram, StreamingHistogram, Summary, TimeSeries};
-pub use reliability::ReliabilityStats;
+pub use metrics::{
+    Counter, Histogram, StreamingHistogram, StreamingHistogramState, Summary, TimeSeries,
+};
+pub use reliability::{ReliabilityState, ReliabilityStats};
 pub use rng::{RngStream, SeedFactory};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, TraceLevel, TraceLog};

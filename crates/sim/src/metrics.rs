@@ -559,6 +559,68 @@ impl StreamingHistogram {
     }
 }
 
+/// The complete internal state of a [`StreamingHistogram`], exposed for
+/// checkpoint/restore. Buckets are sparse `(index, count)` pairs; the
+/// min/max fields carry the raw values, which are non-finite sentinels
+/// (±∞) while the histogram is empty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingHistogramState {
+    /// Diagnostic name.
+    pub name: String,
+    /// Non-zero buckets as `(index, count)` pairs, ascending by index.
+    pub sparse_buckets: Vec<(u32, u64)>,
+    /// Total recorded samples.
+    pub count: u64,
+    /// Fixed-point sample sum in microunits.
+    pub sum_micro: u128,
+    /// Raw running minimum (`+∞` when empty).
+    pub min: f64,
+    /// Raw running maximum (`-∞` when empty).
+    pub max: f64,
+}
+
+impl StreamingHistogram {
+    /// Captures the full internal state for checkpointing.
+    #[must_use]
+    pub fn state(&self) -> StreamingHistogramState {
+        StreamingHistogramState {
+            name: self.name.clone(),
+            sparse_buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c != 0)
+                .map(|(i, &c)| (i as u32, c))
+                .collect(),
+            count: self.count,
+            sum_micro: self.sum_micro,
+            min: self.min,
+            max: self.max,
+        }
+    }
+
+    /// Rebuilds a histogram from captured state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a sparse bucket index is out of range.
+    #[must_use]
+    pub fn from_state(state: StreamingHistogramState) -> Self {
+        let mut buckets = vec![0u64; SUBS * DECADES];
+        for (idx, c) in state.sparse_buckets {
+            buckets[idx as usize] = c;
+        }
+        StreamingHistogram {
+            name: state.name,
+            buckets,
+            count: state.count,
+            sum_micro: state.sum_micro,
+            min: state.min,
+            max: state.max,
+        }
+    }
+}
+
 impl fmt::Display for StreamingHistogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -686,6 +748,21 @@ mod tests {
         assert_eq!(left, right);
         assert_eq!(format!("{left}"), format!("{right}"));
         assert_eq!(left.mean().to_bits(), right.mean().to_bits());
+    }
+
+    #[test]
+    fn streaming_histogram_state_round_trips() {
+        let mut s = StreamingHistogram::new("lat");
+        for i in 0..500 {
+            s.record(0.05 + (i as f64) * 1.37);
+        }
+        let back = StreamingHistogram::from_state(s.state());
+        assert_eq!(back, s);
+        // Empty histograms round-trip their ±∞ sentinels too.
+        let empty = StreamingHistogram::new("none");
+        let st = empty.state();
+        assert!(st.min.is_infinite() && st.max.is_infinite());
+        assert_eq!(StreamingHistogram::from_state(st), empty);
     }
 
     #[test]

@@ -231,6 +231,47 @@ impl ReliabilityStats {
             .fold(1.0, f64::min)
     }
 
+    /// Captures the full internal state for checkpointing. Map entries
+    /// come out sorted by component label (the maps are ordered).
+    #[must_use]
+    pub fn state(&self) -> ReliabilityState {
+        ReliabilityState {
+            mttr_samples: self.mttr.samples().to_vec(),
+            failover_samples: self.failover_latency.samples().to_vec(),
+            retries: self.retries,
+            retry_successes: self.retry_successes,
+            retry_exhausted: self.retry_exhausted,
+            faults_injected: self.faults_injected,
+            down_since: self
+                .down_since
+                .iter()
+                .map(|(c, t)| (c.clone(), *t))
+                .collect(),
+            downtime: self.downtime.iter().map(|(c, d)| (c.clone(), *d)).collect(),
+            degraded: self.degraded.iter().map(|(c, d)| (c.clone(), *d)).collect(),
+            cache_ttl_evictions: self.cache_ttl_evictions,
+            disk_spills: self.disk_spills,
+        }
+    }
+
+    /// Rebuilds stats from captured state.
+    #[must_use]
+    pub fn from_state(state: ReliabilityState) -> Self {
+        ReliabilityStats {
+            mttr: state.mttr_samples.into_iter().collect(),
+            failover_latency: state.failover_samples.into_iter().collect(),
+            retries: state.retries,
+            retry_successes: state.retry_successes,
+            retry_exhausted: state.retry_exhausted,
+            faults_injected: state.faults_injected,
+            down_since: state.down_since.into_iter().collect(),
+            downtime: state.downtime.into_iter().collect(),
+            degraded: state.degraded.into_iter().collect(),
+            cache_ttl_evictions: state.cache_ttl_evictions,
+            disk_spills: state.disk_spills,
+        }
+    }
+
     /// Merges another stats object into this one (used when sub-systems
     /// keep local stats that roll up into a run-level report). Open
     /// outages in `other` are carried over only when this object does
@@ -260,9 +301,59 @@ impl ReliabilityStats {
     }
 }
 
+/// The complete internal state of a [`ReliabilityStats`], exposed for
+/// checkpoint/restore. Sample vectors preserve recording order; map
+/// entries are sorted by component label.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReliabilityState {
+    /// MTTR samples in recording order (ms).
+    pub mttr_samples: Vec<f64>,
+    /// Failover-latency samples in recording order (ms).
+    pub failover_samples: Vec<f64>,
+    /// Total retry attempts.
+    pub retries: u64,
+    /// Transfers that succeeded after retrying.
+    pub retry_successes: u64,
+    /// Transfers that exhausted their retry budget.
+    pub retry_exhausted: u64,
+    /// Fault activations recorded.
+    pub faults_injected: u64,
+    /// Components currently down and when each outage began.
+    pub down_since: Vec<(String, SimTime)>,
+    /// Closed-outage downtime per component.
+    pub downtime: Vec<(String, SimDuration)>,
+    /// Degraded-mode time per component.
+    pub degraded: Vec<(String, SimDuration)>,
+    /// Cache entries evicted by TTL expiry.
+    pub cache_ttl_evictions: u64,
+    /// Records spilled to the disk tier.
+    pub disk_spills: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn state_round_trips_open_and_closed_outages() {
+        let mut r = ReliabilityStats::new();
+        r.record_fault("gpu", SimTime::from_secs(10));
+        r.record_recovery("gpu", SimTime::from_secs(40));
+        r.record_fault("lte", SimTime::from_secs(50));
+        r.record_retry();
+        r.record_retry_success();
+        r.record_failover(SimDuration::from_millis(7));
+        r.record_degraded("tenant1", SimDuration::from_secs(2));
+        r.record_cache_ttl_evictions(5);
+        r.record_disk_spills(2);
+        let back = ReliabilityStats::from_state(r.state());
+        assert_eq!(back, r);
+        assert!(back.is_down("lte"));
+        assert_eq!(
+            back.downtime("gpu", SimTime::from_secs(100)),
+            SimDuration::from_secs(30)
+        );
+    }
 
     #[test]
     fn fault_recovery_cycle_feeds_mttr_and_downtime() {

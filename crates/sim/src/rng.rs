@@ -89,6 +89,24 @@ impl RngStream {
         Self::from_raw_seed(master ^ fnv1a(label.as_bytes()))
     }
 
+    /// The raw xoshiro256++ state words, for checkpointing a stream
+    /// mid-sequence.
+    #[must_use]
+    pub fn state(&self) -> [u64; 4] {
+        self.state
+    }
+
+    /// Rebuilds a stream from previously captured state words.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the all-zero state, which xoshiro cannot leave.
+    #[must_use]
+    pub fn from_state(state: [u64; 4]) -> Self {
+        assert!(state != [0; 4], "xoshiro state cannot be all-zero");
+        RngStream { state }
+    }
+
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         let [s0, s1, s2, s3] = self.state;
@@ -301,6 +319,18 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..64).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn state_round_trip_resumes_mid_sequence() {
+        let mut s = RngStream::from_raw_seed(29);
+        for _ in 0..100 {
+            s.next_u64();
+        }
+        let mut resumed = RngStream::from_state(s.state());
+        for _ in 0..100 {
+            assert_eq!(resumed.next_u64(), s.next_u64());
+        }
     }
 
     #[test]

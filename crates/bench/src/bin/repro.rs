@@ -70,6 +70,7 @@ const TARGETS: &[Target] = &[
     Target::chaos("fleet-ingest", experiments::fleet_ingest),
     Target::chaos("fleet-mobility", experiments::fleet_mobility),
     Target::chaos("fleet-resume", experiments::fleet_resume),
+    Target::chaos("fleet-steal", experiments::fleet_steal),
 ];
 
 fn target_of(name: &str) -> Option<&'static Target> {

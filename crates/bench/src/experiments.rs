@@ -1011,15 +1011,26 @@ fn fleet_trace_table(cfg: FleetConfig, dir: &std::path::Path) -> TextTable {
         "barrier serial ms (wall-clock)".into(),
         f3(p.barrier.as_secs_f64() * 1e3),
     ]);
-    for i in 0..p.shard_busy.len() {
+    t.row(&[
+        "executor mean idle fraction".into(),
+        f3(p.mean_idle_fraction()),
+    ]);
+    t.row(&["batches stolen".into(), p.total_steals().to_string()]);
+    for i in 0..p.worker_busy.len() {
         t.row(&[
-            format!("shard[{i}] busy / barrier-idle ms"),
+            format!("worker[{i}] busy / barrier-idle ms"),
             format!(
                 "{} / {} (idle {})",
-                f3(p.shard_busy[i].as_secs_f64() * 1e3),
-                f3(p.shard_idle[i].as_secs_f64() * 1e3),
+                f3(p.worker_busy[i].as_secs_f64() * 1e3),
+                f3(p.worker_idle[i].as_secs_f64() * 1e3),
                 f3(p.idle_fraction(i))
             ),
+        ]);
+    }
+    for i in 0..p.shard_busy.len() {
+        t.row(&[
+            format!("shard[{i}] busy ms"),
+            f3(p.shard_busy[i].as_secs_f64() * 1e3),
         ]);
     }
     t
@@ -1462,6 +1473,82 @@ pub fn fleet_resume(seed: u64) -> TextTable {
     t
 }
 
+/// The pre-refactor barrier-idle fraction at the E14 configuration, as
+/// measured by E18 when one scoped thread advanced one whole shard and
+/// the join idled every other worker (~40 % of shard wall-clock).
+const PRE_STEAL_IDLE_FRACTION: f64 = 0.40;
+
+/// E22 — work-stealing epoch executor: the E14 fleet (1,000 vehicles,
+/// 60 s, a 12 s regional LTE outage) with each epoch's vehicle-tick
+/// phase split into stealable fixed-size vehicle batches on the
+/// persistent executor, instead of one scoped thread per shard. The
+/// table reports the executor shape (threads, batch size), how many
+/// batches idle workers stole, the mean barrier-idle fraction against
+/// the pinned pre-refactor baseline from E18 (~40 %), wall-clock
+/// throughput, and asserts the 1-shard and 8-shard runs remain
+/// byte-identical — the steal schedule must never reach a report.
+#[must_use]
+pub fn fleet_steal(seed: u64) -> TextTable {
+    let mut cfg = FleetConfig::sized(1000, 8);
+    cfg.seed = seed;
+    cfg.duration = SimDuration::from_secs(60);
+    let cfg = cfg.with_regional_outage(0, SimTime::from_secs(20), SimDuration::from_secs(12));
+    fleet_steal_table(cfg)
+}
+
+/// Runs `cfg` at 1 and 8 shards and renders the executor profile.
+fn fleet_steal_table(cfg: FleetConfig) -> TextTable {
+    let run = |shards: u32| {
+        let mut c = cfg.clone();
+        c.shards = shards;
+        let started = std::time::Instant::now();
+        let report = FleetEngine::new(c).run();
+        (report, started.elapsed())
+    };
+    let (single, _) = run(1);
+    let (sharded, wall) = run(8);
+    assert!(
+        single.summary() == sharded.summary(),
+        "fleet determinism contract violated under the work-stealing \
+         executor\n--- 1 shard ---\n{}\n--- 8 shards ---\n{}",
+        single.summary(),
+        sharded.summary()
+    );
+    let p = &sharded.profile;
+    let mut t = TextTable::new(
+        "E22 — work-stealing epoch executor: stealable vehicle batches vs the scoped-join baseline (8 shards)",
+        &["metric", "value"],
+    );
+    t.row(&[
+        "executor threads".into(),
+        p.worker_busy.len().to_string(),
+    ]);
+    t.row(&["batch size (vehicles)".into(), cfg.batch_size.to_string()]);
+    t.row(&["epochs profiled".into(), p.epochs.to_string()]);
+    t.row(&["batches stolen".into(), p.total_steals().to_string()]);
+    t.row(&[
+        "mean idle fraction".into(),
+        f3(p.mean_idle_fraction()),
+    ]);
+    t.row(&[
+        "pre-refactor idle fraction (E18 baseline)".into(),
+        f3(PRE_STEAL_IDLE_FRACTION),
+    ]);
+    t.row(&[
+        "barrier serial ms (wall-clock)".into(),
+        f3(p.barrier.as_secs_f64() * 1e3),
+    ]);
+    t.row(&[
+        "events/sec (wall-clock, 8 shards)".into(),
+        format!("{:.0}", sharded.events_processed as f64 / wall.as_secs_f64()),
+    ]);
+    t.row(&[
+        "summaries byte-identical".into(),
+        "yes".into(),
+    ]);
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1583,6 +1670,23 @@ mod tests {
         let rendered = fleet_table(cfg).render();
         assert!(rendered.contains("summaries byte-identical"), "{rendered}");
         assert!(rendered.contains("events processed"), "{rendered}");
+    }
+
+    #[test]
+    fn fleet_steal_table_pins_invariance_and_profile_rows() {
+        // Scaled-down E22: the full 1,000×60 s run belongs to the repro
+        // binary; a small fleet proves the table asserts byte-identity
+        // under the work-stealing executor and renders the executor
+        // shape, steal count and idle-fraction rows.
+        let mut cfg = FleetConfig::sized(96, 1);
+        cfg.duration = SimDuration::from_secs(6);
+        let cfg = cfg.with_regional_outage(0, SimTime::from_secs(2), SimDuration::from_secs(2));
+        let rendered = fleet_steal_table(cfg).render();
+        assert!(rendered.contains("executor threads"), "{rendered}");
+        assert!(rendered.contains("batch size (vehicles)"), "{rendered}");
+        assert!(rendered.contains("batches stolen"), "{rendered}");
+        assert!(rendered.contains("mean idle fraction"), "{rendered}");
+        assert!(rendered.contains("summaries byte-identical"), "{rendered}");
     }
 
     #[test]

@@ -367,6 +367,11 @@ pub enum FleetConfigError {
     /// `checkpoint.retain == 0`: every snapshot would be deleted the
     /// moment it was written.
     ZeroCheckpointRetention,
+    /// `batch_size == 0`: the tick phase could never make progress.
+    ZeroBatchSize,
+    /// `executor_threads == Some(0)`: the executor needs at least one
+    /// worker.
+    ZeroExecutorThreads,
 }
 
 impl fmt::Display for FleetConfigError {
@@ -429,6 +434,12 @@ impl fmt::Display for FleetConfigError {
             ),
             FleetConfigError::ZeroCheckpointRetention => {
                 write!(f, "checkpoint retention must keep at least one generation")
+            }
+            FleetConfigError::ZeroBatchSize => {
+                write!(f, "batch size must cover at least one vehicle")
+            }
+            FleetConfigError::ZeroExecutorThreads => {
+                write!(f, "executor needs at least one worker thread")
             }
         }
     }
@@ -506,6 +517,17 @@ pub struct FleetConfig {
     /// `FleetEngine::run_supervised` can resume a crashed run from the
     /// newest valid generation. `None` disables checkpointing.
     pub checkpoint: Option<CheckpointConfig>,
+    /// Vehicles per stealable batch in the epoch tick phase. Smaller
+    /// batches steal (and so balance) better at the cost of per-batch
+    /// overhead; the value is provably invisible in every report
+    /// (vehicles own their RNG streams and batch results merge in
+    /// canonical order), so it is purely a performance knob.
+    pub batch_size: u32,
+    /// Worker threads for the epoch tick phase's work-stealing
+    /// executor. `None` sizes it to the machine
+    /// (`available_parallelism`); any value is clamped the same way.
+    /// Like `batch_size`, provably invisible in every report.
+    pub executor_threads: Option<u32>,
 }
 
 impl Default for FleetConfig {
@@ -535,6 +557,8 @@ impl Default for FleetConfig {
             mobility: None,
             telemetry: false,
             checkpoint: None,
+            batch_size: 32,
+            executor_threads: None,
         }
     }
 }
@@ -593,6 +617,31 @@ impl FleetConfig {
     pub fn with_telemetry(mut self) -> Self {
         self.telemetry = true;
         self
+    }
+
+    /// Sets the vehicles-per-batch granularity of the epoch tick phase
+    /// (a pure performance knob — see [`FleetConfig::batch_size`]).
+    #[must_use]
+    pub fn with_batch_size(mut self, batch_size: u32) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Caps the work-stealing executor at `threads` workers (clamped to
+    /// the machine; a pure performance knob — see
+    /// [`FleetConfig::executor_threads`]).
+    #[must_use]
+    pub fn with_executor_threads(mut self, threads: u32) -> Self {
+        self.executor_threads = Some(threads);
+        self
+    }
+
+    /// The executor size to request from the worker pool:
+    /// the configured cap, or "as many as the machine has".
+    #[must_use]
+    pub fn executor_pool_size(&self) -> usize {
+        self.executor_threads
+            .map_or(usize::MAX, |threads| threads as usize)
     }
 
     /// Sum of the class-mix weights.
@@ -973,6 +1022,12 @@ impl FleetConfig {
             if ckpt.retain == 0 {
                 return Err(FleetConfigError::ZeroCheckpointRetention);
             }
+        }
+        if self.batch_size == 0 {
+            return Err(FleetConfigError::ZeroBatchSize);
+        }
+        if self.executor_threads == Some(0) {
+            return Err(FleetConfigError::ZeroExecutorThreads);
         }
         Ok(())
     }
@@ -1378,6 +1433,26 @@ mod tests {
             none_kept.validate(),
             Err(FleetConfigError::ZeroCheckpointRetention)
         );
+    }
+
+    #[test]
+    fn executor_knobs_validate_with_reasons() {
+        let zero_batch = FleetConfig::default().with_batch_size(0);
+        let err = zero_batch.validate().unwrap_err();
+        assert_eq!(err, FleetConfigError::ZeroBatchSize);
+        assert!(err.to_string().contains("batch size"), "{err}");
+        let zero_threads = FleetConfig::default().with_executor_threads(0);
+        let err = zero_threads.validate().unwrap_err();
+        assert_eq!(err, FleetConfigError::ZeroExecutorThreads);
+        assert!(err.to_string().contains("worker thread"), "{err}");
+        // Any positive combination is legal — both knobs are clamped,
+        // not rejected, at the high end.
+        let big = FleetConfig::default()
+            .with_batch_size(1_000_000)
+            .with_executor_threads(4096);
+        assert!(big.validate().is_ok());
+        assert_eq!(big.executor_pool_size(), 4096);
+        assert_eq!(FleetConfig::default().executor_pool_size(), usize::MAX);
     }
 
     #[test]

@@ -6,17 +6,23 @@
 //!    stream derive from the vehicle id alone ([`crate::FleetConfig`]),
 //!    so re-sharding moves vehicles between threads without changing
 //!    any vehicle's behaviour.
-//! 2. **Epochs are conservative.** During an epoch a shard reads only
+//! 2. **Epochs are conservative.** During an epoch a vehicle reads only
 //!    time-determined inputs (the fault timeline, the *previous*
 //!    barrier's V2V snapshot). Vehicles never observe same-epoch state
-//!    of any other vehicle — not even shard-mates.
+//!    of any other vehicle — not even shard-mates — so the tick phase
+//!    can split each shard into fixed-size vehicle batches and fan them
+//!    out across the work-stealing [`WorkerPool`]: which worker runs a
+//!    batch, and in what order, is unobservable.
 //! 3. **Barriers are canonical.** All cross-vehicle coupling (XEdge
 //!    admission, fair queueing, contention, snapshot union, failover
 //!    reliability samples) happens single-threaded on globally sorted
-//!    data, so shard count and buffer interleaving cannot leak in.
+//!    data, so shard count, batch size, executor width and buffer
+//!    interleaving cannot leak in.
 //! 4. **Aggregation is order-free.** Per-shard metrics are integer
 //!    counters and [`vdap_sim::StreamingHistogram`]s whose merge is
-//!    associative and commutative bit-for-bit.
+//!    associative and commutative bit-for-bit, and batch outputs are
+//!    folded back in canonical `(shard, vehicle id)` order regardless
+//!    of the steal schedule that produced them.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -254,7 +260,7 @@ impl EngineState {
     fn fresh(ctx: &RunCtx) -> Self {
         let cfg = &ctx.cfg;
         let shards: Vec<Shard> = (0..cfg.shards)
-            .map(|i| Shard::new(i, cfg, &ctx.seeds, ctx.injector.clone(), &ctx.region_labels))
+            .map(|i| Shard::new(i, cfg, &ctx.seeds))
             .collect();
         let mut reliability = ReliabilityStats::new();
 
@@ -339,38 +345,56 @@ fn run_core(
     let cfg = &ctx.cfg;
     let horizon = ctx.horizon;
     let injector = ctx.injector.as_deref();
-    let pool = WorkerPool::new(cfg.shards as usize);
+    let pool = WorkerPool::new(cfg.executor_pool_size());
+    let batch_size = cfg.batch_size as usize;
     // The profiler measures this leg's wall clock only — diagnostics,
     // so a resumed run legitimately reports a shorter profile.
-    let mut profiler = BarrierProfiler::new(cfg.shards as usize);
+    let mut profiler = BarrierProfiler::new(pool.threads(), cfg.shards as usize);
     loop {
         let end_raw = SimTime::ZERO + cfg.epoch * (state.epoch_index + 1);
         let end = if end_raw > horizon { horizon } else { end_raw };
 
-        // Advance every shard to the barrier in parallel, timing
-        // each shard's advance for the barrier profiler.
-        pool.for_each_mut(&mut state.shards, |_, shard| {
-            let started = Instant::now();
-            shard.sim.run_until(end);
-            shard.busy = started.elapsed();
+        // ---- tick phase: stealable vehicle batches, fork/join ----
+        // Split every shard's fleet into fixed-size batches and fan
+        // them out across the work-stealing pool. Each batch advances
+        // its vehicles to the barrier against the previous epoch's
+        // collab snapshot; the steal schedule is unobservable because
+        // every vehicle owns its RNG streams and every batch output is
+        // merged back in canonical order below.
+        let mut batches = Vec::new();
+        for (i, shard) in state.shards.iter_mut().enumerate() {
+            batches.extend(shard.batches(i, batch_size));
+        }
+        let wall_started = Instant::now();
+        let samples = pool.for_each_mut(&mut batches, |_, b| {
+            b.advance(cfg, injector, &ctx.region_labels, end);
         });
-        let busy: Vec<Duration> = state.shards.iter().map(|s| s.busy).collect();
-        profiler.record_epoch(&busy);
+        let wall = wall_started.elapsed();
 
         // ---- barrier: single-threaded, canonical-order exchange ----
+        // The canonical merge is serial barrier work: shards ascending,
+        // batches in vehicle-id order within each shard.
         let barrier_started = Instant::now();
+        let mut shard_busy = vec![Duration::ZERO; state.shards.len()];
+        for b in &batches {
+            shard_busy[b.shard] += b.busy;
+        }
+        for b in batches {
+            let shard = b.shard;
+            state.shards[shard].merge(b);
+        }
+        profiler.record_epoch(wall, &samples, &shard_busy);
         let mut batch = Vec::new();
         let mut ingest_batches = Vec::new();
         let mut publications: Vec<(Tile, u32)> = Vec::new();
         let mut failovers: Vec<(u32, u32, f64)> = Vec::new();
         for shard in &mut state.shards {
-            let st = shard.sim.state_mut();
-            batch.append(&mut st.outbox);
-            ingest_batches.append(&mut st.ingest_outbox);
-            publications.append(&mut st.publications);
-            failovers.append(&mut st.failover_samples);
+            batch.append(&mut shard.outbox);
+            ingest_batches.append(&mut shard.ingest_outbox);
+            publications.append(&mut shard.publications);
+            failovers.append(&mut shard.failover_samples);
             if let Some(tel) = state.telemetry.as_mut() {
-                for span in st.spans.drain(..) {
+                for span in shard.spans.drain(..) {
                     tel.registry.inc(
                         match span.outcome {
                             SpanOutcome::CollabHit => "fleet.collab_hits",
@@ -473,7 +497,7 @@ fn run_core(
         }
         let snapshot = Arc::new(snapshot);
         for shard in &mut state.shards {
-            shard.sim.state_mut().snapshot = Arc::clone(&snapshot);
+            shard.snapshot = Arc::clone(&snapshot);
         }
 
         profiler.record_barrier(barrier_started.elapsed());
@@ -513,16 +537,14 @@ fn run_core(
         state.telemetry.as_mut(),
     );
 
-    // Merge shard-local metrics (associative + commutative).
-    // Orphan events — migration leftovers that popped to a no-op —
-    // are subtracted so the event ledger matches a 1-shard run,
-    // where no vehicle ever physically moves.
+    // Merge shard-local metrics (associative + commutative). Events
+    // are per-vehicle tick/upload fires, so the ledger is independent
+    // of which shard (or worker) a vehicle happened to run on.
     let mut metrics = state.engine_metrics;
     let mut events_processed = state.events_base;
     for shard in &state.shards {
-        let st = shard.sim.state();
-        events_processed += shard.sim.events_processed() - st.orphan_events;
-        metrics.merge(&st.metrics);
+        events_processed += shard.events;
+        metrics.merge(&shard.metrics);
     }
     if let Some(tel) = state.telemetry.as_mut() {
         // Insertion order interleaves vehicle-side and edge-side
@@ -614,18 +636,17 @@ fn snapshot_payload(cfg: &FleetConfig, state: &EngineState) -> Value {
     let mut metrics = state.engine_metrics.clone();
     let mut events = state.events_base;
     for shard in &state.shards {
-        let st = shard.sim.state();
-        events += shard.sim.events_processed() - st.orphan_events;
-        metrics.merge(&st.metrics);
+        events += shard.events;
+        metrics.merge(&shard.metrics);
     }
     let mut vehicles: Vec<&VehicleState> = state
         .shards
         .iter()
-        .flat_map(|s| s.sim.state().vehicles.values())
+        .flat_map(|s| s.vehicles.values())
         .collect();
     vehicles.sort_unstable_by_key(|v| v.id);
     // Post-barrier, every shard holds the same collab Arc.
-    let collab: &CollabSnapshot = &state.shards[0].sim.state().snapshot;
+    let collab: &CollabSnapshot = &state.shards[0].snapshot;
     obj(vec![
         ("config", config_fingerprint(cfg)),
         ("epoch", u64_hex(state.epoch_index)),
@@ -715,17 +736,7 @@ fn state_from_snapshot(ctx: &RunCtx, payload: &Value) -> Result<EngineState, Ckp
     let shards: Vec<Shard> = buckets
         .into_iter()
         .enumerate()
-        .map(|(i, vehicles)| {
-            Shard::restore(
-                i as u32,
-                cfg,
-                ctx.injector.clone(),
-                &ctx.region_labels,
-                t_snap,
-                vehicles,
-                Arc::clone(&collab),
-            )
-        })
+        .map(|(i, vehicles)| Shard::restore(i as u32, cfg, vehicles, Arc::clone(&collab)))
         .collect();
 
     let edge = XEdgeServer::restore_ckpt(cfg, get(payload, "edge")?)?;
@@ -1179,9 +1190,8 @@ impl MobilityPass {
         // counters and clear every flag before marking this barrier's
         // crossers.
         for shard in shards.iter_mut() {
-            let st = shard.sim.state_mut();
-            self.metrics.stale_cache_hits += std::mem::take(&mut st.stale_hits);
-            for v in st.vehicles.values_mut() {
+            self.metrics.stale_cache_hits += std::mem::take(&mut shard.stale_hits);
+            for v in shard.vehicles.values_mut() {
                 v.cache_stale = false;
             }
         }
@@ -1257,8 +1267,7 @@ impl MobilityPass {
             let dest = self.tracks[id as usize].region();
             let host = self.host[id as usize] as usize;
             {
-                let st = shards[host].sim.state_mut();
-                let v = st
+                let v = shards[host]
                     .vehicles
                     .get_mut(&id)
                     .expect("host table tracks residency");

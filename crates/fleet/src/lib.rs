@@ -38,13 +38,17 @@
 //! migrates the vehicle's full state between worker shards, preserving
 //! byte-identity (see [`MobilityMetrics`]).
 //!
-//! Vehicles are partitioned into shards; each shard advances its own
-//! [`vdap_sim::Simulation`] event loop on a worker thread. Cross-shard
-//! interactions — XEdge admission control and per-(tenant, class) fair
-//! queueing, V2V result sharing, regional LTE outages — are exchanged at
-//! epoch barriers with conservative synchronization, so a run with N
-//! shards produces **byte-identical** aggregate metrics to a
-//! single-shard run of the same seed (see `FleetReport::summary` and
+//! Vehicles are partitioned into shards; each epoch, every shard's
+//! fleet is split into fixed-size vehicle batches
+//! ([`FleetConfig::with_batch_size`]) and fanned out across a
+//! persistent work-stealing executor ([`WorkerPool`], sized by
+//! [`FleetConfig::with_executor_threads`]). Cross-shard interactions —
+//! XEdge admission control and per-(tenant, class) fair queueing, V2V
+//! result sharing, regional LTE outages — are exchanged at epoch
+//! barriers with conservative synchronization on canonically ordered
+//! data, so a run with N shards, any executor width and any batch size
+//! produces **byte-identical** aggregate metrics to a single-shard,
+//! single-thread run of the same seed (see `FleetReport::summary` and
 //! `tests/props.rs`).
 //!
 //! ```

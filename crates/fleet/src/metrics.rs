@@ -705,8 +705,11 @@ mod tests {
             ingest: None,
             telemetry: Some(FleetTelemetry::default()),
             profile: EngineProfile {
+                worker_busy: vec![std::time::Duration::from_millis(5); 2],
+                worker_idle: vec![std::time::Duration::from_millis(1); 2],
+                worker_steals: vec![1, 0],
+                worker_stolen: vec![std::time::Duration::from_millis(1), std::time::Duration::ZERO],
                 shard_busy: vec![std::time::Duration::from_millis(5); 2],
-                shard_idle: vec![std::time::Duration::from_millis(1); 2],
                 barrier: std::time::Duration::from_millis(2),
                 epochs: 4,
             },
@@ -714,8 +717,10 @@ mod tests {
         };
         let d = report.diagnostics();
         assert!(d.contains("shards=2"));
+        assert!(d.contains("worker[0]:"));
         assert!(d.contains("shard[0]:"));
         assert!(d.contains("barrier_idle_ms="));
+        assert!(d.contains("steals="));
         assert!(d.contains("telemetry: spans=0"));
         assert!(
             !d.contains("snapshots:"),

@@ -1,5 +1,5 @@
-//! One fleet shard: a private `vdap-sim` event loop over a set of
-//! vehicles.
+//! One fleet shard: a set of vehicles advanced epoch-by-epoch as
+//! stealable batches.
 //!
 //! Shards never communicate directly. During an epoch a shard only
 //! *reads* globally-deterministic inputs (virtual time, the compiled
@@ -10,25 +10,35 @@
 //! in different shards — that symmetry is what makes an N-shard run
 //! reproduce a 1-shard run bit-for-bit.
 //!
+//! There is no central event queue: each vehicle stores its own next
+//! request-tick and next ingest-upload time, and an epoch advance just
+//! replays each vehicle's private timeline up to the epoch boundary.
+//! That makes the vehicle the unit of work — [`Shard::batches`] splits
+//! the hosted fleet (in canonical id order) into fixed-size
+//! [`VehicleBatch`]es that the engine fans out across its work-stealing
+//! executor, and [`Shard::merge`] folds the results back in the same
+//! canonical order, so which worker ran a batch (or when it was
+//! stolen) can never reach any report.
+//!
 //! Without mobility a shard owns a contiguous id block for the whole
 //! run. With mobility ([`crate::FleetConfig::with_mobility`]) vehicles
 //! are keyed by id and the engine *migrates* them between shards at
 //! epoch barriers as they cross region boundaries: the whole
 //! [`VehicleState`] (RNG streams, sequence counters, DDI uplink,
-//! pending handoff debt) moves, and the stored next-event times let the
-//! destination shard reschedule the vehicle's ticks. Events left behind
-//! in the source shard's queue find a missing (or regenerated) vehicle
-//! and count as orphans, which the engine subtracts so the processed-
-//! event ledger stays shard-count invariant.
+//! pending handoff debt, stored next-event times) moves, and the
+//! destination shard simply resumes the vehicle's timeline — there is
+//! no queue to leave stale events behind in.
 //!
 //! Each request tick draws its [`vdap_edgeos::WorkloadClass`] from the
 //! config's weighted mix using the vehicle's private RNG stream, so the
 //! same vehicle issues the same class sequence no matter how the fleet
-//! is sharded, and every vehicle-side cost (fallback service, V2V fetch
-//! bytes) is priced by the drawn class's [`crate::ClassSpec`].
+//! is sharded or batched, and every vehicle-side cost (fallback
+//! service, V2V fetch bytes) is priced by the drawn class's
+//! [`crate::ClassSpec`].
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use vdap_ddi::UploadBatch;
 use vdap_edgeos::WorkloadClass;
@@ -36,7 +46,7 @@ use vdap_fault::FaultInjector;
 use vdap_net::{Direction, LinkSpec};
 use vdap_obs::{RequestSpan, SpanOutcome};
 use vdap_offload::Tile;
-use vdap_sim::{Ctx, SeedFactory, SimDuration, SimTime, Simulation};
+use vdap_sim::{SeedFactory, SimDuration, SimTime};
 
 use crate::config::{region_label, FleetConfig};
 use crate::edge::EdgeRequest;
@@ -46,8 +56,9 @@ use crate::vehicle::{tile_at, DdiUplink, VehicleState, BOARD_W, DSRC_W};
 /// The V2V snapshot published at the previous barrier: tile → producer.
 pub(crate) type CollabSnapshot = BTreeMap<Tile, u32>;
 
-/// World state for one shard's event loop.
-pub(crate) struct ShardState {
+/// One fleet shard: its hosted vehicles plus the output buffers the
+/// engine drains at each barrier.
+pub(crate) struct Shard {
     /// Vehicles this shard currently hosts, keyed by fleet id.
     pub vehicles: BTreeMap<u32, VehicleState>,
     /// Requests bound for the edge, drained at the barrier.
@@ -66,242 +77,308 @@ pub(crate) struct ShardState {
     /// regional-outage failovers), drained at the barrier. Empty unless
     /// the config enables telemetry.
     pub spans: Vec<RequestSpan>,
-    /// Events that fired for a vehicle this shard no longer hosts (or a
-    /// pre-migration generation of one). The engine subtracts these
-    /// from the sim's processed-event count so migrations don't perturb
-    /// the deterministic event ledger.
-    pub orphan_events: u64,
     /// V2V lookups that *would* have hit but were suppressed because
     /// the vehicle's collab cache went stale at its last crossing,
     /// drained into `MobilityMetrics` at the barrier.
     pub stale_hits: u64,
-    /// Compiled fault timeline (pure function of time).
-    injector: Option<Arc<FaultInjector>>,
     /// Shard-local mergeable metrics.
     pub metrics: FleetMetrics,
-    /// Scenario constants.
-    cfg: Arc<FleetConfig>,
-    /// Cached region labels, indexed by region id.
-    region_labels: Arc<Vec<String>>,
+    /// Per-vehicle events (request ticks + ingest uploads) processed by
+    /// this shard's batches, for the deterministic event ledger.
+    pub events: u64,
+    /// Cumulative wall-clock attributed to this shard's batches,
+    /// wherever they ran (diagnostics only, never feeds the
+    /// deterministic report).
+    pub busy: Duration,
 }
 
-impl std::fmt::Debug for ShardState {
+impl std::fmt::Debug for Shard {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ShardState")
+        f.debug_struct("Shard")
             .field("vehicles", &self.vehicles.len())
             .field("outbox", &self.outbox.len())
-            .field("orphan_events", &self.orphan_events)
+            .field("events", &self.events)
             .finish()
     }
 }
 
-/// One shard's event loop.
-#[derive(Debug)]
-pub(crate) struct Shard {
-    pub sim: Simulation<ShardState>,
-    /// Wall-clock time this shard's last epoch advance took (written
-    /// inside the worker closure, read single-threaded at the barrier;
-    /// diagnostics only, never feeds the deterministic report).
-    pub busy: std::time::Duration,
-}
-
 impl Shard {
-    /// Builds shard `index` over the vehicles it initially hosts and
-    /// schedules every vehicle's first request tick.
-    pub fn new(
-        index: u32,
-        cfg: &Arc<FleetConfig>,
-        seeds: &SeedFactory,
-        injector: Option<Arc<FaultInjector>>,
-        region_labels: &Arc<Vec<String>>,
-    ) -> Self {
-        // Without mobility the initial assignment is the contiguous id
-        // range; with mobility it is the contiguous *region* block, so
-        // a vehicle starts on the shard that owns its starting region.
-        let ids: Vec<u32> = (0..cfg.vehicles)
-            .filter(|&id| cfg.initial_shard_of(id) == index)
-            .collect();
-        let mut vehicles = BTreeMap::new();
-        for &id in &ids {
-            vehicles.insert(
-                id,
-                VehicleState {
-                    id,
-                    tenant: cfg.tenant_of(id),
-                    region: cfg.region_of(id),
-                    rng: seeds.indexed_stream("fleet-vehicle", u64::from(id)),
-                    seq: 0,
-                    ddi: cfg.ingest.is_some().then(|| DdiUplink {
-                        rng: seeds.indexed_stream("fleet-ddi", u64::from(id)),
-                        seq: 0,
-                    }),
-                    generation: 0,
-                    next_tick: None,
-                    next_ingest: None,
-                    pending_handoff: SimDuration::ZERO,
-                    cache_stale: false,
-                },
-            );
-        }
-        let state = ShardState {
-            vehicles,
+    fn empty(snapshot: Arc<CollabSnapshot>) -> Self {
+        Shard {
+            vehicles: BTreeMap::new(),
             outbox: Vec::new(),
             ingest_outbox: Vec::new(),
             publications: Vec::new(),
             failover_samples: Vec::new(),
-            snapshot: Arc::new(CollabSnapshot::new()),
+            snapshot,
             spans: Vec::new(),
-            orphan_events: 0,
             stale_hits: 0,
-            injector,
             metrics: FleetMetrics::new(),
-            cfg: Arc::clone(cfg),
-            region_labels: Arc::clone(region_labels),
-        };
-        let mut sim = Simulation::new(state);
-        // First ticks: deterministic per-vehicle phase in [0, period).
-        let period = cfg.request_period.as_secs_f64();
-        let upload_period = cfg.ingest.as_ref().map(|i| i.upload_period.as_secs_f64());
-        for id in ids {
-            let offset = {
-                let v = sim
-                    .state_mut()
-                    .vehicles
-                    .get_mut(&id)
-                    .expect("just inserted");
-                v.rng.uniform_range(0.0, period)
-            };
-            let first = SimTime::ZERO + SimDuration::from_secs_f64(offset);
-            sim.state_mut()
-                .vehicles
-                .get_mut(&id)
-                .expect("present")
-                .next_tick = Some(first);
-            sim.schedule_at(first, "fleet-tick", move |ctx| tick(ctx, id, 0));
-            // First ingest upload: a deterministic phase in
-            // [0, upload_period), drawn from the separate DDI stream.
-            if let Some(period) = upload_period {
-                let offset = {
-                    let v = sim.state_mut().vehicles.get_mut(&id).expect("present");
-                    v.ddi
-                        .as_mut()
-                        .expect("ingest on")
-                        .rng
-                        .uniform_range(0.0, period)
-                };
-                let first = SimTime::ZERO + SimDuration::from_secs_f64(offset);
-                sim.state_mut()
-                    .vehicles
-                    .get_mut(&id)
-                    .expect("present")
-                    .next_ingest = Some(first);
-                sim.schedule_at(first, "ddi-upload", move |ctx| ingest_tick(ctx, id, 0));
-            }
-        }
-        Shard {
-            sim,
-            busy: std::time::Duration::ZERO,
+            events: 0,
+            busy: Duration::ZERO,
         }
     }
 
-    /// Removes a vehicle for migration, bumping its generation so any
-    /// events still queued here (or in an earlier residence) orphan
-    /// instead of double-firing after re-adoption.
+    /// Builds shard `index` over the vehicles it initially hosts and
+    /// draws every vehicle's first request-tick (and ingest-upload)
+    /// phase, in canonical id order.
+    pub fn new(index: u32, cfg: &Arc<FleetConfig>, seeds: &SeedFactory) -> Self {
+        // Without mobility the initial assignment is the contiguous id
+        // range; with mobility it is the contiguous *region* block, so
+        // a vehicle starts on the shard that owns its starting region.
+        let mut shard = Shard::empty(Arc::new(CollabSnapshot::new()));
+        // First ticks: deterministic per-vehicle phase in [0, period),
+        // drawn from each vehicle's private streams in a fixed order
+        // (tick phase, then ingest phase).
+        let period = cfg.request_period.as_secs_f64();
+        let upload_period = cfg.ingest.as_ref().map(|i| i.upload_period.as_secs_f64());
+        for id in (0..cfg.vehicles).filter(|&id| cfg.initial_shard_of(id) == index) {
+            let mut v = VehicleState {
+                id,
+                tenant: cfg.tenant_of(id),
+                region: cfg.region_of(id),
+                rng: seeds.indexed_stream("fleet-vehicle", u64::from(id)),
+                seq: 0,
+                ddi: cfg.ingest.is_some().then(|| DdiUplink {
+                    rng: seeds.indexed_stream("fleet-ddi", u64::from(id)),
+                    seq: 0,
+                }),
+                generation: 0,
+                next_tick: None,
+                next_ingest: None,
+                pending_handoff: SimDuration::ZERO,
+                cache_stale: false,
+            };
+            let offset = v.rng.uniform_range(0.0, period);
+            v.next_tick = Some(SimTime::ZERO + SimDuration::from_secs_f64(offset));
+            if let Some(period) = upload_period {
+                let offset = v
+                    .ddi
+                    .as_mut()
+                    .expect("ingest on")
+                    .rng
+                    .uniform_range(0.0, period);
+                v.next_ingest = Some(SimTime::ZERO + SimDuration::from_secs_f64(offset));
+            }
+            shard.vehicles.insert(id, v);
+        }
+        shard
+    }
+
+    /// Rebuilds shard `index` mid-run from restored vehicles. Every
+    /// stored next-event time is strictly after the snapshot barrier by
+    /// construction, so the next epoch advance resumes each vehicle's
+    /// timeline exactly where the writer left it.
+    pub fn restore(
+        index: u32,
+        cfg: &Arc<FleetConfig>,
+        vehicles: Vec<VehicleState>,
+        snapshot: Arc<CollabSnapshot>,
+    ) -> Self {
+        debug_assert!(vehicles
+            .iter()
+            .all(|v| cfg.mobility.is_some() || cfg.initial_shard_of(v.id) == index));
+        let _ = index;
+        let mut shard = Shard::empty(snapshot);
+        for v in vehicles {
+            shard.vehicles.insert(v.id, v);
+        }
+        shard
+    }
+
+    /// Removes a vehicle for migration, bumping its migration
+    /// generation (carried in snapshots so a restored run replays the
+    /// same residency history).
     pub fn evict(&mut self, id: u32) -> Option<VehicleState> {
-        self.sim.state_mut().vehicles.remove(&id).map(|mut v| {
+        self.vehicles.remove(&id).map(|mut v| {
             v.generation = v.generation.wrapping_add(1);
             v
         })
     }
 
-    /// Adopts a migrated vehicle: inserts its state and reschedules its
-    /// stored next-event times in this shard's event loop under the new
-    /// generation.
+    /// Adopts a migrated vehicle: its stored next-event times resume on
+    /// this shard's next epoch advance.
     pub fn adopt(&mut self, v: VehicleState) {
-        let id = v.id;
-        let generation = v.generation;
-        let next_tick = v.next_tick;
-        let next_ingest = v.next_ingest;
-        self.sim.state_mut().vehicles.insert(id, v);
-        if let Some(at) = next_tick {
-            self.sim
-                .schedule_at(at, "fleet-tick", move |ctx| tick(ctx, id, generation));
-        }
-        if let Some(at) = next_ingest {
-            self.sim.schedule_at(at, "ddi-upload", move |ctx| {
-                ingest_tick(ctx, id, generation)
+        self.vehicles.insert(v.id, v);
+    }
+
+    /// Drains the hosted fleet (in canonical id order) into stealable
+    /// batches of at most `batch_size` vehicles for the epoch's tick
+    /// phase. Counterpart of [`Shard::merge`].
+    pub fn batches(&mut self, shard: usize, batch_size: usize) -> Vec<VehicleBatch> {
+        debug_assert!(batch_size > 0, "validated by FleetConfig");
+        let vehicles = std::mem::take(&mut self.vehicles);
+        let mut batches = Vec::with_capacity(vehicles.len().div_ceil(batch_size.max(1)));
+        let mut iter = vehicles.into_values().peekable();
+        while iter.peek().is_some() {
+            batches.push(VehicleBatch {
+                shard,
+                vehicles: iter.by_ref().take(batch_size).collect(),
+                snapshot: Arc::clone(&self.snapshot),
+                out: BatchOut::new(),
+                busy: Duration::ZERO,
             });
+        }
+        batches
+    }
+
+    /// Folds one advanced batch back into the shard. The engine calls
+    /// this in canonical submission order (shards ascending, batches in
+    /// id order), and every buffer append and metrics merge below is
+    /// order-free across batches anyway — the steal schedule cannot
+    /// reach any report.
+    pub fn merge(&mut self, batch: VehicleBatch) {
+        debug_assert!(std::ptr::eq(
+            Arc::as_ptr(&batch.snapshot),
+            Arc::as_ptr(&self.snapshot)
+        ));
+        for v in batch.vehicles {
+            self.vehicles.insert(v.id, v);
+        }
+        let out = batch.out;
+        self.outbox.extend(out.outbox);
+        self.ingest_outbox.extend(out.ingest_outbox);
+        self.publications.extend(out.publications);
+        self.failover_samples.extend(out.failover_samples);
+        self.spans.extend(out.spans);
+        self.stale_hits += out.stale_hits;
+        self.events += out.events;
+        self.metrics.merge(&out.metrics);
+        self.busy += batch.busy;
+    }
+}
+
+/// Output buffers one batch fills while advancing its vehicles: the
+/// batch-private slice of what used to be shard state, merged back in
+/// canonical order at the barrier.
+struct BatchOut {
+    outbox: Vec<EdgeRequest>,
+    ingest_outbox: Vec<UploadBatch>,
+    publications: Vec<(Tile, u32)>,
+    failover_samples: Vec<(u32, u32, f64)>,
+    spans: Vec<RequestSpan>,
+    stale_hits: u64,
+    events: u64,
+    metrics: FleetMetrics,
+}
+
+impl BatchOut {
+    fn new() -> Self {
+        BatchOut {
+            outbox: Vec::new(),
+            ingest_outbox: Vec::new(),
+            publications: Vec::new(),
+            failover_samples: Vec::new(),
+            spans: Vec::new(),
+            stale_hits: 0,
+            events: 0,
+            metrics: FleetMetrics::new(),
         }
     }
 }
 
-/// One vehicle request tick. All branching depends only on virtual
-/// time, the fault timeline, the previous barrier's snapshot, and the
-/// vehicle's private RNG — all shard-count-independent inputs.
-///
-/// `generation` is the migration generation the event was scheduled
-/// under: a stale generation (or a vehicle this shard no longer hosts)
-/// means the vehicle migrated after the event was queued, and the event
-/// is an orphan — counted and otherwise ignored, since the destination
-/// shard carries a rescheduled copy.
-fn tick(ctx: &mut Ctx<'_, ShardState>, id: u32, generation: u32) {
-    let now = ctx.now();
-    let st = ctx.state_mut();
-    let cfg = Arc::clone(&st.cfg);
+/// A fixed-size slice of one shard's vehicles, advanced independently
+/// on any executor worker. Batches are order-free by construction:
+/// every RNG draw comes from a stream owned by one vehicle, every
+/// branch reads only time-determined inputs (the fault timeline, the
+/// previous barrier's snapshot), and every output lands in the batch's
+/// private buffers.
+pub(crate) struct VehicleBatch {
+    /// Owning shard index, for the canonical merge.
+    pub shard: usize,
+    vehicles: Vec<VehicleState>,
+    snapshot: Arc<CollabSnapshot>,
+    out: BatchOut,
+    /// Wall-clock this batch's advance took on whichever worker ran it
+    /// (diagnostics only).
+    pub busy: Duration,
+}
+
+impl VehicleBatch {
+    /// Advances every vehicle in the batch to the epoch boundary
+    /// `end` (inclusive), replaying each vehicle's private timeline of
+    /// request ticks and ingest uploads.
+    pub fn advance(
+        &mut self,
+        cfg: &FleetConfig,
+        injector: Option<&FaultInjector>,
+        region_labels: &[String],
+        end: SimTime,
+    ) {
+        let started = Instant::now();
+        for v in &mut self.vehicles {
+            loop {
+                let next_tick = v.next_tick.filter(|&t| t <= end);
+                let next_ingest = v.next_ingest.filter(|&t| t <= end);
+                // Tick-before-ingest on equal timestamps is arbitrary
+                // but fixed: the two event kinds draw from separate
+                // streams and write disjoint buffers, so either order
+                // yields the same outputs.
+                match (next_tick, next_ingest) {
+                    (Some(t), Some(g)) if g < t => {
+                        ingest_tick(cfg, v, &mut self.out, g);
+                    }
+                    (Some(t), _) => {
+                        tick(cfg, injector, region_labels, &self.snapshot, v, &mut self.out, t);
+                    }
+                    (None, Some(g)) => {
+                        ingest_tick(cfg, v, &mut self.out, g);
+                    }
+                    (None, None) => break,
+                }
+                self.out.events += 1;
+            }
+        }
+        self.busy = started.elapsed();
+    }
+}
+
+/// One vehicle request tick at time `now`. All branching depends only
+/// on virtual time, the fault timeline, the previous barrier's
+/// snapshot, and the vehicle's private RNG — inputs independent of
+/// shard count, batch size, and steal schedule alike.
+fn tick(
+    cfg: &FleetConfig,
+    injector: Option<&FaultInjector>,
+    region_labels: &[String],
+    snapshot: &CollabSnapshot,
+    v: &mut VehicleState,
+    out: &mut BatchOut,
+    now: SimTime,
+) {
     let horizon = cfg.horizon();
 
     // Per-request draws, in a fixed order so the stream replays
     // identically: class pick, cache eligibility, cost jitter.
-    let (tenant, region, seq, class, cacheable, jitter, handoff, stale) = {
-        let Some(v) = st.vehicles.get_mut(&id) else {
-            st.orphan_events += 1;
-            return;
-        };
-        if v.generation != generation {
-            st.orphan_events += 1;
-            return;
-        }
-        let seq = v.seq;
-        v.seq += 1;
-        let pick = v.rng.below(u64::from(cfg.total_class_weight()));
-        let class = cfg.class_for_draw(pick);
-        let cache_draw = v.rng.chance(cfg.cacheable_fraction);
-        let jitter = v.rng.uniform();
-        let cacheable = cache_draw && cfg.class(class).cacheable;
-        let handoff = std::mem::take(&mut v.pending_handoff);
-        (
-            v.tenant,
-            v.region,
-            seq,
-            class,
-            cacheable,
-            jitter,
-            handoff,
-            v.cache_stale,
-        )
-    };
+    let seq = v.seq;
+    v.seq += 1;
+    let pick = v.rng.below(u64::from(cfg.total_class_weight()));
+    let class = cfg.class_for_draw(pick);
+    let cache_draw = v.rng.chance(cfg.cacheable_fraction);
+    let jitter = v.rng.uniform();
+    let cacheable = cache_draw && cfg.class(class).cacheable;
+    let handoff = std::mem::take(&mut v.pending_handoff);
+    let stale = v.cache_stale;
     let spec = cfg.class(class);
 
-    let region_down = st
-        .injector
-        .as_deref()
-        .is_some_and(|inj| inj.is_down(&st.region_labels[region as usize], now));
+    let region_down =
+        injector.is_some_and(|inj| inj.is_down(&region_labels[v.region as usize], now));
 
-    st.metrics.record_request(class);
+    out.metrics.record_request(class);
     if region_down {
         // Regional LTE outage: re-plan and run the pipeline on board
         // (a pBEAM round continues training locally at its own cost).
         let failover = cfg.failover_penalty.mul_f64(1.0 + 0.2 * jitter);
         let service = spec.vehicle_service.mul_f64(1.0 + 0.1 * jitter);
         let e2e = handoff + failover + service;
-        st.metrics
+        out.metrics
             .record_failover(class, e2e, service.as_secs_f64() * BOARD_W);
-        st.failover_samples
-            .push((id, seq, failover.as_millis_f64()));
+        out.failover_samples
+            .push((v.id, seq, failover.as_millis_f64()));
         if cfg.telemetry {
-            st.spans.push(vehicle_span(
-                &cfg,
-                id,
+            out.spans.push(vehicle_span(
+                cfg,
+                v.id,
                 seq,
                 class,
                 now,
@@ -310,9 +387,9 @@ fn tick(ctx: &mut Ctx<'_, ShardState>, id: u32, generation: u32) {
             ));
         }
     } else {
-        let tile = tile_at(id, now);
+        let tile = tile_at(v.id, now);
         let lookup = if cacheable {
-            st.snapshot.get(&tile).copied().filter(|p| *p != id)
+            snapshot.get(&tile).copied().filter(|p| *p != v.id)
         } else {
             None
         };
@@ -320,7 +397,7 @@ fn tick(ctx: &mut Ctx<'_, ShardState>, id: u32, generation: u32) {
         // its collab cache: the would-be hit is counted, then dropped.
         let shared_by = if stale {
             if lookup.is_some() {
-                st.stale_hits += 1;
+                out.stale_hits += 1;
             }
             None
         } else {
@@ -333,12 +410,12 @@ fn tick(ctx: &mut Ctx<'_, ShardState>, id: u32, generation: u32) {
             let fetch = dsrc.transfer_time(Direction::Downlink, spec.download_bytes);
             let merge = SimDuration::from_millis_f64(2.0 + jitter);
             let e2e = handoff + dsrc.latency() + fetch + merge;
-            st.metrics
+            out.metrics
                 .record_collab(class, e2e, fetch.as_secs_f64() * DSRC_W);
             if cfg.telemetry {
-                st.spans.push(vehicle_span(
-                    &cfg,
-                    id,
+                out.spans.push(vehicle_span(
+                    cfg,
+                    v.id,
                     seq,
                     class,
                     now,
@@ -347,55 +424,37 @@ fn tick(ctx: &mut Ctx<'_, ShardState>, id: u32, generation: u32) {
                 ));
             }
         } else {
-            st.outbox.push(EdgeRequest {
-                vehicle: id,
+            out.outbox.push(EdgeRequest {
+                vehicle: v.id,
                 seq,
-                tenant,
-                region,
+                tenant: v.tenant,
+                region: v.region,
                 class,
                 arrival: now,
                 attempts: 0,
                 handoff,
             });
             if cacheable {
-                st.publications.push((tile, id));
+                out.publications.push((tile, v.id));
             }
         }
     }
 
     // Open-loop reschedule with ±10% deterministic jitter.
-    let v = st.vehicles.get_mut(&id).expect("vehicle present mid-tick");
     let next_jitter = v.rng.uniform();
     let delay = cfg.request_period.mul_f64(0.9 + 0.2 * next_jitter);
-    if now + delay <= horizon {
-        v.next_tick = Some(now + delay);
-        ctx.schedule_in(delay, "fleet-tick", move |ctx| tick(ctx, id, generation));
-    } else {
-        v.next_tick = None;
-    }
+    v.next_tick = (now + delay <= horizon).then(|| now + delay);
 }
 
-/// One vehicle telemetry-upload tick: batch the records accumulated
-/// since the last upload and address them to the region's collector.
-/// The batch is only *buffered* here — pricing, collector admission and
-/// the storage drain all happen in the engine's barrier ingest pass, so
-/// everything a shard does is a pure function of the vehicle's private
-/// DDI stream.
-fn ingest_tick(ctx: &mut Ctx<'_, ShardState>, id: u32, generation: u32) {
-    let now = ctx.now();
-    let st = ctx.state_mut();
-    let cfg = Arc::clone(&st.cfg);
+/// One vehicle telemetry-upload tick at time `now`: batch the records
+/// accumulated since the last upload and address them to the region's
+/// collector. The batch is only *buffered* here — pricing, collector
+/// admission and the storage drain all happen in the engine's barrier
+/// ingest pass, so everything a vehicle does is a pure function of its
+/// private DDI stream.
+fn ingest_tick(cfg: &FleetConfig, v: &mut VehicleState, out: &mut BatchOut, now: SimTime) {
     let ingest = cfg.ingest.as_ref().expect("ingest ticks imply config");
     let horizon = cfg.horizon();
-
-    let Some(v) = st.vehicles.get_mut(&id) else {
-        st.orphan_events += 1;
-        return;
-    };
-    if v.generation != generation {
-        st.orphan_events += 1;
-        return;
-    }
     let region = v.region;
     // Fixed draw order on the DDI stream: priority, then reschedule
     // jitter — the stream replays identically at any shard count.
@@ -405,13 +464,9 @@ fn ingest_tick(ctx: &mut Ctx<'_, ShardState>, id: u32, generation: u32) {
     let priority = d.rng.below(4) as u8;
     let next_jitter = d.rng.uniform();
     let delay = ingest.upload_period.mul_f64(0.9 + 0.2 * next_jitter);
-    v.next_ingest = if now + delay <= horizon {
-        Some(now + delay)
-    } else {
-        None
-    };
-    st.ingest_outbox.push(UploadBatch {
-        vehicle: u64::from(id),
+    v.next_ingest = (now + delay <= horizon).then(|| now + delay);
+    out.ingest_outbox.push(UploadBatch {
+        vehicle: u64::from(v.id),
         region,
         seq,
         records: ingest.records_per_batch,
@@ -420,12 +475,6 @@ fn ingest_tick(ctx: &mut Ctx<'_, ShardState>, id: u32, generation: u32) {
         deadline: now + ingest.deadline,
         priority,
     });
-
-    if now + delay <= horizon {
-        ctx.schedule_in(delay, "ddi-upload", move |ctx| {
-            ingest_tick(ctx, id, generation)
-        });
-    }
 }
 
 /// Builds a span for a request resolved entirely on the vehicle side
@@ -473,9 +522,8 @@ use vdap_ckpt::{get, get_array, get_bool, get_u32, obj, CkptError};
 
 /// Serializes one vehicle's complete private state: both RNG stream
 /// positions, sequence counters, migration generation, the stored
-/// next-event times (which [`Shard::adopt`]-style rescheduling turns
-/// back into queued events on restore), handoff debt, and the stale
-/// collab-cache flag.
+/// next-event times (which the next epoch advance resumes from on
+/// restore), handoff debt, and the stale collab-cache flag.
 pub(crate) fn enc_vehicle(v: &VehicleState) -> Value {
     obj(vec![
         ("id", Value::Number(f64::from(v.id))),
@@ -560,54 +608,4 @@ pub(crate) fn dec_collab(v: &Value, key: &str) -> Result<CollabSnapshot, CkptErr
         );
     }
     Ok(snapshot)
-}
-
-impl Shard {
-    /// Rebuilds shard `index` mid-run from restored vehicles.
-    ///
-    /// The fresh event loop is advanced (with an empty queue) to the
-    /// snapshot instant, pinning `now` without processing anything;
-    /// each vehicle's stored next-event times are then rescheduled
-    /// under its stored generation, exactly as [`Shard::adopt`] does
-    /// for a migration. Every stored next-event time is strictly after
-    /// the snapshot barrier by construction, so nothing fires early.
-    pub fn restore(
-        index: u32,
-        cfg: &Arc<FleetConfig>,
-        injector: Option<Arc<FaultInjector>>,
-        region_labels: &Arc<Vec<String>>,
-        at: SimTime,
-        vehicles: Vec<VehicleState>,
-        snapshot: Arc<CollabSnapshot>,
-    ) -> Self {
-        debug_assert!(vehicles
-            .iter()
-            .all(|v| cfg.mobility.is_some() || cfg.initial_shard_of(v.id) == index));
-        let _ = index;
-        let state = ShardState {
-            vehicles: BTreeMap::new(),
-            outbox: Vec::new(),
-            ingest_outbox: Vec::new(),
-            publications: Vec::new(),
-            failover_samples: Vec::new(),
-            snapshot,
-            spans: Vec::new(),
-            orphan_events: 0,
-            stale_hits: 0,
-            injector,
-            metrics: FleetMetrics::new(),
-            cfg: Arc::clone(cfg),
-            region_labels: Arc::clone(region_labels),
-        };
-        let mut sim = Simulation::new(state);
-        sim.run_until(at);
-        let mut shard = Shard {
-            sim,
-            busy: std::time::Duration::ZERO,
-        };
-        for v in vehicles {
-            shard.adopt(v);
-        }
-        shard
-    }
 }

@@ -337,6 +337,60 @@ proptest! {
     }
 }
 
+/// The full interaction surface — ingest, mobility, and a regional
+/// outage — pinned to an explicit executor width and batch size. The
+/// executor knobs are pure performance knobs: any (threads, batch)
+/// point must replay the reference run byte-for-byte.
+fn steal_config(seed: u64, shards: u32, threads: u32, batch: u32) -> FleetConfig {
+    let mut cfg = FleetConfig::sized(64, shards)
+        .with_ingest()
+        .with_mobility()
+        .with_regional_outage(0, SimTime::from_secs(2), SimDuration::from_secs(3))
+        .with_executor_threads(threads)
+        .with_batch_size(batch);
+    cfg.seed = seed;
+    cfg.duration = SimDuration::from_secs(8);
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    fn executor_width_cannot_reach_any_report(seed in any::<u64>()) {
+        // Reference: single worker, so the tick phase is fully serial
+        // and no steal can ever happen. Wider executors (including
+        // "whatever the machine has") produce wall-clock-dependent
+        // steal schedules — none of which may reach the report.
+        let hw = std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get) as u32;
+        let base = FleetEngine::new(steal_config(seed, 4, 1, 16)).run();
+        for threads in [2, 4, hw] {
+            let r = FleetEngine::new(steal_config(seed, 4, threads, 16)).run();
+            prop_assert_eq!(&base.metrics, &r.metrics, "threads={}", threads);
+            prop_assert_eq!(&base.mobility, &r.mobility, "threads={}", threads);
+            prop_assert_eq!(&base.ingest, &r.ingest, "threads={}", threads);
+            prop_assert_eq!(&base.reliability, &r.reliability, "threads={}", threads);
+            prop_assert_eq!(base.summary(), r.summary(), "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn batch_size_cannot_reach_any_report(seed in any::<u64>()) {
+        // Batch size only regroups which vehicles share a deque slot:
+        // one vehicle per batch, a prime that straddles shard
+        // boundaries, and one batch per whole shard must all match the
+        // default grouping — across different shard counts at once.
+        let base = FleetEngine::new(steal_config(seed, 1, 4, 32)).run();
+        for (shards, batch) in [(2u32, 1u32), (4, 7), (4, 64)] {
+            let r = FleetEngine::new(steal_config(seed, shards, 4, batch)).run();
+            prop_assert_eq!(&base.metrics, &r.metrics, "shards={} batch={}", shards, batch);
+            prop_assert_eq!(&base.mobility, &r.mobility, "shards={} batch={}", shards, batch);
+            prop_assert_eq!(&base.ingest, &r.ingest, "shards={} batch={}", shards, batch);
+            prop_assert_eq!(base.summary(), r.summary(), "shards={} batch={}", shards, batch);
+        }
+    }
+}
+
 #[test]
 fn full_scale_shard_invariance_smoke() {
     // The acceptance-criteria configuration at reduced duration: 1,000

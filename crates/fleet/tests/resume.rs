@@ -252,6 +252,42 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    fn crash_resume_under_stealing_matches_serial_run(seed in any::<u64>()) {
+        // Crash-at-barrier resume with the work-stealing executor in
+        // its most schedule-dependent configuration: machine-wide
+        // worker count and single-vehicle batches, so almost every
+        // task is eligible for stealing on both the pre-crash and the
+        // resumed leg. The baseline is the fully serial engine — one
+        // worker, whole-fleet batches, no supervisor — and every
+        // deterministic surface must still match byte-for-byte.
+        let hw = std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get) as u32;
+        let serial = {
+            let cfg = full_stack_config(seed, 1)
+                .with_engine_crash(10, SimDuration::from_secs(1))
+                .with_executor_threads(1)
+                .with_batch_size(64);
+            FleetEngine::new(cfg).run()
+        };
+        let cfg = full_stack_config(seed, 4)
+            .with_engine_crash(10, SimDuration::from_secs(1))
+            .with_executor_threads(hw)
+            .with_batch_size(1);
+        let mut store = SnapshotStore::in_memory();
+        let resumed = FleetEngine::new(cfg).run_supervised(&mut store);
+        prop_assert_eq!(resumed.snapshots.resumes, 1);
+        prop_assert_eq!(serial.summary(), resumed.summary());
+        prop_assert_eq!(&serial.metrics, &resumed.metrics);
+        prop_assert_eq!(&serial.reliability, &resumed.reliability);
+        prop_assert_eq!(&serial.ingest, &resumed.ingest);
+        prop_assert_eq!(&serial.mobility, &resumed.mobility);
+        prop_assert_eq!(&serial.region_admission, &resumed.region_admission);
+    }
+}
+
 /// One real encoded snapshot plus the summary its clean restore yields,
 /// computed once for the tamper property below.
 fn reference_snapshot() -> &'static (String, String) {

@@ -49,6 +49,6 @@ mod registry;
 mod span;
 
 pub use chrome::{chrome_trace, span_event, span_json, spans_jsonl};
-pub use profile::{BarrierProfiler, EngineProfile};
+pub use profile::{BarrierProfiler, EngineProfile, WorkerSample};
 pub use registry::{intern_name, MetricsRegistry, SeriesPoint};
 pub use span::{RequestSpan, SpanLog, SpanOutcome};

@@ -1,11 +1,16 @@
 //! Wall-clock barrier profiling for the sharded fleet engine.
 //!
-//! The engine's epoch loop is fork/join: shards advance in parallel,
-//! then everything joins at a single-threaded barrier. The join means
-//! every epoch costs as much wall-clock as its *slowest* shard — the
-//! other shards sit idle. [`BarrierProfiler`] measures exactly that:
-//! per-shard busy time, per-shard barrier-idle time (`max(busy) -
-//! busy_i` per epoch), and the serial barrier time itself.
+//! The engine's epoch loop is a two-phase fork/join: the vehicle-tick
+//! phase fans stealable vehicle batches out across a persistent
+//! work-stealing executor, then everything joins at a single-threaded
+//! barrier. The join means every epoch costs as much wall-clock as the
+//! executor's *slowest* worker — the other workers sit idle once their
+//! deques (and everyone else's) run dry. [`BarrierProfiler`] measures
+//! exactly that: per-worker busy time, per-worker barrier-idle time
+//! (`tick-phase wall - busy_w` per epoch), how many batches each worker
+//! stole from a sibling's deque and how long it spent running stolen
+//! work, plus per-shard busy attribution (summed from each shard's
+//! batches, wherever they ran) and the serial barrier time itself.
 //!
 //! Wall-clock readings are inherently nondeterministic, so this module
 //! is **excluded from the deterministic summary**: the engine reports
@@ -15,39 +20,75 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
+/// One worker's measurements for a single tick-phase submission: time
+/// spent executing batches, how many of those batches were stolen from
+/// another worker's deque, and the time spent on the stolen ones.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerSample {
+    /// Time the worker spent executing batches this submission.
+    pub busy: Duration,
+    /// Batches this worker stole from a sibling's deque.
+    pub steals: u64,
+    /// Time spent executing those stolen batches.
+    pub stolen: Duration,
+}
+
 /// Accumulates per-epoch wall-clock measurements during a run.
 #[derive(Debug, Clone)]
 pub struct BarrierProfiler {
-    busy: Vec<Duration>,
-    idle: Vec<Duration>,
+    worker_busy: Vec<Duration>,
+    worker_idle: Vec<Duration>,
+    worker_steals: Vec<u64>,
+    worker_stolen: Vec<Duration>,
+    shard_busy: Vec<Duration>,
     barrier: Duration,
     epochs: u64,
 }
 
 impl BarrierProfiler {
-    /// A profiler for `shards` worker shards.
+    /// A profiler for `workers` executor workers advancing `shards`
+    /// shards.
     #[must_use]
-    pub fn new(shards: usize) -> Self {
+    pub fn new(workers: usize, shards: usize) -> Self {
         BarrierProfiler {
-            busy: vec![Duration::ZERO; shards],
-            idle: vec![Duration::ZERO; shards],
+            worker_busy: vec![Duration::ZERO; workers],
+            worker_idle: vec![Duration::ZERO; workers],
+            worker_steals: vec![0; workers],
+            worker_stolen: vec![Duration::ZERO; workers],
+            shard_busy: vec![Duration::ZERO; shards],
             barrier: Duration::ZERO,
             epochs: 0,
         }
     }
 
-    /// Records one epoch's per-shard busy times. Each shard's idle time
-    /// for the epoch is the gap to the slowest shard (the join point).
+    /// Records one epoch's tick phase: the fork/join wall-clock of the
+    /// whole submission, each worker's sample, and each shard's busy
+    /// time (the sum of its batches' run times, wherever they ran). A
+    /// worker's idle time for the epoch is the gap to the join point.
     ///
     /// # Panics
     ///
-    /// Panics when `busy` does not have one entry per shard.
-    pub fn record_epoch(&mut self, busy: &[Duration]) {
-        assert_eq!(busy.len(), self.busy.len(), "one busy reading per shard");
-        let slowest = busy.iter().copied().max().unwrap_or(Duration::ZERO);
-        for (i, &b) in busy.iter().enumerate() {
-            self.busy[i] += b;
-            self.idle[i] += slowest.saturating_sub(b);
+    /// Panics when `workers` / `shard_busy` do not have one entry per
+    /// worker / shard.
+    pub fn record_epoch(&mut self, wall: Duration, workers: &[WorkerSample], shard_busy: &[Duration]) {
+        assert_eq!(
+            workers.len(),
+            self.worker_busy.len(),
+            "one sample per worker"
+        );
+        assert_eq!(
+            shard_busy.len(),
+            self.shard_busy.len(),
+            "one busy reading per shard"
+        );
+        for (w, s) in workers.iter().enumerate() {
+            self.worker_busy[w] += s.busy;
+            self.worker_idle[w] += wall.saturating_sub(s.busy);
+            self.worker_steals[w] += s.steals;
+            self.worker_stolen[w] += s.stolen;
+        }
+        for (i, &b) in shard_busy.iter().enumerate() {
+            self.shard_busy[i] += b;
         }
         self.epochs += 1;
     }
@@ -61,8 +102,11 @@ impl BarrierProfiler {
     #[must_use]
     pub fn finish(self) -> EngineProfile {
         EngineProfile {
-            shard_busy: self.busy,
-            shard_idle: self.idle,
+            worker_busy: self.worker_busy,
+            worker_idle: self.worker_idle,
+            worker_steals: self.worker_steals,
+            worker_stolen: self.worker_stolen,
+            shard_busy: self.shard_busy,
             barrier: self.barrier,
             epochs: self.epochs,
         }
@@ -73,11 +117,17 @@ impl BarrierProfiler {
 /// of the deterministic summary).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EngineProfile {
-    /// Cumulative busy time per shard across all epochs.
+    /// Cumulative busy time per executor worker across all epochs.
+    pub worker_busy: Vec<Duration>,
+    /// Cumulative barrier-idle time per worker (`tick-phase wall -
+    /// busy_w` summed over epochs).
+    pub worker_idle: Vec<Duration>,
+    /// Batches each worker stole from a sibling's deque.
+    pub worker_steals: Vec<u64>,
+    /// Time each worker spent executing stolen batches.
+    pub worker_stolen: Vec<Duration>,
+    /// Cumulative busy time attributed per shard (sum of its batches).
     pub shard_busy: Vec<Duration>,
-    /// Cumulative barrier-idle time per shard (`max(busy) - busy_i`
-    /// summed over epochs).
-    pub shard_idle: Vec<Duration>,
     /// Cumulative single-threaded barrier time.
     pub barrier: Duration,
     /// Epochs profiled.
@@ -85,17 +135,38 @@ pub struct EngineProfile {
 }
 
 impl EngineProfile {
-    /// Fraction of a shard's fork/join wall-clock spent idle at the
-    /// barrier (0 when the shard never ran).
+    /// Fraction of a worker's fork/join wall-clock spent idle at the
+    /// barrier (0 when the worker never ran).
     #[must_use]
-    pub fn idle_fraction(&self, shard: usize) -> f64 {
-        let busy = self.shard_busy[shard].as_secs_f64();
-        let idle = self.shard_idle[shard].as_secs_f64();
+    pub fn idle_fraction(&self, worker: usize) -> f64 {
+        let busy = self.worker_busy[worker].as_secs_f64();
+        let idle = self.worker_idle[worker].as_secs_f64();
         if busy + idle == 0.0 {
             0.0
         } else {
             idle / (busy + idle)
         }
+    }
+
+    /// Mean idle fraction across all workers: total idle over total
+    /// fork/join wall-clock (0 for an empty profile). This is the E22
+    /// headline number — the share of executor hardware wasted waiting
+    /// at epoch joins.
+    #[must_use]
+    pub fn mean_idle_fraction(&self) -> f64 {
+        let busy: f64 = self.worker_busy.iter().map(Duration::as_secs_f64).sum();
+        let idle: f64 = self.worker_idle.iter().map(Duration::as_secs_f64).sum();
+        if busy + idle == 0.0 {
+            0.0
+        } else {
+            idle / (busy + idle)
+        }
+    }
+
+    /// Total batches stolen across all workers.
+    #[must_use]
+    pub fn total_steals(&self) -> u64 {
+        self.worker_steals.iter().sum()
     }
 
     /// A multi-line text block for the run's diagnostics output.
@@ -104,18 +175,25 @@ impl EngineProfile {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "profile: epochs={} barrier_ms={:.3}",
+            "profile: epochs={} barrier_ms={:.3} steals={} mean_idle_frac={:.3}",
             self.epochs,
-            self.barrier.as_secs_f64() * 1e3
+            self.barrier.as_secs_f64() * 1e3,
+            self.total_steals(),
+            self.mean_idle_fraction()
         );
-        for (i, (busy, idle)) in self.shard_busy.iter().zip(&self.shard_idle).enumerate() {
+        for (w, (busy, idle)) in self.worker_busy.iter().zip(&self.worker_idle).enumerate() {
             let _ = writeln!(
                 out,
-                "shard[{i}]: busy_ms={:.3} barrier_idle_ms={:.3} idle_frac={:.3}",
+                "worker[{w}]: busy_ms={:.3} barrier_idle_ms={:.3} idle_frac={:.3} steals={} stolen_ms={:.3}",
                 busy.as_secs_f64() * 1e3,
                 idle.as_secs_f64() * 1e3,
-                self.idle_fraction(i)
+                self.idle_fraction(w),
+                self.worker_steals[w],
+                self.worker_stolen[w].as_secs_f64() * 1e3
             );
+        }
+        for (i, busy) in self.shard_busy.iter().enumerate() {
+            let _ = writeln!(out, "shard[{i}]: busy_ms={:.3}", busy.as_secs_f64() * 1e3);
         }
         out
     }
@@ -125,44 +203,81 @@ impl EngineProfile {
 mod tests {
     use super::*;
 
+    fn sample(busy_ms: u64, steals: u64, stolen_ms: u64) -> WorkerSample {
+        WorkerSample {
+            busy: Duration::from_millis(busy_ms),
+            steals,
+            stolen: Duration::from_millis(stolen_ms),
+        }
+    }
+
     #[test]
-    fn idle_is_the_gap_to_the_slowest_shard() {
-        let mut p = BarrierProfiler::new(3);
-        p.record_epoch(&[
+    fn idle_is_the_gap_to_the_join() {
+        let mut p = BarrierProfiler::new(3, 2);
+        p.record_epoch(
             Duration::from_millis(10),
-            Duration::from_millis(4),
-            Duration::from_millis(7),
-        ]);
-        p.record_epoch(&[
-            Duration::from_millis(2),
+            &[sample(10, 0, 0), sample(4, 1, 2), sample(7, 0, 0)],
+            &[Duration::from_millis(12), Duration::from_millis(9)],
+        );
+        p.record_epoch(
             Duration::from_millis(8),
-            Duration::from_millis(8),
-        ]);
+            &[sample(2, 0, 0), sample(8, 2, 3), sample(8, 0, 0)],
+            &[Duration::from_millis(10), Duration::from_millis(8)],
+        );
         p.record_barrier(Duration::from_millis(3));
         let profile = p.finish();
         assert_eq!(profile.epochs, 2);
-        assert_eq!(profile.shard_busy[0], Duration::from_millis(12));
-        // Epoch 1: slowest 10 → idle 0/6/3. Epoch 2: slowest 8 → 6/0/0.
-        assert_eq!(profile.shard_idle[0], Duration::from_millis(6));
-        assert_eq!(profile.shard_idle[1], Duration::from_millis(6));
-        assert_eq!(profile.shard_idle[2], Duration::from_millis(3));
+        assert_eq!(profile.worker_busy[0], Duration::from_millis(12));
+        // Epoch 1: wall 10 → idle 0/6/3. Epoch 2: wall 8 → 6/0/0.
+        assert_eq!(profile.worker_idle[0], Duration::from_millis(6));
+        assert_eq!(profile.worker_idle[1], Duration::from_millis(6));
+        assert_eq!(profile.worker_idle[2], Duration::from_millis(3));
+        assert_eq!(profile.worker_steals, vec![0, 3, 0]);
+        assert_eq!(profile.total_steals(), 3);
+        assert_eq!(profile.worker_stolen[1], Duration::from_millis(5));
+        assert_eq!(profile.shard_busy[0], Duration::from_millis(22));
+        assert_eq!(profile.shard_busy[1], Duration::from_millis(17));
         assert_eq!(profile.barrier, Duration::from_millis(3));
     }
 
     #[test]
-    fn render_names_every_shard() {
-        let mut p = BarrierProfiler::new(2);
-        p.record_epoch(&[Duration::from_millis(5), Duration::from_millis(5)]);
+    fn mean_idle_fraction_pools_all_workers() {
+        let mut p = BarrierProfiler::new(2, 1);
+        // Wall 10: worker 0 busy 10 (idle 0), worker 1 busy 5 (idle 5).
+        p.record_epoch(
+            Duration::from_millis(10),
+            &[sample(10, 0, 0), sample(5, 0, 0)],
+            &[Duration::from_millis(15)],
+        );
+        let profile = p.finish();
+        let expect = 5.0 / 20.0;
+        assert!((profile.mean_idle_fraction() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_names_every_worker_and_shard() {
+        let mut p = BarrierProfiler::new(2, 2);
+        p.record_epoch(
+            Duration::from_millis(5),
+            &[sample(5, 0, 0), sample(5, 1, 1)],
+            &[Duration::from_millis(5), Duration::from_millis(5)],
+        );
         let text = p.finish().render();
         assert!(text.contains("profile: epochs=1"));
+        assert!(text.contains("mean_idle_frac="));
+        assert!(text.contains("worker[0]:"));
+        assert!(text.contains("worker[1]:"));
         assert!(text.contains("shard[0]:"));
         assert!(text.contains("shard[1]:"));
         assert!(text.contains("barrier_idle_ms="));
+        assert!(text.contains("stolen_ms="));
     }
 
     #[test]
     fn idle_fraction_handles_empty_profiles() {
-        let profile = BarrierProfiler::new(1).finish();
+        let profile = BarrierProfiler::new(1, 1).finish();
         assert_eq!(profile.idle_fraction(0), 0.0);
+        assert_eq!(profile.mean_idle_fraction(), 0.0);
+        assert_eq!(profile.total_steals(), 0);
     }
 }

@@ -71,6 +71,7 @@ const TARGETS: &[Target] = &[
     Target::chaos("fleet-mobility", experiments::fleet_mobility),
     Target::chaos("fleet-resume", experiments::fleet_resume),
     Target::chaos("fleet-steal", experiments::fleet_steal),
+    Target::plain("fleet-obs", experiments::fleet_obs),
 ];
 
 fn target_of(name: &str) -> Option<&'static Target> {

@@ -8,8 +8,8 @@
 use vdap_ddi::{DdiService, DriverStyle, ObdCollector, Query, RecordKind};
 use vdap_edgeos::Objective;
 use vdap_fleet::{
-    FleetConfig, FleetEngine, IngestConfig, MobilityConfig, SnapshotStore, SpanOutcome,
-    CKPT_STORE_LABEL, ENGINE_LABEL,
+    FleetConfig, FleetEngine, IngestConfig, JsonlSpillSink, MobilityConfig, ObsHistogram,
+    SnapshotStore, SpanOutcome, CKPT_STORE_LABEL, ENGINE_LABEL,
 };
 use vdap_hw::{catalog, Battery, ComputeWorkload, TaskClass};
 use vdap_models::zoo;
@@ -1519,17 +1519,11 @@ fn fleet_steal_table(cfg: FleetConfig) -> TextTable {
         "E22 — work-stealing epoch executor: stealable vehicle batches vs the scoped-join baseline (8 shards)",
         &["metric", "value"],
     );
-    t.row(&[
-        "executor threads".into(),
-        p.worker_busy.len().to_string(),
-    ]);
+    t.row(&["executor threads".into(), p.worker_busy.len().to_string()]);
     t.row(&["batch size (vehicles)".into(), cfg.batch_size.to_string()]);
     t.row(&["epochs profiled".into(), p.epochs.to_string()]);
     t.row(&["batches stolen".into(), p.total_steals().to_string()]);
-    t.row(&[
-        "mean idle fraction".into(),
-        f3(p.mean_idle_fraction()),
-    ]);
+    t.row(&["mean idle fraction".into(), f3(p.mean_idle_fraction())]);
     t.row(&[
         "pre-refactor idle fraction (E18 baseline)".into(),
         f3(PRE_STEAL_IDLE_FRACTION),
@@ -1540,12 +1534,228 @@ fn fleet_steal_table(cfg: FleetConfig) -> TextTable {
     ]);
     t.row(&[
         "events/sec (wall-clock, 8 shards)".into(),
-        format!("{:.0}", sharded.events_processed as f64 / wall.as_secs_f64()),
+        format!(
+            "{:.0}",
+            sharded.events_processed as f64 / wall.as_secs_f64()
+        ),
+    ]);
+    t.row(&["summaries byte-identical".into(), "yes".into()]);
+    t
+}
+
+/// E23 — bounded-memory streaming telemetry: the same fleet run three
+/// ways. An unbounded baseline keeps every span and every epoch-series
+/// point resident; the bounded runs cap resident telemetry with a byte
+/// budget, stream spans into segment-rotating JSONL spill files, and
+/// keep one in eight OK-path spans by a seeded identity hash. The table
+/// pins the observability contract: peak post-enforcement resident
+/// bytes stay under the budget, every spilled segment line re-parses,
+/// the sampled span stream and the deterministic summary are
+/// byte-identical at 1 and 8 shards, and the streaming-histogram
+/// quantiles stay within the documented ≈1.6% relative error of the
+/// exact sorted quantiles.
+#[must_use]
+pub fn fleet_obs(seed: u64) -> TextTable {
+    fleet_obs_table(
+        seed,
+        100_000,
+        SimDuration::from_secs(6),
+        8 * 1024 * 1024,
+        std::path::Path::new("target/fleet-obs"),
+    )
+}
+
+/// Nearest-rank exact quantile of an ascending-sorted sample.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Reads every spilled segment of `sink` back, requiring each line to
+/// parse, and returns the identity stream `(vehicle, seq, generated_ns,
+/// outcome)` in file order.
+fn spilled_span_keys(sink: &JsonlSpillSink) -> Vec<(u64, u64, u64, String)> {
+    let mut keys = Vec::new();
+    for seg in sink.segments() {
+        let text = std::fs::read_to_string(&seg).expect("spill segment readable");
+        for line in text.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).expect("spilled line parses");
+            let num = |name: &str| -> u64 {
+                match v.get(name) {
+                    Some(serde_json::Value::Number(n)) => *n as u64,
+                    other => panic!("bad numeric field {name}: {other:?}"),
+                }
+            };
+            let outcome = v
+                .get("outcome")
+                .and_then(serde_json::Value::as_str)
+                .expect("outcome field")
+                .to_string();
+            keys.push((num("vehicle"), num("seq"), num("generated_ns"), outcome));
+        }
+    }
+    keys
+}
+
+/// Runs `cfg`-sized fleets unbounded (8 shards) and bounded (8 and 1
+/// shards, `budget` bytes + spill under `dir` + 1-in-8 OK sampling),
+/// asserts the bounded-telemetry contract, and renders the comparison.
+fn fleet_obs_table(
+    seed: u64,
+    vehicles: u32,
+    duration: SimDuration,
+    budget: u64,
+    dir: &std::path::Path,
+) -> TextTable {
+    let base = {
+        let mut c = FleetConfig::sized(vehicles, 8);
+        c.seed = seed;
+        c.duration = duration;
+        c
+    };
+
+    // (a) Unbounded baseline: every span and series point stays
+    // resident; its peak is the memory bill the budget exists to avoid.
+    let unbounded = FleetEngine::new(base.clone().with_telemetry()).run();
+    let base_tel = unbounded.telemetry.as_ref().expect("telemetry enabled");
+
+    // (b)/(c) Bounded at 8 and 1 shards, each spilling into its own
+    // segment directory (wiped first so stale segments cannot leak in).
+    let bounded_run = |shards: u32, segments: &std::path::Path| {
+        let _ = std::fs::remove_dir_all(segments);
+        let mut c = base
+            .clone()
+            .with_telemetry_budget(budget)
+            .with_span_spill(segments)
+            .with_span_sampling(8);
+        c.shards = shards;
+        FleetEngine::new(c).run()
+    };
+    let bounded = bounded_run(8, &dir.join("segments-8shard"));
+    let single = bounded_run(1, &dir.join("segments-1shard"));
+
+    assert_eq!(
+        unbounded.summary(),
+        bounded.summary(),
+        "telemetry sinks are derived data: budget/spill/sampling must not perturb the run"
+    );
+    assert_eq!(
+        bounded.summary(),
+        single.summary(),
+        "bounded telemetry must preserve shard-count invariance"
+    );
+    let tel = bounded.telemetry.as_ref().expect("telemetry enabled");
+    let tel1 = single.telemetry.as_ref().expect("telemetry enabled");
+    assert_eq!(
+        tel.registry, tel1.registry,
+        "registries must match 1 vs 8 shards"
+    );
+    assert_eq!(tel.sampled_out, tel1.sampled_out);
+    assert_eq!(
+        tel.peak_bytes, tel1.peak_bytes,
+        "byte estimates are count-based"
+    );
+    assert!(
+        tel.peak_bytes <= budget,
+        "peak resident telemetry {} exceeds budget {}",
+        tel.peak_bytes,
+        budget
+    );
+
+    // The spilled JSONL stream must re-parse line by line, account for
+    // every kept span, and carry the same span identities at any shard
+    // count (canonical per-block order + count-based drain epochs).
+    let spill = tel.spill.as_ref().expect("spill configured");
+    let spill1 = tel1.spill.as_ref().expect("spill configured");
+    assert_eq!(spill.io_errors(), 0, "spill writes must succeed");
+    let keys = spilled_span_keys(spill);
+    assert_eq!(
+        keys.len() as u64,
+        spill.spilled(),
+        "one line per spilled span"
+    );
+    assert_eq!(
+        keys,
+        spilled_span_keys(spill1),
+        "spilled span stream must be shard-count invariant"
+    );
+    assert_eq!(
+        spill.spilled() + tel.sampled_out,
+        unbounded.metrics.requests,
+        "kept + sampled-out must account for every request"
+    );
+
+    // Quantile fidelity: the streaming histogram summarises the
+    // unbounded run's end-to-end latencies in O(buckets) memory; its
+    // quantiles must sit within the documented relative-error bound of
+    // the exact (sorted, nearest-rank) quantiles.
+    let mut e2e: Vec<f64> = base_tel
+        .spans
+        .iter()
+        .map(|s| s.e2e().as_secs_f64() * 1e3)
+        .collect();
+    e2e.sort_by(f64::total_cmp);
+    let mut hist = ObsHistogram::new("fleet.e2e_ms");
+    for ms in &e2e {
+        hist.record(*ms);
+    }
+    let quantiles = [(0.50, "p50"), (0.95, "p95"), (0.99, "p99")];
+    let mut max_rel_err = 0.0f64;
+    let mut quantile_rows: Vec<[String; 2]> = Vec::new();
+    for (q, label) in quantiles {
+        let exact = exact_quantile(&e2e, q);
+        let est = hist.quantile(q);
+        let rel = (est - exact).abs() / exact;
+        assert!(
+            rel <= 0.02,
+            "{label}: streaming {est} vs exact {exact} (rel err {rel})"
+        );
+        max_rel_err = max_rel_err.max(rel);
+        quantile_rows.push([format!("e2e {label} ms (exact)"), f3(exact)]);
+        quantile_rows.push([format!("e2e {label} ms (streaming)"), f3(est)]);
+    }
+
+    let mut t = TextTable::new(
+        "E23 — bounded-memory streaming telemetry: spill + sampling + histogram rollup vs the unbounded baseline (8 shards)",
+        &["metric", "value"],
+    );
+    t.row(&["vehicles".into(), vehicles.to_string()]);
+    t.row(&["requests".into(), unbounded.metrics.requests.to_string()]);
+    t.row(&[
+        "spans resident (unbounded)".into(),
+        base_tel.spans.len().to_string(),
     ]);
     t.row(&[
-        "summaries byte-identical".into(),
-        "yes".into(),
+        "peak telemetry bytes (unbounded)".into(),
+        base_tel.peak_bytes.to_string(),
     ]);
+    t.row(&["telemetry budget bytes".into(), budget.to_string()]);
+    t.row(&[
+        "peak telemetry bytes (bounded)".into(),
+        tel.peak_bytes.to_string(),
+    ]);
+    t.row(&[
+        "spans resident (bounded)".into(),
+        tel.spans.len().to_string(),
+    ]);
+    t.row(&["spilled spans".into(), spill.spilled().to_string()]);
+    t.row(&["spill segments".into(), spill.segments().len().to_string()]);
+    t.row(&["spill io errors".into(), spill.io_errors().to_string()]);
+    t.row(&["sampled-out OK spans".into(), tel.sampled_out.to_string()]);
+    t.row(&[
+        "series rollup active".into(),
+        if tel.rolled { "yes" } else { "no" }.into(),
+    ]);
+    t.row(&[
+        "histograms in registry".into(),
+        tel.registry.all_histograms().count().to_string(),
+    ]);
+    for [metric, value] in quantile_rows {
+        t.row(&[metric, value]);
+    }
+    t.row(&["quantile max rel err".into(), f3(max_rel_err)]);
+    t.row(&["quantile rel err bound".into(), f3(1.0 / 64.0)]);
+    t.row(&["summaries byte-identical".into(), "yes".into()]);
     t
 }
 
@@ -1686,6 +1896,34 @@ mod tests {
         assert!(rendered.contains("batch size (vehicles)"), "{rendered}");
         assert!(rendered.contains("batches stolen"), "{rendered}");
         assert!(rendered.contains("mean idle fraction"), "{rendered}");
+        assert!(rendered.contains("summaries byte-identical"), "{rendered}");
+    }
+
+    #[test]
+    fn fleet_obs_table_bounds_memory_and_keeps_quantiles_honest() {
+        // Scaled-down E23: the full 100,000×6 s run belongs to the
+        // repro binary; a small fleet with a deliberately tiny budget
+        // exercises the whole enforcement ladder — mid-run over-budget
+        // spill drains, series rollup, sampling — plus the in-table
+        // assertions (peak ≤ budget, shard-invariant spilled stream,
+        // quantile fidelity) and renders every contract row.
+        let rendered = fleet_obs_table(
+            7,
+            96,
+            SimDuration::from_secs(6),
+            16 * 1024,
+            std::path::Path::new("target/fleet-obs-test"),
+        )
+        .render();
+        assert!(rendered.contains("telemetry budget bytes"), "{rendered}");
+        assert!(
+            rendered.contains("peak telemetry bytes (bounded)"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("spilled spans"), "{rendered}");
+        assert!(rendered.contains("sampled-out OK spans"), "{rendered}");
+        assert!(rendered.contains("series rollup active"), "{rendered}");
+        assert!(rendered.contains("e2e p99 ms (streaming)"), "{rendered}");
         assert!(rendered.contains("summaries byte-identical"), "{rendered}");
     }
 

@@ -442,6 +442,16 @@ pub(crate) fn config_fingerprint(cfg: &FleetConfig) -> Value {
         ("ingest", Value::Bool(cfg.ingest.is_some())),
         ("mobility", Value::Bool(cfg.mobility.is_some())),
         ("telemetry", Value::Bool(cfg.telemetry)),
+        // Sink knobs that change what the telemetry *contains* (the
+        // budget drives rollup/auto-sampling, the sample rate drives
+        // the kept set). The spill *directory* is deliberately
+        // excluded: it names an export location, not state — restoring
+        // under a different spill dir is legitimate.
+        (
+            "telemetry_budget",
+            u64_hex(cfg.telemetry_budget.unwrap_or(0)),
+        ),
+        ("span_sample", u64_hex(cfg.span_sample.map_or(0, u64::from))),
     ])
 }
 

@@ -372,6 +372,16 @@ pub enum FleetConfigError {
     /// `executor_threads == Some(0)`: the executor needs at least one
     /// worker.
     ZeroExecutorThreads,
+    /// `telemetry_budget == Some(0)`: a zero-byte budget can never be
+    /// satisfied.
+    ZeroTelemetryBudget,
+    /// `span_sample == Some(0)`: keep-one-in-zero is meaningless (1
+    /// keeps everything; use that to disable sampling explicitly).
+    ZeroSpanSample,
+    /// A telemetry sink knob (`telemetry_budget`, `span_spill`,
+    /// `span_sample`) is set while `telemetry` itself is off — nothing
+    /// would ever be captured, so the knob is certainly a mistake.
+    TelemetrySinkWithoutTelemetry,
 }
 
 impl fmt::Display for FleetConfigError {
@@ -441,6 +451,18 @@ impl fmt::Display for FleetConfigError {
             FleetConfigError::ZeroExecutorThreads => {
                 write!(f, "executor needs at least one worker thread")
             }
+            FleetConfigError::ZeroTelemetryBudget => {
+                write!(f, "telemetry budget must be at least one byte")
+            }
+            FleetConfigError::ZeroSpanSample => write!(
+                f,
+                "span sampling keeps one span in N; N must be at least 1 (1 keeps everything)"
+            ),
+            FleetConfigError::TelemetrySinkWithoutTelemetry => write!(
+                f,
+                "telemetry sink knobs (budget / spill / sampling) require telemetry capture; \
+                 call with_telemetry() or use the with_telemetry_* builders"
+            ),
         }
     }
 }
@@ -511,6 +533,28 @@ pub struct FleetConfig {
     /// from values the deterministic serving path already computes, so
     /// enabling this cannot perturb a run — it only costs memory.
     pub telemetry: bool,
+    /// Resident-byte budget for sim-time telemetry. When the estimated
+    /// resident telemetry bytes (span buffer + registry, a count-based
+    /// and therefore shard-invariant estimate) cross the budget at an
+    /// epoch barrier, the engine enforces it: buffered spans spill to
+    /// `span_spill` (when set), per-epoch series roll up into streaming
+    /// histograms behind a retention window, and — when neither spill
+    /// nor explicit sampling is configured — deterministic OK-span
+    /// sampling switches on as a last resort. `None` disables
+    /// enforcement (the pre-budget unbounded behaviour).
+    pub telemetry_budget: Option<u64>,
+    /// Directory for the segment-rotating JSONL span spill. With a
+    /// budget set, spans spill only when the budget is crossed; without
+    /// one, every barrier flushes (pure streaming export). Disk I/O is
+    /// wall-clock territory: write failures are counted in diagnostics,
+    /// and nothing deterministic depends on them.
+    pub span_spill: Option<std::path::PathBuf>,
+    /// Deterministic span sampling: keep all non-OK spans, and one in
+    /// `N` OK spans chosen by a seeded hash of `(vehicle, seq)` — the
+    /// kept set is shard-count- and executor-width-free. `None` keeps
+    /// every span (unless a crossed budget auto-activates sampling, see
+    /// `telemetry_budget`).
+    pub span_sample: Option<u32>,
     /// Durable barrier checkpointing: when set, the engine snapshots
     /// its complete deterministic state every `interval_epochs`
     /// barriers with keep-last-`retain` retention, and
@@ -556,6 +600,9 @@ impl Default for FleetConfig {
             ingest: None,
             mobility: None,
             telemetry: false,
+            telemetry_budget: None,
+            span_spill: None,
+            span_sample: None,
             checkpoint: None,
             batch_size: 32,
             executor_threads: None,
@@ -616,6 +663,35 @@ impl FleetConfig {
     #[must_use]
     pub fn with_telemetry(mut self) -> Self {
         self.telemetry = true;
+        self
+    }
+
+    /// Caps resident telemetry at `bytes` (implies telemetry capture —
+    /// see [`FleetConfig::telemetry_budget`] for the enforcement
+    /// ladder).
+    #[must_use]
+    pub fn with_telemetry_budget(mut self, bytes: u64) -> Self {
+        self.telemetry = true;
+        self.telemetry_budget = Some(bytes);
+        self
+    }
+
+    /// Streams spans to segment-rotating JSONL files under `dir`
+    /// (implies telemetry capture — see [`FleetConfig::span_spill`]).
+    #[must_use]
+    pub fn with_span_spill(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.telemetry = true;
+        self.span_spill = Some(dir.into());
+        self
+    }
+
+    /// Keeps one in `keep_one_in` OK-path spans by a seeded
+    /// `(vehicle, seq)` hash, and every non-OK span (implies telemetry
+    /// capture — see [`FleetConfig::span_sample`]).
+    #[must_use]
+    pub fn with_span_sampling(mut self, keep_one_in: u32) -> Self {
+        self.telemetry = true;
+        self.span_sample = Some(keep_one_in);
         self
     }
 
@@ -1028,6 +1104,19 @@ impl FleetConfig {
         }
         if self.executor_threads == Some(0) {
             return Err(FleetConfigError::ZeroExecutorThreads);
+        }
+        if self.telemetry_budget == Some(0) {
+            return Err(FleetConfigError::ZeroTelemetryBudget);
+        }
+        if self.span_sample == Some(0) {
+            return Err(FleetConfigError::ZeroSpanSample);
+        }
+        if !self.telemetry
+            && (self.telemetry_budget.is_some()
+                || self.span_spill.is_some()
+                || self.span_sample.is_some())
+        {
+            return Err(FleetConfigError::TelemetrySinkWithoutTelemetry);
         }
         Ok(())
     }
@@ -1453,6 +1542,40 @@ mod tests {
         assert!(big.validate().is_ok());
         assert_eq!(big.executor_pool_size(), 4096);
         assert_eq!(FleetConfig::default().executor_pool_size(), usize::MAX);
+    }
+
+    #[test]
+    fn telemetry_sink_knobs_validate_with_reasons() {
+        // The builders imply telemetry capture.
+        let cfg = FleetConfig::default()
+            .with_telemetry_budget(8 * 1024 * 1024)
+            .with_span_spill("target/spill-test")
+            .with_span_sampling(8);
+        assert!(cfg.telemetry);
+        assert!(cfg.validate().is_ok());
+
+        let zero_budget = FleetConfig::default().with_telemetry_budget(0);
+        let err = zero_budget.validate().unwrap_err();
+        assert_eq!(err, FleetConfigError::ZeroTelemetryBudget);
+        assert!(err.to_string().contains("budget"), "{err}");
+
+        let zero_sample = FleetConfig::default().with_span_sampling(0);
+        let err = zero_sample.validate().unwrap_err();
+        assert_eq!(err, FleetConfigError::ZeroSpanSample);
+        assert!(err.to_string().contains("at least 1"), "{err}");
+        // keep-one-in-1 is the explicit "disable sampling" spelling.
+        assert!(FleetConfig::default()
+            .with_span_sampling(1)
+            .validate()
+            .is_ok());
+
+        // A knob set by hand with telemetry forced back off is a
+        // certain mistake, caught at the gate.
+        let mut orphan = FleetConfig::default().with_telemetry_budget(1024);
+        orphan.telemetry = false;
+        let err = orphan.validate().unwrap_err();
+        assert_eq!(err, FleetConfigError::TelemetrySinkWithoutTelemetry);
+        assert!(err.to_string().contains("with_telemetry"), "{err}");
     }
 
     #[test]

@@ -39,7 +39,10 @@ use vdap_mobility::{
     VehicleTrack,
 };
 use vdap_net::CellularChannel;
-use vdap_obs::{intern_name, BarrierProfiler, RequestSpan, SpanOutcome};
+use vdap_obs::{
+    intern_name, BarrierProfiler, HistogramState, JsonlSpillSink, RequestSpan, SpanOutcome,
+    StreamingHistogram,
+};
 use vdap_offload::Tile;
 use vdap_sim::{ReliabilityStats, RngStream, SeedFactory, SimDuration, SimTime};
 
@@ -294,7 +297,14 @@ impl EngineState {
             edge: XEdgeServer::new(cfg),
             engine_metrics: FleetMetrics::new(),
             reliability,
-            telemetry: cfg.telemetry.then(FleetTelemetry::default),
+            telemetry: cfg.telemetry.then(|| {
+                FleetTelemetry::configured(
+                    cfg.telemetry_budget,
+                    cfg.span_sample,
+                    cfg.span_spill.clone(),
+                    cfg.seed,
+                )
+            }),
             ingest: cfg
                 .ingest
                 .as_ref()
@@ -402,7 +412,7 @@ fn run_core(
                         },
                         1,
                     );
-                    tel.spans.push(span);
+                    tel.absorb(span);
                 }
             }
         }
@@ -500,6 +510,13 @@ fn run_core(
             shard.snapshot = Arc::clone(&snapshot);
         }
 
+        // Telemetry budget enforcement is the last barrier step, after
+        // every span drain and series sample of the epoch, so the
+        // resident estimate it acts on is complete — and deterministic.
+        if let Some(tel) = state.telemetry.as_mut() {
+            tel.barrier_flush(state.epoch_index);
+        }
+
         profiler.record_barrier(barrier_started.elapsed());
         state.epoch_index += 1;
 
@@ -547,11 +564,14 @@ fn run_core(
         metrics.merge(&shard.metrics);
     }
     if let Some(tel) = state.telemetry.as_mut() {
+        tel.registry.inc("fleet.requests", metrics.requests);
+        // With spill configured, the horizon tail goes to disk too, so
+        // the JSONL segments hold the complete post-sampling stream.
+        tel.final_flush(state.epoch_index);
         // Insertion order interleaves vehicle-side and edge-side
         // resolutions arbitrarily; canonical order restores a
         // shard-count-invariant log.
         tel.spans.sort_canonical();
-        tel.registry.inc("fleet.requests", metrics.requests);
     }
     let region_availability = state
         .reliability
@@ -754,7 +774,28 @@ fn state_from_snapshot(ctx: &RunCtx, payload: &Value) -> Result<EngineState, Ckp
         (Value::Null, true) | (_, false) => {
             return Err(CkptError::new("snapshot and config disagree on telemetry"))
         }
-        (enc, true) => Some(dec_telemetry(enc)?),
+        (enc, true) => {
+            let (mut tel, spill_state) = dec_telemetry(enc)?;
+            // Sink wiring is config-derived: the budget, the sampling
+            // seed, and the spill *directory* come from the config the
+            // run restores under, while the dynamic counters (spilled
+            // spans, current segment) come from the snapshot so the
+            // writer appends where the crashed run left off.
+            tel.budget = cfg.telemetry_budget;
+            tel.sample_seed = cfg.seed;
+            tel.sample = tel.sample.or(cfg.span_sample);
+            if let Some(dir) = cfg.span_spill.clone() {
+                let (spilled, index, bytes) = spill_state;
+                tel.spill = Some(JsonlSpillSink::resume(
+                    dir,
+                    vdap_obs::DEFAULT_SEGMENT_BYTES,
+                    spilled,
+                    index,
+                    bytes,
+                ));
+            }
+            Some(tel)
+        }
     };
 
     Ok(EngineState {
@@ -870,10 +911,74 @@ fn enc_telemetry(tel: &FleetTelemetry) -> Value {
                     .collect(),
             ),
         ),
+        (
+            "hists",
+            Value::Array(
+                tel.registry
+                    .all_histograms()
+                    .map(|h| {
+                        let st = h.state();
+                        Value::Array(vec![
+                            Value::String(h.name().to_string()),
+                            obj(vec![
+                                ("count", u64_hex(st.count)),
+                                ("sum_hi", u64_hex((st.sum_ticks >> 64) as u64)),
+                                ("sum_lo", u64_hex(st.sum_ticks as u64)),
+                                ("min", u64_hex(st.min_ticks)),
+                                ("max", u64_hex(st.max_ticks)),
+                                (
+                                    "buckets",
+                                    Value::Array(
+                                        st.buckets
+                                            .iter()
+                                            .map(|&(i, n)| {
+                                                Value::Array(vec![
+                                                    u64_hex(u64::from(i)),
+                                                    u64_hex(n),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ]),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "sink",
+            obj(vec![
+                // 0 encodes "sampling off" (a configured rate is never
+                // zero — validation rejects it).
+                ("sample", u64_hex(tel.sample.map_or(0, u64::from))),
+                ("sampled_out", u64_hex(tel.sampled_out)),
+                ("rolled", Value::Bool(tel.rolled)),
+                ("peak_bytes", u64_hex(tel.peak_bytes)),
+                (
+                    "spilled",
+                    u64_hex(tel.spill.as_ref().map_or(0, JsonlSpillSink::spilled)),
+                ),
+                (
+                    "spill_index",
+                    u64_hex(
+                        tel.spill
+                            .as_ref()
+                            .map_or(0, |s| u64::from(s.current_index())),
+                    ),
+                ),
+                (
+                    "spill_bytes",
+                    u64_hex(tel.spill.as_ref().map_or(0, JsonlSpillSink::current_bytes)),
+                ),
+            ]),
+        ),
     ])
 }
 
-fn dec_telemetry(v: &Value) -> Result<FleetTelemetry, CkptError> {
+type SpillState = (u64, u32, u64);
+
+fn dec_telemetry(v: &Value) -> Result<(FleetTelemetry, SpillState), CkptError> {
     let mut tel = FleetTelemetry::default();
     for s in get_array(v, "spans")? {
         tel.spans.push(dec_span(s)?);
@@ -903,7 +1008,47 @@ fn dec_telemetry(v: &Value) -> Result<FleetTelemetry, CkptError> {
             );
         }
     }
-    Ok(tel)
+    for entry in get_array(v, "hists")? {
+        let (name, body) = val_pair(entry)?;
+        let name = intern_name(val_str(name)?);
+        let mut buckets = Vec::new();
+        for pair in get_array(body, "buckets")? {
+            let (index, count) = val_pair(pair)?;
+            let index = u32::try_from(val_u64_hex(index)?)
+                .map_err(|_| CkptError::new("histogram bucket index out of range"))?;
+            buckets.push((index, val_u64_hex(count)?));
+        }
+        let sum_ticks = (u128::from(get_u64_hex(body, "sum_hi")?) << 64)
+            | u128::from(get_u64_hex(body, "sum_lo")?);
+        tel.registry
+            .restore_histogram(StreamingHistogram::from_state(
+                name,
+                HistogramState {
+                    buckets,
+                    count: get_u64_hex(body, "count")?,
+                    sum_ticks,
+                    min_ticks: get_u64_hex(body, "min")?,
+                    max_ticks: get_u64_hex(body, "max")?,
+                },
+            ));
+    }
+    let sink = get(v, "sink")?;
+    let sample = get_u64_hex(sink, "sample")?;
+    tel.sample = if sample == 0 {
+        None
+    } else {
+        Some(u32::try_from(sample).map_err(|_| CkptError::new("sample rate out of range"))?)
+    };
+    tel.sampled_out = get_u64_hex(sink, "sampled_out")?;
+    tel.rolled = get_bool(sink, "rolled")?;
+    tel.peak_bytes = get_u64_hex(sink, "peak_bytes")?;
+    let spill_state = (
+        get_u64_hex(sink, "spilled")?,
+        u32::try_from(get_u64_hex(sink, "spill_index")?)
+            .map_err(|_| CkptError::new("spill segment index out of range"))?,
+        get_u64_hex(sink, "spill_bytes")?,
+    );
+    Ok((tel, spill_state))
 }
 
 // ---- mobility codec -------------------------------------------------
@@ -1370,7 +1515,7 @@ fn record_outcome(
         );
         if let Some(tel) = telemetry.as_deref_mut() {
             tel.registry.inc("fleet.served", 1);
-            tel.spans.push(RequestSpan {
+            tel.absorb(RequestSpan {
                 vehicle: served.vehicle,
                 seq: served.seq,
                 tenant: served.tenant,
@@ -1398,7 +1543,7 @@ fn record_outcome(
         );
         if let Some(tel) = telemetry.as_deref_mut() {
             tel.registry.inc("fleet.rejected", 1);
-            tel.spans.push(RequestSpan {
+            tel.absorb(RequestSpan {
                 vehicle: rejected.vehicle,
                 seq: rejected.seq,
                 tenant: rejected.tenant,
@@ -1429,7 +1574,7 @@ fn record_outcome(
         }
         if let Some(tel) = telemetry.as_deref_mut() {
             tel.registry.inc("fleet.local_fallbacks", 1);
-            tel.spans.push(RequestSpan {
+            tel.absorb(RequestSpan {
                 vehicle: fallback.vehicle,
                 seq: fallback.seq,
                 tenant: fallback.tenant,

@@ -84,7 +84,9 @@ pub use config::{
 };
 pub use engine::FleetEngine;
 pub use ingest::IngestMetrics;
-pub use metrics::{ClassMetrics, FleetMetrics, FleetReport, FleetTelemetry};
+pub use metrics::{
+    ClassMetrics, FleetMetrics, FleetReport, FleetTelemetry, BUDGET_AUTO_SAMPLE, SERIES_RETENTION,
+};
 pub use pool::WorkerPool;
 // The class vocabulary lives in EdgeOSv (every layer speaks it);
 // re-exported here so fleet callers need not depend on vdap-edgeos.
@@ -95,7 +97,10 @@ pub use vdap_edgeos::{LanePolicy, WorkloadClass};
 pub use vdap_mobility::{MobilityConfig, MobilityMetrics, RegionGraph, RouteProfile};
 // The telemetry vocabulary lives in vdap-obs; re-exported so fleet
 // callers can consume spans, registries, and profiles directly.
-pub use vdap_obs::{EngineProfile, MetricsRegistry, RequestSpan, SpanLog, SpanOutcome};
+pub use vdap_obs::{
+    sample_keeps, EngineProfile, JsonlSpillSink, MemorySpanSink, MetricsRegistry, RequestSpan,
+    SamplingSpanSink, SpanLog, SpanOutcome, SpanSink, StreamingHistogram as ObsHistogram,
+};
 // The snapshot vocabulary lives in vdap-ckpt; re-exported so fleet
 // callers can drive checkpoint/restore without a direct dependency.
 pub use vdap_ckpt::{CkptError, Snapshot, SnapshotStore};

@@ -19,7 +19,10 @@ use std::fmt::Write as _;
 
 use vdap_edgeos::WorkloadClass;
 use vdap_mobility::MobilityMetrics;
-use vdap_obs::{EngineProfile, MetricsRegistry, SpanLog};
+use vdap_obs::{
+    sample_keeps, EngineProfile, JsonlSpillSink, MetricsRegistry, RequestSpan, SpanLog, SpanSink,
+    SPAN_RESIDENT_BYTES,
+};
 use vdap_sim::{ReliabilityStats, SimDuration, StreamingHistogram};
 
 use crate::ckpt::SnapshotDiagnostics;
@@ -304,10 +307,136 @@ impl FleetMetrics {
 #[derive(Debug, Clone, Default)]
 pub struct FleetTelemetry {
     /// One span per request, in canonical `(generated, vehicle, seq)`
-    /// order.
+    /// order (post-sampling; spans already spilled to disk are gone
+    /// from here).
     pub spans: SpanLog,
-    /// Named counters, gauges, and per-epoch time series.
+    /// Named counters, gauges, per-epoch time series, and streaming
+    /// histograms.
     pub registry: MetricsRegistry,
+    /// Segment-rotating JSONL spill writer, when configured.
+    pub spill: Option<JsonlSpillSink>,
+    /// Active OK-span sampling rate (keep one in N), when on — either
+    /// configured up front or auto-activated by a crossed budget.
+    pub sample: Option<u32>,
+    /// Seed for the sampling hash (the run's master seed).
+    pub sample_seed: u64,
+    /// Resident-byte budget, when configured.
+    pub budget: Option<u64>,
+    /// Whether the budget was ever crossed (series rollup active).
+    pub rolled: bool,
+    /// OK spans dropped by the sampler so far.
+    pub sampled_out: u64,
+    /// Peak post-enforcement resident telemetry bytes observed at any
+    /// barrier (the number the telemetry budget bounds).
+    pub peak_bytes: u64,
+}
+
+/// Keep-one-in-N rate auto-activated when a telemetry budget is crossed
+/// and neither spill nor explicit sampling is configured.
+pub const BUDGET_AUTO_SAMPLE: u32 = 8;
+
+/// Recent per-epoch points each series keeps once rollup is active;
+/// everything older folds into a same-named streaming histogram.
+pub const SERIES_RETENTION: usize = 64;
+
+impl FleetTelemetry {
+    /// Telemetry state for a run with the given sink configuration
+    /// (`Default` is the plain unbounded in-memory capture).
+    #[must_use]
+    pub fn configured(
+        budget: Option<u64>,
+        sample: Option<u32>,
+        spill_dir: Option<std::path::PathBuf>,
+        seed: u64,
+    ) -> Self {
+        FleetTelemetry {
+            spill: spill_dir.map(|dir| JsonlSpillSink::new(dir, vdap_obs::DEFAULT_SEGMENT_BYTES)),
+            sample,
+            sample_seed: seed,
+            budget,
+            ..FleetTelemetry::default()
+        }
+    }
+
+    /// Accepts one drained span, applying the sampling decision. The
+    /// decision reads only `(seed, vehicle, seq, outcome)` — never the
+    /// shard, worker, or arrival order — so what survives is identical
+    /// across shard counts and executor widths.
+    pub fn absorb(&mut self, span: RequestSpan) {
+        if let Some(keep_one_in) = self.sample {
+            if span.outcome.is_ok_path()
+                && !sample_keeps(self.sample_seed, span.vehicle, span.seq, keep_one_in)
+            {
+                self.sampled_out += 1;
+                return;
+            }
+        }
+        self.spans.push(span);
+    }
+
+    /// Estimated resident telemetry bytes: buffered spans plus the
+    /// registry estimate. Count-based on purpose — the estimate, and
+    /// every budget decision derived from it, is shard-count invariant.
+    #[must_use]
+    pub fn resident_bytes(&self) -> u64 {
+        self.spans.len() as u64 * SPAN_RESIDENT_BYTES + self.registry.approx_bytes()
+    }
+
+    /// Budget enforcement at an epoch barrier, in enforcement-ladder
+    /// order: spill buffered spans (every barrier when no budget is
+    /// set, else only once the budget is crossed), roll over-long
+    /// series into histograms, and — with no spill and no explicit
+    /// sampling — auto-activate OK-span sampling retroactively. The
+    /// `telemetry_bytes` gauge and `peak_bytes` are updated *after*
+    /// enforcement: they measure what enforcement achieved.
+    pub fn barrier_flush(&mut self, epoch: u64) {
+        let over = self
+            .budget
+            .is_some_and(|budget| self.resident_bytes() > budget);
+        if self.spill.is_some() && (over || self.budget.is_none()) {
+            self.drain_to_spill(epoch);
+        }
+        if over {
+            self.rolled = true;
+            if self.spill.is_none() && self.sample.is_none() {
+                // Last resort: switch sampling on and apply it to the
+                // already-buffered spans, so the decision stays a pure
+                // function of request identity.
+                self.sample = Some(BUDGET_AUTO_SAMPLE);
+                let seed = self.sample_seed;
+                self.sampled_out += self.spans.retain(|s| {
+                    !s.outcome.is_ok_path()
+                        || sample_keeps(seed, s.vehicle, s.seq, BUDGET_AUTO_SAMPLE)
+                });
+            }
+        }
+        if self.rolled {
+            self.registry.roll_series(SERIES_RETENTION);
+        }
+        let resident = self.resident_bytes();
+        self.registry.set_gauge("telemetry_bytes", resident as f64);
+        self.peak_bytes = self.peak_bytes.max(resident);
+    }
+
+    /// End-of-run flush: with spill configured, every still-buffered
+    /// span goes to disk regardless of budget, so the JSONL segments
+    /// hold the complete (post-sampling) stream.
+    pub fn final_flush(&mut self, epoch: u64) {
+        if self.spill.is_some() {
+            self.drain_to_spill(epoch);
+        }
+        let resident = self.resident_bytes();
+        self.registry.set_gauge("telemetry_bytes", resident as f64);
+        self.peak_bytes = self.peak_bytes.max(resident);
+    }
+
+    fn drain_to_spill(&mut self, epoch: u64) {
+        let spill = self.spill.as_mut().expect("caller checked spill");
+        for span in std::mem::take(&mut self.spans).into_spans() {
+            spill.accept(span);
+        }
+        spill.barrier_flush(epoch);
+    }
 }
 
 /// One region's admission-gate accounting at the end of a mobility run:
@@ -589,11 +718,30 @@ impl FleetReport {
             let series = tel.registry.all_series().count();
             let _ = writeln!(
                 out,
-                "telemetry: spans={} series={} counters={}",
+                "telemetry: spans={} series={} counters={} hists={} resident_bytes={} peak_bytes={}",
                 tel.spans.len(),
                 series,
-                tel.registry.counters().count()
+                tel.registry.counters().count(),
+                tel.registry.all_histograms().count(),
+                tel.resident_bytes(),
+                tel.peak_bytes
             );
+            if let Some(spill) = &tel.spill {
+                let _ = writeln!(
+                    out,
+                    "telemetry_spill: spilled={} segments={} io_errors={}",
+                    spill.spilled(),
+                    spill.segments().len(),
+                    spill.io_errors()
+                );
+            }
+            if let Some(keep_one_in) = tel.sample {
+                let _ = writeln!(
+                    out,
+                    "telemetry_sample: keep_one_in={keep_one_in} sampled_out={}",
+                    tel.sampled_out
+                );
+            }
         }
         if !self.snapshots.is_empty() {
             let _ = write!(out, "{}", self.snapshots);
@@ -708,7 +856,10 @@ mod tests {
                 worker_busy: vec![std::time::Duration::from_millis(5); 2],
                 worker_idle: vec![std::time::Duration::from_millis(1); 2],
                 worker_steals: vec![1, 0],
-                worker_stolen: vec![std::time::Duration::from_millis(1), std::time::Duration::ZERO],
+                worker_stolen: vec![
+                    std::time::Duration::from_millis(1),
+                    std::time::Duration::ZERO,
+                ],
                 shard_busy: vec![std::time::Duration::from_millis(5); 2],
                 barrier: std::time::Duration::from_millis(2),
                 epochs: 4,

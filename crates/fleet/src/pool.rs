@@ -102,8 +102,12 @@ impl WorkerPool {
         if n == 0 {
             return Vec::new();
         }
-        let inputs: Slots<Option<P>> =
-            Slots(inputs.into_iter().map(|p| UnsafeCell::new(Some(p))).collect());
+        let inputs: Slots<Option<P>> = Slots(
+            inputs
+                .into_iter()
+                .map(|p| UnsafeCell::new(Some(p)))
+                .collect(),
+        );
         let outputs: Slots<Option<T>> = Slots((0..n).map(|_| UnsafeCell::new(None)).collect());
         self.run_tasks(n, &|_w, i| {
             // SAFETY: the executor hands each index to exactly one
@@ -161,9 +165,7 @@ impl WorkerPool {
         if n == 0 {
             return vec![WorkerSample::default(); self.threads];
         }
-        let inner = self
-            .inner
-            .get_or_init(|| Inner::spawn(self.threads));
+        let inner = self.inner.get_or_init(|| Inner::spawn(self.threads));
         inner.submit(n, task)
     }
 }
@@ -351,7 +353,11 @@ impl Drop for Inner {
 /// injector, then a steal from the back of a sibling's deque. Returns
 /// `(index, was_stolen)`.
 fn claim(w: usize, shared: &Shared) -> Option<(usize, bool)> {
-    if let Some(i) = shared.deques[w].lock().expect("pool deque lock").pop_front() {
+    if let Some(i) = shared.deques[w]
+        .lock()
+        .expect("pool deque lock")
+        .pop_front()
+    {
         return Some((i, false));
     }
     if let Some(i) = shared

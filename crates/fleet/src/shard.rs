@@ -319,7 +319,15 @@ impl VehicleBatch {
                         ingest_tick(cfg, v, &mut self.out, g);
                     }
                     (Some(t), _) => {
-                        tick(cfg, injector, region_labels, &self.snapshot, v, &mut self.out, t);
+                        tick(
+                            cfg,
+                            injector,
+                            region_labels,
+                            &self.snapshot,
+                            v,
+                            &mut self.out,
+                            t,
+                        );
                     }
                     (None, Some(g)) => {
                         ingest_tick(cfg, v, &mut self.out, g);

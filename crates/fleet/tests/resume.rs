@@ -148,6 +148,49 @@ fn all_snapshots_corrupt_restarts_from_scratch() {
 }
 
 #[test]
+fn crash_resume_round_trips_budget_sampling_and_histogram_state() {
+    // 100 ms epochs over 8 s → 80 epochs, so the series retention
+    // window (64) is crossed and rollup folds points into streaming
+    // histograms before the crash at epoch 70; the tiny budget with no
+    // spill and no explicit sampling also auto-activates OK-span
+    // sampling. The snapshot at epoch 68 therefore carries every piece
+    // of new sink state: histograms, the auto-activated sample rate,
+    // the sampled-out count, and the rolled flag.
+    let mut cfg = FleetConfig::sized(64, 2)
+        .with_ingest()
+        .with_telemetry_budget(4 * 1024);
+    cfg.seed = 23;
+    cfg.duration = SimDuration::from_secs(8);
+    cfg.epoch = SimDuration::from_millis(100);
+    let cfg = cfg
+        .with_checkpoint(4, 3)
+        .with_engine_crash(70, SimDuration::from_secs(1));
+    let straight = FleetEngine::new(cfg.clone()).run();
+    let mut store = SnapshotStore::in_memory();
+    let resumed = FleetEngine::new(cfg).run_supervised(&mut store);
+    assert_eq!(resumed.snapshots.resumes, 1);
+    assert_eq!(straight.summary(), resumed.summary());
+    let (s, r) = (
+        straight.telemetry.as_ref().expect("telemetry on"),
+        resumed.telemetry.as_ref().expect("telemetry on"),
+    );
+    // The run must actually have exercised the new machinery …
+    assert_eq!(s.sample, Some(vdap_fleet::BUDGET_AUTO_SAMPLE));
+    assert!(s.rolled);
+    assert!(s.sampled_out > 0);
+    assert!(
+        s.registry.all_histograms().count() > 0,
+        "rollup must have produced histograms before the crash"
+    );
+    // … and the resumed run must reproduce all of it exactly.
+    assert_eq!(s.spans.spans(), r.spans.spans());
+    assert_eq!(s.sample, r.sample);
+    assert_eq!(s.sampled_out, r.sampled_out);
+    assert_eq!(s.rolled, r.rolled);
+    assert_eq!(&s.registry, &r.registry);
+}
+
+#[test]
 fn supervised_without_checkpoint_config_replays_from_scratch() {
     // No checkpoint config: the supervisor has nothing to restore from,
     // so a crash costs a full replay — and nothing else.

@@ -101,6 +101,142 @@ proptest! {
     }
 }
 
+/// The full interaction surface with the bounded-memory sinks on:
+/// ingest + mobility + a telemetry budget + explicit deterministic
+/// sampling. The sampled span set, histogram series, and deterministic
+/// summary must stay byte-identical across shard counts.
+fn sampled_config(seed: u64, shards: u32) -> FleetConfig {
+    let mut cfg = FleetConfig::sized(64, shards)
+        .with_ingest()
+        .with_mobility()
+        .with_telemetry_budget(16 * 1024)
+        .with_span_sampling(4);
+    cfg.seed = seed;
+    cfg.duration = SimDuration::from_secs(8);
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn sampled_telemetry_with_budget_is_shard_invariant(seed in any::<u64>()) {
+        let reports: Vec<FleetReport> = [1u32, 2, 4, 8]
+            .iter()
+            .map(|&shards| FleetEngine::new(sampled_config(seed, shards)).run())
+            .collect();
+        let base = reports[0].telemetry.as_ref().expect("telemetry enabled");
+        let base_spans: Vec<_> = base.spans.iter().map(|s| s.normalized()).collect();
+        for r in &reports[1..] {
+            // Sampling and budget enforcement must not cost determinism.
+            prop_assert_eq!(reports[0].summary(), r.summary());
+            let tel = r.telemetry.as_ref().expect("telemetry enabled");
+            let spans: Vec<_> = tel.spans.iter().map(|s| s.normalized()).collect();
+            prop_assert_eq!(&base_spans, &spans, "sampled span sets diverged");
+            // Registry equality covers series, histograms, counters and
+            // the telemetry_bytes gauge — all shard-invariant because
+            // the byte estimate is count-based.
+            prop_assert_eq!(&base.registry, &tel.registry, "registries diverged");
+            prop_assert_eq!(base.sampled_out, tel.sampled_out, "sampler drop counts diverged");
+            prop_assert_eq!(base.peak_bytes, tel.peak_bytes, "peak byte estimates diverged");
+        }
+        // The property is vacuous unless the sampler actually dropped
+        // OK spans and kept every non-OK span.
+        prop_assert!(base.sampled_out > 0, "keep-1-in-4 never sampled anything out");
+        prop_assert!(!base.spans.is_empty(), "sampling must not drop everything");
+        prop_assert_eq!(
+            base.spans.len() as u64 + base.sampled_out,
+            reports[0].metrics.requests,
+            "kept + sampled-out partitions the request stream"
+        );
+        prop_assert!(
+            base.registry.gauge("telemetry_bytes").is_some(),
+            "self-accounting gauge must be set"
+        );
+    }
+}
+
+#[test]
+fn crossed_budget_auto_activates_deterministic_sampling() {
+    // No spill, no explicit sampling, and a budget far below what 64
+    // vehicles over 8 s produce: the engine's last resort is switching
+    // OK-span sampling on retroactively.
+    let run = |shards: u32| {
+        let mut cfg = FleetConfig::sized(64, shards).with_telemetry_budget(4 * 1024);
+        cfg.seed = 7;
+        cfg.duration = SimDuration::from_secs(8);
+        FleetEngine::new(cfg).run()
+    };
+    let one = run(1);
+    let eight = run(8);
+    let tel = one.telemetry.as_ref().expect("telemetry enabled");
+    assert_eq!(
+        tel.sample,
+        Some(vdap_fleet::BUDGET_AUTO_SAMPLE),
+        "budget crossing must auto-activate sampling"
+    );
+    assert!(tel.rolled, "budget crossing must mark rollup active");
+    assert!(
+        tel.sampled_out > 0,
+        "retroactive sampling must drop OK spans"
+    );
+    // Auto-activation happens at a barrier from a shard-invariant byte
+    // estimate, so the surviving set is still shard-invariant.
+    assert_eq!(one.summary(), eight.summary());
+    let tel8 = eight.telemetry.as_ref().expect("telemetry enabled");
+    let one_spans: Vec<_> = tel.spans.iter().map(|s| s.normalized()).collect();
+    let eight_spans: Vec<_> = tel8.spans.iter().map(|s| s.normalized()).collect();
+    assert_eq!(one_spans, eight_spans);
+    assert_eq!(tel.sampled_out, tel8.sampled_out);
+    // Non-OK spans are never sampled out: every metrics-side failure
+    // outcome still has its span.
+    assert_eq!(
+        tel.spans.outcome_count(SpanOutcome::Rejected),
+        one.metrics.rejected
+    );
+    assert_eq!(
+        tel.spans.outcome_count(SpanOutcome::Failover),
+        one.metrics.failovers
+    );
+}
+
+#[test]
+fn span_spill_streams_every_span_to_parseable_segments() {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("fleet-spill-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    // No budget: with a spill dir configured, every barrier flushes —
+    // pure streaming export, nothing retained in memory.
+    let mut cfg = FleetConfig::sized(64, 2).with_span_spill(&dir);
+    cfg.seed = 11;
+    cfg.duration = SimDuration::from_secs(8);
+    let report = FleetEngine::new(cfg).run();
+    let tel = report.telemetry.as_ref().expect("telemetry enabled");
+    assert!(
+        tel.spans.is_empty(),
+        "with spill and no budget, every span streams to disk"
+    );
+    let spill = tel.spill.as_ref().expect("spill sink present");
+    assert_eq!(spill.io_errors(), 0);
+    assert_eq!(
+        spill.spilled(),
+        report.metrics.requests,
+        "every request's span reaches disk exactly once"
+    );
+    let segments = spill.segments();
+    assert!(!segments.is_empty());
+    let mut lines = 0u64;
+    for segment in &segments {
+        let text = std::fs::read_to_string(segment).expect("segment readable");
+        for line in text.lines() {
+            let value: serde_json::Value = serde_json::from_str(line).expect("line parses");
+            assert!(value.get("vehicle").is_some());
+            assert!(value.get("outcome").is_some());
+            lines += 1;
+        }
+    }
+    assert_eq!(lines, spill.spilled(), "one JSONL line per spilled span");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn telemetry_off_means_no_spans_and_an_unchanged_summary() {
     let with = |telemetry: bool| {

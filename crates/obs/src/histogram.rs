@@ -1,0 +1,381 @@
+//! A mergeable log2-bucketed streaming histogram for bounded-memory
+//! series.
+//!
+//! The registry's raw per-epoch series grow one [`crate::SeriesPoint`]
+//! per barrier forever; at fleet scale that is the telemetry layer's
+//! dominant memory term. This histogram is the bounded replacement:
+//! samples land in log-linear buckets with **integer counts**, so state
+//! is O(buckets) regardless of sample volume, merging two histograms is
+//! exact bucket-count addition (associative and commutative
+//! bit-for-bit), and p50/p95/p99 come from a cumulative bucket walk.
+//!
+//! ## Bucket scheme and error bound
+//!
+//! A sample is first quantized to integer **ticks** of 1e-6 value units
+//! (`round(value * 1e6)`), then bucketed HDR-style: ticks below
+//! [`SUBS`] (= 32) each get their own exact bucket; above that, every
+//! power-of-two octave is split into [`SUBS`] linear sub-buckets of
+//! width `2^shift`. A bucket covering `[lo, lo + 2^shift)` therefore
+//! has `lo >= SUBS << shift`, so the half-width midpoint estimator is
+//! off by at most `2^shift / 2`, i.e. a **relative error of at most
+//! `1/(2·SUBS) = 1/64 ≈ 1.6%`**, plus the fixed half-tick (5e-7 value
+//! units) quantization floor. Quantile estimates are additionally
+//! clamped to the exact observed `[min, max]`.
+//!
+//! This is deliberately distinct from `vdap_sim::StreamingHistogram`
+//! (log10 decades, fixed dense bucket array): this one is sparse,
+//! log2-bucketed, and built for high-cardinality registry series where
+//! hundreds of histograms may coexist.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use vdap_sim::SimDuration;
+
+/// Sub-buckets per octave; also the size of the exact low range.
+pub const SUBS: u64 = 32;
+/// `log2(SUBS)`.
+const SUB_BITS: u32 = 5;
+/// Ticks per value unit (fixed-point quantum).
+const TICKS_PER_UNIT: f64 = 1e6;
+
+/// Quantizes a sample to integer ticks. Negative and NaN samples clamp
+/// to zero; values beyond `u64::MAX` ticks saturate.
+fn to_ticks(value: f64) -> u64 {
+    let scaled = (value * TICKS_PER_UNIT).round();
+    if scaled.is_nan() || scaled <= 0.0 {
+        0
+    } else if scaled >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        scaled as u64
+    }
+}
+
+fn from_ticks(ticks: u64) -> f64 {
+    ticks as f64 / TICKS_PER_UNIT
+}
+
+/// The bucket index holding `ticks`.
+fn bucket_index(ticks: u64) -> u32 {
+    if ticks < SUBS {
+        ticks as u32
+    } else {
+        let exp = 63 - ticks.leading_zeros(); // floor(log2 ticks) >= SUB_BITS
+        let shift = exp - SUB_BITS;
+        shift * SUBS as u32 + (ticks >> shift) as u32
+    }
+}
+
+/// The inclusive lower edge and width (both in ticks) of a bucket.
+fn bucket_range(index: u32) -> (u64, u64) {
+    let index = u64::from(index);
+    if index < SUBS {
+        (index, 1)
+    } else {
+        let shift = index / SUBS - 1;
+        let sub = index - shift * SUBS; // in [SUBS, 2*SUBS)
+        (sub << shift, 1 << shift)
+    }
+}
+
+/// A serializable snapshot of a histogram's complete state (sparse
+/// bucket pairs + exact integer aggregates) for checkpoint codecs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramState {
+    /// `(bucket index, count)` pairs in index order.
+    pub buckets: Vec<(u32, u64)>,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Exact sum of all samples, in ticks.
+    pub sum_ticks: u128,
+    /// Smallest recorded sample, in ticks (`u64::MAX` when empty).
+    pub min_ticks: u64,
+    /// Largest recorded sample, in ticks (0 when empty).
+    pub max_ticks: u64,
+}
+
+/// A sparse log2-bucketed histogram with exact integer merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamingHistogram {
+    name: &'static str,
+    buckets: BTreeMap<u32, u64>,
+    count: u64,
+    sum_ticks: u128,
+    min_ticks: u64,
+    max_ticks: u64,
+}
+
+impl StreamingHistogram {
+    /// An empty histogram. `name` should be an interned metric name
+    /// (see [`crate::intern_name`]).
+    #[must_use]
+    pub fn new(name: &'static str) -> Self {
+        StreamingHistogram {
+            name,
+            buckets: BTreeMap::new(),
+            count: 0,
+            sum_ticks: 0,
+            min_ticks: u64::MAX,
+            max_ticks: 0,
+        }
+    }
+
+    /// The metric name this histogram tracks.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        let ticks = to_ticks(value);
+        *self.buckets.entry(bucket_index(ticks)).or_insert(0) += 1;
+        self.count += 1;
+        self.sum_ticks += u128::from(ticks);
+        self.min_ticks = self.min_ticks.min(ticks);
+        self.max_ticks = self.max_ticks.max(ticks);
+    }
+
+    /// Records a duration in milliseconds.
+    pub fn record_duration_ms(&mut self, d: SimDuration) {
+        self.record(d.as_secs_f64() * 1e3);
+    }
+
+    /// Samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.sum_ticks as f64 / self.count as f64) / TICKS_PER_UNIT
+        }
+    }
+
+    /// Exact minimum (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            from_ticks(self.min_ticks)
+        }
+    }
+
+    /// Exact maximum (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        from_ticks(self.max_ticks)
+    }
+
+    /// Quantile estimate with relative error bounded by `1/(2·SUBS)`
+    /// (≈ 1.6%) plus the half-tick quantization floor — see the module
+    /// docs. `q` is clamped to `[0, 1]`; returns 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (&index, &n) in &self.buckets {
+            seen += n;
+            if seen >= target {
+                let (lo, width) = bucket_range(index);
+                let mid = lo + width / 2;
+                return from_ticks(mid.clamp(self.min_ticks, self.max_ticks));
+            }
+        }
+        self.max()
+    }
+
+    /// Median estimate.
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    #[must_use]
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Absorbs another histogram: bucket-count addition plus integer
+    /// aggregate folds, so the merge is exact, associative, and
+    /// commutative bit-for-bit.
+    pub fn merge(&mut self, other: &StreamingHistogram) {
+        for (&index, &n) in &other.buckets {
+            *self.buckets.entry(index).or_insert(0) += n;
+        }
+        self.count += other.count;
+        self.sum_ticks += other.sum_ticks;
+        self.min_ticks = self.min_ticks.min(other.min_ticks);
+        self.max_ticks = self.max_ticks.max(other.max_ticks);
+    }
+
+    /// Approximate resident bytes (sparse bucket entries + header).
+    #[must_use]
+    pub fn resident_bytes(&self) -> u64 {
+        64 + self.buckets.len() as u64 * 16
+    }
+
+    /// Snapshots the complete state for a checkpoint codec.
+    #[must_use]
+    pub fn state(&self) -> HistogramState {
+        HistogramState {
+            buckets: self.buckets.iter().map(|(&i, &n)| (i, n)).collect(),
+            count: self.count,
+            sum_ticks: self.sum_ticks,
+            min_ticks: self.min_ticks,
+            max_ticks: self.max_ticks,
+        }
+    }
+
+    /// Rebuilds a histogram from a snapshot taken by
+    /// [`StreamingHistogram::state`].
+    #[must_use]
+    pub fn from_state(name: &'static str, state: HistogramState) -> Self {
+        StreamingHistogram {
+            name,
+            buckets: state.buckets.into_iter().collect(),
+            count: state.count,
+            sum_ticks: state.sum_ticks,
+            min_ticks: state.min_ticks,
+            max_ticks: state.max_ticks,
+        }
+    }
+}
+
+impl fmt::Display for StreamingHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: n={} mean={:.6} p50={:.6} p95={:.6} p99={:.6} max={:.6}",
+            self.name,
+            self.count,
+            self.mean(),
+            self.p50(),
+            self.p95(),
+            self.p99(),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_invertible() {
+        let mut prev = None;
+        for ticks in (0..4096).chain([u64::MAX / 3, u64::MAX - 1, u64::MAX]) {
+            let index = bucket_index(ticks);
+            let (lo, width) = bucket_range(index);
+            assert!(
+                lo <= ticks && ticks - lo < width,
+                "ticks {ticks} outside bucket {index} [{lo}, {lo}+{width})"
+            );
+            if let Some(p) = prev {
+                assert!(index >= p, "bucket index must be monotone in ticks");
+            }
+            prev = Some(index);
+        }
+    }
+
+    #[test]
+    fn quantiles_stay_within_the_documented_relative_error() {
+        let mut h = StreamingHistogram::new("lat");
+        let mut values: Vec<f64> = (1..=5000).map(|i| (i as f64) * 0.37 + 0.9).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.5, 0.95, 0.99] {
+            let exact = values[((q * values.len() as f64).ceil() as usize).max(1) - 1];
+            let est = h.quantile(q);
+            let rel = (est - exact).abs() / exact;
+            assert!(
+                rel <= 1.0 / (2.0 * SUBS as f64) + 1e-6,
+                "q={q}: est {est} vs exact {exact} (rel {rel})"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_exact_and_commutative() {
+        let mut a = StreamingHistogram::new("x");
+        let mut b = StreamingHistogram::new("x");
+        for i in 0..100 {
+            a.record(f64::from(i) * 1.5);
+            b.record(f64::from(i) * 40.0 + 3.0);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 200);
+        let mut all = StreamingHistogram::new("x");
+        for i in 0..100 {
+            all.record(f64::from(i) * 1.5);
+            all.record(f64::from(i) * 40.0 + 3.0);
+        }
+        assert_eq!(ab, all, "merge must equal recording the union directly");
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs_are_safe() {
+        let h = StreamingHistogram::new("empty");
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.99), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        let mut d = StreamingHistogram::new("degenerate");
+        d.record(f64::NAN);
+        d.record(-5.0);
+        d.record(0.0);
+        assert_eq!(d.count(), 3);
+        assert_eq!(d.max(), 0.0, "NaN and negatives clamp to zero ticks");
+    }
+
+    #[test]
+    fn state_round_trips() {
+        let mut h = StreamingHistogram::new("rt");
+        for i in 1..=257 {
+            h.record(f64::from(i) * 12.5);
+        }
+        let restored = StreamingHistogram::from_state("rt", h.state());
+        assert_eq!(restored, h);
+        assert_eq!(restored.p95().to_bits(), h.p95().to_bits());
+    }
+
+    #[test]
+    fn min_max_clamp_the_estimate() {
+        let mut h = StreamingHistogram::new("clamp");
+        h.record(1000.0);
+        assert_eq!(h.p50(), 1000.0, "single sample estimates exactly");
+        assert_eq!(h.p99(), 1000.0);
+    }
+}

@@ -44,11 +44,18 @@
 #![warn(missing_debug_implementations)]
 
 mod chrome;
+mod histogram;
 mod profile;
 mod registry;
+mod sink;
 mod span;
 
 pub use chrome::{chrome_trace, span_event, span_json, spans_jsonl};
+pub use histogram::{HistogramState, StreamingHistogram};
 pub use profile::{BarrierProfiler, EngineProfile, WorkerSample};
 pub use registry::{intern_name, MetricsRegistry, SeriesPoint};
+pub use sink::{
+    sample_keeps, JsonlSpillSink, MemorySpanSink, SamplingSpanSink, SpanSink,
+    DEFAULT_SEGMENT_BYTES, SPAN_RESIDENT_BYTES,
+};
 pub use span::{RequestSpan, SpanLog, SpanOutcome};

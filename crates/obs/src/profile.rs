@@ -70,7 +70,12 @@ impl BarrierProfiler {
     ///
     /// Panics when `workers` / `shard_busy` do not have one entry per
     /// worker / shard.
-    pub fn record_epoch(&mut self, wall: Duration, workers: &[WorkerSample], shard_busy: &[Duration]) {
+    pub fn record_epoch(
+        &mut self,
+        wall: Duration,
+        workers: &[WorkerSample],
+        shard_busy: &[Duration],
+    ) {
         assert_eq!(
             workers.len(),
             self.worker_busy.len(),
@@ -169,17 +174,59 @@ impl EngineProfile {
         self.worker_steals.iter().sum()
     }
 
+    /// Fraction of a worker's busy time spent executing batches stolen
+    /// from a sibling's deque (0 when the worker never ran — a
+    /// zero-duration run must not surface as NaN).
+    #[must_use]
+    pub fn steal_fraction(&self, worker: usize) -> f64 {
+        let busy = self.worker_busy[worker].as_secs_f64();
+        if busy == 0.0 {
+            0.0
+        } else {
+            self.worker_stolen[worker].as_secs_f64() / busy
+        }
+    }
+
+    /// Fraction of all busy time spent on stolen batches, pooled across
+    /// workers (0 for an empty or zero-duration profile).
+    #[must_use]
+    pub fn mean_steal_fraction(&self) -> f64 {
+        let busy: f64 = self.worker_busy.iter().map(Duration::as_secs_f64).sum();
+        if busy == 0.0 {
+            0.0
+        } else {
+            self.worker_stolen
+                .iter()
+                .map(Duration::as_secs_f64)
+                .sum::<f64>()
+                / busy
+        }
+    }
+
+    /// Mean single-threaded barrier time per epoch, in milliseconds
+    /// (0 for a zero-epoch profile).
+    #[must_use]
+    pub fn mean_barrier_ms(&self) -> f64 {
+        if self.epochs == 0 {
+            0.0
+        } else {
+            self.barrier.as_secs_f64() * 1e3 / self.epochs as f64
+        }
+    }
+
     /// A multi-line text block for the run's diagnostics output.
     #[must_use]
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "profile: epochs={} barrier_ms={:.3} steals={} mean_idle_frac={:.3}",
+            "profile: epochs={} barrier_ms={:.3} mean_barrier_ms={:.3} steals={} mean_idle_frac={:.3} mean_steal_frac={:.3}",
             self.epochs,
             self.barrier.as_secs_f64() * 1e3,
+            self.mean_barrier_ms(),
             self.total_steals(),
-            self.mean_idle_fraction()
+            self.mean_idle_fraction(),
+            self.mean_steal_fraction()
         );
         for (w, (busy, idle)) in self.worker_busy.iter().zip(&self.worker_idle).enumerate() {
             let _ = writeln!(
@@ -279,5 +326,64 @@ mod tests {
         assert_eq!(profile.idle_fraction(0), 0.0);
         assert_eq!(profile.mean_idle_fraction(), 0.0);
         assert_eq!(profile.total_steals(), 0);
+    }
+
+    #[test]
+    fn every_ratio_accessor_is_finite_on_empty_and_zero_duration_profiles() {
+        // Never ran at all.
+        let empty = BarrierProfiler::new(2, 1).finish();
+        for accessor in [
+            empty.idle_fraction(0),
+            empty.mean_idle_fraction(),
+            empty.steal_fraction(1),
+            empty.mean_steal_fraction(),
+            empty.mean_barrier_ms(),
+        ] {
+            assert_eq!(accessor, 0.0, "empty profile must read 0.0, not NaN");
+        }
+        // Ran, but every measured duration was zero (instant epochs on
+        // a coarse clock) — busy + idle == 0 per worker.
+        let mut p = BarrierProfiler::new(2, 1);
+        p.record_epoch(
+            Duration::ZERO,
+            &[sample(0, 0, 0), sample(0, 0, 0)],
+            &[Duration::ZERO],
+        );
+        p.record_barrier(Duration::ZERO);
+        let zero = p.finish();
+        assert_eq!(zero.epochs, 1);
+        for accessor in [
+            zero.idle_fraction(0),
+            zero.mean_idle_fraction(),
+            zero.steal_fraction(0),
+            zero.mean_steal_fraction(),
+            zero.mean_barrier_ms(),
+        ] {
+            assert!(
+                accessor == 0.0 && accessor.is_finite(),
+                "zero-duration run must read 0.0"
+            );
+        }
+        assert!(zero.render().contains("mean_idle_frac=0.000"));
+    }
+
+    #[test]
+    fn steal_fractions_attribute_stolen_time() {
+        let mut p = BarrierProfiler::new(2, 1);
+        // Worker 1: 8ms busy of which 2ms on stolen batches.
+        p.record_epoch(
+            Duration::from_millis(10),
+            &[sample(10, 0, 0), sample(8, 1, 2)],
+            &[Duration::from_millis(18)],
+        );
+        p.record_barrier(Duration::from_millis(4));
+        let profile = p.finish();
+        assert!((profile.steal_fraction(1) - 0.25).abs() < 1e-9);
+        assert_eq!(profile.steal_fraction(0), 0.0);
+        assert!((profile.mean_steal_fraction() - 2.0 / 18.0).abs() < 1e-9);
+        assert!((profile.mean_barrier_ms() - 4.0).abs() < 1e-9);
+        let text = profile.render();
+        assert!(text.contains("mean_barrier_ms="));
+        assert!(text.contains("mean_steal_frac="));
     }
 }

@@ -12,6 +12,8 @@ use std::sync::{Mutex, OnceLock};
 
 use vdap_sim::SimTime;
 
+use crate::histogram::StreamingHistogram;
+
 /// Interns a metric name into a `&'static str`.
 ///
 /// Registry keys are `'static` by design (every in-run name is a
@@ -43,12 +45,20 @@ pub struct SeriesPoint {
     pub value: f64,
 }
 
-/// Named counters, gauges, and epoch-sampled time series.
+/// Bytes one `BTreeMap` entry is accounted as (key pointer + node
+/// overhead), used by [`MetricsRegistry::approx_bytes`]. The estimate
+/// is count-based on purpose: it must be identical across shard counts
+/// so budget decisions derived from it stay deterministic.
+const MAP_ENTRY_BYTES: u64 = 32;
+
+/// Named counters, gauges, epoch-sampled time series, and streaming
+/// histograms.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsRegistry {
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, f64>,
     series: BTreeMap<&'static str, Vec<SeriesPoint>>,
+    hists: BTreeMap<&'static str, StreamingHistogram>,
 }
 
 impl MetricsRegistry {
@@ -108,6 +118,76 @@ impl MetricsRegistry {
     pub fn all_series(&self) -> impl Iterator<Item = (&'static str, &[SeriesPoint])> + '_ {
         self.series.iter().map(|(&k, v)| (k, v.as_slice()))
     }
+
+    /// Records one value into the named streaming histogram.
+    pub fn record_hist(&mut self, name: &'static str, value: f64) {
+        self.hists
+            .entry(name)
+            .or_insert_with(|| StreamingHistogram::new(name))
+            .record(value);
+    }
+
+    /// The named streaming histogram, if anything was ever recorded.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&StreamingHistogram> {
+        self.hists.get(name)
+    }
+
+    /// All streaming histograms, in name order.
+    pub fn all_histograms(&self) -> impl Iterator<Item = &StreamingHistogram> + '_ {
+        self.hists.values()
+    }
+
+    /// Reinstates a histogram wholesale (checkpoint restore), keyed by
+    /// its own name.
+    pub fn restore_histogram(&mut self, hist: StreamingHistogram) {
+        self.hists.insert(hist.name(), hist);
+    }
+
+    /// Rolls the oldest points of every over-long series into a
+    /// same-named streaming histogram, keeping at most `retain` recent
+    /// points per series. Returns how many points were rolled up.
+    ///
+    /// This is the bounded-memory escape hatch for high-cardinality
+    /// per-epoch series: the recent window keeps its exact points for
+    /// plotting, the rolled-up prefix survives as an exact-count
+    /// distribution with bounded-error quantiles.
+    pub fn roll_series(&mut self, retain: usize) -> u64 {
+        let mut rolled = 0u64;
+        for (&name, points) in &mut self.series {
+            if points.len() <= retain {
+                continue;
+            }
+            let excess = points.len() - retain;
+            let hist = self
+                .hists
+                .entry(name)
+                .or_insert_with(|| StreamingHistogram::new(name));
+            for point in points.drain(..excess) {
+                hist.record(point.value);
+                rolled += 1;
+            }
+        }
+        rolled
+    }
+
+    /// Approximate resident bytes of the registry, computed purely from
+    /// entry counts (shard-count invariant — see [`MAP_ENTRY_BYTES`]).
+    #[must_use]
+    pub fn approx_bytes(&self) -> u64 {
+        let scalars = (self.counters.len() + self.gauges.len()) as u64 * (MAP_ENTRY_BYTES + 8);
+        let series: u64 = self
+            .series
+            .values()
+            .map(|v| MAP_ENTRY_BYTES + v.len() as u64 * std::mem::size_of::<SeriesPoint>() as u64)
+            .sum();
+        let hists: u64 = self
+            .hists
+            .values()
+            .map(|h| MAP_ENTRY_BYTES + h.resident_bytes())
+            .sum();
+        scalars + series + hists
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +233,55 @@ mod tests {
         r.inc(a, 2);
         r.inc("fleet.test.interned", 1);
         assert_eq!(r.counter("fleet.test.interned"), 3);
+    }
+
+    #[test]
+    fn roll_series_keeps_a_recent_window_and_rolls_the_prefix() {
+        let mut r = MetricsRegistry::new();
+        for epoch in 0..200u64 {
+            r.sample("depth", epoch, SimTime::from_secs(epoch), epoch as f64);
+        }
+        let before = r.approx_bytes();
+        let rolled = r.roll_series(4);
+        assert_eq!(rolled, 196);
+        let pts = r.series("depth");
+        assert_eq!(pts.len(), 4);
+        assert_eq!(pts[0].epoch, 196, "the retained window is the newest");
+        let hist = r
+            .histogram("depth")
+            .expect("rolled points land in a histogram");
+        assert_eq!(hist.count(), 196);
+        assert_eq!(hist.min(), 0.0);
+        assert!(r.approx_bytes() < before, "rollup must shrink the estimate");
+        // A second roll with nothing over the window is a no-op.
+        assert_eq!(r.roll_series(4), 0);
+        assert_eq!(r.histogram("depth").unwrap().count(), 196);
+    }
+
+    #[test]
+    fn histograms_record_and_restore() {
+        let mut r = MetricsRegistry::new();
+        r.record_hist("lat", 2.0);
+        r.record_hist("lat", 4.0);
+        assert_eq!(r.histogram("lat").unwrap().count(), 2);
+        assert!(r.histogram("never").is_none());
+        let snap = r.histogram("lat").unwrap().clone();
+        let mut other = MetricsRegistry::new();
+        other.restore_histogram(snap);
+        assert_eq!(other.histogram("lat"), r.histogram("lat"));
+        let names: Vec<&str> = r.all_histograms().map(|h| h.name()).collect();
+        assert_eq!(names, vec!["lat"]);
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_contents() {
+        let mut r = MetricsRegistry::new();
+        let empty = r.approx_bytes();
+        r.inc("c", 1);
+        let with_counter = r.approx_bytes();
+        assert!(with_counter > empty);
+        r.sample("s", 0, SimTime::ZERO, 1.0);
+        assert!(r.approx_bytes() > with_counter);
     }
 
     #[test]
